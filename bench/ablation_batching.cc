@@ -1,0 +1,67 @@
+/// \file ablation_batching.cc
+/// \brief Ablation: batched DL2SQL pipelines (one SQL execution per batch,
+/// BatchID-keyed group-bys) vs per-image pipelines. Batching amortizes the
+/// per-statement planning/materialization overhead — the same motivation the
+/// paper gives for running nUDFs "in a batch manner".
+#include "bench/bench_util.h"
+#include "dl2sql/pipeline.h"
+#include "nn/builders.h"
+
+using namespace dl2sql;          // NOLINT
+using namespace dl2sql::bench;   // NOLINT
+
+int main() {
+  nn::BuilderOptions b;
+  b.input_size = FullScale() ? 24 : 16;
+  b.base_channels = 4;
+  nn::Model model = nn::BuildStudentCnn(b);
+  Rng rng(3);
+
+  PrintHeader("Ablation: batched vs per-image DL2SQL inference",
+              {"BatchSize", "Mode", "Total(s)", "PerImage(s)"});
+  for (int64_t batch : {1, 4, 16, 64}) {
+    std::vector<Tensor> inputs;
+    for (int64_t i = 0; i < batch; ++i) {
+      inputs.push_back(Tensor::Random(model.input_shape(), &rng, 1.0f));
+    }
+
+    // Per-image pipeline, looped.
+    {
+      db::Database db;
+      auto converted = core::ConvertModel(model, {}, &db);
+      BENCH_CHECK_OK(converted.status());
+      core::Dl2SqlRunner runner(&db, std::move(converted).ValueOrDie());
+      BENCH_CHECK_OK(runner.Infer(inputs[0]).status());  // warm-up
+      Stopwatch watch;
+      for (const auto& in : inputs) {
+        BENCH_CHECK_OK(runner.Infer(in).status());
+      }
+      const double total = watch.ElapsedSeconds();
+      PrintCell(batch);
+      PrintCell(std::string("per-image"));
+      PrintCell(total);
+      PrintCell(total / static_cast<double>(batch));
+      EndRow();
+    }
+
+    // One batched pipeline execution.
+    {
+      db::Database db;
+      core::ConvertOptions copts;
+      copts.batched = true;
+      auto converted = core::ConvertModel(model, copts, &db);
+      BENCH_CHECK_OK(converted.status());
+      core::Dl2SqlRunner runner(&db, std::move(converted).ValueOrDie());
+      BENCH_CHECK_OK(runner.InferBatch({inputs[0]}).status());  // warm-up
+      Stopwatch watch;
+      BENCH_CHECK_OK(runner.InferBatch(inputs).status());
+      const double total = watch.ElapsedSeconds();
+      PrintCell(batch);
+      PrintCell(std::string("batched"));
+      PrintCell(total);
+      PrintCell(total / static_cast<double>(batch));
+      EndRow();
+    }
+  }
+  return 0;
+}

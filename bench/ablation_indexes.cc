@@ -1,0 +1,63 @@
+/// \file ablation_indexes.cc
+/// \brief Ablation: hash indexes on the static parameter tables (Section
+/// IV-A's "we build indices on columns MatrixID, OrderID, and KernelID") vs
+/// rebuilding the join hash tables on every inference, crossed with the
+/// pre-join strategies of Fig. 11.
+#include "bench/bench_util.h"
+#include "dl2sql/pipeline.h"
+#include "nn/builders.h"
+
+using namespace dl2sql;          // NOLINT
+using namespace dl2sql::bench;   // NOLINT
+
+namespace {
+
+double Run(const nn::Model& model, core::PreJoinStrategy strategy,
+           bool indexes, int reps, int64_t* index_joins) {
+  db::Database db;
+  core::ConvertOptions copts;
+  copts.prejoin = strategy;
+  copts.build_indexes = indexes;
+  auto converted = core::ConvertModel(model, copts, &db);
+  BENCH_CHECK_OK(converted.status());
+  core::Dl2SqlRunner runner(&db, std::move(converted).ValueOrDie());
+  Rng rng(3);
+  Tensor input = Tensor::Random(model.input_shape(), &rng, 1.0f);
+  BENCH_CHECK_OK(runner.Infer(input).status());  // warm-up
+  Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    BENCH_CHECK_OK(runner.Infer(input).status());
+  }
+  *index_joins = db.index_joins_executed();
+  return watch.ElapsedSeconds() / reps;
+}
+
+}  // namespace
+
+int main() {
+  nn::BuilderOptions b;
+  b.input_size = FullScale() ? 32 : 16;
+  b.base_channels = FullScale() ? 8 : 4;
+  nn::Model model = nn::BuildStudentCnn(b);
+  const int reps = FullScale() ? 20 : 8;
+
+  PrintHeader("Ablation: parameter-table hash indexes x pre-join strategy",
+              {"Strategy", "Indexes", "PerInfer(s)", "IndexJoins"});
+  const std::pair<core::PreJoinStrategy, const char*> kStrategies[] = {
+      {core::PreJoinStrategy::kNone, "no-prejoin"},
+      {core::PreJoinStrategy::kPreJoinMapping, "prejoin-map"},
+      {core::PreJoinStrategy::kPreJoinFull, "prejoin-full"},
+  };
+  for (const auto& [strategy, name] : kStrategies) {
+    for (bool indexes : {false, true}) {
+      int64_t index_joins = 0;
+      const double secs = Run(model, strategy, indexes, reps, &index_joins);
+      PrintCell(std::string(name));
+      PrintCell(std::string(indexes ? "on" : "off"));
+      PrintCell(secs);
+      PrintCell(index_joins);
+      EndRow();
+    }
+  }
+  return 0;
+}

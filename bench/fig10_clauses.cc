@@ -1,0 +1,44 @@
+/// \file fig10_clauses.cc
+/// \brief Reproduces Fig. 10: running-time share of each SQL clause type in
+/// the generated DL2SQL queries (Join and GroupBy dominate).
+#include "bench/bench_util.h"
+#include "dl2sql/pipeline.h"
+#include "nn/builders.h"
+
+using namespace dl2sql;          // NOLINT
+using namespace dl2sql::bench;   // NOLINT
+
+int main() {
+  nn::BuilderOptions b;
+  b.input_channels = 3;
+  b.input_size = FullScale() ? 32 : 16;
+  b.base_channels = FullScale() ? 8 : 4;
+  nn::Model model = nn::BuildStudentCnn(b);
+
+  db::Database db;
+  auto converted = core::ConvertModel(model, {}, &db);
+  BENCH_CHECK_OK(converted.status());
+  core::Dl2SqlRunner runner(&db, std::move(converted).ValueOrDie());
+
+  Rng rng(3);
+  Tensor input = Tensor::Random(model.input_shape(), &rng, 1.0f);
+  const int reps = FullScale() ? 20 : 5;
+
+  CostAccumulator clauses;
+  for (int r = 0; r < reps; ++r) {
+    core::PipelineRunStats stats;
+    BENCH_CHECK_OK(runner.Infer(input, &stats).status());
+    clauses.Merge(stats.clause_costs);
+  }
+
+  const double total = clauses.Total();
+  PrintHeader("Fig. 10: SQL-clause cost share in generated DL2SQL queries",
+              {"Clause", "Seconds(avg)", "Share(%)"});
+  for (const auto& [bucket, secs] : clauses.buckets()) {
+    PrintCell(bucket);
+    PrintCell(secs / reps);
+    PrintCell(total > 0 ? 100.0 * secs / total : 0.0);
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// \file fig11_prejoin.cc
+/// \brief Reproduces Fig. 11: CNN-block cost under the three pre-join
+/// strategies (none / pre-join mapping / pre-join full).
+///
+/// Paper shape: avoiding the Q2 reshape join and the kernel join cuts block
+/// time substantially.
+#include "bench/bench_util.h"
+#include "dl2sql/pipeline.h"
+#include "nn/builders.h"
+
+using namespace dl2sql;          // NOLINT
+using namespace dl2sql::bench;   // NOLINT
+
+namespace {
+
+double RunStrategy(const nn::Model& model, core::PreJoinStrategy strategy,
+                   int reps, std::vector<double>* per_conv_block) {
+  db::Database db;
+  core::ConvertOptions copts;
+  copts.prejoin = strategy;
+  copts.table_prefix = "f11";
+  auto converted = core::ConvertModel(model, copts, &db);
+  BENCH_CHECK_OK(converted.status());
+  core::Dl2SqlRunner runner(&db, std::move(converted).ValueOrDie());
+  Rng rng(3);
+  Tensor input = Tensor::Random(model.input_shape(), &rng, 1.0f);
+
+  double total = 0;
+  per_conv_block->clear();
+  for (int r = 0; r < reps; ++r) {
+    core::PipelineRunStats stats;
+    BENCH_CHECK_OK(runner.Infer(input, &stats).status());
+    total += stats.infer_seconds;
+    size_t conv_idx = 0;
+    for (const auto& op : stats.per_op) {
+      if (op.kind != nn::LayerKind::kConv2d) continue;
+      if (per_conv_block->size() <= conv_idx) per_conv_block->push_back(0);
+      (*per_conv_block)[conv_idx++] += op.seconds;
+    }
+  }
+  for (auto& v : *per_conv_block) v /= reps;
+  return total / reps;
+}
+
+}  // namespace
+
+int main() {
+  nn::BuilderOptions b;
+  b.input_channels = 3;
+  b.input_size = FullScale() ? 32 : 16;
+  b.base_channels = FullScale() ? 8 : 4;
+  nn::Model model = nn::BuildStudentCnn(b);
+  const int reps = FullScale() ? 20 : 5;
+
+  PrintHeader("Fig. 11: CNN block cost under pre-join strategies",
+              {"Strategy", "Conv1(s)", "Conv2(s)", "Conv3(s)", "Total(s)"});
+  const std::pair<core::PreJoinStrategy, const char*> kStrategies[] = {
+      {core::PreJoinStrategy::kNone, "no-prejoin"},
+      {core::PreJoinStrategy::kPreJoinMapping, "prejoin-map"},
+      {core::PreJoinStrategy::kPreJoinFull, "prejoin-full"},
+  };
+  for (const auto& [strategy, name] : kStrategies) {
+    std::vector<double> blocks;
+    const double total = RunStrategy(model, strategy, reps, &blocks);
+    PrintCell(std::string(name));
+    for (size_t i = 0; i < 3; ++i) {
+      PrintCell(i < blocks.size() ? blocks[i] : 0.0);
+    }
+    PrintCell(total);
+    EndRow();
+  }
+  return 0;
+}

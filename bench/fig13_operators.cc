@@ -1,0 +1,85 @@
+/// \file fig13_operators.cc
+/// \brief Reproduces Fig. 13: per-operator estimation accuracy of the custom
+/// vs default cost model (conv / BN / ReLU / pooling / FC).
+#include "bench/bench_util.h"
+#include "dl2sql/cost_model.h"
+#include "dl2sql/pipeline.h"
+#include "nn/layers.h"
+
+using namespace dl2sql;          // NOLINT
+using namespace dl2sql::bench;   // NOLINT
+
+namespace {
+
+void Probe(const std::string& name, nn::Model model, double spu, int reps) {
+  db::Database db;
+  auto converted = core::ConvertModel(model, {}, &db);
+  BENCH_CHECK_OK(converted.status());
+  const double custom_s =
+      core::TotalUnits(core::EstimateCustom(*converted)) * spu;
+  auto blind = core::EstimateDefault(*converted, &db);
+  BENCH_CHECK_OK(blind.status());
+  const double default_s = core::TotalUnits(*blind) * spu;
+
+  core::Dl2SqlRunner runner(&db, std::move(converted).ValueOrDie());
+  Rng rng(5);
+  Tensor input = Tensor::Random(model.input_shape(), &rng, 1.0f);
+  double actual = 0;
+  for (int r = 0; r < reps; ++r) {
+    core::PipelineRunStats stats;
+    BENCH_CHECK_OK(runner.Infer(input, &stats).status());
+    actual += stats.infer_seconds;
+  }
+  actual /= reps;
+
+  PrintCell(name);
+  PrintCell(actual);
+  PrintCell(custom_s);
+  PrintCell(default_s);
+  EndRow();
+}
+
+}  // namespace
+
+int main() {
+  db::Database calib_db;
+  auto r = core::CalibrateSecondsPerUnit(&calib_db);
+  BENCH_CHECK_OK(r.status());
+  const double spu = *r;
+  const int reps = FullScale() ? 10 : 3;
+  const int64_t size = FullScale() ? 32 : 16;
+
+  PrintHeader("Fig. 13: per-operator estimation (single-op pipelines)",
+              {"Operator", "Actual(s)", "Custom(s)", "Default(s)"});
+
+  Rng rng(9);
+  {
+    nn::Model m("conv", Shape({3, size, size}), {"a", "b"});
+    m.AddLayer(std::make_shared<nn::Conv2d>("conv", 3, 4, 3, 1, 1, &rng));
+    Probe("Conv", std::move(m), spu, reps);
+  }
+  {
+    nn::Model m("bn", Shape({3, size, size}), {"a", "b"});
+    auto bn = std::make_shared<nn::BatchNorm>("bn", 3);
+    bn->RandomizeStats(&rng);
+    m.AddLayer(bn);
+    Probe("BatchNorm", std::move(m), spu, reps);
+  }
+  {
+    nn::Model m("relu", Shape({3, size, size}), {"a", "b"});
+    m.AddLayer(std::make_shared<nn::ReluLayer>("relu"));
+    Probe("ReLU", std::move(m), spu, reps);
+  }
+  {
+    nn::Model m("pool", Shape({3, size, size}), {"a", "b"});
+    m.AddLayer(std::make_shared<nn::MaxPool2d>("pool", 2, 2));
+    Probe("MaxPool", std::move(m), spu, reps);
+  }
+  {
+    nn::Model m("fc", Shape({3, size, size}), {"a", "b"});
+    m.AddLayer(std::make_shared<nn::Flatten>("flatten"));
+    m.AddLayer(std::make_shared<nn::Linear>("fc", 3 * size * size, 16, &rng));
+    Probe("FC", std::move(m), spu, reps);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// \file fig14_hints.cc
+/// \brief Reproduces Fig. 14: effectiveness of the optimizer hint rules —
+/// DL2SQL with vs without hints across nUDF/relational selectivities, plus
+/// the pruning of nUDF invocations the hints achieve.
+#include "bench/bench_util.h"
+
+using namespace dl2sql;            // NOLINT
+using namespace dl2sql::bench;     // NOLINT
+using namespace dl2sql::workload;  // NOLINT
+
+int main() {
+  TestbedOptions options = StandardOptions();
+  auto tb = Testbed::Create(options);
+  BENCH_CHECK_OK(tb.status());
+  const int count = FullScale() ? 5 : 2;
+
+  PrintHeader("Fig. 14: hint rules vs no hints (Type 3, edge)",
+              {"Sel(%)", "NoHints(s)", "Hints(s)", "Speedup", "CallsNoHint",
+               "CallsHint"});
+  for (double s : {0.0001, 0.001, 0.004, 0.01}) {
+    (*tb)->dl2sql()->database().reset_neural_calls();
+    auto plain = (*tb)->RunTypeWorkload((*tb)->dl2sql(), 3, count, s, 5);
+    BENCH_CHECK_OK(plain.status());
+    const int64_t plain_calls = (*tb)->dl2sql()->database().neural_calls();
+
+    (*tb)->dl2sql_op()->database().reset_neural_calls();
+    auto hinted = (*tb)->RunTypeWorkload((*tb)->dl2sql_op(), 3, count, s, 5);
+    BENCH_CHECK_OK(hinted.status());
+    const int64_t hint_calls = (*tb)->dl2sql_op()->database().neural_calls();
+
+    PrintCell(s * 100.0);
+    PrintCell(plain->Total());
+    PrintCell(hinted->Total());
+    PrintCell(hinted->Total() > 0 ? plain->Total() / hinted->Total() : 0.0);
+    PrintCell(plain_calls / count);
+    PrintCell(hint_calls / count);
+    EndRow();
+  }
+
+  PrintHeader("Fig. 14 (cont.): two-nUDF ordering (detect before classify)",
+              {"Sel(%)", "NoHints(s)", "Hints(s)", "Speedup"});
+  for (double s : {0.001, 0.01}) {
+    QueryParams p;
+    p.selectivity = s;
+    const std::string sql = MakeTwoUdfQuery(p);
+    engines::QueryCost c_plain, c_hint;
+    for (int i = 0; i < count; ++i) {
+      engines::QueryCost c;
+      BENCH_CHECK_OK(
+          (*tb)->dl2sql()->ExecuteCollaborative(sql, &c).status());
+      c_plain += c;
+      BENCH_CHECK_OK(
+          (*tb)->dl2sql_op()->ExecuteCollaborative(sql, &c).status());
+      c_hint += c;
+    }
+    PrintCell(s * 100.0);
+    PrintCell(c_plain.Total() / count);
+    PrintCell(c_hint.Total() / count);
+    PrintCell(c_hint.Total() > 0 ? c_plain.Total() / c_hint.Total() : 0.0);
+    EndRow();
+  }
+  return 0;
+}

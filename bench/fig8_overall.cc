@@ -1,0 +1,58 @@
+/// \file fig8_overall.cc
+/// \brief Reproduces Fig. 8: overall cost breakdown (loading / inference /
+/// relational) of the four approaches on the edge device and on the server
+/// in CPU and (simulated) GPU mode, over a mixed Type 1-4 workload.
+///
+/// Paper shapes: DL2SQL-OP best on the edge; the GPU cuts inference but
+/// inflates loading; DB-UDF gains nothing from the GPU.
+#include "bench/bench_util.h"
+
+using namespace dl2sql;          // NOLINT
+using namespace dl2sql::bench;   // NOLINT
+using namespace dl2sql::workload;  // NOLINT
+
+int main() {
+  const int per_type = FullScale() ? 5 : 1;
+  // The paper's default selectivity is 0.01% of a 10M-row fabric table
+  // (~1000 surviving rows). At bench scale we pick the selectivity that
+  // leaves a comparable handful of qualified transactions.
+  const workload::DatasetSizes sizes =
+      workload::ComputeSizes(StandardOptions().dataset);
+  const double selectivity =
+      std::min(0.05, 8.0 / static_cast<double>(sizes.fabric));
+  std::printf("scale-adapted relational selectivity: %.4f%%\n",
+              selectivity * 100.0);
+
+  PrintHeader("Fig. 8: overall performance (seconds per query, mixed types)",
+              {"Hardware", "Approach", "Loading", "Inference", "Relational",
+               "Total"});
+
+  const std::pair<DeviceKind, const char*> kHardware[] = {
+      {DeviceKind::kEdgeCpu, "edge-cpu"},
+      {DeviceKind::kServerCpu, "server-cpu"},
+      {DeviceKind::kServerGpu, "server-gpu"},
+  };
+
+  for (const auto& [device, hw_name] : kHardware) {
+    TestbedOptions options = StandardOptions();
+    options.device = device;
+    // The paper's benchmark draws a random task from a 20-model repository
+    // per query.
+    options.full_repository = true;
+    auto tb = Testbed::Create(options);
+    BENCH_CHECK_OK(tb.status());
+    for (engines::CollaborativeEngine* engine : (*tb)->AllEngines()) {
+      auto cost = (*tb)->RunMixedWorkload(engine, per_type, selectivity,
+                                          /*seed=*/2022);
+      BENCH_CHECK_OK(cost.status());
+      PrintCell(std::string(hw_name));
+      PrintCell(std::string(engine->name()));
+      PrintCell(cost->loading_seconds);
+      PrintCell(cost->inference_seconds);
+      PrintCell(cost->relational_seconds);
+      PrintCell(cost->Total());
+      EndRow();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file fig9_blocks.cc
+/// \brief Reproduces Fig. 9: running time of each CNN block inside a DL2SQL
+/// inference of the distilled student model (Conv blocks dominate).
+#include "bench/bench_util.h"
+#include "dl2sql/pipeline.h"
+#include "nn/builders.h"
+
+using namespace dl2sql;          // NOLINT
+using namespace dl2sql::bench;   // NOLINT
+
+int main() {
+  nn::BuilderOptions b;
+  b.input_channels = 3;
+  b.input_size = FullScale() ? 32 : 16;
+  b.base_channels = FullScale() ? 8 : 4;
+  nn::Model model = nn::BuildStudentCnn(b);
+
+  db::Database db;
+  core::ConvertOptions copts;
+  auto converted = core::ConvertModel(model, copts, &db);
+  BENCH_CHECK_OK(converted.status());
+  core::Dl2SqlRunner runner(&db, std::move(converted).ValueOrDie());
+
+  Rng rng(3);
+  Tensor input = Tensor::Random(model.input_shape(), &rng, 1.0f);
+  const int reps = FullScale() ? 20 : 5;
+
+  // Aggregate per-op seconds across repetitions.
+  std::vector<core::PipelineRunStats::OpTime> total;
+  for (int r = 0; r < reps; ++r) {
+    core::PipelineRunStats stats;
+    BENCH_CHECK_OK(runner.Infer(input, &stats).status());
+    if (total.empty()) {
+      total = stats.per_op;
+    } else {
+      for (size_t i = 0; i < total.size(); ++i) {
+        total[i].seconds += stats.per_op[i].seconds;
+      }
+    }
+  }
+
+  PrintHeader("Fig. 9: per-op cost inside the DL2SQL student pipeline",
+              {"Op", "Kind", "Seconds(avg)"});
+  for (const auto& op : total) {
+    PrintCell(op.label);
+    PrintCell(std::string(nn::LayerKindToString(op.kind)));
+    PrintCell(op.seconds / reps);
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file table4_storage.cc
+/// \brief Reproduces Table IV: storage overhead (KB) of the three model
+/// representations as ResNet depth grows.
+///
+/// Paper shape to reproduce: DL2SQL (relational tables) > DB-PyTorch
+/// (TorchScript-analog) > DB-UDF (compiled blob), all growing linearly with
+/// depth.
+#include "bench/bench_util.h"
+#include "dl2sql/converter.h"
+#include "nn/serialize.h"
+
+using namespace dl2sql;          // NOLINT
+using namespace dl2sql::bench;   // NOLINT
+
+int main() {
+  const int64_t max_depth = FullScale() ? 40 : 25;
+  PrintHeader("Table IV: storage overheads vs model depth",
+              {"Depth", "Params", "DL2SQL(KB)", "DB-PyTorch(KB)",
+               "DB-UDF(KB)"});
+  for (int64_t depth = 5; depth <= max_depth; depth += 5) {
+    nn::BuilderOptions b;
+    b.input_channels = 3;
+    b.input_size = 16;
+    b.base_channels = 8;
+    b.num_classes = 10;
+    auto model = nn::BuildResNet(depth, b);
+    BENCH_CHECK_OK(model.status());
+
+    db::Database db;
+    core::ConvertOptions copts;
+    copts.table_prefix = "t4_d" + std::to_string(depth);
+    auto converted = core::ConvertModel(*model, copts, &db);
+    BENCH_CHECK_OK(converted.status());
+    auto relational = core::StaticStorageBytes(*converted, db);
+    BENCH_CHECK_OK(relational.status());
+    auto script = nn::SerializedSize(*model, nn::ModelFormat::kScript);
+    auto blob = nn::SerializedSize(*model, nn::ModelFormat::kCompiledBlob);
+    BENCH_CHECK_OK(script.status());
+    BENCH_CHECK_OK(blob.status());
+
+    PrintCell(depth);
+    PrintCell(model->NumParameters());
+    PrintCell(static_cast<double>(*relational) / 1024.0);
+    PrintCell(static_cast<double>(*script) / 1024.0);
+    PrintCell(static_cast<double>(*blob) / 1024.0);
+    EndRow();
+  }
+  return 0;
+}

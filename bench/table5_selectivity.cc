@@ -1,0 +1,62 @@
+/// \file table5_selectivity.cc
+/// \brief Reproduces Table V: performance vs relational-predicate selectivity
+/// (0.01% .. 1%) on the edge device.
+///
+/// Paper shapes: DL2SQL-OP wins everywhere but its inference cost grows with
+/// selectivity (more rows trigger inference), narrowing the gap; DB-UDF and
+/// DB-PyTorch totals barely correlate with selectivity because they infer on
+/// every scanned keyframe regardless.
+#include "bench/bench_util.h"
+
+using namespace dl2sql;            // NOLINT
+using namespace dl2sql::bench;     // NOLINT
+using namespace dl2sql::workload;  // NOLINT
+
+int main() {
+  TestbedOptions options = StandardOptions();
+  options.device = DeviceKind::kEdgeCpu;
+  auto tb = Testbed::Create(options);
+  BENCH_CHECK_OK(tb.status());
+
+  // The paper sweeps 0.01%..1% of a 10M-row fabric table; we sweep the
+  // selectivities that leave the same *absolute* candidate counts at bench
+  // scale (0.5 .. 32 qualified fabric rows).
+  const workload::DatasetSizes sizes = workload::ComputeSizes(options.dataset);
+  std::vector<double> selectivities;
+  for (double rows : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    selectivities.push_back(
+        std::min(0.5, rows / static_cast<double>(sizes.fabric)));
+  }
+  const int count = FullScale() ? 5 : 2;
+
+  PrintHeader(
+      "Table V: DL2SQL-OP breakdown vs selectivity (Type 3, edge)",
+      {"Sel(%)", "Inference(s)", "Loading(s)", "Relational(s)", "All(s)"});
+  for (double s : selectivities) {
+    auto cost = (*tb)->RunTypeWorkload((*tb)->dl2sql_op(), 3, count, s, 7);
+    BENCH_CHECK_OK(cost.status());
+    PrintCell(s * 100.0);
+    PrintCell(cost->inference_seconds);
+    PrintCell(cost->loading_seconds);
+    PrintCell(cost->relational_seconds);
+    PrintCell(cost->Total());
+    EndRow();
+  }
+
+  PrintHeader("Table V (cont.): total seconds per approach vs selectivity",
+              {"Sel(%)", "DL2SQL-OP", "DL2SQL", "DB-UDF", "DB-PyTorch"});
+  for (double s : selectivities) {
+    PrintCell(s * 100.0);
+    for (engines::CollaborativeEngine* engine :
+         {static_cast<engines::CollaborativeEngine*>((*tb)->dl2sql_op()),
+          static_cast<engines::CollaborativeEngine*>((*tb)->dl2sql()),
+          static_cast<engines::CollaborativeEngine*>((*tb)->udf()),
+          static_cast<engines::CollaborativeEngine*>((*tb)->independent())}) {
+      auto cost = (*tb)->RunTypeWorkload(engine, 3, count, s, 7);
+      BENCH_CHECK_OK(cost.status());
+      PrintCell(cost->Total());
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file table6_depth.cc
+/// \brief Reproduces Table VI: inference + loading cost vs ResNet depth at
+/// selectivity 0.1% on the edge device (relational cost omitted, as in the
+/// paper, being orders of magnitude smaller for deep models).
+///
+/// Paper shapes: DL2SQL-OP has the best *inference* time at every depth, but
+/// its *loading* (building relational parameter tables) grows fastest, so
+/// DB-PyTorch wins on total for deep ResNets.
+#include "bench/bench_util.h"
+
+using namespace dl2sql;            // NOLINT
+using namespace dl2sql::bench;     // NOLINT
+using namespace dl2sql::workload;  // NOLINT
+
+int main() {
+  const int64_t max_depth = FullScale() ? 40 : 20;
+  const int count = FullScale() ? 3 : 1;
+
+  PrintHeader("Table VI: cost vs model depth (Type 3, sel=0.1%, edge)",
+              {"Depth", "Params", "Approach", "Inference(s)", "Loading(s)",
+               "Infer+Load(s)"});
+
+  for (int64_t depth = 5; depth <= max_depth; depth += 5) {
+    TestbedOptions options = StandardOptions();
+    // Depth sweep stresses the models, not the relational side: shrink the
+    // dataset so deep-model runs stay tractable, and widen the models so the
+    // parameter-table loading cost (the quantity Table VI tracks) is
+    // non-trivial.
+    options.dataset.video_rows = FullScale() ? 4000 : 600;
+    options.resnet_depth = depth;
+    options.model_base_channels = FullScale() ? 16 : 8;
+    auto tb = Testbed::Create(options);
+    BENCH_CHECK_OK(tb.status());
+    const int64_t params = (*tb)->detect_model().NumParameters();
+    // Paper: sel 0.1% of 10M fabric rows; scale-adapted to leave a handful
+    // of qualified transactions.
+    const workload::DatasetSizes sizes =
+        workload::ComputeSizes(options.dataset);
+    const double selectivity = 4.0 / static_cast<double>(sizes.fabric);
+
+    for (engines::CollaborativeEngine* engine :
+         {static_cast<engines::CollaborativeEngine*>((*tb)->dl2sql_op()),
+          static_cast<engines::CollaborativeEngine*>((*tb)->udf()),
+          static_cast<engines::CollaborativeEngine*>((*tb)->independent())}) {
+      auto cost = (*tb)->RunTypeWorkload(engine, 3, count, selectivity, 11);
+      BENCH_CHECK_OK(cost.status());
+      PrintCell(depth);
+      PrintCell(params);
+      PrintCell(std::string(engine->name()));
+      PrintCell(cost->inference_seconds);
+      PrintCell(cost->loading_seconds);
+      PrintCell(cost->inference_seconds + cost->loading_seconds);
+      EndRow();
+    }
+  }
+  return 0;
+}

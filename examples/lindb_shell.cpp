@@ -1,0 +1,151 @@
+/// \file lindb_shell.cpp
+/// \brief Interactive SQL shell for the lindb engine.
+///
+/// Usage:
+///   ./build/examples/lindb_shell [--demo]      # --demo preloads the IoT
+///                                              # dataset + an nUDF
+/// Meta commands:
+///   .help               this text
+///   .tables             list tables and views
+///   .schema <table>     show a table's schema
+///   .explain <select>   show the optimized plan
+///   .analyze <select>   execute and show the plan with actual rows/time
+///   .save <path>        snapshot the database to a file
+///   .load <path>        restore a snapshot
+///   .quit               exit
+/// Anything else is executed as SQL (single statement per line).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "db/persistence.h"
+#include "engines/dl2sql_engine.h"
+#include "workload/dataset.h"
+#include "workload/testbed.h"
+
+using namespace dl2sql;  // NOLINT
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      ".help / .tables / .schema <t> / .explain <select> / .analyze <select> / .save <path> / "
+      ".load <path> / .quit, or any SQL statement\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  db::Database db;
+  std::unique_ptr<engines::Dl2SqlEngine> engine;
+
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    std::printf("loading the IoT textile-printing demo dataset...\n");
+    workload::DatasetOptions opts;
+    opts.video_rows = 500;
+    opts.keyframe_size = 12;
+    auto st = workload::PopulateDatabase(&db, opts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    // Wire an nUDF so collaborative queries work in the shell: the engine
+    // owns its own database, so we attach the dataset and route queries
+    // through it instead.
+    auto device = Device::Create(DeviceKind::kEdgeCpu);
+    engines::Dl2SqlEngine::Options eopts;
+    eopts.enable_optimizer_hints = true;
+    engine = std::make_unique<engines::Dl2SqlEngine>(device, eopts);
+    if (!engine->AttachTablesFrom(db).ok()) return 1;
+    workload::TestbedOptions t;
+    t.dataset = opts;
+    t.model_base_channels = 2;
+    nn::Model detect = workload::BuildRepositoryModel(t, 2, 5);
+    engines::ModelDeployment dep;
+    dep.udf_name = "nUDF_detect";
+    dep.output = engines::NUdfOutput::kBool;
+    auto sel = engines::LearnSelectivityHistogram(
+        detect, engines::NUdfOutput::kBool, device.get(), 16, 3);
+    if (sel.ok()) dep.selectivity = *sel;
+    if (!engine->DeployModel(detect, dep).ok()) return 1;
+    std::printf(
+        "demo ready: tables fabric/video/client/orders/device, nUDF_detect "
+        "deployed.\ntry: SELECT count(*) FROM video V WHERE "
+        "nUDF_detect(V.keyframe) = TRUE\n");
+  }
+
+  db::Database& active = engine ? engine->database() : db;
+
+  std::string line;
+  std::printf("lindb> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) {
+      std::printf("lindb> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed == ".help") {
+      PrintHelp();
+    } else if (trimmed == ".tables") {
+      for (const auto& t : active.catalog().TableNames()) {
+        std::printf("table %s\n", t.c_str());
+      }
+      for (const auto& v : active.catalog().ViewNames()) {
+        std::printf("view  %s\n", v.c_str());
+      }
+    } else if (StartsWith(trimmed, ".schema ")) {
+      auto t = active.catalog().GetTable(Trim(trimmed.substr(8)));
+      if (t.ok()) {
+        std::printf("%s\n", (*t)->schema().ToString().c_str());
+      } else {
+        std::printf("error: %s\n", t.status().ToString().c_str());
+      }
+    } else if (StartsWith(trimmed, ".explain ")) {
+      auto plan = active.Explain(trimmed.substr(9));
+      std::printf("%s\n", plan.ok() ? plan->c_str()
+                                    : plan.status().ToString().c_str());
+    } else if (StartsWith(trimmed, ".analyze ")) {
+      auto plan = active.ExplainAnalyze(trimmed.substr(9));
+      std::printf("%s\n", plan.ok() ? plan->c_str()
+                                    : plan.status().ToString().c_str());
+    } else if (StartsWith(trimmed, ".save ")) {
+      auto st = db::SaveDatabase(active, Trim(trimmed.substr(6)));
+      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+    } else if (StartsWith(trimmed, ".load ")) {
+      auto st = db::LoadDatabase(Trim(trimmed.substr(6)), &active);
+      std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+    } else if (engine != nullptr &&
+               EqualsIgnoreCase(trimmed.substr(0, 6), "select")) {
+      engines::QueryCost cost;
+      auto r = engine->ExecuteCollaborative(trimmed, &cost);
+      if (r.ok()) {
+        std::printf("%s(%lld rows | load %.4fs infer %.4fs relational "
+                    "%.4fs)\n",
+                    r->ToString(25).c_str(),
+                    static_cast<long long>(r->num_rows()),
+                    cost.loading_seconds, cost.inference_seconds,
+                    cost.relational_seconds);
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else {
+      Stopwatch watch;
+      auto r = active.Execute(trimmed);
+      if (r.ok()) {
+        std::printf("%s(%lld rows, %.4fs)\n", r->ToString(25).c_str(),
+                    static_cast<long long>(r->num_rows()),
+                    watch.ElapsedSeconds());
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    }
+    std::printf("lindb> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

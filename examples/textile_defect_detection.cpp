@@ -1,0 +1,55 @@
+/// \file textile_defect_detection.cpp
+/// \brief The paper's motivating scenario: a printing-fault detection query
+/// over IoT sensor data + surveillance keyframes, processed by all three
+/// strategies (independent / UDF / DL2SQL(-OP)) with the same answer but very
+/// different cost profiles.
+#include <cstdio>
+
+#include "workload/testbed.h"
+
+using namespace dl2sql;            // NOLINT
+using namespace dl2sql::workload;  // NOLINT
+
+int main() {
+  std::printf("setting up the IoT textile-printing testbed...\n");
+  TestbedOptions options;
+  options.dataset.video_rows = 800;
+  options.dataset.keyframe_size = 16;
+  auto tb = Testbed::Create(options);
+  if (!tb.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", tb.status().ToString().c_str());
+    return 1;
+  }
+
+  // The introduction's collaborative query: transactions where the printed
+  // fabric shows no defect despite adverse humidity/temperature conditions.
+  const std::string query =
+      "SELECT patternID, F.transID "
+      "FROM fabric F, video V "
+      "WHERE F.humidity > 80 and F.temperature > 30 "
+      "and F.printdate > '2021-01-01' and F.printdate < '2021-12-31' "
+      "and F.transID = V.transID "
+      "and V.date > '2021-01-01' and V.date < '2021-12-31' "
+      "and nUDF_detect(V.keyframe) = FALSE";
+  std::printf("\ncollaborative query:\n%s\n\n", query.c_str());
+
+  for (engines::CollaborativeEngine* engine : (*tb)->AllEngines()) {
+    engines::QueryCost cost;
+    auto result = engine->ExecuteCollaborative(query, &cost);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", engine->name(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s -> %lld rows | load %.4fs  infer %.4fs  relational "
+                "%.4fs  total %.4fs\n",
+                engine->name(), static_cast<long long>(result->num_rows()),
+                cost.loading_seconds, cost.inference_seconds,
+                cost.relational_seconds, cost.Total());
+  }
+
+  std::printf(
+      "\nAll four strategies return the same rows; DL2SQL-OP's optimizer "
+      "delays the nUDF predicate behind the selective sensor filters.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "accel/device.h"
+
+#include <thread>
+
+namespace dl2sql {
+
+namespace {
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 4 : static_cast<int>(n);
+}
+}  // namespace
+
+Device::Device(DeviceProfile profile)
+    : profile_(std::move(profile)),
+      pool_(std::make_unique<ThreadPool>(profile_.num_threads)) {}
+
+DeviceProfile Device::EdgeCpuProfile() {
+  DeviceProfile p;
+  p.name = "edge-arm-cpu";
+  p.kind = DeviceKind::kEdgeCpu;
+  p.num_threads = 1;
+  p.compute_scale = 1.0;
+  return p;
+}
+
+DeviceProfile Device::ServerCpuProfile() {
+  DeviceProfile p;
+  p.name = "server-xeon-cpu";
+  p.kind = DeviceKind::kServerCpu;
+  p.num_threads = HardwareThreads();
+  // A Xeon server runs both tensor kernels and SQL several times faster than
+  // the ARM edge board the measurements are calibrated on.
+  p.compute_scale = 0.35;
+  p.relational_scale = 0.35;
+  return p;
+}
+
+DeviceProfile Device::ServerGpuProfile() {
+  DeviceProfile p;
+  p.name = "server-quadro-gpu";
+  p.kind = DeviceKind::kServerGpu;
+  p.num_threads = HardwareThreads();
+  // Dense conv/matmul kernels see roughly an order-of-magnitude SIMT speedup
+  // over the multicore CPU on a P6000-class card; SQL still runs on the
+  // host Xeon.
+  p.compute_scale = 0.05;
+  p.relational_scale = 0.35;
+  // PCIe 3.0 x16 effective bandwidth with a conservative per-copy latency;
+  // this is the term that makes GPU loading cost dominate in Fig. 8.
+  p.transfer_bandwidth_bytes_per_s = 12.0e9;
+  p.transfer_latency_s = 50e-6;
+  return p;
+}
+
+std::shared_ptr<Device> Device::Create(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kEdgeCpu:
+      return std::make_shared<Device>(EdgeCpuProfile());
+    case DeviceKind::kServerCpu:
+      return std::make_shared<Device>(ServerCpuProfile());
+    case DeviceKind::kServerGpu:
+      return std::make_shared<Device>(ServerGpuProfile());
+  }
+  return nullptr;
+}
+
+double Device::TransferSeconds(uint64_t bytes) const {
+  if (!profile_.NeedsTransfer()) return 0.0;
+  return profile_.transfer_latency_s +
+         static_cast<double>(bytes) / profile_.transfer_bandwidth_bytes_per_s;
+}
+
+double Device::ChargeTransfer(uint64_t bytes, CostAccumulator* acc,
+                              const std::string& bucket) const {
+  const double s = TransferSeconds(bytes);
+  if (acc != nullptr && s > 0) acc->Add(bucket, s);
+  return s;
+}
+
+}  // namespace dl2sql

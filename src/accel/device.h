@@ -1,0 +1,87 @@
+/// \file device.h
+/// \brief Simulated hardware profiles for the paper's two testbeds.
+///
+/// The paper evaluates on (1) an ARM-v8 edge device without GPU and (2) an
+/// Alibaba Cloud server with a Xeon CPU and a Quadro P6000 GPU. We do not have
+/// that hardware, so a Device models the properties that drive the paper's
+/// qualitative results:
+///   - parallel compute width (edge: 1 thread; server: all cores),
+///   - a compute-throughput scale factor (GPU SIMT speedup on dense kernels),
+///   - an explicit host<->device transfer-cost model (bytes / bandwidth +
+///     fixed per-transfer latency), which is what makes GPU *loading* cost
+///     grow in Fig. 8 while GPU *inference* cost shrinks.
+///
+/// Compute time is measured (wall clock of the real kernels, run with the
+/// device's thread count) and then multiplied by `compute_scale`; transfer
+/// time is purely modeled. Both are charged to CostAccumulator buckets so
+/// benchmarks can report the same breakdown as the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "accel/thread_pool.h"
+#include "common/timer.h"
+
+namespace dl2sql {
+
+/// Which testbed a Device simulates.
+enum class DeviceKind {
+  kEdgeCpu,    ///< ARM v8 edge device: single-threaded, no accelerator.
+  kServerCpu,  ///< Xeon server CPU: all cores, no accelerator.
+  kServerGpu,  ///< Quadro P6000: wide compute + PCIe transfer costs.
+};
+
+/// Static description of a simulated device.
+struct DeviceProfile {
+  std::string name;
+  DeviceKind kind = DeviceKind::kEdgeCpu;
+  int num_threads = 1;
+  /// Multiplier applied to measured tensor-compute wall time (<1 = faster
+  /// device than the edge baseline).
+  double compute_scale = 1.0;
+  /// Multiplier applied to measured relational/database wall time (the Xeon
+  /// server runs ClickHouse-style SQL faster than the ARM edge CPU; the GPU
+  /// does not change SQL speed relative to its host CPU).
+  double relational_scale = 1.0;
+  /// Host<->device copy model; zero bandwidth means "no transfer needed".
+  double transfer_bandwidth_bytes_per_s = 0.0;
+  double transfer_latency_s = 0.0;
+
+  bool NeedsTransfer() const { return transfer_bandwidth_bytes_per_s > 0.0; }
+};
+
+/// \brief A compute device: thread pool + cost model.
+class Device {
+ public:
+  explicit Device(DeviceProfile profile);
+
+  /// Built-in profiles matching the paper's three hardware configurations.
+  static DeviceProfile EdgeCpuProfile();
+  static DeviceProfile ServerCpuProfile();
+  static DeviceProfile ServerGpuProfile();
+  static std::shared_ptr<Device> Create(DeviceKind kind);
+
+  const DeviceProfile& profile() const { return profile_; }
+  ThreadPool* pool() { return pool_.get(); }
+
+  /// Modeled seconds to copy `bytes` between host and device memory; zero for
+  /// CPU devices.
+  double TransferSeconds(uint64_t bytes) const;
+
+  /// Charges a modeled transfer to `acc` under `bucket` and returns the cost.
+  double ChargeTransfer(uint64_t bytes, CostAccumulator* acc,
+                        const std::string& bucket) const;
+
+  /// Scales a measured compute duration by the device's throughput factor.
+  double ScaleCompute(double measured_seconds) const {
+    return measured_seconds * profile_.compute_scale;
+  }
+
+ private:
+  DeviceProfile profile_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace dl2sql

@@ -1,0 +1,79 @@
+#include "accel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dl2sql {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int64_t threads = num_threads();
+  // Chunking below ~1k iterations per worker costs more in wakeups than it
+  // buys in parallelism for our kernels.
+  if (threads == 1 || n < 1024) {
+    fn(0, n);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>(threads, n);
+  const int64_t per = (n + chunks - 1) / chunks;
+
+  std::atomic<int64_t> remaining{chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t begin = c * per;
+    const int64_t end = std::min(n, begin + per);
+    Submit([&, begin, end] {
+      fn(begin, end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+}  // namespace dl2sql

@@ -1,0 +1,47 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with a ParallelFor primitive; the compute
+/// substrate for the simulated server-CPU and server-GPU backends.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dl2sql {
+
+/// \brief A minimal work-stealing-free thread pool.
+///
+/// Tasks are std::function<void()>; ParallelFor partitions an index range into
+/// contiguous chunks, one per worker, and blocks until all complete.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1 enforced).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(begin, end) over [0, n) split into one chunk per worker; blocks
+  /// until every chunk finishes. Runs inline when the pool has one thread or
+  /// n is small.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace dl2sql

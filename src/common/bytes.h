@@ -1,0 +1,108 @@
+/// \file bytes.h
+/// \brief Little-endian binary buffer writer/reader used by the model
+/// serializer (loose-integration "compiled blob") and the storage codecs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dl2sql {
+
+/// \brief Appends POD values and length-prefixed strings to a byte string.
+class BufferWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+  /// u32 length prefix + bytes.
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    WriteRaw(s.data(), s.size());
+  }
+
+  void WriteFloats(const float* data, size_t n) {
+    WriteU64(n);
+    WriteRaw(data, n * sizeof(float));
+  }
+
+  void WriteRaw(const void* data, size_t n) {
+    const char* p = static_cast<const char*>(data);
+    buf_.append(p, n);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Sequential reader over a byte string with bounds checking.
+class BufferReader {
+ public:
+  explicit BufferReader(const std::string& data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() {
+    DL2SQL_RETURN_NOT_OK(Check(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() { return ReadPod<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadPod<uint64_t>(); }
+  Result<int64_t> ReadI64() { return ReadPod<int64_t>(); }
+  Result<float> ReadF32() { return ReadPod<float>(); }
+  Result<double> ReadF64() { return ReadPod<double>(); }
+
+  Result<std::string> ReadString() {
+    DL2SQL_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    DL2SQL_RETURN_NOT_OK(Check(n));
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  Result<std::vector<float>> ReadFloats() {
+    DL2SQL_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+    DL2SQL_RETURN_NOT_OK(Check(n * sizeof(float)));
+    std::vector<float> out(n);
+    std::memcpy(out.data(), data_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadPod() {
+    DL2SQL_RETURN_NOT_OK(Check(sizeof(T)));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  Status Check(size_t n) const {
+    if (pos_ + n > data_.size()) {
+      return Status::OutOfRange("buffer underflow: need ", n, " bytes at ", pos_,
+                                ", have ", data_.size());
+    }
+    return Status::OK();
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dl2sql

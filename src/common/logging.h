@@ -1,0 +1,53 @@
+/// \file logging.h
+/// \brief Minimal leveled logger plus CHECK macros for invariant enforcement.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dl2sql {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Default: kWarning so
+/// benchmarks stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DL2SQL_LOG(level)                                                      \
+  ::dl2sql::internal::LogMessage(::dl2sql::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message if `cond` is false. Used for programmer invariants,
+/// not for user-input validation (that returns Status).
+#define DL2SQL_CHECK(cond)                                                    \
+  if (!(cond))                                                                \
+  ::dl2sql::internal::LogMessage(::dl2sql::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define DL2SQL_DCHECK(cond) DL2SQL_CHECK(cond)
+
+}  // namespace dl2sql

@@ -1,0 +1,66 @@
+/// \file random.h
+/// \brief Deterministic PRNG utilities; every stochastic component in the repo
+/// takes an explicit seed so experiments are reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dl2sql {
+
+/// \brief Thin wrapper around a 64-bit Mersenne Twister with convenience
+/// distributions used by the workload generator and weight initializers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  float UniformFloat(float lo, float hi) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Standard normal scaled by `stddev`.
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(gen_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    std::discrete_distribution<size_t> d(weights.begin(), weights.end());
+    return d(gen_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace dl2sql

@@ -1,0 +1,81 @@
+/// \file result.h
+/// \brief Result<T>: a value-or-Status return type (Arrow-style).
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dl2sql {
+
+/// \brief Holds either a successfully produced T or a failure Status.
+///
+/// Usage:
+/// \code
+///   Result<Table> Open(const std::string& name);
+///   ...
+///   DL2SQL_ASSIGN_OR_RETURN(Table t, Open("video"));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from non-OK status (failure). An OK status is a programming
+  /// error and is converted to InternalError.
+  Result(Status status) : inner_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(inner_).ok()) {
+      inner_ = Status::InternalError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  /// Failure status; Status::OK() if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(inner_);
+  }
+
+  /// \pre ok()
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(inner_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns the provided default on failure.
+  T ValueOr(T default_value) && {
+    if (ok()) return std::get<T>(std::move(inner_));
+    return default_value;
+  }
+
+ private:
+  std::variant<Status, T> inner_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on failure returns the status, on success
+/// assigns the value to `lhs` (which may include a declaration).
+#define DL2SQL_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  DL2SQL_ASSIGN_OR_RETURN_IMPL(DL2SQL_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define DL2SQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace dl2sql

@@ -1,0 +1,152 @@
+/// \file status.h
+/// \brief Status: lightweight error propagation used across all dl2sql modules.
+///
+/// Following the Arrow/RocksDB idiom, fallible functions return Status (or
+/// Result<T>, see result.h) instead of throwing exceptions across module
+/// boundaries. A Status is cheap to copy in the OK case (single enum) and
+/// carries a code plus a human-readable message otherwise.
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace dl2sql {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kNotImplemented = 5,
+  kIoError = 6,
+  kParseError = 7,
+  kTypeError = 8,
+  kInternalError = 9,
+  kResourceExhausted = 10,
+};
+
+/// \brief Human-readable name for a StatusCode (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail.
+///
+/// Usage:
+/// \code
+///   Status DoThing() {
+///     if (bad) return Status::InvalidArgument("bad thing: ", detail);
+///     return Status::OK();
+///   }
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// Returns a success status.
+  static Status OK() { return Status(); }
+
+  /// \name Factory helpers, one per code. Arguments are streamed together.
+  /// @{
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IoError(Args&&... args) {
+    return Make(StatusCode::kIoError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status TypeError(Args&&... args) {
+    return Make(StatusCode::kTypeError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status InternalError(Args&&... args) {
+    return Make(StatusCode::kInternalError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
+  }
+  /// @}
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsInternalError() const { return code() == StatusCode::kInternalError; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the message, keeping the code. No-op on OK status.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return Status(code, oss.str());
+  }
+
+  // Shared so copies are cheap; null means OK.
+  std::shared_ptr<State> state_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define DL2SQL_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::dl2sql::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define DL2SQL_CONCAT_IMPL(a, b) a##b
+#define DL2SQL_CONCAT(a, b) DL2SQL_CONCAT_IMPL(a, b)
+
+}  // namespace dl2sql

@@ -1,0 +1,38 @@
+/// \file string_util.h
+/// \brief Small string helpers shared by the SQL lexer, plan printers and the
+/// benchmark report formatters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dl2sql {
+
+/// Lower-cases ASCII characters.
+std::string ToLower(const std::string& s);
+
+/// Upper-cases ASCII characters.
+std::string ToUpper(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Splits on a delimiter character; empty pieces are kept.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, const std::string& sep);
+
+/// Strips leading and trailing whitespace.
+std::string Trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits = 3);
+
+/// Formats bytes as a human-readable quantity ("12.3 MB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace dl2sql

@@ -1,0 +1,88 @@
+/// \file timer.h
+/// \brief Wall-clock timing helpers used by the benchmark harness and the
+/// per-operator profilers (Figs. 9 & 10).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dl2sql {
+
+/// \brief Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds since construction / last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates named timing buckets; the execution engine charges each
+/// physical operator's runtime to a bucket so experiments can report
+/// loading / inference / relational breakdowns and per-clause shares.
+class CostAccumulator {
+ public:
+  void Add(const std::string& bucket, double seconds) {
+    buckets_[bucket] += seconds;
+  }
+
+  double Get(const std::string& bucket) const {
+    auto it = buckets_.find(bucket);
+    return it == buckets_.end() ? 0.0 : it->second;
+  }
+
+  double Total() const {
+    double t = 0;
+    for (const auto& [_, v] : buckets_) t += v;
+    return t;
+  }
+
+  void Clear() { buckets_.clear(); }
+
+  const std::map<std::string, double>& buckets() const { return buckets_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const CostAccumulator& other) {
+    for (const auto& [k, v] : other.buckets_) buckets_[k] += v;
+  }
+
+ private:
+  std::map<std::string, double> buckets_;
+};
+
+/// \brief RAII helper charging a scope's wall time to an accumulator bucket.
+class ScopedTimer {
+ public:
+  ScopedTimer(CostAccumulator* acc, std::string bucket)
+      : acc_(acc), bucket_(std::move(bucket)) {}
+  ~ScopedTimer() {
+    if (acc_ != nullptr) acc_->Add(bucket_, watch_.ElapsedSeconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  CostAccumulator* acc_;
+  std::string bucket_;
+  Stopwatch watch_;
+};
+
+}  // namespace dl2sql

@@ -1,0 +1,155 @@
+#include "db/catalog.h"
+
+#include "common/string_util.h"
+
+namespace dl2sql::db {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Status Catalog::CreateTable(const std::string& name, TablePtr table,
+                            bool temporary, bool if_not_exists) {
+  const std::string key = Key(name);
+  if (views_.count(key) != 0) {
+    return Status::AlreadyExists("a view named '", name, "' already exists");
+  }
+  if (tables_.count(key) != 0) {
+    if (if_not_exists) return Status::OK();
+    return Status::AlreadyExists("table '", name, "' already exists");
+  }
+  tables_[key] = Entry{std::move(table), temporary, std::nullopt};
+  return Status::OK();
+}
+
+Status Catalog::CreateView(const std::string& name,
+                           std::shared_ptr<SelectStmt> definition,
+                           bool or_replace) {
+  const std::string key = Key(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("a table named '", name, "' already exists");
+  }
+  if (views_.count(key) != 0 && !or_replace) {
+    return Status::AlreadyExists("view '", name, "' already exists");
+  }
+  views_[key] = std::move(definition);
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '", name, "' does not exist");
+  }
+  return it->second.table;
+}
+
+Result<std::shared_ptr<SelectStmt>> Catalog::GetView(
+    const std::string& name) const {
+  auto it = views_.find(Key(name));
+  if (it == views_.end()) {
+    return Status::NotFound("view '", name, "' does not exist");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(Key(name)) != 0;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(Key(name)) != 0;
+}
+
+Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  if (tables_.erase(Key(name)) == 0 && !if_exists) {
+    return Status::NotFound("table '", name, "' does not exist");
+  }
+  return Status::OK();
+}
+
+Status Catalog::DropView(const std::string& name, bool if_exists) {
+  if (views_.erase(Key(name)) == 0 && !if_exists) {
+    return Status::NotFound("view '", name, "' does not exist");
+  }
+  return Status::OK();
+}
+
+void Catalog::DropAllTemporary() {
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (it->second.temporary) {
+      it = tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status Catalog::Analyze(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '", name, "' does not exist");
+  }
+  it->second.stats = AnalyzeTable(*it->second.table);
+  return Status::OK();
+}
+
+const TableStats* Catalog::GetStats(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end() || !it->second.stats) return nullptr;
+  return &*it->second.stats;
+}
+
+void Catalog::InvalidateStats(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it != tables_.end()) {
+    it->second.stats.reset();
+    it->second.indexes.clear();
+  }
+}
+
+Status Catalog::CreateIndex(const std::string& table,
+                            const std::string& column) {
+  auto it = tables_.find(Key(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '", table, "' does not exist");
+  }
+  DL2SQL_ASSIGN_OR_RETURN(int col, it->second.table->schema().Find(column));
+  DL2SQL_ASSIGN_OR_RETURN(std::shared_ptr<HashIndex> index,
+                          HashIndex::Build(*it->second.table, col));
+  it->second.indexes[ToLower(column)] = std::move(index);
+  return Status::OK();
+}
+
+std::shared_ptr<HashIndex> Catalog::GetIndex(const std::string& table,
+                                             const std::string& column) const {
+  auto it = tables_.find(Key(table));
+  if (it == tables_.end()) return nullptr;
+  auto ix = it->second.indexes.find(ToLower(column));
+  return ix == it->second.indexes.end() ? nullptr : ix->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, _] : tables_) names.push_back(k);
+  return names;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [k, _] : views_) names.push_back(k);
+  return names;
+}
+
+bool Catalog::IsTemporary(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  return it != tables_.end() && it->second.temporary;
+}
+
+uint64_t Catalog::TotalBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [_, e] : tables_) bytes += e.table->ByteSize();
+  return bytes;
+}
+
+}  // namespace dl2sql::db

@@ -1,0 +1,83 @@
+/// \file catalog.h
+/// \brief Catalog: named tables, temp tables and views, plus their statistics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/index.h"
+#include "db/sql/ast.h"
+#include "db/stats.h"
+#include "db/table.h"
+
+namespace dl2sql::db {
+
+/// \brief Owns all named relations of a Database instance.
+///
+/// Names are case-insensitive. Views store their defining SELECT and are
+/// expanded at planning time. Statistics are attached per table by Analyze();
+/// fresh tables (notably DL2SQL's generated per-layer temp tables) have none,
+/// which is precisely the blind spot of the default cost model the paper
+/// exploits in Section IV.
+class Catalog {
+ public:
+  Status CreateTable(const std::string& name, TablePtr table, bool temporary,
+                     bool if_not_exists = false);
+  Status CreateView(const std::string& name,
+                    std::shared_ptr<SelectStmt> definition, bool or_replace);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+  Result<std::shared_ptr<SelectStmt>> GetView(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+
+  Status DropTable(const std::string& name, bool if_exists);
+  Status DropView(const std::string& name, bool if_exists);
+
+  /// Removes every temporary table (end-of-query cleanup in engines).
+  void DropAllTemporary();
+
+  /// Computes and caches statistics for a table.
+  Status Analyze(const std::string& name);
+
+  /// Cached stats; nullptr when the table was never analyzed.
+  const TableStats* GetStats(const std::string& name) const;
+
+  /// Invalidate stats and indexes (after DML).
+  void InvalidateStats(const std::string& name);
+
+  /// Builds (or rebuilds) a hash index on an INT64 column; reused by hash
+  /// joins whose build side is an unfiltered scan of this table.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Cached index, or nullptr if absent/invalidated.
+  std::shared_ptr<HashIndex> GetIndex(const std::string& table,
+                                      const std::string& column) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  /// True if `name` is a temporary table.
+  bool IsTemporary(const std::string& name) const;
+
+  /// Sum of payload bytes over all tables (storage-overhead benchmarks).
+  uint64_t TotalBytes() const;
+
+ private:
+  struct Entry {
+    TablePtr table;
+    bool temporary = false;
+    std::optional<TableStats> stats;
+    /// Hash indexes keyed by lower-cased column name.
+    std::map<std::string, std::shared_ptr<HashIndex>> indexes;
+  };
+  static std::string Key(const std::string& name);
+
+  std::map<std::string, Entry> tables_;
+  std::map<std::string, std::shared_ptr<SelectStmt>> views_;
+};
+
+}  // namespace dl2sql::db

@@ -1,0 +1,189 @@
+#include "db/codec.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace dl2sql::db {
+
+namespace {
+
+constexpr char kMagic[] = "LDBTAB01";
+
+void WriteVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> ReadVarint(const std::string& in, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < in.size()) {
+    const uint8_t b = static_cast<uint8_t>(in[*pos]);
+    ++*pos;
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return Status::ParseError("bad varint at offset ", *pos);
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+Result<std::string> CompressTable(const Table& table) {
+  std::string out(kMagic, 8);
+  WriteVarint(static_cast<uint64_t>(table.num_columns()), &out);
+  WriteVarint(static_cast<uint64_t>(table.num_rows()), &out);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Field& f = table.schema().field(c);
+    WriteVarint(f.name.size(), &out);
+    out.append(f.name);
+    out.push_back(static_cast<char>(f.type));
+    const Column& col = table.column(c);
+    if (col.HasNulls()) {
+      return Status::NotImplemented(
+          "codec does not support NULLs (parameter tables never have them)");
+    }
+    out.push_back('\x00');  // null-flag byte reserved for future use
+    switch (col.type()) {
+      case DataType::kInt64: {
+        int64_t prev = 0;
+        for (int64_t v : col.ints()) {
+          WriteVarint(ZigZag(v - prev), &out);
+          prev = v;
+        }
+        break;
+      }
+      case DataType::kFloat64: {
+        for (double v : col.floats()) {
+          const float f32 = static_cast<float>(v);
+          out.append(reinterpret_cast<const char*>(&f32), sizeof(f32));
+        }
+        break;
+      }
+      case DataType::kBool: {
+        uint8_t acc = 0;
+        int bits = 0;
+        for (uint8_t b : col.bools()) {
+          acc = static_cast<uint8_t>(acc | ((b & 1) << bits));
+          if (++bits == 8) {
+            out.push_back(static_cast<char>(acc));
+            acc = 0;
+            bits = 0;
+          }
+        }
+        if (bits > 0) out.push_back(static_cast<char>(acc));
+        break;
+      }
+      case DataType::kString:
+      case DataType::kBlob: {
+        for (const auto& s : col.strings()) {
+          WriteVarint(s.size(), &out);
+          out.append(s);
+        }
+        break;
+      }
+      case DataType::kNull:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Table> DecompressTable(const std::string& bytes) {
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 8) != 0) {
+    return Status::ParseError("bad table codec magic");
+  }
+  size_t pos = 8;
+  DL2SQL_ASSIGN_OR_RETURN(uint64_t ncols, ReadVarint(bytes, &pos));
+  DL2SQL_ASSIGN_OR_RETURN(uint64_t nrows, ReadVarint(bytes, &pos));
+  TableSchema schema;
+  std::vector<Column> columns;
+  for (uint64_t c = 0; c < ncols; ++c) {
+    DL2SQL_ASSIGN_OR_RETURN(uint64_t name_len, ReadVarint(bytes, &pos));
+    if (pos + name_len > bytes.size()) {
+      return Status::ParseError("truncated column name");
+    }
+    std::string name = bytes.substr(pos, name_len);
+    pos += name_len;
+    if (pos + 2 > bytes.size()) return Status::ParseError("truncated header");
+    const auto type = static_cast<DataType>(bytes[pos]);
+    pos += 2;  // type byte + reserved null-flag byte
+    Column col(type);
+    col.Reserve(static_cast<int64_t>(nrows));
+    switch (type) {
+      case DataType::kInt64: {
+        int64_t prev = 0;
+        auto& v = col.mutable_ints();
+        for (uint64_t r = 0; r < nrows; ++r) {
+          DL2SQL_ASSIGN_OR_RETURN(uint64_t d, ReadVarint(bytes, &pos));
+          prev += UnZigZag(d);
+          v.push_back(prev);
+        }
+        break;
+      }
+      case DataType::kFloat64: {
+        auto& v = col.mutable_floats();
+        for (uint64_t r = 0; r < nrows; ++r) {
+          if (pos + sizeof(float) > bytes.size()) {
+            return Status::ParseError("truncated float column");
+          }
+          float f32;
+          std::memcpy(&f32, bytes.data() + pos, sizeof(f32));
+          pos += sizeof(f32);
+          v.push_back(static_cast<double>(f32));
+        }
+        break;
+      }
+      case DataType::kBool: {
+        auto& v = col.mutable_bools();
+        for (uint64_t r = 0; r < nrows; ++r) {
+          const size_t byte_idx = pos + r / 8;
+          if (byte_idx >= bytes.size()) {
+            return Status::ParseError("truncated bool column");
+          }
+          v.push_back((static_cast<uint8_t>(bytes[byte_idx]) >> (r % 8)) & 1);
+        }
+        pos += (nrows + 7) / 8;
+        break;
+      }
+      case DataType::kString:
+      case DataType::kBlob: {
+        auto& v = col.mutable_strings();
+        for (uint64_t r = 0; r < nrows; ++r) {
+          DL2SQL_ASSIGN_OR_RETURN(uint64_t len, ReadVarint(bytes, &pos));
+          if (pos + len > bytes.size()) {
+            return Status::ParseError("truncated string column");
+          }
+          v.push_back(bytes.substr(pos, len));
+          pos += len;
+        }
+        break;
+      }
+      case DataType::kNull:
+        return Status::ParseError("cannot decode null-typed column");
+    }
+    schema.AddField({std::move(name), type});
+    columns.push_back(std::move(col));
+  }
+  return Table::FromColumns(std::move(schema), std::move(columns));
+}
+
+Result<uint64_t> CompressedTableBytes(const Table& table) {
+  DL2SQL_ASSIGN_OR_RETURN(std::string bytes, CompressTable(table));
+  return static_cast<uint64_t>(bytes.size());
+}
+
+}  // namespace dl2sql::db

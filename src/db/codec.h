@@ -1,0 +1,33 @@
+/// \file codec.h
+/// \brief Columnar table compression, modeling ClickHouse's on-disk codecs.
+///
+/// Storage accounting (Table IV of the paper) compares the *stored* size of
+/// the three model representations; the baseline systems "maintain models in
+/// file systems using compression", and ClickHouse likewise stores columns
+/// with delta/LZ4 codecs. This codec implements the dominant wins for our
+/// parameter tables losslessly:
+///   - INT64: zigzag-varint delta encoding (ID columns are near-sequential);
+///   - FLOAT64: stored as float32 (all our values originate as float32);
+///   - BOOL: bit-packed;
+///   - STRING/BLOB: raw with varint length prefixes.
+/// Compress/Decompress round-trip exactly (float columns round-trip through
+/// float32, which is how they were produced).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "db/table.h"
+
+namespace dl2sql::db {
+
+/// Serializes a table into the compressed columnar format.
+Result<std::string> CompressTable(const Table& table);
+
+/// Inverse of CompressTable.
+Result<Table> DecompressTable(const std::string& bytes);
+
+/// Convenience: compressed byte size of a table.
+Result<uint64_t> CompressedTableBytes(const Table& table);
+
+}  // namespace dl2sql::db

@@ -1,0 +1,896 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "db/exec/row_key.h"
+
+namespace dl2sql::db {
+
+namespace {
+
+/// Hard guard against runaway cross products.
+constexpr int64_t kMaxJoinPairs = 100'000'000;
+
+/// Composite key for the two-int64 fast paths (batched pipelines group and
+/// join on (BatchID, TupleID)-style pairs).
+struct Int2Key {
+  int64_t a;
+  int64_t b;
+  bool operator==(const Int2Key& o) const { return a == o.a && b == o.b; }
+};
+
+struct Int2KeyHash {
+  size_t operator()(const Int2Key& k) const {
+    // splitmix-style combine.
+    uint64_t x = static_cast<uint64_t>(k.a) * 0x9e3779b97f4a7c15ull;
+    x ^= static_cast<uint64_t>(k.b) + 0x9e3779b97f4a7c15ull + (x << 6) +
+         (x >> 2);
+    return static_cast<size_t>(x);
+  }
+};
+
+/// Charges `seconds` minus the inference time already charged separately.
+void ChargeOperator(CostAccumulator* costs, const std::string& bucket,
+                    double seconds, double inference_delta) {
+  if (costs == nullptr) return;
+  costs->Add(bucket, std::max(0.0, seconds - inference_delta));
+}
+
+}  // namespace
+
+EvalContext Database::MakeEvalContext() {
+  EvalContext ctx;
+  ctx.udfs = &udfs_;
+  ctx.costs = costs_;
+  ctx.subquery_exec = [this](const SelectStmt& stmt) -> Result<Value> {
+    DL2SQL_ASSIGN_OR_RETURN(Table t, ExecuteSelect(stmt));
+    if (t.num_rows() != 1 || t.num_columns() != 1) {
+      return Status::InvalidArgument("scalar subquery returned ", t.num_rows(),
+                                     "x", t.num_columns(),
+                                     ", expected exactly one value");
+    }
+    return t.column(0).GetValue(0);
+  };
+  return ctx;
+}
+
+double Database::DrainEvalContext(const EvalContext& ctx) {
+  neural_calls_ += ctx.neural_calls;
+  return ctx.inference_seconds;
+}
+
+Result<Table> Database::Execute(const std::string& sql) {
+  DL2SQL_ASSIGN_OR_RETURN(Statement stmt, sql::ParseStatement(sql));
+  return ExecuteStatement(stmt);
+}
+
+Status Database::ExecuteScript(const std::string& script) {
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<Statement> stmts,
+                          sql::ParseScript(script));
+  for (const auto& s : stmts) {
+    DL2SQL_RETURN_NOT_OK(ExecuteStatement(s).status());
+  }
+  return Status::OK();
+}
+
+Result<Table> Database::ExecuteStatement(const Statement& stmt) {
+  if (std::holds_alternative<std::shared_ptr<SelectStmt>>(stmt)) {
+    return ExecuteSelect(*std::get<std::shared_ptr<SelectStmt>>(stmt));
+  }
+  if (std::holds_alternative<CreateTableStmt>(stmt)) {
+    return ExecCreateTable(std::get<CreateTableStmt>(stmt));
+  }
+  if (std::holds_alternative<InsertStmt>(stmt)) {
+    return ExecInsert(std::get<InsertStmt>(stmt));
+  }
+  if (std::holds_alternative<UpdateStmt>(stmt)) {
+    return ExecUpdate(std::get<UpdateStmt>(stmt));
+  }
+  if (std::holds_alternative<DeleteStmt>(stmt)) {
+    return ExecDelete(std::get<DeleteStmt>(stmt));
+  }
+  if (std::holds_alternative<DropStmt>(stmt)) {
+    return ExecDrop(std::get<DropStmt>(stmt));
+  }
+  return Status::InternalError("unknown statement variant");
+}
+
+Result<PlanPtr> Database::PlanQuery(const SelectStmt& stmt) {
+  Planner planner(&catalog_, &udfs_);
+  DL2SQL_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(stmt));
+  CostContext cctx;
+  cctx.catalog = &catalog_;
+  cctx.udfs = &udfs_;
+  Optimizer optimizer(opt_options_, cctx);
+  return optimizer.Optimize(std::move(plan));
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  DL2SQL_ASSIGN_OR_RETURN(Statement stmt, sql::ParseStatement(sql));
+  if (!std::holds_alternative<std::shared_ptr<SelectStmt>>(stmt)) {
+    return Status::InvalidArgument("EXPLAIN supports only SELECT");
+  }
+  DL2SQL_ASSIGN_OR_RETURN(
+      PlanPtr plan, PlanQuery(*std::get<std::shared_ptr<SelectStmt>>(stmt)));
+  CostContext cctx;
+  cctx.catalog = &catalog_;
+  cctx.udfs = &udfs_;
+  const CostModel* model = opt_options_.cost_model.get();
+  std::shared_ptr<const CostModel> fallback;
+  if (model == nullptr) {
+    fallback = std::make_shared<DefaultCostModel>();
+    model = fallback.get();
+  }
+  DL2SQL_RETURN_NOT_OK(model->Annotate(plan.get(), cctx));
+  return plan->ToString();
+}
+
+Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
+  DL2SQL_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
+  last_plan_ = plan;
+  return ExecNode(*plan);
+}
+
+Result<Table> Database::ExecutePlan(const PlanNode& plan) {
+  return ExecNode(plan);
+}
+
+Status Database::RegisterTable(const std::string& name, Table table,
+                               bool temporary) {
+  if (catalog_.HasTable(name)) {
+    DL2SQL_RETURN_NOT_OK(catalog_.DropTable(name, false));
+  }
+  return catalog_.CreateTable(name, std::make_shared<Table>(std::move(table)),
+                              temporary);
+}
+
+// ------------------------------------------------------------- operators ----
+
+Result<Table> Database::ExecNode(const PlanNode& node) {
+  if (!collect_node_stats_) return ExecNodeImpl(node);
+  Stopwatch watch;
+  auto result = ExecNodeImpl(node);
+  NodeRunStats& stats = node_stats_[&node];
+  stats.cumulative_seconds += watch.ElapsedSeconds();
+  if (result.ok()) stats.rows += result->num_rows();
+  return result;
+}
+
+Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
+  DL2SQL_ASSIGN_OR_RETURN(Statement stmt, sql::ParseStatement(sql));
+  if (!std::holds_alternative<std::shared_ptr<SelectStmt>>(stmt)) {
+    return Status::InvalidArgument("EXPLAIN ANALYZE supports only SELECT");
+  }
+  DL2SQL_ASSIGN_OR_RETURN(
+      PlanPtr plan, PlanQuery(*std::get<std::shared_ptr<SelectStmt>>(stmt)));
+  last_plan_ = plan;
+  node_stats_.clear();
+  collect_node_stats_ = true;
+  auto result = ExecNode(*plan);
+  collect_node_stats_ = false;
+  DL2SQL_RETURN_NOT_OK(result.status());
+
+  std::string out;
+  std::function<void(const PlanNode&, int)> render = [&](const PlanNode& n,
+                                                         int indent) {
+    // First line of the subtree rendering = this node's own description.
+    std::string line = n.ToString(indent);
+    line = line.substr(0, line.find('\n'));
+    out += line;
+    auto it = node_stats_.find(&n);
+    if (it != node_stats_.end()) {
+      double children = 0;
+      for (const auto& c : n.children) {
+        auto ci = node_stats_.find(c.get());
+        if (ci != node_stats_.end()) children += ci->second.cumulative_seconds;
+      }
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    " [actual rows=%lld, total=%.4fs, self=%.4fs]",
+                    static_cast<long long>(it->second.rows),
+                    it->second.cumulative_seconds,
+                    std::max(0.0, it->second.cumulative_seconds - children));
+      out += buf;
+    }
+    out += "\n";
+    for (const auto& c : n.children) render(*c, indent + 1);
+  };
+  render(*plan, 0);
+  return out;
+}
+
+Result<Table> Database::ExecNodeImpl(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return ExecScan(node);
+    case PlanKind::kFilter: {
+      DL2SQL_ASSIGN_OR_RETURN(Table in, ExecNode(*node.children[0]));
+      return ExecFilter(node, std::move(in));
+    }
+    case PlanKind::kProject: {
+      DL2SQL_ASSIGN_OR_RETURN(Table in, ExecNode(*node.children[0]));
+      return ExecProject(node, std::move(in));
+    }
+    case PlanKind::kJoin: {
+      DL2SQL_ASSIGN_OR_RETURN(Table l, ExecNode(*node.children[0]));
+      DL2SQL_ASSIGN_OR_RETURN(Table r, ExecNode(*node.children[1]));
+      return ExecJoin(node, std::move(l), std::move(r));
+    }
+    case PlanKind::kAggregate: {
+      DL2SQL_ASSIGN_OR_RETURN(Table in, ExecNode(*node.children[0]));
+      return ExecAggregate(node, std::move(in));
+    }
+    case PlanKind::kSort: {
+      DL2SQL_ASSIGN_OR_RETURN(Table in, ExecNode(*node.children[0]));
+      return ExecSort(node, std::move(in));
+    }
+    case PlanKind::kLimit: {
+      DL2SQL_ASSIGN_OR_RETURN(Table in, ExecNode(*node.children[0]));
+      Stopwatch watch;
+      const int64_t n = std::min<int64_t>(in.num_rows(),
+                                          node.limit < 0 ? in.num_rows()
+                                                         : node.limit);
+      std::vector<int64_t> rows(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) rows[static_cast<size_t>(i)] = i;
+      Table out = in.TakeRows(rows);
+      ChargeOperator(costs_, "limit", watch.ElapsedSeconds(), 0);
+      return out;
+    }
+  }
+  return Status::InternalError("unhandled plan node kind");
+}
+
+Result<Table> Database::ExecScan(const PlanNode& node) {
+  Stopwatch watch;
+  if (node.table_name.empty()) {
+    // SELECT without FROM: one phantom row.
+    Table t{TableSchema{}};
+    t.SetZeroColumnRows(1);
+    return t;
+  }
+  DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(node.table_name));
+  // Columns are shared copy-on-write; only the schema is rewritten with the
+  // qualified names assigned at planning time.
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(table->num_columns()));
+  for (int i = 0; i < table->num_columns(); ++i) cols.push_back(table->column(i));
+  DL2SQL_ASSIGN_OR_RETURN(Table out,
+                          Table::FromColumns(node.output_schema, std::move(cols)));
+  ChargeOperator(costs_, "scan", watch.ElapsedSeconds(), 0);
+  return out;
+}
+
+Result<Table> Database::ExecFilter(const PlanNode& node, Table input) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
+                          FilterRows(*node.predicate, input, &ctx));
+  Table out = input.TakeRows(rows);
+  const double inf = DrainEvalContext(ctx);
+  ChargeOperator(costs_, "filter", watch.ElapsedSeconds(), inf);
+  return out;
+}
+
+Result<Table> Database::ExecProject(const PlanNode& node, Table input) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+  std::vector<Column> cols;
+  TableSchema schema;
+  for (size_t i = 0; i < node.exprs.size(); ++i) {
+    DL2SQL_ASSIGN_OR_RETURN(ColumnHandle col,
+                            EvalExpr(*node.exprs[i], input, &ctx));
+    cols.push_back(*col);  // cheap: shared payload
+    schema.AddField({node.names[i], col->type()});
+  }
+  const double inf = DrainEvalContext(ctx);
+  DL2SQL_ASSIGN_OR_RETURN(Table out,
+                          Table::FromColumns(std::move(schema), std::move(cols)));
+  if (node.exprs.empty()) out.SetZeroColumnRows(input.num_rows());
+  ChargeOperator(costs_, "project", watch.ElapsedSeconds(), inf);
+  return out;
+}
+
+Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+
+  if (node.use_symmetric_hash && node.equi_keys.size() == 1) {
+    DL2SQL_ASSIGN_OR_RETURN(
+        pairs, SymmetricHashJoinPairs(left, right, *node.equi_keys[0].first,
+                                      *node.equi_keys[0].second, &ctx,
+                                      shj_options_, &last_shj_stats_));
+    ++symmetric_joins_;
+  } else if (!node.equi_keys.empty()) {
+    // Hash join: build on the right, probe with the left.
+    std::vector<ColumnHandle> lkeys, rkeys;
+    for (const auto& [lk, rk] : node.equi_keys) {
+      DL2SQL_ASSIGN_OR_RETURN(ColumnHandle lc, EvalExpr(*lk, left, &ctx));
+      DL2SQL_ASSIGN_OR_RETURN(ColumnHandle rc, EvalExpr(*rk, right, &ctx));
+      lkeys.push_back(std::move(lc));
+      rkeys.push_back(std::move(rc));
+    }
+    std::vector<const Column*> lcols, rcols;
+    for (const auto& c : lkeys) lcols.push_back(c.get());
+    for (const auto& c : rkeys) rcols.push_back(c.get());
+
+    // Build the hash table on the side the optimizer estimated smaller.
+    const bool build_left = node.join_build_left;
+    const Table& build_table = build_left ? left : right;
+    const Table& probe_table = build_left ? right : left;
+    const auto& build_keys = build_left ? lcols : rcols;
+    const auto& probe_keys = build_left ? rcols : lcols;
+
+    auto emit = [&](int64_t b, int64_t p) -> Status {
+      if (build_left) {
+        pairs.emplace_back(b, p);
+      } else {
+        pairs.emplace_back(p, b);
+      }
+      if (static_cast<int64_t>(pairs.size()) > kMaxJoinPairs) {
+        return Status::ResourceExhausted("join produced more than ",
+                                         kMaxJoinPairs, " pairs");
+      }
+      return Status::OK();
+    };
+
+    auto all_int_no_nulls = [](const std::vector<ColumnHandle>& keys) {
+      for (const auto& k : keys) {
+        if (k->type() != DataType::kInt64 || k->HasNulls()) return false;
+      }
+      return true;
+    };
+    const bool ints_only =
+        all_int_no_nulls(build_left ? lkeys : rkeys) &&
+        all_int_no_nulls(build_left ? rkeys : lkeys);
+    const bool int_fast_path = build_keys.size() == 1 && ints_only;
+    const bool int2_fast_path = build_keys.size() == 2 && ints_only;
+    if (int_fast_path) {
+      // Reuse a prebuilt base-table hash index when the build side is an
+      // unfiltered scan keyed on a plain column (the shape of the generated
+      // neural-operator joins: static kernel/mapping tables on the build
+      // side). Falls back to an on-the-fly hash table otherwise.
+      std::shared_ptr<HashIndex> index;
+      const PlanNode& build_plan = *node.children[build_left ? 0 : 1];
+      const Expr& build_key_expr =
+          build_left ? *node.equi_keys[0].first : *node.equi_keys[0].second;
+      if (build_plan.kind == PlanKind::kScan &&
+          build_plan.scan_predicates.empty() &&
+          build_key_expr.kind == ExprKind::kColumnRef &&
+          build_key_expr.bound_index >= 0) {
+        const std::string& qualified =
+            build_plan.output_schema.field(build_key_expr.bound_index).name;
+        const size_t dot = qualified.rfind('.');
+        const std::string base =
+            dot == std::string::npos ? qualified : qualified.substr(dot + 1);
+        index = catalog_.GetIndex(build_plan.table_name, base);
+        if (index != nullptr &&
+            index->indexed_rows() != build_table.num_rows()) {
+          index = nullptr;  // stale snapshot guard
+        }
+      }
+
+      const auto& pvals = probe_keys[0]->ints();
+      if (index != nullptr) {
+        ++index_joins_;
+        for (size_t p = 0; p < pvals.size(); ++p) {
+          const std::vector<int64_t>* rows = index->Lookup(pvals[p]);
+          if (rows == nullptr) continue;
+          for (int64_t b : *rows) {
+            DL2SQL_RETURN_NOT_OK(emit(b, static_cast<int64_t>(p)));
+          }
+        }
+      } else {
+        // Single-int64 equi key: skip the generic key encoding entirely.
+        const auto& bvals = build_keys[0]->ints();
+        std::unordered_map<int64_t, std::vector<int64_t>> build;
+        build.reserve(bvals.size());
+        for (size_t r = 0; r < bvals.size(); ++r) {
+          build[bvals[r]].push_back(static_cast<int64_t>(r));
+        }
+        for (size_t p = 0; p < pvals.size(); ++p) {
+          auto it = build.find(pvals[p]);
+          if (it == build.end()) continue;
+          for (int64_t b : it->second) {
+            DL2SQL_RETURN_NOT_OK(emit(b, static_cast<int64_t>(p)));
+          }
+        }
+      }
+    } else if (int2_fast_path) {
+      // Two-int64 equi keys (e.g. batched (BatchID, TupleID) joins).
+      const auto& b0 = build_keys[0]->ints();
+      const auto& b1 = build_keys[1]->ints();
+      const auto& p0 = probe_keys[0]->ints();
+      const auto& p1 = probe_keys[1]->ints();
+      std::unordered_map<Int2Key, std::vector<int64_t>, Int2KeyHash> build;
+      build.reserve(b0.size());
+      for (size_t r = 0; r < b0.size(); ++r) {
+        build[{b0[r], b1[r]}].push_back(static_cast<int64_t>(r));
+      }
+      for (size_t p = 0; p < p0.size(); ++p) {
+        auto it = build.find({p0[p], p1[p]});
+        if (it == build.end()) continue;
+        for (int64_t b : it->second) {
+          DL2SQL_RETURN_NOT_OK(emit(b, static_cast<int64_t>(p)));
+        }
+      }
+    } else {
+      std::unordered_map<std::string, std::vector<int64_t>> build;
+      build.reserve(static_cast<size_t>(build_table.num_rows()));
+      for (int64_t r = 0; r < build_table.num_rows(); ++r) {
+        if (RowKeyHasNull(build_keys, r)) continue;
+        build[EncodeRowKey(build_keys, r)].push_back(r);
+      }
+      for (int64_t p = 0; p < probe_table.num_rows(); ++p) {
+        if (RowKeyHasNull(probe_keys, p)) continue;
+        auto it = build.find(EncodeRowKey(probe_keys, p));
+        if (it == build.end()) continue;
+        for (int64_t b : it->second) {
+          DL2SQL_RETURN_NOT_OK(emit(b, p));
+        }
+      }
+    }
+  } else {
+    // Cross product (with optional residual condition applied below).
+    const int64_t total = left.num_rows() * right.num_rows();
+    if (total > kMaxJoinPairs) {
+      return Status::ResourceExhausted("cross join of ", left.num_rows(), " x ",
+                                       right.num_rows(), " rows is too large");
+    }
+    pairs.reserve(static_cast<size_t>(total));
+    for (int64_t l = 0; l < left.num_rows(); ++l) {
+      for (int64_t r = 0; r < right.num_rows(); ++r) pairs.emplace_back(l, r);
+    }
+  }
+
+  // Materialize the joined table.
+  std::vector<int64_t> lrows, rrows;
+  lrows.reserve(pairs.size());
+  rrows.reserve(pairs.size());
+  for (const auto& [l, r] : pairs) {
+    lrows.push_back(l);
+    rrows.push_back(r);
+  }
+  Table ltaken = left.TakeRows(lrows);
+  Table rtaken = right.TakeRows(rrows);
+  std::vector<Column> cols;
+  for (int i = 0; i < ltaken.num_columns(); ++i) cols.push_back(ltaken.column(i));
+  for (int i = 0; i < rtaken.num_columns(); ++i) cols.push_back(rtaken.column(i));
+  DL2SQL_ASSIGN_OR_RETURN(Table joined,
+                          Table::FromColumns(node.output_schema, std::move(cols)));
+
+  if (node.join_condition != nullptr) {
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<int64_t> keep,
+                            FilterRows(*node.join_condition, joined, &ctx));
+    joined = joined.TakeRows(keep);
+  }
+  const double inf = DrainEvalContext(ctx);
+  ChargeOperator(costs_, "join", watch.ElapsedSeconds(), inf);
+  return joined;
+}
+
+namespace {
+
+/// Running state for one aggregate over one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  double sumsq = 0;
+  Value min;
+  Value max;
+};
+
+}  // namespace
+
+Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+
+  // Evaluate group keys and aggregate arguments once, vectorized.
+  std::vector<ColumnHandle> key_cols;
+  for (const auto& k : node.group_keys) {
+    DL2SQL_ASSIGN_OR_RETURN(ColumnHandle c, EvalExpr(*k, input, &ctx));
+    key_cols.push_back(std::move(c));
+  }
+  std::vector<ColumnHandle> arg_cols(node.agg_calls.size());
+  for (size_t i = 0; i < node.agg_calls.size(); ++i) {
+    const Expr& call = *node.agg_calls[i];
+    if (call.agg_func != AggFunc::kCountStar) {
+      DL2SQL_ASSIGN_OR_RETURN(arg_cols[i],
+                              EvalExpr(*call.children[0], input, &ctx));
+    }
+  }
+
+  std::vector<const Column*> kptrs;
+  for (const auto& c : key_cols) kptrs.push_back(c.get());
+
+  struct Group {
+    int64_t first_row;
+    std::vector<AggState> aggs;
+  };
+
+  const int64_t n = input.num_rows();
+
+  // Per-row accumulation shared by both key representations.
+  auto accumulate_row = [&](Group* g, int64_t row) -> Status {
+    for (size_t a = 0; a < node.agg_calls.size(); ++a) {
+      AggState& st = g->aggs[a];
+      const AggFunc f = node.agg_calls[a]->agg_func;
+      if (f == AggFunc::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      const Value v = arg_cols[a]->GetValue(row);
+      if (v.is_null()) continue;
+      switch (f) {
+        case AggFunc::kCount:
+          // COUNT over a boolean expression counts TRUE rows (the intent of
+          // the paper's count(nUDF(...) = TRUE); ClickHouse would use
+          // countIf). COUNT over other types counts non-NULL rows.
+          if (v.type() == DataType::kBool) {
+            if (v.bool_value()) ++st.count;
+          } else {
+            ++st.count;
+          }
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+        case AggFunc::kStddevSamp: {
+          DL2SQL_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          ++st.count;
+          st.sum += d;
+          st.sumsq += d * d;
+          break;
+        }
+        case AggFunc::kMin:
+          if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
+          break;
+        case AggFunc::kMax:
+          if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
+          break;
+        case AggFunc::kCountStar:
+          break;
+      }
+    }
+    return Status::OK();
+  };
+
+  // Groups in first-seen order, referenced by index from either key map.
+  std::vector<Group> groups;
+
+  auto int_keys_no_nulls = [&](size_t count) {
+    if (kptrs.size() != count) return false;
+    for (const Column* k : kptrs) {
+      if (k->type() != DataType::kInt64 || k->HasNulls()) return false;
+    }
+    return true;
+  };
+  if (int_keys_no_nulls(1)) {
+    std::unordered_map<int64_t, size_t> index;
+    index.reserve(static_cast<size_t>(n) / 4 + 8);
+    const auto& keys = kptrs[0]->ints();
+    for (int64_t row = 0; row < n; ++row) {
+      auto [it, inserted] = index.try_emplace(keys[static_cast<size_t>(row)],
+                                              groups.size());
+      if (inserted) {
+        groups.push_back(Group{row, std::vector<AggState>(
+                                        node.agg_calls.size())});
+      }
+      DL2SQL_RETURN_NOT_OK(accumulate_row(&groups[it->second], row));
+    }
+  } else if (int_keys_no_nulls(2)) {
+    // Batched pipelines group on (BatchID, key) pairs.
+    std::unordered_map<Int2Key, size_t, Int2KeyHash> index;
+    index.reserve(static_cast<size_t>(n) / 4 + 8);
+    const auto& k0 = kptrs[0]->ints();
+    const auto& k1 = kptrs[1]->ints();
+    for (int64_t row = 0; row < n; ++row) {
+      const size_t r = static_cast<size_t>(row);
+      auto [it, inserted] =
+          index.try_emplace(Int2Key{k0[r], k1[r]}, groups.size());
+      if (inserted) {
+        groups.push_back(Group{row, std::vector<AggState>(
+                                        node.agg_calls.size())});
+      }
+      DL2SQL_RETURN_NOT_OK(accumulate_row(&groups[it->second], row));
+    }
+  } else {
+    std::unordered_map<std::string, size_t> index;
+    for (int64_t row = 0; row < n; ++row) {
+      std::string key = kptrs.empty() ? std::string() : EncodeRowKey(kptrs, row);
+      auto [it, inserted] = index.try_emplace(std::move(key), groups.size());
+      if (inserted) {
+        groups.push_back(Group{row, std::vector<AggState>(
+                                        node.agg_calls.size())});
+      }
+      DL2SQL_RETURN_NOT_OK(accumulate_row(&groups[it->second], row));
+    }
+  }
+
+  // Global aggregate over empty input still yields one row.
+  if (kptrs.empty() && groups.empty()) {
+    groups.push_back(Group{-1, std::vector<AggState>(node.agg_calls.size())});
+  }
+
+  // Emit: key columns then aggregate columns.
+  std::vector<Column> out_cols;
+  TableSchema out_schema;
+  for (size_t k = 0; k < key_cols.size(); ++k) {
+    Column c(key_cols[k]->type());
+    c.Reserve(static_cast<int64_t>(groups.size()));
+    for (const Group& g : groups) {
+      DL2SQL_RETURN_NOT_OK(c.Append(key_cols[k]->GetValue(g.first_row)));
+    }
+    out_schema.AddField({node.group_names[k], c.type()});
+    out_cols.push_back(std::move(c));
+  }
+  for (size_t a = 0; a < node.agg_calls.size(); ++a) {
+    const AggFunc f = node.agg_calls[a]->agg_func;
+    DataType t;
+    switch (f) {
+      case AggFunc::kCount:
+      case AggFunc::kCountStar:
+        t = DataType::kInt64;
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        t = arg_cols[a] != nullptr ? arg_cols[a]->type() : DataType::kFloat64;
+        break;
+      default:
+        t = DataType::kFloat64;
+        break;
+    }
+    Column c(t);
+    c.Reserve(static_cast<int64_t>(groups.size()));
+    for (const Group& g : groups) {
+      const AggState& st = g.aggs[a];
+      Value v;
+      switch (f) {
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          v = Value::Int(st.count);
+          break;
+        case AggFunc::kSum:
+          v = st.count == 0 ? Value::Null() : Value::Float(st.sum);
+          break;
+        case AggFunc::kAvg:
+          v = st.count == 0
+                  ? Value::Null()
+                  : Value::Float(st.sum / static_cast<double>(st.count));
+          break;
+        case AggFunc::kStddevSamp: {
+          if (st.count < 2) {
+            v = Value::Null();
+            break;
+          }
+          const double mean = st.sum / static_cast<double>(st.count);
+          const double var =
+              (st.sumsq - static_cast<double>(st.count) * mean * mean) /
+              static_cast<double>(st.count - 1);
+          v = Value::Float(std::sqrt(std::max(0.0, var)));
+          break;
+        }
+        case AggFunc::kMin:
+          v = st.min;
+          break;
+        case AggFunc::kMax:
+          v = st.max;
+          break;
+      }
+      DL2SQL_RETURN_NOT_OK(c.Append(v));
+    }
+    out_schema.AddField({node.agg_names[a], c.type()});
+    out_cols.push_back(std::move(c));
+  }
+
+  const double inf = DrainEvalContext(ctx);
+  DL2SQL_ASSIGN_OR_RETURN(
+      Table out, Table::FromColumns(std::move(out_schema), std::move(out_cols)));
+  ChargeOperator(costs_, "groupby", watch.ElapsedSeconds(), inf);
+  return out;
+}
+
+Result<Table> Database::ExecSort(const PlanNode& node, Table input) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+  std::vector<ColumnHandle> keys;
+  for (const auto& k : node.sort_keys) {
+    DL2SQL_ASSIGN_OR_RETURN(ColumnHandle c, EvalExpr(*k, input, &ctx));
+    keys.push_back(std::move(c));
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(input.num_rows()));
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int64_t>(i);
+  std::stable_sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const int c = keys[k]->GetValue(a).Compare(keys[k]->GetValue(b));
+      if (c != 0) return node.sort_ascending[k] ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  Table out = input.TakeRows(idx);
+  const double inf = DrainEvalContext(ctx);
+  ChargeOperator(costs_, "sort", watch.ElapsedSeconds(), inf);
+  return out;
+}
+
+// ------------------------------------------------------------- statements ----
+
+Result<Table> Database::ExecCreateTable(const CreateTableStmt& stmt) {
+  if (stmt.is_view) {
+    if (stmt.as_select == nullptr) {
+      return Status::InvalidArgument("CREATE VIEW requires AS SELECT");
+    }
+    DL2SQL_RETURN_NOT_OK(
+        catalog_.CreateView(stmt.name, stmt.as_select, stmt.or_replace));
+    return Table{};
+  }
+  if (stmt.as_select != nullptr) {
+    if (stmt.if_not_exists && catalog_.HasTable(stmt.name)) return Table{};
+    DL2SQL_ASSIGN_OR_RETURN(Table result, ExecuteSelect(*stmt.as_select));
+    DL2SQL_RETURN_NOT_OK(catalog_.CreateTable(
+        stmt.name, std::make_shared<Table>(std::move(result)), stmt.temporary,
+        stmt.if_not_exists));
+    return Table{};
+  }
+  Table t{TableSchema(stmt.columns)};
+  DL2SQL_RETURN_NOT_OK(catalog_.CreateTable(stmt.name,
+                                            std::make_shared<Table>(std::move(t)),
+                                            stmt.temporary, stmt.if_not_exists));
+  return Table{};
+}
+
+Result<Table> Database::ExecInsert(const InsertStmt& stmt) {
+  DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(stmt.table));
+  // Column mapping: explicit list or positional.
+  std::vector<int> targets;
+  if (stmt.columns.empty()) {
+    for (int i = 0; i < table->num_columns(); ++i) targets.push_back(i);
+  } else {
+    for (const auto& c : stmt.columns) {
+      DL2SQL_ASSIGN_OR_RETURN(int idx, table->schema().Find(c));
+      targets.push_back(idx);
+    }
+  }
+
+  auto append_row = [&](const std::vector<Value>& provided) -> Status {
+    if (provided.size() != targets.size()) {
+      return Status::InvalidArgument("INSERT arity mismatch: ", provided.size(),
+                                     " values vs ", targets.size(), " columns");
+    }
+    std::vector<Value> row(static_cast<size_t>(table->num_columns()),
+                           Value::Null());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      row[static_cast<size_t>(targets[i])] = provided[i];
+    }
+    return table->AppendRow(row);
+  };
+
+  int64_t inserted = 0;
+  if (stmt.select != nullptr) {
+    DL2SQL_ASSIGN_OR_RETURN(Table src, ExecuteSelect(*stmt.select));
+    for (int64_t r = 0; r < src.num_rows(); ++r) {
+      DL2SQL_RETURN_NOT_OK(append_row(src.GetRow(r)));
+      ++inserted;
+    }
+  } else {
+    EvalContext ctx = MakeEvalContext();
+    for (const auto& row_exprs : stmt.rows) {
+      std::vector<Value> vals;
+      vals.reserve(row_exprs.size());
+      for (const auto& e : row_exprs) {
+        DL2SQL_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, &ctx));
+        vals.push_back(std::move(v));
+      }
+      DL2SQL_RETURN_NOT_OK(append_row(vals));
+      ++inserted;
+    }
+    DrainEvalContext(ctx);
+  }
+  catalog_.InvalidateStats(stmt.table);
+  Table out;
+  out.SetZeroColumnRows(inserted);
+  return out;
+}
+
+Result<Table> Database::ExecUpdate(const UpdateStmt& stmt) {
+  DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(stmt.table));
+  EvalContext ctx = MakeEvalContext();
+
+  std::vector<int64_t> rows;
+  if (stmt.where != nullptr) {
+    ExprPtr pred = stmt.where->Clone();
+    DL2SQL_RETURN_NOT_OK(BindExpr(pred.get(), table->schema()));
+    DL2SQL_ASSIGN_OR_RETURN(rows, FilterRows(*pred, *table, &ctx));
+  } else {
+    rows.resize(static_cast<size_t>(table->num_rows()));
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int64_t>(i);
+  }
+
+  for (const auto& [col_name, expr] : stmt.assignments) {
+    DL2SQL_ASSIGN_OR_RETURN(int col_idx, table->schema().Find(col_name));
+    ExprPtr bound = expr->Clone();
+    DL2SQL_RETURN_NOT_OK(BindExpr(bound.get(), table->schema()));
+    DL2SQL_ASSIGN_OR_RETURN(ColumnHandle values, EvalExpr(*bound, *table, &ctx));
+    Column& target = table->mutable_column(col_idx);
+    for (int64_t r : rows) {
+      const Value v = values->GetValue(r);
+      switch (target.type()) {
+        case DataType::kInt64: {
+          DL2SQL_ASSIGN_OR_RETURN(int64_t iv, v.AsInt());
+          target.mutable_ints()[static_cast<size_t>(r)] = iv;
+          break;
+        }
+        case DataType::kFloat64: {
+          DL2SQL_ASSIGN_OR_RETURN(double dv, v.AsDouble());
+          target.mutable_floats()[static_cast<size_t>(r)] = dv;
+          break;
+        }
+        case DataType::kBool:
+          if (v.type() != DataType::kBool) {
+            return Status::TypeError("UPDATE: expected BOOL for ", col_name);
+          }
+          target.mutable_bools()[static_cast<size_t>(r)] =
+              v.bool_value() ? 1 : 0;
+          break;
+        case DataType::kString:
+        case DataType::kBlob:
+          if (v.type() != DataType::kString && v.type() != DataType::kBlob) {
+            return Status::TypeError("UPDATE: expected STRING for ", col_name);
+          }
+          target.mutable_strings()[static_cast<size_t>(r)] = v.string_value();
+          break;
+        case DataType::kNull:
+          return Status::TypeError("UPDATE on null-typed column");
+      }
+    }
+  }
+  DrainEvalContext(ctx);
+  catalog_.InvalidateStats(stmt.table);
+  Table out;
+  out.SetZeroColumnRows(static_cast<int64_t>(rows.size()));
+  return out;
+}
+
+Result<Table> Database::ExecDelete(const DeleteStmt& stmt) {
+  DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(stmt.table));
+  EvalContext ctx = MakeEvalContext();
+  std::vector<int64_t> keep;
+  int64_t deleted = 0;
+  if (stmt.where == nullptr) {
+    deleted = table->num_rows();
+  } else {
+    ExprPtr pred = stmt.where->Clone();
+    DL2SQL_RETURN_NOT_OK(BindExpr(pred.get(), table->schema()));
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<int64_t> drop,
+                            FilterRows(*pred, *table, &ctx));
+    std::vector<uint8_t> dropped(static_cast<size_t>(table->num_rows()), 0);
+    for (int64_t r : drop) dropped[static_cast<size_t>(r)] = 1;
+    for (int64_t r = 0; r < table->num_rows(); ++r) {
+      if (dropped[static_cast<size_t>(r)] == 0) keep.push_back(r);
+    }
+    deleted = static_cast<int64_t>(drop.size());
+  }
+  *table = table->TakeRows(keep);
+  DrainEvalContext(ctx);
+  catalog_.InvalidateStats(stmt.table);
+  Table out;
+  out.SetZeroColumnRows(deleted);
+  return out;
+}
+
+Result<Table> Database::ExecDrop(const DropStmt& stmt) {
+  if (stmt.is_view) {
+    DL2SQL_RETURN_NOT_OK(catalog_.DropView(stmt.name, stmt.if_exists));
+  } else if (catalog_.HasView(stmt.name)) {
+    // DROP TABLE on a view is tolerated (the DL2SQL pipelines recreate views
+    // and tables interchangeably between layers).
+    DL2SQL_RETURN_NOT_OK(catalog_.DropView(stmt.name, stmt.if_exists));
+  } else {
+    DL2SQL_RETURN_NOT_OK(catalog_.DropTable(stmt.name, stmt.if_exists));
+  }
+  return Table{};
+}
+
+}  // namespace dl2sql::db

@@ -1,0 +1,132 @@
+/// \file database.h
+/// \brief Database: the embedded lindb engine facade — parse, plan, optimize,
+/// execute, with per-operator cost accounting.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/timer.h"
+#include "db/catalog.h"
+#include "db/eval.h"
+#include "db/exec/symmetric_hash_join.h"
+#include "db/optimizer.h"
+#include "db/planner.h"
+#include "db/sql/parser.h"
+
+namespace dl2sql::db {
+
+/// \brief An embedded, in-memory, columnar SQL engine.
+///
+/// This plays the role of the paper's in-memory ClickHouse build: columnar
+/// storage, vectorized expression evaluation, hash joins and hash
+/// aggregation, a cost-based optimizer with pluggable cost models, scalar
+/// UDFs (including neural UDFs), and views/temp tables used heavily by the
+/// DL2SQL pipelines.
+class Database {
+ public:
+  Database() = default;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  UdfRegistry& udfs() { return udfs_; }
+  const UdfRegistry& udfs() const { return udfs_; }
+
+  /// Optimizer configuration (pushdown, nUDF hint rules, cost model).
+  OptimizerOptions& optimizer_options() { return opt_options_; }
+
+  /// Symmetric-hash-join tuning (hint rule 3).
+  SymmetricHashJoinOptions& symmetric_join_options() { return shj_options_; }
+
+  /// When set, operator wall time is charged into this accumulator under
+  /// buckets: "scan", "filter", "join", "groupby", "project", "sort",
+  /// "limit", and nUDF time separately under "inference".
+  void set_cost_accumulator(CostAccumulator* acc) { costs_ = acc; }
+  CostAccumulator* cost_accumulator() const { return costs_; }
+
+  /// Total nUDF invocations since construction (hint-pruning assertions).
+  int64_t neural_calls() const { return neural_calls_; }
+  void reset_neural_calls() { neural_calls_ = 0; }
+
+  /// Executes one SQL statement; SELECTs return their result set, DML/DDL
+  /// return an empty result (row count in the zero-column table).
+  Result<Table> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script, discarding intermediate results.
+  Status ExecuteScript(const std::string& script);
+
+  Result<Table> ExecuteStatement(const Statement& stmt);
+  Result<Table> ExecuteSelect(const SelectStmt& stmt);
+
+  /// Plans and optimizes without executing (EXPLAIN).
+  Result<PlanPtr> PlanQuery(const SelectStmt& stmt);
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Executes the SELECT and renders the plan annotated with actual row
+  /// counts and per-operator wall time (cumulative and self).
+  Result<std::string> ExplainAnalyze(const std::string& sql);
+
+  /// Runs an already-optimized plan.
+  Result<Table> ExecutePlan(const PlanNode& plan);
+
+  /// Convenience: create (or replace) a base table.
+  Status RegisterTable(const std::string& name, Table table,
+                       bool temporary = false);
+
+  /// The optimized plan of the most recent SELECT (test introspection).
+  const PlanPtr& last_plan() const { return last_plan_; }
+
+  /// Stats of the most recent symmetric hash join, if any ran.
+  const SymmetricHashJoinStats& last_symmetric_stats() const {
+    return last_shj_stats_;
+  }
+
+  /// Count of symmetric hash joins executed since construction.
+  int64_t symmetric_joins_executed() const { return symmetric_joins_; }
+
+  /// Count of hash joins that reused a prebuilt base-table index.
+  int64_t index_joins_executed() const { return index_joins_; }
+
+ private:
+  /// Per-node runtime profile collected when ExplainAnalyze drives a query.
+  struct NodeRunStats {
+    int64_t rows = 0;
+    double cumulative_seconds = 0;
+  };
+
+  Result<Table> ExecNode(const PlanNode& node);
+  Result<Table> ExecNodeImpl(const PlanNode& node);
+  Result<Table> ExecScan(const PlanNode& node);
+  Result<Table> ExecFilter(const PlanNode& node, Table input);
+  Result<Table> ExecProject(const PlanNode& node, Table input);
+  Result<Table> ExecJoin(const PlanNode& node, Table left, Table right);
+  Result<Table> ExecAggregate(const PlanNode& node, Table input);
+  Result<Table> ExecSort(const PlanNode& node, Table input);
+
+  Result<Table> ExecCreateTable(const CreateTableStmt& stmt);
+  Result<Table> ExecInsert(const InsertStmt& stmt);
+  Result<Table> ExecUpdate(const UpdateStmt& stmt);
+  Result<Table> ExecDelete(const DeleteStmt& stmt);
+  Result<Table> ExecDrop(const DropStmt& stmt);
+
+  /// Builds an EvalContext wired to this database (UDFs, subqueries, costs).
+  EvalContext MakeEvalContext();
+  /// Folds a finished context's counters into the database totals and
+  /// returns the inference seconds consumed inside it.
+  double DrainEvalContext(const EvalContext& ctx);
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  OptimizerOptions opt_options_;
+  SymmetricHashJoinOptions shj_options_;
+  CostAccumulator* costs_ = nullptr;
+  int64_t neural_calls_ = 0;
+  PlanPtr last_plan_;
+  SymmetricHashJoinStats last_shj_stats_;
+  int64_t symmetric_joins_ = 0;
+  int64_t index_joins_ = 0;
+  bool collect_node_stats_ = false;
+  std::map<const PlanNode*, NodeRunStats> node_stats_;
+};
+
+}  // namespace dl2sql::db

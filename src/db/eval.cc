@@ -1,0 +1,644 @@
+#include "db/eval.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dl2sql::db {
+
+namespace {
+
+ColumnHandle Own(Column c) {
+  return std::make_shared<const Column>(std::move(c));
+}
+
+/// Non-owning alias to a column that outlives the evaluation.
+ColumnHandle Alias(const Column& c) {
+  return ColumnHandle(std::shared_ptr<const void>(), &c);
+}
+
+Column BroadcastValue(const Value& v, int64_t n) {
+  DataType t = v.type();
+  if (t == DataType::kNull) t = DataType::kFloat64;  // arbitrary carrier
+  Column c(t);
+  c.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    // Append of a NULL into any typed column marks invalid.
+    (void)c.Append(v);
+  }
+  return c;
+}
+
+bool BothNumericNoNulls(const Column& a, const Column& b) {
+  return IsNumeric(a.type()) && IsNumeric(b.type()) && !a.HasNulls() &&
+         !b.HasNulls();
+}
+
+/// Reads a numeric column element as double without Value boxing.
+inline double NumAt(const Column& c, int64_t i) {
+  return c.type() == DataType::kInt64
+             ? static_cast<double>(c.ints()[static_cast<size_t>(i)])
+             : c.floats()[static_cast<size_t>(i)];
+}
+
+}  // namespace
+
+Result<Value> EvalValueBinary(BinaryOp op, const Value& l, const Value& r) {
+  // Logical connectives use three-valued logic.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    auto as_tri = [](const Value& v) -> Result<int> {
+      if (v.is_null()) return -1;
+      if (v.type() != DataType::kBool) {
+        return Status::TypeError("logical operand must be BOOL, got ",
+                                 DataTypeToString(v.type()));
+      }
+      return v.bool_value() ? 1 : 0;
+    };
+    DL2SQL_ASSIGN_OR_RETURN(int a, as_tri(l));
+    DL2SQL_ASSIGN_OR_RETURN(int b, as_tri(r));
+    if (op == BinaryOp::kAnd) {
+      if (a == 0 || b == 0) return Value::Bool(false);
+      if (a == -1 || b == -1) return Value::Null();
+      return Value::Bool(true);
+    }
+    if (a == 1 || b == 1) return Value::Bool(true);
+    if (a == -1 || b == -1) return Value::Null();
+    return Value::Bool(false);
+  }
+
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  if (IsComparison(op)) {
+    const int c = l.Compare(r);
+    switch (op) {
+      case BinaryOp::kEq:
+        return Value::Bool(c == 0);
+      case BinaryOp::kNe:
+        return Value::Bool(c != 0);
+      case BinaryOp::kLt:
+        return Value::Bool(c < 0);
+      case BinaryOp::kLe:
+        return Value::Bool(c <= 0);
+      case BinaryOp::kGt:
+        return Value::Bool(c > 0);
+      case BinaryOp::kGe:
+        return Value::Bool(c >= 0);
+      default:
+        break;
+    }
+  }
+
+  // Arithmetic.
+  if (op == BinaryOp::kMod) {
+    DL2SQL_ASSIGN_OR_RETURN(int64_t a, l.AsInt());
+    DL2SQL_ASSIGN_OR_RETURN(int64_t b, r.AsInt());
+    if (b == 0) return Status::InvalidArgument("modulo by zero");
+    return Value::Int(a % b);
+  }
+  if (op == BinaryOp::kDiv) {
+    DL2SQL_ASSIGN_OR_RETURN(double a, l.AsDouble());
+    DL2SQL_ASSIGN_OR_RETURN(double b, r.AsDouble());
+    // ClickHouse semantics: division always yields a float; x/0 -> inf.
+    return Value::Float(a / b);
+  }
+  const bool both_int =
+      l.type() == DataType::kInt64 && r.type() == DataType::kInt64;
+  if (both_int) {
+    const int64_t a = l.int_value();
+    const int64_t b = r.int_value();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(a + b);
+      case BinaryOp::kSub:
+        return Value::Int(a - b);
+      case BinaryOp::kMul:
+        return Value::Int(a * b);
+      default:
+        break;
+    }
+  }
+  DL2SQL_ASSIGN_OR_RETURN(double a, l.AsDouble());
+  DL2SQL_ASSIGN_OR_RETURN(double b, r.AsDouble());
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Float(a + b);
+    case BinaryOp::kSub:
+      return Value::Float(a - b);
+    case BinaryOp::kMul:
+      return Value::Float(a * b);
+    default:
+      break;
+  }
+  return Status::InternalError("unhandled binary op");
+}
+
+namespace {
+
+/// Vectorized arithmetic/comparison fast path for null-free numeric columns.
+Result<ColumnHandle> FastBinary(BinaryOp op, const Column& a, const Column& b) {
+  const int64_t n = a.size();
+  if (IsComparison(op)) {
+    std::vector<uint8_t> out(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const double x = NumAt(a, i);
+      const double y = NumAt(b, i);
+      bool v = false;
+      switch (op) {
+        case BinaryOp::kEq:
+          v = x == y;
+          break;
+        case BinaryOp::kNe:
+          v = x != y;
+          break;
+        case BinaryOp::kLt:
+          v = x < y;
+          break;
+        case BinaryOp::kLe:
+          v = x <= y;
+          break;
+        case BinaryOp::kGt:
+          v = x > y;
+          break;
+        case BinaryOp::kGe:
+          v = x >= y;
+          break;
+        default:
+          break;
+      }
+      out[static_cast<size_t>(i)] = v ? 1 : 0;
+    }
+    return Own(Column::Bools(std::move(out)));
+  }
+  const bool both_int = a.type() == DataType::kInt64 &&
+                        b.type() == DataType::kInt64 && op != BinaryOp::kDiv;
+  if (both_int) {
+    std::vector<int64_t> out(static_cast<size_t>(n));
+    const auto& xa = a.ints();
+    const auto& xb = b.ints();
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) out[i] = xa[i] + xb[i];
+        break;
+      case BinaryOp::kSub:
+        for (int64_t i = 0; i < n; ++i) out[i] = xa[i] - xb[i];
+        break;
+      case BinaryOp::kMul:
+        for (int64_t i = 0; i < n; ++i) out[i] = xa[i] * xb[i];
+        break;
+      case BinaryOp::kMod:
+        for (int64_t i = 0; i < n; ++i) {
+          if (xb[i] == 0) return Status::InvalidArgument("modulo by zero");
+          out[i] = xa[i] % xb[i];
+        }
+        break;
+      default:
+        return Status::InternalError("unhandled int binary op");
+    }
+    return Own(Column::Ints(std::move(out)));
+  }
+  std::vector<double> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = NumAt(a, i);
+    const double y = NumAt(b, i);
+    switch (op) {
+      case BinaryOp::kAdd:
+        out[static_cast<size_t>(i)] = x + y;
+        break;
+      case BinaryOp::kSub:
+        out[static_cast<size_t>(i)] = x - y;
+        break;
+      case BinaryOp::kMul:
+        out[static_cast<size_t>(i)] = x * y;
+        break;
+      case BinaryOp::kDiv:
+        out[static_cast<size_t>(i)] = x / y;
+        break;
+      case BinaryOp::kMod: {
+        out[static_cast<size_t>(i)] = std::fmod(x, y);
+        break;
+      }
+      default:
+        return Status::InternalError("unhandled float binary op");
+    }
+  }
+  return Own(Column::Floats(std::move(out)));
+}
+
+/// Vectorized string comparison fast path.
+Result<ColumnHandle> FastStringCompare(BinaryOp op, const Column& a,
+                                       const Column& b) {
+  const int64_t n = a.size();
+  std::vector<uint8_t> out(static_cast<size_t>(n));
+  const auto& xa = a.strings();
+  const auto& xb = b.strings();
+  for (int64_t i = 0; i < n; ++i) {
+    const int c = xa[static_cast<size_t>(i)].compare(xb[static_cast<size_t>(i)]);
+    bool v = false;
+    switch (op) {
+      case BinaryOp::kEq:
+        v = c == 0;
+        break;
+      case BinaryOp::kNe:
+        v = c != 0;
+        break;
+      case BinaryOp::kLt:
+        v = c < 0;
+        break;
+      case BinaryOp::kLe:
+        v = c <= 0;
+        break;
+      case BinaryOp::kGt:
+        v = c > 0;
+        break;
+      case BinaryOp::kGe:
+        v = c >= 0;
+        break;
+      default:
+        break;
+    }
+    out[static_cast<size_t>(i)] = v ? 1 : 0;
+  }
+  return Own(Column::Bools(std::move(out)));
+}
+
+Result<ColumnHandle> EvalBinary(const Expr& e, const Table& input,
+                                EvalContext* ctx) {
+  DL2SQL_ASSIGN_OR_RETURN(ColumnHandle l, EvalExpr(*e.children[0], input, ctx));
+  DL2SQL_ASSIGN_OR_RETURN(ColumnHandle r, EvalExpr(*e.children[1], input, ctx));
+  const BinaryOp op = e.bin_op;
+
+  if (op != BinaryOp::kAnd && op != BinaryOp::kOr) {
+    if (BothNumericNoNulls(*l, *r)) return FastBinary(op, *l, *r);
+    if (IsComparison(op) && l->type() == DataType::kString &&
+        r->type() == DataType::kString && !l->HasNulls() && !r->HasNulls()) {
+      return FastStringCompare(op, *l, *r);
+    }
+  } else if (l->type() == DataType::kBool && r->type() == DataType::kBool &&
+             !l->HasNulls() && !r->HasNulls()) {
+    const int64_t n = l->size();
+    std::vector<uint8_t> out(static_cast<size_t>(n));
+    const auto& xa = l->bools();
+    const auto& xb = r->bools();
+    if (op == BinaryOp::kAnd) {
+      for (int64_t i = 0; i < n; ++i) out[i] = (xa[i] && xb[i]) ? 1 : 0;
+    } else {
+      for (int64_t i = 0; i < n; ++i) out[i] = (xa[i] || xb[i]) ? 1 : 0;
+    }
+    return Own(Column::Bools(std::move(out)));
+  }
+
+  // Row-wise fallback with full NULL semantics. The output column type is
+  // determined by the operator so empty and all-NULL results stay typed
+  // (filters require BOOL masks even over zero rows).
+  const int64_t n = l->size();
+  DataType out_type;
+  if (IsComparison(op) || op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    out_type = DataType::kBool;
+  } else if (op == BinaryOp::kMod) {
+    out_type = DataType::kInt64;
+  } else {
+    out_type = DataType::kFloat64;
+  }
+  Column out(out_type);
+  out.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    DL2SQL_ASSIGN_OR_RETURN(Value v,
+                            EvalValueBinary(op, l->GetValue(i), r->GetValue(i)));
+    // Int arithmetic results coerce into the float output cleanly; other
+    // type mismatches are genuine errors surfaced by Append.
+    DL2SQL_RETURN_NOT_OK(out.Append(v));
+  }
+  return Own(std::move(out));
+}
+
+Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
+                                  EvalContext* ctx) {
+  if (ctx == nullptr || ctx->udfs == nullptr) {
+    return Status::InvalidArgument("no UDF registry available for call to ",
+                                   e.func_name);
+  }
+  DL2SQL_ASSIGN_OR_RETURN(const ScalarUdf* udf, ctx->udfs->Find(e.func_name));
+  if (udf->arity >= 0 && udf->arity != static_cast<int>(e.children.size())) {
+    return Status::InvalidArgument(e.func_name, " expects ", udf->arity,
+                                   " arguments, got ", e.children.size());
+  }
+  std::vector<ColumnHandle> args;
+  args.reserve(e.children.size());
+  for (const auto& c : e.children) {
+    DL2SQL_ASSIGN_OR_RETURN(ColumnHandle a, EvalExpr(*c, input, ctx));
+    args.push_back(std::move(a));
+  }
+  const int64_t n = input.num_rows();
+
+  Stopwatch watch;
+  Column out(udf->return_type == DataType::kNull ? DataType::kFloat64
+                                                 : udf->return_type);
+  out.Reserve(n);
+
+  // Vectorized body: one call for the whole column (batched nUDF inference).
+  if (udf->batch_fn != nullptr) {
+    std::vector<std::vector<Value>> rows(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      rows[static_cast<size_t>(i)].reserve(args.size());
+      for (const auto& a : args) {
+        rows[static_cast<size_t>(i)].push_back(a->GetValue(i));
+      }
+    }
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<Value> results, udf->batch_fn(rows));
+    if (static_cast<int64_t>(results.size()) != n) {
+      return Status::InternalError(e.func_name, " batch body returned ",
+                                   results.size(), " values for ", n, " rows");
+    }
+    for (const auto& v : results) {
+      DL2SQL_RETURN_NOT_OK(out.Append(v).WithContext("result of " + e.func_name));
+    }
+    if (udf->is_neural) {
+      const double secs = watch.ElapsedSeconds();
+      ctx->inference_seconds += secs;
+      ctx->neural_calls += n;
+      if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
+    }
+    return Own(std::move(out));
+  }
+
+  std::vector<Value> row(args.size());
+  bool typed = udf->return_type != DataType::kNull;
+  std::vector<Value> untyped_buffer;
+  for (int64_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < args.size(); ++a) row[a] = args[a]->GetValue(i);
+    DL2SQL_ASSIGN_OR_RETURN(Value v, udf->fn(row));
+    if (!typed) {
+      // Functions with dynamic return type (e.g. if()): type from first
+      // non-null result.
+      untyped_buffer.push_back(std::move(v));
+      if (!untyped_buffer.back().is_null()) {
+        Column c(untyped_buffer.back().type());
+        c.Reserve(n);
+        for (const auto& bv : untyped_buffer) {
+          DL2SQL_RETURN_NOT_OK(c.Append(bv));
+        }
+        out = std::move(c);
+        typed = true;
+        untyped_buffer.clear();
+      }
+      continue;
+    }
+    DL2SQL_RETURN_NOT_OK(out.Append(v).WithContext("result of " + e.func_name));
+  }
+  if (!typed) {
+    // All results NULL.
+    Column c(DataType::kFloat64);
+    for (int64_t i = 0; i < n; ++i) {
+      DL2SQL_RETURN_NOT_OK(c.Append(Value::Null()));
+    }
+    out = std::move(c);
+  }
+  if (udf->is_neural) {
+    const double secs = watch.ElapsedSeconds();
+    ctx->inference_seconds += secs;
+    ctx->neural_calls += n;
+    if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
+  }
+  return Own(std::move(out));
+}
+
+}  // namespace
+
+Result<ColumnHandle> EvalExpr(const Expr& e, const Table& input,
+                              EvalContext* ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return Own(BroadcastValue(e.literal, input.num_rows()));
+    case ExprKind::kColumnRef: {
+      int idx = e.bound_index;
+      if (idx < 0) {
+        DL2SQL_ASSIGN_OR_RETURN(idx, input.schema().Find(e.column_name));
+      }
+      if (idx >= input.num_columns()) {
+        return Status::InternalError("bound column index ", idx,
+                                     " out of range");
+      }
+      return Alias(input.column(idx));
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, input, ctx);
+    case ExprKind::kUnary: {
+      DL2SQL_ASSIGN_OR_RETURN(ColumnHandle x,
+                              EvalExpr(*e.children[0], input, ctx));
+      const int64_t n = x->size();
+      if (e.un_op == UnaryOp::kNot) {
+        if (x->type() != DataType::kBool) {
+          return Status::TypeError("NOT expects BOOL, got ",
+                                   DataTypeToString(x->type()));
+        }
+        Column out(DataType::kBool);
+        out.Reserve(n);
+        for (int64_t i = 0; i < n; ++i) {
+          const Value v = x->GetValue(i);
+          DL2SQL_RETURN_NOT_OK(out.Append(
+              v.is_null() ? Value::Null() : Value::Bool(!v.bool_value())));
+        }
+        return Own(std::move(out));
+      }
+      // Negation.
+      if (x->type() == DataType::kInt64 && !x->HasNulls()) {
+        std::vector<int64_t> out(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) out[i] = -x->ints()[i];
+        return Own(Column::Ints(std::move(out)));
+      }
+      Column out(DataType::kFloat64);
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        const Value v = x->GetValue(i);
+        if (v.is_null()) {
+          DL2SQL_RETURN_NOT_OK(out.Append(Value::Null()));
+        } else {
+          DL2SQL_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          DL2SQL_RETURN_NOT_OK(out.Append(Value::Float(-d)));
+        }
+      }
+      return Own(std::move(out));
+    }
+    case ExprKind::kFuncCall:
+      return EvalFuncCall(e, input, ctx);
+    case ExprKind::kAggCall:
+      return Status::InternalError(
+          "aggregate call reached the evaluator; it should have been planned "
+          "into an Aggregate operator: ",
+          e.ToString());
+    case ExprKind::kScalarSubquery: {
+      if (ctx == nullptr || !ctx->subquery_exec) {
+        return Status::InvalidArgument("scalar subquery without executor");
+      }
+      DL2SQL_ASSIGN_OR_RETURN(Value v, ctx->subquery_exec(*e.subquery));
+      return Own(BroadcastValue(v, input.num_rows()));
+    }
+    case ExprKind::kInList: {
+      DL2SQL_ASSIGN_OR_RETURN(ColumnHandle tested,
+                              EvalExpr(*e.children[0], input, ctx));
+      std::vector<Value> list;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        DL2SQL_ASSIGN_OR_RETURN(Value v, EvalScalar(*e.children[i], ctx));
+        list.push_back(std::move(v));
+      }
+      const int64_t n = tested->size();
+      Column out(DataType::kBool);
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        const Value v = tested->GetValue(i);
+        if (v.is_null()) {
+          DL2SQL_RETURN_NOT_OK(out.Append(Value::Null()));
+          continue;
+        }
+        bool found = false;
+        for (const auto& item : list) {
+          if (v.Equals(item)) {
+            found = true;
+            break;
+          }
+        }
+        DL2SQL_RETURN_NOT_OK(out.Append(Value::Bool(found)));
+      }
+      return Own(std::move(out));
+    }
+    case ExprKind::kStar:
+      return Status::InternalError("'*' reached the evaluator");
+  }
+  return Status::InternalError("unhandled expression kind");
+}
+
+Result<Value> EvalScalar(const Expr& e, EvalContext* ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kScalarSubquery: {
+      if (ctx == nullptr || !ctx->subquery_exec) {
+        return Status::InvalidArgument("scalar subquery without executor");
+      }
+      return ctx->subquery_exec(*e.subquery);
+    }
+    case ExprKind::kBinary: {
+      DL2SQL_ASSIGN_OR_RETURN(Value l, EvalScalar(*e.children[0], ctx));
+      DL2SQL_ASSIGN_OR_RETURN(Value r, EvalScalar(*e.children[1], ctx));
+      return EvalValueBinary(e.bin_op, l, r);
+    }
+    case ExprKind::kUnary: {
+      DL2SQL_ASSIGN_OR_RETURN(Value v, EvalScalar(*e.children[0], ctx));
+      if (v.is_null()) return Value::Null();
+      if (e.un_op == UnaryOp::kNot) {
+        if (v.type() != DataType::kBool) {
+          return Status::TypeError("NOT expects BOOL");
+        }
+        return Value::Bool(!v.bool_value());
+      }
+      DL2SQL_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      if (v.type() == DataType::kInt64) return Value::Int(-v.int_value());
+      return Value::Float(-d);
+    }
+    case ExprKind::kFuncCall: {
+      if (ctx == nullptr || ctx->udfs == nullptr) {
+        return Status::InvalidArgument("no UDF registry for ", e.func_name);
+      }
+      DL2SQL_ASSIGN_OR_RETURN(const ScalarUdf* udf, ctx->udfs->Find(e.func_name));
+      std::vector<Value> args;
+      for (const auto& c : e.children) {
+        DL2SQL_ASSIGN_OR_RETURN(Value v, EvalScalar(*c, ctx));
+        args.push_back(std::move(v));
+      }
+      Stopwatch watch;
+      DL2SQL_ASSIGN_OR_RETURN(Value out, udf->fn(args));
+      if (udf->is_neural) {
+        const double secs = watch.ElapsedSeconds();
+        ctx->inference_seconds += secs;
+        ctx->neural_calls += 1;
+        if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
+      }
+      return out;
+    }
+    default:
+      return Status::InvalidArgument("expression is not row-independent: ",
+                                     e.ToString());
+  }
+}
+
+Result<DataType> InferExprType(const Expr& e, const TableSchema& schema,
+                               const UdfRegistry* udfs) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal.type() == DataType::kNull ? DataType::kFloat64
+                                                 : e.literal.type();
+    case ExprKind::kColumnRef: {
+      if (e.bound_index >= 0 && e.bound_index < schema.num_fields()) {
+        return schema.field(e.bound_index).type;
+      }
+      DL2SQL_ASSIGN_OR_RETURN(int idx, schema.Find(e.column_name));
+      return schema.field(idx).type;
+    }
+    case ExprKind::kBinary: {
+      if (IsComparison(e.bin_op) || e.bin_op == BinaryOp::kAnd ||
+          e.bin_op == BinaryOp::kOr) {
+        return DataType::kBool;
+      }
+      if (e.bin_op == BinaryOp::kDiv) return DataType::kFloat64;
+      if (e.bin_op == BinaryOp::kMod) return DataType::kInt64;
+      DL2SQL_ASSIGN_OR_RETURN(DataType l,
+                              InferExprType(*e.children[0], schema, udfs));
+      DL2SQL_ASSIGN_OR_RETURN(DataType r,
+                              InferExprType(*e.children[1], schema, udfs));
+      if (l == DataType::kInt64 && r == DataType::kInt64) {
+        return DataType::kInt64;
+      }
+      return DataType::kFloat64;
+    }
+    case ExprKind::kUnary:
+      if (e.un_op == UnaryOp::kNot) return DataType::kBool;
+      return InferExprType(*e.children[0], schema, udfs);
+    case ExprKind::kFuncCall: {
+      if (udfs != nullptr) {
+        auto r = udfs->Find(e.func_name);
+        if (r.ok() && (*r)->return_type != DataType::kNull) {
+          return (*r)->return_type;
+        }
+      }
+      return DataType::kFloat64;
+    }
+    case ExprKind::kAggCall:
+      switch (e.agg_func) {
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          return DataType::kInt64;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          return InferExprType(*e.children[0], schema, udfs);
+        default:
+          return DataType::kFloat64;
+      }
+    case ExprKind::kScalarSubquery:
+      return DataType::kFloat64;
+    case ExprKind::kInList:
+      return DataType::kBool;
+    case ExprKind::kStar:
+      return Status::InvalidArgument("cannot type '*'");
+  }
+  return Status::InternalError("unhandled expression kind");
+}
+
+Result<std::vector<int64_t>> FilterRows(const Expr& predicate,
+                                        const Table& input, EvalContext* ctx) {
+  DL2SQL_ASSIGN_OR_RETURN(ColumnHandle mask, EvalExpr(predicate, input, ctx));
+  if (mask->type() != DataType::kBool) {
+    return Status::TypeError("filter predicate must be BOOL, got ",
+                             DataTypeToString(mask->type()), " from ",
+                             predicate.ToString());
+  }
+  std::vector<int64_t> rows;
+  const int64_t n = mask->size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (mask->IsValid(i) && mask->bools()[static_cast<size_t>(i)] != 0) {
+      rows.push_back(i);
+    }
+  }
+  return rows;
+}
+
+}  // namespace dl2sql::db

@@ -1,0 +1,55 @@
+/// \file eval.h
+/// \brief Vectorized expression evaluation over columnar tables.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/timer.h"
+#include "db/expr.h"
+#include "db/table.h"
+#include "db/udf.h"
+
+namespace dl2sql::db {
+
+/// \brief Shared evaluation state threaded through expression evaluation.
+struct EvalContext {
+  const UdfRegistry* udfs = nullptr;
+  /// Executes a scalar subquery (wired to the Database executor); must return
+  /// a single value.
+  std::function<Result<Value>(const SelectStmt&)> subquery_exec;
+  /// When set, neural-UDF wall time is charged to the "inference" bucket so
+  /// operators can report relational vs. inference cost separately.
+  CostAccumulator* costs = nullptr;
+  /// Accumulated nUDF seconds (all calls through this context).
+  double inference_seconds = 0.0;
+  /// Number of nUDF invocations (rows actually sent to a model); the hint
+  /// benchmarks assert pruning through this counter.
+  int64_t neural_calls = 0;
+};
+
+/// Shared, possibly non-owning column handle (column refs alias the input
+/// table's columns to avoid deep copies).
+using ColumnHandle = std::shared_ptr<const Column>;
+
+/// Evaluates `e` over every row of `input`, producing a column of
+/// input.num_rows() values. Aggregate calls must have been planned away.
+Result<ColumnHandle> EvalExpr(const Expr& e, const Table& input,
+                              EvalContext* ctx);
+
+/// Evaluates a row-independent expression (literals, subqueries, functions of
+/// those) to a single value.
+Result<Value> EvalScalar(const Expr& e, EvalContext* ctx);
+
+/// Applies a binary operator to two scalars with SQL NULL propagation.
+Result<Value> EvalValueBinary(BinaryOp op, const Value& l, const Value& r);
+
+/// Static result type of an expression against a schema.
+Result<DataType> InferExprType(const Expr& e, const TableSchema& schema,
+                               const UdfRegistry* udfs);
+
+/// Evaluates a predicate and returns the passing row indices.
+Result<std::vector<int64_t>> FilterRows(const Expr& predicate,
+                                        const Table& input, EvalContext* ctx);
+
+}  // namespace dl2sql::db

@@ -1,0 +1,202 @@
+#include "db/exec/symmetric_hash_join.h"
+
+#include <limits>
+#include <list>
+#include <unordered_map>
+
+#include "db/exec/row_key.h"
+
+namespace dl2sql::db {
+
+namespace {
+
+constexpr int64_t kNeverEvicted = std::numeric_limits<int64_t>::max();
+
+/// A consumed tuple: source row, global arrival stamp, eviction stamp.
+struct TupleEntry {
+  int64_t row;
+  int64_t arrival;
+  int64_t evicted_at = kNeverEvicted;
+};
+
+/// One side of the symmetric join.
+struct SideState {
+  /// Resident hash table: key -> bucket of tuple indexes (into `all`).
+  std::unordered_map<std::string, std::vector<size_t>> resident;
+  /// Every consumed tuple (resident or evicted), in arrival order, with its
+  /// key retained for the cleanup phase.
+  std::vector<TupleEntry> all;
+  std::vector<std::string> keys;  ///< parallel to `all`
+  /// Full key index over `all` (for cleanup probing).
+  std::unordered_map<std::string, std::vector<size_t>> full_index;
+  /// LRU ordering of resident buckets (front = most recent).
+  std::list<std::string> lru;
+  std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos;
+  int64_t resident_tuples = 0;
+
+  void Touch(const std::string& key) {
+    auto it = lru_pos.find(key);
+    if (it != lru_pos.end()) {
+      lru.erase(it->second);
+    }
+    lru.push_front(key);
+    lru_pos[key] = lru.begin();
+  }
+
+  void Insert(const std::string& key, int64_t row, int64_t arrival) {
+    const size_t idx = all.size();
+    all.push_back({row, arrival, kNeverEvicted});
+    keys.push_back(key);
+    full_index[key].push_back(idx);
+    resident[key].push_back(idx);
+    ++resident_tuples;
+    Touch(key);
+  }
+
+  /// Evicts the least-recently-used bucket; returns evicted tuple count.
+  int64_t EvictLruBucket(int64_t now) {
+    if (lru.empty()) return 0;
+    const std::string key = lru.back();
+    lru.pop_back();
+    lru_pos.erase(key);
+    auto it = resident.find(key);
+    if (it == resident.end()) return 0;
+    int64_t evicted = 0;
+    for (size_t idx : it->second) {
+      all[idx].evicted_at = now;
+      ++evicted;
+    }
+    resident_tuples -= evicted;
+    resident.erase(it);
+    return evicted;
+  }
+};
+
+/// Evaluates the key expression over a [begin, end) slice of `table`.
+Result<std::vector<std::string>> BatchKeys(const Table& table, const Expr& key,
+                                           int64_t begin, int64_t end,
+                                           EvalContext* ctx) {
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(end - begin));
+  for (int64_t r = begin; r < end; ++r) rows.push_back(r);
+  const Table slice = table.TakeRows(rows);
+  DL2SQL_ASSIGN_OR_RETURN(ColumnHandle col, EvalExpr(key, slice, ctx));
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = 0; i < col->size(); ++i) {
+    std::string k;
+    if (col->IsValid(i)) {
+      AppendKeyPart(*col, i, &k);
+    }
+    keys.push_back(std::move(k));  // empty key string = NULL, never joins
+  }
+  return keys;
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<int64_t, int64_t>>> SymmetricHashJoinPairs(
+    const Table& left, const Table& right, const Expr& left_key,
+    const Expr& right_key, EvalContext* ctx,
+    const SymmetricHashJoinOptions& options, SymmetricHashJoinStats* stats) {
+  if (options.batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  SideState ls, rs;
+  std::vector<std::pair<int64_t, int64_t>> out;
+  SymmetricHashJoinStats local_stats;
+
+  int64_t lpos = 0, rpos = 0;
+  int64_t clock = 0;  // global arrival/eviction stamp
+
+  auto maybe_evict = [&](int64_t now) {
+    if (options.memory_budget_tuples <= 0) return;
+    while (ls.resident_tuples + rs.resident_tuples >
+           options.memory_budget_tuples) {
+      // Evict from the side holding more resident tuples; bucket-granular.
+      SideState& victim = ls.resident_tuples >= rs.resident_tuples ? ls : rs;
+      const int64_t evicted = victim.EvictLruBucket(now);
+      if (evicted == 0) break;  // nothing left to evict
+      ++local_stats.evicted_buckets;
+      local_stats.evicted_tuples += evicted;
+    }
+  };
+
+  // Alternate batches from both inputs (symmetric pipelining).
+  while (lpos < left.num_rows() || rpos < right.num_rows()) {
+    if (lpos < left.num_rows()) {
+      const int64_t end = std::min(left.num_rows(), lpos + options.batch_size);
+      DL2SQL_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                              BatchKeys(left, left_key, lpos, end, ctx));
+      for (int64_t r = lpos; r < end; ++r) {
+        const std::string& k = keys[static_cast<size_t>(r - lpos)];
+        const int64_t now = clock++;
+        if (k.empty()) continue;  // NULL key
+        // Probe the right side's resident bucket (this tuple is "later").
+        auto it = rs.resident.find(k);
+        if (it != rs.resident.end()) {
+          rs.Touch(k);
+          for (size_t idx : it->second) {
+            out.emplace_back(r, rs.all[idx].row);
+            ++local_stats.online_pairs;
+          }
+        }
+        ls.Insert(k, r, now);
+        maybe_evict(now);
+      }
+      lpos = end;
+    }
+    if (rpos < right.num_rows()) {
+      const int64_t end = std::min(right.num_rows(), rpos + options.batch_size);
+      DL2SQL_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                              BatchKeys(right, right_key, rpos, end, ctx));
+      for (int64_t r = rpos; r < end; ++r) {
+        const std::string& k = keys[static_cast<size_t>(r - rpos)];
+        const int64_t now = clock++;
+        if (k.empty()) continue;
+        auto it = ls.resident.find(k);
+        if (it != ls.resident.end()) {
+          ls.Touch(k);
+          for (size_t idx : it->second) {
+            out.emplace_back(ls.all[idx].row, r);
+            ++local_stats.online_pairs;
+          }
+        }
+        rs.Insert(k, r, now);
+        maybe_evict(now);
+      }
+      rpos = end;
+    }
+  }
+
+  // Cleanup: recover pairs whose earlier tuple was evicted before the later
+  // tuple arrived. A pair is recovered exactly once, via its earlier tuple.
+  auto cleanup = [&](const SideState& evicted_side, const SideState& other,
+                     bool evicted_is_left) {
+    for (size_t i = 0; i < evicted_side.all.size(); ++i) {
+      const TupleEntry& t = evicted_side.all[i];
+      if (t.evicted_at == kNeverEvicted) continue;
+      auto it = other.full_index.find(evicted_side.keys[i]);
+      if (it == other.full_index.end()) continue;
+      for (size_t oidx : it->second) {
+        const TupleEntry& u = other.all[oidx];
+        // u is later than t's eviction => the online probe missed this pair.
+        if (u.arrival >= t.evicted_at) {
+          if (evicted_is_left) {
+            out.emplace_back(t.row, u.row);
+          } else {
+            out.emplace_back(u.row, t.row);
+          }
+          ++local_stats.cleanup_pairs;
+        }
+      }
+    }
+  };
+  cleanup(ls, rs, /*evicted_is_left=*/true);
+  cleanup(rs, ls, /*evicted_is_left=*/false);
+
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace dl2sql::db

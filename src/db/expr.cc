@@ -1,0 +1,255 @@
+#include "db/expr.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dl2sql::db {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kStddevSamp:
+      return "stddevSamp";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Col(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column_name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::BoundCol(int index, std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column_name = std::move(name);
+  e->bound_index = index;
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr x) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->children = {std::move(x)};
+  return e;
+}
+
+ExprPtr Expr::Func(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Agg(AggFunc f, ExprPtr arg) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAggCall;
+  e->agg_func = f;
+  if (arg != nullptr) e->children = {std::move(arg)};
+  return e;
+}
+
+ExprPtr Expr::Subquery(std::shared_ptr<SelectStmt> stmt) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kScalarSubquery;
+  e->subquery = std::move(stmt);
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr tested, std::vector<ExprPtr> list) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kInList;
+  e->children.push_back(std::move(tested));
+  for (auto& x : list) e->children.push_back(std::move(x));
+  return e;
+}
+
+ExprPtr Expr::Star() {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_shared<Expr>(*this);
+  for (auto& c : e->children) c = c->Clone();
+  // The subquery AST is treated as immutable and can stay shared.
+  return e;
+}
+
+bool Expr::HasAggregate() const {
+  if (kind == ExprKind::kAggCall) return true;
+  for (const auto& c : children) {
+    if (c->HasAggregate()) return true;
+  }
+  return false;
+}
+
+bool Expr::CallsFunction(const std::string& name) const {
+  if (kind == ExprKind::kFuncCall && EqualsIgnoreCase(func_name, name)) {
+    return true;
+  }
+  for (const auto& c : children) {
+    if (c->CallsFunction(name)) return true;
+  }
+  return false;
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind == ExprKind::kColumnRef) out->push_back(column_name);
+  for (const auto& c : children) c->CollectColumns(out);
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.type() == DataType::kString) {
+        oss << "'" << literal.ToString() << "'";
+      } else {
+        oss << literal.ToString();
+      }
+      break;
+    case ExprKind::kColumnRef:
+      oss << column_name;
+      if (bound_index >= 0 && column_name.empty()) oss << "#" << bound_index;
+      break;
+    case ExprKind::kBinary:
+      oss << "(" << children[0]->ToString() << " " << BinaryOpToString(bin_op)
+          << " " << children[1]->ToString() << ")";
+      break;
+    case ExprKind::kUnary:
+      oss << (un_op == UnaryOp::kNot ? "NOT " : "-") << children[0]->ToString();
+      break;
+    case ExprKind::kFuncCall: {
+      oss << func_name << "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) oss << ", ";
+        oss << children[i]->ToString();
+      }
+      oss << ")";
+      break;
+    }
+    case ExprKind::kAggCall:
+      oss << AggFuncToString(agg_func) << "(";
+      if (agg_func == AggFunc::kCountStar) {
+        oss << "*";
+      } else {
+        oss << children[0]->ToString();
+      }
+      oss << ")";
+      break;
+    case ExprKind::kScalarSubquery:
+      oss << "(<subquery>)";
+      break;
+    case ExprKind::kInList: {
+      oss << children[0]->ToString() << " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) oss << ", ";
+        oss << children[i]->ToString();
+      }
+      oss << ")";
+      break;
+    }
+    case ExprKind::kStar:
+      oss << "*";
+      break;
+  }
+  return oss.str();
+}
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind == ExprKind::kBinary && e->bin_op == BinaryOp::kAnd) {
+    SplitConjuncts(e->children[0], out);
+    SplitConjuncts(e->children[1], out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& terms) {
+  if (terms.empty()) return Expr::Lit(Value::Bool(true));
+  ExprPtr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) {
+    acc = Expr::Binary(BinaryOp::kAnd, acc, terms[i]);
+  }
+  return acc;
+}
+
+}  // namespace dl2sql::db

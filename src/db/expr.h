@@ -1,0 +1,133 @@
+/// \file expr.h
+/// \brief Expression AST shared by the SQL parser, planner and evaluator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/types.h"
+#include "db/value.h"
+
+namespace dl2sql::db {
+
+struct SelectStmt;  // defined in db/sql/ast.h
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kUnary,
+  kFuncCall,
+  kAggCall,
+  kScalarSubquery,
+  kInList,
+  kStar,
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp : uint8_t { kNot, kNeg };
+
+enum class AggFunc : uint8_t {
+  kCount,      ///< COUNT(expr): non-null (and non-false for bool) rows
+  kCountStar,  ///< COUNT(*)
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kStddevSamp,  ///< sample standard deviation (ClickHouse stddevSamp)
+};
+
+const char* BinaryOpToString(BinaryOp op);
+const char* AggFuncToString(AggFunc f);
+bool IsComparison(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// \brief A node in the expression tree.
+///
+/// One class with a kind tag (rather than a class hierarchy) keeps cloning,
+/// printing and tree-walking in one place; only a few fields are meaningful
+/// per kind.
+class Expr {
+ public:
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: `name` as written; `bound_index` set by the planner (or -1,
+  // in which case the evaluator resolves by name at runtime).
+  std::string column_name;
+  int bound_index = -1;
+
+  // kBinary / kUnary
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNot;
+
+  // kFuncCall: function (built-in or UDF) name.
+  std::string func_name;
+
+  // kAggCall
+  AggFunc agg_func = AggFunc::kCount;
+
+  // kScalarSubquery
+  std::shared_ptr<SelectStmt> subquery;
+
+  // children: operands / arguments / IN-list elements (first = tested expr)
+  std::vector<ExprPtr> children;
+
+  /// \name Factory helpers
+  /// @{
+  static ExprPtr Lit(Value v);
+  static ExprPtr Col(std::string name);
+  static ExprPtr BoundCol(int index, std::string name = "");
+  static ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Unary(UnaryOp op, ExprPtr x);
+  static ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr Agg(AggFunc f, ExprPtr arg);  // arg may be null for COUNT(*)
+  static ExprPtr Subquery(std::shared_ptr<SelectStmt> stmt);
+  static ExprPtr In(ExprPtr tested, std::vector<ExprPtr> list);
+  static ExprPtr Star();
+  /// @}
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// True if the subtree contains an aggregate call.
+  bool HasAggregate() const;
+
+  /// True if the subtree calls the named function (case-insensitive).
+  bool CallsFunction(const std::string& name) const;
+
+  /// Collects the names of all referenced (unbound) columns.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  /// SQL-ish rendering for plan output and error messages.
+  std::string ToString() const;
+};
+
+/// Splits a conjunctive predicate into its AND-ed terms.
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+/// AND-combines terms (returns TRUE literal for empty input).
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& terms);
+
+}  // namespace dl2sql::db

@@ -1,0 +1,30 @@
+#include "db/index.h"
+
+namespace dl2sql::db {
+
+Result<std::shared_ptr<HashIndex>> HashIndex::Build(const Table& table,
+                                                    int column_index) {
+  if (column_index < 0 || column_index >= table.num_columns()) {
+    return Status::InvalidArgument("index column ", column_index,
+                                   " out of range");
+  }
+  const Column& col = table.column(column_index);
+  if (col.type() != DataType::kInt64) {
+    return Status::InvalidArgument(
+        "hash indexes support INT64 columns, got ",
+        DataTypeToString(col.type()), " for column ",
+        table.schema().field(column_index).name);
+  }
+  auto index = std::shared_ptr<HashIndex>(new HashIndex());
+  index->column_index_ = column_index;
+  index->indexed_rows_ = col.size();
+  index->map_.reserve(static_cast<size_t>(col.size()));
+  const auto& vals = col.ints();
+  for (int64_t r = 0; r < col.size(); ++r) {
+    if (!col.IsValid(r)) continue;
+    index->map_[vals[static_cast<size_t>(r)]].push_back(r);
+  }
+  return index;
+}
+
+}  // namespace dl2sql::db

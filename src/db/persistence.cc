@@ -1,0 +1,93 @@
+#include "db/persistence.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "db/codec.h"
+#include "db/sql/printer.h"
+
+namespace dl2sql::db {
+
+namespace {
+constexpr char kMagic[] = "LDBSNAP1";
+}
+
+std::string SelectToSql(const SelectStmt& stmt) { return sql::PrintSelect(stmt); }
+std::string ExprToSql(const Expr& e) { return sql::PrintExpr(e); }
+
+Result<std::string> SnapshotDatabase(const Database& db) {
+  BufferWriter w;
+  w.WriteRaw(kMagic, 8);
+
+  std::vector<std::string> tables;
+  for (const auto& name : db.catalog().TableNames()) {
+    if (!db.catalog().IsTemporary(name)) tables.push_back(name);
+  }
+  w.WriteU32(static_cast<uint32_t>(tables.size()));
+  for (const auto& name : tables) {
+    DL2SQL_ASSIGN_OR_RETURN(TablePtr t, db.catalog().GetTable(name));
+    DL2SQL_ASSIGN_OR_RETURN(std::string bytes, CompressTable(*t));
+    w.WriteString(name);
+    w.WriteString(bytes);
+  }
+
+  const std::vector<std::string> views = db.catalog().ViewNames();
+  w.WriteU32(static_cast<uint32_t>(views.size()));
+  for (const auto& name : views) {
+    DL2SQL_ASSIGN_OR_RETURN(auto def, db.catalog().GetView(name));
+    w.WriteString(name);
+    w.WriteString(sql::PrintSelect(*def));
+  }
+  return w.Take();
+}
+
+Status RestoreDatabase(const std::string& bytes, Database* db) {
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 8) != 0) {
+    return Status::ParseError("bad snapshot magic");
+  }
+  BufferReader r(bytes);
+  for (int i = 0; i < 8; ++i) {
+    DL2SQL_RETURN_NOT_OK(r.ReadU8().status());
+  }
+  DL2SQL_ASSIGN_OR_RETURN(uint32_t ntables, r.ReadU32());
+  for (uint32_t i = 0; i < ntables; ++i) {
+    DL2SQL_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    DL2SQL_ASSIGN_OR_RETURN(std::string payload, r.ReadString());
+    DL2SQL_ASSIGN_OR_RETURN(Table t, DecompressTable(payload));
+    DL2SQL_RETURN_NOT_OK(db->RegisterTable(name, std::move(t)));
+  }
+  DL2SQL_ASSIGN_OR_RETURN(uint32_t nviews, r.ReadU32());
+  for (uint32_t i = 0; i < nviews; ++i) {
+    DL2SQL_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    DL2SQL_ASSIGN_OR_RETURN(std::string sql_text, r.ReadString());
+    DL2SQL_ASSIGN_OR_RETURN(Statement stmt, sql::ParseStatement(sql_text));
+    if (!std::holds_alternative<std::shared_ptr<SelectStmt>>(stmt)) {
+      return Status::ParseError("snapshot view '", name,
+                                "' did not parse as a SELECT");
+    }
+    DL2SQL_RETURN_NOT_OK(db->catalog().CreateView(
+        name, std::get<std::shared_ptr<SelectStmt>>(stmt),
+        /*or_replace=*/true));
+  }
+  return Status::OK();
+}
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  DL2SQL_ASSIGN_OR_RETURN(std::string bytes, SnapshotDatabase(db));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '", path, "' for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IoError("short write to '", path, "'");
+  return Status::OK();
+}
+
+Status LoadDatabase(const std::string& path, Database* db) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '", path, "' for reading");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return RestoreDatabase(bytes, db);
+}
+
+}  // namespace dl2sql::db

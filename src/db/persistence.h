@@ -1,0 +1,36 @@
+/// \file persistence.h
+/// \brief Database snapshots: save/load the catalog's base tables (and view
+/// definitions) to a single file using the columnar codec.
+///
+/// Edge deployments in the paper's setting collect sensor data continuously;
+/// a snapshot format lets a lindb instance survive restarts and lets
+/// experiment datasets be generated once and reused. Temporary tables are
+/// not persisted. Views are stored as their SQL definition and re-parsed on
+/// load.
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+
+namespace dl2sql::db {
+
+/// Serializes all non-temporary tables and views into `bytes`.
+Result<std::string> SnapshotDatabase(const Database& db);
+
+/// Restores tables/views from SnapshotDatabase output into `db` (existing
+/// same-named tables are replaced).
+Status RestoreDatabase(const std::string& bytes, Database* db);
+
+/// File convenience wrappers.
+Status SaveDatabase(const Database& db, const std::string& path);
+Status LoadDatabase(const std::string& path, Database* db);
+
+/// Renders a view definition back to SQL (used by the snapshot writer; also
+/// handy for SHOW CREATE-style introspection).
+std::string SelectToSql(const SelectStmt& stmt);
+
+/// Renders an expression to SQL (round-trips through the parser).
+std::string ExprToSql(const Expr& e);
+
+}  // namespace dl2sql::db

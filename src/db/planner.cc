@@ -1,0 +1,343 @@
+#include "db/planner.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "db/eval.h"
+
+namespace dl2sql::db {
+
+namespace {
+
+constexpr int kMaxViewDepth = 16;
+
+/// Output column name for an expression without an explicit alias.
+std::string DefaultName(const Expr& e) {
+  if (e.kind == ExprKind::kColumnRef) {
+    const size_t dot = e.column_name.rfind('.');
+    return dot == std::string::npos ? e.column_name
+                                    : e.column_name.substr(dot + 1);
+  }
+  return e.ToString();
+}
+
+/// Rewrites `e` in place, replacing subtrees that textually match a group key
+/// or a collected aggregate call with bound references into the Aggregate
+/// node's output (keys first, then aggregates).
+Status RewriteAggExpr(ExprPtr* e, const std::vector<std::string>& key_strs,
+                      const std::vector<std::string>& agg_strs,
+                      const TableSchema& agg_schema) {
+  const std::string s = (*e)->ToString();
+  for (size_t i = 0; i < key_strs.size(); ++i) {
+    if (s == key_strs[i]) {
+      *e = Expr::BoundCol(static_cast<int>(i),
+                          agg_schema.field(static_cast<int>(i)).name);
+      return Status::OK();
+    }
+  }
+  for (size_t i = 0; i < agg_strs.size(); ++i) {
+    if (s == agg_strs[i]) {
+      const int idx = static_cast<int>(key_strs.size() + i);
+      *e = Expr::BoundCol(idx, agg_schema.field(idx).name);
+      return Status::OK();
+    }
+  }
+  if ((*e)->kind == ExprKind::kAggCall) {
+    return Status::InvalidArgument("unplanned aggregate ", (*e)->ToString());
+  }
+  if ((*e)->kind == ExprKind::kColumnRef) {
+    return Status::InvalidArgument(
+        "column ", (*e)->column_name,
+        " must appear in GROUP BY or inside an aggregate");
+  }
+  for (auto& c : (*e)->children) {
+    DL2SQL_RETURN_NOT_OK(RewriteAggExpr(&c, key_strs, agg_strs, agg_schema));
+  }
+  return Status::OK();
+}
+
+/// Collects distinct aggregate calls (textual identity) in evaluation order.
+void CollectAggCalls(const ExprPtr& e, std::vector<ExprPtr>* calls,
+                     std::vector<std::string>* strs) {
+  if (e->kind == ExprKind::kAggCall) {
+    const std::string s = e->ToString();
+    for (const auto& seen : *strs) {
+      if (seen == s) return;
+    }
+    calls->push_back(e->Clone());
+    strs->push_back(s);
+    return;  // no nested aggregates
+  }
+  for (const auto& c : e->children) CollectAggCalls(c, calls, strs);
+}
+
+}  // namespace
+
+Status BindExpr(Expr* e, const TableSchema& schema) {
+  if (e->kind == ExprKind::kColumnRef) {
+    if (e->bound_index < 0) {
+      DL2SQL_ASSIGN_OR_RETURN(int idx, schema.Find(e->column_name));
+      e->bound_index = idx;
+    }
+    return Status::OK();
+  }
+  if (e->kind == ExprKind::kScalarSubquery) return Status::OK();
+  for (auto& c : e->children) {
+    DL2SQL_RETURN_NOT_OK(BindExpr(c.get(), schema));
+  }
+  return Status::OK();
+}
+
+Result<PlanPtr> Planner::PlanTableRef(const TableRef& ref, int depth) {
+  if (depth > kMaxViewDepth) {
+    return Status::InvalidArgument("view nesting deeper than ", kMaxViewDepth,
+                                   " (cycle?)");
+  }
+  const std::string qualifier = ref.EffectiveName();
+  if (ref.IsDerived()) {
+    DL2SQL_ASSIGN_OR_RETURN(PlanPtr sub, PlanSelectImpl(*ref.subquery, depth + 1));
+    // Requalify the derived table's output columns under its alias.
+    TableSchema schema;
+    for (const auto& f : sub->output_schema.fields()) {
+      const size_t dot = f.name.rfind('.');
+      const std::string base =
+          dot == std::string::npos ? f.name : f.name.substr(dot + 1);
+      schema.AddField(
+          {qualifier.empty() ? base : qualifier + "." + base, f.type});
+    }
+    sub->output_schema = std::move(schema);
+    return sub;
+  }
+  // Base table or view.
+  if (catalog_->HasView(ref.table_name)) {
+    DL2SQL_ASSIGN_OR_RETURN(auto view_def, catalog_->GetView(ref.table_name));
+    TableRef expanded;
+    expanded.subquery = view_def;
+    expanded.alias = qualifier;
+    return PlanTableRef(expanded, depth + 1);
+  }
+  DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(ref.table_name));
+  TableSchema schema;
+  for (const auto& f : table->schema().fields()) {
+    schema.AddField({qualifier + "." + f.name, f.type});
+  }
+  return MakeScan(ref.table_name, qualifier, std::move(schema));
+}
+
+Result<PlanPtr> Planner::PlanSelectImpl(const SelectStmt& stmt, int depth) {
+  // ---- FROM ----
+  PlanPtr plan;
+  if (stmt.from) {
+    DL2SQL_ASSIGN_OR_RETURN(plan, PlanTableRef(*stmt.from, depth));
+    for (const auto& entry : stmt.joins) {
+      DL2SQL_ASSIGN_OR_RETURN(PlanPtr right, PlanTableRef(entry.table, depth));
+      ExprPtr cond;
+      if (entry.on != nullptr) {
+        cond = entry.on->Clone();
+      }
+      PlanPtr join = MakeJoin(plan, right, entry.join == JoinType::kInner,
+                              std::move(cond));
+      if (join->join_condition != nullptr) {
+        DL2SQL_RETURN_NOT_OK(
+            BindExpr(join->join_condition.get(), join->output_schema));
+      }
+      plan = std::move(join);
+    }
+  } else {
+    // SELECT without FROM: a one-row dummy input.
+    plan = MakeScan("", "", TableSchema{});
+  }
+
+  // ---- WHERE ----
+  if (stmt.where != nullptr) {
+    ExprPtr pred = stmt.where->Clone();
+    DL2SQL_RETURN_NOT_OK(BindExpr(pred.get(), plan->output_schema));
+    plan = MakeFilter(std::move(plan), std::move(pred));
+  }
+
+  // ---- aggregation analysis ----
+  bool needs_agg = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (item.expr->HasAggregate()) needs_agg = true;
+  }
+  if (stmt.having != nullptr && stmt.having->HasAggregate()) needs_agg = true;
+
+  // Cloned select expressions (rewritten in the aggregate case).
+  std::vector<ExprPtr> select_exprs;
+  std::vector<std::string> select_names;
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      if (needs_agg) {
+        return Status::InvalidArgument("'*' cannot be used with GROUP BY");
+      }
+      for (int i = 0; i < plan->output_schema.num_fields(); ++i) {
+        const auto& f = plan->output_schema.field(i);
+        select_exprs.push_back(Expr::BoundCol(i, f.name));
+        const size_t dot = f.name.rfind('.');
+        select_names.push_back(dot == std::string::npos
+                                   ? f.name
+                                   : f.name.substr(dot + 1));
+      }
+      continue;
+    }
+    select_exprs.push_back(item.expr->Clone());
+    select_names.push_back(item.alias.empty() ? DefaultName(*item.expr)
+                                              : item.alias);
+  }
+
+  ExprPtr having;
+  std::vector<ExprPtr> order_exprs;
+  for (const auto& o : stmt.order_by) order_exprs.push_back(o.expr->Clone());
+  if (stmt.having != nullptr) having = stmt.having->Clone();
+
+  if (needs_agg) {
+    auto agg = std::make_shared<PlanNode>();
+    agg->kind = PlanKind::kAggregate;
+
+    std::vector<std::string> key_strs;
+    for (const auto& key : stmt.group_by) {
+      ExprPtr k = key->Clone();
+      key_strs.push_back(k->ToString());
+      DL2SQL_RETURN_NOT_OK(BindExpr(k.get(), plan->output_schema));
+      agg->group_names.push_back(DefaultName(*key));
+      agg->group_keys.push_back(std::move(k));
+    }
+
+    std::vector<ExprPtr> agg_calls;
+    std::vector<std::string> agg_strs;
+    for (const auto& e : select_exprs) CollectAggCalls(e, &agg_calls, &agg_strs);
+    if (having != nullptr) CollectAggCalls(having, &agg_calls, &agg_strs);
+    for (const auto& e : order_exprs) CollectAggCalls(e, &agg_calls, &agg_strs);
+
+    TableSchema agg_schema;
+    for (size_t i = 0; i < agg->group_keys.size(); ++i) {
+      DL2SQL_ASSIGN_OR_RETURN(
+          DataType t,
+          InferExprType(*agg->group_keys[i], plan->output_schema, udfs_));
+      agg_schema.AddField({agg->group_names[i], t});
+    }
+    for (size_t i = 0; i < agg_calls.size(); ++i) {
+      ExprPtr call = agg_calls[i];
+      if (call->agg_func != AggFunc::kCountStar) {
+        DL2SQL_RETURN_NOT_OK(
+            BindExpr(call->children[0].get(), plan->output_schema));
+      }
+      DL2SQL_ASSIGN_OR_RETURN(
+          DataType t, InferExprType(*call, plan->output_schema, udfs_));
+      const std::string name = "__agg" + std::to_string(i);
+      agg_schema.AddField({name, t});
+      agg->agg_names.push_back(name);
+      agg->agg_calls.push_back(std::move(call));
+    }
+    agg->output_schema = agg_schema;
+    agg->children = {std::move(plan)};
+    plan = std::move(agg);
+
+    for (auto& e : select_exprs) {
+      DL2SQL_RETURN_NOT_OK(
+          RewriteAggExpr(&e, key_strs, agg_strs, plan->output_schema));
+    }
+    if (having != nullptr) {
+      DL2SQL_RETURN_NOT_OK(
+          RewriteAggExpr(&having, key_strs, agg_strs, plan->output_schema));
+      plan = MakeFilter(std::move(plan), std::move(having));
+    }
+    for (auto& e : order_exprs) {
+      // Try the aggregate rewrite; failures (e.g. references to select-list
+      // aliases) are bound later against the projection output instead.
+      ExprPtr rewritten = e->Clone();
+      if (RewriteAggExpr(&rewritten, key_strs, agg_strs, plan->output_schema)
+              .ok()) {
+        e = std::move(rewritten);
+      }
+    }
+  } else if (having != nullptr) {
+    return Status::InvalidArgument("HAVING without aggregation");
+  }
+
+  // ---- projection ----
+  TableSchema out_schema;
+  for (size_t i = 0; i < select_exprs.size(); ++i) {
+    DL2SQL_RETURN_NOT_OK(BindExpr(select_exprs[i].get(), plan->output_schema));
+    DL2SQL_ASSIGN_OR_RETURN(
+        DataType t, InferExprType(*select_exprs[i], plan->output_schema, udfs_));
+    out_schema.AddField({select_names[i], t});
+  }
+  PlanPtr pre_project = plan;  // kept for ORDER BY fallback binding
+  plan = MakeProject(std::move(plan), select_exprs, select_names, out_schema);
+
+  // ---- ORDER BY ----
+  if (!order_exprs.empty()) {
+    // Bind each key against the projected output; keys referencing
+    // non-projected expressions are carried as hidden projection columns
+    // (__sortN), sorted on, then dropped by a final projection.
+    std::vector<ExprPtr> bound_keys;
+    std::vector<ExprPtr> hidden_exprs;
+    for (size_t i = 0; i < order_exprs.size(); ++i) {
+      ExprPtr key = order_exprs[i]->Clone();
+      if (BindExpr(key.get(), plan->output_schema).ok()) {
+        bound_keys.push_back(std::move(key));
+        continue;
+      }
+      ExprPtr pre = order_exprs[i]->Clone();
+      DL2SQL_RETURN_NOT_OK(BindExpr(pre.get(), pre_project->output_schema)
+                               .WithContext("ORDER BY"));
+      const int hidden_index = static_cast<int>(select_exprs.size()) +
+                               static_cast<int>(hidden_exprs.size());
+      const std::string hname =
+          "__sort" + std::to_string(hidden_exprs.size());
+      hidden_exprs.push_back(std::move(pre));
+      bound_keys.push_back(Expr::BoundCol(hidden_index, hname));
+    }
+
+    const size_t visible = select_exprs.size();
+    if (!hidden_exprs.empty()) {
+      // Rebuild the projection with the hidden sort columns appended.
+      std::vector<ExprPtr> ext_exprs = select_exprs;
+      std::vector<std::string> ext_names = select_names;
+      TableSchema ext_schema = out_schema;
+      for (size_t i = 0; i < hidden_exprs.size(); ++i) {
+        DL2SQL_ASSIGN_OR_RETURN(
+            DataType t,
+            InferExprType(*hidden_exprs[i], pre_project->output_schema, udfs_));
+        const std::string hname = "__sort" + std::to_string(i);
+        ext_exprs.push_back(hidden_exprs[i]);
+        ext_names.push_back(hname);
+        ext_schema.AddField({hname, t});
+      }
+      plan = MakeProject(pre_project, std::move(ext_exprs), std::move(ext_names),
+                         ext_schema);
+    }
+
+    auto sort = std::make_shared<PlanNode>();
+    sort->kind = PlanKind::kSort;
+    sort->output_schema = plan->output_schema;
+    sort->sort_keys = std::move(bound_keys);
+    for (const auto& o : stmt.order_by) {
+      sort->sort_ascending.push_back(o.ascending);
+    }
+    sort->children = {std::move(plan)};
+    plan = std::move(sort);
+
+    if (!hidden_exprs.empty()) {
+      // Drop the hidden columns again.
+      std::vector<ExprPtr> drop_exprs;
+      std::vector<std::string> drop_names;
+      for (size_t i = 0; i < visible; ++i) {
+        drop_exprs.push_back(
+            Expr::BoundCol(static_cast<int>(i), select_names[i]));
+        drop_names.push_back(select_names[i]);
+      }
+      plan = MakeProject(std::move(plan), std::move(drop_exprs),
+                         std::move(drop_names), out_schema);
+    }
+  }
+
+  // ---- LIMIT ----
+  if (stmt.limit >= 0) {
+    plan = MakeLimit(std::move(plan), stmt.limit);
+  }
+  return plan;
+}
+
+}  // namespace dl2sql::db

@@ -1,0 +1,40 @@
+/// \file planner.h
+/// \brief Binds a parsed SELECT against the catalog and produces a plan tree.
+#pragma once
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/plan.h"
+#include "db/udf.h"
+
+namespace dl2sql::db {
+
+/// \brief AST -> plan translation.
+///
+/// Responsibilities: resolve tables/views/derived tables, qualify and bind
+/// column references, expand '*', plan aggregation (rewriting aggregate calls
+/// in the select list into references to Aggregate outputs), and assemble
+/// Filter/Join/Project/Sort/Limit nodes. Optimization (predicate pushdown,
+/// join strategy, nUDF placement) happens afterwards in Optimizer.
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const UdfRegistry* udfs)
+      : catalog_(catalog), udfs_(udfs) {}
+
+  Result<PlanPtr> PlanSelect(const SelectStmt& stmt) {
+    return PlanSelectImpl(stmt, /*depth=*/0);
+  }
+
+ private:
+  Result<PlanPtr> PlanSelectImpl(const SelectStmt& stmt, int depth);
+  Result<PlanPtr> PlanTableRef(const TableRef& ref, int depth);
+
+  const Catalog* catalog_;
+  const UdfRegistry* udfs_;
+};
+
+/// Binds every unbound column reference in `e` to an index in `schema`.
+/// Subquery subtrees are left alone (they bind against their own scopes).
+Status BindExpr(Expr* e, const TableSchema& schema);
+
+}  // namespace dl2sql::db

@@ -1,0 +1,110 @@
+/// \file ast.h
+/// \brief Parsed statement representations for the lindb SQL dialect.
+///
+/// Dialect coverage (driven by the paper's queries Q1-Q5 and Table I):
+///   SELECT ... FROM t [alias][, t2 ...] [INNER JOIN t3 ON ...] WHERE ...
+///     GROUP BY ... HAVING ... ORDER BY ... LIMIT n
+///   scalar subqueries, derived tables (SELECT in FROM)
+///   CREATE [TEMP] TABLE name AS SELECT / (SELECT ...) / (col type, ...)
+///   CREATE [OR REPLACE] VIEW name AS SELECT
+///   INSERT INTO name VALUES (...), (...) / INSERT INTO name SELECT
+///   UPDATE name SET col = expr [WHERE ...]
+///   DELETE FROM name [WHERE ...]
+///   DROP TABLE/VIEW [IF EXISTS] name
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/expr.h"
+#include "db/types.h"
+
+namespace dl2sql::db {
+
+struct SelectStmt;
+
+/// One relation in a FROM clause: a base table or a derived subquery.
+struct TableRef {
+  std::string table_name;                  ///< empty for derived tables
+  std::shared_ptr<SelectStmt> subquery;    ///< set for derived tables
+  std::string alias;                       ///< optional
+
+  bool IsDerived() const { return subquery != nullptr; }
+  /// Name used to qualify this relation's columns.
+  std::string EffectiveName() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+enum class JoinType : uint8_t { kCross, kInner };
+
+/// FROM-list entry after the first: either a comma (cross) join or an
+/// explicit INNER JOIN with an ON condition.
+struct FromEntry {
+  TableRef table;
+  JoinType join = JoinType::kCross;
+  ExprPtr on;  ///< null for cross joins
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< optional output name
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::optional<TableRef> from;   ///< absent for SELECT <exprs>
+  std::vector<FromEntry> joins;   ///< remaining FROM-list entries
+  ExprPtr where;                  ///< nullable
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                 ///< nullable
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;             ///< -1 = no limit
+};
+
+struct CreateTableStmt {
+  std::string name;
+  bool temporary = false;
+  bool is_view = false;
+  bool or_replace = false;
+  bool if_not_exists = false;
+  std::vector<Field> columns;               ///< for explicit column DDL
+  std::shared_ptr<SelectStmt> as_select;    ///< for CTAS / views
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;            ///< optional column list
+  std::vector<std::vector<ExprPtr>> rows;      ///< VALUES form
+  std::shared_ptr<SelectStmt> select;          ///< INSERT ... SELECT form
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  ///< nullable
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  ///< nullable
+};
+
+struct DropStmt {
+  std::string name;
+  bool if_exists = false;
+  bool is_view = false;
+};
+
+using Statement = std::variant<std::shared_ptr<SelectStmt>, CreateTableStmt,
+                               InsertStmt, UpdateStmt, DeleteStmt, DropStmt>;
+
+}  // namespace dl2sql::db

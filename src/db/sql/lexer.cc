@@ -1,0 +1,123 @@
+#include "db/sql/lexer.h"
+
+#include <cctype>
+
+namespace dl2sql::db::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- ... \n
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      t.type = TokenType::kIdent;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') is_float = true;
+        ++j;
+      }
+      const std::string num = sql.substr(i, j - i);
+      try {
+        if (is_float) {
+          t.type = TokenType::kFloat;
+          t.float_val = std::stod(num);
+        } else {
+          t.type = TokenType::kInt;
+          t.int_val = std::stoll(num);
+        }
+      } catch (const std::exception&) {
+        return Status::ParseError("bad numeric literal '", num, "' at offset ",
+                                  i);
+      }
+      t.text = num;
+      i = j;
+    } else if (c == '\'') {
+      // String literal; '' escapes a quote.
+      std::string out;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            out.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        out.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset ", i);
+      }
+      t.type = TokenType::kString;
+      t.text = std::move(out);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      t.type = TokenType::kSymbol;
+      if (i + 1 < n) {
+        const std::string two = sql.substr(i, 2);
+        if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+          t.text = two == "<>" ? "!=" : two;
+          i += 2;
+          tokens.push_back(std::move(t));
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),.*+-/%=<>;";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::ParseError("unexpected character '", std::string(1, c),
+                                  "' at offset ", i);
+      }
+      t.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dl2sql::db::sql

@@ -1,0 +1,34 @@
+/// \file lexer.h
+/// \brief SQL tokenizer for the lindb dialect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dl2sql::db::sql {
+
+enum class TokenType : uint8_t {
+  kIdent,    ///< identifiers and keywords (case-insensitive)
+  kInt,      ///< integer literal
+  kFloat,    ///< floating-point literal
+  kString,   ///< single-quoted string literal (quotes stripped)
+  kSymbol,   ///< punctuation / operator: ( ) , . * + - / % = != <> < <= > >= ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< raw text (lower-cased for idents? no: as written)
+  int64_t int_val = 0;
+  double float_val = 0;
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes `sql`; returns ParseError with position info on bad input.
+/// The token stream always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dl2sql::db::sql

@@ -1,0 +1,599 @@
+#include "db/sql/parser.h"
+
+#include "common/string_util.h"
+
+namespace dl2sql::db::sql {
+
+namespace {
+
+/// Aggregate function names recognized by the parser.
+Result<AggFunc> LookupAggFunc(const std::string& name) {
+  if (EqualsIgnoreCase(name, "count")) return AggFunc::kCount;
+  if (EqualsIgnoreCase(name, "sum")) return AggFunc::kSum;
+  if (EqualsIgnoreCase(name, "avg")) return AggFunc::kAvg;
+  if (EqualsIgnoreCase(name, "min")) return AggFunc::kMin;
+  if (EqualsIgnoreCase(name, "max")) return AggFunc::kMax;
+  if (EqualsIgnoreCase(name, "stddevsamp") ||
+      EqualsIgnoreCase(name, "stddev_samp")) {
+    return AggFunc::kStddevSamp;
+  }
+  return Status::NotFound("not an aggregate");
+}
+
+Result<DataType> LookupTypeName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "int") || EqualsIgnoreCase(name, "integer") ||
+      EqualsIgnoreCase(name, "bigint") || EqualsIgnoreCase(name, "int64")) {
+    return DataType::kInt64;
+  }
+  if (EqualsIgnoreCase(name, "float") || EqualsIgnoreCase(name, "double") ||
+      EqualsIgnoreCase(name, "real") || EqualsIgnoreCase(name, "float64")) {
+    return DataType::kFloat64;
+  }
+  if (EqualsIgnoreCase(name, "text") || EqualsIgnoreCase(name, "string") ||
+      EqualsIgnoreCase(name, "varchar") || EqualsIgnoreCase(name, "date")) {
+    return DataType::kString;
+  }
+  if (EqualsIgnoreCase(name, "bool") || EqualsIgnoreCase(name, "boolean")) {
+    return DataType::kBool;
+  }
+  if (EqualsIgnoreCase(name, "blob") || EqualsIgnoreCase(name, "bytes")) {
+    return DataType::kBlob;
+  }
+  return Status::ParseError("unknown type name '", name, "'");
+}
+
+/// Keywords that terminate an implicit alias position.
+bool IsReservedKeyword(const std::string& s) {
+  static const char* kWords[] = {
+      "select", "from",  "where",  "group", "having", "order",  "limit",
+      "inner",  "join",  "on",     "and",   "or",     "not",    "as",
+      "by",     "asc",   "desc",   "in",    "union",  "left",   "right",
+      "cross",  "set",   "values", "into",  "update", "delete", "create",
+      "drop",   "table", "view",   "temp",  "temporary"};
+  for (const char* w : kWords) {
+    if (EqualsIgnoreCase(s, w)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseOneStatement() {
+    DL2SQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    Accept(";");
+    if (!AtEnd()) {
+      return Status::ParseError("trailing tokens after statement, near '",
+                                Peek().text, "'");
+    }
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      if (Accept(";")) continue;
+      DL2SQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+      out.push_back(std::move(stmt));
+      if (!AtEnd() && !Accept(";")) {
+        return Status::ParseError("expected ';' between statements, near '",
+                                  Peek().text, "'");
+      }
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseLoneExpression() {
+    DL2SQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) {
+      return Status::ParseError("trailing tokens after expression, near '",
+                                Peek().text, "'");
+    }
+    return e;
+  }
+
+ private:
+  // ------------------------------------------------------------ helpers ----
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  /// True and consume if the next token is the given symbol or keyword.
+  bool Accept(const std::string& text) {
+    const Token& t = Peek();
+    if (t.type == TokenType::kSymbol && t.text == text) {
+      ++pos_;
+      return true;
+    }
+    if (t.type == TokenType::kIdent && EqualsIgnoreCase(t.text, text)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekIs(const std::string& text, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    if (t.type == TokenType::kSymbol) return t.text == text;
+    if (t.type == TokenType::kIdent) return EqualsIgnoreCase(t.text, text);
+    return false;
+  }
+
+  Status Expect(const std::string& text) {
+    if (!Accept(text)) {
+      return Status::ParseError("expected '", text, "', found '", Peek().text,
+                                "' at offset ", Peek().offset);
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected ", what, ", found '", Peek().text,
+                                "' at offset ", Peek().offset);
+    }
+    return Advance().text;
+  }
+
+  // --------------------------------------------------------- statements ----
+  Result<Statement> ParseStatementInner() {
+    if (PeekIs("select") || PeekIs("(")) {
+      DL2SQL_ASSIGN_OR_RETURN(auto sel, ParseSelectMaybeParen());
+      return Statement(sel);
+    }
+    if (PeekIs("create")) return ParseCreate();
+    if (PeekIs("insert")) return ParseInsert();
+    if (PeekIs("update")) return ParseUpdate();
+    if (PeekIs("delete")) return ParseDelete();
+    if (PeekIs("drop")) return ParseDrop();
+    return Status::ParseError("unknown statement starting at '", Peek().text,
+                              "'");
+  }
+
+  Result<std::shared_ptr<SelectStmt>> ParseSelectMaybeParen() {
+    if (Accept("(")) {
+      DL2SQL_ASSIGN_OR_RETURN(auto sel, ParseSelectMaybeParen());
+      DL2SQL_RETURN_NOT_OK(Expect(")"));
+      return sel;
+    }
+    return ParseSelect();
+  }
+
+  Result<std::shared_ptr<SelectStmt>> ParseSelect() {
+    DL2SQL_RETURN_NOT_OK(Expect("select"));
+    auto stmt = std::make_shared<SelectStmt>();
+    // Select list.
+    do {
+      SelectItem item;
+      if (PeekIs("*") &&
+          !(Peek(1).type == TokenType::kSymbol && Peek(1).text == ".")) {
+        Advance();
+        item.expr = Expr::Star();
+      } else {
+        DL2SQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Accept("as")) {
+          DL2SQL_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+        } else if (Peek().type == TokenType::kIdent &&
+                   !IsReservedKeyword(Peek().text)) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (Accept(","));
+
+    if (Accept("from")) {
+      DL2SQL_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+      stmt->from = std::move(first);
+      for (;;) {
+        if (Accept(",")) {
+          FromEntry e;
+          e.join = JoinType::kCross;
+          DL2SQL_ASSIGN_OR_RETURN(e.table, ParseTableRef());
+          stmt->joins.push_back(std::move(e));
+          continue;
+        }
+        const bool inner = PeekIs("inner");
+        if (inner || PeekIs("join")) {
+          if (inner) Advance();
+          DL2SQL_RETURN_NOT_OK(Expect("join"));
+          FromEntry e;
+          e.join = JoinType::kInner;
+          DL2SQL_ASSIGN_OR_RETURN(e.table, ParseTableRef());
+          DL2SQL_RETURN_NOT_OK(Expect("on"));
+          DL2SQL_ASSIGN_OR_RETURN(e.on, ParseExpr());
+          stmt->joins.push_back(std::move(e));
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (Accept("where")) {
+      DL2SQL_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (Accept("group")) {
+      DL2SQL_RETURN_NOT_OK(Expect("by"));
+      do {
+        DL2SQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (Accept(","));
+    }
+    if (Accept("having")) {
+      DL2SQL_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (Accept("order")) {
+      DL2SQL_RETURN_NOT_OK(Expect("by"));
+      do {
+        OrderItem item;
+        DL2SQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Accept("desc")) {
+          item.ascending = false;
+        } else {
+          Accept("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (Accept(","));
+    }
+    if (Accept("limit")) {
+      if (Peek().type != TokenType::kInt) {
+        return Status::ParseError("LIMIT expects an integer");
+      }
+      stmt->limit = Advance().int_val;
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (Accept("(")) {
+      DL2SQL_ASSIGN_OR_RETURN(ref.subquery, ParseSelectMaybeParen());
+      DL2SQL_RETURN_NOT_OK(Expect(")"));
+    } else {
+      DL2SQL_ASSIGN_OR_RETURN(ref.table_name, ExpectIdent("table name"));
+    }
+    if (Accept("as")) {
+      DL2SQL_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("table alias"));
+    } else if (Peek().type == TokenType::kIdent &&
+               !IsReservedKeyword(Peek().text)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<Statement> ParseCreate() {
+    DL2SQL_RETURN_NOT_OK(Expect("create"));
+    CreateTableStmt stmt;
+    if (Accept("or")) {
+      DL2SQL_RETURN_NOT_OK(Expect("replace"));
+      stmt.or_replace = true;
+    }
+    if (Accept("temp") || Accept("temporary")) stmt.temporary = true;
+    if (Accept("view")) {
+      stmt.is_view = true;
+    } else {
+      DL2SQL_RETURN_NOT_OK(Expect("table"));
+    }
+    if (Accept("if")) {
+      DL2SQL_RETURN_NOT_OK(Expect("not"));
+      DL2SQL_RETURN_NOT_OK(Expect("exists"));
+      stmt.if_not_exists = true;
+    }
+    DL2SQL_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("table name"));
+
+    if (Accept("as")) {
+      DL2SQL_ASSIGN_OR_RETURN(stmt.as_select, ParseSelectMaybeParen());
+      return Statement(std::move(stmt));
+    }
+    if (Accept("(")) {
+      // Either "(SELECT ...)" (the paper's Q1 style) or a column list.
+      if (PeekIs("select")) {
+        DL2SQL_ASSIGN_OR_RETURN(stmt.as_select, ParseSelect());
+        DL2SQL_RETURN_NOT_OK(Expect(")"));
+        return Statement(std::move(stmt));
+      }
+      do {
+        Field f;
+        DL2SQL_ASSIGN_OR_RETURN(f.name, ExpectIdent("column name"));
+        DL2SQL_ASSIGN_OR_RETURN(std::string tname, ExpectIdent("type name"));
+        DL2SQL_ASSIGN_OR_RETURN(f.type, LookupTypeName(tname));
+        stmt.columns.push_back(std::move(f));
+      } while (Accept(","));
+      DL2SQL_RETURN_NOT_OK(Expect(")"));
+      return Statement(std::move(stmt));
+    }
+    return Status::ParseError("CREATE ", stmt.is_view ? "VIEW" : "TABLE",
+                              " requires AS SELECT or a column list");
+  }
+
+  Result<Statement> ParseInsert() {
+    DL2SQL_RETURN_NOT_OK(Expect("insert"));
+    DL2SQL_RETURN_NOT_OK(Expect("into"));
+    InsertStmt stmt;
+    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (Accept("(")) {
+      do {
+        DL2SQL_ASSIGN_OR_RETURN(std::string c, ExpectIdent("column name"));
+        stmt.columns.push_back(std::move(c));
+      } while (Accept(","));
+      DL2SQL_RETURN_NOT_OK(Expect(")"));
+    }
+    if (Accept("values")) {
+      do {
+        DL2SQL_RETURN_NOT_OK(Expect("("));
+        std::vector<ExprPtr> row;
+        do {
+          DL2SQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+        } while (Accept(","));
+        DL2SQL_RETURN_NOT_OK(Expect(")"));
+        stmt.rows.push_back(std::move(row));
+      } while (Accept(","));
+      return Statement(std::move(stmt));
+    }
+    if (PeekIs("select") || PeekIs("(")) {
+      DL2SQL_ASSIGN_OR_RETURN(stmt.select, ParseSelectMaybeParen());
+      return Statement(std::move(stmt));
+    }
+    return Status::ParseError("INSERT requires VALUES or SELECT");
+  }
+
+  Result<Statement> ParseUpdate() {
+    DL2SQL_RETURN_NOT_OK(Expect("update"));
+    UpdateStmt stmt;
+    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    DL2SQL_RETURN_NOT_OK(Expect("set"));
+    do {
+      DL2SQL_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      DL2SQL_RETURN_NOT_OK(Expect("="));
+      DL2SQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(e));
+    } while (Accept(","));
+    if (Accept("where")) {
+      DL2SQL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    DL2SQL_RETURN_NOT_OK(Expect("delete"));
+    DL2SQL_RETURN_NOT_OK(Expect("from"));
+    DeleteStmt stmt;
+    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (Accept("where")) {
+      DL2SQL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDrop() {
+    DL2SQL_RETURN_NOT_OK(Expect("drop"));
+    DropStmt stmt;
+    if (Accept("view")) {
+      stmt.is_view = true;
+    } else {
+      DL2SQL_RETURN_NOT_OK(Expect("table"));
+    }
+    if (Accept("if")) {
+      DL2SQL_RETURN_NOT_OK(Expect("exists"));
+      stmt.if_exists = true;
+    }
+    DL2SQL_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("table name"));
+    return Statement(std::move(stmt));
+  }
+
+  // -------------------------------------------------------- expressions ----
+  // Precedence: OR < AND < NOT < comparison/IN < +,- < *,/,% < unary < atom
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DL2SQL_ASSIGN_OR_RETURN(ExprPtr l, ParseAnd());
+    while (Accept("or")) {
+      DL2SQL_ASSIGN_OR_RETURN(ExprPtr r, ParseAnd());
+      l = Expr::Binary(BinaryOp::kOr, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DL2SQL_ASSIGN_OR_RETURN(ExprPtr l, ParseNot());
+    while (Accept("and")) {
+      DL2SQL_ASSIGN_OR_RETURN(ExprPtr r, ParseNot());
+      l = Expr::Binary(BinaryOp::kAnd, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Accept("not")) {
+      DL2SQL_ASSIGN_OR_RETURN(ExprPtr x, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(x));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DL2SQL_ASSIGN_OR_RETURN(ExprPtr l, ParseAdditive());
+    static const std::pair<const char*, BinaryOp> kOps[] = {
+        {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const auto& [sym, op] : kOps) {
+      if (Accept(sym)) {
+        DL2SQL_ASSIGN_OR_RETURN(ExprPtr r, ParseAdditive());
+        return Expr::Binary(op, std::move(l), std::move(r));
+      }
+    }
+    if (Accept("in")) {
+      DL2SQL_RETURN_NOT_OK(Expect("("));
+      std::vector<ExprPtr> list;
+      do {
+        DL2SQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        list.push_back(std::move(e));
+      } while (Accept(","));
+      DL2SQL_RETURN_NOT_OK(Expect(")"));
+      return Expr::In(std::move(l), std::move(list));
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    DL2SQL_ASSIGN_OR_RETURN(ExprPtr l, ParseMultiplicative());
+    for (;;) {
+      if (Accept("+")) {
+        DL2SQL_ASSIGN_OR_RETURN(ExprPtr r, ParseMultiplicative());
+        l = Expr::Binary(BinaryOp::kAdd, std::move(l), std::move(r));
+      } else if (Accept("-")) {
+        DL2SQL_ASSIGN_OR_RETURN(ExprPtr r, ParseMultiplicative());
+        l = Expr::Binary(BinaryOp::kSub, std::move(l), std::move(r));
+      } else {
+        return l;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    DL2SQL_ASSIGN_OR_RETURN(ExprPtr l, ParseUnary());
+    for (;;) {
+      if (Accept("*")) {
+        DL2SQL_ASSIGN_OR_RETURN(ExprPtr r, ParseUnary());
+        l = Expr::Binary(BinaryOp::kMul, std::move(l), std::move(r));
+      } else if (Accept("/")) {
+        DL2SQL_ASSIGN_OR_RETURN(ExprPtr r, ParseUnary());
+        l = Expr::Binary(BinaryOp::kDiv, std::move(l), std::move(r));
+      } else if (Accept("%")) {
+        DL2SQL_ASSIGN_OR_RETURN(ExprPtr r, ParseUnary());
+        l = Expr::Binary(BinaryOp::kMod, std::move(l), std::move(r));
+      } else {
+        return l;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept("-")) {
+      DL2SQL_ASSIGN_OR_RETURN(ExprPtr x, ParseUnary());
+      // Constant-fold negative literals so they stay literals.
+      if (x->kind == ExprKind::kLiteral) {
+        if (x->literal.type() == DataType::kInt64) {
+          return Expr::Lit(Value::Int(-x->literal.int_value()));
+        }
+        if (x->literal.type() == DataType::kFloat64) {
+          return Expr::Lit(Value::Float(-x->literal.float_value()));
+        }
+      }
+      return Expr::Unary(UnaryOp::kNeg, std::move(x));
+    }
+    Accept("+");
+    return ParseAtom();
+  }
+
+  Result<ExprPtr> ParseAtom() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt: {
+        Advance();
+        return Expr::Lit(Value::Int(t.int_val));
+      }
+      case TokenType::kFloat: {
+        Advance();
+        return Expr::Lit(Value::Float(t.float_val));
+      }
+      case TokenType::kString: {
+        Advance();
+        return Expr::Lit(Value::String(t.text));
+      }
+      case TokenType::kSymbol: {
+        if (t.text == "(") {
+          Advance();
+          if (PeekIs("select")) {
+            DL2SQL_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+            DL2SQL_RETURN_NOT_OK(Expect(")"));
+            return Expr::Subquery(sub);
+          }
+          DL2SQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          DL2SQL_RETURN_NOT_OK(Expect(")"));
+          return e;
+        }
+        break;
+      }
+      case TokenType::kIdent: {
+        // Literal keywords.
+        if (EqualsIgnoreCase(t.text, "true")) {
+          Advance();
+          return Expr::Lit(Value::Bool(true));
+        }
+        if (EqualsIgnoreCase(t.text, "false")) {
+          Advance();
+          return Expr::Lit(Value::Bool(false));
+        }
+        if (EqualsIgnoreCase(t.text, "null")) {
+          Advance();
+          return Expr::Lit(Value::Null());
+        }
+        const std::string name = Advance().text;
+        // Function call?
+        if (PeekIs("(")) {
+          Advance();
+          auto agg = LookupAggFunc(name);
+          if (agg.ok()) {
+            if (*agg == AggFunc::kCount && Accept("*")) {
+              DL2SQL_RETURN_NOT_OK(Expect(")"));
+              return Expr::Agg(AggFunc::kCountStar, nullptr);
+            }
+            DL2SQL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            DL2SQL_RETURN_NOT_OK(Expect(")"));
+            return Expr::Agg(*agg, std::move(arg));
+          }
+          std::vector<ExprPtr> args;
+          if (!Accept(")")) {
+            do {
+              DL2SQL_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+              args.push_back(std::move(a));
+            } while (Accept(","));
+            DL2SQL_RETURN_NOT_OK(Expect(")"));
+          }
+          return Expr::Func(name, std::move(args));
+        }
+        // Qualified column a.b (or a.*, rejected here).
+        if (PeekIs(".")) {
+          Advance();
+          DL2SQL_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+          return Expr::Col(name + "." + col);
+        }
+        return Expr::Col(name);
+      }
+      default:
+        break;
+    }
+    return Status::ParseError("unexpected token '", t.text, "' at offset ",
+                              t.offset);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& input) {
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser p(std::move(tokens));
+  return p.ParseOneStatement();
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& input) {
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser p(std::move(tokens));
+  return p.ParseAll();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& input) {
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser p(std::move(tokens));
+  return p.ParseLoneExpression();
+}
+
+}  // namespace dl2sql::db::sql

@@ -1,0 +1,20 @@
+/// \file parser.h
+/// \brief Recursive-descent parser for the lindb SQL dialect.
+#pragma once
+
+#include "common/result.h"
+#include "db/sql/ast.h"
+#include "db/sql/lexer.h"
+
+namespace dl2sql::db::sql {
+
+/// Parses a single statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(const std::string& input);
+
+/// Parses a script of ';'-separated statements.
+Result<std::vector<Statement>> ParseScript(const std::string& input);
+
+/// Parses a standalone expression (used by tests and programmatic plans).
+Result<ExprPtr> ParseExpression(const std::string& input);
+
+}  // namespace dl2sql::db::sql

@@ -1,0 +1,139 @@
+#include "db/sql/printer.h"
+
+#include <sstream>
+
+namespace dl2sql::db::sql {
+
+namespace {
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+void PrintTableRef(const TableRef& ref, std::ostringstream* oss) {
+  if (ref.IsDerived()) {
+    *oss << "(" << PrintSelect(*ref.subquery) << ")";
+  } else {
+    *oss << ref.table_name;
+  }
+  if (!ref.alias.empty()) *oss << " " << ref.alias;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& e) {
+  std::ostringstream oss;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      switch (e.literal.type()) {
+        case DataType::kString:
+        case DataType::kBlob:
+          oss << QuoteString(e.literal.string_value());
+          break;
+        default:
+          oss << e.literal.ToString();
+          break;
+      }
+      break;
+    case ExprKind::kColumnRef:
+      oss << e.column_name;
+      break;
+    case ExprKind::kBinary:
+      oss << "(" << PrintExpr(*e.children[0]) << " "
+          << BinaryOpToString(e.bin_op) << " " << PrintExpr(*e.children[1])
+          << ")";
+      break;
+    case ExprKind::kUnary:
+      if (e.un_op == UnaryOp::kNot) {
+        oss << "NOT (" << PrintExpr(*e.children[0]) << ")";
+      } else {
+        oss << "-(" << PrintExpr(*e.children[0]) << ")";
+      }
+      break;
+    case ExprKind::kFuncCall: {
+      oss << e.func_name << "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) oss << ", ";
+        oss << PrintExpr(*e.children[i]);
+      }
+      oss << ")";
+      break;
+    }
+    case ExprKind::kAggCall:
+      oss << AggFuncToString(e.agg_func) << "(";
+      if (e.agg_func == AggFunc::kCountStar) {
+        oss << "*";
+      } else {
+        oss << PrintExpr(*e.children[0]);
+      }
+      oss << ")";
+      break;
+    case ExprKind::kScalarSubquery:
+      oss << "(" << PrintSelect(*e.subquery) << ")";
+      break;
+    case ExprKind::kInList: {
+      oss << PrintExpr(*e.children[0]) << " IN (";
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (i > 1) oss << ", ";
+        oss << PrintExpr(*e.children[i]);
+      }
+      oss << ")";
+      break;
+    }
+    case ExprKind::kStar:
+      oss << "*";
+      break;
+  }
+  return oss.str();
+}
+
+std::string PrintSelect(const SelectStmt& stmt) {
+  std::ostringstream oss;
+  oss << "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << PrintExpr(*stmt.items[i].expr);
+    if (!stmt.items[i].alias.empty()) oss << " AS " << stmt.items[i].alias;
+  }
+  if (stmt.from) {
+    oss << " FROM ";
+    PrintTableRef(*stmt.from, &oss);
+    for (const auto& j : stmt.joins) {
+      if (j.join == JoinType::kCross) {
+        oss << ", ";
+        PrintTableRef(j.table, &oss);
+      } else {
+        oss << " INNER JOIN ";
+        PrintTableRef(j.table, &oss);
+        oss << " ON " << PrintExpr(*j.on);
+      }
+    }
+  }
+  if (stmt.where != nullptr) oss << " WHERE " << PrintExpr(*stmt.where);
+  if (!stmt.group_by.empty()) {
+    oss << " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << PrintExpr(*stmt.group_by[i]);
+    }
+  }
+  if (stmt.having != nullptr) oss << " HAVING " << PrintExpr(*stmt.having);
+  if (!stmt.order_by.empty()) {
+    oss << " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << PrintExpr(*stmt.order_by[i].expr);
+      if (!stmt.order_by[i].ascending) oss << " DESC";
+    }
+  }
+  if (stmt.limit >= 0) oss << " LIMIT " << stmt.limit;
+  return oss.str();
+}
+
+}  // namespace dl2sql::db::sql

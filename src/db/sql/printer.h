@@ -1,0 +1,19 @@
+/// \file printer.h
+/// \brief Renders parsed statements back to SQL text that the parser accepts
+/// (used by snapshots to persist view definitions, and by tests to check
+/// round-tripping).
+#pragma once
+
+#include <string>
+
+#include "db/sql/ast.h"
+
+namespace dl2sql::db::sql {
+
+/// SELECT statement -> SQL.
+std::string PrintSelect(const SelectStmt& stmt);
+
+/// Expression -> SQL.
+std::string PrintExpr(const Expr& e);
+
+}  // namespace dl2sql::db::sql

@@ -1,0 +1,82 @@
+#include "db/stats.h"
+
+#include <unordered_set>
+
+namespace dl2sql::db {
+
+TableStats AnalyzeTable(const Table& table) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  for (int ci = 0; ci < table.num_columns(); ++ci) {
+    const Column& col = table.column(ci);
+    ColumnStats cs;
+    const int64_t n = col.size();
+    switch (col.type()) {
+      case DataType::kInt64: {
+        std::unordered_set<int64_t> distinct;
+        for (int64_t i = 0; i < n; ++i) {
+          if (!col.IsValid(i)) {
+            ++cs.num_nulls;
+            continue;
+          }
+          const int64_t v = col.ints()[static_cast<size_t>(i)];
+          distinct.insert(v);
+          const double d = static_cast<double>(v);
+          if (!cs.min || d < *cs.min) cs.min = d;
+          if (!cs.max || d > *cs.max) cs.max = d;
+        }
+        cs.num_distinct = static_cast<int64_t>(distinct.size());
+        break;
+      }
+      case DataType::kFloat64: {
+        std::unordered_set<double> distinct;
+        for (int64_t i = 0; i < n; ++i) {
+          if (!col.IsValid(i)) {
+            ++cs.num_nulls;
+            continue;
+          }
+          const double v = col.floats()[static_cast<size_t>(i)];
+          distinct.insert(v);
+          if (!cs.min || v < *cs.min) cs.min = v;
+          if (!cs.max || v > *cs.max) cs.max = v;
+        }
+        cs.num_distinct = static_cast<int64_t>(distinct.size());
+        break;
+      }
+      case DataType::kBool: {
+        bool saw_true = false;
+        bool saw_false = false;
+        for (int64_t i = 0; i < n; ++i) {
+          if (!col.IsValid(i)) {
+            ++cs.num_nulls;
+            continue;
+          }
+          (col.bools()[static_cast<size_t>(i)] != 0 ? saw_true : saw_false) =
+              true;
+        }
+        cs.num_distinct = (saw_true ? 1 : 0) + (saw_false ? 1 : 0);
+        break;
+      }
+      case DataType::kString:
+      case DataType::kBlob: {
+        std::unordered_set<std::string> distinct;
+        for (int64_t i = 0; i < n; ++i) {
+          if (!col.IsValid(i)) {
+            ++cs.num_nulls;
+            continue;
+          }
+          distinct.insert(col.strings()[static_cast<size_t>(i)]);
+        }
+        cs.num_distinct = static_cast<int64_t>(distinct.size());
+        break;
+      }
+      case DataType::kNull:
+        cs.num_nulls = n;
+        break;
+    }
+    stats.columns[table.schema().field(ci).name] = cs;
+  }
+  return stats;
+}
+
+}  // namespace dl2sql::db

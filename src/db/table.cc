@@ -1,0 +1,129 @@
+#include "db/table.h"
+
+#include <sstream>
+
+namespace dl2sql::db {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_fields()));
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    columns_.emplace_back(schema_.field(i).type);
+  }
+}
+
+Result<Table> Table::FromColumns(TableSchema schema,
+                                 std::vector<Column> columns) {
+  if (static_cast<int>(columns.size()) != schema.num_fields()) {
+    return Status::InvalidArgument("FromColumns: ", columns.size(),
+                                   " columns vs ", schema.num_fields(),
+                                   " fields");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.field(static_cast<int>(i)).type) {
+      return Status::TypeError(
+          "FromColumns: column ", i, " type ",
+          DataTypeToString(columns[i].type()), " vs field type ",
+          DataTypeToString(schema.field(static_cast<int>(i)).type));
+    }
+    if (i > 0 && columns[i].size() != columns[0].size()) {
+      return Status::InvalidArgument("FromColumns: ragged column sizes");
+    }
+  }
+  Table t;
+  t.schema_ = std::move(schema);
+  t.columns_ = std::move(columns);
+  return t;
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  DL2SQL_ASSIGN_OR_RETURN(int idx, schema_.Find(name));
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != num_columns()) {
+    return Status::InvalidArgument("AppendRow: ", row.size(), " values vs ",
+                                   num_columns(), " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    DL2SQL_RETURN_NOT_OK(columns_[i].Append(row[i]).WithContext(
+        "column " + schema_.field(static_cast<int>(i)).name));
+  }
+  return Status::OK();
+}
+
+std::vector<Value> Table::GetRow(int64_t i) const {
+  std::vector<Value> row;
+  row.reserve(columns_.size());
+  for (const auto& c : columns_) row.push_back(c.GetValue(i));
+  return row;
+}
+
+Status Table::AppendTable(const Table& other) {
+  if (other.num_columns() != num_columns()) {
+    return Status::InvalidArgument("AppendTable: column count mismatch");
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    if (other.column(i).type() != column(i).type()) {
+      return Status::TypeError("AppendTable: column ", i, " type mismatch");
+    }
+  }
+  // Row-wise append keeps validity handling in one place; bulk appends of the
+  // typed vectors would skip null propagation.
+  for (int64_t r = 0; r < other.num_rows(); ++r) {
+    DL2SQL_RETURN_NOT_OK(AppendRow(other.GetRow(r)));
+  }
+  return Status::OK();
+}
+
+Table Table::TakeRows(const std::vector<int64_t>& indices) const {
+  Table out;
+  out.schema_ = schema_;
+  out.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) out.columns_.push_back(c.Take(indices));
+  if (columns_.empty()) {
+    out.zero_column_rows_ = static_cast<int64_t>(indices.size());
+  }
+  return out;
+}
+
+Status Table::RenameFields(const std::vector<std::string>& names) {
+  if (static_cast<int>(names.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument("RenameFields: count mismatch");
+  }
+  TableSchema renamed;
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    renamed.AddField({names[static_cast<size_t>(i)], schema_.field(i).type});
+  }
+  schema_ = std::move(renamed);
+  return Status::OK();
+}
+
+uint64_t Table::ByteSize() const {
+  uint64_t bytes = 0;
+  for (const auto& c : columns_) bytes += c.ByteSize();
+  return bytes;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::ostringstream oss;
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    if (i > 0) oss << " | ";
+    oss << schema_.field(i).name;
+  }
+  oss << "\n";
+  const int64_t n = std::min<int64_t>(num_rows(), max_rows);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) oss << " | ";
+      oss << columns_[static_cast<size_t>(c)].GetValue(r).ToString();
+    }
+    oss << "\n";
+  }
+  if (num_rows() > n) {
+    oss << "... (" << num_rows() << " rows total)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace dl2sql::db

@@ -1,0 +1,72 @@
+/// \file table.h
+/// \brief Table: an in-memory columnar relation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/column.h"
+#include "db/types.h"
+
+namespace dl2sql::db {
+
+/// \brief In-memory columnar table. Both base tables (catalog-owned) and
+/// intermediate operator results use this representation, mirroring the
+/// materialize-per-operator execution style of our engine.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(TableSchema schema);
+
+  /// Builds a table directly from columns (sizes must agree).
+  static Result<Table> FromColumns(TableSchema schema,
+                                   std::vector<Column> columns);
+
+  const TableSchema& schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const {
+    return columns_.empty() ? zero_column_rows_ : columns_[0].size();
+  }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
+
+  /// Column by (possibly qualified) name.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Appends a full row of values (one per column, type-checked).
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Reads a full row.
+  std::vector<Value> GetRow(int64_t i) const;
+
+  /// Appends all rows of `other` (schemas must have identical types).
+  Status AppendTable(const Table& other);
+
+  /// New table with only the given rows, in order.
+  Table TakeRows(const std::vector<int64_t>& indices) const;
+
+  /// Renames fields (e.g. to apply an alias qualification); count must match.
+  Status RenameFields(const std::vector<std::string>& names);
+
+  /// Approximate in-memory payload bytes.
+  uint64_t ByteSize() const;
+
+  /// Pretty-prints up to `max_rows` rows (for examples and debugging).
+  std::string ToString(int64_t max_rows = 20) const;
+
+  /// Used by zero-column results (e.g. COUNT-only aggregates handle columns,
+  /// but DDL statements return row-count-only tables).
+  void SetZeroColumnRows(int64_t n) { zero_column_rows_ = n; }
+
+ private:
+  TableSchema schema_;
+  std::vector<Column> columns_;
+  int64_t zero_column_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace dl2sql::db

@@ -1,0 +1,76 @@
+#include "db/types.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dl2sql::db {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kFloat64:
+      return "FLOAT64";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kBlob:
+      return "BLOB";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Unqualified part of a possibly qualified name ("v.keyframe" -> "keyframe").
+std::string BaseName(const std::string& name) {
+  const size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+}  // namespace
+
+Result<int> TableSchema::Find(const std::string& name) const {
+  int exact = -1;
+  int suffix = -1;
+  int suffix_count = 0;
+  for (int i = 0; i < num_fields(); ++i) {
+    const std::string& fname = fields_[static_cast<size_t>(i)].name;
+    if (EqualsIgnoreCase(fname, name)) {
+      if (exact >= 0) {
+        return Status::InvalidArgument("ambiguous column name '", name, "'");
+      }
+      exact = i;
+    }
+    if (name.find('.') == std::string::npos &&
+        EqualsIgnoreCase(BaseName(fname), name)) {
+      suffix = i;
+      ++suffix_count;
+    }
+  }
+  if (exact >= 0) return exact;
+  if (suffix_count == 1) return suffix;
+  if (suffix_count > 1) {
+    return Status::InvalidArgument("ambiguous column name '", name, "'");
+  }
+  return Status::NotFound("column '", name, "' not found in schema ",
+                          ToString());
+}
+
+std::string TableSchema::ToString() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << fields_[static_cast<size_t>(i)].name << " "
+        << DataTypeToString(fields_[static_cast<size_t>(i)].type);
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace dl2sql::db

@@ -1,0 +1,66 @@
+/// \file types.h
+/// \brief Logical column types, fields and schemas for the lindb engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dl2sql::db {
+
+/// Storage/logical type of a column or scalar value.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kFloat64 = 3,
+  kString = 4,
+  kBlob = 5,  ///< opaque bytes; used for serialized keyframe tensors
+};
+
+const char* DataTypeToString(DataType t);
+
+/// True if arithmetic is defined on the type.
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64;
+}
+
+/// \brief A named, typed column slot.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// \brief Ordered list of fields. Column names are matched case-insensitively
+/// and may be qualified ("alias.column"); Find() accepts either form.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the unique field matching `name` (case-insensitive).
+  /// A bare name matches a qualified field's suffix after the dot.
+  /// Returns NotFound if absent, InvalidArgument if ambiguous.
+  Result<int> Find(const std::string& name) const;
+
+  /// True if some field matches.
+  bool Contains(const std::string& name) const { return Find(name).ok(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace dl2sql::db

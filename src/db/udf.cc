@@ -1,0 +1,217 @@
+#include "db/udf.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dl2sql::db {
+
+double NUdfSelectivity::Probability(const std::string& label) const {
+  const int64_t total = TotalCount();
+  if (total == 0) return 0.5;
+  auto it = histogram.find(label);
+  if (it == histogram.end()) {
+    // Unseen class: spread residual mass uniformly-ish.
+    return 1.0 / static_cast<double>(histogram.size() + 1);
+  }
+  return static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+int64_t NUdfSelectivity::TotalCount() const {
+  int64_t t = 0;
+  for (const auto& [_, c] : histogram) t += c;
+  return t;
+}
+
+UdfRegistry::UdfRegistry() { RegisterBuiltins(); }
+
+void UdfRegistry::Register(ScalarUdf udf) {
+  fns_[ToLower(udf.name)] = std::move(udf);
+}
+
+void UdfRegistry::RegisterNeural(const std::string& name, DataType return_type,
+                                 ScalarFn fn, NUdfInfo info, BatchFn batch_fn,
+                                 int arity) {
+  ScalarUdf udf;
+  udf.name = name;
+  udf.arity = arity;
+  udf.return_type = return_type;
+  udf.fn = std::move(fn);
+  udf.batch_fn = std::move(batch_fn);
+  udf.is_neural = true;
+  udf.neural = std::move(info);
+  Register(std::move(udf));
+}
+
+Result<const ScalarUdf*> UdfRegistry::Find(const std::string& name) const {
+  auto it = fns_.find(ToLower(name));
+  if (it == fns_.end()) {
+    return Status::NotFound("function '", name, "' is not registered");
+  }
+  return &it->second;
+}
+
+bool UdfRegistry::IsNeural(const std::string& name) const {
+  auto r = Find(name);
+  return r.ok() && (*r)->is_neural;
+}
+
+std::vector<std::string> UdfRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(fns_.size());
+  for (const auto& [k, _] : fns_) names.push_back(k);
+  return names;
+}
+
+namespace {
+
+Status CheckNumeric(const Value& v, const char* fname) {
+  if (!IsNumeric(v.type()) && v.type() != DataType::kBool) {
+    return Status::TypeError(fname, ": non-numeric argument of type ",
+                             DataTypeToString(v.type()));
+  }
+  return Status::OK();
+}
+
+/// Wraps a double->double math function as a UDF body.
+ScalarFn Unary(double (*f)(double), const char* fname) {
+  return [f, fname](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].is_null()) return Value::Null();
+    DL2SQL_RETURN_NOT_OK(CheckNumeric(args[0], fname));
+    return Value::Float(f(*args[0].AsDouble()));
+  };
+}
+
+}  // namespace
+
+void UdfRegistry::RegisterBuiltins() {
+  Register({"abs", 1, DataType::kFloat64, Unary(std::fabs, "abs"),
+            nullptr,
+            false,
+            {}});
+  Register({"sqrt", 1, DataType::kFloat64, Unary(std::sqrt, "sqrt"),
+            nullptr,
+            false,
+            {}});
+  Register({"exp", 1, DataType::kFloat64, Unary(std::exp, "exp"),
+            nullptr,
+            false,
+            {}});
+  Register({"ln", 1, DataType::kFloat64, Unary(std::log, "ln"),
+            nullptr,
+            false,
+            {}});
+  Register(
+      {"floor", 1, DataType::kFloat64, Unary(std::floor, "floor"),
+            nullptr,
+            false,
+            {}});
+  Register({"ceil", 1, DataType::kFloat64, Unary(std::ceil, "ceil"),
+            nullptr,
+            false,
+            {}});
+  Register(
+      {"round", 1, DataType::kFloat64, Unary(std::round, "round"),
+            nullptr,
+            false,
+            {}});
+
+  Register({"pow", 2, DataType::kFloat64,
+            [](const std::vector<Value>& args) -> Result<Value> {
+              if (args[0].is_null() || args[1].is_null()) return Value::Null();
+              DL2SQL_ASSIGN_OR_RETURN(double a, args[0].AsDouble());
+              DL2SQL_ASSIGN_OR_RETURN(double b, args[1].AsDouble());
+              return Value::Float(std::pow(a, b));
+            },
+            nullptr,
+            false,
+            {}});
+
+  Register({"greatest", -1, DataType::kFloat64,
+            [](const std::vector<Value>& args) -> Result<Value> {
+              if (args.empty()) {
+                return Status::InvalidArgument("greatest: no arguments");
+              }
+              Value best = args[0];
+              for (size_t i = 1; i < args.size(); ++i) {
+                if (best.is_null() || (!args[i].is_null() &&
+                                       args[i].Compare(best) > 0)) {
+                  best = args[i];
+                }
+              }
+              return best;
+            },
+            nullptr,
+            false,
+            {}});
+
+  Register({"least", -1, DataType::kFloat64,
+            [](const std::vector<Value>& args) -> Result<Value> {
+              if (args.empty()) {
+                return Status::InvalidArgument("least: no arguments");
+              }
+              Value best = args[0];
+              for (size_t i = 1; i < args.size(); ++i) {
+                if (best.is_null() || (!args[i].is_null() &&
+                                       args[i].Compare(best) < 0)) {
+                  best = args[i];
+                }
+              }
+              return best;
+            },
+            nullptr,
+            false,
+            {}});
+
+  Register({"if", 3, DataType::kNull,
+            [](const std::vector<Value>& args) -> Result<Value> {
+              if (args[0].is_null()) return args[2];
+              if (args[0].type() != DataType::kBool) {
+                return Status::TypeError("if: condition must be BOOL");
+              }
+              return args[0].bool_value() ? args[1] : args[2];
+            },
+            nullptr,
+            false,
+            {}});
+
+  Register({"intdiv", 2, DataType::kInt64,
+            [](const std::vector<Value>& args) -> Result<Value> {
+              if (args[0].is_null() || args[1].is_null()) return Value::Null();
+              DL2SQL_ASSIGN_OR_RETURN(int64_t a, args[0].AsInt());
+              DL2SQL_ASSIGN_OR_RETURN(int64_t b, args[1].AsInt());
+              if (b == 0) return Status::InvalidArgument("intDiv by zero");
+              return Value::Int(a / b);
+            },
+            nullptr,
+            false,
+            {}});
+
+  Register({"modulo", 2, DataType::kInt64,
+            [](const std::vector<Value>& args) -> Result<Value> {
+              if (args[0].is_null() || args[1].is_null()) return Value::Null();
+              DL2SQL_ASSIGN_OR_RETURN(int64_t a, args[0].AsInt());
+              DL2SQL_ASSIGN_OR_RETURN(int64_t b, args[1].AsInt());
+              if (b == 0) return Status::InvalidArgument("modulo by zero");
+              return Value::Int(a % b);
+            },
+            nullptr,
+            false,
+            {}});
+
+  Register({"length", 1, DataType::kInt64,
+            [](const std::vector<Value>& args) -> Result<Value> {
+              if (args[0].is_null()) return Value::Null();
+              if (args[0].type() != DataType::kString &&
+                  args[0].type() != DataType::kBlob) {
+                return Status::TypeError("length: expects STRING/BLOB");
+              }
+              return Value::Int(
+                  static_cast<int64_t>(args[0].string_value().size()));
+            },
+            nullptr,
+            false,
+            {}});
+}
+
+}  // namespace dl2sql::db

@@ -1,0 +1,60 @@
+#include "db/value.h"
+
+#include <sstream>
+
+namespace dl2sql::db {
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  return Compare(other) == 0;
+}
+
+int Value::Compare(const Value& other) const {
+  const DataType a = type();
+  const DataType b = other.type();
+  // NULLs first.
+  if (a == DataType::kNull && b == DataType::kNull) return 0;
+  if (a == DataType::kNull) return -1;
+  if (b == DataType::kNull) return 1;
+  // Cross-numeric comparison via double.
+  const bool a_num = IsNumeric(a) || a == DataType::kBool;
+  const bool b_num = IsNumeric(b) || b == DataType::kBool;
+  if (a_num && b_num) {
+    const double da = *AsDouble();
+    const double db = *other.AsDouble();
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  if ((a == DataType::kString || a == DataType::kBlob) &&
+      (b == DataType::kString || b == DataType::kBlob)) {
+    return string_value().compare(other.string_value()) < 0
+               ? -1
+               : (string_value() == other.string_value() ? 0 : 1);
+  }
+  // Mixed incomparable types: order by type id for determinism.
+  return static_cast<int>(a) < static_cast<int>(b) ? -1 : 1;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return bool_value() ? "TRUE" : "FALSE";
+    case DataType::kInt64:
+      return std::to_string(int_value());
+    case DataType::kFloat64: {
+      std::ostringstream oss;
+      oss << float_value();
+      return oss.str();
+    }
+    case DataType::kString:
+      return string_value();
+    case DataType::kBlob:
+      return "<blob:" + std::to_string(string_value().size()) + "B>";
+  }
+  return "?";
+}
+
+}  // namespace dl2sql::db

@@ -1,0 +1,107 @@
+/// \file value.h
+/// \brief Value: a scalar datum used by literals, UDF arguments/results and
+/// row-wise access paths. Bulk execution is columnar (see column.h); Value is
+/// the boundary currency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "db/types.h"
+
+namespace dl2sql::db {
+
+/// \brief A dynamically typed scalar (SQL datum), including SQL NULL.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Float(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) {
+    return Value(Payload(StringBox{std::move(v), /*is_blob=*/false}));
+  }
+  static Value Blob(std::string bytes) {
+    return Value(Payload(StringBox{std::move(bytes), /*is_blob=*/true}));
+  }
+
+  DataType type() const {
+    if (std::holds_alternative<std::monostate>(data_)) return DataType::kNull;
+    if (std::holds_alternative<bool>(data_)) return DataType::kBool;
+    if (std::holds_alternative<int64_t>(data_)) return DataType::kInt64;
+    if (std::holds_alternative<double>(data_)) return DataType::kFloat64;
+    return std::get<StringBox>(data_).is_blob ? DataType::kBlob
+                                              : DataType::kString;
+  }
+
+  bool is_null() const { return type() == DataType::kNull; }
+
+  /// \name Unchecked accessors (call only after checking type()).
+  /// @{
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double float_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<StringBox>(data_).bytes;
+  }
+  /// @}
+
+  /// Numeric coercion: int/float/bool -> double. Fails otherwise.
+  Result<double> AsDouble() const {
+    switch (type()) {
+      case DataType::kInt64:
+        return static_cast<double>(int_value());
+      case DataType::kFloat64:
+        return float_value();
+      case DataType::kBool:
+        return bool_value() ? 1.0 : 0.0;
+      default:
+        return Status::TypeError("cannot convert ", DataTypeToString(type()),
+                                 " to double");
+    }
+  }
+
+  /// Numeric coercion to int64 (floats truncate).
+  Result<int64_t> AsInt() const {
+    switch (type()) {
+      case DataType::kInt64:
+        return int_value();
+      case DataType::kFloat64:
+        return static_cast<int64_t>(float_value());
+      case DataType::kBool:
+        return static_cast<int64_t>(bool_value());
+      default:
+        return Status::TypeError("cannot convert ", DataTypeToString(type()),
+                                 " to int");
+    }
+  }
+
+  /// SQL equality (NULL != anything, including NULL).
+  bool Equals(const Value& other) const;
+
+  /// Three-way ordering for ORDER BY / grouping; NULLs sort first.
+  /// Numeric types compare by value across int/float.
+  int Compare(const Value& other) const;
+
+  /// Rendered form used by result printing and tests.
+  std::string ToString() const;
+
+ private:
+  struct StringBox {
+    std::string bytes;
+    bool is_blob;
+    bool operator==(const StringBox& o) const = default;
+  };
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, StringBox>;
+
+  explicit Value(Payload p) : data_(std::move(p)) {}
+
+  Payload data_;
+};
+
+}  // namespace dl2sql::db

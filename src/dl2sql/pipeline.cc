@@ -1,0 +1,252 @@
+#include "dl2sql/pipeline.h"
+
+#include <algorithm>
+
+namespace dl2sql::core {
+
+using db::Column;
+using db::DataType;
+using db::Table;
+using db::TableSchema;
+
+namespace {
+
+TableSchema FlatSchema(bool batched) {
+  if (batched) {
+    return TableSchema({{"BatchID", DataType::kInt64},
+                        {"TupleID", DataType::kInt64},
+                        {"Value", DataType::kFloat64}});
+  }
+  return TableSchema(
+      {{"TupleID", DataType::kInt64}, {"Value", DataType::kFloat64}});
+}
+
+}  // namespace
+
+Status Dl2SqlRunner::LoadInput(const Tensor& input) {
+  const int64_t n = input.NumElements();
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  std::vector<double> values(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    ids[static_cast<size_t>(i)] = i;
+    values[static_cast<size_t>(i)] = static_cast<double>(input.at(i));
+  }
+  DL2SQL_ASSIGN_OR_RETURN(
+      Table t,
+      Table::FromColumns(FlatSchema(false), {Column::Ints(std::move(ids)),
+                                             Column::Floats(std::move(values))}));
+  return db_->RegisterTable(model_.input_table, std::move(t),
+                            /*temporary=*/true);
+}
+
+Status Dl2SqlRunner::LoadInputBatch(const std::vector<Tensor>& inputs) {
+  int64_t total = 0;
+  for (const auto& t : inputs) total += t.NumElements();
+  std::vector<int64_t> batch_ids, ids;
+  std::vector<double> values;
+  batch_ids.reserve(static_cast<size_t>(total));
+  ids.reserve(static_cast<size_t>(total));
+  values.reserve(static_cast<size_t>(total));
+  for (size_t b = 0; b < inputs.size(); ++b) {
+    const Tensor& t = inputs[b];
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+      batch_ids.push_back(static_cast<int64_t>(b));
+      ids.push_back(i);
+      values.push_back(static_cast<double>(t.at(i)));
+    }
+  }
+  DL2SQL_ASSIGN_OR_RETURN(
+      Table t, Table::FromColumns(FlatSchema(true),
+                                  {Column::Ints(std::move(batch_ids)),
+                                   Column::Ints(std::move(ids)),
+                                   Column::Floats(std::move(values))}));
+  return db_->RegisterTable(model_.input_table, std::move(t),
+                            /*temporary=*/true);
+}
+
+Status Dl2SqlRunner::Cleanup() {
+  for (const auto& t : model_.RuntimeTables()) {
+    DL2SQL_RETURN_NOT_OK(db_->Execute("DROP TABLE IF EXISTS " + t).status());
+  }
+  return Status::OK();
+}
+
+Status Dl2SqlRunner::RunStatements(PipelineRunStats* stats) {
+  Stopwatch infer_watch;
+  for (const auto& op : model_.ops) {
+    Stopwatch op_watch;
+    for (const auto& stmt : op.runtime_sql) {
+      static const std::string kPrefix = "CREATE TEMP TABLE ";
+      if (stmt.compare(0, kPrefix.size(), kPrefix) == 0) {
+        const size_t start = kPrefix.size();
+        const size_t end = stmt.find(' ', start);
+        const std::string table = stmt.substr(start, end - start);
+        DL2SQL_RETURN_NOT_OK(
+            db_->Execute("DROP TABLE IF EXISTS " + table).status());
+      }
+      DL2SQL_RETURN_NOT_OK(db_->Execute(stmt).status().WithContext(
+          "running generated SQL for " + op.layer_name + ": " +
+          stmt.substr(0, 120)));
+    }
+    stats->per_op.push_back({op.layer_name, op.kind, op_watch.ElapsedSeconds()});
+  }
+  stats->infer_seconds = infer_watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<Tensor> Dl2SqlRunner::Infer(const Tensor& input,
+                                   PipelineRunStats* stats) {
+  if (model_.options.batched) {
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<Tensor> out, InferBatch({input}, stats));
+    return out[0];
+  }
+  if (input.shape() != model_.input_shape) {
+    return Status::InvalidArgument("DL2SQL model ", model_.model_name,
+                                   " expects input ",
+                                   model_.input_shape.ToString(), ", got ",
+                                   input.shape().ToString());
+  }
+  PipelineRunStats local;
+  db_->set_cost_accumulator(&local.clause_costs);
+  auto body = [&]() -> Result<Tensor> {
+    {
+      Stopwatch watch;
+      DL2SQL_RETURN_NOT_OK(LoadInput(input));
+      local.load_seconds = watch.ElapsedSeconds();
+    }
+    DL2SQL_RETURN_NOT_OK(RunStatements(&local));
+    DL2SQL_ASSIGN_OR_RETURN(
+        Table result,
+        db_->Execute("SELECT TupleID, Value FROM " + model_.output_table +
+                     " ORDER BY TupleID"));
+    Tensor activation(Shape({result.num_rows()}));
+    for (int64_t i = 0; i < result.num_rows(); ++i) {
+      const int64_t id = result.column(0).ints()[static_cast<size_t>(i)];
+      if (id < 0 || id >= result.num_rows()) {
+        return Status::InternalError("non-dense output TupleIDs from ",
+                                     model_.output_table);
+      }
+      activation.at(id) =
+          static_cast<float>(result.column(1).floats()[static_cast<size_t>(i)]);
+    }
+    DL2SQL_RETURN_NOT_OK(Cleanup());
+    return activation;
+  };
+  auto out = body();
+  db_->set_cost_accumulator(nullptr);
+  DL2SQL_RETURN_NOT_OK(out.status());
+  if (stats != nullptr) *stats = std::move(local);
+  return out;
+}
+
+Result<std::vector<Tensor>> Dl2SqlRunner::InferBatch(
+    const std::vector<Tensor>& inputs, PipelineRunStats* stats) {
+  if (inputs.empty()) return std::vector<Tensor>{};
+  if (!model_.options.batched) {
+    // Non-batched conversion: run the pipeline once per input.
+    std::vector<Tensor> out;
+    PipelineRunStats total;
+    for (const auto& input : inputs) {
+      PipelineRunStats one;
+      DL2SQL_ASSIGN_OR_RETURN(Tensor r, Infer(input, &one));
+      out.push_back(std::move(r));
+      total.load_seconds += one.load_seconds;
+      total.infer_seconds += one.infer_seconds;
+      total.clause_costs.Merge(one.clause_costs);
+      if (total.per_op.size() == one.per_op.size()) {
+        for (size_t i = 0; i < one.per_op.size(); ++i) {
+          total.per_op[i].seconds += one.per_op[i].seconds;
+        }
+      } else if (total.per_op.empty()) {
+        total.per_op = one.per_op;
+      }
+    }
+    if (stats != nullptr) *stats = std::move(total);
+    return out;
+  }
+
+  for (const auto& input : inputs) {
+    if (input.shape() != model_.input_shape) {
+      return Status::InvalidArgument("DL2SQL model ", model_.model_name,
+                                     " expects input ",
+                                     model_.input_shape.ToString(), ", got ",
+                                     input.shape().ToString());
+    }
+  }
+  PipelineRunStats local;
+  db_->set_cost_accumulator(&local.clause_costs);
+  auto body = [&]() -> Result<std::vector<Tensor>> {
+    {
+      Stopwatch watch;
+      DL2SQL_RETURN_NOT_OK(LoadInputBatch(inputs));
+      local.load_seconds = watch.ElapsedSeconds();
+    }
+    DL2SQL_RETURN_NOT_OK(RunStatements(&local));
+    DL2SQL_ASSIGN_OR_RETURN(
+        Table result,
+        db_->Execute("SELECT BatchID, TupleID, Value FROM " +
+                     model_.output_table + " ORDER BY BatchID, TupleID"));
+    const int64_t per_batch = result.num_rows() /
+                              static_cast<int64_t>(inputs.size());
+    if (per_batch * static_cast<int64_t>(inputs.size()) != result.num_rows()) {
+      return Status::InternalError("ragged batched output from ",
+                                   model_.output_table);
+    }
+    std::vector<Tensor> out;
+    out.reserve(inputs.size());
+    for (size_t b = 0; b < inputs.size(); ++b) out.emplace_back(Shape({per_batch}));
+    for (int64_t i = 0; i < result.num_rows(); ++i) {
+      const int64_t batch = result.column(0).ints()[static_cast<size_t>(i)];
+      const int64_t id = result.column(1).ints()[static_cast<size_t>(i)];
+      if (batch < 0 || batch >= static_cast<int64_t>(inputs.size()) || id < 0 ||
+          id >= per_batch) {
+        return Status::InternalError("bad batched output ids from ",
+                                     model_.output_table);
+      }
+      out[static_cast<size_t>(batch)].at(id) = static_cast<float>(
+          result.column(2).floats()[static_cast<size_t>(i)]);
+    }
+    DL2SQL_RETURN_NOT_OK(Cleanup());
+    return out;
+  };
+  auto out = body();
+  db_->set_cost_accumulator(nullptr);
+  DL2SQL_RETURN_NOT_OK(out.status());
+  if (stats != nullptr) *stats = std::move(local);
+  return out;
+}
+
+namespace {
+int64_t Argmax(const Tensor& t) {
+  int64_t best = 0;
+  for (int64_t i = 1; i < t.NumElements(); ++i) {
+    if (t.at(i) > t.at(best)) best = i;
+  }
+  return best;
+}
+}  // namespace
+
+Result<int64_t> Dl2SqlRunner::Predict(const Tensor& input,
+                                      PipelineRunStats* stats) {
+  DL2SQL_ASSIGN_OR_RETURN(Tensor out, Infer(input, stats));
+  if (out.NumElements() == 0) {
+    return Status::InternalError("empty pipeline output");
+  }
+  return Argmax(out);
+}
+
+Result<std::vector<int64_t>> Dl2SqlRunner::PredictBatch(
+    const std::vector<Tensor>& inputs, PipelineRunStats* stats) {
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<Tensor> out, InferBatch(inputs, stats));
+  std::vector<int64_t> preds;
+  preds.reserve(out.size());
+  for (const auto& t : out) {
+    if (t.NumElements() == 0) {
+      return Status::InternalError("empty pipeline output");
+    }
+    preds.push_back(Argmax(t));
+  }
+  return preds;
+}
+
+}  // namespace dl2sql::core

@@ -1,0 +1,68 @@
+/// \file pipeline.h
+/// \brief Runs a converted model's generated SQL inside the database and
+/// profiles it (inference cost, loading cost, per-block and per-clause
+/// breakdowns for Figs. 8-11).
+#pragma once
+
+#include "common/timer.h"
+#include "dl2sql/converter.h"
+
+namespace dl2sql::core {
+
+/// Profiling output of one inference run.
+struct PipelineRunStats {
+  /// Seconds spent materializing the input tensor as the flat input table.
+  double load_seconds = 0;
+  /// Seconds spent executing the generated SQL statements.
+  double infer_seconds = 0;
+  /// Per-op wall seconds in execution order: (layer label, op kind, secs).
+  struct OpTime {
+    std::string label;
+    nn::LayerKind kind;
+    double seconds;
+  };
+  std::vector<OpTime> per_op;
+  /// Per-SQL-clause cost buckets ("scan", "join", "groupby", ...) as charged
+  /// by the database executor during this run (Fig. 10).
+  CostAccumulator clause_costs;
+};
+
+/// \brief Executes a ConvertedModel's SQL pipeline.
+class Dl2SqlRunner {
+ public:
+  Dl2SqlRunner(db::Database* db, ConvertedModel model)
+      : db_(db), model_(std::move(model)) {}
+
+  const ConvertedModel& model() const { return model_; }
+
+  /// Runs the full pipeline on one input; returns the output activation
+  /// (class probabilities for classifier models), ordered by TupleID.
+  /// For a batch-converted model this delegates to InferBatch.
+  Result<Tensor> Infer(const Tensor& input, PipelineRunStats* stats = nullptr);
+
+  /// Runs a whole batch. For a batch-converted model (ConvertOptions::
+  /// batched) the batch goes through ONE pipeline execution with per-image
+  /// BatchIDs; otherwise it loops Infer. Returns one activation per input.
+  Result<std::vector<Tensor>> InferBatch(const std::vector<Tensor>& inputs,
+                                         PipelineRunStats* stats = nullptr);
+
+  /// Argmax over Infer().
+  Result<int64_t> Predict(const Tensor& input, PipelineRunStats* stats = nullptr);
+
+  /// Argmax per batch element.
+  Result<std::vector<int64_t>> PredictBatch(const std::vector<Tensor>& inputs,
+                                            PipelineRunStats* stats = nullptr);
+
+  /// Drops all runtime tables (called automatically at the end of Infer).
+  Status Cleanup();
+
+ private:
+  Status LoadInput(const Tensor& input);
+  Status LoadInputBatch(const std::vector<Tensor>& inputs);
+  Status RunStatements(PipelineRunStats* stats);
+
+  db::Database* db_;
+  ConvertedModel model_;
+};
+
+}  // namespace dl2sql::core

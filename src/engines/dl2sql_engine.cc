@@ -1,0 +1,411 @@
+#include "engines/dl2sql_engine.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "tensor/tensor_blob.h"
+
+namespace dl2sql::engines {
+
+Dl2SqlEngine::Dl2SqlEngine(std::shared_ptr<Device> device, Options options)
+    : CollaborativeEngine(std::move(device)), options_(std::move(options)) {
+  db_.optimizer_options().enable_nudf_hints = options_.enable_optimizer_hints;
+  if (options_.enable_optimizer_hints) {
+    db_.optimizer_options().cost_model =
+        std::make_shared<db::NeuralAwareCostModel>();
+  }
+}
+
+Status Dl2SqlEngine::DeployModel(const nn::Model& model,
+                                 const ModelDeployment& deployment) {
+  auto m = std::make_shared<DeployedModel>();
+  m->model = model;
+  m->deployment = deployment;
+  models_[ToLower(deployment.udf_name)] = m;
+  deployments_[deployment.udf_name] = deployment;
+
+  if (!options_.redeploy_per_query) {
+    DL2SQL_RETURN_NOT_OK(Deploy(m.get()).status());
+  }
+  // Calibrate per-call cost for the hint rules by one probe run (through a
+  // temporary deployment when not cached).
+  {
+    const bool was_deployed = m->runner != nullptr;
+    if (!was_deployed) {
+      DL2SQL_RETURN_NOT_OK(Deploy(m.get()).status());
+    }
+    Rng rng(1);
+    Tensor probe = Tensor::Random(model.input_shape(), &rng, 1.0f);
+    Stopwatch watch;
+    DL2SQL_RETURN_NOT_OK(m->runner->Predict(probe).status());
+    m->per_call_cost_sec = watch.ElapsedSeconds();
+    if (!was_deployed && options_.redeploy_per_query) {
+      DL2SQL_RETURN_NOT_OK(Undeploy(m.get()));
+    }
+  }
+  RegisterNUdf(deployment.udf_name);
+  return Status::OK();
+}
+
+Result<double> Dl2SqlEngine::Deploy(DeployedModel* m) {
+  Stopwatch watch;
+  core::ConvertOptions copts = options_.convert;
+  // Sanitize to a valid SQL identifier (family variants are named "fam#i").
+  std::string stem = ToLower(m->deployment.udf_name);
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+  }
+  copts.table_prefix = "nn_" + stem + std::to_string(prefix_counter_++);
+  DL2SQL_ASSIGN_OR_RETURN(core::ConvertedModel converted,
+                          core::ConvertModel(m->model, copts, &db_));
+  m->runner = std::make_shared<core::Dl2SqlRunner>(&db_, std::move(converted));
+  return watch.ElapsedSeconds();
+}
+
+Status Dl2SqlEngine::Undeploy(DeployedModel* m) {
+  if (m->runner == nullptr) return Status::OK();
+  for (const auto& t : m->runner->model().static_tables) {
+    DL2SQL_RETURN_NOT_OK(db_.catalog().DropTable(t, true));
+  }
+  m->runner = nullptr;
+  return Status::OK();
+}
+
+void Dl2SqlEngine::RegisterNUdf(const std::string& name) {
+  auto model_ref = models_[ToLower(name)];
+  db::NUdfInfo info;
+  info.model_name = model_ref->model.name();
+  info.selectivity = model_ref->deployment.selectivity;
+  info.num_parameters = model_ref->model.NumParameters();
+  info.per_call_cost_sec = model_ref->per_call_cost_sec;
+
+  db::DataType ret;
+  switch (model_ref->deployment.output) {
+    case NUdfOutput::kBool:
+      ret = db::DataType::kBool;
+      break;
+    case NUdfOutput::kLabel:
+      ret = db::DataType::kString;
+      break;
+    case NUdfOutput::kClassId:
+      ret = db::DataType::kInt64;
+      break;
+  }
+
+  Dl2SqlEngine* self = this;
+
+  // Vectorized body: with a batch-converted model the whole predicate column
+  // runs through ONE generated-SQL pipeline execution.
+  db::BatchFn batch_fn = nullptr;
+  if (options_.convert.batched) {
+    batch_fn = [self, model_ref](const std::vector<std::vector<db::Value>>&
+                                     rows) -> Result<std::vector<db::Value>> {
+      if (model_ref->runner == nullptr) {
+        return Status::InternalError("nUDF called before model deployment");
+      }
+      std::vector<Tensor> inputs;
+      inputs.reserve(rows.size());
+      Stopwatch decode_watch;
+      for (const auto& row : rows) {
+        if (row.size() != 1 || (row[0].type() != db::DataType::kBlob &&
+                                row[0].type() != db::DataType::kString)) {
+          return Status::InvalidArgument("nUDF expects one keyframe blob");
+        }
+        DL2SQL_ASSIGN_OR_RETURN(Tensor t, DecodeTensorBlob(row[0].string_value()));
+        inputs.push_back(std::move(t));
+      }
+      self->call_loading_seconds_ += decode_watch.ElapsedSeconds();
+
+      core::PipelineRunStats stats;
+      CostAccumulator* outer = self->db_.cost_accumulator();
+      auto preds = model_ref->runner->PredictBatch(inputs, &stats);
+      self->db_.set_cost_accumulator(outer);
+      DL2SQL_RETURN_NOT_OK(preds.status());
+      self->call_loading_seconds_ += stats.load_seconds;
+      self->last_stats_.load_seconds += stats.load_seconds;
+      self->last_stats_.infer_seconds += stats.infer_seconds;
+      self->last_stats_.clause_costs.Merge(stats.clause_costs);
+
+      std::vector<db::Value> out;
+      out.reserve(preds->size());
+      for (int64_t cls : *preds) {
+        switch (model_ref->deployment.output) {
+          case NUdfOutput::kBool:
+            out.push_back(db::Value::Bool(cls == 1));
+            break;
+          case NUdfOutput::kLabel:
+            out.push_back(db::Value::String(
+                model_ref->model.classes()[static_cast<size_t>(cls)]));
+            break;
+          case NUdfOutput::kClassId:
+            out.push_back(db::Value::Int(cls));
+            break;
+        }
+      }
+      return out;
+    };
+  }
+
+  db_.udfs().RegisterNeural(
+      name, ret,
+      [self, model_ref](const std::vector<db::Value>& args)
+          -> Result<db::Value> {
+        if (model_ref->runner == nullptr) {
+          return Status::InternalError("nUDF called before model deployment");
+        }
+        if (args.size() != 1 || (args[0].type() != db::DataType::kBlob &&
+                                 args[0].type() != db::DataType::kString)) {
+          return Status::InvalidArgument("nUDF expects one keyframe blob");
+        }
+        Stopwatch decode_watch;
+        DL2SQL_ASSIGN_OR_RETURN(Tensor input,
+                                DecodeTensorBlob(args[0].string_value()));
+        self->call_loading_seconds_ += decode_watch.ElapsedSeconds();
+
+        // The pipeline's recursive SQL runs under its own accumulator so the
+        // outer query's relational buckets stay clean; the whole call is
+        // still charged to "inference" by the expression evaluator.
+        core::PipelineRunStats stats;
+        CostAccumulator* outer = self->db_.cost_accumulator();
+        auto cls = model_ref->runner->Predict(input, &stats);
+        self->db_.set_cost_accumulator(outer);
+        DL2SQL_RETURN_NOT_OK(cls.status());
+        self->call_loading_seconds_ += stats.load_seconds;
+        self->last_stats_.load_seconds += stats.load_seconds;
+        self->last_stats_.infer_seconds += stats.infer_seconds;
+        // Merge the per-op and per-clause profiles (Figs. 9-10).
+        if (self->last_stats_.per_op.size() == stats.per_op.size()) {
+          for (size_t i = 0; i < stats.per_op.size(); ++i) {
+            self->last_stats_.per_op[i].seconds += stats.per_op[i].seconds;
+          }
+        } else if (self->last_stats_.per_op.empty()) {
+          self->last_stats_.per_op = stats.per_op;
+        }
+        self->last_stats_.clause_costs.Merge(stats.clause_costs);
+
+        switch (model_ref->deployment.output) {
+          case NUdfOutput::kBool:
+            return db::Value::Bool(*cls == 1);
+          case NUdfOutput::kLabel:
+            return db::Value::String(
+                model_ref->model.classes()[static_cast<size_t>(*cls)]);
+          case NUdfOutput::kClassId:
+            return db::Value::Int(*cls);
+        }
+        return Status::InternalError("bad output kind");
+      },
+      std::move(info), std::move(batch_fn));
+}
+
+Status Dl2SqlEngine::DeployModelFamily(const ModelFamilyDeployment& family) {
+  if (family.variants.empty()) {
+    return Status::InvalidArgument("model family '", family.udf_name,
+                                   "' has no variants");
+  }
+  auto fam = std::make_shared<DeployedFamily>();
+  fam->family = family;
+  for (size_t i = 0; i < family.variants.size(); ++i) {
+    auto m = std::make_shared<DeployedModel>();
+    m->model = family.variants[i].model;
+    m->deployment.udf_name =
+        family.udf_name + "#" + std::to_string(i);
+    m->deployment.output = family.output;
+    m->deployment.selectivity = family.variants[i].selectivity;
+    if (!options_.redeploy_per_query) {
+      DL2SQL_RETURN_NOT_OK(Deploy(m.get()).status());
+    }
+    fam->variants.push_back(std::move(m));
+  }
+  families_[ToLower(family.udf_name)] = fam;
+
+  // Per-call cost probe on the first variant (drives the hint rules).
+  double per_call = 0;
+  {
+    DeployedModel* v0 = fam->variants[0].get();
+    const bool was_deployed = v0->runner != nullptr;
+    if (!was_deployed) {
+      DL2SQL_RETURN_NOT_OK(Deploy(v0).status());
+    }
+    Rng rng(1);
+    Tensor probe = Tensor::Random(v0->model.input_shape(), &rng, 1.0f);
+    Stopwatch watch;
+    DL2SQL_RETURN_NOT_OK(v0->runner->Predict(probe).status());
+    per_call = watch.ElapsedSeconds();
+    if (!was_deployed && options_.redeploy_per_query) {
+      DL2SQL_RETURN_NOT_OK(Undeploy(v0));
+    }
+  }
+
+  db::NUdfInfo info;
+  info.model_name = family.udf_name;
+  info.selectivity = family.MergedSelectivity();
+  info.num_parameters = family.variants[0].model.NumParameters();
+  info.per_call_cost_sec = per_call;
+
+  db::DataType ret;
+  switch (family.output) {
+    case NUdfOutput::kBool:
+      ret = db::DataType::kBool;
+      break;
+    case NUdfOutput::kLabel:
+      ret = db::DataType::kString;
+      break;
+    case NUdfOutput::kClassId:
+      ret = db::DataType::kInt64;
+      break;
+  }
+
+  Dl2SqlEngine* self = this;
+  auto fam_ref = fam;
+  db_.udfs().RegisterNeural(
+      family.udf_name, ret,
+      [self, fam_ref](const std::vector<db::Value>& args)
+          -> Result<db::Value> {
+        if (args.size() != 3 || (args[0].type() != db::DataType::kBlob &&
+                                 args[0].type() != db::DataType::kString)) {
+          return Status::InvalidArgument(
+              "family nUDF expects (keyframe, humidity, temperature)");
+        }
+        DL2SQL_ASSIGN_OR_RETURN(double humidity, args[1].AsDouble());
+        DL2SQL_ASSIGN_OR_RETURN(double temperature, args[2].AsDouble());
+        DeployedModel& variant =
+            *fam_ref->variants[fam_ref->family.Select(humidity, temperature)];
+        if (variant.runner == nullptr) {
+          return Status::InternalError("family variant not deployed");
+        }
+        Stopwatch decode_watch;
+        DL2SQL_ASSIGN_OR_RETURN(Tensor input,
+                                DecodeTensorBlob(args[0].string_value()));
+        self->call_loading_seconds_ += decode_watch.ElapsedSeconds();
+
+        core::PipelineRunStats stats;
+        CostAccumulator* outer = self->db_.cost_accumulator();
+        auto cls = variant.runner->Predict(input, &stats);
+        self->db_.set_cost_accumulator(outer);
+        DL2SQL_RETURN_NOT_OK(cls.status());
+        self->call_loading_seconds_ += stats.load_seconds;
+        self->last_stats_.load_seconds += stats.load_seconds;
+        self->last_stats_.infer_seconds += stats.infer_seconds;
+        self->last_stats_.clause_costs.Merge(stats.clause_costs);
+
+        switch (fam_ref->family.output) {
+          case NUdfOutput::kBool:
+            return db::Value::Bool(*cls == 1);
+          case NUdfOutput::kLabel:
+            return db::Value::String(
+                variant.model.classes()[static_cast<size_t>(*cls)]);
+          case NUdfOutput::kClassId:
+            return db::Value::Int(*cls);
+        }
+        return Status::InternalError("bad output kind");
+      },
+      std::move(info), nullptr, /*arity=*/3);
+  return Status::OK();
+}
+
+Result<db::Table> Dl2SqlEngine::ExecuteCollaborative(const std::string& sql,
+                                                     QueryCost* cost) {
+  QueryCost local;
+  last_stats_ = core::PipelineRunStats{};
+  call_loading_seconds_ = 0;
+
+  // Integrate referenced models on the fly: conversion to relational tables
+  // is this strategy's model-loading cost.
+  const DeviceProfile& prof = device_->profile();
+  double transfer_seconds = 0;
+  std::vector<DeployedModel*> deployed_now;
+  // Family variants referenced via the family nUDF name.
+  std::vector<DeployedModel*> referenced;
+  for (auto& [lname, m] : models_) {
+    if (ToLower(sql).find(lname) != std::string::npos) {
+      referenced.push_back(m.get());
+    }
+  }
+  for (auto& [lname, fam] : families_) {
+    if (ToLower(sql).find(lname) == std::string::npos) continue;
+    for (auto& v : fam->variants) referenced.push_back(v.get());
+  }
+  for (DeployedModel* m : referenced) {
+    if (m->runner == nullptr) {
+      DL2SQL_ASSIGN_OR_RETURN(double secs, Deploy(m));
+      local.loading_seconds += secs;
+      deployed_now.push_back(m);
+    }
+    if (prof.NeedsTransfer()) {
+      // GPU mode ships the parameter tables to device memory per query —
+      // the I/O that inflates DL2SQL's GPU loading cost in Fig. 8.
+      auto bytes = core::StaticStorageBytes(m->runner->model(), db_,
+                                            /*compressed=*/false);
+      if (bytes.ok()) transfer_seconds += device_->TransferSeconds(*bytes);
+    }
+  }
+
+  CostAccumulator acc;
+  db_.set_cost_accumulator(&acc);
+  auto result = db_.Execute(sql);
+  // The nUDF body nulls the accumulator before recursing; restore & clear.
+  db_.set_cost_accumulator(nullptr);
+
+  if (options_.redeploy_per_query) {
+    for (DeployedModel* m : deployed_now) {
+      DL2SQL_RETURN_NOT_OK(Undeploy(m));
+    }
+  }
+  DL2SQL_RETURN_NOT_OK(result.status());
+
+  QueryCost from_buckets = SplitBuckets(acc);
+  // Device scaling: the generated neural SQL runs in the (calibrated)
+  // database engine; on the GPU profile the dense neural ops are offloaded,
+  // so the faster of the two factors applies. The outer query and loading
+  // work run at the host's database/CPU speed; modeled transfers are
+  // absolute.
+  const double sql_inference_factor =
+      std::min(prof.compute_scale, prof.relational_scale) *
+      kSqlEngineCalibration;
+  local.relational_seconds +=
+      from_buckets.relational_seconds * RelationalFactor();
+  // Inference bucket holds whole nUDF call durations; move the input-loading
+  // share into the loading bucket.
+  local.inference_seconds +=
+      std::max(0.0, from_buckets.inference_seconds - call_loading_seconds_) *
+      sql_inference_factor;
+  local.loading_seconds =
+      (local.loading_seconds + call_loading_seconds_ +
+       from_buckets.loading_seconds) *
+          CpuFactor() +
+      transfer_seconds;
+  if (cost != nullptr) *cost = local;
+  return result;
+}
+
+Result<uint64_t> Dl2SqlEngine::RelationalStorageBytes(
+    const std::string& udf_name) {
+  auto it = models_.find(ToLower(udf_name));
+  if (it == models_.end()) {
+    return Status::NotFound("no deployed model for ", udf_name);
+  }
+  DeployedModel* m = it->second.get();
+  const bool was_deployed = m->runner != nullptr;
+  if (!was_deployed) {
+    DL2SQL_RETURN_NOT_OK(Deploy(m).status());
+  }
+  DL2SQL_ASSIGN_OR_RETURN(uint64_t bytes,
+                          core::StaticStorageBytes(m->runner->model(), db_));
+  if (!was_deployed) {
+    DL2SQL_RETURN_NOT_OK(Undeploy(m));
+  }
+  return bytes;
+}
+
+Result<const core::ConvertedModel*> Dl2SqlEngine::converted_model(
+    const std::string& udf_name) {
+  auto it = models_.find(ToLower(udf_name));
+  if (it == models_.end()) {
+    return Status::NotFound("no deployed model for ", udf_name);
+  }
+  if (it->second->runner == nullptr) {
+    DL2SQL_RETURN_NOT_OK(Deploy(it->second.get()).status());
+  }
+  return &it->second->runner->model();
+}
+
+}  // namespace dl2sql::engines

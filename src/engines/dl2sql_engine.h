@@ -1,0 +1,96 @@
+/// \file dl2sql_engine.h
+/// \brief Tight integration (the paper's DL2SQL / DL2SQL-OP): nUDFs are
+/// rewritten into generated SQL over relational parameter tables and run
+/// natively by the database.
+///
+/// Per collaborative query the engine:
+///   1. converts every referenced model into relational tables ("load the
+///    neural model from relational tables" — the loading cost that grows
+///    with depth in Table VI),
+///   2. registers each nUDF as a function whose body executes the model's
+///    generated SQL pipeline (so nUDF evaluation *is* SQL execution, placed
+///    wherever the optimizer decides),
+///   3. runs the collaborative query. With hints enabled (DL2SQL-OP) the
+///    optimizer applies Section IV-B's rules: scan-time vs delayed nUDF
+///    placement by cost, most-selective-first ordering, and symmetric hash
+///    joins for nUDF join conditions.
+#pragma once
+
+#include "dl2sql/cost_model.h"
+#include "dl2sql/pipeline.h"
+#include "engines/engine.h"
+
+namespace dl2sql::engines {
+
+class Dl2SqlEngine : public CollaborativeEngine {
+ public:
+  struct Options {
+    /// Hint rules + neural-aware cost model (DL2SQL-OP when true).
+    bool enable_optimizer_hints = false;
+    /// Re-deploy parameter tables on every query (the paper's benchmark
+    /// integrates models on the fly); false caches them across queries.
+    bool redeploy_per_query = true;
+    core::ConvertOptions convert;
+  };
+
+  Dl2SqlEngine(std::shared_ptr<Device> device, Options options);
+
+  const char* name() const override {
+    return options_.enable_optimizer_hints ? "DL2SQL-OP" : "DL2SQL";
+  }
+
+  Status DeployModel(const nn::Model& model,
+                     const ModelDeployment& deployment) override;
+
+  /// Conditional model families: every variant is converted to its own set
+  /// of relational parameter tables; the 3-ary nUDF routes each row's
+  /// keyframe through the variant selected by the condition columns.
+  Status DeployModelFamily(const ModelFamilyDeployment& family) override;
+
+  Result<db::Table> ExecuteCollaborative(const std::string& sql,
+                                         QueryCost* cost) override;
+
+  /// Static relational storage bytes for one deployed model (Table IV).
+  Result<uint64_t> RelationalStorageBytes(const std::string& udf_name);
+
+  /// Per-op / per-clause profile aggregated over the nUDF invocations of the
+  /// most recent ExecuteCollaborative call (Figs. 9 & 10).
+  const core::PipelineRunStats& last_pipeline_stats() const {
+    return last_stats_;
+  }
+
+  /// Direct access to a converted model (cost-model benches).
+  Result<const core::ConvertedModel*> converted_model(
+      const std::string& udf_name);
+
+ private:
+  struct DeployedModel {
+    nn::Model model;
+    ModelDeployment deployment;
+    /// Valid while deployed; rebuilt per query when redeploy_per_query.
+    std::shared_ptr<core::Dl2SqlRunner> runner;
+    double per_call_cost_sec = 0;
+  };
+
+  /// (Re)builds parameter tables + runner for one model; returns seconds.
+  Result<double> Deploy(DeployedModel* m);
+  Status Undeploy(DeployedModel* m);
+  void RegisterNUdf(const std::string& name);
+
+  struct DeployedFamily {
+    ModelFamilyDeployment family;
+    std::vector<std::shared_ptr<DeployedModel>> variants;
+  };
+
+  Options options_;
+  std::map<std::string, std::shared_ptr<DeployedModel>> models_;
+  std::map<std::string, std::shared_ptr<DeployedFamily>> families_;
+  /// Accumulates pipeline-internal stats across nUDF calls in one query.
+  core::PipelineRunStats last_stats_;
+  /// Input-tensor loading seconds accumulated inside nUDF calls (moved from
+  /// the inference to the loading bucket after the query).
+  double call_loading_seconds_ = 0;
+  int prefix_counter_ = 0;
+};
+
+}  // namespace dl2sql::engines

@@ -1,0 +1,62 @@
+#include "engines/engine.h"
+
+namespace dl2sql::engines {
+
+Status CollaborativeEngine::AttachTablesFrom(const db::Database& source) {
+  for (const auto& name : source.catalog().TableNames()) {
+    DL2SQL_ASSIGN_OR_RETURN(db::TablePtr t, source.catalog().GetTable(name));
+    if (db_.catalog().HasTable(name)) {
+      DL2SQL_RETURN_NOT_OK(db_.catalog().DropTable(name, false));
+    }
+    // Shared TablePtr: all engines see the same physical columns.
+    DL2SQL_RETURN_NOT_OK(db_.catalog().CreateTable(name, t, false));
+    if (const db::TableStats* stats = source.catalog().GetStats(name)) {
+      (void)stats;
+      DL2SQL_RETURN_NOT_OK(db_.catalog().Analyze(name));
+    }
+  }
+  return Status::OK();
+}
+
+QueryCost CollaborativeEngine::SplitBuckets(const CostAccumulator& acc) {
+  QueryCost cost;
+  for (const auto& [bucket, secs] : acc.buckets()) {
+    if (bucket == "inference") {
+      cost.inference_seconds += secs;
+    } else if (bucket == "loading") {
+      cost.loading_seconds += secs;
+    } else {
+      cost.relational_seconds += secs;
+    }
+  }
+  return cost;
+}
+
+Result<db::NUdfSelectivity> LearnSelectivityHistogram(const nn::Model& model,
+                                                      NUdfOutput output,
+                                                      Device* device,
+                                                      int64_t samples,
+                                                      uint64_t seed) {
+  Rng rng(seed);
+  db::NUdfSelectivity sel;
+  for (int64_t s = 0; s < samples; ++s) {
+    Tensor input = Tensor::Random(model.input_shape(), &rng, 1.0f);
+    DL2SQL_ASSIGN_OR_RETURN(int64_t cls, model.Predict(input, device));
+    std::string label;
+    switch (output) {
+      case NUdfOutput::kBool:
+        label = cls == 1 ? "TRUE" : "FALSE";
+        break;
+      case NUdfOutput::kLabel:
+        label = model.classes()[static_cast<size_t>(cls)];
+        break;
+      case NUdfOutput::kClassId:
+        label = std::to_string(cls);
+        break;
+    }
+    sel.histogram[label] += 1;
+  }
+  return sel;
+}
+
+}  // namespace dl2sql::engines

@@ -1,0 +1,64 @@
+/// \file independent_engine.h
+/// \brief Independent processing (the paper's DB-PyTorch): the database and
+/// the DL system are black boxes coordinated by an application layer.
+///
+/// Per collaborative query the application layer:
+///   1. splits the query into Q_db (relational) and Q_learning (neural),
+///   2. runs Q_db in the database to obtain candidate rows,
+///   3. ships the intermediate result across a simulated IPC boundary
+///      (serialization + bandwidth + per-message latency) to the DL system,
+///   4. batch-infers every nUDF on the device,
+///   5. forwards the predictions back into the database as a temp table and
+///      runs the residual query (neural predicates, aggregation, projection).
+/// Steps 3/5's transfers and the per-query model load in the DL system are
+/// the loading cost that dominates this strategy in Fig. 8.
+#pragma once
+
+#include "engines/engine.h"
+#include "nn/serialize.h"
+
+namespace dl2sql::engines {
+
+/// \brief Simulated IPC/RPC boundary between the DB and the DL system.
+struct SystemBoundary {
+  double bandwidth_bytes_per_s = 2.0e9;  ///< loopback gRPC-ish throughput
+  double latency_s = 100e-6;             ///< per-message latency
+
+  double TransferSeconds(uint64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+class IndependentEngine : public CollaborativeEngine {
+ public:
+  explicit IndependentEngine(std::shared_ptr<Device> device);
+
+  const char* name() const override { return "DB-PyTorch"; }
+
+  Status DeployModel(const nn::Model& model,
+                     const ModelDeployment& deployment) override;
+
+  Result<db::Table> ExecuteCollaborative(const std::string& sql,
+                                         QueryCost* cost) override;
+
+  SystemBoundary& boundary() { return boundary_; }
+
+  /// Script (TorchScript-analog) size for Table IV storage accounting.
+  Result<uint64_t> ScriptBytes(const std::string& udf_name) const;
+
+ private:
+  struct ServedModel {
+    std::string script;  ///< serialized TorchScript-analog
+    NUdfOutput output = NUdfOutput::kBool;
+  };
+
+  /// The "DL system": loads a served model (per query) and batch-infers.
+  Result<std::vector<db::Value>> ServeBatch(const std::string& udf_name,
+                                            const std::vector<Tensor>& inputs,
+                                            QueryCost* cost);
+
+  std::map<std::string, ServedModel> served_;
+  SystemBoundary boundary_;
+};
+
+}  // namespace dl2sql::engines

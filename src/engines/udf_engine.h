@@ -1,0 +1,60 @@
+/// \file udf_engine.h
+/// \brief Loose integration (the paper's DB-UDF): the model is compiled to an
+/// opaque binary blob linked into the database kernel and invoked as a
+/// scalar UDF.
+///
+/// The optimizer treats the UDF as a black box (no hint rules, no cost), so
+/// nUDF predicates are evaluated wherever pushdown puts ordinary predicates —
+/// at the scan — incurring full inference cost (Table III's "UDF cannot be
+/// optimized by the database's optimizer").
+#pragma once
+
+#include "engines/engine.h"
+#include "nn/serialize.h"
+
+namespace dl2sql::engines {
+
+class UdfEngine : public CollaborativeEngine {
+ public:
+  explicit UdfEngine(std::shared_ptr<Device> device);
+
+  const char* name() const override { return "DB-UDF"; }
+
+  Status DeployModel(const nn::Model& model,
+                     const ModelDeployment& deployment) override;
+
+  /// Conditional model families: each variant is compiled to its own blob;
+  /// the 3-ary nUDF selects the variant per row from the condition columns.
+  Status DeployModelFamily(const ModelFamilyDeployment& family) override;
+
+  Result<db::Table> ExecuteCollaborative(const std::string& sql,
+                                         QueryCost* cost) override;
+
+  /// Compiled blob size for a deployed model (Table IV storage accounting).
+  Result<uint64_t> CompiledBlobBytes(const std::string& udf_name) const;
+
+ private:
+  struct UdfState {
+    std::string blob;  ///< the "compiled" model binary
+    std::shared_ptr<nn::Model> loaded;  ///< nullptr until first call
+    NUdfOutput output = NUdfOutput::kBool;
+    /// Seconds spent inside UDF calls on CPU loading work (blob
+    /// deserialization, input decode); subtracted from the inference bucket
+    /// after each query.
+    double loading_seconds = 0;
+    /// Modeled host<->accelerator transfer seconds (absolute, not subject to
+    /// device speed scaling).
+    double transfer_seconds = 0;
+    Device* device = nullptr;
+    /// Model parameter bytes shipped to the accelerator once per query.
+    bool weights_on_device = false;
+  };
+
+  std::map<std::string, std::shared_ptr<UdfState>> states_;
+  /// Family variants also live in `states_` (one entry per variant, keyed
+  /// "<family>#<i>"), sharing all per-query accounting; this map only tracks
+  /// the selection metadata.
+  std::map<std::string, ModelFamilyDeployment> families_;
+};
+
+}  // namespace dl2sql::engines

@@ -1,0 +1,260 @@
+#include "nn/blocks.h"
+
+namespace dl2sql::nn {
+
+namespace {
+
+/// Runs a sequence of layers, threading the activation through.
+Result<Tensor> RunSequence(const std::vector<LayerPtr>& layers,
+                           const Tensor& input, Device* device) {
+  Tensor x = input;
+  for (const auto& layer : layers) {
+    DL2SQL_ASSIGN_OR_RETURN(x, layer->Forward(x, device));
+  }
+  return x;
+}
+
+Result<Shape> SequenceShape(const std::vector<LayerPtr>& layers,
+                            const Shape& input) {
+  Shape s = input;
+  for (const auto& layer : layers) {
+    DL2SQL_ASSIGN_OR_RETURN(s, layer->OutputShape(s));
+  }
+  return s;
+}
+
+void CollectParams(const std::vector<LayerPtr>& layers,
+                   const std::string& prefix, std::vector<NamedParam>* out) {
+  for (const auto& layer : layers) {
+    for (auto& p : layer->Parameters()) {
+      out->push_back({prefix + layer->name() + "." + p.name, p.tensor});
+    }
+  }
+}
+
+}  // namespace
+
+Result<Tensor> ConcatChannels(const std::vector<Tensor>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("ConcatChannels: no inputs");
+  }
+  const int64_t h = parts[0].shape()[1];
+  const int64_t w = parts[0].shape()[2];
+  int64_t total_c = 0;
+  for (const auto& p : parts) {
+    if (p.shape().ndim() != 3 || p.shape()[1] != h || p.shape()[2] != w) {
+      return Status::InvalidArgument(
+          "ConcatChannels: spatial mismatch, expected [*, ", h, ", ", w,
+          "], got ", p.shape().ToString());
+    }
+    total_c += p.shape()[0];
+  }
+  Tensor out(Shape({total_c, h, w}));
+  float* dst = out.data();
+  for (const auto& p : parts) {
+    const int64_t n = p.NumElements();
+    std::copy(p.data(), p.data() + n, dst);
+    dst += n;
+  }
+  return out;
+}
+
+// --------------------------------------------------------- ResidualBlock ----
+
+ResidualBlock::ResidualBlock(std::string name, int64_t in_channels,
+                             int64_t out_channels, int64_t kernel,
+                             int64_t stride, int64_t num_convs, Rng* rng)
+    : Layer(std::move(name)) {
+  const int64_t pad = kernel / 2;
+  int64_t c = in_channels;
+  for (int64_t i = 0; i < num_convs; ++i) {
+    const std::string tag = Layer::name() + ".conv" + std::to_string(i + 1);
+    // Only the first conv strides; later ones preserve the spatial size.
+    const int64_t s = (i == 0) ? stride : 1;
+    main_.push_back(
+        std::make_shared<Conv2d>(tag, c, out_channels, kernel, s, pad, rng));
+    auto bn = std::make_shared<BatchNorm>(tag + ".bn", out_channels);
+    bn->RandomizeStats(rng);
+    main_.push_back(bn);
+    if (i + 1 < num_convs) {
+      main_.push_back(std::make_shared<ReluLayer>(tag + ".relu"));
+    }
+    c = out_channels;
+  }
+  const std::string stag = Layer::name() + ".shortcut";
+  shortcut_.push_back(std::make_shared<Conv2d>(stag + ".conv", in_channels,
+                                               out_channels, 1, stride, 0, rng));
+  auto sbn = std::make_shared<BatchNorm>(stag + ".bn", out_channels);
+  sbn->RandomizeStats(rng);
+  shortcut_.push_back(sbn);
+}
+
+Result<Tensor> ResidualBlock::Forward(const Tensor& input,
+                                      Device* device) const {
+  DL2SQL_ASSIGN_OR_RETURN(Tensor main_out, RunSequence(main_, input, device));
+  DL2SQL_ASSIGN_OR_RETURN(Tensor sc_out, RunSequence(shortcut_, input, device));
+  DL2SQL_ASSIGN_OR_RETURN(Tensor summed, Add(main_out, sc_out));
+  return Relu(summed);
+}
+
+Result<Shape> ResidualBlock::OutputShape(const Shape& input) const {
+  DL2SQL_ASSIGN_OR_RETURN(Shape main_shape, SequenceShape(main_, input));
+  DL2SQL_ASSIGN_OR_RETURN(Shape sc_shape, SequenceShape(shortcut_, input));
+  if (main_shape != sc_shape) {
+    return Status::InternalError(name(), ": main ", main_shape.ToString(),
+                                 " vs shortcut ", sc_shape.ToString());
+  }
+  return main_shape;
+}
+
+std::vector<NamedParam> ResidualBlock::Parameters() const {
+  std::vector<NamedParam> out;
+  CollectParams(main_, "", &out);
+  CollectParams(shortcut_, "", &out);
+  return out;
+}
+
+std::vector<const Layer*> ResidualBlock::Children() const {
+  std::vector<const Layer*> out;
+  for (const auto& l : main_) out.push_back(l.get());
+  for (const auto& l : shortcut_) out.push_back(l.get());
+  return out;
+}
+
+// --------------------------------------------------------- IdentityBlock ----
+
+IdentityBlock::IdentityBlock(std::string name, int64_t channels, int64_t kernel,
+                             int64_t num_convs, Rng* rng)
+    : Layer(std::move(name)) {
+  const int64_t pad = kernel / 2;
+  for (int64_t i = 0; i < num_convs; ++i) {
+    const std::string tag = Layer::name() + ".conv" + std::to_string(i + 1);
+    main_.push_back(
+        std::make_shared<Conv2d>(tag, channels, channels, kernel, 1, pad, rng));
+    auto bn = std::make_shared<BatchNorm>(tag + ".bn", channels);
+    bn->RandomizeStats(rng);
+    main_.push_back(bn);
+    if (i + 1 < num_convs) {
+      main_.push_back(std::make_shared<ReluLayer>(tag + ".relu"));
+    }
+  }
+}
+
+Result<Tensor> IdentityBlock::Forward(const Tensor& input,
+                                      Device* device) const {
+  DL2SQL_ASSIGN_OR_RETURN(Tensor main_out, RunSequence(main_, input, device));
+  DL2SQL_ASSIGN_OR_RETURN(Tensor summed, Add(main_out, input));
+  return Relu(summed);
+}
+
+Result<Shape> IdentityBlock::OutputShape(const Shape& input) const {
+  DL2SQL_ASSIGN_OR_RETURN(Shape main_shape, SequenceShape(main_, input));
+  if (main_shape != input) {
+    return Status::InternalError(name(), ": identity block changed shape");
+  }
+  return main_shape;
+}
+
+std::vector<NamedParam> IdentityBlock::Parameters() const {
+  std::vector<NamedParam> out;
+  CollectParams(main_, "", &out);
+  return out;
+}
+
+std::vector<const Layer*> IdentityBlock::Children() const {
+  std::vector<const Layer*> out;
+  for (const auto& l : main_) out.push_back(l.get());
+  return out;
+}
+
+// ------------------------------------------------------------ DenseBlock ----
+
+DenseBlock::DenseBlock(std::string name, int64_t in_channels, int64_t growth,
+                       int64_t num_stages, int64_t kernel, Rng* rng)
+    : Layer(std::move(name)), in_channels_(in_channels), growth_(growth) {
+  const int64_t pad = kernel / 2;
+  int64_t c = in_channels;
+  for (int64_t i = 0; i < num_stages; ++i) {
+    const std::string tag = Layer::name() + ".stage" + std::to_string(i + 1);
+    std::vector<LayerPtr> stage;
+    stage.push_back(
+        std::make_shared<Conv2d>(tag + ".conv", c, growth, kernel, 1, pad, rng));
+    auto bn = std::make_shared<BatchNorm>(tag + ".bn", growth);
+    bn->RandomizeStats(rng);
+    stage.push_back(bn);
+    stage.push_back(std::make_shared<ReluLayer>(tag + ".relu"));
+    stages_.push_back(std::move(stage));
+    c += growth;
+  }
+}
+
+Result<Tensor> DenseBlock::Forward(const Tensor& input, Device* device) const {
+  std::vector<Tensor> feats{input};
+  for (const auto& stage : stages_) {
+    DL2SQL_ASSIGN_OR_RETURN(Tensor x, ConcatChannels(feats));
+    DL2SQL_ASSIGN_OR_RETURN(Tensor y, RunSequence(stage, x, device));
+    feats.push_back(std::move(y));
+  }
+  return ConcatChannels(feats);
+}
+
+Result<Shape> DenseBlock::OutputShape(const Shape& input) const {
+  if (input.ndim() != 3 || input[0] != in_channels_) {
+    return Status::InvalidArgument(name(), ": bad input shape ",
+                                   input.ToString());
+  }
+  return Shape({in_channels_ + num_stages() * growth_, input[1], input[2]});
+}
+
+std::vector<NamedParam> DenseBlock::Parameters() const {
+  std::vector<NamedParam> out;
+  for (const auto& stage : stages_) CollectParams(stage, "", &out);
+  return out;
+}
+
+std::vector<const Layer*> DenseBlock::Children() const {
+  std::vector<const Layer*> out;
+  for (const auto& stage : stages_) {
+    for (const auto& l : stage) out.push_back(l.get());
+  }
+  return out;
+}
+
+// -------------------------------------------------------- BasicAttention ----
+
+BasicAttention::BasicAttention(std::string name, int64_t in_dim, int64_t out_dim,
+                               Rng* rng)
+    : Layer(std::move(name)),
+      attn_(std::make_shared<Linear>(Layer::name() + ".attn", in_dim, out_dim,
+                                     rng)),
+      value_(std::make_shared<Linear>(Layer::name() + ".value", in_dim, out_dim,
+                                      rng)) {}
+
+Result<Tensor> BasicAttention::Forward(const Tensor& input,
+                                       Device* device) const {
+  DL2SQL_ASSIGN_OR_RETURN(Tensor scores, attn_->Forward(input, device));
+  DL2SQL_ASSIGN_OR_RETURN(Tensor weights, Softmax(scores));
+  DL2SQL_ASSIGN_OR_RETURN(Tensor values, value_->Forward(input, device));
+  return Mul(weights, values);
+}
+
+Result<Shape> BasicAttention::OutputShape(const Shape& input) const {
+  return attn_->OutputShape(input);
+}
+
+std::vector<NamedParam> BasicAttention::Parameters() const {
+  std::vector<NamedParam> out;
+  for (auto& p : attn_->Parameters()) {
+    out.push_back({attn_->name() + "." + p.name, p.tensor});
+  }
+  for (auto& p : value_->Parameters()) {
+    out.push_back({value_->name() + "." + p.name, p.tensor});
+  }
+  return out;
+}
+
+std::vector<const Layer*> BasicAttention::Children() const {
+  return {attn_.get(), value_.get()};
+}
+
+}  // namespace dl2sql::nn

@@ -1,0 +1,100 @@
+/// \file blocks.h
+/// \brief Composite blocks (Residual / Identity / Dense / Basic Attention),
+/// assembled from the primitive layers exactly as Section III-C2 of the paper
+/// composes them from SQL-implemented operators.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace dl2sql::nn {
+
+/// \brief ResNet-style convolution block with a projecting shortcut:
+/// out = ReLU(main(x) + shortcut(x)), where main is `num_convs` Conv+BN
+/// stages (ReLU between them) and shortcut is a strided 1x1 Conv+BN.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::string name, int64_t in_channels, int64_t out_channels,
+                int64_t kernel, int64_t stride, int64_t num_convs, Rng* rng);
+
+  LayerKind kind() const override { return LayerKind::kResidualBlock; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+  std::vector<const Layer*> Children() const override;
+
+  const std::vector<LayerPtr>& main_path() const { return main_; }
+  const std::vector<LayerPtr>& shortcut() const { return shortcut_; }
+
+ private:
+  std::vector<LayerPtr> main_;
+  std::vector<LayerPtr> shortcut_;
+};
+
+/// \brief ResNet identity block: out = ReLU(main(x) + x). Channel counts and
+/// spatial size are preserved by construction (stride 1, padded convs).
+class IdentityBlock : public Layer {
+ public:
+  IdentityBlock(std::string name, int64_t channels, int64_t kernel,
+                int64_t num_convs, Rng* rng);
+
+  LayerKind kind() const override { return LayerKind::kIdentityBlock; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+  std::vector<const Layer*> Children() const override;
+
+  const std::vector<LayerPtr>& main_path() const { return main_; }
+
+ private:
+  std::vector<LayerPtr> main_;
+};
+
+/// \brief DenseNet-style block: each stage consumes the channel-concatenation
+/// of the input and all previous stage outputs and contributes `growth`
+/// channels; output channels = in + stages * growth.
+class DenseBlock : public Layer {
+ public:
+  DenseBlock(std::string name, int64_t in_channels, int64_t growth,
+             int64_t num_stages, int64_t kernel, Rng* rng);
+
+  LayerKind kind() const override { return LayerKind::kDenseBlock; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+  std::vector<const Layer*> Children() const override;
+
+  int64_t growth() const { return growth_; }
+  int64_t num_stages() const { return static_cast<int64_t>(stages_.size()); }
+
+ private:
+  // One Conv+BN+ReLU triple per stage.
+  std::vector<std::vector<LayerPtr>> stages_;
+  int64_t in_channels_;
+  int64_t growth_;
+};
+
+/// \brief Basic (non-self) attention over a 1-D activation: a = softmax(Wa x),
+/// out = a ⊙ (Wv x). The paper classifies this as a full-connection variant;
+/// it is likewise rewritten as FC SQL by the DL2SQL converter.
+class BasicAttention : public Layer {
+ public:
+  BasicAttention(std::string name, int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  LayerKind kind() const override { return LayerKind::kBasicAttention; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+  std::vector<const Layer*> Children() const override;
+
+  const Linear& attention_proj() const { return *attn_; }
+  const Linear& value_proj() const { return *value_; }
+
+ private:
+  std::shared_ptr<Linear> attn_;
+  std::shared_ptr<Linear> value_;
+};
+
+/// Concatenates CHW tensors along the channel axis (all H,W must match).
+Result<Tensor> ConcatChannels(const std::vector<Tensor>& parts);
+
+}  // namespace dl2sql::nn

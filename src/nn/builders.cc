@@ -1,0 +1,158 @@
+#include "nn/builders.h"
+
+namespace dl2sql::nn {
+
+namespace {
+
+std::vector<std::string> MakeClassNames(int64_t n) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) names.push_back("class_" + std::to_string(i));
+  return names;
+}
+
+/// Adds Conv + BN + ReLU with randomized BN statistics.
+void AddConvBnRelu(Model* m, const std::string& tag, int64_t in_c, int64_t out_c,
+                   int64_t kernel, int64_t stride, int64_t pad, Rng* rng) {
+  m->AddLayer(std::make_shared<Conv2d>(tag + ".conv", in_c, out_c, kernel,
+                                       stride, pad, rng));
+  auto bn = std::make_shared<BatchNorm>(tag + ".bn", out_c);
+  bn->RandomizeStats(rng);
+  m->AddLayer(bn);
+  m->AddLayer(std::make_shared<ReluLayer>(tag + ".relu"));
+}
+
+}  // namespace
+
+Model BuildStudentCnn(const BuilderOptions& opts) {
+  Rng rng(opts.seed);
+  Model m("student_cnn", Shape({opts.input_channels, opts.input_size,
+                                opts.input_size}),
+          MakeClassNames(opts.num_classes));
+  const int64_t c1 = opts.base_channels;
+  const int64_t c2 = opts.base_channels * 2;
+  const int64_t c3 = opts.base_channels * 4;
+  // Three Conv+BN+ReLU blocks per the paper's distilled student; stride-2
+  // convs shrink the map so the classifier head stays small.
+  AddConvBnRelu(&m, "block1", opts.input_channels, c1, 3, 2, 1, &rng);
+  AddConvBnRelu(&m, "block2", c1, c2, 3, 2, 1, &rng);
+  AddConvBnRelu(&m, "block3", c2, c3, 3, 1, 1, &rng);
+  m.AddLayer(std::make_shared<MaxPool2d>("pool", 2, 2));
+  m.AddLayer(std::make_shared<Flatten>("flatten"));
+  const int64_t spatial = opts.input_size / 8;  // two stride-2 convs + pool
+  m.AddLayer(std::make_shared<Linear>("fc", c3 * spatial * spatial,
+                                      opts.num_classes, &rng));
+  m.AddLayer(std::make_shared<SoftmaxLayer>("softmax"));
+  return m;
+}
+
+Result<Model> BuildResNet(int64_t depth, const BuilderOptions& opts) {
+  if (depth < 4) {
+    return Status::InvalidArgument("ResNet depth must be >= 4, got ", depth);
+  }
+  Rng rng(opts.seed);
+  Model m("resnet" + std::to_string(depth),
+          Shape({opts.input_channels, opts.input_size, opts.input_size}),
+          MakeClassNames(opts.num_classes));
+  const int64_t c = opts.base_channels;
+  // Stem: one weighted conv layer, downsampling by 2.
+  AddConvBnRelu(&m, "stem", opts.input_channels, c, 3, 2, 1, &rng);
+  // Each block contributes 2 weighted conv layers (+1 shortcut conv for the
+  // projecting block). We count main-path convs toward the depth budget, as
+  // ResNet depth conventionally does.
+  int64_t remaining = depth - 1;
+  m.AddLayer(std::make_shared<ResidualBlock>("rb1", c, c, 3, 2, 2, &rng));
+  remaining -= 2;
+  int64_t idx = 2;
+  while (remaining >= 2) {
+    m.AddLayer(std::make_shared<IdentityBlock>("ib" + std::to_string(idx), c, 3,
+                                               2, &rng));
+    remaining -= 2;
+    ++idx;
+  }
+  if (remaining == 1) {
+    AddConvBnRelu(&m, "tail", c, c, 3, 1, 1, &rng);
+  }
+  m.AddLayer(std::make_shared<GlobalAvgPool>("gap"));
+  m.AddLayer(std::make_shared<Linear>("fc", c, opts.num_classes, &rng));
+  m.AddLayer(std::make_shared<SoftmaxLayer>("softmax"));
+  return m;
+}
+
+Model BuildLeNet(const BuilderOptions& opts) {
+  Rng rng(opts.seed);
+  Model m("lenet", Shape({opts.input_channels, opts.input_size, opts.input_size}),
+          MakeClassNames(opts.num_classes));
+  const int64_t c1 = opts.base_channels;
+  const int64_t c2 = opts.base_channels * 2;
+  m.AddLayer(
+      std::make_shared<Conv2d>("conv1", opts.input_channels, c1, 5, 1, 2, &rng));
+  m.AddLayer(std::make_shared<ReluLayer>("relu1"));
+  m.AddLayer(std::make_shared<MaxPool2d>("pool1", 2, 2));
+  m.AddLayer(std::make_shared<Conv2d>("conv2", c1, c2, 5, 1, 2, &rng));
+  m.AddLayer(std::make_shared<ReluLayer>("relu2"));
+  m.AddLayer(std::make_shared<MaxPool2d>("pool2", 2, 2));
+  m.AddLayer(std::make_shared<Flatten>("flatten"));
+  const int64_t spatial = opts.input_size / 4;
+  m.AddLayer(
+      std::make_shared<Linear>("fc1", c2 * spatial * spatial, 64, &rng));
+  m.AddLayer(std::make_shared<ReluLayer>("relu3"));
+  m.AddLayer(std::make_shared<Linear>("fc2", 64, opts.num_classes, &rng));
+  m.AddLayer(std::make_shared<SoftmaxLayer>("softmax"));
+  return m;
+}
+
+Model BuildVggTiny(const BuilderOptions& opts) {
+  Rng rng(opts.seed);
+  Model m("vgg_tiny",
+          Shape({opts.input_channels, opts.input_size, opts.input_size}),
+          MakeClassNames(opts.num_classes));
+  const int64_t c1 = opts.base_channels;
+  const int64_t c2 = opts.base_channels * 2;
+  AddConvBnRelu(&m, "b1c1", opts.input_channels, c1, 3, 1, 1, &rng);
+  AddConvBnRelu(&m, "b1c2", c1, c1, 3, 1, 1, &rng);
+  m.AddLayer(std::make_shared<MaxPool2d>("pool1", 2, 2));
+  AddConvBnRelu(&m, "b2c1", c1, c2, 3, 1, 1, &rng);
+  AddConvBnRelu(&m, "b2c2", c2, c2, 3, 1, 1, &rng);
+  m.AddLayer(std::make_shared<MaxPool2d>("pool2", 2, 2));
+  m.AddLayer(std::make_shared<Flatten>("flatten"));
+  const int64_t spatial = opts.input_size / 4;
+  m.AddLayer(std::make_shared<Linear>("fc", c2 * spatial * spatial,
+                                      opts.num_classes, &rng));
+  m.AddLayer(std::make_shared<SoftmaxLayer>("softmax"));
+  return m;
+}
+
+Model BuildDenseNetTiny(const BuilderOptions& opts) {
+  Rng rng(opts.seed);
+  Model m("densenet_tiny",
+          Shape({opts.input_channels, opts.input_size, opts.input_size}),
+          MakeClassNames(opts.num_classes));
+  const int64_t c = opts.base_channels;
+  AddConvBnRelu(&m, "stem", opts.input_channels, c, 3, 2, 1, &rng);
+  m.AddLayer(std::make_shared<DenseBlock>("dense1", c, c / 2 > 0 ? c / 2 : 1, 3,
+                                          3, &rng));
+  m.AddLayer(std::make_shared<GlobalAvgPool>("gap"));
+  const int64_t out_c = c + 3 * (c / 2 > 0 ? c / 2 : 1);
+  m.AddLayer(std::make_shared<Linear>("fc", out_c, opts.num_classes, &rng));
+  m.AddLayer(std::make_shared<SoftmaxLayer>("softmax"));
+  return m;
+}
+
+Model BuildAttentionMlp(const BuilderOptions& opts) {
+  Rng rng(opts.seed);
+  const int64_t in_dim =
+      opts.input_channels * opts.input_size * opts.input_size;
+  Model m("attention_mlp",
+          Shape({opts.input_channels, opts.input_size, opts.input_size}),
+          MakeClassNames(opts.num_classes));
+  m.AddLayer(std::make_shared<Flatten>("flatten"));
+  m.AddLayer(std::make_shared<Linear>("fc1", in_dim, 64, &rng));
+  m.AddLayer(std::make_shared<ReluLayer>("relu1"));
+  m.AddLayer(std::make_shared<BasicAttention>("attn", 64, 64, &rng));
+  m.AddLayer(std::make_shared<Linear>("fc2", 64, opts.num_classes, &rng));
+  m.AddLayer(std::make_shared<SoftmaxLayer>("softmax"));
+  return m;
+}
+
+}  // namespace dl2sql::nn

@@ -1,0 +1,49 @@
+/// \file builders.h
+/// \brief Model factories for the architectures the paper evaluates.
+///
+/// The paper trains on 224x224x3 keyframes; this repo defaults to smaller
+/// spatial sizes so the relational (DL2SQL) execution path stays tractable on
+/// a development machine — the comparison between strategies is unaffected
+/// because all strategies run the same architecture on the same input.
+#pragma once
+
+#include "nn/blocks.h"
+#include "nn/model.h"
+
+namespace dl2sql::nn {
+
+/// Options shared by the builders.
+struct BuilderOptions {
+  int64_t input_channels = 3;
+  int64_t input_size = 32;  ///< spatial H = W
+  int64_t num_classes = 10;
+  int64_t base_channels = 8;  ///< width multiplier
+  uint64_t seed = 42;
+};
+
+/// \brief The distilled "student" model from the evaluation: three
+/// Conv+BN+ReLU blocks, a max-pool, and a softmax classifier head.
+/// (Paper: distilled from ResNet34; 87% vs 93% accuracy — accuracy is not
+/// modeled here, only the inference-time architecture.)
+Model BuildStudentCnn(const BuilderOptions& opts = {});
+
+/// \brief ResNet-`depth` analog used in Tables IV & VI: a conv stem followed
+/// by residual/identity blocks totalling `depth` weighted conv layers, then
+/// global-average-pool + FC + softmax. Parameter count grows linearly in
+/// depth as in Table VI.
+Result<Model> BuildResNet(int64_t depth, const BuilderOptions& opts = {});
+
+/// \brief LeNet-style classifier (conv-pool-conv-pool-fc-fc).
+Model BuildLeNet(const BuilderOptions& opts = {});
+
+/// \brief Tiny VGG-style stack (conv-conv-pool twice, then FC head).
+Model BuildVggTiny(const BuilderOptions& opts = {});
+
+/// \brief DenseNet-style toy: stem conv + one dense block + classifier head.
+Model BuildDenseNetTiny(const BuilderOptions& opts = {});
+
+/// \brief MLP with a basic-attention block, exercising the FC/attention
+/// translation path.
+Model BuildAttentionMlp(const BuilderOptions& opts = {});
+
+}  // namespace dl2sql::nn

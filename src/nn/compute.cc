@@ -1,0 +1,281 @@
+#include "nn/compute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dl2sql::nn {
+
+Result<Tensor> ParallelMatMul(const Tensor& a, const Tensor& b, Device* device) {
+  if (a.shape().ndim() != 2 || b.shape().ndim() != 2) {
+    return Status::InvalidArgument("ParallelMatMul requires 2-D tensors");
+  }
+  const int64_t m = a.shape()[0];
+  const int64_t k = a.shape()[1];
+  if (k != b.shape()[0]) {
+    return Status::InvalidArgument("ParallelMatMul inner-dim mismatch: ",
+                                   a.shape().ToString(), " x ",
+                                   b.shape().ToString());
+  }
+  const int64_t n = b.shape()[1];
+  Tensor out(Shape({m, n}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  auto body = [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[i * k + kk];
+        if (av == 0.f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  };
+  if (device != nullptr && device->pool()->num_threads() > 1 && m > 1) {
+    // Parallelize over output rows; chunks of rows never alias.
+    device->pool()->ParallelFor(m, body);
+  } else {
+    body(0, m);
+  }
+  return out;
+}
+
+Result<Tensor> Conv2dForward(const Tensor& input, const Tensor& weight,
+                             const Tensor* bias, int64_t stride, int64_t pad,
+                             Device* device) {
+  if (input.shape().ndim() != 3) {
+    return Status::InvalidArgument("Conv2dForward requires CHW input, got ",
+                                   input.shape().ToString());
+  }
+  if (weight.shape().ndim() != 4) {
+    return Status::InvalidArgument("Conv2dForward requires OIHW weight, got ",
+                                   weight.shape().ToString());
+  }
+  const int64_t out_c = weight.shape()[0];
+  const int64_t in_c = weight.shape()[1];
+  const int64_t kh = weight.shape()[2];
+  const int64_t kw = weight.shape()[3];
+  if (input.shape()[0] != in_c) {
+    return Status::InvalidArgument("conv channel mismatch: input ",
+                                   input.shape().ToString(), " weight ",
+                                   weight.shape().ToString());
+  }
+  const int64_t h = input.shape()[1];
+  const int64_t w = input.shape()[2];
+  const int64_t out_h = (h + 2 * pad - kh) / stride + 1;
+  const int64_t out_w = (w + 2 * pad - kw) / stride + 1;
+  if (out_h <= 0 || out_w <= 0) {
+    return Status::InvalidArgument("conv output would be empty: input ",
+                                   input.shape().ToString(), " kernel ", kh, "x",
+                                   kw, " stride ", stride, " pad ", pad);
+  }
+
+  DL2SQL_ASSIGN_OR_RETURN(Tensor cols, Im2Col(input, kh, kw, stride, pad));
+  DL2SQL_ASSIGN_OR_RETURN(
+      Tensor wmat, weight.Reshape(Shape({out_c, in_c * kh * kw})));
+  DL2SQL_ASSIGN_OR_RETURN(Tensor prod, ParallelMatMul(wmat, cols, device));
+
+  Tensor out(Shape({out_c, out_h, out_w}));
+  const int64_t plane = out_h * out_w;
+  for (int64_t oc = 0; oc < out_c; ++oc) {
+    const float b = bias != nullptr ? bias->at(oc) : 0.f;
+    const float* src = prod.data() + oc * plane;
+    float* dst = out.data() + oc * plane;
+    for (int64_t i = 0; i < plane; ++i) dst[i] = src[i] + b;
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Reducer>
+Result<Tensor> Pool2d(const Tensor& input, int64_t k, int64_t stride,
+                      Reducer reduce, float init) {
+  if (input.shape().ndim() != 3) {
+    return Status::InvalidArgument("pooling requires CHW input, got ",
+                                   input.shape().ToString());
+  }
+  if (k <= 0 || stride <= 0) {
+    return Status::InvalidArgument("pooling window/stride must be positive");
+  }
+  const int64_t c = input.shape()[0];
+  const int64_t h = input.shape()[1];
+  const int64_t w = input.shape()[2];
+  if (k > h || k > w) {
+    return Status::InvalidArgument("pool window ", k, " larger than input ",
+                                   input.shape().ToString());
+  }
+  const int64_t out_h = (h - k) / stride + 1;
+  const int64_t out_w = (w - k) / stride + 1;
+  Tensor out(Shape({c, out_h, out_w}));
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        float acc = init;
+        for (int64_t ki = 0; ki < k; ++ki) {
+          for (int64_t kj = 0; kj < k; ++kj) {
+            acc = reduce(acc, input.at3(ci, oy * stride + ki, ox * stride + kj));
+          }
+        }
+        out.at3(ci, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Tensor> MaxPool2dForward(const Tensor& input, int64_t k, int64_t stride) {
+  return Pool2d(
+      input, k, stride, [](float a, float b) { return std::max(a, b); },
+      -std::numeric_limits<float>::infinity());
+}
+
+Result<Tensor> AvgPool2dForward(const Tensor& input, int64_t k, int64_t stride) {
+  DL2SQL_ASSIGN_OR_RETURN(
+      Tensor summed,
+      Pool2d(
+          input, k, stride, [](float a, float b) { return a + b; }, 0.f));
+  const float inv = 1.f / static_cast<float>(k * k);
+  for (int64_t i = 0; i < summed.NumElements(); ++i) summed.at(i) *= inv;
+  return summed;
+}
+
+Result<Tensor> BatchNormForward(const Tensor& input, const Tensor& gamma,
+                                const Tensor& beta, const Tensor& mean,
+                                const Tensor& var, float eps) {
+  if (input.shape().ndim() != 3) {
+    return Status::InvalidArgument("BatchNorm requires CHW input, got ",
+                                   input.shape().ToString());
+  }
+  const int64_t c = input.shape()[0];
+  if (gamma.NumElements() != c || beta.NumElements() != c ||
+      mean.NumElements() != c || var.NumElements() != c) {
+    return Status::InvalidArgument("BatchNorm parameter size mismatch for ", c,
+                                   " channels");
+  }
+  const int64_t plane = input.shape()[1] * input.shape()[2];
+  Tensor out(input.shape());
+  for (int64_t ci = 0; ci < c; ++ci) {
+    const float scale =
+        gamma.at(ci) / std::sqrt(var.at(ci) + eps);
+    const float shift = beta.at(ci) - mean.at(ci) * scale;
+    const float* src = input.data() + ci * plane;
+    float* dst = out.data() + ci * plane;
+    for (int64_t i = 0; i < plane; ++i) dst[i] = src[i] * scale + shift;
+  }
+  return out;
+}
+
+Result<Tensor> InstanceNormForward(const Tensor& input, const Tensor& gamma,
+                                   const Tensor& beta, float eps) {
+  if (input.shape().ndim() != 3) {
+    return Status::InvalidArgument("InstanceNorm requires CHW input, got ",
+                                   input.shape().ToString());
+  }
+  const int64_t c = input.shape()[0];
+  if (gamma.NumElements() != c || beta.NumElements() != c) {
+    return Status::InvalidArgument("InstanceNorm parameter size mismatch");
+  }
+  const int64_t plane = input.shape()[1] * input.shape()[2];
+  Tensor out(input.shape());
+  for (int64_t ci = 0; ci < c; ++ci) {
+    const float* src = input.data() + ci * plane;
+    double sum = 0;
+    for (int64_t i = 0; i < plane; ++i) sum += src[i];
+    const double mu = sum / static_cast<double>(plane);
+    double sq = 0;
+    for (int64_t i = 0; i < plane; ++i) {
+      const double d = src[i] - mu;
+      sq += d * d;
+    }
+    const double sigma2 = sq / static_cast<double>(plane);
+    const float scale =
+        gamma.at(ci) / static_cast<float>(std::sqrt(sigma2 + eps));
+    const float shift = beta.at(ci) - static_cast<float>(mu) * scale;
+    float* dst = out.data() + ci * plane;
+    for (int64_t i = 0; i < plane; ++i) dst[i] = src[i] * scale + shift;
+  }
+  return out;
+}
+
+Result<Tensor> LinearForward(const Tensor& input, const Tensor& weight,
+                             const Tensor* bias, Device* device) {
+  if (weight.shape().ndim() != 2) {
+    return Status::InvalidArgument("Linear weight must be 2-D, got ",
+                                   weight.shape().ToString());
+  }
+  const int64_t out_dim = weight.shape()[0];
+  const int64_t in_dim = weight.shape()[1];
+  if (input.NumElements() != in_dim) {
+    return Status::InvalidArgument("Linear input size ", input.NumElements(),
+                                   " != weight in-dim ", in_dim);
+  }
+  DL2SQL_ASSIGN_OR_RETURN(Tensor x, input.Reshape(Shape({in_dim, 1})));
+  DL2SQL_ASSIGN_OR_RETURN(Tensor y, ParallelMatMul(weight, x, device));
+  DL2SQL_ASSIGN_OR_RETURN(Tensor flat, y.Reshape(Shape({out_dim})));
+  if (bias != nullptr) {
+    if (bias->NumElements() != out_dim) {
+      return Status::InvalidArgument("Linear bias size mismatch");
+    }
+    for (int64_t i = 0; i < out_dim; ++i) flat.at(i) += bias->at(i);
+  }
+  return flat;
+}
+
+Result<Tensor> Deconv2dForward(const Tensor& input, const Tensor& weight,
+                               const Tensor* bias, int64_t stride, int64_t pad) {
+  if (input.shape().ndim() != 3 || weight.shape().ndim() != 4) {
+    return Status::InvalidArgument("Deconv2dForward requires CHW input and ",
+                                   "OIHW weight");
+  }
+  const int64_t out_c = weight.shape()[0];
+  const int64_t in_c = weight.shape()[1];
+  const int64_t kh = weight.shape()[2];
+  const int64_t kw = weight.shape()[3];
+  if (input.shape()[0] != in_c) {
+    return Status::InvalidArgument("deconv channel mismatch");
+  }
+  const int64_t h = input.shape()[1];
+  const int64_t w = input.shape()[2];
+  const int64_t out_h = (h - 1) * stride - 2 * pad + kh;
+  const int64_t out_w = (w - 1) * stride - 2 * pad + kw;
+  if (out_h <= 0 || out_w <= 0) {
+    return Status::InvalidArgument("deconv output would be empty");
+  }
+  Tensor out(Shape({out_c, out_h, out_w}));
+  // Scatter formulation: each input pixel contributes a kh x kw stamp.
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const float v = input.at3(ic, y, x);
+        if (v == 0.f) continue;
+        for (int64_t oc = 0; oc < out_c; ++oc) {
+          for (int64_t ki = 0; ki < kh; ++ki) {
+            const int64_t oy = y * stride + ki - pad;
+            if (oy < 0 || oy >= out_h) continue;
+            for (int64_t kj = 0; kj < kw; ++kj) {
+              const int64_t ox = x * stride + kj - pad;
+              if (ox < 0 || ox >= out_w) continue;
+              out.at3(oc, oy, ox) +=
+                  v * weight.at((((oc * in_c) + ic) * kh + ki) * kw + kj);
+            }
+          }
+        }
+      }
+    }
+  }
+  if (bias != nullptr) {
+    const int64_t plane = out_h * out_w;
+    for (int64_t oc = 0; oc < out_c; ++oc) {
+      float* dst = out.data() + oc * plane;
+      for (int64_t i = 0; i < plane; ++i) dst[i] += bias->at(oc);
+    }
+  }
+  return out;
+}
+
+}  // namespace dl2sql::nn

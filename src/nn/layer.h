@@ -1,0 +1,85 @@
+/// \file layer.h
+/// \brief Layer: the unit of inference in minidl and the unit of translation
+/// in DL2SQL.
+///
+/// Every neural operator in Table II of the paper is a Layer subclass (or a
+/// composite block of them). Layers expose their hyper-parameters and weight
+/// tensors so that (a) the serializer can produce the "compiled UDF binary"
+/// used by the loose-integration strategy and (b) the DL2SQL converter can
+/// rewrite them into FeatureMap/Kernel relational tables and SQL.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/device.h"
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace dl2sql::nn {
+
+/// Operator taxonomy, mirroring Table II of the paper.
+enum class LayerKind : int {
+  kConv2d = 0,
+  kBatchNorm = 1,
+  kRelu = 2,
+  kMaxPool = 3,
+  kAvgPool = 4,
+  kLinear = 5,
+  kFlatten = 6,
+  kSoftmax = 7,
+  kResidualBlock = 8,
+  kIdentityBlock = 9,
+  kDenseBlock = 10,
+  kBasicAttention = 11,
+  kInstanceNorm = 12,
+  kDeconv2d = 13,
+  kGlobalAvgPool = 14,
+};
+
+/// \brief Human-readable operator name ("Conv2d", "BatchNorm", ...).
+const char* LayerKindToString(LayerKind kind);
+
+/// \brief A named weight tensor belonging to a layer.
+struct NamedParam {
+  std::string name;
+  Tensor tensor;
+};
+
+/// \brief Abstract neural operator.
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  const std::string& name() const { return name_; }
+  virtual LayerKind kind() const = 0;
+
+  /// Runs inference on one input. `device` supplies the thread pool; it must
+  /// not be null.
+  virtual Result<Tensor> Forward(const Tensor& input, Device* device) const = 0;
+
+  /// Shape produced for a given input shape (validates compatibility).
+  virtual Result<Shape> OutputShape(const Shape& input) const = 0;
+
+  /// Weight tensors in a stable order (empty for parameter-free ops).
+  virtual std::vector<NamedParam> Parameters() const { return {}; }
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p.tensor.NumElements();
+    return n;
+  }
+
+  /// Child layers for composite blocks (empty for primitives).
+  virtual std::vector<const Layer*> Children() const { return {}; }
+
+ private:
+  std::string name_;
+};
+
+using LayerPtr = std::shared_ptr<Layer>;
+
+}  // namespace dl2sql::nn

@@ -1,0 +1,318 @@
+#include "nn/layers.h"
+
+namespace dl2sql::nn {
+
+const char* LayerKindToString(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2d:
+      return "Conv2d";
+    case LayerKind::kBatchNorm:
+      return "BatchNorm";
+    case LayerKind::kRelu:
+      return "ReLU";
+    case LayerKind::kMaxPool:
+      return "MaxPool";
+    case LayerKind::kAvgPool:
+      return "AvgPool";
+    case LayerKind::kLinear:
+      return "Linear";
+    case LayerKind::kFlatten:
+      return "Flatten";
+    case LayerKind::kSoftmax:
+      return "Softmax";
+    case LayerKind::kResidualBlock:
+      return "ResidualBlock";
+    case LayerKind::kIdentityBlock:
+      return "IdentityBlock";
+    case LayerKind::kDenseBlock:
+      return "DenseBlock";
+    case LayerKind::kBasicAttention:
+      return "BasicAttention";
+    case LayerKind::kInstanceNorm:
+      return "InstanceNorm";
+    case LayerKind::kDeconv2d:
+      return "Deconv2d";
+    case LayerKind::kGlobalAvgPool:
+      return "GlobalAvgPool";
+  }
+  return "Unknown";
+}
+
+// ---------------------------------------------------------------- Conv2d ----
+
+Conv2d::Conv2d(std::string name, int64_t in_channels, int64_t out_channels,
+               int64_t kernel, int64_t stride, int64_t pad, Rng* rng)
+    : Layer(std::move(name)),
+      weight_(Tensor::Random(Shape({out_channels, in_channels, kernel, kernel}),
+                             rng)),
+      bias_(Tensor::Random(Shape({out_channels}), rng)),
+      stride_(stride),
+      pad_(pad) {}
+
+Conv2d::Conv2d(std::string name, Tensor weight, std::optional<Tensor> bias,
+               int64_t stride, int64_t pad)
+    : Layer(std::move(name)),
+      weight_(std::move(weight)),
+      bias_(std::move(bias)),
+      stride_(stride),
+      pad_(pad) {}
+
+Result<Tensor> Conv2d::Forward(const Tensor& input, Device* device) const {
+  return Conv2dForward(input, weight_, bias_ ? &*bias_ : nullptr, stride_, pad_,
+                       device);
+}
+
+Result<Shape> Conv2d::OutputShape(const Shape& input) const {
+  if (input.ndim() != 3 || input[0] != in_channels()) {
+    return Status::InvalidArgument(name(), ": bad input shape ",
+                                   input.ToString(), ", expect [", in_channels(),
+                                   ", H, W]");
+  }
+  const int64_t oh = (input[1] + 2 * pad_ - kernel_h()) / stride_ + 1;
+  const int64_t ow = (input[2] + 2 * pad_ - kernel_w()) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument(name(), ": empty output for input ",
+                                   input.ToString());
+  }
+  return Shape({out_channels(), oh, ow});
+}
+
+std::vector<NamedParam> Conv2d::Parameters() const {
+  std::vector<NamedParam> p{{"weight", weight_}};
+  if (bias_) p.push_back({"bias", *bias_});
+  return p;
+}
+
+// -------------------------------------------------------------- Deconv2d ----
+
+Deconv2d::Deconv2d(std::string name, int64_t in_channels, int64_t out_channels,
+                   int64_t kernel, int64_t stride, int64_t pad, Rng* rng)
+    : Layer(std::move(name)),
+      weight_(Tensor::Random(Shape({out_channels, in_channels, kernel, kernel}),
+                             rng)),
+      bias_(Tensor::Random(Shape({out_channels}), rng)),
+      stride_(stride),
+      pad_(pad) {}
+
+Deconv2d::Deconv2d(std::string name, Tensor weight, std::optional<Tensor> bias,
+                   int64_t stride, int64_t pad)
+    : Layer(std::move(name)),
+      weight_(std::move(weight)),
+      bias_(std::move(bias)),
+      stride_(stride),
+      pad_(pad) {}
+
+Result<Tensor> Deconv2d::Forward(const Tensor& input, Device*) const {
+  return Deconv2dForward(input, weight_, bias_ ? &*bias_ : nullptr, stride_,
+                         pad_);
+}
+
+Result<Shape> Deconv2d::OutputShape(const Shape& input) const {
+  if (input.ndim() != 3 || input[0] != weight_.shape()[1]) {
+    return Status::InvalidArgument(name(), ": bad input shape ",
+                                   input.ToString());
+  }
+  const int64_t k = weight_.shape()[2];
+  const int64_t oh = (input[1] - 1) * stride_ - 2 * pad_ + k;
+  const int64_t ow = (input[2] - 1) * stride_ - 2 * pad_ + k;
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument(name(), ": empty deconv output");
+  }
+  return Shape({weight_.shape()[0], oh, ow});
+}
+
+std::vector<NamedParam> Deconv2d::Parameters() const {
+  std::vector<NamedParam> p{{"weight", weight_}};
+  if (bias_) p.push_back({"bias", *bias_});
+  return p;
+}
+
+// ------------------------------------------------------------- BatchNorm ----
+
+BatchNorm::BatchNorm(std::string name, int64_t channels)
+    : Layer(std::move(name)),
+      gamma_(Shape({channels})),
+      beta_(Shape({channels})),
+      mean_(Shape({channels})),
+      var_(Shape({channels})),
+      eps_(1e-5f) {
+  gamma_.Fill(1.f);
+  var_.Fill(1.f);
+}
+
+BatchNorm::BatchNorm(std::string name, Tensor gamma, Tensor beta,
+                     Tensor running_mean, Tensor running_var, float eps)
+    : Layer(std::move(name)),
+      gamma_(std::move(gamma)),
+      beta_(std::move(beta)),
+      mean_(std::move(running_mean)),
+      var_(std::move(running_var)),
+      eps_(eps) {}
+
+void BatchNorm::RandomizeStats(Rng* rng) {
+  for (int64_t i = 0; i < gamma_.NumElements(); ++i) {
+    gamma_.at(i) = rng->UniformFloat(0.5f, 1.5f);
+    beta_.at(i) = rng->UniformFloat(-0.5f, 0.5f);
+    mean_.at(i) = rng->UniformFloat(-0.2f, 0.2f);
+    var_.at(i) = rng->UniformFloat(0.5f, 2.0f);
+  }
+}
+
+Result<Tensor> BatchNorm::Forward(const Tensor& input, Device*) const {
+  return BatchNormForward(input, gamma_, beta_, mean_, var_, eps_);
+}
+
+Result<Shape> BatchNorm::OutputShape(const Shape& input) const {
+  if (input.ndim() != 3 || input[0] != gamma_.NumElements()) {
+    return Status::InvalidArgument(name(), ": bad input shape ",
+                                   input.ToString());
+  }
+  return input;
+}
+
+std::vector<NamedParam> BatchNorm::Parameters() const {
+  return {{"gamma", gamma_},
+          {"beta", beta_},
+          {"running_mean", mean_},
+          {"running_var", var_}};
+}
+
+// ---------------------------------------------------------- InstanceNorm ----
+
+InstanceNorm::InstanceNorm(std::string name, int64_t channels, float eps)
+    : Layer(std::move(name)),
+      gamma_(Shape({channels})),
+      beta_(Shape({channels})),
+      eps_(eps) {
+  gamma_.Fill(1.f);
+}
+
+Result<Tensor> InstanceNorm::Forward(const Tensor& input, Device*) const {
+  return InstanceNormForward(input, gamma_, beta_, eps_);
+}
+
+Result<Shape> InstanceNorm::OutputShape(const Shape& input) const {
+  if (input.ndim() != 3 || input[0] != gamma_.NumElements()) {
+    return Status::InvalidArgument(name(), ": bad input shape ",
+                                   input.ToString());
+  }
+  return input;
+}
+
+std::vector<NamedParam> InstanceNorm::Parameters() const {
+  return {{"gamma", gamma_}, {"beta", beta_}};
+}
+
+// ------------------------------------------------------------------ ReLU ----
+
+Result<Tensor> ReluLayer::Forward(const Tensor& input, Device*) const {
+  return Relu(input);
+}
+
+// --------------------------------------------------------------- Pooling ----
+
+MaxPool2d::MaxPool2d(std::string name, int64_t window, int64_t stride)
+    : Layer(std::move(name)), window_(window), stride_(stride) {}
+
+Result<Tensor> MaxPool2d::Forward(const Tensor& input, Device*) const {
+  return MaxPool2dForward(input, window_, stride_);
+}
+
+Result<Shape> MaxPool2d::OutputShape(const Shape& input) const {
+  if (input.ndim() != 3) {
+    return Status::InvalidArgument(name(), ": bad input shape ",
+                                   input.ToString());
+  }
+  const int64_t oh = (input[1] - window_) / stride_ + 1;
+  const int64_t ow = (input[2] - window_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument(name(), ": empty pooling output");
+  }
+  return Shape({input[0], oh, ow});
+}
+
+AvgPool2d::AvgPool2d(std::string name, int64_t window, int64_t stride)
+    : Layer(std::move(name)), window_(window), stride_(stride) {}
+
+Result<Tensor> AvgPool2d::Forward(const Tensor& input, Device*) const {
+  return AvgPool2dForward(input, window_, stride_);
+}
+
+Result<Shape> AvgPool2d::OutputShape(const Shape& input) const {
+  if (input.ndim() != 3) {
+    return Status::InvalidArgument(name(), ": bad input shape ",
+                                   input.ToString());
+  }
+  const int64_t oh = (input[1] - window_) / stride_ + 1;
+  const int64_t ow = (input[2] - window_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument(name(), ": empty pooling output");
+  }
+  return Shape({input[0], oh, ow});
+}
+
+Result<Tensor> GlobalAvgPool::Forward(const Tensor& input, Device*) const {
+  if (input.shape().ndim() != 3) {
+    return Status::InvalidArgument(name(), ": requires CHW input");
+  }
+  const int64_t c = input.shape()[0];
+  const int64_t plane = input.shape()[1] * input.shape()[2];
+  Tensor out(Shape({c}));
+  for (int64_t ci = 0; ci < c; ++ci) {
+    double sum = 0;
+    const float* src = input.data() + ci * plane;
+    for (int64_t i = 0; i < plane; ++i) sum += src[i];
+    out.at(ci) = static_cast<float>(sum / static_cast<double>(plane));
+  }
+  return out;
+}
+
+Result<Shape> GlobalAvgPool::OutputShape(const Shape& input) const {
+  if (input.ndim() != 3) {
+    return Status::InvalidArgument(name(), ": requires CHW input");
+  }
+  return Shape({input[0]});
+}
+
+// --------------------------------------------------------------- Flatten ----
+
+Result<Tensor> Flatten::Forward(const Tensor& input, Device*) const {
+  return input.Reshape(Shape({input.NumElements()}));
+}
+
+// ---------------------------------------------------------------- Linear ----
+
+Linear::Linear(std::string name, int64_t in_dim, int64_t out_dim, Rng* rng)
+    : Layer(std::move(name)),
+      weight_(Tensor::Random(Shape({out_dim, in_dim}), rng)),
+      bias_(Tensor::Random(Shape({out_dim}), rng)) {}
+
+Linear::Linear(std::string name, Tensor weight, std::optional<Tensor> bias)
+    : Layer(std::move(name)), weight_(std::move(weight)), bias_(std::move(bias)) {}
+
+Result<Tensor> Linear::Forward(const Tensor& input, Device* device) const {
+  return LinearForward(input, weight_, bias_ ? &*bias_ : nullptr, device);
+}
+
+Result<Shape> Linear::OutputShape(const Shape& input) const {
+  if (input.NumElements() != in_dim()) {
+    return Status::InvalidArgument(name(), ": input ", input.ToString(),
+                                   " does not have ", in_dim(), " elements");
+  }
+  return Shape({out_dim()});
+}
+
+std::vector<NamedParam> Linear::Parameters() const {
+  std::vector<NamedParam> p{{"weight", weight_}};
+  if (bias_) p.push_back({"bias", *bias_});
+  return p;
+}
+
+// --------------------------------------------------------------- Softmax ----
+
+Result<Tensor> SoftmaxLayer::Forward(const Tensor& input, Device*) const {
+  DL2SQL_ASSIGN_OR_RETURN(Tensor flat, input.Reshape(Shape({input.NumElements()})));
+  return Softmax(flat);
+}
+
+}  // namespace dl2sql::nn

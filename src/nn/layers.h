@@ -1,0 +1,203 @@
+/// \file layers.h
+/// \brief Primitive Layer implementations (Table II rows "Supported").
+#pragma once
+
+#include <optional>
+
+#include "nn/compute.h"
+#include "nn/layer.h"
+
+namespace dl2sql::nn {
+
+/// \brief 2-D convolution with OIHW weights and optional bias.
+class Conv2d : public Layer {
+ public:
+  /// Randomly initialized conv layer.
+  Conv2d(std::string name, int64_t in_channels, int64_t out_channels,
+         int64_t kernel, int64_t stride, int64_t pad, Rng* rng);
+
+  /// Conv layer with explicit weights (weight OIHW; bias [out_c] or absent).
+  Conv2d(std::string name, Tensor weight, std::optional<Tensor> bias,
+         int64_t stride, int64_t pad);
+
+  LayerKind kind() const override { return LayerKind::kConv2d; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+
+  int64_t in_channels() const { return weight_.shape()[1]; }
+  int64_t out_channels() const { return weight_.shape()[0]; }
+  int64_t kernel_h() const { return weight_.shape()[2]; }
+  int64_t kernel_w() const { return weight_.shape()[3]; }
+  int64_t stride() const { return stride_; }
+  int64_t pad() const { return pad_; }
+  const Tensor& weight() const { return weight_; }
+  const std::optional<Tensor>& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;
+  std::optional<Tensor> bias_;
+  int64_t stride_;
+  int64_t pad_;
+};
+
+/// \brief Transposed convolution (deconvolution).
+class Deconv2d : public Layer {
+ public:
+  Deconv2d(std::string name, int64_t in_channels, int64_t out_channels,
+           int64_t kernel, int64_t stride, int64_t pad, Rng* rng);
+  Deconv2d(std::string name, Tensor weight, std::optional<Tensor> bias,
+           int64_t stride, int64_t pad);
+
+  LayerKind kind() const override { return LayerKind::kDeconv2d; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+
+  int64_t stride() const { return stride_; }
+  int64_t pad() const { return pad_; }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Tensor weight_;
+  std::optional<Tensor> bias_;
+  int64_t stride_;
+  int64_t pad_;
+};
+
+/// \brief Inference-mode batch normalization (uses frozen running stats).
+class BatchNorm : public Layer {
+ public:
+  /// Identity-initialized BN over `channels`.
+  BatchNorm(std::string name, int64_t channels);
+
+  /// BN with explicit parameters, each of size [channels].
+  BatchNorm(std::string name, Tensor gamma, Tensor beta, Tensor running_mean,
+            Tensor running_var, float eps = 1e-5f);
+
+  LayerKind kind() const override { return LayerKind::kBatchNorm; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+
+  float eps() const { return eps_; }
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+  const Tensor& running_mean() const { return mean_; }
+  const Tensor& running_var() const { return var_; }
+
+  /// Randomizes the running statistics; used by tests so BN is not identity.
+  void RandomizeStats(Rng* rng);
+
+ private:
+  Tensor gamma_, beta_, mean_, var_;
+  float eps_;
+};
+
+/// \brief Instance normalization (per-channel spatial stats, affine params).
+class InstanceNorm : public Layer {
+ public:
+  InstanceNorm(std::string name, int64_t channels, float eps = 1e-5f);
+
+  LayerKind kind() const override { return LayerKind::kInstanceNorm; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+
+  float eps() const { return eps_; }
+
+ private:
+  Tensor gamma_, beta_;
+  float eps_;
+};
+
+/// \brief Rectified linear activation.
+class ReluLayer : public Layer {
+ public:
+  explicit ReluLayer(std::string name) : Layer(std::move(name)) {}
+  LayerKind kind() const override { return LayerKind::kRelu; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override { return input; }
+};
+
+/// \brief Max pooling over square windows.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::string name, int64_t window, int64_t stride);
+  LayerKind kind() const override { return LayerKind::kMaxPool; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  int64_t window() const { return window_; }
+  int64_t stride() const { return stride_; }
+
+ private:
+  int64_t window_;
+  int64_t stride_;
+};
+
+/// \brief Average pooling over square windows.
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(std::string name, int64_t window, int64_t stride);
+  LayerKind kind() const override { return LayerKind::kAvgPool; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  int64_t window() const { return window_; }
+  int64_t stride() const { return stride_; }
+
+ private:
+  int64_t window_;
+  int64_t stride_;
+};
+
+/// \brief Global average pooling: CHW -> [C].
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
+  LayerKind kind() const override { return LayerKind::kGlobalAvgPool; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+};
+
+/// \brief Flattens any input to 1-D.
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name) : Layer(std::move(name)) {}
+  LayerKind kind() const override { return LayerKind::kFlatten; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override {
+    return Shape({input.NumElements()});
+  }
+};
+
+/// \brief Fully connected layer y = Wx + b.
+class Linear : public Layer {
+ public:
+  Linear(std::string name, int64_t in_dim, int64_t out_dim, Rng* rng);
+  Linear(std::string name, Tensor weight, std::optional<Tensor> bias);
+
+  LayerKind kind() const override { return LayerKind::kLinear; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override;
+  std::vector<NamedParam> Parameters() const override;
+
+  int64_t in_dim() const { return weight_.shape()[1]; }
+  int64_t out_dim() const { return weight_.shape()[0]; }
+  const Tensor& weight() const { return weight_; }
+  const std::optional<Tensor>& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;
+  std::optional<Tensor> bias_;
+};
+
+/// \brief Softmax over a 1-D activation vector.
+class SoftmaxLayer : public Layer {
+ public:
+  explicit SoftmaxLayer(std::string name) : Layer(std::move(name)) {}
+  LayerKind kind() const override { return LayerKind::kSoftmax; }
+  Result<Tensor> Forward(const Tensor& input, Device* device) const override;
+  Result<Shape> OutputShape(const Shape& input) const override { return input; }
+};
+
+}  // namespace dl2sql::nn

@@ -1,0 +1,62 @@
+/// \file model.h
+/// \brief Model: a named sequential pipeline of layers (blocks may branch
+/// internally) with a fixed input shape and class labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dl2sql::nn {
+
+/// \brief An inference-ready neural network.
+///
+/// Models in this repo mirror the paper's deployment: trained offline (we
+/// materialize deterministic random weights instead), frozen, then either
+/// (a) served behind the DL-system boundary (independent processing),
+/// (b) compiled into a UDF blob (loose integration), or
+/// (c) converted into relational tables + SQL (DL2SQL).
+class Model {
+ public:
+  Model() = default;
+  Model(std::string name, Shape input_shape, std::vector<std::string> classes)
+      : name_(std::move(name)),
+        input_shape_(std::move(input_shape)),
+        classes_(std::move(classes)) {}
+
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }
+  const std::vector<std::string>& classes() const { return classes_; }
+  int64_t num_classes() const { return static_cast<int64_t>(classes_.size()); }
+
+  void AddLayer(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+  const std::vector<LayerPtr>& layers() const { return layers_; }
+
+  /// Runs the full pipeline; `device` must not be null.
+  Result<Tensor> Forward(const Tensor& input, Device* device) const;
+
+  /// Forward, then argmax over the output vector -> predicted class index.
+  Result<int64_t> Predict(const Tensor& input, Device* device) const;
+
+  /// Validates the layer chain against the declared input shape and returns
+  /// the output shape.
+  Result<Shape> OutputShape() const;
+
+  /// Total scalar parameters across all layers.
+  int64_t NumParameters() const;
+
+  /// Flattened (name, tensor) list across all layers, stable order.
+  std::vector<NamedParam> Parameters() const;
+
+  /// Multi-line structural summary for logging / README examples.
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  Shape input_shape_;
+  std::vector<std::string> classes_;
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace dl2sql::nn

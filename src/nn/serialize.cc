@@ -1,0 +1,312 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "nn/blocks.h"
+#include "nn/layers.h"
+
+namespace dl2sql::nn {
+
+namespace {
+
+constexpr char kMagic[] = "DL2SQLM1";
+
+/// Integer hyper-parameters needed to reconstruct each layer kind.
+Result<std::vector<int64_t>> LayerHyperParams(const Layer& layer) {
+  switch (layer.kind()) {
+    case LayerKind::kConv2d: {
+      const auto& c = static_cast<const Conv2d&>(layer);
+      return std::vector<int64_t>{c.in_channels(), c.out_channels(),
+                                  c.kernel_h(),    c.stride(),
+                                  c.pad(),         c.bias() ? 1 : 0};
+    }
+    case LayerKind::kDeconv2d: {
+      const auto& c = static_cast<const Deconv2d&>(layer);
+      const auto& w = c.weight().shape();
+      return std::vector<int64_t>{w[1], w[0], w[2], c.stride(), c.pad(), 1};
+    }
+    case LayerKind::kBatchNorm: {
+      const auto& b = static_cast<const BatchNorm&>(layer);
+      return std::vector<int64_t>{b.gamma().NumElements()};
+    }
+    case LayerKind::kInstanceNorm: {
+      const auto& b = static_cast<const InstanceNorm&>(layer);
+      return std::vector<int64_t>{b.Parameters()[0].tensor.NumElements()};
+    }
+    case LayerKind::kLinear: {
+      const auto& l = static_cast<const Linear&>(layer);
+      return std::vector<int64_t>{l.in_dim(), l.out_dim(), l.bias() ? 1 : 0};
+    }
+    case LayerKind::kMaxPool: {
+      const auto& p = static_cast<const MaxPool2d&>(layer);
+      return std::vector<int64_t>{p.window(), p.stride()};
+    }
+    case LayerKind::kAvgPool: {
+      const auto& p = static_cast<const AvgPool2d&>(layer);
+      return std::vector<int64_t>{p.window(), p.stride()};
+    }
+    case LayerKind::kRelu:
+    case LayerKind::kFlatten:
+    case LayerKind::kSoftmax:
+    case LayerKind::kGlobalAvgPool:
+      return std::vector<int64_t>{};
+    case LayerKind::kResidualBlock: {
+      const auto& r = static_cast<const ResidualBlock&>(layer);
+      // main_ holds conv/bn(/relu) triples; conv0 defines geometry.
+      const auto& conv0 = static_cast<const Conv2d&>(*r.main_path()[0]);
+      int64_t num_convs = 0;
+      for (const auto& l : r.main_path()) {
+        if (l->kind() == LayerKind::kConv2d) ++num_convs;
+      }
+      return std::vector<int64_t>{conv0.in_channels(), conv0.out_channels(),
+                                  conv0.kernel_h(), conv0.stride(), num_convs};
+    }
+    case LayerKind::kIdentityBlock: {
+      const auto& r = static_cast<const IdentityBlock&>(layer);
+      const auto& conv0 = static_cast<const Conv2d&>(*r.main_path()[0]);
+      int64_t num_convs = 0;
+      for (const auto& l : r.main_path()) {
+        if (l->kind() == LayerKind::kConv2d) ++num_convs;
+      }
+      return std::vector<int64_t>{conv0.in_channels(), conv0.kernel_h(),
+                                  num_convs};
+    }
+    case LayerKind::kDenseBlock: {
+      const auto& d = static_cast<const DenseBlock&>(layer);
+      const auto* first_conv = static_cast<const Conv2d*>(d.Children()[0]);
+      return std::vector<int64_t>{first_conv->in_channels(), d.growth(),
+                                  d.num_stages(), first_conv->kernel_h()};
+    }
+    case LayerKind::kBasicAttention: {
+      const auto& a = static_cast<const BasicAttention&>(layer);
+      return std::vector<int64_t>{a.attention_proj().in_dim(),
+                                  a.attention_proj().out_dim()};
+    }
+  }
+  return Status::NotImplemented("serialization for layer kind");
+}
+
+Result<LayerPtr> MakeLayer(LayerKind kind, const std::string& name,
+                           const std::vector<int64_t>& hp) {
+  // Placeholder weights are overwritten from the stream right after.
+  Rng rng(0);
+  auto need = [&](size_t n) -> Status {
+    if (hp.size() != n) {
+      return Status::ParseError("layer ", name, ": expected ", n,
+                                " hyperparams, got ", hp.size());
+    }
+    return Status::OK();
+  };
+  switch (kind) {
+    case LayerKind::kConv2d: {
+      DL2SQL_RETURN_NOT_OK(need(6));
+      auto layer =
+          std::make_shared<Conv2d>(name, hp[0], hp[1], hp[2], hp[3], hp[4], &rng);
+      if (hp[5] == 0) {
+        return LayerPtr(std::make_shared<Conv2d>(
+            name, layer->weight().Clone(), std::nullopt, hp[3], hp[4]));
+      }
+      return LayerPtr(layer);
+    }
+    case LayerKind::kDeconv2d: {
+      DL2SQL_RETURN_NOT_OK(need(6));
+      return LayerPtr(std::make_shared<Deconv2d>(name, hp[0], hp[1], hp[2],
+                                                 hp[3], hp[4], &rng));
+    }
+    case LayerKind::kBatchNorm: {
+      DL2SQL_RETURN_NOT_OK(need(1));
+      return LayerPtr(std::make_shared<BatchNorm>(name, hp[0]));
+    }
+    case LayerKind::kInstanceNorm: {
+      DL2SQL_RETURN_NOT_OK(need(1));
+      return LayerPtr(std::make_shared<InstanceNorm>(name, hp[0]));
+    }
+    case LayerKind::kLinear: {
+      DL2SQL_RETURN_NOT_OK(need(3));
+      auto layer = std::make_shared<Linear>(name, hp[0], hp[1], &rng);
+      if (hp[2] == 0) {
+        return LayerPtr(std::make_shared<Linear>(name, layer->weight().Clone(),
+                                                 std::nullopt));
+      }
+      return LayerPtr(layer);
+    }
+    case LayerKind::kMaxPool: {
+      DL2SQL_RETURN_NOT_OK(need(2));
+      return LayerPtr(std::make_shared<MaxPool2d>(name, hp[0], hp[1]));
+    }
+    case LayerKind::kAvgPool: {
+      DL2SQL_RETURN_NOT_OK(need(2));
+      return LayerPtr(std::make_shared<AvgPool2d>(name, hp[0], hp[1]));
+    }
+    case LayerKind::kRelu:
+      return LayerPtr(std::make_shared<ReluLayer>(name));
+    case LayerKind::kFlatten:
+      return LayerPtr(std::make_shared<Flatten>(name));
+    case LayerKind::kSoftmax:
+      return LayerPtr(std::make_shared<SoftmaxLayer>(name));
+    case LayerKind::kGlobalAvgPool:
+      return LayerPtr(std::make_shared<GlobalAvgPool>(name));
+    case LayerKind::kResidualBlock: {
+      DL2SQL_RETURN_NOT_OK(need(5));
+      return LayerPtr(std::make_shared<ResidualBlock>(name, hp[0], hp[1], hp[2],
+                                                      hp[3], hp[4], &rng));
+    }
+    case LayerKind::kIdentityBlock: {
+      DL2SQL_RETURN_NOT_OK(need(3));
+      return LayerPtr(
+          std::make_shared<IdentityBlock>(name, hp[0], hp[1], hp[2], &rng));
+    }
+    case LayerKind::kDenseBlock: {
+      DL2SQL_RETURN_NOT_OK(need(4));
+      return LayerPtr(
+          std::make_shared<DenseBlock>(name, hp[0], hp[1], hp[2], hp[3], &rng));
+    }
+    case LayerKind::kBasicAttention: {
+      DL2SQL_RETURN_NOT_OK(need(2));
+      return LayerPtr(std::make_shared<BasicAttention>(name, hp[0], hp[1], &rng));
+    }
+  }
+  return Status::ParseError("unknown layer kind ", static_cast<int>(kind));
+}
+
+/// Overwrites a freshly constructed layer's weights with streamed values.
+/// Tensor copies alias the underlying buffer, so writing through the tensors
+/// returned by Parameters() mutates the layer in place.
+Status LoadWeights(Layer* layer, const std::vector<std::vector<float>>& values) {
+  auto params = layer->Parameters();
+  if (params.size() != values.size()) {
+    return Status::ParseError("layer ", layer->name(), ": expected ",
+                              params.size(), " weight tensors, got ",
+                              values.size());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& t = params[i].tensor;
+    if (static_cast<size_t>(t.NumElements()) != values[i].size()) {
+      return Status::ParseError("layer ", layer->name(), " param ", i,
+                                ": size mismatch ", t.NumElements(), " vs ",
+                                values[i].size());
+    }
+    std::memcpy(t.data(), values[i].data(), values[i].size() * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status WriteLayer(const Layer& layer, ModelFormat format, BufferWriter* w) {
+  w->WriteU8(static_cast<uint8_t>(layer.kind()));
+  if (format == ModelFormat::kScript) {
+    w->WriteString(layer.name());
+    // TorchScript-analog preamble: a redundant self-describing header the
+    // compiled blob strips out.
+    std::string meta = std::string("{\"op\":\"") +
+                       LayerKindToString(layer.kind()) +
+                       "\",\"params\":" + std::to_string(layer.NumParameters()) +
+                       ",\"origin\":\"torch.jit.trace\"}";
+    w->WriteString(meta);
+  }
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<int64_t> hp, LayerHyperParams(layer));
+  w->WriteU32(static_cast<uint32_t>(hp.size()));
+  for (int64_t v : hp) w->WriteI64(v);
+  auto params = layer.Parameters();
+  w->WriteU32(static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) {
+    if (format == ModelFormat::kScript) w->WriteString(p.name);
+    w->WriteFloats(p.tensor.data(), static_cast<size_t>(p.tensor.NumElements()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> SerializeModel(const Model& model, ModelFormat format) {
+  BufferWriter w;
+  w.WriteRaw(kMagic, 8);
+  w.WriteU8(static_cast<uint8_t>(format));
+  w.WriteString(model.name());
+  w.WriteU32(static_cast<uint32_t>(model.input_shape().ndim()));
+  for (int i = 0; i < model.input_shape().ndim(); ++i) {
+    w.WriteI64(model.input_shape()[i]);
+  }
+  w.WriteU32(static_cast<uint32_t>(model.classes().size()));
+  for (const auto& c : model.classes()) {
+    if (format == ModelFormat::kScript) {
+      w.WriteString(c);
+    } else {
+      // Blob keeps only the class count; labels live app-side.
+      (void)c;
+    }
+  }
+  w.WriteU32(static_cast<uint32_t>(model.layers().size()));
+  for (const auto& layer : model.layers()) {
+    DL2SQL_RETURN_NOT_OK(WriteLayer(*layer, format, &w));
+  }
+  return w.Take();
+}
+
+Result<Model> DeserializeModel(const std::string& bytes) {
+  BufferReader r(bytes);
+  if (bytes.size() < 9 || std::memcmp(bytes.data(), kMagic, 8) != 0) {
+    return Status::ParseError("bad model magic");
+  }
+  // Skip magic.
+  for (int i = 0; i < 8; ++i) {
+    DL2SQL_RETURN_NOT_OK(r.ReadU8().status());
+  }
+  DL2SQL_ASSIGN_OR_RETURN(uint8_t fmt_byte, r.ReadU8());
+  const auto format = static_cast<ModelFormat>(fmt_byte);
+  DL2SQL_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+  DL2SQL_ASSIGN_OR_RETURN(uint32_t ndim, r.ReadU32());
+  std::vector<int64_t> dims;
+  for (uint32_t i = 0; i < ndim; ++i) {
+    DL2SQL_ASSIGN_OR_RETURN(int64_t d, r.ReadI64());
+    dims.push_back(d);
+  }
+  DL2SQL_ASSIGN_OR_RETURN(uint32_t num_classes, r.ReadU32());
+  std::vector<std::string> classes;
+  for (uint32_t i = 0; i < num_classes; ++i) {
+    if (format == ModelFormat::kScript) {
+      DL2SQL_ASSIGN_OR_RETURN(std::string c, r.ReadString());
+      classes.push_back(std::move(c));
+    } else {
+      classes.push_back("class_" + std::to_string(i));
+    }
+  }
+  Model model(std::move(name), Shape(std::move(dims)), std::move(classes));
+
+  DL2SQL_ASSIGN_OR_RETURN(uint32_t num_layers, r.ReadU32());
+  for (uint32_t li = 0; li < num_layers; ++li) {
+    DL2SQL_ASSIGN_OR_RETURN(uint8_t kind_byte, r.ReadU8());
+    const auto kind = static_cast<LayerKind>(kind_byte);
+    std::string lname = "layer" + std::to_string(li);
+    if (format == ModelFormat::kScript) {
+      DL2SQL_ASSIGN_OR_RETURN(lname, r.ReadString());
+      DL2SQL_RETURN_NOT_OK(r.ReadString().status());  // metadata preamble
+    }
+    DL2SQL_ASSIGN_OR_RETURN(uint32_t nhp, r.ReadU32());
+    std::vector<int64_t> hp;
+    for (uint32_t i = 0; i < nhp; ++i) {
+      DL2SQL_ASSIGN_OR_RETURN(int64_t v, r.ReadI64());
+      hp.push_back(v);
+    }
+    DL2SQL_ASSIGN_OR_RETURN(LayerPtr layer, MakeLayer(kind, lname, hp));
+    DL2SQL_ASSIGN_OR_RETURN(uint32_t nparams, r.ReadU32());
+    std::vector<std::vector<float>> values;
+    for (uint32_t i = 0; i < nparams; ++i) {
+      if (format == ModelFormat::kScript) {
+        DL2SQL_RETURN_NOT_OK(r.ReadString().status());  // param name
+      }
+      DL2SQL_ASSIGN_OR_RETURN(std::vector<float> vals, r.ReadFloats());
+      values.push_back(std::move(vals));
+    }
+    DL2SQL_RETURN_NOT_OK(LoadWeights(layer.get(), values));
+    model.AddLayer(std::move(layer));
+  }
+  return model;
+}
+
+Result<uint64_t> SerializedSize(const Model& model, ModelFormat format) {
+  DL2SQL_ASSIGN_OR_RETURN(std::string bytes, SerializeModel(model, format));
+  return static_cast<uint64_t>(bytes.size());
+}
+
+}  // namespace dl2sql::nn

@@ -1,0 +1,38 @@
+/// \file serialize.h
+/// \brief Model (de)serialization: the "model compilation" component of the
+/// loose-integration strategy (Section III-B).
+///
+/// Two container formats mirror the paper's pipeline:
+///  - kScript: the tracing/TorchScript analog produced by the DL system —
+///    self-describing, carries layer & parameter names plus a metadata
+///    preamble per layer. Used by the independent-processing strategy.
+///  - kCompiledBlob: the stripped binary linked into the database kernel for
+///    the DB-UDF strategy — architecture descriptor plus raw weights, no
+///    names. Smaller, as Table IV of the paper reports.
+///
+/// Round-tripping either format reconstructs a Model that computes the exact
+/// same function (bit-identical weights).
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace dl2sql::nn {
+
+enum class ModelFormat : uint8_t {
+  kScript = 0,
+  kCompiledBlob = 1,
+};
+
+/// Serializes `model` into the chosen container format.
+Result<std::string> SerializeModel(const Model& model, ModelFormat format);
+
+/// Reconstructs a model from bytes produced by SerializeModel. Blob-format
+/// models get synthesized layer names (layer0, layer1, ...).
+Result<Model> DeserializeModel(const std::string& bytes);
+
+/// Byte size the format would occupy, without materializing the buffer twice.
+Result<uint64_t> SerializedSize(const Model& model, ModelFormat format);
+
+}  // namespace dl2sql::nn

@@ -1,0 +1,63 @@
+/// \file shape.h
+/// \brief Tensor shape: a small vector of dimension sizes with row-major
+/// stride computation.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace dl2sql {
+
+/// \brief Dimensions of a dense tensor, row-major layout.
+///
+/// Convention in this repo: feature maps are CHW (channels, height, width);
+/// a batch adds a leading N. 1-D tensors are used for FC activations.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const { return dims_[static_cast<size_t>(i)]; }
+  int64_t operator[](int i) const { return dims_[static_cast<size_t>(i)]; }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Product of all dimensions (1 for a scalar shape).
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Row-major strides, innermost dimension stride 1.
+  std::vector<int64_t> Strides() const {
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+      s[static_cast<size_t>(i)] =
+          s[static_cast<size_t>(i) + 1] * dims_[static_cast<size_t>(i) + 1];
+    }
+    return s;
+  }
+
+  /// "[2, 3, 5]"
+  std::string ToString() const {
+    std::string out = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace dl2sql

@@ -1,0 +1,40 @@
+#include "tensor/tensor_blob.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace dl2sql {
+
+std::string EncodeTensorBlob(const Tensor& t) {
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(t.shape().ndim()));
+  for (int i = 0; i < t.shape().ndim(); ++i) w.WriteI64(t.shape()[i]);
+  w.WriteRaw(t.data(), static_cast<size_t>(t.NumElements()) * sizeof(float));
+  return w.Take();
+}
+
+Result<Tensor> DecodeTensorBlob(const std::string& blob) {
+  BufferReader r(blob);
+  DL2SQL_ASSIGN_OR_RETURN(uint8_t ndim, r.ReadU8());
+  std::vector<int64_t> dims;
+  for (int i = 0; i < ndim; ++i) {
+    DL2SQL_ASSIGN_OR_RETURN(int64_t d, r.ReadI64());
+    if (d <= 0 || d > (1 << 24)) {
+      return Status::ParseError("bad tensor blob dimension ", d);
+    }
+    dims.push_back(d);
+  }
+  Shape shape(std::move(dims));
+  const size_t need = static_cast<size_t>(shape.NumElements()) * sizeof(float);
+  if (blob.size() < r.position() + need) {
+    return Status::ParseError("tensor blob truncated: need ", need,
+                              " payload bytes, have ",
+                              blob.size() - r.position());
+  }
+  Tensor t(shape);
+  std::memcpy(t.data(), blob.data() + r.position(), need);
+  return t;
+}
+
+}  // namespace dl2sql

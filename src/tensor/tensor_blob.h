@@ -1,0 +1,20 @@
+/// \file tensor_blob.h
+/// \brief Compact binary encoding of tensors, used to store keyframes as BLOB
+/// columns and to ship tensors across the simulated DB <-> DL-system
+/// boundary.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace dl2sql {
+
+/// Header: u8 ndim, i64 dims..., then float32 payload.
+std::string EncodeTensorBlob(const Tensor& t);
+
+/// Inverse of EncodeTensorBlob.
+Result<Tensor> DecodeTensorBlob(const std::string& blob);
+
+}  // namespace dl2sql

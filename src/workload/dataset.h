@@ -1,0 +1,49 @@
+/// \file dataset.h
+/// \brief Synthetic Alibaba-IoT textile-printing dataset (Section V).
+///
+/// The paper's testbed: five tables — video, fabric, client, order, device —
+/// with sizes in ratio 100:10:1:10:1, surveillance keyframes resized to
+/// 224x224x3, 100M tuples total. We generate the same schema and ratios at a
+/// configurable scale with deterministic pseudo-random content; keyframes
+/// default to a smaller spatial size so the relational inference path stays
+/// tractable (see DESIGN.md substitutions).
+///
+/// Columns are generated with known distributions so query templates can hit
+/// preset selectivities exactly:
+///   fabric.humidity    ~ U[0, 100)
+///   fabric.temperature ~ U[0, 40)
+///   fabric.printdate   ~ U{2021-01-01 .. 2021-12-31} (ISO strings)
+#pragma once
+
+#include "common/random.h"
+#include "db/database.h"
+#include "tensor/tensor.h"
+
+namespace dl2sql::workload {
+
+struct DatasetOptions {
+  /// Rows in the video table; other tables follow the 100:10:1:10:1 ratio.
+  int64_t video_rows = 2000;
+  /// Keyframe tensor shape (CHW). The paper uses 224x224x3.
+  int64_t keyframe_channels = 3;
+  int64_t keyframe_size = 16;
+  /// Distinct fabric patterns.
+  int64_t num_patterns = 10;
+  uint64_t seed = 2022;
+};
+
+/// Derived table sizes for a given options struct.
+struct DatasetSizes {
+  int64_t video = 0, fabric = 0, client = 0, order = 0, device = 0;
+  int64_t Total() const { return video + fabric + client + order + device; }
+};
+
+DatasetSizes ComputeSizes(const DatasetOptions& options);
+
+/// Creates and fills the five tables in `db`'s catalog, then ANALYZEs them.
+Status PopulateDatabase(db::Database* db, const DatasetOptions& options);
+
+/// Generates one synthetic keyframe (used by tests and selectivity probes).
+Tensor MakeKeyframe(const DatasetOptions& options, Rng* rng);
+
+}  // namespace dl2sql::workload

@@ -1,0 +1,68 @@
+#include "workload/model_repo.h"
+
+#include "nn/builders.h"
+
+namespace dl2sql::workload {
+
+std::vector<RepositoryTask> BuildModelRepository(const ModelRepoOptions& opts) {
+  std::vector<RepositoryTask> repo;
+  repo.reserve(static_cast<size_t>(opts.num_tasks));
+  for (int64_t i = 0; i < opts.num_tasks; ++i) {
+    nn::BuilderOptions b;
+    b.input_channels = opts.input_channels;
+    b.input_size = opts.input_size;
+    b.base_channels = opts.base_channels;
+    b.seed = opts.seed + static_cast<uint64_t>(i) * 131;
+
+    RepositoryTask task;
+    switch (i % 4) {
+      case 0:
+        task.task_kind = "defect_detection";
+        task.output = engines::NUdfOutput::kBool;
+        task.udf_name = "nUDF_detect_" + std::to_string(i / 4);
+        b.num_classes = 2;
+        break;
+      case 1:
+        task.task_kind = "clothes_classification";
+        task.output = engines::NUdfOutput::kLabel;
+        task.udf_name = "nUDF_clothes_" + std::to_string(i / 4);
+        b.num_classes = 10;
+        break;
+      case 2:
+        task.task_kind = "type_classification";
+        task.output = engines::NUdfOutput::kLabel;
+        task.udf_name = "nUDF_type_" + std::to_string(i / 4);
+        b.num_classes = 6;
+        break;
+      case 3:
+        task.task_kind = "pattern_recognition";
+        task.output = engines::NUdfOutput::kClassId;
+        task.udf_name = "nUDF_pattern_" + std::to_string(i / 4);
+        b.num_classes = opts.num_patterns;
+        break;
+    }
+    task.model = nn::BuildStudentCnn(b);
+    repo.push_back(std::move(task));
+  }
+  return repo;
+}
+
+Status DeployRepository(const std::vector<RepositoryTask>& repo,
+                        engines::CollaborativeEngine* engine, Device* device,
+                        int64_t histogram_samples, uint64_t seed) {
+  for (const auto& task : repo) {
+    DL2SQL_ASSIGN_OR_RETURN(
+        db::NUdfSelectivity sel,
+        engines::LearnSelectivityHistogram(task.model, task.output, device,
+                                           histogram_samples, seed));
+    engines::ModelDeployment dep;
+    dep.udf_name = task.udf_name;
+    dep.output = task.output;
+    dep.selectivity = std::move(sel);
+    DL2SQL_RETURN_NOT_OK(engine->DeployModel(task.model, dep)
+                             .WithContext("deploying " + task.udf_name));
+  }
+  return Status::OK();
+}
+
+}  // namespace dl2sql::workload

@@ -1,0 +1,44 @@
+/// \file model_repo.h
+/// \brief The paper's model repository: "a model repository consisting of 20
+/// neural networks for various tasks, such as textile defect detection,
+/// clothes classification, textile type classification, and textile pattern
+/// recognition", each distilled to the 3-block student architecture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engines/engine.h"
+#include "nn/model.h"
+
+namespace dl2sql::workload {
+
+/// One trained task in the repository.
+struct RepositoryTask {
+  std::string udf_name;      ///< e.g. "nUDF_detect_3"
+  std::string task_kind;     ///< "defect_detection", "clothes_classification",
+                             ///< "type_classification", "pattern_recognition"
+  engines::NUdfOutput output = engines::NUdfOutput::kBool;
+  nn::Model model;
+};
+
+struct ModelRepoOptions {
+  int64_t num_tasks = 20;
+  int64_t input_channels = 3;
+  int64_t input_size = 16;
+  int64_t base_channels = 4;
+  int64_t num_patterns = 10;
+  uint64_t seed = 77;
+};
+
+/// Builds the repository: tasks cycle through the four kinds, each model
+/// seeded independently (a stand-in for per-task fine-tuning).
+std::vector<RepositoryTask> BuildModelRepository(const ModelRepoOptions& opts);
+
+/// Deploys every task onto an engine, learning its selectivity histogram on
+/// the way (Eq. 10).
+Status DeployRepository(const std::vector<RepositoryTask>& repo,
+                        engines::CollaborativeEngine* engine, Device* device,
+                        int64_t histogram_samples, uint64_t seed);
+
+}  // namespace dl2sql::workload

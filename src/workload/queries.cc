@@ -1,0 +1,96 @@
+#include "workload/queries.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dl2sql::workload {
+
+namespace {
+
+/// Relational predicate block hitting the requested accumulative
+/// selectivity. The dial sits on humidity alone (humidity ~ U[0,100), so
+/// `humidity > 100*(1-s)` passes exactly an s-fraction in expectation); the
+/// temperature and date predicates keep the paper's query shape but are
+/// non-binding, which keeps the realized selectivity low-variance at small
+/// dataset scales.
+std::string RelationalPredicates(double selectivity) {
+  const double humidity_threshold = 100.0 * (1.0 - selectivity);
+  return "F.humidity > " + FormatDouble(humidity_threshold, 4) +
+         " and F.temperature > 0.0"
+         " and F.printdate > '2021-01-01' and F.printdate < '2021-12-31'"
+         " and V.date > '2021-01-01' and V.date < '2021-12-31'";
+}
+
+}  // namespace
+
+std::string MakeType1Query(const QueryParams& params) {
+  return "SELECT sum(meter) FROM fabric F, video V WHERE F.transID = "
+         "V.transID and " +
+         RelationalPredicates(params.selectivity) + " and " +
+         params.classify_udf + "(V.keyframe) = '" + params.pattern_label + "'";
+}
+
+std::string MakeType2Query(const QueryParams& params) {
+  return "SELECT patternID, count(" + params.detect_udf +
+         "(V.keyframe) = TRUE) / sum(meter) FROM fabric F, video V WHERE "
+         "F.transID = V.transID and " +
+         RelationalPredicates(params.selectivity) + " GROUP BY patternID";
+}
+
+std::string MakeType3Query(const QueryParams& params) {
+  return "SELECT patternID, count(*) FROM fabric F, video V WHERE F.transID "
+         "= V.transID and " +
+         RelationalPredicates(params.selectivity) + " and " +
+         params.detect_udf + "(V.keyframe) = FALSE GROUP BY patternID";
+}
+
+std::string MakeType4Query(const QueryParams& params) {
+  return "SELECT patternID FROM fabric F, video V WHERE F.transID = "
+         "V.transID and " +
+         RelationalPredicates(params.selectivity) + " and F.patternID != " +
+         params.recog_udf + "(V.keyframe)";
+}
+
+std::string MakeType4EqualityQuery(const QueryParams& params) {
+  return "SELECT F.patternID FROM fabric F, video V WHERE " +
+         RelationalPredicates(params.selectivity) + " and F.patternID = " +
+         params.recog_udf + "(V.keyframe)";
+}
+
+std::string MakeTwoUdfQuery(const QueryParams& params) {
+  return "SELECT patternID, F.transID FROM fabric F, video V WHERE F.transID "
+         "= V.transID and " +
+         RelationalPredicates(params.selectivity) + " and " +
+         params.detect_udf + "(V.keyframe) = TRUE and " + params.classify_udf +
+         "(V.keyframe) = '" + params.pattern_label + "'";
+}
+
+std::string MakeType3ModelSelectionQuery(const QueryParams& params) {
+  return "SELECT patternID, count(*) FROM fabric F, video V WHERE F.transID "
+         "= V.transID and " +
+         RelationalPredicates(params.selectivity) +
+         " and nUDF_detect_cond(V.keyframe, F.humidity, F.temperature) = "
+         "FALSE GROUP BY patternID";
+}
+
+std::string MakeQueryOfType(int type, const QueryParams& params, Rng* rng) {
+  QueryParams p = params;
+  if (rng != nullptr) {
+    p.pattern_label = "class_" + std::to_string(rng->UniformInt(0, 9));
+  }
+  switch (type) {
+    case 1:
+      return MakeType1Query(p);
+    case 2:
+      return MakeType2Query(p);
+    case 3:
+      return MakeType3Query(p);
+    case 4:
+      return MakeType4Query(p);
+    default:
+      return MakeType1Query(p);
+  }
+}
+
+}  // namespace dl2sql::workload

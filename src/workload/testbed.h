@@ -1,0 +1,93 @@
+/// \file testbed.h
+/// \brief End-to-end experiment harness: dataset + model repository + the
+/// four engine configurations (DB-PyTorch, DB-UDF, DL2SQL, DL2SQL-OP) on a
+/// chosen simulated device. Used by the benchmarks and the examples.
+#pragma once
+
+#include <memory>
+
+#include "engines/dl2sql_engine.h"
+#include "engines/independent_engine.h"
+#include "engines/udf_engine.h"
+#include "nn/builders.h"
+#include "workload/dataset.h"
+#include "workload/model_repo.h"
+#include "workload/queries.h"
+
+namespace dl2sql::workload {
+
+struct TestbedOptions {
+  DatasetOptions dataset;
+  /// Width/seed of the repository models; input shape is forced to the
+  /// dataset's keyframe shape.
+  int64_t model_base_channels = 4;
+  uint64_t model_seed = 7;
+  /// Samples for the offline selectivity histograms (Eq. 10).
+  int64_t histogram_samples = 48;
+  DeviceKind device = DeviceKind::kEdgeCpu;
+  /// Builds a ResNet-N repository instead of the distilled student models.
+  int64_t resnet_depth = 0;  ///< 0 = student CNN
+  /// Deploy the paper's full 20-task model repository (Section V); mixed
+  /// workloads then pick a random task per query, as the paper does.
+  bool full_repository = false;
+  int64_t repository_tasks = 20;
+};
+
+/// \brief One fully wired experimental setup.
+class Testbed {
+ public:
+  /// Builds the dataset once, attaches it to all four engines, builds the
+  /// detect/classify/recog model trio and deploys it everywhere.
+  static Result<std::unique_ptr<Testbed>> Create(const TestbedOptions& options);
+
+  engines::IndependentEngine* independent() { return independent_.get(); }
+  engines::UdfEngine* udf() { return udf_.get(); }
+  engines::Dl2SqlEngine* dl2sql() { return dl2sql_.get(); }
+  engines::Dl2SqlEngine* dl2sql_op() { return dl2sql_op_.get(); }
+
+  /// All four engines in the paper's reporting order.
+  std::vector<engines::CollaborativeEngine*> AllEngines();
+
+  const TestbedOptions& options() const { return options_; }
+  const nn::Model& detect_model() const { return *detect_model_; }
+  const nn::Model& classify_model() const { return *classify_model_; }
+  const nn::Model& recog_model() const { return *recog_model_; }
+  const std::vector<RepositoryTask>& repository() const { return repository_; }
+  Device* device() { return device_.get(); }
+  db::Database& master_db() { return master_db_; }
+
+  /// Runs `per_type` queries of each type 1..4 at the given relational
+  /// selectivity; returns the average per-query cost breakdown.
+  Result<engines::QueryCost> RunMixedWorkload(
+      engines::CollaborativeEngine* engine, int per_type, double selectivity,
+      uint64_t seed);
+
+  /// Runs `count` queries of one type; returns the average cost.
+  Result<engines::QueryCost> RunTypeWorkload(
+      engines::CollaborativeEngine* engine, int type, int count,
+      double selectivity, uint64_t seed);
+
+ private:
+  Testbed() = default;
+
+  Status DeployAll(const nn::Model& model, const std::string& udf_name,
+                   engines::NUdfOutput output);
+
+  TestbedOptions options_;
+  std::shared_ptr<Device> device_;
+  db::Database master_db_;
+  std::unique_ptr<engines::IndependentEngine> independent_;
+  std::unique_ptr<engines::UdfEngine> udf_;
+  std::unique_ptr<engines::Dl2SqlEngine> dl2sql_;
+  std::unique_ptr<engines::Dl2SqlEngine> dl2sql_op_;
+  std::vector<RepositoryTask> repository_;
+  std::unique_ptr<nn::Model> detect_model_;
+  std::unique_ptr<nn::Model> classify_model_;
+  std::unique_ptr<nn::Model> recog_model_;
+};
+
+/// Builds one repository model with the dataset's keyframe input shape.
+nn::Model BuildRepositoryModel(const TestbedOptions& options,
+                               int64_t num_classes, uint64_t seed);
+
+}  // namespace dl2sql::workload

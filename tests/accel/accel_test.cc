@@ -1,0 +1,96 @@
+/// \file accel_test.cc
+/// \brief Thread pool and simulated-device tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "accel/device.h"
+#include "accel/thread_pool.h"
+
+namespace dl2sql {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(10000, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SmallRangesRunInline) {
+  ThreadPool pool(4);
+  int64_t sum = 0;  // safe: inline execution for n < 1024
+  pool.ParallelFor(100, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeAreNoOps) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](int64_t, int64_t) { called = true; });
+  pool.ParallelFor(-5, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  std::vector<int64_t> data(200000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(static_cast<int64_t>(data.size()), [&](int64_t b, int64_t e) {
+    int64_t local = 0;
+    for (int64_t i = b; i < e; ++i) local += data[static_cast<size_t>(i)];
+    total += local;
+  });
+  EXPECT_EQ(total.load(), 199999ll * 200000 / 2);
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+}
+
+TEST(DeviceTest, ProfilesMatchPaperTestbeds) {
+  auto edge = Device::Create(DeviceKind::kEdgeCpu);
+  auto server = Device::Create(DeviceKind::kServerCpu);
+  auto gpu = Device::Create(DeviceKind::kServerGpu);
+  EXPECT_EQ(edge->profile().num_threads, 1);
+  EXPECT_FALSE(edge->profile().NeedsTransfer());
+  EXPECT_FALSE(server->profile().NeedsTransfer());
+  EXPECT_TRUE(gpu->profile().NeedsTransfer());
+  // The GPU is the fastest at tensor compute; the edge the slowest.
+  EXPECT_LT(gpu->profile().compute_scale, server->profile().compute_scale);
+  EXPECT_LT(server->profile().compute_scale, edge->profile().compute_scale);
+  // SQL runs at host speed on both server profiles.
+  EXPECT_DOUBLE_EQ(gpu->profile().relational_scale,
+                   server->profile().relational_scale);
+}
+
+TEST(DeviceTest, TransferModel) {
+  auto gpu = Device::Create(DeviceKind::kServerGpu);
+  const double small = gpu->TransferSeconds(4);
+  const double large = gpu->TransferSeconds(1 << 30);
+  EXPECT_GE(small, gpu->profile().transfer_latency_s);
+  EXPECT_GT(large, small);
+  // Latency floor dominates tiny copies.
+  EXPECT_NEAR(small, gpu->profile().transfer_latency_s, 1e-6);
+
+  auto edge = Device::Create(DeviceKind::kEdgeCpu);
+  EXPECT_DOUBLE_EQ(edge->TransferSeconds(1 << 20), 0.0);
+}
+
+TEST(DeviceTest, ChargeTransferAccumulates) {
+  auto gpu = Device::Create(DeviceKind::kServerGpu);
+  CostAccumulator acc;
+  const double s = gpu->ChargeTransfer(1 << 20, &acc, "loading");
+  EXPECT_GT(s, 0.0);
+  EXPECT_DOUBLE_EQ(acc.Get("loading"), s);
+}
+
+}  // namespace
+}  // namespace dl2sql

@@ -1,0 +1,103 @@
+/// \file codec_test.cc
+/// \brief Columnar codec round-trips and compression properties.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "db/codec.h"
+
+namespace dl2sql::db {
+namespace {
+
+Table SampleTable() {
+  TableSchema schema({{"id", DataType::kInt64},
+                      {"v", DataType::kFloat64},
+                      {"flag", DataType::kBool},
+                      {"name", DataType::kString},
+                      {"payload", DataType::kBlob}});
+  Table t{schema};
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    DL2SQL_CHECK(t.AppendRow({Value::Int(i * 3),
+                              Value::Float(static_cast<float>(
+                                  rng.UniformReal(-5, 5))),
+                              Value::Bool(i % 3 == 0),
+                              Value::String("name_" + std::to_string(i % 7)),
+                              Value::Blob(std::string(i % 11, 'x'))})
+                     .ok());
+  }
+  return t;
+}
+
+TEST(CodecTest, RoundTripAllTypes) {
+  Table t = SampleTable();
+  auto bytes = CompressTable(t);
+  ASSERT_TRUE(bytes.ok());
+  auto back = DecompressTable(*bytes);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  ASSERT_EQ(back->num_columns(), t.num_columns());
+  for (int c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(back->schema().field(c).name, t.schema().field(c).name);
+    EXPECT_EQ(back->schema().field(c).type, t.schema().field(c).type);
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      EXPECT_EQ(back->column(c).GetValue(r).ToString(),
+                t.column(c).GetValue(r).ToString())
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST(CodecTest, SequentialIntsCompressHard) {
+  TableSchema schema({{"id", DataType::kInt64}});
+  Table t{schema};
+  for (int i = 0; i < 10000; ++i) {
+    DL2SQL_CHECK(t.AppendRow({Value::Int(i)}).ok());
+  }
+  auto bytes = CompressedTableBytes(t);
+  ASSERT_TRUE(bytes.ok());
+  // Delta-varint: ~1 byte per row vs 8 raw.
+  EXPECT_LT(*bytes, 10000u * 2);
+  EXPECT_LT(*bytes * 4, t.ByteSize());
+}
+
+TEST(CodecTest, FloatsStoreAsFloat32) {
+  TableSchema schema({{"v", DataType::kFloat64}});
+  Table t{schema};
+  for (int i = 0; i < 1000; ++i) {
+    DL2SQL_CHECK(
+        t.AppendRow({Value::Float(static_cast<float>(i) * 0.25f)}).ok());
+  }
+  auto bytes = CompressedTableBytes(t);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_LT(*bytes, 1000u * 5 + 64);
+  // Values produced as float32 round-trip exactly.
+  auto back = DecompressTable(*CompressTable(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->column(0).floats()[999], 999 * 0.25);
+}
+
+TEST(CodecTest, EmptyTable) {
+  Table t{TableSchema({{"a", DataType::kInt64}})};
+  auto back = DecompressTable(*CompressTable(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0);
+}
+
+TEST(CodecTest, RejectsCorruption) {
+  EXPECT_FALSE(DecompressTable("").ok());
+  EXPECT_FALSE(DecompressTable("XXXXXXXXgarbage").ok());
+  Table t = SampleTable();
+  std::string bytes = *CompressTable(t);
+  bytes.resize(bytes.size() / 3);
+  EXPECT_FALSE(DecompressTable(bytes).ok());
+}
+
+TEST(CodecTest, NullsAreRejected) {
+  Table t{TableSchema({{"a", DataType::kInt64}})};
+  DL2SQL_CHECK(t.AppendRow({Value::Null()}).ok());
+  EXPECT_TRUE(CompressTable(t).status().IsNotImplemented());
+}
+
+}  // namespace
+}  // namespace dl2sql::db

@@ -1,0 +1,219 @@
+/// \file expr_eval_test.cc
+/// \brief Value semantics, vectorized expression evaluation, NULL handling
+/// and type inference.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "db/eval.h"
+#include "db/sql/parser.h"
+
+namespace dl2sql::db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(3).int_value(), 3);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).float_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_EQ(Value::Blob("ab").type(), DataType::kBlob);
+}
+
+TEST(ValueTest, CrossNumericCompare) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Float(2.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Float(1.5)), 0);
+  EXPECT_GT(Value::Float(3.0).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::String("a").Compare(Value::String("b")), -1);
+  // NULLs sort first.
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+}
+
+TEST(ValueTest, NullNeverEqualsAnything) {
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_TRUE(Value::Int(1).Equals(Value::Float(1.0)));
+}
+
+TEST(ValueTest, Coercions) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_EQ(*Value::Float(3.9).AsInt(), 3);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+}
+
+TEST(EvalBinaryTest, ThreeValuedLogic) {
+  const Value null = Value::Null();
+  const Value t = Value::Bool(true);
+  const Value f = Value::Bool(false);
+  // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+  EXPECT_FALSE((*EvalValueBinary(BinaryOp::kAnd, f, null)).bool_value());
+  EXPECT_TRUE((*EvalValueBinary(BinaryOp::kAnd, t, null)).is_null());
+  // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+  EXPECT_TRUE((*EvalValueBinary(BinaryOp::kOr, t, null)).bool_value());
+  EXPECT_TRUE((*EvalValueBinary(BinaryOp::kOr, f, null)).is_null());
+  // Comparisons with NULL are NULL.
+  EXPECT_TRUE((*EvalValueBinary(BinaryOp::kEq, null, t)).is_null());
+}
+
+TEST(EvalBinaryTest, ArithmeticTyping) {
+  EXPECT_EQ((*EvalValueBinary(BinaryOp::kAdd, Value::Int(2), Value::Int(3)))
+                .type(),
+            DataType::kInt64);
+  EXPECT_EQ((*EvalValueBinary(BinaryOp::kAdd, Value::Int(2), Value::Float(3)))
+                .type(),
+            DataType::kFloat64);
+  // Division is always float (ClickHouse semantics).
+  const Value div = *EvalValueBinary(BinaryOp::kDiv, Value::Int(7), Value::Int(2));
+  EXPECT_EQ(div.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(div.float_value(), 3.5);
+  EXPECT_EQ((*EvalValueBinary(BinaryOp::kMod, Value::Int(7), Value::Int(3)))
+                .int_value(),
+            1);
+  EXPECT_FALSE(EvalValueBinary(BinaryOp::kMod, Value::Int(1), Value::Int(0)).ok());
+}
+
+class EvalFixture : public ::testing::Test {
+ protected:
+  EvalFixture() {
+    TableSchema schema({{"a", DataType::kInt64},
+                        {"b", DataType::kFloat64},
+                        {"s", DataType::kString}});
+    table_ = Table(schema);
+    DL2SQL_CHECK(table_.AppendRow({Value::Int(1), Value::Float(0.5),
+                                   Value::String("x")}).ok());
+    DL2SQL_CHECK(table_.AppendRow({Value::Int(2), Value::Float(1.5),
+                                   Value::String("y")}).ok());
+    DL2SQL_CHECK(table_.AppendRow({Value::Int(3), Value::Null(),
+                                   Value::String("z")}).ok());
+    ctx_.udfs = &udfs_;
+  }
+
+  ColumnHandle Eval(const std::string& expr) {
+    auto e = sql::ParseExpression(expr);
+    DL2SQL_CHECK(e.ok()) << e.status().ToString();
+    auto col = EvalExpr(**e, table_, &ctx_);
+    DL2SQL_CHECK(col.ok()) << col.status().ToString();
+    return *col;
+  }
+
+  Table table_;
+  UdfRegistry udfs_;
+  EvalContext ctx_;
+};
+
+TEST_F(EvalFixture, ColumnRefAliasesInput) {
+  ColumnHandle c = Eval("a");
+  EXPECT_EQ(c->type(), DataType::kInt64);
+  EXPECT_EQ(c->ints()[2], 3);
+}
+
+TEST_F(EvalFixture, VectorizedArithmetic) {
+  ColumnHandle c = Eval("a * 2 + 1");
+  EXPECT_EQ(c->type(), DataType::kInt64);
+  EXPECT_EQ(c->ints()[1], 5);
+}
+
+TEST_F(EvalFixture, NullPropagationInColumns) {
+  ColumnHandle c = Eval("b + 1");
+  EXPECT_TRUE(c->IsValid(0));
+  EXPECT_FALSE(c->IsValid(2));  // NULL row propagates
+}
+
+TEST_F(EvalFixture, StringComparisonVectorized) {
+  ColumnHandle c = Eval("s >= 'y'");
+  EXPECT_EQ(c->type(), DataType::kBool);
+  EXPECT_EQ(c->bools()[0], 0);
+  EXPECT_EQ(c->bools()[1], 1);
+  EXPECT_EQ(c->bools()[2], 1);
+}
+
+TEST_F(EvalFixture, BuiltinFunctionOverColumn) {
+  ColumnHandle c = Eval("greatest(0, a - 2)");
+  EXPECT_DOUBLE_EQ(c->GetValue(0).float_value(), 0.0);
+  EXPECT_DOUBLE_EQ(c->GetValue(2).float_value(), 1.0);
+}
+
+TEST_F(EvalFixture, FilterRowsNullIsFalse) {
+  auto e = sql::ParseExpression("b < 100");
+  auto rows = FilterRows(**e, table_, &ctx_);
+  ASSERT_TRUE(rows.ok());
+  // Row 2 has NULL b: excluded.
+  EXPECT_EQ(*rows, (std::vector<int64_t>{0, 1}));
+}
+
+TEST_F(EvalFixture, FilterRequiresBool) {
+  auto e = sql::ParseExpression("a + 1");
+  EXPECT_TRUE(FilterRows(**e, table_, &ctx_).status().IsTypeError());
+}
+
+TEST_F(EvalFixture, EmptyInputStaysTyped) {
+  Table empty{table_.schema()};
+  auto e = sql::ParseExpression("a = 1");
+  auto col = EvalExpr(**e, empty, &ctx_);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), DataType::kBool);
+  EXPECT_EQ((*col)->size(), 0);
+}
+
+TEST_F(EvalFixture, UnknownFunctionFails) {
+  auto e = sql::ParseExpression("nosuchfn(a)");
+  EXPECT_FALSE(EvalExpr(**e, table_, &ctx_).ok());
+}
+
+TEST_F(EvalFixture, ArityChecked) {
+  auto e = sql::ParseExpression("sqrt(a, b)");
+  EXPECT_FALSE(EvalExpr(**e, table_, &ctx_).ok());
+}
+
+TEST_F(EvalFixture, InListEval) {
+  ColumnHandle c = Eval("a IN (1, 3)");
+  EXPECT_EQ(c->bools()[0], 1);
+  EXPECT_EQ(c->bools()[1], 0);
+  EXPECT_EQ(c->bools()[2], 1);
+}
+
+TEST_F(EvalFixture, TypeInference) {
+  auto check = [&](const std::string& expr, DataType expected) {
+    auto e = sql::ParseExpression(expr);
+    ASSERT_TRUE(e.ok());
+    auto t = InferExprType(**e, table_.schema(), &udfs_);
+    ASSERT_TRUE(t.ok()) << expr;
+    EXPECT_EQ(*t, expected) << expr;
+  };
+  check("a", DataType::kInt64);
+  check("b", DataType::kFloat64);
+  check("a + 1", DataType::kInt64);
+  check("a + b", DataType::kFloat64);
+  check("a / 2", DataType::kFloat64);
+  check("a % 2", DataType::kInt64);
+  check("a > b", DataType::kBool);
+  check("NOT (a > b)", DataType::kBool);
+  check("s IN ('x')", DataType::kBool);
+  check("count(*)", DataType::kInt64);
+  check("sum(a)", DataType::kFloat64);
+  check("min(s)", DataType::kString);
+}
+
+TEST(ExprUtilTest, SplitAndCombineConjuncts) {
+  auto e = sql::ParseExpression("a AND b AND (c OR d)");
+  std::vector<ExprPtr> parts;
+  SplitConjuncts(*e, &parts);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2]->ToString(), "(c OR d)");
+  ExprPtr combined = CombineConjuncts(parts);
+  std::vector<ExprPtr> again;
+  SplitConjuncts(combined, &again);
+  EXPECT_EQ(again.size(), 3u);
+  // Empty conjunct list is literal TRUE.
+  EXPECT_EQ(CombineConjuncts({})->literal.bool_value(), true);
+}
+
+TEST(ExprUtilTest, CloneIsDeep) {
+  auto e = sql::ParseExpression("a + b");
+  ExprPtr clone = (*e)->Clone();
+  clone->children[0]->column_name = "zzz";
+  EXPECT_EQ((*e)->children[0]->column_name, "a");
+}
+
+}  // namespace
+}  // namespace dl2sql::db

@@ -1,0 +1,140 @@
+/// \file join_reorder_test.cc
+/// \brief Greedy join reordering: correctness invariance, cross-product
+/// avoidance, and order-insensitivity of multi-table queries.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "db/database.h"
+
+namespace dl2sql::db {
+namespace {
+
+class JoinReorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE big (id INT, grp INT);
+      CREATE TABLE mid (id INT, big_id INT, tag TEXT);
+      CREATE TABLE tiny (id INT, mid_id INT);
+    )sql")
+                    .ok());
+    auto big = *db_.catalog().GetTable("big");
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(big->AppendRow({Value::Int(i), Value::Int(i % 7)}).ok());
+    }
+    auto mid = *db_.catalog().GetTable("mid");
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(mid->AppendRow({Value::Int(i), Value::Int(i * 10),
+                                  Value::String("t" + std::to_string(i % 3))})
+                      .ok());
+    }
+    auto tiny = *db_.catalog().GetTable("tiny");
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(tiny->AppendRow({Value::Int(i), Value::Int(i * 25)}).ok());
+    }
+    for (const char* t : {"big", "mid", "tiny"}) {
+      ASSERT_TRUE(db_.catalog().Analyze(t).ok());
+    }
+  }
+
+  Table Q(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).ValueOrDie() : Table{};
+  }
+
+  Database db_;
+};
+
+TEST_F(JoinReorderTest, ThreeTableOrderInsensitive) {
+  const char* orders[] = {
+      "SELECT count(*) FROM big b, mid m, tiny t WHERE b.id = m.big_id AND "
+      "m.id = t.mid_id",
+      "SELECT count(*) FROM tiny t, big b, mid m WHERE b.id = m.big_id AND "
+      "m.id = t.mid_id",
+      "SELECT count(*) FROM mid m, tiny t, big b WHERE m.id = t.mid_id AND "
+      "b.id = m.big_id",
+  };
+  std::vector<int64_t> counts;
+  for (const char* sql : orders) {
+    counts.push_back(Q(sql).column(0).GetValue(0).int_value());
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[0], counts[2]);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST_F(JoinReorderTest, AvoidsCrossProductBlowup) {
+  // Written order starts with big x mid disconnected (the only link to big
+  // is via mid -> tiny -> ... no: big-mid link given, but put tiny last with
+  // the big table listed twice the pair (big, big2) unlinked directly).
+  ASSERT_TRUE(db_.Execute("CREATE TABLE big2 (id INT)").ok());
+  auto big2 = *db_.catalog().GetTable("big2");
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(big2->AppendRow({Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(db_.catalog().Analyze("big2").ok());
+  // Without reordering, (big x big2) would hit the 100M-pair guard after
+  // filtering... 5000*5000 = 25M pairs still materialized; the reorder puts
+  // the connected tiny/mid joins first so intermediate results stay small.
+  Table r = Q("SELECT count(*) FROM big b, big2 b2, mid m, tiny t WHERE b.id "
+              "= m.big_id AND m.id = t.mid_id AND b2.id = t.id");
+  EXPECT_GT(r.column(0).GetValue(0).int_value(), 0);
+}
+
+TEST_F(JoinReorderTest, PlanStartsFromSmallestRelation) {
+  auto stmt = sql::ParseStatement(
+      "SELECT count(*) FROM big b, mid m, tiny t WHERE b.id = m.big_id AND "
+      "m.id = t.mid_id");
+  auto plan = db_.PlanQuery(*std::get<std::shared_ptr<SelectStmt>>(*stmt));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The deepest-left scan of the join chain must be the tiny table.
+  const PlanNode* n = plan->get();
+  while (!n->children.empty()) n = n->children[0].get();
+  EXPECT_EQ(n->kind, PlanKind::kScan);
+  EXPECT_EQ(n->table_name, "tiny");
+}
+
+TEST_F(JoinReorderTest, ResidualNonEquiConditionsSurvive) {
+  Table a = Q("SELECT count(*) FROM big b, mid m, tiny t WHERE b.id = "
+              "m.big_id AND m.id = t.mid_id AND b.grp < t.id");
+  db_.optimizer_options().enable_join_reorder = false;
+  Table b = Q("SELECT count(*) FROM big b, mid m, tiny t WHERE b.id = "
+              "m.big_id AND m.id = t.mid_id AND b.grp < t.id");
+  EXPECT_EQ(a.column(0).GetValue(0).int_value(),
+            b.column(0).GetValue(0).int_value());
+}
+
+TEST_F(JoinReorderTest, ReorderCanBeDisabled) {
+  db_.optimizer_options().enable_join_reorder = false;
+  auto stmt = sql::ParseStatement(
+      "SELECT count(*) FROM big b, mid m, tiny t WHERE b.id = m.big_id AND "
+      "m.id = t.mid_id");
+  auto plan = db_.PlanQuery(*std::get<std::shared_ptr<SelectStmt>>(*stmt));
+  ASSERT_TRUE(plan.ok());
+  const PlanNode* n = plan->get();
+  while (!n->children.empty()) n = n->children[0].get();
+  EXPECT_EQ(n->table_name, "big");  // written order preserved
+}
+
+TEST_F(JoinReorderTest, FourTablesWithGroupBy) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE extra (tiny_id INT, w FLOAT)").ok());
+  auto extra = *db_.catalog().GetTable("extra");
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        extra->AppendRow({Value::Int(i % 20), Value::Float(i * 1.5)}).ok());
+  }
+  Table r = Q("SELECT m.tag, count(*), sum(e.w) FROM big b, mid m, tiny t, "
+              "extra e WHERE b.id = m.big_id AND m.id = t.mid_id AND t.id = "
+              "e.tiny_id GROUP BY m.tag ORDER BY m.tag");
+  EXPECT_GT(r.num_rows(), 0);
+  // Cross-check against the unreordered plan.
+  db_.optimizer_options().enable_join_reorder = false;
+  Table ref = Q("SELECT m.tag, count(*), sum(e.w) FROM big b, mid m, tiny t, "
+                "extra e WHERE b.id = m.big_id AND m.id = t.mid_id AND t.id "
+                "= e.tiny_id GROUP BY m.tag ORDER BY m.tag");
+  EXPECT_EQ(r.ToString(100), ref.ToString(100));
+}
+
+}  // namespace
+}  // namespace dl2sql::db

@@ -1,0 +1,201 @@
+/// \file optimizer_test.cc
+/// \brief Optimizer rewrites and cost-model behaviour: predicate pushdown,
+/// equi-key extraction, statistics-driven selectivity, build-side choice and
+/// the default model's documented magic constants.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "db/database.h"
+
+namespace dl2sql::db {
+namespace {
+
+class OptimizerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE big (id INT, v FLOAT, grp INT);
+      CREATE TABLE small (id INT, tag TEXT);
+    )sql")
+                    .ok());
+    // big: 1000 rows, v uniform 0..999, grp 0..9; small: 10 rows.
+    auto big = db_.catalog().GetTable("big");
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE((*big)->AppendRow({Value::Int(i),
+                                     Value::Float(static_cast<double>(i)),
+                                     Value::Int(i % 10)})
+                      .ok());
+    }
+    auto small = db_.catalog().GetTable("small");
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*small)
+                      ->AppendRow({Value::Int(i),
+                                   Value::String("t" + std::to_string(i))})
+                      .ok());
+    }
+    ASSERT_TRUE(db_.catalog().Analyze("big").ok());
+    ASSERT_TRUE(db_.catalog().Analyze("small").ok());
+  }
+
+  PlanPtr Plan(const std::string& sql) {
+    auto stmt = sql::ParseStatement(sql);
+    DL2SQL_CHECK(stmt.ok()) << stmt.status().ToString();
+    auto plan = db_.PlanQuery(
+        *std::get<std::shared_ptr<SelectStmt>>(*stmt));
+    DL2SQL_CHECK(plan.ok()) << plan.status().ToString();
+    return *plan;
+  }
+
+  static const PlanNode* FindJoin(const PlanNode& n) {
+    if (n.kind == PlanKind::kJoin) return &n;
+    for (const auto& c : n.children) {
+      if (const PlanNode* j = FindJoin(*c)) return j;
+    }
+    return nullptr;
+  }
+
+  Database db_;
+};
+
+TEST_F(OptimizerFixture, CommaJoinBecomesHashJoin) {
+  PlanPtr p = Plan("SELECT b.id FROM big b, small s WHERE b.id = s.id");
+  const PlanNode* join = FindJoin(*p);
+  ASSERT_NE(join, nullptr);
+  EXPECT_TRUE(join->join_is_inner);
+  ASSERT_EQ(join->equi_keys.size(), 1u);
+  EXPECT_EQ(join->join_condition, nullptr);  // fully absorbed into keys
+}
+
+TEST_F(OptimizerFixture, SingleTablePredicatesPushBelowJoin) {
+  PlanPtr p = Plan(
+      "SELECT b.id FROM big b, small s WHERE b.id = s.id AND b.v > 500 AND "
+      "s.tag = 't3'");
+  const PlanNode* join = FindJoin(*p);
+  ASSERT_NE(join, nullptr);
+  // Each child must be a Filter over a Scan.
+  for (const auto& child : join->children) {
+    EXPECT_EQ(child->kind, PlanKind::kFilter);
+    EXPECT_EQ(child->children[0]->kind, PlanKind::kScan);
+  }
+}
+
+TEST_F(OptimizerFixture, NonEquiConditionStaysResidual) {
+  PlanPtr p = Plan("SELECT b.id FROM big b, small s WHERE b.id < s.id");
+  const PlanNode* join = FindJoin(*p);
+  ASSERT_NE(join, nullptr);
+  EXPECT_TRUE(join->equi_keys.empty());
+  ASSERT_NE(join->join_condition, nullptr);
+}
+
+TEST_F(OptimizerFixture, BuildSideIsSmallerInput) {
+  PlanPtr p = Plan("SELECT b.id FROM big b, small s WHERE b.id = s.id");
+  const PlanNode* join = FindJoin(*p);
+  ASSERT_NE(join, nullptr);
+  // Left child (big) is larger -> build on the right (small): flag false.
+  EXPECT_FALSE(join->join_build_left);
+
+  PlanPtr p2 = Plan("SELECT b.id FROM small s, big b WHERE b.id = s.id");
+  const PlanNode* join2 = FindJoin(*p2);
+  ASSERT_NE(join2, nullptr);
+  EXPECT_TRUE(join2->join_build_left);
+}
+
+TEST_F(OptimizerFixture, RangeSelectivityInterpolatesWithStats) {
+  // v uniform in [0, 999]: the estimator should get ~25% for v > 750.
+  PlanPtr p = Plan("SELECT id FROM big WHERE v > 750");
+  // Root is Project over Filter; est_rows annotated by the final pass.
+  ASSERT_EQ(p->children[0]->kind, PlanKind::kFilter);
+  EXPECT_NEAR(p->children[0]->est_rows, 250.0, 30.0);
+}
+
+TEST_F(OptimizerFixture, EqualitySelectivityUsesNdv) {
+  PlanPtr p = Plan("SELECT id FROM big WHERE grp = 3");
+  ASSERT_EQ(p->children[0]->kind, PlanKind::kFilter);
+  // ndv(grp) = 10 -> 1000/10 = 100 rows.
+  EXPECT_NEAR(p->children[0]->est_rows, 100.0, 1.0);
+}
+
+TEST_F(OptimizerFixture, JoinCardinalityWithStats) {
+  PlanPtr p = Plan("SELECT b.id FROM big b, small s WHERE b.id = s.id");
+  const PlanNode* join = FindJoin(*p);
+  // |big| * |small| / max(ndv) = 1000*10/1000 = 10.
+  EXPECT_NEAR(join->est_rows, 10.0, 1.0);
+}
+
+TEST_F(OptimizerFixture, GroupByEstimateUsesNdv) {
+  PlanPtr p = Plan("SELECT grp, count(*) FROM big GROUP BY grp");
+  const PlanNode* agg = p->children[0].get();
+  ASSERT_EQ(agg->kind, PlanKind::kAggregate);
+  EXPECT_NEAR(agg->est_rows, 10.0, 1.0);
+}
+
+TEST(DefaultCostModelTest, BlindConstantsWithoutStats) {
+  // A table that exists but was never ANALYZE'd falls back to the magic
+  // constants documented in cost_model.h.
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (a INT, b INT);"
+                               "INSERT INTO t VALUES (1, 1), (2, 2)")
+                  .ok());
+  auto stmt = sql::ParseStatement("SELECT a FROM t WHERE a = 5");
+  auto plan = db.PlanQuery(*std::get<std::shared_ptr<SelectStmt>>(*stmt));
+  ASSERT_TRUE(plan.ok());
+  const PlanNode* filter = (*plan)->children[0].get();
+  ASSERT_EQ(filter->kind, PlanKind::kFilter);
+  EXPECT_NEAR(filter->est_rows,
+              2 * DefaultCostModel::kDefaultEqSelectivity, 1e-9);
+}
+
+TEST(DefaultCostModelTest, UnknownTableAssumedRows) {
+  Database db;
+  CostContext ctx;
+  ctx.catalog = &db.catalog();
+  PlanPtr scan = MakeScan("ghost", "g", TableSchema({{"x", DataType::kInt64}}));
+  DefaultCostModel model;
+  ASSERT_TRUE(model.Annotate(scan.get(), ctx).ok());
+  EXPECT_DOUBLE_EQ(scan->est_rows, 1000.0);  // textbook default
+  ctx.assumed_rows["ghost"] = 77;
+  ASSERT_TRUE(model.Annotate(scan.get(), ctx).ok());
+  EXPECT_DOUBLE_EQ(scan->est_rows, 77.0);
+}
+
+TEST(OptimizerToggleTest, PushdownCanBeDisabled) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (a INT);"
+                               "INSERT INTO t VALUES (1), (2), (3)")
+                  .ok());
+  db.optimizer_options().enable_pushdown = false;
+  auto result = db.Execute("SELECT a FROM t WHERE a > 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2);
+  // Filter stays above the scan unchanged (no scan-level predicates).
+  const PlanPtr& plan = db.last_plan();
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+}
+
+TEST(ExplainTest, ExplainAnalyzeReportsActuals) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (a INT);"
+                               "INSERT INTO t VALUES (1), (2), (3), (4)")
+                  .ok());
+  auto text = db.ExplainAnalyze("SELECT a FROM t WHERE a > 2");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("actual rows=2"), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual rows=4"), std::string::npos) << *text;
+  EXPECT_NE(text->find("self="), std::string::npos);
+  EXPECT_FALSE(db.ExplainAnalyze("DROP TABLE t").ok());
+}
+
+TEST(ExplainTest, RendersTree) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  auto text = db.Explain("SELECT a FROM t WHERE a > 0 ORDER BY a LIMIT 3");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Limit"), std::string::npos);
+  EXPECT_NE(text->find("Sort"), std::string::npos);
+  EXPECT_NE(text->find("Filter"), std::string::npos);
+  EXPECT_NE(text->find("Scan t"), std::string::npos);
+  EXPECT_FALSE(db.Explain("INSERT INTO t VALUES (1)").ok());
+}
+
+}  // namespace
+}  // namespace dl2sql::db

@@ -1,0 +1,104 @@
+/// \file persistence_test.cc
+/// \brief Snapshot save/load round-trips (tables, views, blobs) and the SQL
+/// printer's parse/print fixpoint.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "db/persistence.h"
+#include "db/sql/printer.h"
+
+namespace dl2sql::db {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE items (id INT, name TEXT, price FLOAT, ok BOOL,
+                          payload BLOB);
+      INSERT INTO items VALUES
+        (1, 'hammer', 9.5, TRUE, 'bin1'),
+        (2, 'nail', 0.1, FALSE, 'bin2'),
+        (3, 'saw', 19.0, TRUE, 'bin3');
+      CREATE VIEW pricey AS SELECT id, name FROM items WHERE price > 5.0;
+      CREATE TEMP TABLE scratch AS SELECT 1 AS x;
+    )sql")
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(PersistenceTest, SnapshotRoundTripsTablesAndViews) {
+  auto bytes = SnapshotDatabase(db_);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  Database restored;
+  ASSERT_TRUE(RestoreDatabase(*bytes, &restored).ok());
+
+  auto rows = restored.Execute("SELECT id, name, price FROM items ORDER BY id");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 3);
+  EXPECT_EQ(rows->column(1).GetValue(2).string_value(), "saw");
+
+  auto via_view = restored.Execute("SELECT count(*) FROM pricey");
+  ASSERT_TRUE(via_view.ok()) << via_view.status().ToString();
+  EXPECT_EQ(via_view->column(0).GetValue(0).int_value(), 2);
+
+  // Temp tables are not persisted.
+  EXPECT_FALSE(restored.catalog().HasTable("scratch"));
+}
+
+TEST_F(PersistenceTest, FileRoundTrip) {
+  const std::string path = "/tmp/dl2sql_persistence_test.snap";
+  ASSERT_TRUE(SaveDatabase(db_, path).ok());
+  Database restored;
+  ASSERT_TRUE(LoadDatabase(path, &restored).ok());
+  EXPECT_TRUE(restored.catalog().HasTable("items"));
+  EXPECT_TRUE(restored.catalog().HasView("pricey"));
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadDatabase("/nonexistent/dir/x.snap", &restored).ok());
+}
+
+TEST_F(PersistenceTest, CorruptSnapshotsRejected) {
+  Database restored;
+  EXPECT_FALSE(RestoreDatabase("", &restored).ok());
+  EXPECT_FALSE(RestoreDatabase("LDBSNAP1", &restored).ok());
+  auto bytes = SnapshotDatabase(db_);
+  std::string corrupt = *bytes;
+  corrupt.resize(corrupt.size() / 2);
+  EXPECT_FALSE(RestoreDatabase(corrupt, &restored).ok());
+}
+
+TEST(SqlPrinterTest, ParsePrintFixpoint) {
+  // Printing a parsed statement and re-parsing must yield the same print.
+  const char* queries[] = {
+      "SELECT a, b AS bee FROM t WHERE (a > 1) AND (b IN (1, 2))",
+      "SELECT patternID, count(*) FROM fabric F, video V WHERE (F.transID = "
+      "V.transID) GROUP BY patternID ORDER BY patternID LIMIT 5",
+      "SELECT sum(x.v) FROM (SELECT v FROM t) x HAVING sum(x.v) > 0",
+      "SELECT (SELECT max(a) FROM t2), exp(1.5) FROM t1 INNER JOIN t2 ON "
+      "t1.id = t2.id",
+      "SELECT greatest(0.0, Value) AS Value FROM fm WHERE NOT (Value = 'x''y')",
+  };
+  for (const char* q : queries) {
+    auto s1 = sql::ParseStatement(q);
+    ASSERT_TRUE(s1.ok()) << q;
+    const std::string printed =
+        sql::PrintSelect(*std::get<std::shared_ptr<SelectStmt>>(*s1));
+    auto s2 = sql::ParseStatement(printed);
+    ASSERT_TRUE(s2.ok()) << "re-parse failed: " << printed;
+    EXPECT_EQ(printed,
+              sql::PrintSelect(*std::get<std::shared_ptr<SelectStmt>>(*s2)))
+        << q;
+  }
+}
+
+TEST(SqlPrinterTest, QuotesEscaped) {
+  auto e = sql::ParseExpression("'it''s'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(sql::PrintExpr(**e), "'it''s'");
+}
+
+}  // namespace
+}  // namespace dl2sql::db

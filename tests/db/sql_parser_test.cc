@@ -1,0 +1,244 @@
+/// \file sql_parser_test.cc
+/// \brief Lexer + parser tests, including the paper's generated queries Q1-Q5
+/// parsed verbatim.
+#include <gtest/gtest.h>
+
+#include "db/sql/parser.h"
+
+namespace dl2sql::db::sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a2, 'str''x', 42, 3.5, <=, <> FROM t");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  EXPECT_EQ(t[0].type, TokenType::kIdent);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].text, "a2");
+  EXPECT_EQ(t[3].type, TokenType::kString);
+  EXPECT_EQ(t[3].text, "str'x");
+  EXPECT_EQ(t[5].type, TokenType::kInt);
+  EXPECT_EQ(t[5].int_val, 42);
+  EXPECT_EQ(t[7].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(t[7].float_val, 3.5);
+  EXPECT_EQ(t[9].text, "<=");
+  EXPECT_EQ(t[11].text, "!=");  // <> normalizes
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, CommentsAndErrors) {
+  auto ok = Tokenize("SELECT 1 -- trailing comment\n+ 2");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 5u);  // SELECT 1 + 2 END
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT #").ok());
+}
+
+TEST(LexerTest, ScientificNumbers) {
+  auto t = Tokenize("1e3 2.5E-2");
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)[0].float_val, 1000.0);
+  EXPECT_DOUBLE_EQ((*t)[1].float_val, 0.025);
+}
+
+const SelectStmt& AsSelect(const Statement& s) {
+  return *std::get<std::shared_ptr<SelectStmt>>(s);
+}
+
+TEST(ParserTest, SelectCore) {
+  auto r = ParseStatement(
+      "SELECT a, b AS bee, a + 1 plus FROM t1 x, t2 INNER JOIN t3 ON t2.id = "
+      "t3.id WHERE a > 1 GROUP BY a HAVING count(*) > 2 ORDER BY a DESC "
+      "LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = AsSelect(*r);
+  EXPECT_EQ(s.items.size(), 3u);
+  EXPECT_EQ(s.items[1].alias, "bee");
+  EXPECT_EQ(s.items[2].alias, "plus");
+  ASSERT_TRUE(s.from.has_value());
+  EXPECT_EQ(s.from->table_name, "t1");
+  EXPECT_EQ(s.from->alias, "x");
+  ASSERT_EQ(s.joins.size(), 2u);
+  EXPECT_EQ(s.joins[0].join, JoinType::kCross);
+  EXPECT_EQ(s.joins[1].join, JoinType::kInner);
+  ASSERT_NE(s.joins[1].on, nullptr);
+  EXPECT_NE(s.where, nullptr);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  EXPECT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_EQ(s.limit, 5);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 = 7 AND NOT a OR b");
+  ASSERT_TRUE(e.ok());
+  // ((1 + (2*3)) = 7 AND (NOT a)) OR b
+  EXPECT_EQ((*e)->ToString(), "((((1 + (2 * 3)) = 7) AND NOT a) OR b)");
+}
+
+TEST(ParserTest, NegativeLiteralsFold) {
+  auto e = ParseExpression("-5 + -2.5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(-5 + -2.5)");
+}
+
+TEST(ParserTest, InList) {
+  auto e = ParseExpression("x IN (1, 2, 3)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kInList);
+  EXPECT_EQ((*e)->children.size(), 4u);
+}
+
+TEST(ParserTest, FunctionAndAggregateCalls) {
+  auto e = ParseExpression("count(nUDF_detect(V.keyframe) = TRUE) / sum(meter)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->HasAggregate());
+  EXPECT_TRUE((*e)->CallsFunction("nudf_detect"));
+  auto star = ParseExpression("count(*)");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ((*star)->agg_func, AggFunc::kCountStar);
+  auto stddev = ParseExpression("stddevSamp(Value)");
+  ASSERT_TRUE(stddev.ok());
+  EXPECT_EQ((*stddev)->agg_func, AggFunc::kStddevSamp);
+}
+
+TEST(ParserTest, ScalarSubqueryAndDerivedTable) {
+  auto r = ParseStatement(
+      "SELECT (SELECT max(v) FROM t2) FROM (SELECT a AS v FROM t1) d");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = AsSelect(*r);
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kScalarSubquery);
+  ASSERT_TRUE(s.from.has_value());
+  EXPECT_TRUE(s.from->IsDerived());
+  EXPECT_EQ(s.from->alias, "d");
+}
+
+TEST(ParserTest, CreateVariants) {
+  auto ctas = ParseStatement("CREATE TEMP TABLE t AS SELECT 1");
+  ASSERT_TRUE(ctas.ok());
+  const auto& c1 = std::get<CreateTableStmt>(*ctas);
+  EXPECT_TRUE(c1.temporary);
+  EXPECT_NE(c1.as_select, nullptr);
+
+  auto paren = ParseStatement("CREATE TEMP TABLE t (SELECT a FROM x)");
+  ASSERT_TRUE(paren.ok());
+  EXPECT_NE(std::get<CreateTableStmt>(*paren).as_select, nullptr);
+
+  auto ddl = ParseStatement("CREATE TABLE t (a INT, b FLOAT, c TEXT, d BOOL, "
+                            "e BLOB, f DATE)");
+  ASSERT_TRUE(ddl.ok());
+  const auto& c2 = std::get<CreateTableStmt>(*ddl);
+  ASSERT_EQ(c2.columns.size(), 6u);
+  EXPECT_EQ(c2.columns[0].type, DataType::kInt64);
+  EXPECT_EQ(c2.columns[1].type, DataType::kFloat64);
+  EXPECT_EQ(c2.columns[2].type, DataType::kString);
+  EXPECT_EQ(c2.columns[3].type, DataType::kBool);
+  EXPECT_EQ(c2.columns[4].type, DataType::kBlob);
+  EXPECT_EQ(c2.columns[5].type, DataType::kString);
+
+  auto view = ParseStatement("CREATE OR REPLACE VIEW v AS SELECT 1");
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(std::get<CreateTableStmt>(*view).is_view);
+  EXPECT_TRUE(std::get<CreateTableStmt>(*view).or_replace);
+
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t").ok());
+}
+
+TEST(ParserTest, DmlStatements) {
+  auto ins = ParseStatement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(ins.ok());
+  const auto& i = std::get<InsertStmt>(*ins);
+  EXPECT_EQ(i.columns.size(), 2u);
+  EXPECT_EQ(i.rows.size(), 2u);
+
+  auto ins2 = ParseStatement("INSERT INTO t SELECT * FROM s");
+  ASSERT_TRUE(ins2.ok());
+  EXPECT_NE(std::get<InsertStmt>(*ins2).select, nullptr);
+
+  auto upd = ParseStatement("UPDATE t SET a = a + 1, b = 0 WHERE a < 5");
+  ASSERT_TRUE(upd.ok());
+  const auto& u = std::get<UpdateStmt>(*upd);
+  EXPECT_EQ(u.assignments.size(), 2u);
+  EXPECT_NE(u.where, nullptr);
+
+  auto del = ParseStatement("DELETE FROM t WHERE b = 'x'");
+  ASSERT_TRUE(del.ok());
+  EXPECT_NE(std::get<DeleteStmt>(*del).where, nullptr);
+
+  auto drop = ParseStatement("DROP TABLE IF EXISTS t");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_TRUE(std::get<DropStmt>(*drop).if_exists);
+}
+
+TEST(ParserTest, Script) {
+  auto r = ParseScript("SELECT 1; SELECT 2;; SELECT 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_FALSE(ParseScript("SELECT 1 SELECT 2").ok());
+}
+
+// ---- The paper's queries, verbatim modulo table names ----
+
+TEST(PaperQueriesTest, IntroductionQuery) {
+  EXPECT_TRUE(ParseStatement(R"sql(
+    SELECT patternID, transID
+    FROM FABRIC F, Video V
+    WHERE F.humidity > 80 and F.temperature > 30
+      and F.printdate > '2021-01-01' and F.printdate < '2021-1-31'
+      and F.transID = V.transID
+      and V.date > '2021-01-01' and V.date < '2021-1-31'
+      and nUDF_detect(V.keyframe) = FALSE)sql")
+                  .ok());
+}
+
+TEST(PaperQueriesTest, Q1ConvolutionJoin) {
+  EXPECT_TRUE(ParseStatement(R"sql(
+    CREATE TEMP TABLE Layer_Output(
+      SELECT MatrixID as TupleID, SUM(A.Value * B.Value) as Value
+      FROM FeatureMap A INNER JOIN Kernel B ON A.OrderID = B.OrderID
+      GROUP BY KernelID, MatrixID))sql")
+                  .ok());
+}
+
+TEST(PaperQueriesTest, Q2MappingView) {
+  EXPECT_TRUE(ParseStatement(R"sql(
+    CREATE View FeatureMap2 AS
+      SELECT MatrixID, OrderID, Value
+      FROM Layer_Output A, Kernel_Mapping B
+      WHERE A.TupleID = B.TupleID)sql")
+                  .ok());
+}
+
+TEST(PaperQueriesTest, Q3Pooling) {
+  EXPECT_TRUE(ParseStatement(R"sql(
+    CREATE TEMP TABLE Pooling_Output(
+      SELECT MatrixID as TupleID, MAX(A.Value) as Value
+      FROM FeatureMap A GROUP BY MatrixID))sql")
+                  .ok());
+}
+
+TEST(PaperQueriesTest, Q4BatchNormWithScalarSubqueries) {
+  EXPECT_TRUE(ParseStatement(R"sql(
+    CREATE TEMP TABLE feature_cbshortcut_conv_bn AS
+      SELECT MatrixID, OrderID,
+             ((Value - (SELECT AVG(Value) FROM feature_cbshortcut_conv)) /
+              ((SELECT stddevSamp(Value) FROM feature_cbshortcut_conv) +
+               0.00005)) as Value
+      FROM feature_cbshortcut_conv)sql")
+                  .ok());
+}
+
+TEST(PaperQueriesTest, Q5ResidualLinkAndReluUpdate) {
+  auto script = ParseScript(R"sql(
+    CREATE TEMP TABLE cb_output(
+      SELECT A.MatrixID, A.OrderID, A.Value + B.Value as Value
+      FROM feature_cbshortcut_conv_bn A, feature_cb3_conv_bn B
+      WHERE A.MatrixID = B.MatrixID);
+    UPDATE cb_output SET Value = 0 where Value < 0)sql");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->size(), 2u);
+}
+
+}  // namespace
+}  // namespace dl2sql::db::sql

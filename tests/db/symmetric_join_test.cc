@@ -1,0 +1,163 @@
+/// \file symmetric_join_test.cc
+/// \brief Symmetric hash join with bucket-LRU: exact-result property under
+/// every memory budget, eviction accounting, and batch-size sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "db/exec/symmetric_hash_join.h"
+
+namespace dl2sql::db {
+namespace {
+
+Table MakeKeyedTable(const std::vector<int64_t>& keys) {
+  TableSchema schema({{"k", DataType::kInt64}});
+  auto t = Table::FromColumns(schema, {Column::Ints(keys)});
+  return std::move(t).ValueOrDie();
+}
+
+/// Reference join: all (l, r) index pairs with equal keys.
+std::vector<std::pair<int64_t, int64_t>> ReferencePairs(
+    const std::vector<int64_t>& l, const std::vector<int64_t>& r) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (size_t i = 0; i < l.size(); ++i) {
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (l[i] == r[j]) out.emplace_back(i, j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> RunJoin(
+    const std::vector<int64_t>& l, const std::vector<int64_t>& r,
+    const SymmetricHashJoinOptions& opts,
+    SymmetricHashJoinStats* stats = nullptr) {
+  Table lt = MakeKeyedTable(l);
+  Table rt = MakeKeyedTable(r);
+  ExprPtr key = Expr::BoundCol(0, "k");
+  UdfRegistry udfs;
+  EvalContext ctx;
+  ctx.udfs = &udfs;
+  auto pairs = SymmetricHashJoinPairs(lt, rt, *key, *key, &ctx, opts, stats);
+  DL2SQL_CHECK(pairs.ok()) << pairs.status().ToString();
+  auto out = *pairs;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(SymmetricHashJoinTest, MatchesReferenceNoEviction) {
+  Rng rng(1);
+  std::vector<int64_t> l, r;
+  for (int i = 0; i < 200; ++i) l.push_back(rng.UniformInt(0, 20));
+  for (int i = 0; i < 150; ++i) r.push_back(rng.UniformInt(0, 20));
+  SymmetricHashJoinOptions opts;
+  opts.batch_size = 16;
+  EXPECT_EQ(RunJoin(l, r, opts), ReferencePairs(l, r));
+}
+
+/// The core property: any memory budget must still produce the exact join
+/// (evictions recovered by the cleanup phase).
+class BudgetSweepTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BudgetSweepTest, ExactUnderEviction) {
+  Rng rng(GetParam() + 7);
+  std::vector<int64_t> l, r;
+  for (int i = 0; i < 300; ++i) l.push_back(rng.UniformInt(0, 15));
+  for (int i = 0; i < 250; ++i) r.push_back(rng.UniformInt(0, 15));
+  SymmetricHashJoinOptions opts;
+  opts.batch_size = 8;
+  opts.memory_budget_tuples = GetParam();
+  SymmetricHashJoinStats stats;
+  EXPECT_EQ(RunJoin(l, r, opts, &stats), ReferencePairs(l, r))
+      << "budget=" << GetParam();
+  if (GetParam() > 0 && GetParam() < 100) {
+    EXPECT_GT(stats.evicted_tuples, 0);
+    EXPECT_GT(stats.cleanup_pairs, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweepTest,
+                         ::testing::Values(0, 8, 16, 32, 64, 128, 10000));
+
+class BatchSweepTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BatchSweepTest, BatchSizeDoesNotChangeResult) {
+  Rng rng(3);
+  std::vector<int64_t> l, r;
+  for (int i = 0; i < 120; ++i) l.push_back(rng.UniformInt(0, 9));
+  for (int i = 0; i < 77; ++i) r.push_back(rng.UniformInt(0, 9));
+  SymmetricHashJoinOptions opts;
+  opts.batch_size = GetParam();
+  EXPECT_EQ(RunJoin(l, r, opts), ReferencePairs(l, r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweepTest,
+                         ::testing::Values(1, 3, 17, 64, 1000));
+
+TEST(SymmetricHashJoinTest, EmptyInputs) {
+  SymmetricHashJoinOptions opts;
+  EXPECT_TRUE(RunJoin({}, {}, opts).empty());
+  EXPECT_TRUE(RunJoin({1, 2}, {}, opts).empty());
+  EXPECT_TRUE(RunJoin({}, {1, 2}, opts).empty());
+}
+
+TEST(SymmetricHashJoinTest, NullKeysNeverJoin) {
+  TableSchema schema({{"k", DataType::kInt64}});
+  Table lt{schema}, rt{schema};
+  ASSERT_TRUE(lt.AppendRow({Value::Int(1)}).ok());
+  ASSERT_TRUE(lt.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(rt.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(rt.AppendRow({Value::Int(1)}).ok());
+  ExprPtr key = Expr::BoundCol(0, "k");
+  UdfRegistry udfs;
+  EvalContext ctx;
+  ctx.udfs = &udfs;
+  auto pairs = SymmetricHashJoinPairs(lt, rt, *key, *key, &ctx, {});
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0], (std::pair<int64_t, int64_t>{0, 1}));
+}
+
+TEST(SymmetricHashJoinTest, InvalidBatchSizeRejected) {
+  SymmetricHashJoinOptions opts;
+  opts.batch_size = 0;
+  Table t = MakeKeyedTable({1});
+  ExprPtr key = Expr::BoundCol(0, "k");
+  UdfRegistry udfs;
+  EvalContext ctx;
+  ctx.udfs = &udfs;
+  EXPECT_FALSE(SymmetricHashJoinPairs(t, t, *key, *key, &ctx, opts).ok());
+}
+
+TEST(SymmetricHashJoinTest, ExpressionKeys) {
+  // Join on k % 5 from both sides.
+  Rng rng(5);
+  std::vector<int64_t> l, r;
+  for (int i = 0; i < 60; ++i) l.push_back(rng.UniformInt(0, 100));
+  for (int i = 0; i < 40; ++i) r.push_back(rng.UniformInt(0, 100));
+  Table lt = MakeKeyedTable(l);
+  Table rt = MakeKeyedTable(r);
+  auto key = Expr::Binary(BinaryOp::kMod, Expr::BoundCol(0, "k"),
+                          Expr::Lit(Value::Int(5)));
+  UdfRegistry udfs;
+  EvalContext ctx;
+  ctx.udfs = &udfs;
+  auto pairs = SymmetricHashJoinPairs(lt, rt, *key, *key, &ctx, {});
+  ASSERT_TRUE(pairs.ok());
+  std::vector<std::pair<int64_t, int64_t>> expected;
+  for (size_t i = 0; i < l.size(); ++i) {
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (l[i] % 5 == r[j] % 5) expected.emplace_back(i, j);
+    }
+  }
+  auto got = *pairs;
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace dl2sql::db

@@ -1,0 +1,224 @@
+/// \file engine_ablation_test.cc
+/// \brief Behavioural properties of the three strategies beyond result
+/// equivalence: selectivity (in)sensitivity, device profiles, pre-join
+/// equivalence through the engine, deploy caching, and boundary accounting.
+#include <gtest/gtest.h>
+
+#include "workload/testbed.h"
+
+namespace dl2sql::workload {
+namespace {
+
+using engines::CollaborativeEngine;
+using engines::QueryCost;
+
+TestbedOptions SmallOptions() {
+  TestbedOptions options;
+  options.dataset.video_rows = 400;
+  options.dataset.keyframe_size = 8;
+  options.dataset.seed = 31;
+  options.model_base_channels = 2;
+  options.histogram_samples = 16;
+  return options;
+}
+
+TEST(EngineAblation, UdfInsensitiveToSelectivityOpSensitive) {
+  auto tb = Testbed::Create(SmallOptions());
+  ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+  // DB-UDF infers on every scanned keyframe: its nUDF call count does not
+  // change with the fabric predicates' selectivity. DL2SQL-OP's does —
+  // Table V's observation.
+  QueryParams lo, hi;
+  lo.selectivity = 0.01;
+  hi.selectivity = 0.5;
+
+  auto& udf_db = (*tb)->udf()->database();
+  udf_db.reset_neural_calls();
+  QueryCost c;
+  ASSERT_TRUE((*tb)->udf()->ExecuteCollaborative(MakeType3Query(lo), &c).ok());
+  const int64_t udf_lo = udf_db.neural_calls();
+  udf_db.reset_neural_calls();
+  ASSERT_TRUE((*tb)->udf()->ExecuteCollaborative(MakeType3Query(hi), &c).ok());
+  const int64_t udf_hi = udf_db.neural_calls();
+  EXPECT_EQ(udf_lo, udf_hi);
+
+  auto& op_db = (*tb)->dl2sql_op()->database();
+  op_db.reset_neural_calls();
+  ASSERT_TRUE(
+      (*tb)->dl2sql_op()->ExecuteCollaborative(MakeType3Query(lo), &c).ok());
+  const int64_t op_lo = op_db.neural_calls();
+  op_db.reset_neural_calls();
+  ASSERT_TRUE(
+      (*tb)->dl2sql_op()->ExecuteCollaborative(MakeType3Query(hi), &c).ok());
+  const int64_t op_hi = op_db.neural_calls();
+  EXPECT_LT(op_lo, op_hi);
+  EXPECT_LT(op_hi, udf_hi);
+}
+
+TEST(EngineAblation, GpuProfileShiftsCostsAsInFig8) {
+  TestbedOptions cpu_opts = SmallOptions();
+  cpu_opts.device = DeviceKind::kServerCpu;
+  TestbedOptions gpu_opts = SmallOptions();
+  gpu_opts.device = DeviceKind::kServerGpu;
+  auto cpu = Testbed::Create(cpu_opts);
+  auto gpu = Testbed::Create(gpu_opts);
+  ASSERT_TRUE(cpu.ok() && gpu.ok());
+
+  QueryParams p;
+  p.selectivity = 0.2;
+  const std::string sql = MakeType3Query(p);
+
+  QueryCost cpu_udf, gpu_udf;
+  ASSERT_TRUE((*cpu)->udf()->ExecuteCollaborative(sql, &cpu_udf).ok());
+  ASSERT_TRUE((*gpu)->udf()->ExecuteCollaborative(sql, &gpu_udf).ok());
+  // The GPU cuts the UDF's inference share but inflates its loading share
+  // (per-call transfers), Fig. 8's DB-UDF anomaly.
+  EXPECT_LT(gpu_udf.inference_seconds, cpu_udf.inference_seconds + 1e-9);
+  EXPECT_GT(gpu_udf.loading_seconds, cpu_udf.loading_seconds);
+}
+
+TEST(EngineAblation, EdgeSlowerThanServer) {
+  TestbedOptions edge_opts = SmallOptions();
+  TestbedOptions server_opts = SmallOptions();
+  server_opts.device = DeviceKind::kServerCpu;
+  auto edge = Testbed::Create(edge_opts);
+  auto server = Testbed::Create(server_opts);
+  ASSERT_TRUE(edge.ok() && server.ok());
+  QueryParams p;
+  p.selectivity = 0.2;
+  const std::string sql = MakeType3Query(p);
+  QueryCost ce, cs;
+  ASSERT_TRUE((*edge)->dl2sql_op()->ExecuteCollaborative(sql, &ce).ok());
+  ASSERT_TRUE((*server)->dl2sql_op()->ExecuteCollaborative(sql, &cs).ok());
+  EXPECT_LT(cs.Total(), ce.Total());
+}
+
+TEST(EngineAblation, CachedDeploymentSkipsLoading) {
+  auto device = Device::Create(DeviceKind::kEdgeCpu);
+  engines::Dl2SqlEngine::Options cached;
+  cached.enable_optimizer_hints = true;
+  cached.redeploy_per_query = false;
+  engines::Dl2SqlEngine engine(device, cached);
+
+  db::Database master;
+  DatasetOptions d;
+  d.video_rows = 200;
+  d.keyframe_size = 8;
+  ASSERT_TRUE(PopulateDatabase(&master, d).ok());
+  ASSERT_TRUE(engine.AttachTablesFrom(master).ok());
+
+  TestbedOptions opts = SmallOptions();
+  nn::Model model = BuildRepositoryModel(opts, 2, 5);
+  engines::ModelDeployment dep;
+  dep.udf_name = "nUDF_detect";
+  dep.output = engines::NUdfOutput::kBool;
+  auto sel = engines::LearnSelectivityHistogram(
+      model, engines::NUdfOutput::kBool, device.get(), 8, 3);
+  ASSERT_TRUE(sel.ok());
+  dep.selectivity = *sel;
+  ASSERT_TRUE(engine.DeployModel(model, dep).ok());
+
+  QueryParams p;
+  p.selectivity = 0.3;
+  QueryCost first, second;
+  ASSERT_TRUE(
+      engine.ExecuteCollaborative(MakeType3Query(p), &first).ok());
+  ASSERT_TRUE(
+      engine.ExecuteCollaborative(MakeType3Query(p), &second).ok());
+  // With cached deployment the conversion cost is paid once at DeployModel,
+  // so per-query loading stays minimal and stable.
+  EXPECT_LT(second.loading_seconds, 0.05);
+}
+
+TEST(EngineAblation, PreJoinStrategiesAgreeThroughEngine) {
+  auto device = Device::Create(DeviceKind::kEdgeCpu);
+  db::Database master;
+  DatasetOptions d;
+  d.video_rows = 200;
+  d.keyframe_size = 8;
+  d.seed = 77;
+  ASSERT_TRUE(PopulateDatabase(&master, d).ok());
+
+  TestbedOptions opts = SmallOptions();
+  nn::Model model = BuildRepositoryModel(opts, 2, 5);
+  auto sel = engines::LearnSelectivityHistogram(
+      model, engines::NUdfOutput::kBool, device.get(), 8, 3);
+  ASSERT_TRUE(sel.ok());
+
+  QueryParams p;
+  p.selectivity = 0.3;
+  const std::string sql = MakeType3Query(p);
+
+  std::vector<std::string> results;
+  for (auto strategy :
+       {core::PreJoinStrategy::kNone, core::PreJoinStrategy::kPreJoinMapping,
+        core::PreJoinStrategy::kPreJoinFull}) {
+    engines::Dl2SqlEngine::Options o;
+    o.enable_optimizer_hints = true;
+    o.convert.prejoin = strategy;
+    engines::Dl2SqlEngine engine(device, o);
+    ASSERT_TRUE(engine.AttachTablesFrom(master).ok());
+    engines::ModelDeployment dep;
+    dep.udf_name = "nUDF_detect";
+    dep.output = engines::NUdfOutput::kBool;
+    dep.selectivity = *sel;
+    ASSERT_TRUE(engine.DeployModel(model, dep).ok());
+    QueryCost c;
+    auto r = engine.ExecuteCollaborative(sql, &c);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    results.push_back(r->ToString(1000));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(EngineAblation, IndependentBoundaryScalesWithData) {
+  // Doubling the boundary latency must increase the loading cost.
+  auto tb = Testbed::Create(SmallOptions());
+  ASSERT_TRUE(tb.ok());
+  QueryParams p;
+  p.selectivity = 0.2;
+  const std::string sql = MakeType3Query(p);
+  QueryCost before;
+  ASSERT_TRUE((*tb)->independent()->ExecuteCollaborative(sql, &before).ok());
+  (*tb)->independent()->boundary().latency_s *= 100;
+  (*tb)->independent()->boundary().bandwidth_bytes_per_s /= 100;
+  QueryCost after;
+  ASSERT_TRUE((*tb)->independent()->ExecuteCollaborative(sql, &after).ok());
+  EXPECT_GT(after.loading_seconds, before.loading_seconds);
+}
+
+TEST(EngineAblation, NUdfOnWrongArgumentTypeFails) {
+  auto tb = Testbed::Create(SmallOptions());
+  ASSERT_TRUE(tb.ok());
+  // Passing a numeric column to the nUDF must fail cleanly, not crash.
+  QueryCost c;
+  auto r = (*tb)->udf()->ExecuteCollaborative(
+      "SELECT count(*) FROM video V WHERE nUDF_detect(V.transID) = TRUE", &c);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EngineAblation, TwoUdfOrderingPrunesSecondModel) {
+  // The hint rules order detect (selective) before classify; the classify
+  // model then sees only the survivors.
+  auto tb = Testbed::Create(SmallOptions());
+  ASSERT_TRUE(tb.ok());
+  QueryParams p;
+  p.selectivity = 0.5;
+  auto& op_db = (*tb)->dl2sql_op()->database();
+  op_db.reset_neural_calls();
+  QueryCost c;
+  ASSERT_TRUE(
+      (*tb)->dl2sql_op()->ExecuteCollaborative(MakeTwoUdfQuery(p), &c).ok());
+  const int64_t op_calls = op_db.neural_calls();
+
+  auto& plain_db = (*tb)->dl2sql()->database();
+  plain_db.reset_neural_calls();
+  ASSERT_TRUE(
+      (*tb)->dl2sql()->ExecuteCollaborative(MakeTwoUdfQuery(p), &c).ok());
+  const int64_t plain_calls = plain_db.neural_calls();
+  EXPECT_LT(op_calls, plain_calls);
+}
+
+}  // namespace
+}  // namespace dl2sql::workload

@@ -1,0 +1,175 @@
+/// \file engines_test.cc
+/// \brief Cross-strategy equivalence: DB-PyTorch, DB-UDF, DL2SQL and
+/// DL2SQL-OP must produce identical answers for every collaborative query
+/// type — they differ only in *where* the work happens.
+#include <gtest/gtest.h>
+
+#include "workload/testbed.h"
+
+namespace dl2sql::workload {
+namespace {
+
+using engines::CollaborativeEngine;
+using engines::QueryCost;
+
+class EnginesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TestbedOptions options;
+    options.dataset.video_rows = 300;
+    options.dataset.keyframe_size = 8;
+    options.dataset.seed = 99;
+    options.model_base_channels = 2;
+    options.histogram_samples = 16;
+    auto tb = Testbed::Create(options);
+    ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+    testbed_ = std::move(tb).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete testbed_;
+    testbed_ = nullptr;
+  }
+
+  /// Canonical multiset rendering of a result table (row order-insensitive).
+  static std::vector<std::string> Canonical(const db::Table& t) {
+    std::vector<std::string> rows;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      std::string row;
+      for (int c = 0; c < t.num_columns(); ++c) {
+        const db::Value v = t.column(c).GetValue(r);
+        if (v.type() == db::DataType::kFloat64) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.6g", v.float_value());
+          row += buf;
+        } else {
+          row += v.ToString();
+        }
+        row += "|";
+      }
+      rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  void ExpectAllEnginesAgree(const std::string& sql) {
+    std::vector<std::vector<std::string>> results;
+    std::vector<std::string> names;
+    for (CollaborativeEngine* e : testbed_->AllEngines()) {
+      QueryCost cost;
+      auto r = e->ExecuteCollaborative(sql, &cost);
+      ASSERT_TRUE(r.ok()) << e->name() << ": " << r.status().ToString()
+                          << "\nSQL: " << sql;
+      results.push_back(Canonical(*r));
+      names.push_back(e->name());
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[0], results[i])
+          << names[0] << " vs " << names[i] << " differ on:\n"
+          << sql;
+    }
+  }
+
+  static Testbed* testbed_;
+};
+
+Testbed* EnginesTest::testbed_ = nullptr;
+
+TEST_F(EnginesTest, Type1Agree) {
+  QueryParams p;
+  p.selectivity = 0.05;
+  ExpectAllEnginesAgree(MakeType1Query(p));
+}
+
+TEST_F(EnginesTest, Type2Agree) {
+  QueryParams p;
+  p.selectivity = 0.05;
+  ExpectAllEnginesAgree(MakeType2Query(p));
+}
+
+TEST_F(EnginesTest, Type3Agree) {
+  QueryParams p;
+  p.selectivity = 0.05;
+  ExpectAllEnginesAgree(MakeType3Query(p));
+}
+
+TEST_F(EnginesTest, Type4Agree) {
+  QueryParams p;
+  p.selectivity = 0.05;
+  ExpectAllEnginesAgree(MakeType4Query(p));
+}
+
+TEST_F(EnginesTest, Type4EqualityAgree) {
+  QueryParams p;
+  p.selectivity = 0.05;
+  ExpectAllEnginesAgree(MakeType4EqualityQuery(p));
+}
+
+TEST_F(EnginesTest, TwoUdfQueryAgree) {
+  QueryParams p;
+  p.selectivity = 0.1;
+  ExpectAllEnginesAgree(MakeTwoUdfQuery(p));
+}
+
+TEST_F(EnginesTest, CostBreakdownIsPopulated) {
+  QueryParams p;
+  p.selectivity = 0.05;
+  for (CollaborativeEngine* e : testbed_->AllEngines()) {
+    QueryCost cost;
+    auto r = e->ExecuteCollaborative(MakeType3Query(p), &cost);
+    ASSERT_TRUE(r.ok()) << e->name();
+    EXPECT_GT(cost.Total(), 0.0) << e->name();
+    EXPECT_GE(cost.inference_seconds, 0.0) << e->name();
+    EXPECT_GE(cost.loading_seconds, 0.0) << e->name();
+    EXPECT_GE(cost.relational_seconds, 0.0) << e->name();
+  }
+}
+
+TEST_F(EnginesTest, HintsPruneInference) {
+  // At a selective relational predicate, DL2SQL-OP should delay the nUDF and
+  // evaluate it on far fewer rows than plain DL2SQL (which pushes it to the
+  // scan).
+  QueryParams p;
+  p.selectivity = 0.02;
+  const std::string sql = MakeType3Query(p);
+
+  testbed_->dl2sql()->database().reset_neural_calls();
+  QueryCost c1;
+  ASSERT_TRUE(testbed_->dl2sql()->ExecuteCollaborative(sql, &c1).ok());
+  const int64_t plain_calls = testbed_->dl2sql()->database().neural_calls();
+
+  testbed_->dl2sql_op()->database().reset_neural_calls();
+  QueryCost c2;
+  ASSERT_TRUE(testbed_->dl2sql_op()->ExecuteCollaborative(sql, &c2).ok());
+  const int64_t op_calls = testbed_->dl2sql_op()->database().neural_calls();
+
+  EXPECT_LT(op_calls, plain_calls)
+      << "hints should prune nUDF invocations (plain=" << plain_calls
+      << ", op=" << op_calls << ")";
+}
+
+TEST_F(EnginesTest, SymmetricHashJoinKicksIn) {
+  QueryParams p;
+  p.selectivity = 0.05;
+  const std::string sql = MakeType4EqualityQuery(p);
+  const int64_t before =
+      testbed_->dl2sql_op()->database().symmetric_joins_executed();
+  QueryCost cost;
+  ASSERT_TRUE(testbed_->dl2sql_op()->ExecuteCollaborative(sql, &cost).ok());
+  const int64_t after =
+      testbed_->dl2sql_op()->database().symmetric_joins_executed();
+  EXPECT_GT(after, before) << "hint rule 3 should pick the symmetric join";
+}
+
+TEST_F(EnginesTest, StorageAccounting) {
+  auto script = testbed_->independent()->ScriptBytes("nUDF_detect");
+  auto blob = testbed_->udf()->CompiledBlobBytes("nUDF_detect");
+  auto relational = testbed_->dl2sql()->RelationalStorageBytes("nUDF_detect");
+  ASSERT_TRUE(script.ok() && blob.ok() && relational.ok());
+  // Table IV's ordering: DL2SQL > DB-PyTorch (script) > DB-UDF (blob).
+  EXPECT_GT(*script, *blob);
+  EXPECT_GT(*relational, *script);
+}
+
+}  // namespace
+}  // namespace dl2sql::workload

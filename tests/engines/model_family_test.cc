@@ -1,0 +1,143 @@
+/// \file model_family_test.cc
+/// \brief Conditional model families (Type 3 model selection): variant
+/// routing, engine agreement (DB-UDF vs DL2SQL-OP), and the documented
+/// limitation of independent processing.
+#include <gtest/gtest.h>
+
+#include "workload/testbed.h"
+
+namespace dl2sql::workload {
+namespace {
+
+using engines::ModelFamilyDeployment;
+using engines::NUdfOutput;
+using engines::QueryCost;
+
+ModelFamilyDeployment MakeFamily(const TestbedOptions& opts, Device* device) {
+  ModelFamilyDeployment family;
+  family.udf_name = "nUDF_detect_cond";
+  family.output = NUdfOutput::kBool;
+  // Most-specific first: harsh conditions, humid conditions, catch-all.
+  const std::tuple<double, double, uint64_t> kVariants[] = {
+      {80.0, 30.0, 101}, {50.0, 0.0, 102}, {0.0, 0.0, 103}};
+  for (const auto& [humidity, temperature, seed] : kVariants) {
+    ModelFamilyDeployment::Variant v;
+    v.humidity_min = humidity;
+    v.temperature_min = temperature;
+    v.model = BuildRepositoryModel(opts, 2, seed);
+    auto sel = engines::LearnSelectivityHistogram(
+        v.model, NUdfOutput::kBool, device, 12, seed);
+    DL2SQL_CHECK(sel.ok());
+    v.selectivity = *sel;
+    family.variants.push_back(std::move(v));
+  }
+  return family;
+}
+
+TEST(ModelFamilyTest, SelectRoutesByCondition) {
+  TestbedOptions opts;
+  opts.dataset.keyframe_size = 8;
+  opts.model_base_channels = 2;
+  auto device = Device::Create(DeviceKind::kEdgeCpu);
+  ModelFamilyDeployment family = MakeFamily(opts, device.get());
+  EXPECT_EQ(family.Select(85.0, 35.0), 0u);  // harsh: humid and hot
+  EXPECT_EQ(family.Select(85.0, 10.0), 1u);  // humid only
+  EXPECT_EQ(family.Select(60.0, 35.0), 1u);
+  EXPECT_EQ(family.Select(10.0, 10.0), 2u);  // catch-all
+}
+
+TEST(ModelFamilyTest, MergedSelectivityPoolsHistograms) {
+  TestbedOptions opts;
+  opts.dataset.keyframe_size = 8;
+  opts.model_base_channels = 2;
+  auto device = Device::Create(DeviceKind::kEdgeCpu);
+  ModelFamilyDeployment family = MakeFamily(opts, device.get());
+  EXPECT_EQ(family.MergedSelectivity().TotalCount(), 3 * 12);
+}
+
+class ModelFamilyEngines : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TestbedOptions options;
+    options.dataset.video_rows = 300;
+    options.dataset.keyframe_size = 8;
+    options.dataset.seed = 71;
+    options.model_base_channels = 2;
+    options.histogram_samples = 12;
+    auto tb = Testbed::Create(options);
+    ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+    testbed_ = std::move(tb).ValueOrDie().release();
+
+    auto family = MakeFamily(options, testbed_->device());
+    ASSERT_TRUE(testbed_->udf()->DeployModelFamily(family).ok());
+    ASSERT_TRUE(testbed_->dl2sql()->DeployModelFamily(family).ok());
+    ASSERT_TRUE(testbed_->dl2sql_op()->DeployModelFamily(family).ok());
+  }
+  static void TearDownTestSuite() {
+    delete testbed_;
+    testbed_ = nullptr;
+  }
+  static Testbed* testbed_;
+};
+
+Testbed* ModelFamilyEngines::testbed_ = nullptr;
+
+TEST_F(ModelFamilyEngines, UdfAndDl2SqlAgree) {
+  QueryParams p;
+  p.selectivity = 0.3;
+  const std::string sql = MakeType3ModelSelectionQuery(p);
+  QueryCost c1, c2, c3;
+  auto udf = testbed_->udf()->ExecuteCollaborative(sql, &c1);
+  auto tight = testbed_->dl2sql()->ExecuteCollaborative(sql, &c2);
+  auto tight_op = testbed_->dl2sql_op()->ExecuteCollaborative(sql, &c3);
+  ASSERT_TRUE(udf.ok()) << udf.status().ToString();
+  ASSERT_TRUE(tight.ok()) << tight.status().ToString();
+  ASSERT_TRUE(tight_op.ok()) << tight_op.status().ToString();
+  EXPECT_EQ(udf->ToString(1000), tight->ToString(1000));
+  EXPECT_EQ(udf->ToString(1000), tight_op->ToString(1000));
+}
+
+TEST_F(ModelFamilyEngines, FamilyPredicateIsInherentlyDelayed) {
+  // The family call references columns from BOTH relations (keyframe from V,
+  // conditions from F), so it cannot be pushed below the join even without
+  // hints: both engine modes evaluate it only on join survivors. This is the
+  // structural reason Type 3 queries "depend on Q_db" in Table I.
+  QueryParams p;
+  p.selectivity = 0.05;
+  const std::string sql = MakeType3ModelSelectionQuery(p);
+  testbed_->dl2sql()->database().reset_neural_calls();
+  QueryCost c;
+  ASSERT_TRUE(testbed_->dl2sql()->ExecuteCollaborative(sql, &c).ok());
+  const int64_t plain = testbed_->dl2sql()->database().neural_calls();
+  testbed_->dl2sql_op()->database().reset_neural_calls();
+  ASSERT_TRUE(testbed_->dl2sql_op()->ExecuteCollaborative(sql, &c).ok());
+  const int64_t hinted = testbed_->dl2sql_op()->database().neural_calls();
+  EXPECT_EQ(hinted, plain);
+  // Far fewer calls than keyframes in the table: the join pruned first.
+  EXPECT_LT(plain, 300);
+  EXPECT_GT(plain, 0);
+}
+
+TEST_F(ModelFamilyEngines, IndependentProcessingDeclines) {
+  TestbedOptions opts;
+  opts.dataset.keyframe_size = 8;
+  opts.model_base_channels = 2;
+  auto family = MakeFamily(opts, testbed_->device());
+  // Table III: the independent strategy needs hand-crafted per-query
+  // coordination; generic conditional model selection is not supported.
+  EXPECT_TRUE(testbed_->independent()
+                  ->DeployModelFamily(family)
+                  .IsNotImplemented());
+}
+
+TEST_F(ModelFamilyEngines, WrongArityRejected) {
+  QueryCost c;
+  auto r = testbed_->udf()->ExecuteCollaborative(
+      "SELECT count(*) FROM video V WHERE nUDF_detect_cond(V.keyframe) = "
+      "TRUE",
+      &c);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace dl2sql::workload

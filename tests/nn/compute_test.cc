@@ -1,0 +1,111 @@
+/// \file compute_test.cc
+/// \brief Kernel-level properties: ParallelMatMul thread-count invariance and
+/// the conv/deconv adjoint identity <Conv(x), y> == <x, Deconv(y)>.
+#include <gtest/gtest.h>
+
+#include "nn/compute.h"
+
+namespace dl2sql::nn {
+namespace {
+
+TEST(ParallelMatMulTest, MatchesSerialAcrossShapes) {
+  auto parallel = Device::Create(DeviceKind::kServerCpu);
+  Rng rng(1);
+  // Include m > 1024 so the thread pool actually splits the row loop.
+  const std::pair<int64_t, int64_t> shapes[] = {
+      {3, 4}, {64, 64}, {1500, 32}, {2048, 8}};
+  for (const auto& [m, k] : shapes) {
+    Tensor a = Tensor::Random(Shape({m, k}), &rng, 1.0f);
+    Tensor b = Tensor::Random(Shape({k, m / 2 + 1}), &rng, 1.0f);
+    auto serial = MatMul(a, b);
+    auto par = ParallelMatMul(a, b, parallel.get());
+    ASSERT_TRUE(serial.ok() && par.ok());
+    EXPECT_LT(*MaxAbsDiff(*serial, *par), 1e-4) << m << "x" << k;
+  }
+}
+
+TEST(ParallelMatMulTest, NullDeviceRunsInline) {
+  Rng rng(2);
+  Tensor a = Tensor::Random(Shape({8, 8}), &rng);
+  Tensor b = Tensor::Random(Shape({8, 8}), &rng);
+  auto r = ParallelMatMul(a, b, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*MaxAbsDiff(*MatMul(a, b), *r), 0.0);
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  double acc = 0;
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    acc += static_cast<double>(a.at(i)) * static_cast<double>(b.at(i));
+  }
+  return acc;
+}
+
+struct AdjointCase {
+  int64_t in_c, out_c, size, k, stride, pad;
+};
+
+class ConvDeconvAdjointTest : public ::testing::TestWithParam<AdjointCase> {};
+
+TEST_P(ConvDeconvAdjointTest, InnerProductIdentity) {
+  // <Conv(x; W), y> == <x, Deconv(y; W^T)> where W^T swaps the channel axes.
+  // This is an independent check of both kernels: any indexing or padding
+  // bug breaks the identity for random x, y.
+  const AdjointCase p = GetParam();
+  // Geometry must divide exactly so deconv's output shape matches x.
+  ASSERT_EQ((p.size + 2 * p.pad - p.k) % p.stride, 0);
+  Rng rng(p.k * 17 + p.stride);
+  auto device = Device::Create(DeviceKind::kEdgeCpu);
+
+  Tensor x = Tensor::Random(Shape({p.in_c, p.size, p.size}), &rng, 1.0f);
+  Tensor w = Tensor::Random(Shape({p.out_c, p.in_c, p.k, p.k}), &rng, 1.0f);
+  auto conv = Conv2dForward(x, w, nullptr, p.stride, p.pad, device.get());
+  ASSERT_TRUE(conv.ok()) << conv.status().ToString();
+  Tensor y = Tensor::Random(conv->shape(), &rng, 1.0f);
+
+  // W^T: [in_c, out_c, k, k] with weights transposed across channel axes.
+  Tensor wt(Shape({p.in_c, p.out_c, p.k, p.k}));
+  for (int64_t o = 0; o < p.out_c; ++o) {
+    for (int64_t i = 0; i < p.in_c; ++i) {
+      for (int64_t a = 0; a < p.k; ++a) {
+        for (int64_t b = 0; b < p.k; ++b) {
+          wt.at((((i * p.out_c) + o) * p.k + a) * p.k + b) =
+              w.at((((o * p.in_c) + i) * p.k + a) * p.k + b);
+        }
+      }
+    }
+  }
+  auto deconv = Deconv2dForward(y, wt, nullptr, p.stride, p.pad);
+  ASSERT_TRUE(deconv.ok()) << deconv.status().ToString();
+  ASSERT_EQ(deconv->shape(), x.shape());
+
+  const double lhs = Dot(*conv, y);
+  const double rhs = Dot(x, *deconv);
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (std::abs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvDeconvAdjointTest,
+    ::testing::Values(AdjointCase{1, 1, 5, 3, 1, 0},
+                      AdjointCase{2, 3, 7, 3, 2, 0},
+                      AdjointCase{3, 2, 6, 3, 1, 1},
+                      AdjointCase{2, 4, 9, 5, 2, 0},
+                      AdjointCase{4, 1, 8, 1, 1, 0}));
+
+TEST(SoftmaxTest, TwoDimensionalRows) {
+  Tensor a(Shape({2, 3}), {1, 2, 3, -1, 0, 1});
+  auto s = Softmax(a);
+  ASSERT_TRUE(s.ok());
+  for (int64_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 3; ++c) sum += s->at2(r, c);
+    EXPECT_NEAR(sum, 1.f, 1e-6);
+  }
+  // Both rows have the same relative offsets, so equal distributions.
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(s->at2(0, c), s->at2(1, c), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace dl2sql::nn

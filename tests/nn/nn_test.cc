@@ -1,0 +1,327 @@
+/// \file nn_test.cc
+/// \brief minidl tests: layer math against references, shape inference,
+/// composite blocks, model builders and serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/builders.h"
+#include "nn/serialize.h"
+
+namespace dl2sql::nn {
+namespace {
+
+std::shared_ptr<Device> EdgeDevice() {
+  static std::shared_ptr<Device> d = Device::Create(DeviceKind::kEdgeCpu);
+  return d;
+}
+
+TEST(LayersTest, ConvOutputShape) {
+  Rng rng(1);
+  Conv2d conv("c", 3, 8, 3, 2, 1, &rng);
+  auto s = conv.OutputShape(Shape({3, 16, 16}));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, Shape({8, 8, 8}));
+  EXPECT_FALSE(conv.OutputShape(Shape({4, 16, 16})).ok());  // wrong channels
+  EXPECT_FALSE(conv.OutputShape(Shape({16, 16})).ok());     // not CHW
+  EXPECT_EQ(conv.NumParameters(), 8 * 3 * 3 * 3 + 8);
+}
+
+TEST(LayersTest, ConvIdentityKernel) {
+  // A 1x1 conv with weight=1, bias=0 is identity per channel.
+  Tensor w(Shape({1, 1, 1, 1}), {1.f});
+  Conv2d conv("c", w, std::nullopt, 1, 0);
+  Rng rng(2);
+  Tensor in = Tensor::Random(Shape({1, 4, 4}), &rng);
+  auto out = conv.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(*MaxAbsDiff(in, *out), 0.0);
+}
+
+TEST(LayersTest, BatchNormMath) {
+  // y = gamma * (x - mean)/sqrt(var+eps) + beta, per channel.
+  Tensor gamma(Shape({2}), {2.f, 1.f});
+  Tensor beta(Shape({2}), {1.f, 0.f});
+  Tensor mean(Shape({2}), {0.5f, -1.f});
+  Tensor var(Shape({2}), {4.f, 1.f});
+  BatchNorm bn("bn", gamma, beta, mean, var, 0.f);
+  Tensor in(Shape({2, 1, 1}), {2.5f, 0.f});
+  auto out = bn.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->at(0), 2.f * (2.5f - 0.5f) / 2.f + 1.f, 1e-5);
+  EXPECT_NEAR(out->at(1), (0.f + 1.f) / 1.f, 1e-5);
+}
+
+TEST(LayersTest, IdentityBatchNormIsNoOp) {
+  BatchNorm bn("bn", 3);
+  Rng rng(3);
+  Tensor in = Tensor::Random(Shape({3, 4, 4}), &rng);
+  auto out = bn.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(*MaxAbsDiff(in, *out), 1e-4);
+}
+
+TEST(LayersTest, InstanceNormNormalizes) {
+  InstanceNorm inorm("in", 2);
+  Rng rng(4);
+  Tensor in = Tensor::Random(Shape({2, 8, 8}), &rng, 3.0f);
+  auto out = inorm.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  // Each channel of the output has ~zero mean, ~unit variance.
+  for (int64_t c = 0; c < 2; ++c) {
+    double sum = 0, sq = 0;
+    for (int64_t i = 0; i < 64; ++i) {
+      const float v = out->at(c * 64 + i);
+      sum += v;
+      sq += v * v;
+    }
+    EXPECT_NEAR(sum / 64, 0.0, 1e-3);
+    EXPECT_NEAR(sq / 64, 1.0, 1e-2);
+  }
+}
+
+TEST(LayersTest, MaxAndAvgPool) {
+  Tensor in(Shape({1, 4, 4}),
+            {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  MaxPool2d mp("mp", 2, 2);
+  auto mo = mp.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(mo.ok());
+  EXPECT_EQ(mo->shape(), Shape({1, 2, 2}));
+  EXPECT_FLOAT_EQ(mo->at3(0, 0, 0), 6.f);
+  EXPECT_FLOAT_EQ(mo->at3(0, 1, 1), 16.f);
+
+  AvgPool2d ap("ap", 2, 2);
+  auto ao = ap.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(ao.ok());
+  EXPECT_FLOAT_EQ(ao->at3(0, 0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(ao->at3(0, 1, 1), 13.5f);
+}
+
+TEST(LayersTest, GlobalAvgPool) {
+  Tensor in(Shape({2, 2, 2}), {1, 2, 3, 4, 10, 20, 30, 40});
+  GlobalAvgPool gap("gap");
+  auto out = gap.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), Shape({2}));
+  EXPECT_FLOAT_EQ(out->at(0), 2.5f);
+  EXPECT_FLOAT_EQ(out->at(1), 25.f);
+}
+
+TEST(LayersTest, LinearMath) {
+  Tensor w(Shape({2, 3}), {1, 0, -1, 2, 2, 2});
+  Tensor b(Shape({2}), {0.5f, -1.f});
+  Linear fc("fc", w, b);
+  Tensor in(Shape({3}), {1.f, 2.f, 3.f});
+  auto out = fc.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out->at(0), 1 - 3 + 0.5f);
+  EXPECT_FLOAT_EQ(out->at(1), 2 + 4 + 6 - 1.f);
+  EXPECT_FALSE(fc.Forward(Tensor(Shape({4})), EdgeDevice().get()).ok());
+}
+
+TEST(LayersTest, DeconvInvertsShapeRule) {
+  Rng rng(5);
+  Deconv2d d("d", 2, 3, 3, 2, 1, &rng);
+  auto s = d.OutputShape(Shape({2, 5, 5}));
+  ASSERT_TRUE(s.ok());
+  // out = (in-1)*stride - 2*pad + k = 4*2 - 2 + 3 = 9
+  EXPECT_EQ(*s, Shape({3, 9, 9}));
+  Tensor in = Tensor::Random(Shape({2, 5, 5}), &rng);
+  auto out = d.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), *s);
+}
+
+TEST(BlocksTest, IdentityBlockPreservesShape) {
+  Rng rng(6);
+  IdentityBlock block("ib", 4, 3, 2, &rng);
+  Tensor in = Tensor::Random(Shape({4, 6, 6}), &rng);
+  auto out = block.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), in.shape());
+  // Output is post-ReLU: non-negative.
+  for (int64_t i = 0; i < out->NumElements(); ++i) {
+    EXPECT_GE(out->at(i), 0.f);
+  }
+}
+
+TEST(BlocksTest, ResidualBlockDownsamples) {
+  Rng rng(7);
+  ResidualBlock block("rb", 4, 8, 3, 2, 2, &rng);
+  auto s = block.OutputShape(Shape({4, 8, 8}));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(*s, Shape({8, 4, 4}));
+  Tensor in = Tensor::Random(Shape({4, 8, 8}), &rng);
+  auto out = block.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), *s);
+}
+
+TEST(BlocksTest, DenseBlockGrowsChannels) {
+  Rng rng(8);
+  DenseBlock block("db", 4, 2, 3, 3, &rng);
+  auto s = block.OutputShape(Shape({4, 5, 5}));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, Shape({4 + 3 * 2, 5, 5}));
+  Tensor in = Tensor::Random(Shape({4, 5, 5}), &rng);
+  auto out = block.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), *s);
+  // The first input channels pass through unchanged (concat semantics).
+  for (int64_t i = 0; i < in.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(out->at(i), in.at(i));
+  }
+}
+
+TEST(BlocksTest, ConcatChannelsValidation) {
+  Tensor a(Shape({1, 2, 2}));
+  Tensor b(Shape({2, 2, 2}));
+  auto c = ConcatChannels({a, b});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->shape(), Shape({3, 2, 2}));
+  EXPECT_FALSE(ConcatChannels({a, Tensor(Shape({1, 3, 2}))}).ok());
+  EXPECT_FALSE(ConcatChannels({}).ok());
+}
+
+TEST(ModelTest, ForwardValidatesInputShape) {
+  Model m = BuildStudentCnn({});
+  Tensor wrong(Shape({3, 8, 8}));
+  EXPECT_FALSE(m.Forward(wrong, EdgeDevice().get()).ok());
+}
+
+TEST(ModelTest, PredictReturnsArgmax) {
+  BuilderOptions b;
+  b.input_size = 16;
+  b.base_channels = 2;
+  Model m = BuildStudentCnn(b);
+  Rng rng(9);
+  Tensor in = Tensor::Random(m.input_shape(), &rng, 1.0f);
+  auto probs = m.Forward(in, EdgeDevice().get());
+  auto pred = m.Predict(in, EdgeDevice().get());
+  ASSERT_TRUE(probs.ok() && pred.ok());
+  for (int64_t i = 0; i < probs->NumElements(); ++i) {
+    EXPECT_LE(probs->at(i), probs->at(*pred));
+  }
+}
+
+TEST(BuildersTest, OutputShapesAreClassCounts) {
+  for (auto* build : {&BuildStudentCnn, &BuildLeNet, &BuildVggTiny,
+                      &BuildDenseNetTiny, &BuildAttentionMlp}) {
+    BuilderOptions b;
+    b.input_size = 16;
+    b.num_classes = 7;
+    b.base_channels = 2;
+    Model m = build(b);
+    auto s = m.OutputShape();
+    ASSERT_TRUE(s.ok()) << m.name() << ": " << s.status().ToString();
+    EXPECT_EQ(*s, Shape({7})) << m.name();
+    EXPECT_GT(m.NumParameters(), 0) << m.name();
+  }
+}
+
+TEST(BuildersTest, ResNetParamsGrowLinearly) {
+  BuilderOptions b;
+  b.input_size = 16;
+  b.base_channels = 8;
+  std::vector<int64_t> params;
+  for (int64_t depth : {5, 10, 15, 20}) {
+    auto m = BuildResNet(depth, b);
+    ASSERT_TRUE(m.ok());
+    params.push_back(m->NumParameters());
+  }
+  // Differences between consecutive depths are equal (linear growth), as in
+  // Table VI of the paper.
+  const int64_t d1 = params[1] - params[0];
+  const int64_t d2 = params[2] - params[1];
+  const int64_t d3 = params[3] - params[2];
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d2, d3);
+  EXPECT_GT(d1, 0);
+  EXPECT_FALSE(BuildResNet(2, b).ok());
+}
+
+TEST(BuildersTest, DeterministicPerSeed) {
+  BuilderOptions b;
+  b.input_size = 16;
+  b.base_channels = 2;
+  Model m1 = BuildStudentCnn(b);
+  Model m2 = BuildStudentCnn(b);
+  Rng rng(10);
+  Tensor in = Tensor::Random(m1.input_shape(), &rng, 1.0f);
+  auto o1 = m1.Forward(in, EdgeDevice().get());
+  auto o2 = m2.Forward(in, EdgeDevice().get());
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_DOUBLE_EQ(*MaxAbsDiff(*o1, *o2), 0.0);
+}
+
+class SerializeRoundTripTest
+    : public ::testing::TestWithParam<ModelFormat> {};
+
+TEST_P(SerializeRoundTripTest, ModelsComputeSameFunction) {
+  BuilderOptions b;
+  b.input_size = 12;
+  b.base_channels = 3;
+  // Cover composite blocks too.
+  auto resnet = BuildResNet(7, b);
+  ASSERT_TRUE(resnet.ok());
+  for (const Model* m :
+       {&*resnet}) {
+    auto bytes = SerializeModel(*m, GetParam());
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    auto back = DeserializeModel(*bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->NumParameters(), m->NumParameters());
+    Rng rng(11);
+    Tensor in = Tensor::Random(m->input_shape(), &rng, 1.0f);
+    auto o1 = m->Forward(in, EdgeDevice().get());
+    auto o2 = back->Forward(in, EdgeDevice().get());
+    ASSERT_TRUE(o1.ok() && o2.ok());
+    EXPECT_DOUBLE_EQ(*MaxAbsDiff(*o1, *o2), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, SerializeRoundTripTest,
+                         ::testing::Values(ModelFormat::kScript,
+                                           ModelFormat::kCompiledBlob));
+
+TEST(SerializeTest, ScriptLargerThanBlob) {
+  BuilderOptions b;
+  b.input_size = 16;
+  Model m = BuildStudentCnn(b);
+  auto script = SerializedSize(m, ModelFormat::kScript);
+  auto blob = SerializedSize(m, ModelFormat::kCompiledBlob);
+  ASSERT_TRUE(script.ok() && blob.ok());
+  EXPECT_GT(*script, *blob);
+}
+
+TEST(SerializeTest, ScriptKeepsNamesBlobDoesNot) {
+  BuilderOptions b;
+  b.input_size = 16;
+  b.base_channels = 2;
+  Model m = BuildStudentCnn(b);
+  auto script = SerializeModel(m, ModelFormat::kScript);
+  auto blob = SerializeModel(m, ModelFormat::kCompiledBlob);
+  auto from_script = DeserializeModel(*script);
+  auto from_blob = DeserializeModel(*blob);
+  ASSERT_TRUE(from_script.ok() && from_blob.ok());
+  EXPECT_EQ(from_script->layers()[0]->name(), m.layers()[0]->name());
+  EXPECT_EQ(from_blob->layers()[0]->name(), "layer0");
+  EXPECT_EQ(from_script->classes()[0], m.classes()[0]);
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeModel("").ok());
+  EXPECT_FALSE(DeserializeModel("DL2SQLM1").ok());
+  EXPECT_FALSE(DeserializeModel("NOTMAGIC_xxxxxxxxxxxx").ok());
+  BuilderOptions b;
+  b.input_size = 16;
+  b.base_channels = 2;
+  Model m = BuildStudentCnn(b);
+  auto bytes = SerializeModel(m, ModelFormat::kCompiledBlob);
+  std::string corrupt = *bytes;
+  corrupt.resize(corrupt.size() / 2);
+  EXPECT_FALSE(DeserializeModel(corrupt).ok());
+}
+
+}  // namespace
+}  // namespace dl2sql::nn

@@ -1,0 +1,192 @@
+/// \file workload_test.cc
+/// \brief Dataset generator and query-template tests: table ratios, column
+/// distributions, selectivity calibration, and template well-formedness.
+#include <gtest/gtest.h>
+
+#include "db/sql/parser.h"
+#include "engines/engine.h"
+#include "nn/builders.h"
+#include "tensor/tensor_blob.h"
+#include "workload/dataset.h"
+#include "workload/queries.h"
+#include "workload/testbed.h"
+
+namespace dl2sql::workload {
+namespace {
+
+TEST(DatasetTest, SizesFollowPaperRatio) {
+  DatasetOptions opts;
+  opts.video_rows = 10000;
+  const DatasetSizes s = ComputeSizes(opts);
+  EXPECT_EQ(s.video, 10000);
+  EXPECT_EQ(s.fabric, 1000);
+  EXPECT_EQ(s.client, 100);
+  EXPECT_EQ(s.order, 1000);
+  EXPECT_EQ(s.device, 100);
+}
+
+class PopulatedDataset : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new db::Database();
+    DatasetOptions opts;
+    opts.video_rows = 2000;
+    opts.keyframe_size = 4;
+    ASSERT_TRUE(PopulateDatabase(db_, opts).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static db::Database* db_;
+};
+
+db::Database* PopulatedDataset::db_ = nullptr;
+
+TEST_F(PopulatedDataset, AllFiveTablesExist) {
+  for (const char* name : {"fabric", "video", "client", "orders", "device"}) {
+    EXPECT_TRUE(db_->catalog().HasTable(name)) << name;
+    EXPECT_NE(db_->catalog().GetStats(name), nullptr) << name;
+  }
+}
+
+TEST_F(PopulatedDataset, ForeignKeysResolve) {
+  auto r = db_->Execute(
+      "SELECT count(*) FROM video V, fabric F WHERE V.transID = F.transID");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Every video row references an existing fabric transaction.
+  EXPECT_EQ(r->column(0).GetValue(0).int_value(), 2000);
+}
+
+TEST_F(PopulatedDataset, HumidityIsUniform) {
+  auto r = db_->Execute(
+      "SELECT count(*), min(humidity), max(humidity) FROM fabric");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0).GetValue(0).int_value(), 200);
+  EXPECT_GE(r->column(1).GetValue(0).float_value(), 0.0);
+  EXPECT_LE(r->column(2).GetValue(0).float_value(), 100.0);
+}
+
+TEST_F(PopulatedDataset, DatesAreIsoFormatted) {
+  auto r = db_->Execute(
+      "SELECT count(*) FROM fabric WHERE printdate >= '2021-01-01' AND "
+      "printdate <= '2021-12-31'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0).GetValue(0).int_value(), 200);
+}
+
+TEST_F(PopulatedDataset, KeyframesDecode) {
+  auto r = db_->Execute("SELECT keyframe FROM video LIMIT 4");
+  ASSERT_TRUE(r.ok());
+  for (int64_t i = 0; i < r->num_rows(); ++i) {
+    auto t = DecodeTensorBlob(r->column(0).strings()[static_cast<size_t>(i)]);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->shape(), Shape({3, 4, 4}));
+  }
+}
+
+TEST_F(PopulatedDataset, SelectivityCalibration) {
+  // The template's predicate block should pass ~selectivity of fabric rows.
+  for (double target : {0.04, 0.16, 0.5}) {
+    QueryParams p;
+    p.selectivity = target;
+    // Extract the fabric-side predicates by running the count directly.
+    const double per = std::sqrt(target);
+    const std::string sql =
+        "SELECT count(*) FROM fabric F WHERE F.humidity > " +
+        std::to_string(100.0 * (1.0 - per)) + " AND F.temperature > " +
+        std::to_string(40.0 * (1.0 - per));
+    auto r = db_->Execute(sql);
+    ASSERT_TRUE(r.ok());
+    const double frac =
+        static_cast<double>(r->column(0).GetValue(0).int_value()) / 200.0;
+    EXPECT_NEAR(frac, target, std::max(0.08, target * 0.8)) << sql;
+  }
+}
+
+TEST_F(PopulatedDataset, DeterministicForSeed) {
+  db::Database other;
+  DatasetOptions opts;
+  opts.video_rows = 2000;
+  opts.keyframe_size = 4;
+  ASSERT_TRUE(PopulateDatabase(&other, opts).ok());
+  auto a = db_->Execute("SELECT sum(meter) FROM fabric");
+  auto b = other.Execute("SELECT sum(meter) FROM fabric");
+  EXPECT_DOUBLE_EQ(a->column(0).GetValue(0).float_value(),
+                   b->column(0).GetValue(0).float_value());
+}
+
+TEST(QueryTemplatesTest, AllTemplatesParse) {
+  QueryParams p;
+  for (const std::string& sql :
+       {MakeType1Query(p), MakeType2Query(p), MakeType3Query(p),
+        MakeType4Query(p), MakeType4EqualityQuery(p), MakeTwoUdfQuery(p)}) {
+    EXPECT_TRUE(db::sql::ParseStatement(sql).ok()) << sql;
+  }
+}
+
+TEST(QueryTemplatesTest, TypeDispatcherRandomizesLabel) {
+  QueryParams p;
+  Rng rng(5);
+  const std::string q = MakeQueryOfType(1, p, &rng);
+  EXPECT_NE(q.find("class_"), std::string::npos);
+  EXPECT_EQ(MakeQueryOfType(2, p, nullptr).find("nUDF_detect") ==
+                std::string::npos,
+            false);
+}
+
+TEST(ModelRepositoryTest, BuildsTwentyTasksAcrossFourKinds) {
+  ModelRepoOptions opts;
+  opts.input_size = 8;
+  opts.base_channels = 2;
+  auto repo = BuildModelRepository(opts);
+  ASSERT_EQ(repo.size(), 20u);
+  std::map<std::string, int> kinds;
+  std::set<std::string> names;
+  for (const auto& task : repo) {
+    kinds[task.task_kind]++;
+    EXPECT_TRUE(names.insert(task.udf_name).second) << task.udf_name;
+    EXPECT_GT(task.model.NumParameters(), 0);
+  }
+  EXPECT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds["defect_detection"], 5);
+  EXPECT_EQ(kinds["pattern_recognition"], 5);
+}
+
+TEST(ModelRepositoryTest, MixedWorkloadUsesRepositoryTasks) {
+  TestbedOptions options;
+  options.dataset.video_rows = 150;
+  options.dataset.keyframe_size = 8;
+  options.model_base_channels = 2;
+  options.histogram_samples = 8;
+  options.full_repository = true;
+  options.repository_tasks = 8;
+  auto tb = Testbed::Create(options);
+  ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+  EXPECT_EQ((*tb)->repository().size(), 8u);
+  auto cost = (*tb)->RunMixedWorkload((*tb)->dl2sql_op(), 1, 0.2, 3);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_GT(cost->Total(), 0.0);
+}
+
+TEST(SelectivityHistogramTest, SumsToTotal) {
+  nn::BuilderOptions b;
+  b.input_size = 8;
+  b.base_channels = 2;
+  b.num_classes = 2;
+  nn::Model m = nn::BuildStudentCnn(b);
+  auto device = Device::Create(DeviceKind::kEdgeCpu);
+  auto sel = engines::LearnSelectivityHistogram(
+      m, engines::NUdfOutput::kBool, device.get(), 40, 11);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->TotalCount(), 40);
+  double p = 0;
+  for (const auto& [label, _] : sel->histogram) {
+    EXPECT_TRUE(label == "TRUE" || label == "FALSE");
+    p += sel->Probability(label);
+  }
+  EXPECT_NEAR(p, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dl2sql::workload

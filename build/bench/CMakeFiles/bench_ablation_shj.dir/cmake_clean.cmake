@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shj.dir/ablation_symmetric_join.cc.o"
+  "CMakeFiles/bench_ablation_shj.dir/ablation_symmetric_join.cc.o.d"
+  "bench_ablation_shj"
+  "bench_ablation_shj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_clauses.dir/fig10_clauses.cc.o"
+  "CMakeFiles/bench_fig10_clauses.dir/fig10_clauses.cc.o.d"
+  "bench_fig10_clauses"
+  "bench_fig10_clauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_clauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_prejoin.dir/fig11_prejoin.cc.o"
+  "CMakeFiles/bench_fig11_prejoin.dir/fig11_prejoin.cc.o.d"
+  "bench_fig11_prejoin"
+  "bench_fig11_prejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_prejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

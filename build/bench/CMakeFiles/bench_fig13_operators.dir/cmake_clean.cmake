@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_operators.dir/fig13_operators.cc.o"
+  "CMakeFiles/bench_fig13_operators.dir/fig13_operators.cc.o.d"
+  "bench_fig13_operators"
+  "bench_fig13_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

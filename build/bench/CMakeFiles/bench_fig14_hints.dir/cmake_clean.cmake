@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hints.dir/fig14_hints.cc.o"
+  "CMakeFiles/bench_fig14_hints.dir/fig14_hints.cc.o.d"
+  "bench_fig14_hints"
+  "bench_fig14_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_blocks.dir/fig9_blocks.cc.o"
+  "CMakeFiles/bench_fig9_blocks.dir/fig9_blocks.cc.o.d"
+  "bench_fig9_blocks"
+  "bench_fig9_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

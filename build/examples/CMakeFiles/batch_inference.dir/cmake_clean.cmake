@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_inference.dir/batch_inference.cpp.o"
+  "CMakeFiles/batch_inference.dir/batch_inference.cpp.o.d"
+  "batch_inference"
+  "batch_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

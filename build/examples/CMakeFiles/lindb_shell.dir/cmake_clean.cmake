@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lindb_shell.dir/lindb_shell.cpp.o"
+  "CMakeFiles/lindb_shell.dir/lindb_shell.cpp.o.d"
+  "lindb_shell"
+  "lindb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lindb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

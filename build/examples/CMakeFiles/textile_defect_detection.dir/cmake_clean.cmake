@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textile_defect_detection.dir/textile_defect_detection.cpp.o"
+  "CMakeFiles/textile_defect_detection.dir/textile_defect_detection.cpp.o.d"
+  "textile_defect_detection"
+  "textile_defect_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textile_defect_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

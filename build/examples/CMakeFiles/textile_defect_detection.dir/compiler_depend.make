@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for textile_defect_detection.
+# This may be replaced when dependencies are built.

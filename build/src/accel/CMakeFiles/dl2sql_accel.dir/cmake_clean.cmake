@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl2sql_accel.dir/device.cc.o"
+  "CMakeFiles/dl2sql_accel.dir/device.cc.o.d"
+  "CMakeFiles/dl2sql_accel.dir/thread_pool.cc.o"
+  "CMakeFiles/dl2sql_accel.dir/thread_pool.cc.o.d"
+  "libdl2sql_accel.a"
+  "libdl2sql_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl2sql_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

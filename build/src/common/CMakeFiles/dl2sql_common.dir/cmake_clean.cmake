@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl2sql_common.dir/logging.cc.o"
+  "CMakeFiles/dl2sql_common.dir/logging.cc.o.d"
+  "CMakeFiles/dl2sql_common.dir/status.cc.o"
+  "CMakeFiles/dl2sql_common.dir/status.cc.o.d"
+  "CMakeFiles/dl2sql_common.dir/string_util.cc.o"
+  "CMakeFiles/dl2sql_common.dir/string_util.cc.o.d"
+  "libdl2sql_common.a"
+  "libdl2sql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl2sql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

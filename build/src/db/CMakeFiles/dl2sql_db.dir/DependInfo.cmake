@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/catalog.cc" "src/db/CMakeFiles/dl2sql_db.dir/catalog.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/catalog.cc.o.d"
+  "/root/repo/src/db/codec.cc" "src/db/CMakeFiles/dl2sql_db.dir/codec.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/codec.cc.o.d"
+  "/root/repo/src/db/column.cc" "src/db/CMakeFiles/dl2sql_db.dir/column.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/column.cc.o.d"
+  "/root/repo/src/db/cost_model.cc" "src/db/CMakeFiles/dl2sql_db.dir/cost_model.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/cost_model.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/dl2sql_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/database.cc.o.d"
+  "/root/repo/src/db/eval.cc" "src/db/CMakeFiles/dl2sql_db.dir/eval.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/eval.cc.o.d"
+  "/root/repo/src/db/exec/symmetric_hash_join.cc" "src/db/CMakeFiles/dl2sql_db.dir/exec/symmetric_hash_join.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/exec/symmetric_hash_join.cc.o.d"
+  "/root/repo/src/db/expr.cc" "src/db/CMakeFiles/dl2sql_db.dir/expr.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/expr.cc.o.d"
+  "/root/repo/src/db/index.cc" "src/db/CMakeFiles/dl2sql_db.dir/index.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/index.cc.o.d"
+  "/root/repo/src/db/optimizer.cc" "src/db/CMakeFiles/dl2sql_db.dir/optimizer.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/optimizer.cc.o.d"
+  "/root/repo/src/db/persistence.cc" "src/db/CMakeFiles/dl2sql_db.dir/persistence.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/persistence.cc.o.d"
+  "/root/repo/src/db/plan.cc" "src/db/CMakeFiles/dl2sql_db.dir/plan.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/plan.cc.o.d"
+  "/root/repo/src/db/planner.cc" "src/db/CMakeFiles/dl2sql_db.dir/planner.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/planner.cc.o.d"
+  "/root/repo/src/db/sql/lexer.cc" "src/db/CMakeFiles/dl2sql_db.dir/sql/lexer.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/db/sql/parser.cc" "src/db/CMakeFiles/dl2sql_db.dir/sql/parser.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/sql/parser.cc.o.d"
+  "/root/repo/src/db/sql/printer.cc" "src/db/CMakeFiles/dl2sql_db.dir/sql/printer.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/sql/printer.cc.o.d"
+  "/root/repo/src/db/stats.cc" "src/db/CMakeFiles/dl2sql_db.dir/stats.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/stats.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/dl2sql_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/table.cc.o.d"
+  "/root/repo/src/db/types.cc" "src/db/CMakeFiles/dl2sql_db.dir/types.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/types.cc.o.d"
+  "/root/repo/src/db/udf.cc" "src/db/CMakeFiles/dl2sql_db.dir/udf.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/udf.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/dl2sql_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/dl2sql_db.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dl2sql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl2sql_dl2sql.dir/converter.cc.o"
+  "CMakeFiles/dl2sql_dl2sql.dir/converter.cc.o.d"
+  "CMakeFiles/dl2sql_dl2sql.dir/cost_model.cc.o"
+  "CMakeFiles/dl2sql_dl2sql.dir/cost_model.cc.o.d"
+  "CMakeFiles/dl2sql_dl2sql.dir/pipeline.cc.o"
+  "CMakeFiles/dl2sql_dl2sql.dir/pipeline.cc.o.d"
+  "libdl2sql_dl2sql.a"
+  "libdl2sql_dl2sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl2sql_dl2sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl2sql_engines.dir/dl2sql_engine.cc.o"
+  "CMakeFiles/dl2sql_engines.dir/dl2sql_engine.cc.o.d"
+  "CMakeFiles/dl2sql_engines.dir/engine.cc.o"
+  "CMakeFiles/dl2sql_engines.dir/engine.cc.o.d"
+  "CMakeFiles/dl2sql_engines.dir/independent_engine.cc.o"
+  "CMakeFiles/dl2sql_engines.dir/independent_engine.cc.o.d"
+  "CMakeFiles/dl2sql_engines.dir/udf_engine.cc.o"
+  "CMakeFiles/dl2sql_engines.dir/udf_engine.cc.o.d"
+  "libdl2sql_engines.a"
+  "libdl2sql_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl2sql_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

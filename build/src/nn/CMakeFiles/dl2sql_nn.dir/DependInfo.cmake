@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/blocks.cc" "src/nn/CMakeFiles/dl2sql_nn.dir/blocks.cc.o" "gcc" "src/nn/CMakeFiles/dl2sql_nn.dir/blocks.cc.o.d"
+  "/root/repo/src/nn/builders.cc" "src/nn/CMakeFiles/dl2sql_nn.dir/builders.cc.o" "gcc" "src/nn/CMakeFiles/dl2sql_nn.dir/builders.cc.o.d"
+  "/root/repo/src/nn/compute.cc" "src/nn/CMakeFiles/dl2sql_nn.dir/compute.cc.o" "gcc" "src/nn/CMakeFiles/dl2sql_nn.dir/compute.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/dl2sql_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/dl2sql_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/dl2sql_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/dl2sql_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/dl2sql_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/dl2sql_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dl2sql_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dl2sql_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dl2sql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

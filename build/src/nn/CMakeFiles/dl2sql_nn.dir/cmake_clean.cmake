@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl2sql_nn.dir/blocks.cc.o"
+  "CMakeFiles/dl2sql_nn.dir/blocks.cc.o.d"
+  "CMakeFiles/dl2sql_nn.dir/builders.cc.o"
+  "CMakeFiles/dl2sql_nn.dir/builders.cc.o.d"
+  "CMakeFiles/dl2sql_nn.dir/compute.cc.o"
+  "CMakeFiles/dl2sql_nn.dir/compute.cc.o.d"
+  "CMakeFiles/dl2sql_nn.dir/layers.cc.o"
+  "CMakeFiles/dl2sql_nn.dir/layers.cc.o.d"
+  "CMakeFiles/dl2sql_nn.dir/model.cc.o"
+  "CMakeFiles/dl2sql_nn.dir/model.cc.o.d"
+  "CMakeFiles/dl2sql_nn.dir/serialize.cc.o"
+  "CMakeFiles/dl2sql_nn.dir/serialize.cc.o.d"
+  "libdl2sql_nn.a"
+  "libdl2sql_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl2sql_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl2sql_tensor.dir/tensor_blob.cc.o"
+  "CMakeFiles/dl2sql_tensor.dir/tensor_blob.cc.o.d"
+  "CMakeFiles/dl2sql_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/dl2sql_tensor.dir/tensor_ops.cc.o.d"
+  "libdl2sql_tensor.a"
+  "libdl2sql_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl2sql_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdl2sql_tensor.a"
+)

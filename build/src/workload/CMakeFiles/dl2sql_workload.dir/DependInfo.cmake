@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/dl2sql_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/dl2sql_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/model_repo.cc" "src/workload/CMakeFiles/dl2sql_workload.dir/model_repo.cc.o" "gcc" "src/workload/CMakeFiles/dl2sql_workload.dir/model_repo.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/workload/CMakeFiles/dl2sql_workload.dir/queries.cc.o" "gcc" "src/workload/CMakeFiles/dl2sql_workload.dir/queries.cc.o.d"
+  "/root/repo/src/workload/testbed.cc" "src/workload/CMakeFiles/dl2sql_workload.dir/testbed.cc.o" "gcc" "src/workload/CMakeFiles/dl2sql_workload.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engines/CMakeFiles/dl2sql_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl2sql/CMakeFiles/dl2sql_dl2sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dl2sql_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dl2sql_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dl2sql_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dl2sql_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dl2sql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

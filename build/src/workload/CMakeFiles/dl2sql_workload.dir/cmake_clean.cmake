@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl2sql_workload.dir/dataset.cc.o"
+  "CMakeFiles/dl2sql_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/dl2sql_workload.dir/model_repo.cc.o"
+  "CMakeFiles/dl2sql_workload.dir/model_repo.cc.o.d"
+  "CMakeFiles/dl2sql_workload.dir/queries.cc.o"
+  "CMakeFiles/dl2sql_workload.dir/queries.cc.o.d"
+  "CMakeFiles/dl2sql_workload.dir/testbed.cc.o"
+  "CMakeFiles/dl2sql_workload.dir/testbed.cc.o.d"
+  "libdl2sql_workload.a"
+  "libdl2sql_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl2sql_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

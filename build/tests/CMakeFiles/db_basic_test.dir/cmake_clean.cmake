@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_basic_test.dir/db/db_basic_test.cc.o"
+  "CMakeFiles/db_basic_test.dir/db/db_basic_test.cc.o.d"
+  "db_basic_test"
+  "db_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

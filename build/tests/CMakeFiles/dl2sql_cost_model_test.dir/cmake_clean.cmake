@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl2sql_cost_model_test.dir/dl2sql/cost_model_test.cc.o"
+  "CMakeFiles/dl2sql_cost_model_test.dir/dl2sql/cost_model_test.cc.o.d"
+  "dl2sql_cost_model_test"
+  "dl2sql_cost_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl2sql_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

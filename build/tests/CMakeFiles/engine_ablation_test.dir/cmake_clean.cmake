@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_ablation_test.dir/engines/engine_ablation_test.cc.o"
+  "CMakeFiles/engine_ablation_test.dir/engines/engine_ablation_test.cc.o.d"
+  "engine_ablation_test"
+  "engine_ablation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_reorder_test.dir/db/join_reorder_test.cc.o"
+  "CMakeFiles/join_reorder_test.dir/db/join_reorder_test.cc.o.d"
+  "join_reorder_test"
+  "join_reorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_family_test.dir/engines/model_family_test.cc.o"
+  "CMakeFiles/model_family_test.dir/engines/model_family_test.cc.o.d"
+  "model_family_test"
+  "model_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

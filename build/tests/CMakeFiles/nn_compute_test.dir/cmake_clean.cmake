@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_compute_test.dir/nn/compute_test.cc.o"
+  "CMakeFiles/nn_compute_test.dir/nn/compute_test.cc.o.d"
+  "nn_compute_test"
+  "nn_compute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_compute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,176 @@
+/// \file micro_parallel.cc
+/// \brief Morsel-parallel speedup microbench: filter, hash-join probe, hash
+/// aggregation, and batched nUDF inference at 1/2/4/8 worker threads.
+///
+/// Each workload runs the identical SQL against the same data with Devices
+/// whose pools differ only in thread count; reported speedup is
+/// serial_seconds / parallel_seconds (median of kReps runs). Results are
+/// also emitted to BENCH_parallel.json for tooling. On a single-core host
+/// the extra threads just contend — run on >= 4 cores for meaningful
+/// numbers.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/device.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "db/database.h"
+
+using namespace dl2sql;         // NOLINT
+using namespace dl2sql::bench;  // NOLINT
+
+namespace {
+
+constexpr int kReps = 5;
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+struct Workload {
+  std::string name;
+  std::string sql;
+};
+
+std::shared_ptr<Device> MakeCpuDevice(int threads) {
+  DeviceProfile profile = Device::ServerCpuProfile();
+  profile.name = "bench-cpu-" + std::to_string(threads);
+  profile.num_threads = threads;
+  return std::make_shared<Device>(profile);
+}
+
+void FillTables(db::Database* database, int64_t rows) {
+  db::TableSchema fact_schema({{"id", db::DataType::kInt64},
+                               {"grp", db::DataType::kInt64},
+                               {"val", db::DataType::kInt64}});
+  db::Table fact{fact_schema};
+  for (int64_t i = 0; i < rows; ++i) {
+    BENCH_CHECK_OK(fact.AppendRow({db::Value::Int(i),
+                                   db::Value::Int((i * 7919) % 256),
+                                   db::Value::Int((i * 104729 + 13) % 10000)}));
+  }
+  BENCH_CHECK_OK(database->RegisterTable("fact", std::move(fact)));
+
+  db::TableSchema dim_schema(
+      {{"id", db::DataType::kInt64}, {"w", db::DataType::kInt64}});
+  db::Table dim{dim_schema};
+  for (int64_t i = 0; i < 256; ++i) {
+    BENCH_CHECK_OK(dim.AppendRow({db::Value::Int(i), db::Value::Int(i * i)}));
+  }
+  BENCH_CHECK_OK(database->RegisterTable("dim", std::move(dim)));
+
+  // Compute-heavy, parallel-safe batched nUDF: a small fixed-point iteration
+  // per row stands in for per-tuple model inference.
+  db::NUdfInfo info;
+  info.model_name = "bench-iter";
+  database->udfs().RegisterNeural(
+      "nudf_iter", db::DataType::kFloat64,
+      [](const std::vector<db::Value>& args) -> Result<db::Value> {
+        DL2SQL_ASSIGN_OR_RETURN(double x, args[0].AsDouble());
+        for (int k = 0; k < 200; ++k) x = x * 0.999 + 0.5;
+        return db::Value::Float(x);
+      },
+      info,
+      [](const std::vector<std::vector<db::Value>>& batch)
+          -> Result<std::vector<db::Value>> {
+        std::vector<db::Value> out;
+        out.reserve(batch.size());
+        for (const auto& row : batch) {
+          DL2SQL_ASSIGN_OR_RETURN(double x, row[0].AsDouble());
+          for (int k = 0; k < 200; ++k) x = x * 0.999 + 0.5;
+          out.push_back(db::Value::Float(x));
+        }
+        return out;
+      },
+      /*arity=*/1, /*parallel_safe=*/true);
+}
+
+double MedianSeconds(db::Database* database, const std::string& sql) {
+  // Warm-up (hash indexes, catalog stats) outside the timed region.
+  BENCH_CHECK_OK(database->Execute(sql).status());
+  std::vector<double> secs;
+  for (int r = 0; r < kReps; ++r) {
+    Stopwatch watch;
+    BENCH_CHECK_OK(database->Execute(sql).status());
+    secs.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(secs.begin(), secs.end());
+  return secs[secs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const int64_t rows = FullScale() ? 2000000 : 400000;
+  db::Database database;
+  FillTables(&database, rows);
+
+  const std::vector<Workload> workloads = {
+      {"filter",
+       "SELECT id, val FROM fact WHERE val % 7 = 3 AND (val * 3 + id) % 11 "
+       "< 4"},
+      {"join",
+       "SELECT F.id, D.w FROM fact F INNER JOIN dim D ON F.grp = D.id WHERE "
+       "F.val % 2 = 0"},
+      {"aggregate",
+       "SELECT grp, count(*) AS c, sum(val) AS s, min(val) AS mn, max(val) "
+       "AS mx FROM fact GROUP BY grp"},
+      {"nudf_batch", "SELECT id, nudf_iter(val) AS p FROM fact"},
+  };
+
+  // seconds[workload][threads]
+  std::map<std::string, std::map<int, double>> seconds;
+  std::vector<std::shared_ptr<Device>> devices;  // keep pools alive
+  for (int threads : kThreadCounts) {
+    devices.push_back(MakeCpuDevice(threads));
+    database.set_exec_options(
+        {devices.back().get(), ThreadPool::kDefaultMorselSize});
+    for (const auto& w : workloads) {
+      seconds[w.name][threads] = MedianSeconds(&database, w.sql);
+    }
+  }
+
+  PrintHeader("Morsel-parallel speedup (rows=" + std::to_string(rows) + ")",
+              {"Workload", "Threads", "Median(s)", "Speedup"});
+  for (const auto& w : workloads) {
+    const double base = seconds[w.name][1];
+    for (int threads : kThreadCounts) {
+      const double s = seconds[w.name][threads];
+      PrintCell(w.name);
+      PrintCell(static_cast<int64_t>(threads));
+      PrintCell(s);
+      PrintCell(base / s);
+      EndRow();
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open BENCH_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"micro_parallel\",\n");
+  std::fprintf(out, "  \"rows\": %lld,\n  \"reps\": %d,\n",
+               static_cast<long long>(rows), kReps);
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const auto& w = workloads[i];
+    const double base = seconds[w.name][1];
+    std::fprintf(out, "    {\"name\": \"%s\", \"seconds\": {", w.name.c_str());
+    for (size_t t = 0; t < kThreadCounts.size(); ++t) {
+      std::fprintf(out, "%s\"%d\": %.6f", t == 0 ? "" : ", ", kThreadCounts[t],
+                   seconds[w.name][kThreadCounts[t]]);
+    }
+    std::fprintf(out, "}, \"speedup\": {");
+    for (size_t t = 0; t < kThreadCounts.size(); ++t) {
+      std::fprintf(out, "%s\"%d\": %.3f", t == 0 ? "" : ", ", kThreadCounts[t],
+                   base / seconds[w.name][kThreadCounts[t]]);
+    }
+    std::fprintf(out, "}}%s\n", i + 1 < workloads.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_parallel.json\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the default configuration, then rebuild under
+# ThreadSanitizer and rerun the suite. The TSAN pass is what shakes out data
+# races in the morsel-parallel relational paths (filters, join probe, hash
+# aggregation, batched nUDFs) — the parallel_exec and accel tests drive
+# multi-thread Devices explicitly, so races surface even on small hosts.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+echo "== CI pass 1/2: default build =="
+run_suite build-ci
+
+echo "== CI pass 2/2: ThreadSanitizer build =="
+run_suite build-ci-tsan -DDL2SQL_SANITIZE=thread
+
+echo "== CI: both passes green =="

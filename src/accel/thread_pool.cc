@@ -5,6 +5,15 @@
 
 namespace dl2sql {
 
+namespace {
+
+/// True on threads currently executing a pool task. A nested parallel loop
+/// issued from such a thread must run inline: blocking a worker on work that
+/// needs workers can starve the pool into deadlock once every worker waits.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(n));
@@ -23,6 +32,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -44,28 +54,44 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::ParallelFor(int64_t n,
-                             const std::function<void(int64_t, int64_t)>& fn) {
-  if (n <= 0) return;
-  const int64_t threads = num_threads();
-  // Chunking below ~1k iterations per worker costs more in wakeups than it
-  // buys in parallelism for our kernels.
-  if (threads == 1 || n < 1024) {
-    fn(0, n);
-    return;
-  }
-  const int64_t chunks = std::min<int64_t>(threads, n);
-  const int64_t per = (n + chunks - 1) / chunks;
+Status ThreadPool::ParallelForMorsel(int64_t n, int64_t morsel_size,
+                                     const MorselFn& fn) {
+  if (n <= 0) return Status::OK();
+  morsel_size = std::max<int64_t>(1, morsel_size);
 
-  std::atomic<int64_t> remaining{chunks};
+  // Inline path: single-threaded pool, a single morsel's worth of rows, or a
+  // nested call from a pool worker. Still iterates morsel-at-a-time so
+  // per-morsel output buffers see identical boundaries in every mode.
+  if (num_threads() == 1 || n <= morsel_size || tls_in_pool_worker) {
+    for (int64_t b = 0; b < n; b += morsel_size) {
+      DL2SQL_RETURN_NOT_OK(fn(b, std::min(n, b + morsel_size), 0));
+    }
+    return Status::OK();
+  }
+
+  const int64_t num_morsels = (n + morsel_size - 1) / morsel_size;
+  const int workers =
+      static_cast<int>(std::min<int64_t>(num_threads(), num_morsels));
+
+  std::atomic<int64_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::atomic<int> remaining{workers};
+  Status first_error;
   std::mutex done_mu;
   std::condition_variable done_cv;
 
-  for (int64_t c = 0; c < chunks; ++c) {
-    const int64_t begin = c * per;
-    const int64_t end = std::min(n, begin + per);
-    Submit([&, begin, end] {
-      fn(begin, end);
+  for (int w = 0; w < workers; ++w) {
+    Submit([&, w] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const int64_t begin = cursor.fetch_add(morsel_size);
+        if (begin >= n) break;
+        Status s = fn(begin, std::min(n, begin + morsel_size), w);
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          if (first_error.ok()) first_error = std::move(s);
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(done_mu);
         done_cv.notify_one();
@@ -74,6 +100,27 @@ void ThreadPool::ParallelFor(int64_t n,
   }
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  return first_error;
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  // Chunking below ~1k iterations per worker costs more in wakeups than it
+  // buys in parallelism for our kernels.
+  if (num_threads() == 1 || n < 1024 || tls_in_pool_worker) {
+    fn(0, n);
+    return;
+  }
+  // Dynamic morsels sized for ~4 morsels per worker so a slow chunk (NUMA
+  // page faults, skewed rows) no longer pins the whole loop's tail latency to
+  // one worker, while staying coarse enough to keep cursor traffic trivial.
+  const int64_t morsel =
+      std::max<int64_t>(512, n / (static_cast<int64_t>(num_threads()) * 4));
+  (void)ParallelForMorsel(n, morsel, [&fn](int64_t b, int64_t e, int) {
+    fn(b, e);
+    return Status::OK();
+  });
 }
 
 }  // namespace dl2sql

@@ -1,6 +1,7 @@
 /// \file thread_pool.h
-/// \brief Fixed-size worker pool with a ParallelFor primitive; the compute
-/// substrate for the simulated server-CPU and server-GPU backends.
+/// \brief Fixed-size worker pool with ParallelFor / ParallelForMorsel
+/// primitives; the compute substrate for the simulated server backends and
+/// the morsel-driven relational executor.
 #pragma once
 
 #include <condition_variable>
@@ -11,14 +12,29 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace dl2sql {
 
 /// \brief A minimal work-stealing-free thread pool.
 ///
-/// Tasks are std::function<void()>; ParallelFor partitions an index range into
-/// contiguous chunks, one per worker, and blocks until all complete.
+/// Two parallel-loop primitives are offered:
+///  - ParallelFor: fire-and-wait over [0, n) with dynamic morsel scheduling,
+///    for infallible kernels (dense tensor math).
+///  - ParallelForMorsel: the relational variant. Workers pull fixed-size
+///    morsels off an atomic cursor (Leis et al.'s morsel-driven model), the
+///    body returns a Status, and the first failure cancels the remaining
+///    morsels and is propagated to the caller.
+///
+/// Both are nested-call safe: a call issued from inside a pool worker (e.g. a
+/// parallel nUDF morsel whose body reaches a parallel matmul) degrades to an
+/// inline serial loop instead of deadlocking the pool on itself.
 class ThreadPool {
  public:
+  /// Default rows per morsel; small enough for load balance, large enough to
+  /// amortize the cursor fetch (one atomic op per ~4k rows).
+  static constexpr int64_t kDefaultMorselSize = 4096;
+
   /// Spawns `num_threads` workers (>=1 enforced).
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
@@ -28,8 +44,23 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Runs fn(begin, end) over [0, n) split into one chunk per worker; blocks
-  /// until every chunk finishes. Runs inline when the pool has one thread or
+  /// Morsel body: processes rows [begin, end). `worker` identifies the
+  /// executing worker in [0, num_threads()) so callers can keep per-worker
+  /// accumulators; the inline/serial fallback always reports worker 0.
+  using MorselFn = std::function<Status(int64_t begin, int64_t end, int worker)>;
+
+  /// Runs fn over [0, n) in morsels of `morsel_size` rows pulled dynamically
+  /// by the workers; blocks until all morsels finish or one fails. Morsel
+  /// boundaries are identical regardless of thread count (morsel i covers
+  /// [i*morsel_size, min(n, (i+1)*morsel_size))), so per-morsel output
+  /// buffers concatenated in morsel order reproduce serial results exactly.
+  /// The first non-OK Status cancels undispatched morsels and is returned.
+  /// Runs inline (serially, still morsel-at-a-time) when the pool has one
+  /// thread, n fits a single morsel, or the caller is itself a pool worker.
+  Status ParallelForMorsel(int64_t n, int64_t morsel_size, const MorselFn& fn);
+
+  /// Infallible convenience wrapper: runs fn(begin, end) over [0, n) with
+  /// dynamic morsel scheduling. Runs inline when the pool has one thread or
   /// n is small.
   void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
 

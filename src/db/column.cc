@@ -117,6 +117,22 @@ Status Column::Append(const Value& v) {
   return Status::OK();
 }
 
+Status Column::Append(Value&& v) {
+  if ((type_ == DataType::kString || type_ == DataType::kBlob) &&
+      !v.is_null()) {
+    if (v.type() != DataType::kString &&
+        !(type_ == DataType::kBlob && v.type() == DataType::kBlob)) {
+      return Status::TypeError("append ", DataTypeToString(v.type()), " to ",
+                               DataTypeToString(type_), " column");
+    }
+    Detach();
+    data_->strings.push_back(v.TakeString());
+    if (!data_->validity.empty()) data_->validity.push_back(1);
+    return Status::OK();
+  }
+  return Append(static_cast<const Value&>(v));
+}
+
 Value Column::GetValue(int64_t i) const {
   if (!IsValid(i)) return Value::Null();
   const size_t si = static_cast<size_t>(i);

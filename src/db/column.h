@@ -64,6 +64,10 @@ class Column {
   /// row invalid and stores a default slot). Detaches if shared.
   Status Append(const Value& v);
 
+  /// Move overload: steals string/blob payloads instead of copying. Scalar
+  /// payloads fall through to the copy overload (copies are free there).
+  Status Append(Value&& v);
+
   /// Reads row `i` as a Value (NULL if invalid).
   Value GetValue(int64_t i) const;
 

@@ -134,6 +134,9 @@ Status DefaultCostModel::Annotate(PlanNode* node, const CostContext& ctx) const 
     DL2SQL_RETURN_NOT_OK(Annotate(c.get(), ctx));
     child_cost += c->est_cost;
   }
+  // Morsel-parallel operators split their per-row CPU work across the
+  // device's workers; scan and sort stay serial in the executor.
+  const double par = std::max(1.0, ctx.parallelism);
   switch (node->kind) {
     case PlanKind::kScan: {
       double rows = ScanRows(*node, ctx);
@@ -151,13 +154,13 @@ Status DefaultCostModel::Annotate(PlanNode* node, const CostContext& ctx) const 
       node->est_rows = child.est_rows * sel;
       // One unit per input row evaluated; opaque functions cost nothing in
       // the blind model (that is its flaw).
-      node->est_cost = child_cost + child.est_rows;
+      node->est_cost = child_cost + child.est_rows / par;
       return Status::OK();
     }
     case PlanKind::kProject: {
       const PlanNode& child = *node->children[0];
       node->est_rows = child.est_rows;
-      node->est_cost = child_cost + child.est_rows;
+      node->est_cost = child_cost + child.est_rows / par;
       return Status::OK();
     }
     case PlanKind::kJoin: {
@@ -184,8 +187,8 @@ Status DefaultCostModel::Annotate(PlanNode* node, const CostContext& ctx) const 
         out = l.est_rows * r.est_rows * sel;
       }
       node->est_rows = out;
-      // Hash join: build right + probe left + emit.
-      node->est_cost = child_cost + r.est_rows + l.est_rows + out;
+      // Hash join: serial build on the right, morsel-parallel probe + emit.
+      node->est_cost = child_cost + r.est_rows + (l.est_rows + out) / par;
       return Status::OK();
     }
     case PlanKind::kAggregate: {
@@ -207,7 +210,9 @@ Status DefaultCostModel::Annotate(PlanNode* node, const CostContext& ctx) const 
                             : child.est_rows * kDefaultGroupRatio;
       }
       node->est_rows = std::max(groups, 1.0);
-      node->est_cost = child_cost + child.est_rows + node->est_rows;
+      // Thread-local accumulation parallelizes; the merge/emit over groups
+      // stays serial.
+      node->est_cost = child_cost + child.est_rows / par + node->est_rows;
       return Status::OK();
     }
     case PlanKind::kSort: {

@@ -1,9 +1,11 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 
+#include "accel/device.h"
 #include "db/exec/row_key.h"
 
 namespace dl2sql::db {
@@ -44,6 +46,12 @@ EvalContext Database::MakeEvalContext() {
   EvalContext ctx;
   ctx.udfs = &udfs_;
   ctx.costs = costs_;
+  if (exec_options_.device != nullptr) {
+    ctx.pool = exec_options_.device->pool();
+    if (exec_options_.morsel_size > 0) {
+      ctx.morsel_size = exec_options_.morsel_size;
+    }
+  }
   ctx.subquery_exec = [this](const SelectStmt& stmt) -> Result<Value> {
     DL2SQL_ASSIGN_OR_RETURN(Table t, ExecuteSelect(stmt));
     if (t.num_rows() != 1 || t.num_columns() != 1) {
@@ -103,6 +111,10 @@ Result<PlanPtr> Database::PlanQuery(const SelectStmt& stmt) {
   CostContext cctx;
   cctx.catalog = &catalog_;
   cctx.udfs = &udfs_;
+  if (exec_options_.device != nullptr) {
+    cctx.parallelism =
+        static_cast<double>(exec_options_.device->pool()->num_threads());
+  }
   Optimizer optimizer(opt_options_, cctx);
   return optimizer.Optimize(std::move(plan));
 }
@@ -117,6 +129,10 @@ Result<std::string> Database::Explain(const std::string& sql) {
   CostContext cctx;
   cctx.catalog = &catalog_;
   cctx.udfs = &udfs_;
+  if (exec_options_.device != nullptr) {
+    cctx.parallelism =
+        static_cast<double>(exec_options_.device->pool()->num_threads());
+  }
   const CostModel* model = opt_options_.cost_model.get();
   std::shared_ptr<const CostModel> fallback;
   if (model == nullptr) {
@@ -323,17 +339,57 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
     const auto& build_keys = build_left ? lcols : rcols;
     const auto& probe_keys = build_left ? rcols : lcols;
 
-    auto emit = [&](int64_t b, int64_t p) -> Status {
-      if (build_left) {
-        pairs.emplace_back(b, p);
-      } else {
-        pairs.emplace_back(p, b);
+    // Morsel-parallel probe driver. The build side is immutable once
+    // constructed, so any number of workers may probe it concurrently; each
+    // probe morsel collects its (left, right) pairs into its own buffer and
+    // the buffers are concatenated in morsel order, which reproduces the
+    // serial pair order exactly for every thread count. `per_row(p, out)`
+    // appends the matches of probe row p.
+    std::atomic<int64_t> total_pairs{0};
+    auto run_probe = [&](int64_t probe_count, auto&& per_row) -> Status {
+      const int64_t m = ctx.morsel_size;
+      if (ctx.pool == nullptr || ctx.pool->num_threads() <= 1 ||
+          probe_count <= m) {
+        for (int64_t p = 0; p < probe_count; ++p) {
+          DL2SQL_RETURN_NOT_OK(per_row(p, &pairs));
+          if (static_cast<int64_t>(pairs.size()) > kMaxJoinPairs) {
+            return Status::ResourceExhausted("join produced more than ",
+                                             kMaxJoinPairs, " pairs");
+          }
+        }
+        return Status::OK();
       }
-      if (static_cast<int64_t>(pairs.size()) > kMaxJoinPairs) {
-        return Status::ResourceExhausted("join produced more than ",
-                                         kMaxJoinPairs, " pairs");
+      const int64_t num_morsels = (probe_count + m - 1) / m;
+      std::vector<std::vector<std::pair<int64_t, int64_t>>> parts(
+          static_cast<size_t>(num_morsels));
+      DL2SQL_RETURN_NOT_OK(ctx.pool->ParallelForMorsel(
+          probe_count, m, [&](int64_t bgn, int64_t end, int) -> Status {
+            auto& part = parts[static_cast<size_t>(bgn / m)];
+            for (int64_t p = bgn; p < end; ++p) {
+              DL2SQL_RETURN_NOT_OK(per_row(p, &part));
+            }
+            const int64_t sz = static_cast<int64_t>(part.size());
+            if (total_pairs.fetch_add(sz) + sz > kMaxJoinPairs) {
+              return Status::ResourceExhausted("join produced more than ",
+                                               kMaxJoinPairs, " pairs");
+            }
+            return Status::OK();
+          }));
+      size_t total = pairs.size();
+      for (const auto& part : parts) total += part.size();
+      pairs.reserve(total);
+      for (auto& part : parts) {
+        pairs.insert(pairs.end(), part.begin(), part.end());
       }
       return Status::OK();
+    };
+    auto emit_into = [build_left](std::vector<std::pair<int64_t, int64_t>>* out,
+                                  int64_t b, int64_t p) {
+      if (build_left) {
+        out->emplace_back(b, p);
+      } else {
+        out->emplace_back(p, b);
+      }
     };
 
     auto all_int_no_nulls = [](const std::vector<ColumnHandle>& keys) {
@@ -375,13 +431,16 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
       const auto& pvals = probe_keys[0]->ints();
       if (index != nullptr) {
         ++index_joins_;
-        for (size_t p = 0; p < pvals.size(); ++p) {
-          const std::vector<int64_t>* rows = index->Lookup(pvals[p]);
-          if (rows == nullptr) continue;
-          for (int64_t b : *rows) {
-            DL2SQL_RETURN_NOT_OK(emit(b, static_cast<int64_t>(p)));
-          }
-        }
+        DL2SQL_RETURN_NOT_OK(run_probe(
+            static_cast<int64_t>(pvals.size()),
+            [&](int64_t p,
+                std::vector<std::pair<int64_t, int64_t>>* out) -> Status {
+              const std::vector<int64_t>* rows =
+                  index->Lookup(pvals[static_cast<size_t>(p)]);
+              if (rows == nullptr) return Status::OK();
+              for (int64_t b : *rows) emit_into(out, b, p);
+              return Status::OK();
+            }));
       } else {
         // Single-int64 equi key: skip the generic key encoding entirely.
         const auto& bvals = build_keys[0]->ints();
@@ -390,13 +449,15 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
         for (size_t r = 0; r < bvals.size(); ++r) {
           build[bvals[r]].push_back(static_cast<int64_t>(r));
         }
-        for (size_t p = 0; p < pvals.size(); ++p) {
-          auto it = build.find(pvals[p]);
-          if (it == build.end()) continue;
-          for (int64_t b : it->second) {
-            DL2SQL_RETURN_NOT_OK(emit(b, static_cast<int64_t>(p)));
-          }
-        }
+        DL2SQL_RETURN_NOT_OK(run_probe(
+            static_cast<int64_t>(pvals.size()),
+            [&](int64_t p,
+                std::vector<std::pair<int64_t, int64_t>>* out) -> Status {
+              auto it = build.find(pvals[static_cast<size_t>(p)]);
+              if (it == build.end()) return Status::OK();
+              for (int64_t b : it->second) emit_into(out, b, p);
+              return Status::OK();
+            }));
       }
     } else if (int2_fast_path) {
       // Two-int64 equi keys (e.g. batched (BatchID, TupleID) joins).
@@ -409,13 +470,16 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
       for (size_t r = 0; r < b0.size(); ++r) {
         build[{b0[r], b1[r]}].push_back(static_cast<int64_t>(r));
       }
-      for (size_t p = 0; p < p0.size(); ++p) {
-        auto it = build.find({p0[p], p1[p]});
-        if (it == build.end()) continue;
-        for (int64_t b : it->second) {
-          DL2SQL_RETURN_NOT_OK(emit(b, static_cast<int64_t>(p)));
-        }
-      }
+      DL2SQL_RETURN_NOT_OK(run_probe(
+          static_cast<int64_t>(p0.size()),
+          [&](int64_t p,
+              std::vector<std::pair<int64_t, int64_t>>* out) -> Status {
+            const size_t sp = static_cast<size_t>(p);
+            auto it = build.find({p0[sp], p1[sp]});
+            if (it == build.end()) return Status::OK();
+            for (int64_t b : it->second) emit_into(out, b, p);
+            return Status::OK();
+          }));
     } else {
       std::unordered_map<std::string, std::vector<int64_t>> build;
       build.reserve(static_cast<size_t>(build_table.num_rows()));
@@ -423,14 +487,16 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
         if (RowKeyHasNull(build_keys, r)) continue;
         build[EncodeRowKey(build_keys, r)].push_back(r);
       }
-      for (int64_t p = 0; p < probe_table.num_rows(); ++p) {
-        if (RowKeyHasNull(probe_keys, p)) continue;
-        auto it = build.find(EncodeRowKey(probe_keys, p));
-        if (it == build.end()) continue;
-        for (int64_t b : it->second) {
-          DL2SQL_RETURN_NOT_OK(emit(b, p));
-        }
-      }
+      DL2SQL_RETURN_NOT_OK(run_probe(
+          probe_table.num_rows(),
+          [&](int64_t p,
+              std::vector<std::pair<int64_t, int64_t>>* out) -> Status {
+            if (RowKeyHasNull(probe_keys, p)) return Status::OK();
+            auto it = build.find(EncodeRowKey(probe_keys, p));
+            if (it == build.end()) return Status::OK();
+            for (int64_t b : it->second) emit_into(out, b, p);
+            return Status::OK();
+          }));
     }
   } else {
     // Cross product (with optional residual condition applied below).
@@ -481,6 +547,22 @@ struct AggState {
   Value min;
   Value max;
 };
+
+/// Folds a thread-local aggregate state into the global one. Count/sum/sumsq
+/// are additive; min/max combine by comparison (NULL = no value seen yet).
+void MergeAggState(AggState* dst, const AggState& src) {
+  dst->count += src.count;
+  dst->sum += src.sum;
+  dst->sumsq += src.sumsq;
+  if (!src.min.is_null() &&
+      (dst->min.is_null() || src.min.Compare(dst->min) < 0)) {
+    dst->min = src.min;
+  }
+  if (!src.max.is_null() &&
+      (dst->max.is_null() || src.max.Compare(dst->max) > 0)) {
+    dst->max = src.max;
+  }
+}
 
 }  // namespace
 
@@ -560,6 +642,70 @@ Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
   // Groups in first-seen order, referenced by index from either key map.
   std::vector<Group> groups;
 
+  // Generic grouping driver over one key representation. Serial mode fills
+  // `groups` in first-seen order directly. Parallel mode gives every pool
+  // worker its own hash-index + group vector (no shared mutable state inside
+  // the morsel loop), then merges the thread-local states once: matching
+  // groups fold their AggStates together and keep the minimum first_row, and
+  // a final sort by first_row restores the serial first-seen order for any
+  // thread count.
+  auto run_grouping = [&](auto make_index, auto key_of) -> Status {
+    const size_t num_aggs = node.agg_calls.size();
+    const bool parallel = ctx.pool != nullptr && ctx.pool->num_threads() > 1 &&
+                          n > ctx.morsel_size;
+    if (!parallel) {
+      auto index = make_index();
+      index.reserve(static_cast<size_t>(n) / 4 + 8);
+      for (int64_t row = 0; row < n; ++row) {
+        auto [it, inserted] = index.try_emplace(key_of(row), groups.size());
+        if (inserted) {
+          groups.push_back(Group{row, std::vector<AggState>(num_aggs)});
+        }
+        DL2SQL_RETURN_NOT_OK(accumulate_row(&groups[it->second], row));
+      }
+      return Status::OK();
+    }
+    const int workers = ctx.pool->num_threads();
+    std::vector<std::vector<Group>> wgroups(static_cast<size_t>(workers));
+    std::vector<decltype(make_index())> windex(static_cast<size_t>(workers));
+    DL2SQL_RETURN_NOT_OK(ctx.pool->ParallelForMorsel(
+        n, ctx.morsel_size, [&](int64_t bgn, int64_t end, int w) -> Status {
+          auto& local_groups = wgroups[static_cast<size_t>(w)];
+          auto& local_index = windex[static_cast<size_t>(w)];
+          for (int64_t row = bgn; row < end; ++row) {
+            auto [it, inserted] =
+                local_index.try_emplace(key_of(row), local_groups.size());
+            if (inserted) {
+              local_groups.push_back(Group{row, std::vector<AggState>(num_aggs)});
+            }
+            DL2SQL_RETURN_NOT_OK(
+                accumulate_row(&local_groups[it->second], row));
+          }
+          return Status::OK();
+        }));
+    auto merged = make_index();
+    for (auto& local_groups : wgroups) {
+      for (Group& g : local_groups) {
+        auto [it, inserted] =
+            merged.try_emplace(key_of(g.first_row), groups.size());
+        if (inserted) {
+          groups.push_back(std::move(g));
+          continue;
+        }
+        Group& dst = groups[it->second];
+        dst.first_row = std::min(dst.first_row, g.first_row);
+        for (size_t a = 0; a < num_aggs; ++a) {
+          MergeAggState(&dst.aggs[a], g.aggs[a]);
+        }
+      }
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const Group& a, const Group& b) {
+                return a.first_row < b.first_row;
+              });
+    return Status::OK();
+  };
+
   auto int_keys_no_nulls = [&](size_t count) {
     if (kptrs.size() != count) return false;
     for (const Column* k : kptrs) {
@@ -568,45 +714,26 @@ Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
     return true;
   };
   if (int_keys_no_nulls(1)) {
-    std::unordered_map<int64_t, size_t> index;
-    index.reserve(static_cast<size_t>(n) / 4 + 8);
     const auto& keys = kptrs[0]->ints();
-    for (int64_t row = 0; row < n; ++row) {
-      auto [it, inserted] = index.try_emplace(keys[static_cast<size_t>(row)],
-                                              groups.size());
-      if (inserted) {
-        groups.push_back(Group{row, std::vector<AggState>(
-                                        node.agg_calls.size())});
-      }
-      DL2SQL_RETURN_NOT_OK(accumulate_row(&groups[it->second], row));
-    }
+    DL2SQL_RETURN_NOT_OK(run_grouping(
+        [] { return std::unordered_map<int64_t, size_t>(); },
+        [&](int64_t row) { return keys[static_cast<size_t>(row)]; }));
   } else if (int_keys_no_nulls(2)) {
     // Batched pipelines group on (BatchID, key) pairs.
-    std::unordered_map<Int2Key, size_t, Int2KeyHash> index;
-    index.reserve(static_cast<size_t>(n) / 4 + 8);
     const auto& k0 = kptrs[0]->ints();
     const auto& k1 = kptrs[1]->ints();
-    for (int64_t row = 0; row < n; ++row) {
-      const size_t r = static_cast<size_t>(row);
-      auto [it, inserted] =
-          index.try_emplace(Int2Key{k0[r], k1[r]}, groups.size());
-      if (inserted) {
-        groups.push_back(Group{row, std::vector<AggState>(
-                                        node.agg_calls.size())});
-      }
-      DL2SQL_RETURN_NOT_OK(accumulate_row(&groups[it->second], row));
-    }
+    DL2SQL_RETURN_NOT_OK(run_grouping(
+        [] { return std::unordered_map<Int2Key, size_t, Int2KeyHash>(); },
+        [&](int64_t row) {
+          const size_t r = static_cast<size_t>(row);
+          return Int2Key{k0[r], k1[r]};
+        }));
   } else {
-    std::unordered_map<std::string, size_t> index;
-    for (int64_t row = 0; row < n; ++row) {
-      std::string key = kptrs.empty() ? std::string() : EncodeRowKey(kptrs, row);
-      auto [it, inserted] = index.try_emplace(std::move(key), groups.size());
-      if (inserted) {
-        groups.push_back(Group{row, std::vector<AggState>(
-                                        node.agg_calls.size())});
-      }
-      DL2SQL_RETURN_NOT_OK(accumulate_row(&groups[it->second], row));
-    }
+    DL2SQL_RETURN_NOT_OK(run_grouping(
+        [] { return std::unordered_map<std::string, size_t>(); },
+        [&](int64_t row) {
+          return kptrs.empty() ? std::string() : EncodeRowKey(kptrs, row);
+        }));
   }
 
   // Global aggregate over empty input still yields one row.

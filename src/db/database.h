@@ -14,7 +14,25 @@
 #include "db/planner.h"
 #include "db/sql/parser.h"
 
+namespace dl2sql {
+class Device;
+}
+
 namespace dl2sql::db {
+
+/// \brief Intra-query parallelism knobs threaded through plan execution.
+///
+/// When `device` is set, relational hot loops (predicate evaluation,
+/// FilterRows, hash-join probe, hash aggregation, batched nUDFs) run as
+/// morsels on the device's thread pool. A null device — or a 1-thread device
+/// such as kEdgeCpu — degenerates every loop to the original serial path.
+struct ExecOptions {
+  /// Compute substrate whose ThreadPool executes morsels. Not owned; must
+  /// outlive the Database (engines own both).
+  Device* device = nullptr;
+  /// Rows per morsel pulled off the atomic cursor.
+  int64_t morsel_size = 4096;
+};
 
 /// \brief An embedded, in-memory, columnar SQL engine.
 ///
@@ -37,6 +55,11 @@ class Database {
 
   /// Symmetric-hash-join tuning (hint rule 3).
   SymmetricHashJoinOptions& symmetric_join_options() { return shj_options_; }
+
+  /// Intra-query parallelism: wires a Device's thread pool into plan
+  /// execution. Engines call this once at construction.
+  void set_exec_options(ExecOptions opts) { exec_options_ = opts; }
+  const ExecOptions& exec_options() const { return exec_options_; }
 
   /// When set, operator wall time is charged into this accumulator under
   /// buckets: "scan", "filter", "join", "groupby", "project", "sort",
@@ -119,6 +142,7 @@ class Database {
   UdfRegistry udfs_;
   OptimizerOptions opt_options_;
   SymmetricHashJoinOptions shj_options_;
+  ExecOptions exec_options_;
   CostAccumulator* costs_ = nullptr;
   int64_t neural_calls_ = 0;
   PlanPtr last_plan_;

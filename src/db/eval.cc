@@ -1,12 +1,33 @@
 #include "db/eval.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "accel/thread_pool.h"
 #include "common/string_util.h"
 
 namespace dl2sql::db {
 
 namespace {
+
+int64_t MorselSizeOf(const EvalContext* ctx) {
+  return ctx != nullptr && ctx->morsel_size > 0 ? ctx->morsel_size
+                                                : ThreadPool::kDefaultMorselSize;
+}
+
+/// Runs `fn` over [0, n) in morsels, on the context's pool when one is wired.
+/// Morsel boundaries are identical with and without a pool, so kernels that
+/// keep per-morsel output buffers produce bit-identical results in both modes.
+Status ForEachMorsel(EvalContext* ctx, int64_t n, const ThreadPool::MorselFn& fn) {
+  const int64_t m = MorselSizeOf(ctx);
+  if (ctx != nullptr && ctx->pool != nullptr) {
+    return ctx->pool->ParallelForMorsel(n, m, fn);
+  }
+  for (int64_t b = 0; b < n; b += m) {
+    DL2SQL_RETURN_NOT_OK(fn(b, std::min(n, b + m), 0));
+  }
+  return Status::OK();
+}
 
 ColumnHandle Own(Column c) {
   return std::make_shared<const Column>(std::move(c));
@@ -135,38 +156,45 @@ Result<Value> EvalValueBinary(BinaryOp op, const Value& l, const Value& r) {
 namespace {
 
 /// Vectorized arithmetic/comparison fast path for null-free numeric columns.
-Result<ColumnHandle> FastBinary(BinaryOp op, const Column& a, const Column& b) {
+/// All branches write disjoint slots of a preallocated output vector, so the
+/// morsel loop parallelizes without synchronization.
+Result<ColumnHandle> FastBinary(BinaryOp op, const Column& a, const Column& b,
+                                EvalContext* ctx) {
   const int64_t n = a.size();
   if (IsComparison(op)) {
     std::vector<uint8_t> out(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) {
-      const double x = NumAt(a, i);
-      const double y = NumAt(b, i);
-      bool v = false;
-      switch (op) {
-        case BinaryOp::kEq:
-          v = x == y;
-          break;
-        case BinaryOp::kNe:
-          v = x != y;
-          break;
-        case BinaryOp::kLt:
-          v = x < y;
-          break;
-        case BinaryOp::kLe:
-          v = x <= y;
-          break;
-        case BinaryOp::kGt:
-          v = x > y;
-          break;
-        case BinaryOp::kGe:
-          v = x >= y;
-          break;
-        default:
-          break;
-      }
-      out[static_cast<size_t>(i)] = v ? 1 : 0;
-    }
+    DL2SQL_RETURN_NOT_OK(
+        ForEachMorsel(ctx, n, [&](int64_t bgn, int64_t end, int) {
+          for (int64_t i = bgn; i < end; ++i) {
+            const double x = NumAt(a, i);
+            const double y = NumAt(b, i);
+            bool v = false;
+            switch (op) {
+              case BinaryOp::kEq:
+                v = x == y;
+                break;
+              case BinaryOp::kNe:
+                v = x != y;
+                break;
+              case BinaryOp::kLt:
+                v = x < y;
+                break;
+              case BinaryOp::kLe:
+                v = x <= y;
+                break;
+              case BinaryOp::kGt:
+                v = x > y;
+                break;
+              case BinaryOp::kGe:
+                v = x >= y;
+                break;
+              default:
+                break;
+            }
+            out[static_cast<size_t>(i)] = v ? 1 : 0;
+          }
+          return Status::OK();
+        }));
     return Own(Column::Bools(std::move(out)));
   }
   const bool both_int = a.type() == DataType::kInt64 &&
@@ -175,89 +203,101 @@ Result<ColumnHandle> FastBinary(BinaryOp op, const Column& a, const Column& b) {
     std::vector<int64_t> out(static_cast<size_t>(n));
     const auto& xa = a.ints();
     const auto& xb = b.ints();
-    switch (op) {
-      case BinaryOp::kAdd:
-        for (int64_t i = 0; i < n; ++i) out[i] = xa[i] + xb[i];
-        break;
-      case BinaryOp::kSub:
-        for (int64_t i = 0; i < n; ++i) out[i] = xa[i] - xb[i];
-        break;
-      case BinaryOp::kMul:
-        for (int64_t i = 0; i < n; ++i) out[i] = xa[i] * xb[i];
-        break;
-      case BinaryOp::kMod:
-        for (int64_t i = 0; i < n; ++i) {
-          if (xb[i] == 0) return Status::InvalidArgument("modulo by zero");
-          out[i] = xa[i] % xb[i];
-        }
-        break;
-      default:
-        return Status::InternalError("unhandled int binary op");
-    }
+    DL2SQL_RETURN_NOT_OK(
+        ForEachMorsel(ctx, n, [&](int64_t bgn, int64_t end, int) -> Status {
+          switch (op) {
+            case BinaryOp::kAdd:
+              for (int64_t i = bgn; i < end; ++i) out[i] = xa[i] + xb[i];
+              break;
+            case BinaryOp::kSub:
+              for (int64_t i = bgn; i < end; ++i) out[i] = xa[i] - xb[i];
+              break;
+            case BinaryOp::kMul:
+              for (int64_t i = bgn; i < end; ++i) out[i] = xa[i] * xb[i];
+              break;
+            case BinaryOp::kMod:
+              for (int64_t i = bgn; i < end; ++i) {
+                if (xb[i] == 0) return Status::InvalidArgument("modulo by zero");
+                out[i] = xa[i] % xb[i];
+              }
+              break;
+            default:
+              return Status::InternalError("unhandled int binary op");
+          }
+          return Status::OK();
+        }));
     return Own(Column::Ints(std::move(out)));
   }
   std::vector<double> out(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    const double x = NumAt(a, i);
-    const double y = NumAt(b, i);
-    switch (op) {
-      case BinaryOp::kAdd:
-        out[static_cast<size_t>(i)] = x + y;
-        break;
-      case BinaryOp::kSub:
-        out[static_cast<size_t>(i)] = x - y;
-        break;
-      case BinaryOp::kMul:
-        out[static_cast<size_t>(i)] = x * y;
-        break;
-      case BinaryOp::kDiv:
-        out[static_cast<size_t>(i)] = x / y;
-        break;
-      case BinaryOp::kMod: {
-        out[static_cast<size_t>(i)] = std::fmod(x, y);
-        break;
-      }
-      default:
-        return Status::InternalError("unhandled float binary op");
-    }
-  }
+  DL2SQL_RETURN_NOT_OK(
+      ForEachMorsel(ctx, n, [&](int64_t bgn, int64_t end, int) -> Status {
+        for (int64_t i = bgn; i < end; ++i) {
+          const double x = NumAt(a, i);
+          const double y = NumAt(b, i);
+          switch (op) {
+            case BinaryOp::kAdd:
+              out[static_cast<size_t>(i)] = x + y;
+              break;
+            case BinaryOp::kSub:
+              out[static_cast<size_t>(i)] = x - y;
+              break;
+            case BinaryOp::kMul:
+              out[static_cast<size_t>(i)] = x * y;
+              break;
+            case BinaryOp::kDiv:
+              out[static_cast<size_t>(i)] = x / y;
+              break;
+            case BinaryOp::kMod:
+              out[static_cast<size_t>(i)] = std::fmod(x, y);
+              break;
+            default:
+              return Status::InternalError("unhandled float binary op");
+          }
+        }
+        return Status::OK();
+      }));
   return Own(Column::Floats(std::move(out)));
 }
 
-/// Vectorized string comparison fast path.
+/// Vectorized string comparison fast path (morsel-parallel, disjoint writes).
 Result<ColumnHandle> FastStringCompare(BinaryOp op, const Column& a,
-                                       const Column& b) {
+                                       const Column& b, EvalContext* ctx) {
   const int64_t n = a.size();
   std::vector<uint8_t> out(static_cast<size_t>(n));
   const auto& xa = a.strings();
   const auto& xb = b.strings();
-  for (int64_t i = 0; i < n; ++i) {
-    const int c = xa[static_cast<size_t>(i)].compare(xb[static_cast<size_t>(i)]);
-    bool v = false;
-    switch (op) {
-      case BinaryOp::kEq:
-        v = c == 0;
-        break;
-      case BinaryOp::kNe:
-        v = c != 0;
-        break;
-      case BinaryOp::kLt:
-        v = c < 0;
-        break;
-      case BinaryOp::kLe:
-        v = c <= 0;
-        break;
-      case BinaryOp::kGt:
-        v = c > 0;
-        break;
-      case BinaryOp::kGe:
-        v = c >= 0;
-        break;
-      default:
-        break;
-    }
-    out[static_cast<size_t>(i)] = v ? 1 : 0;
-  }
+  DL2SQL_RETURN_NOT_OK(
+      ForEachMorsel(ctx, n, [&](int64_t bgn, int64_t end, int) {
+        for (int64_t i = bgn; i < end; ++i) {
+          const int c =
+              xa[static_cast<size_t>(i)].compare(xb[static_cast<size_t>(i)]);
+          bool v = false;
+          switch (op) {
+            case BinaryOp::kEq:
+              v = c == 0;
+              break;
+            case BinaryOp::kNe:
+              v = c != 0;
+              break;
+            case BinaryOp::kLt:
+              v = c < 0;
+              break;
+            case BinaryOp::kLe:
+              v = c <= 0;
+              break;
+            case BinaryOp::kGt:
+              v = c > 0;
+              break;
+            case BinaryOp::kGe:
+              v = c >= 0;
+              break;
+            default:
+              break;
+          }
+          out[static_cast<size_t>(i)] = v ? 1 : 0;
+        }
+        return Status::OK();
+      }));
   return Own(Column::Bools(std::move(out)));
 }
 
@@ -268,10 +308,10 @@ Result<ColumnHandle> EvalBinary(const Expr& e, const Table& input,
   const BinaryOp op = e.bin_op;
 
   if (op != BinaryOp::kAnd && op != BinaryOp::kOr) {
-    if (BothNumericNoNulls(*l, *r)) return FastBinary(op, *l, *r);
+    if (BothNumericNoNulls(*l, *r)) return FastBinary(op, *l, *r, ctx);
     if (IsComparison(op) && l->type() == DataType::kString &&
         r->type() == DataType::kString && !l->HasNulls() && !r->HasNulls()) {
-      return FastStringCompare(op, *l, *r);
+      return FastStringCompare(op, *l, *r, ctx);
     }
   } else if (l->type() == DataType::kBool && r->type() == DataType::kBool &&
              !l->HasNulls() && !r->HasNulls()) {
@@ -279,11 +319,19 @@ Result<ColumnHandle> EvalBinary(const Expr& e, const Table& input,
     std::vector<uint8_t> out(static_cast<size_t>(n));
     const auto& xa = l->bools();
     const auto& xb = r->bools();
-    if (op == BinaryOp::kAnd) {
-      for (int64_t i = 0; i < n; ++i) out[i] = (xa[i] && xb[i]) ? 1 : 0;
-    } else {
-      for (int64_t i = 0; i < n; ++i) out[i] = (xa[i] || xb[i]) ? 1 : 0;
-    }
+    DL2SQL_RETURN_NOT_OK(
+        ForEachMorsel(ctx, n, [&](int64_t bgn, int64_t end, int) {
+          if (op == BinaryOp::kAnd) {
+            for (int64_t i = bgn; i < end; ++i) {
+              out[i] = (xa[i] && xb[i]) ? 1 : 0;
+            }
+          } else {
+            for (int64_t i = bgn; i < end; ++i) {
+              out[i] = (xa[i] || xb[i]) ? 1 : 0;
+            }
+          }
+          return Status::OK();
+        }));
     return Own(Column::Bools(std::move(out)));
   }
 
@@ -335,25 +383,58 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
                                                  : udf->return_type);
   out.Reserve(n);
 
-  // Vectorized body: one call for the whole column (batched nUDF inference).
+  // Vectorized body: one call per morsel (batched nUDF inference). Splitting
+  // the column into morsels bounds the argument buffer to morsel_size rows
+  // instead of materializing the whole table, and lets parallel-safe bodies
+  // run concurrently on the pool. Per-morsel result buffers concatenated in
+  // morsel order keep output identical to the serial whole-column call.
   if (udf->batch_fn != nullptr) {
-    std::vector<std::vector<Value>> rows(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) {
-      rows[static_cast<size_t>(i)].reserve(args.size());
-      for (const auto& a : args) {
-        rows[static_cast<size_t>(i)].push_back(a->GetValue(i));
+    const int64_t m = MorselSizeOf(ctx);
+    const int64_t num_morsels = n == 0 ? 0 : (n + m - 1) / m;
+    std::vector<std::vector<Value>> parts(static_cast<size_t>(num_morsels));
+    const bool parallel = udf->parallel_safe && ctx->pool != nullptr &&
+                          ctx->pool->num_threads() > 1;
+    // Inference time is accumulated per worker and merged once: concurrent
+    // `ctx->inference_seconds +=` from morsel bodies would race, and the sum
+    // of per-worker compute seconds stays meaningful under parallelism where
+    // a single wall-clock watch would under-count work done.
+    std::vector<double> worker_seconds(
+        static_cast<size_t>(parallel ? ctx->pool->num_threads() : 1), 0.0);
+    auto body = [&](int64_t bgn, int64_t end, int worker) -> Status {
+      std::vector<std::vector<Value>> rows(static_cast<size_t>(end - bgn));
+      for (int64_t i = bgn; i < end; ++i) {
+        auto& row = rows[static_cast<size_t>(i - bgn)];
+        row.reserve(args.size());
+        for (const auto& a : args) row.push_back(a->GetValue(i));
+      }
+      Stopwatch morsel_watch;
+      DL2SQL_ASSIGN_OR_RETURN(std::vector<Value> results, udf->batch_fn(rows));
+      worker_seconds[static_cast<size_t>(worker)] +=
+          morsel_watch.ElapsedSeconds();
+      if (static_cast<int64_t>(results.size()) != end - bgn) {
+        return Status::InternalError(e.func_name, " batch body returned ",
+                                     results.size(), " values for ", end - bgn,
+                                     " rows");
+      }
+      parts[static_cast<size_t>(bgn / m)] = std::move(results);
+      return Status::OK();
+    };
+    if (parallel) {
+      DL2SQL_RETURN_NOT_OK(ctx->pool->ParallelForMorsel(n, m, body));
+    } else {
+      for (int64_t b = 0; b < n; b += m) {
+        DL2SQL_RETURN_NOT_OK(body(b, std::min(n, b + m), 0));
       }
     }
-    DL2SQL_ASSIGN_OR_RETURN(std::vector<Value> results, udf->batch_fn(rows));
-    if (static_cast<int64_t>(results.size()) != n) {
-      return Status::InternalError(e.func_name, " batch body returned ",
-                                   results.size(), " values for ", n, " rows");
-    }
-    for (const auto& v : results) {
-      DL2SQL_RETURN_NOT_OK(out.Append(v).WithContext("result of " + e.func_name));
+    for (auto& part : parts) {
+      for (auto& v : part) {
+        DL2SQL_RETURN_NOT_OK(
+            out.Append(std::move(v)).WithContext("result of " + e.func_name));
+      }
     }
     if (udf->is_neural) {
-      const double secs = watch.ElapsedSeconds();
+      double secs = 0.0;
+      for (double s : worker_seconds) secs += s;
       ctx->inference_seconds += secs;
       ctx->neural_calls += n;
       if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
@@ -374,8 +455,8 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
       if (!untyped_buffer.back().is_null()) {
         Column c(untyped_buffer.back().type());
         c.Reserve(n);
-        for (const auto& bv : untyped_buffer) {
-          DL2SQL_RETURN_NOT_OK(c.Append(bv));
+        for (auto& bv : untyped_buffer) {
+          DL2SQL_RETURN_NOT_OK(c.Append(std::move(bv)));
         }
         out = std::move(c);
         typed = true;
@@ -383,15 +464,16 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
       }
       continue;
     }
-    DL2SQL_RETURN_NOT_OK(out.Append(v).WithContext("result of " + e.func_name));
+    DL2SQL_RETURN_NOT_OK(
+        out.Append(std::move(v)).WithContext("result of " + e.func_name));
   }
-  if (!typed) {
-    // All results NULL.
-    Column c(DataType::kFloat64);
-    for (int64_t i = 0; i < n; ++i) {
-      DL2SQL_RETURN_NOT_OK(c.Append(Value::Null()));
-    }
-    out = std::move(c);
+  if (!typed && n > 0) {
+    // Every row came back NULL from a function with no declared return type,
+    // so there is nothing to infer the column type from. Silently picking
+    // float64 used to mask schema bugs downstream; surface it instead.
+    return Status::TypeError(e.func_name, ": untyped function returned NULL ",
+                             "for all ", n,
+                             " rows; cannot infer result column type");
   }
   if (udf->is_neural) {
     const double secs = watch.ElapsedSeconds();
@@ -633,11 +715,37 @@ Result<std::vector<int64_t>> FilterRows(const Expr& predicate,
   }
   std::vector<int64_t> rows;
   const int64_t n = mask->size();
-  for (int64_t i = 0; i < n; ++i) {
-    if (mask->IsValid(i) && mask->bools()[static_cast<size_t>(i)] != 0) {
-      rows.push_back(i);
+  const int64_t m = MorselSizeOf(ctx);
+  if (ctx == nullptr || ctx->pool == nullptr || ctx->pool->num_threads() <= 1 ||
+      n <= m) {
+    const auto& bits = mask->bools();
+    for (int64_t i = 0; i < n; ++i) {
+      if (mask->IsValid(i) && bits[static_cast<size_t>(i)] != 0) {
+        rows.push_back(i);
+      }
     }
+    return rows;
   }
+  // Morsel-parallel selection: each morsel collects its passing indices into
+  // its own buffer; concatenating buffers in morsel order reproduces the
+  // serial ascending order exactly, for any thread count.
+  const int64_t num_morsels = (n + m - 1) / m;
+  std::vector<std::vector<int64_t>> parts(static_cast<size_t>(num_morsels));
+  DL2SQL_RETURN_NOT_OK(ctx->pool->ParallelForMorsel(
+      n, m, [&](int64_t bgn, int64_t end, int) {
+        auto& part = parts[static_cast<size_t>(bgn / m)];
+        const auto& bits = mask->bools();
+        for (int64_t i = bgn; i < end; ++i) {
+          if (mask->IsValid(i) && bits[static_cast<size_t>(i)] != 0) {
+            part.push_back(i);
+          }
+        }
+        return Status::OK();
+      }));
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  rows.reserve(total);
+  for (const auto& p : parts) rows.insert(rows.end(), p.begin(), p.end());
   return rows;
 }
 

@@ -10,6 +10,10 @@
 #include "db/table.h"
 #include "db/udf.h"
 
+namespace dl2sql {
+class ThreadPool;
+}
+
 namespace dl2sql::db {
 
 /// \brief Shared evaluation state threaded through expression evaluation.
@@ -26,6 +30,11 @@ struct EvalContext {
   /// Number of nUDF invocations (rows actually sent to a model); the hint
   /// benchmarks assert pruning through this counter.
   int64_t neural_calls = 0;
+  /// Worker pool for morsel-parallel kernels; nullptr (or a 1-thread pool)
+  /// degenerates every loop to the serial path. Not owned.
+  ThreadPool* pool = nullptr;
+  /// Rows per morsel for parallel loops (ThreadPool::kDefaultMorselSize).
+  int64_t morsel_size = 4096;
 };
 
 /// Shared, possibly non-owning column handle (column refs alias the input

@@ -31,7 +31,7 @@ void UdfRegistry::Register(ScalarUdf udf) {
 
 void UdfRegistry::RegisterNeural(const std::string& name, DataType return_type,
                                  ScalarFn fn, NUdfInfo info, BatchFn batch_fn,
-                                 int arity) {
+                                 int arity, bool parallel_safe) {
   ScalarUdf udf;
   udf.name = name;
   udf.arity = arity;
@@ -40,6 +40,7 @@ void UdfRegistry::RegisterNeural(const std::string& name, DataType return_type,
   udf.batch_fn = std::move(batch_fn);
   udf.is_neural = true;
   udf.neural = std::move(info);
+  udf.parallel_safe = parallel_safe;
   Register(std::move(udf));
 }
 

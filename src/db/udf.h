@@ -70,6 +70,11 @@ struct ScalarUdf {
   BatchFn batch_fn;
   bool is_neural = false;
   NUdfInfo neural;  ///< meaningful only when is_neural
+  /// True when `batch_fn` may be invoked concurrently from several pool
+  /// workers (pure compute, no shared mutable state). Bodies that re-enter
+  /// the Database (e.g. DL2SQL's SQL-rewrite fallback) must leave this false;
+  /// the evaluator then still batches per morsel but runs morsels serially.
+  bool parallel_safe = false;
 };
 
 /// \brief Case-insensitive registry of scalar functions. Built-in math/util
@@ -83,10 +88,11 @@ class UdfRegistry {
 
   /// Registers a neural UDF. `batch_fn` is optional (vectorized body);
   /// `arity` is 1 for plain nUDFs, 3 for conditional model families
-  /// (keyframe, humidity, temperature).
+  /// (keyframe, humidity, temperature). `parallel_safe` marks `batch_fn` as
+  /// callable concurrently from pool workers.
   void RegisterNeural(const std::string& name, DataType return_type,
                       ScalarFn fn, NUdfInfo info, BatchFn batch_fn = nullptr,
-                      int arity = 1);
+                      int arity = 1, bool parallel_safe = false);
 
   /// Looks up by name (case-insensitive).
   Result<const ScalarUdf*> Find(const std::string& name) const;

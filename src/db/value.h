@@ -48,6 +48,9 @@ class Value {
   const std::string& string_value() const {
     return std::get<StringBox>(data_).bytes;
   }
+  /// Destructively moves the string/blob payload out, leaving this Value's
+  /// bytes in a moved-from state. Call only after checking type().
+  std::string TakeString() { return std::move(std::get<StringBox>(data_).bytes); }
   /// @}
 
   /// Numeric coercion: int/float/bool -> double. Fails otherwise.

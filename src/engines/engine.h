@@ -100,7 +100,12 @@ struct ModelFamilyDeployment {
 class CollaborativeEngine {
  public:
   explicit CollaborativeEngine(std::shared_ptr<Device> device)
-      : device_(std::move(device)) {}
+      : device_(std::move(device)) {
+    // Relational execution (filters, join probe, aggregation, batched nUDFs)
+    // runs morsel-parallel on this device's pool; a 1-thread device (edge
+    // profile) degenerates to the serial paths.
+    db_.set_exec_options({device_.get(), ThreadPool::kDefaultMorselSize});
+  }
   virtual ~CollaborativeEngine() = default;
 
   virtual const char* name() const = 0;

@@ -2,8 +2,12 @@
 /// \brief Thread pool and simulated-device tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "accel/device.h"
 #include "accel/thread_pool.h"
@@ -53,6 +57,123 @@ TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
 TEST(ThreadPoolTest, MinimumOneThread) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolMorselTest, CoversRangeExactlyOnceWithSmallMorsels) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(50000);
+  ASSERT_TRUE(pool.ParallelForMorsel(50000, 128,
+                                     [&](int64_t b, int64_t e, int) {
+                                       for (int64_t i = b; i < e; ++i) {
+                                         hits[static_cast<size_t>(i)]++;
+                                       }
+                                       return Status::OK();
+                                     })
+                  .ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolMorselTest, PropagatesFirstErrorAndCancels) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> morsels_run{0};
+  const Status s = pool.ParallelForMorsel(
+      1 << 20, 64, [&](int64_t b, int64_t, int) -> Status {
+        morsels_run++;
+        if (b >= 4096) {
+          return Status::InvalidArgument("boom at ", b);
+        }
+        return Status::OK();
+      });
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("boom"), std::string::npos);
+  // Cancellation: the failure stops the cursor well before all 16384
+  // morsels are dispatched.
+  EXPECT_LT(morsels_run.load(), (1 << 20) / 64);
+}
+
+TEST(ThreadPoolMorselTest, RangeSmallerThanOneMorselRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;  // safe without atomics: must run inline on this thread
+  ASSERT_TRUE(pool.ParallelForMorsel(100, 4096,
+                                     [&](int64_t b, int64_t e, int worker) {
+                                       ++calls;
+                                       EXPECT_EQ(b, 0);
+                                       EXPECT_EQ(e, 100);
+                                       EXPECT_EQ(worker, 0);
+                                       return Status::OK();
+                                     })
+                  .ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolMorselTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  ASSERT_TRUE(pool.ParallelForMorsel(100000, 64,
+                                     [&](int64_t, int64_t, int worker) {
+                                       if (worker < 0 || worker >= 3) {
+                                         bad = true;
+                                       }
+                                       return Status::OK();
+                                     })
+                  .ok());
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolMorselTest, NestedInvocationFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> inner_total{0};
+  const Status s = pool.ParallelForMorsel(
+      1 << 16, 1024, [&](int64_t b, int64_t e, int) {
+        // A nested parallel loop issued from a pool worker must degrade to an
+        // inline serial loop instead of waiting on the (occupied) pool.
+        int64_t local = 0;
+        const Status inner = pool.ParallelForMorsel(
+            e - b, 128, [&](int64_t ib, int64_t ie, int) {
+              local += ie - ib;
+              return Status::OK();
+            });
+        inner_total += local;
+        return inner;
+      });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(inner_total.load(), 1 << 16);
+}
+
+TEST(ThreadPoolMorselTest, ZeroRowsIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  ASSERT_TRUE(pool.ParallelForMorsel(0, 4096,
+                                     [&](int64_t, int64_t, int) {
+                                       called = true;
+                                       return Status::OK();
+                                     })
+                  .ok());
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolMorselTest, FixedBoundariesRegardlessOfThreadCount) {
+  // Morsel i must cover [i*m, min(n, (i+1)*m)) for every pool size — the
+  // property per-morsel output buffers rely on for determinism.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> seen;
+    ASSERT_TRUE(pool.ParallelForMorsel(10000, 1024,
+                                       [&](int64_t b, int64_t e, int) {
+                                         std::lock_guard<std::mutex> lock(mu);
+                                         seen.emplace_back(b, e);
+                                         return Status::OK();
+                                       })
+                    .ok());
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), 10u);
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i].first, static_cast<int64_t>(i) * 1024);
+      EXPECT_EQ(seen[i].second,
+                std::min<int64_t>(10000, static_cast<int64_t>(i + 1) * 1024));
+    }
+  }
 }
 
 TEST(DeviceTest, ProfilesMatchPaperTestbeds) {

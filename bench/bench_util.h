@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "workload/testbed.h"
 
 namespace dl2sql::bench {
@@ -49,6 +51,24 @@ inline void PrintCell(const std::string& s) { std::printf("%-16s", s.c_str()); }
 inline void PrintCell(double v) { std::printf("%-16.4f", v); }
 inline void PrintCell(int64_t v) { std::printf("%-16lld", (long long)v); }
 inline void EndRow() { std::printf("\n"); }
+
+/// Format version of the metrics snapshot embedded in BENCH_*.json files.
+/// Bump when the snapshot layout changes so tooling can dispatch on it.
+inline constexpr int kMetricsSnapshotVersion = 1;
+
+/// Versioned observability snapshot for embedding into bench result files:
+/// the full metrics registry plus the per-span-name trace summary. Returns a
+/// JSON object; emit it under a "metrics_snapshot" key.
+inline std::string MetricsSnapshotJson() {
+  std::string out = "{\"version\": ";
+  out += std::to_string(kMetricsSnapshotVersion);
+  out += ", \"metrics\": ";
+  out += MetricsRegistry::Global().ToJson();
+  out += ", \"trace_summary\": ";
+  out += TraceCollector::Global().SummaryJson();
+  out += "}";
+  return out;
+}
 
 /// Fails the binary loudly on error (benches have no recovery path).
 #define BENCH_CHECK_OK(expr)                                          \

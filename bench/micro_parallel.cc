@@ -169,7 +169,10 @@ int main() {
     }
     std::fprintf(out, "}}%s\n", i + 1 < workloads.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"metrics_snapshot\": %s\n",
+               MetricsSnapshotJson().c_str());
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote BENCH_parallel.json\n");
   return 0;

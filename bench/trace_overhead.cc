@@ -1,0 +1,105 @@
+/// \file trace_overhead.cc
+/// \brief Guard: tracing compiled in but runtime-disabled must cost < 5%.
+///
+/// A disabled DL2SQL_TRACE_SPAN is one relaxed atomic load plus two empty
+/// string constructions; this binary proves that stays in the noise against
+/// a realistic per-span workload (a few microseconds of arithmetic, the
+/// scale of one morsel or one small NN layer). Exits non-zero when the
+/// median instrumented/plain ratio exceeds the threshold, so CI fails if a
+/// future change makes "tracing off" expensive.
+///
+/// Run with --enabled to instead sanity-check that enabled tracing records
+/// events (no timing guard; enabled tracing is allowed to cost more).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/timer.h"
+#include "common/trace.h"
+
+using namespace dl2sql;  // NOLINT
+
+namespace {
+
+constexpr int kWorkloadElems = 4096;  // one morsel's worth of arithmetic
+constexpr int kCallsPerRep = 2000;
+constexpr int kReps = 9;
+constexpr double kMaxOverheadRatio = 1.05;  // < 5% slowdown
+
+// volatile sink defeats whole-loop elimination without perturbing the loop.
+volatile double g_sink = 0;
+
+double WorkloadPlain(const std::vector<double>& data) {
+  double sum = 0;
+  for (double v : data) sum += v * 1.0000001 + 0.5;
+  return sum;
+}
+
+double WorkloadTraced(const std::vector<double>& data) {
+  DL2SQL_TRACE_SPAN("bench", "overhead_probe");
+  double sum = 0;
+  for (double v : data) sum += v * 1.0000001 + 0.5;
+  return sum;
+}
+
+template <typename Fn>
+double MedianRepSeconds(const std::vector<double>& data, Fn fn) {
+  std::vector<double> reps;
+  reps.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    Stopwatch watch;
+    for (int c = 0; c < kCallsPerRep; ++c) g_sink = fn(data);
+    reps.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(reps.begin(), reps.end());
+  return reps[reps.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<double> data(kWorkloadElems);
+  for (int i = 0; i < kWorkloadElems; ++i) data[i] = i * 0.001;
+
+  if (argc > 1 && std::strcmp(argv[1], "--enabled") == 0) {
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().SetEnabled(true);
+    for (int c = 0; c < 100; ++c) g_sink = WorkloadTraced(data);
+    TraceCollector::Global().SetEnabled(false);
+    const int64_t events = TraceCollector::Global().EventCount();
+#if defined(DL2SQL_TRACING_DISABLED)
+    const int64_t expected = 0;
+#else
+    const int64_t expected = 100;
+#endif
+    std::printf("enabled-mode events recorded: %lld (expected %lld)\n",
+                static_cast<long long>(events),
+                static_cast<long long>(expected));
+    return events == expected ? 0 : 1;
+  }
+
+  // Warm-up evens out frequency scaling before the measured reps.
+  for (int c = 0; c < kCallsPerRep; ++c) g_sink = WorkloadPlain(data);
+
+  // Interleave orderings so drift penalizes neither side.
+  const double plain_a = MedianRepSeconds(data, WorkloadPlain);
+  const double traced_a = MedianRepSeconds(data, WorkloadTraced);
+  const double traced_b = MedianRepSeconds(data, WorkloadTraced);
+  const double plain_b = MedianRepSeconds(data, WorkloadPlain);
+  const double plain = std::min(plain_a, plain_b);
+  const double traced = std::min(traced_a, traced_b);
+  const double ratio = traced / plain;
+
+  std::printf("plain   median: %.6fs\n", plain);
+  std::printf("traced  median: %.6fs (tracing disabled at runtime)\n", traced);
+  std::printf("ratio: %.4f (limit %.2f)\n", ratio, kMaxOverheadRatio);
+  if (ratio > kMaxOverheadRatio) {
+    std::fprintf(stderr,
+                 "FAIL: disabled tracing costs %.1f%% (> %.0f%% budget)\n",
+                 (ratio - 1.0) * 100, (kMaxOverheadRatio - 1.0) * 100);
+    return 1;
+  }
+  std::printf("OK: disabled tracing overhead within budget\n");
+  return 0;
+}

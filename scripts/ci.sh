@@ -19,10 +19,24 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-echo "== CI pass 1/2: default build =="
+echo "== CI pass 1/4: default build =="
 run_suite build-ci
 
-echo "== CI pass 2/2: ThreadSanitizer build =="
+echo "== CI pass 2/4: ThreadSanitizer build =="
 run_suite build-ci-tsan -DDL2SQL_SANITIZE=thread
 
-echo "== CI: both passes green =="
+echo "== CI pass 3/4: tracing tests under TSAN =="
+# Redundant with the full TSAN suite above, but pinned by name so the
+# concurrency-sensitive observability tests cannot silently drop out of
+# coverage if the suite layout changes.
+ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters"
+
+echo "== CI pass 4/4: tracing-overhead guard =="
+# Tracing compiled in but runtime-disabled must stay under a 5% slowdown,
+# and enabled tracing must actually record spans. Uses the default
+# (unsanitized) build: TSAN timing is meaningless for an overhead guard.
+cmake --build build-ci -j "${JOBS}" --target bench_trace_overhead
+./build-ci/bench/bench_trace_overhead
+./build-ci/bench/bench_trace_overhead --enabled
+
+echo "== CI: all passes green =="

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace dl2sql {
 
 namespace {
@@ -16,6 +19,9 @@ thread_local bool tls_in_pool_worker = false;
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
+  worker_busy_us_ = std::make_unique<std::atomic<int64_t>[]>(
+      static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) worker_busy_us_[static_cast<size_t>(i)] = 0;
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -54,6 +60,36 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+Status ThreadPool::RunMorsel(const MorselFn& fn, int64_t begin, int64_t end,
+                             int worker) {
+  const int64_t t0 = TraceCollector::NowMicros();
+  Status s;
+#if !defined(DL2SQL_TRACING_DISABLED)
+  if (TraceCollector::Global().enabled()) {
+    DL2SQL_TRACE_SPAN("pool", "morsel",
+                      "\"worker\":" + std::to_string(worker) +
+                          ",\"begin\":" + std::to_string(begin) +
+                          ",\"end\":" + std::to_string(end));
+    s = fn(begin, end, worker);
+  } else {
+    s = fn(begin, end, worker);
+  }
+#else
+  s = fn(begin, end, worker);
+#endif
+  const int64_t us = TraceCollector::NowMicros() - t0;
+  worker_busy_us_[static_cast<size_t>(worker)].fetch_add(
+      us, std::memory_order_relaxed);
+  // Static handles: one registry lookup for the process lifetime.
+  static Counter* const morsels =
+      MetricsRegistry::Global().counter("pool.morsels");
+  static Histogram* const morsel_us =
+      MetricsRegistry::Global().histogram("pool.morsel_us");
+  morsels->Increment();
+  morsel_us->Record(us);
+  return s;
+}
+
 Status ThreadPool::ParallelForMorsel(int64_t n, int64_t morsel_size,
                                      const MorselFn& fn) {
   if (n <= 0) return Status::OK();
@@ -64,7 +100,7 @@ Status ThreadPool::ParallelForMorsel(int64_t n, int64_t morsel_size,
   // per-morsel output buffers see identical boundaries in every mode.
   if (num_threads() == 1 || n <= morsel_size || tls_in_pool_worker) {
     for (int64_t b = 0; b < n; b += morsel_size) {
-      DL2SQL_RETURN_NOT_OK(fn(b, std::min(n, b + morsel_size), 0));
+      DL2SQL_RETURN_NOT_OK(RunMorsel(fn, b, std::min(n, b + morsel_size), 0));
     }
     return Status::OK();
   }
@@ -85,7 +121,7 @@ Status ThreadPool::ParallelForMorsel(int64_t n, int64_t morsel_size,
       while (!failed.load(std::memory_order_relaxed)) {
         const int64_t begin = cursor.fetch_add(morsel_size);
         if (begin >= n) break;
-        Status s = fn(begin, std::min(n, begin + morsel_size), w);
+        Status s = RunMorsel(fn, begin, std::min(n, begin + morsel_size), w);
         if (!s.ok()) {
           std::lock_guard<std::mutex> lock(done_mu);
           if (first_error.ok()) first_error = std::move(s);

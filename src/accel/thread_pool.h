@@ -4,9 +4,11 @@
 /// the morsel-driven relational executor.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -64,15 +66,32 @@ class ThreadPool {
   /// n is small.
   void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
 
+  /// Cumulative seconds worker `w` spent inside morsel bodies since
+  /// construction (inline/serial fallbacks charge worker 0). ExplainAnalyze
+  /// diffs these around a plan node to render the per-worker parallelism
+  /// breakdown.
+  double worker_busy_seconds(int w) const {
+    return static_cast<double>(
+               worker_busy_us_[static_cast<size_t>(w)].load(
+                   std::memory_order_relaxed)) /
+           1e6;
+  }
+
  private:
   void WorkerLoop();
   void Submit(std::function<void()> task);
+
+  /// Runs one morsel: traces it (when tracing is enabled) and charges its
+  /// wall time to the worker's busy tally and the pool metrics.
+  Status RunMorsel(const MorselFn& fn, int64_t begin, int64_t end, int worker);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;
+  /// Per-worker busy micros (atomic: readers may poll while workers run).
+  std::unique_ptr<std::atomic<int64_t>[]> worker_busy_us_;
 };
 
 }  // namespace dl2sql

@@ -1,11 +1,32 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "common/trace.h"
 
 namespace dl2sql {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Initial level: DL2SQL_LOG_LEVEL env var (debug|info|warning|error, or a
+/// numeric level); default kWarning so benchmarks stay quiet.
+int InitialLogLevel() {
+  const char* v = std::getenv("DL2SQL_LOG_LEVEL");
+  if (v == nullptr || *v == '\0') return static_cast<int>(LogLevel::kWarning);
+  if (std::strcmp(v, "debug") == 0 || std::strcmp(v, "DEBUG") == 0) return 0;
+  if (std::strcmp(v, "info") == 0 || std::strcmp(v, "INFO") == 0) return 1;
+  if (std::strcmp(v, "warning") == 0 || std::strcmp(v, "WARNING") == 0 ||
+      std::strcmp(v, "warn") == 0 || std::strcmp(v, "WARN") == 0) {
+    return 2;
+  }
+  if (std::strcmp(v, "error") == 0 || std::strcmp(v, "ERROR") == 0) return 3;
+  if (v[0] >= '0' && v[0] <= '4' && v[1] == '\0') return v[0] - '0';
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -39,7 +60,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    // Monotonic seconds since process start + compact thread id (shared with
+    // the trace collector) make interleaved parallel-exec logs attributable.
+    const int64_t us = TraceCollector::NowMicros();
+    char stamp[48];
+    std::snprintf(stamp, sizeof(stamp), "%lld.%06lld t%d",
+                  static_cast<long long>(us / 1000000),
+                  static_cast<long long>(us % 1000000),
+                  TraceCollector::CurrentThreadId());
+    stream_ << "[" << stamp << " " << LevelName(level) << " " << base << ":"
+            << line << "] ";
   }
 }
 

@@ -1,0 +1,131 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace dl2sql {
+
+void Histogram::Record(int64_t micros) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  int bucket = 0;
+  // Bucket i covers (2^(i-1), 2^i] micros; everything past the last bound
+  // lands in the +inf bucket.
+  int64_t bound = 1;
+  while (bucket < kNumBuckets - 1 && micros > bound) {
+    bound <<= 1;
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Histogram::BucketBoundMicros(int i) {
+  if (i >= kNumBuckets - 1) return -1;
+  return int64_t{1} << i;
+}
+
+int64_t Histogram::ApproxQuantileMicros(double q) const {
+  const int64_t total = count();
+  if (total == 0) return 0;
+  const int64_t target = static_cast<int64_t>(q * static_cast<double>(total));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen > target) return BucketBoundMicros(i);
+  }
+  return BucketBoundMicros(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map: stable addresses, deterministic JSON ordering.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(c->value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  char buf[48];
+  for (const auto& [name, g] : impl_->gauges) {
+    if (!first) out += ", ";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.6g", g->value());
+    out += "\"" + name + "\": " + buf;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": {\"count\": " + std::to_string(h->count()) +
+           ", \"sum_us\": " + std::to_string(h->sum_micros()) +
+           ", \"p50_us\": " + std::to_string(h->ApproxQuantileMicros(0.5)) +
+           ", \"p99_us\": " + std::to_string(h->ApproxQuantileMicros(0.99)) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [_, c] : impl_->counters) c->Reset();
+  for (auto& [_, g] : impl_->gauges) g->Reset();
+  for (auto& [_, h] : impl_->histograms) h->Reset();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> names;
+  names.reserve(impl_->counters.size());
+  for (const auto& [name, _] : impl_->counters) names.push_back(name);
+  return names;
+}
+
+}  // namespace dl2sql

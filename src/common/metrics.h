@@ -1,0 +1,96 @@
+/// \file metrics.h
+/// \brief Process-wide metrics registry: counters, gauges, and fixed-bucket
+/// latency histograms.
+///
+/// One system replaces the scattered ad-hoc counters (Database tallies,
+/// QueryCost triples, NodeRunStats) as the home for cross-layer runtime
+/// counters. Handles returned by the registry are stable for the process
+/// lifetime, so hot paths look a metric up once and then update a plain
+/// atomic — safe from any thread, including pool workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dl2sql {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written floating-point metric (e.g. pool size, cache residency).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket latency histogram (microseconds).
+///
+/// Buckets are powers of two from 1us up; the last bucket is +inf. Fixed
+/// bounds keep Record() allocation-free and mergeable across threads.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 24;  ///< [1us, 2us, ..., ~8.4s, +inf)
+
+  void Record(int64_t micros);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum_micros() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound (inclusive) of bucket `i` in micros; -1 for the +inf bucket.
+  static int64_t BucketBoundMicros(int i);
+  /// Approximate quantile (upper bucket bound of the q-th sample), q in [0,1].
+  int64_t ApproxQuantileMicros(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+/// \brief Named registry of metrics. Lookup takes a lock; returned handles
+/// are lock-free to update and remain valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Structured snapshot of every registered metric:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///   {"count":..,"sum_us":..,"p50_us":..,"p99_us":..}}}
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric (handles stay valid). Test/bench hook.
+  void ResetAll();
+
+  /// Sorted names of registered counters (introspection/tests).
+  std::vector<std::string> CounterNames() const;
+
+ private:
+  MetricsRegistry();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state
+};
+
+}  // namespace dl2sql

@@ -1,0 +1,248 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace dl2sql {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Process-wide trace epoch: first touch of the collector.
+SteadyClock::time_point TraceEpoch() {
+  static const SteadyClock::time_point epoch = SteadyClock::now();
+  return epoch;
+}
+
+std::atomic<int32_t> g_next_thread_id{0};
+
+/// Escapes a string for embedding inside a JSON string literal.
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+/// A thread's event buffer. The owning thread appends under `mu`; since only
+/// snapshot/clear ever contend, the lock is uncontended on the hot path.
+struct ThreadTraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceCollector::Impl {
+  std::atomic<bool> enabled{false};
+  std::mutex registry_mu;
+  /// Owned forever (threads may outlive interest in their buffers; a few KB
+  /// per thread is cheaper than lifetime bookkeeping).
+  std::vector<ThreadTraceBuffer*> buffers;
+
+  ThreadTraceBuffer* BufferForThisThread() {
+    thread_local ThreadTraceBuffer* tls_buffer = nullptr;
+    if (tls_buffer == nullptr) {
+      tls_buffer = new ThreadTraceBuffer();
+      std::lock_guard<std::mutex> lock(registry_mu);
+      buffers.push_back(tls_buffer);
+    }
+    return tls_buffer;
+  }
+};
+
+TraceCollector::TraceCollector() : impl_(new Impl()) { (void)TraceEpoch(); }
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();  // leaked singleton
+  return *collector;
+}
+
+void TraceCollector::SetEnabled(bool enabled) {
+  impl_->enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceCollector::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->registry_mu);
+  for (ThreadTraceBuffer* b : impl_->buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->events.clear();
+  }
+}
+
+void TraceCollector::Record(TraceEvent event) {
+  ThreadTraceBuffer* b = impl_->BufferForThisThread();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    for (ThreadTraceBuffer* b : impl_->buffers) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+int64_t TraceCollector::EventCount() const {
+  int64_t n = 0;
+  std::lock_guard<std::mutex> lock(impl_->registry_mu);
+  for (ThreadTraceBuffer* b : impl_->buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += static_cast<int64_t>(b->events.size());
+  }
+  return n;
+}
+
+std::string TraceCollector::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(e.name, &out);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(e.category, &out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,\"pid\":1,"
+                  "\"tid\":%d",
+                  static_cast<long long>(e.start_us),
+                  static_cast<long long>(e.duration_us), e.tid);
+    out += buf;
+    out += ",\"args\":{\"depth\":" + std::to_string(e.depth);
+    if (!e.args.empty()) {
+      out += ",";
+      out += e.args;
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status TraceCollector::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file ", path);
+  }
+  const std::string json = ToChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace output file ", path);
+  }
+  return Status::OK();
+}
+
+std::string TraceCollector::SummaryJson() const {
+  struct Agg {
+    int64_t count = 0;
+    int64_t total_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : Snapshot()) {
+    Agg& a = by_name[e.name];
+    ++a.count;
+    a.total_us += e.duration_us;
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, agg] : by_name) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\": {\"count\": " + std::to_string(agg.count) +
+           ", \"total_us\": " + std::to_string(agg.total_us) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+int64_t TraceCollector::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             SteadyClock::now() - TraceEpoch())
+      .count();
+}
+
+int32_t TraceCollector::CurrentThreadId() {
+  thread_local int32_t tls_tid = g_next_thread_id.fetch_add(1);
+  return tls_tid;
+}
+
+namespace internal {
+
+namespace {
+thread_local int32_t tls_trace_depth = 0;
+}  // namespace
+
+int32_t TraceDepth() { return tls_trace_depth; }
+
+}  // namespace internal
+
+TraceSpan::TraceSpan(const char* category, std::string name, std::string args)
+    : active_(TraceCollector::Global().enabled()) {
+  if (!active_) return;
+  category_ = category;
+  name_ = std::move(name);
+  args_ = std::move(args);
+  depth_ = internal::tls_trace_depth++;
+  start_us_ = TraceCollector::NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --internal::tls_trace_depth;
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = category_;
+  e.args = std::move(args_);
+  e.start_us = start_us_;
+  e.duration_us = TraceCollector::NowMicros() - start_us_;
+  e.tid = TraceCollector::CurrentThreadId();
+  e.depth = depth_;
+  TraceCollector::Global().Record(e);
+}
+
+}  // namespace dl2sql

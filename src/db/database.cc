@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <unordered_map>
 
 #include "accel/device.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "db/exec/row_key.h"
 
 namespace dl2sql::db {
@@ -65,7 +68,7 @@ EvalContext Database::MakeEvalContext() {
 }
 
 double Database::DrainEvalContext(const EvalContext& ctx) {
-  neural_calls_ += ctx.neural_calls;
+  neural_calls_.fetch_add(ctx.neural_calls, std::memory_order_relaxed);
   return ctx.inference_seconds;
 }
 
@@ -165,12 +168,37 @@ Status Database::RegisterTable(const std::string& name, Table table,
 // ------------------------------------------------------------- operators ----
 
 Result<Table> Database::ExecNode(const PlanNode& node) {
+  DL2SQL_TRACE_SPAN("db", PlanKindToString(node.kind));
   if (!collect_node_stats_) return ExecNodeImpl(node);
+
+  ThreadPool* pool =
+      exec_options_.device != nullptr ? exec_options_.device->pool() : nullptr;
+  const int workers = pool != nullptr ? pool->num_threads() : 0;
+  std::vector<double> busy_before(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    busy_before[static_cast<size_t>(w)] = pool->worker_busy_seconds(w);
+  }
+
   Stopwatch watch;
   auto result = ExecNodeImpl(node);
+  const double elapsed = watch.ElapsedSeconds();
+
+  std::lock_guard<std::mutex> lock(node_stats_mu_);
   NodeRunStats& stats = node_stats_[&node];
-  stats.cumulative_seconds += watch.ElapsedSeconds();
+  stats.cumulative_seconds += elapsed;
   if (result.ok()) stats.rows += result->num_rows();
+  if (workers > 0) {
+    if (static_cast<int>(stats.worker_busy_seconds.size()) < workers) {
+      stats.worker_busy_seconds.resize(static_cast<size_t>(workers), 0.0);
+    }
+    // Busy-time delta while this subtree ran. Morsels issued by concurrent
+    // re-entrant queries would be co-charged, but ExplainAnalyze drives one
+    // query at a time.
+    for (int w = 0; w < workers; ++w) {
+      stats.worker_busy_seconds[static_cast<size_t>(w)] +=
+          pool->worker_busy_seconds(w) - busy_before[static_cast<size_t>(w)];
+    }
+  }
   return result;
 }
 
@@ -184,6 +212,15 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   last_plan_ = plan;
   node_stats_.clear();
   collect_node_stats_ = true;
+
+  // Registry counter values before execution: the footer reports the deltas
+  // this query produced (nUDF invocations, cache hits, pool morsels, ...).
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::map<std::string, int64_t> counters_before;
+  for (const auto& name : registry.CounterNames()) {
+    counters_before[name] = registry.counter(name)->value();
+  }
+
   auto result = ExecNode(*plan);
   collect_node_stats_ = false;
   DL2SQL_RETURN_NOT_OK(result.status());
@@ -209,11 +246,37 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
                     it->second.cumulative_seconds,
                     std::max(0.0, it->second.cumulative_seconds - children));
       out += buf;
+      // Per-worker parallelism breakdown: seconds each pool worker spent
+      // inside morsel bodies while this subtree ran. Omitted for nodes whose
+      // subtree never touched the pool.
+      double busy_total = 0;
+      for (double s : it->second.worker_busy_seconds) busy_total += s;
+      if (busy_total > 0) {
+        out += " [workers:";
+        for (size_t w = 0; w < it->second.worker_busy_seconds.size(); ++w) {
+          char wbuf[48];
+          std::snprintf(wbuf, sizeof(wbuf), " w%zu=%.4fs", w,
+                        it->second.worker_busy_seconds[w]);
+          out += wbuf;
+        }
+        out += "]";
+      }
     }
     out += "\n";
     for (const auto& c : n.children) render(*c, indent + 1);
   };
   render(*plan, 0);
+
+  // Footer: registry counters incremented by this query.
+  std::string footer;
+  for (const auto& name : registry.CounterNames()) {
+    const int64_t before =
+        counters_before.count(name) ? counters_before.at(name) : 0;
+    const int64_t delta = registry.counter(name)->value() - before;
+    if (delta == 0) continue;
+    footer += "  " + name + "=" + std::to_string(delta) + "\n";
+  }
+  if (!footer.empty()) out += "Counters:\n" + footer;
   return out;
 }
 
@@ -319,6 +382,9 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
                                       *node.equi_keys[0].second, &ctx,
                                       shj_options_, &last_shj_stats_));
     ++symmetric_joins_;
+    static Counter* const symmetric_counter =
+        MetricsRegistry::Global().counter("db.symmetric_joins");
+    symmetric_counter->Increment();
   } else if (!node.equi_keys.empty()) {
     // Hash join: build on the right, probe with the left.
     std::vector<ColumnHandle> lkeys, rkeys;
@@ -431,6 +497,9 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
       const auto& pvals = probe_keys[0]->ints();
       if (index != nullptr) {
         ++index_joins_;
+        static Counter* const index_counter =
+            MetricsRegistry::Global().counter("db.index_joins");
+        index_counter->Increment();
         DL2SQL_RETURN_NOT_OK(run_probe(
             static_cast<int64_t>(pvals.size()),
             [&](int64_t p,

@@ -3,8 +3,12 @@
 /// execute, with per-operator cost accounting.
 #pragma once
 
+#include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/timer.h"
 #include "db/catalog.h"
@@ -68,8 +72,13 @@ class Database {
   CostAccumulator* cost_accumulator() const { return costs_; }
 
   /// Total nUDF invocations since construction (hint-pruning assertions).
-  int64_t neural_calls() const { return neural_calls_; }
-  void reset_neural_calls() { neural_calls_ = 0; }
+  /// Atomic: nUDF bodies may finish on pool workers under morsel parallelism.
+  int64_t neural_calls() const {
+    return neural_calls_.load(std::memory_order_relaxed);
+  }
+  void reset_neural_calls() {
+    neural_calls_.store(0, std::memory_order_relaxed);
+  }
 
   /// Executes one SQL statement; SELECTs return their result set, DML/DDL
   /// return an empty result (row count in the zero-column table).
@@ -105,16 +114,23 @@ class Database {
   }
 
   /// Count of symmetric hash joins executed since construction.
-  int64_t symmetric_joins_executed() const { return symmetric_joins_; }
+  int64_t symmetric_joins_executed() const {
+    return symmetric_joins_.load(std::memory_order_relaxed);
+  }
 
   /// Count of hash joins that reused a prebuilt base-table index.
-  int64_t index_joins_executed() const { return index_joins_; }
+  int64_t index_joins_executed() const {
+    return index_joins_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Per-node runtime profile collected when ExplainAnalyze drives a query.
   struct NodeRunStats {
     int64_t rows = 0;
     double cumulative_seconds = 0;
+    /// Seconds each pool worker spent inside morsel bodies while this node
+    /// (or its subtree) executed; empty when no pool is wired.
+    std::vector<double> worker_busy_seconds;
   };
 
   Result<Table> ExecNode(const PlanNode& node);
@@ -144,12 +160,15 @@ class Database {
   SymmetricHashJoinOptions shj_options_;
   ExecOptions exec_options_;
   CostAccumulator* costs_ = nullptr;
-  int64_t neural_calls_ = 0;
+  std::atomic<int64_t> neural_calls_{0};
   PlanPtr last_plan_;
   SymmetricHashJoinStats last_shj_stats_;
-  int64_t symmetric_joins_ = 0;
-  int64_t index_joins_ = 0;
+  std::atomic<int64_t> symmetric_joins_{0};
+  std::atomic<int64_t> index_joins_{0};
   bool collect_node_stats_ = false;
+  /// Guards node_stats_: nUDF bodies can re-enter the executor while an
+  /// ExplainAnalyze run is collecting (generated DL2SQL pipelines).
+  std::mutex node_stats_mu_;
   std::map<const PlanNode*, NodeRunStats> node_stats_;
 };
 

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "accel/thread_pool.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace dl2sql::db {
 
@@ -402,15 +404,24 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
         static_cast<size_t>(parallel ? ctx->pool->num_threads() : 1), 0.0);
     auto body = [&](int64_t bgn, int64_t end, int worker) -> Status {
       std::vector<std::vector<Value>> rows(static_cast<size_t>(end - bgn));
-      for (int64_t i = bgn; i < end; ++i) {
-        auto& row = rows[static_cast<size_t>(i - bgn)];
-        row.reserve(args.size());
-        for (const auto& a : args) row.push_back(a->GetValue(i));
+      {
+        DL2SQL_TRACE_SPAN("nudf", "build_args");
+        for (int64_t i = bgn; i < end; ++i) {
+          auto& row = rows[static_cast<size_t>(i - bgn)];
+          row.reserve(args.size());
+          for (const auto& a : args) row.push_back(a->GetValue(i));
+        }
       }
       Stopwatch morsel_watch;
+      DL2SQL_TRACE_SPAN("nudf", "invoke_batch");
       DL2SQL_ASSIGN_OR_RETURN(std::vector<Value> results, udf->batch_fn(rows));
-      worker_seconds[static_cast<size_t>(worker)] +=
-          morsel_watch.ElapsedSeconds();
+      const double batch_seconds = morsel_watch.ElapsedSeconds();
+      worker_seconds[static_cast<size_t>(worker)] += batch_seconds;
+      if (udf->is_neural) {
+        static Histogram* const batch_us =
+            MetricsRegistry::Global().histogram("nudf.batch_us");
+        batch_us->Record(static_cast<int64_t>(batch_seconds * 1e6));
+      }
       if (static_cast<int64_t>(results.size()) != end - bgn) {
         return Status::InternalError(e.func_name, " batch body returned ",
                                      results.size(), " values for ", end - bgn,
@@ -438,6 +449,12 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
       ctx->inference_seconds += secs;
       ctx->neural_calls += n;
       if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
+      static Counter* const invocations =
+          MetricsRegistry::Global().counter("nudf.invocations");
+      static Counter* const batches =
+          MetricsRegistry::Global().counter("nudf.batches");
+      invocations->Increment(n);
+      batches->Increment(num_morsels);
     }
     return Own(std::move(out));
   }
@@ -480,6 +497,9 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
     ctx->inference_seconds += secs;
     ctx->neural_calls += n;
     if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
+    static Counter* const invocations =
+        MetricsRegistry::Global().counter("nudf.invocations");
+    invocations->Increment(n);
   }
   return Own(std::move(out));
 }
@@ -634,6 +654,9 @@ Result<Value> EvalScalar(const Expr& e, EvalContext* ctx) {
         ctx->inference_seconds += secs;
         ctx->neural_calls += 1;
         if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
+        static Counter* const invocations =
+            MetricsRegistry::Global().counter("nudf.invocations");
+        invocations->Increment();
       }
       return out;
     }

@@ -4,6 +4,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "common/trace.h"
 #include "db/exec/row_key.h"
 
 namespace dl2sql::db {
@@ -125,6 +126,7 @@ Result<std::vector<std::pair<int64_t, int64_t>>> SymmetricHashJoinPairs(
   // Alternate batches from both inputs (symmetric pipelining).
   while (lpos < left.num_rows() || rpos < right.num_rows()) {
     if (lpos < left.num_rows()) {
+      DL2SQL_TRACE_SPAN("join", "shj_left_batch");
       const int64_t end = std::min(left.num_rows(), lpos + options.batch_size);
       DL2SQL_ASSIGN_OR_RETURN(std::vector<std::string> keys,
                               BatchKeys(left, left_key, lpos, end, ctx));
@@ -147,6 +149,7 @@ Result<std::vector<std::pair<int64_t, int64_t>>> SymmetricHashJoinPairs(
       lpos = end;
     }
     if (rpos < right.num_rows()) {
+      DL2SQL_TRACE_SPAN("join", "shj_right_batch");
       const int64_t end = std::min(right.num_rows(), rpos + options.batch_size);
       DL2SQL_ASSIGN_OR_RETURN(std::vector<std::string> keys,
                               BatchKeys(right, right_key, rpos, end, ctx));
@@ -192,8 +195,11 @@ Result<std::vector<std::pair<int64_t, int64_t>>> SymmetricHashJoinPairs(
       }
     }
   };
-  cleanup(ls, rs, /*evicted_is_left=*/true);
-  cleanup(rs, ls, /*evicted_is_left=*/false);
+  {
+    DL2SQL_TRACE_SPAN("join", "shj_cleanup");
+    cleanup(ls, rs, /*evicted_is_left=*/true);
+    cleanup(rs, ls, /*evicted_is_left=*/false);
+  }
 
   if (stats != nullptr) *stats = local_stats;
   return out;

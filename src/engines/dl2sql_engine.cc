@@ -1,7 +1,9 @@
 #include "engines/dl2sql_engine.h"
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "tensor/tensor_blob.h"
 
 namespace dl2sql::engines {
@@ -47,6 +49,11 @@ Status Dl2SqlEngine::DeployModel(const nn::Model& model,
 }
 
 Result<double> Dl2SqlEngine::Deploy(DeployedModel* m) {
+  DL2SQL_TRACE_SPAN("engine", "dl2sql.deploy",
+                    "\"udf\":\"" + m->deployment.udf_name + "\"");
+  static Counter* const deployments =
+      MetricsRegistry::Global().counter("dl2sql.model_deployments");
+  deployments->Increment();
   Stopwatch watch;
   core::ConvertOptions copts = options_.convert;
   // Sanitize to a valid SQL identifier (family variants are named "fam#i").
@@ -304,6 +311,7 @@ Status Dl2SqlEngine::DeployModelFamily(const ModelFamilyDeployment& family) {
 
 Result<db::Table> Dl2SqlEngine::ExecuteCollaborative(const std::string& sql,
                                                      QueryCost* cost) {
+  DL2SQL_TRACE_SPAN("engine", "dl2sql.query");
   QueryCost local;
   last_stats_ = core::PipelineRunStats{};
   call_loading_seconds_ = 0;
@@ -329,6 +337,12 @@ Result<db::Table> Dl2SqlEngine::ExecuteCollaborative(const std::string& sql,
       DL2SQL_ASSIGN_OR_RETURN(double secs, Deploy(m));
       local.loading_seconds += secs;
       deployed_now.push_back(m);
+    } else {
+      // Relational deployment survived from a previous query (cache_models
+      // mode): no conversion cost this time.
+      static Counter* const cache_hits =
+          MetricsRegistry::Global().counter("dl2sql.model_cache_hits");
+      cache_hits->Increment();
     }
     if (prof.NeedsTransfer()) {
       // GPU mode ships the parameter tables to device memory per query —
@@ -341,7 +355,10 @@ Result<db::Table> Dl2SqlEngine::ExecuteCollaborative(const std::string& sql,
 
   CostAccumulator acc;
   db_.set_cost_accumulator(&acc);
-  auto result = db_.Execute(sql);
+  Result<db::Table> result = [&] {
+    DL2SQL_TRACE_SPAN("engine", "dl2sql.exec");
+    return db_.Execute(sql);
+  }();
   // The nUDF body nulls the accumulator before recursing; restore & clear.
   db_.set_cost_accumulator(nullptr);
 

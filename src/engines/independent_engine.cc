@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "db/eval.h"
 #include "tensor/tensor_blob.h"
 
@@ -164,6 +165,7 @@ Result<db::Table> IndependentEngine::ExecuteCollaborative(const std::string& sql
   // relational selectivity (Table V's observation).
   QueryCost local;
   const DeviceProfile& prof = device_->profile();
+  DL2SQL_TRACE_SPAN("engine", "independent.query");
   DL2SQL_ASSIGN_OR_RETURN(db::Statement parsed, db::sql::ParseStatement(sql));
   if (!std::holds_alternative<std::shared_ptr<db::SelectStmt>>(parsed)) {
     return Status::InvalidArgument(
@@ -263,6 +265,10 @@ Result<db::Table> IndependentEngine::ExecuteCollaborative(const std::string& sql
   std::vector<std::string> temp_tables;
   int pred_idx = 0;
   for (auto& [alias_key, src] : sources) {
+    // Q_learning phase: local scan + DL-system serving + boundary shipping
+    // for one source relation.
+    DL2SQL_TRACE_SPAN("engine", "independent.q_learning",
+                      "\"relation\":\"" + src.base_table + "\"");
     // Local relational scan of the source relation, inside the database.
     auto local_stmt = std::make_shared<db::SelectStmt>();
     local_stmt->items.push_back({db::Expr::Star(), ""});
@@ -309,8 +315,13 @@ Result<db::Table> IndependentEngine::ExecuteCollaborative(const std::string& sql
       local.loading_seconds +=
           decode_watch.ElapsedSeconds() * CpuFactor();
 
-      DL2SQL_ASSIGN_OR_RETURN(std::vector<db::Value> preds,
-                              ServeBatch(call->func_name, inputs, &local));
+      std::vector<db::Value> preds;
+      {
+        DL2SQL_TRACE_SPAN("engine", "independent.serve",
+                          "\"udf\":\"" + call->func_name + "\"");
+        DL2SQL_ASSIGN_OR_RETURN(preds,
+                                ServeBatch(call->func_name, inputs, &local));
+      }
 
       // Predictions travel back across the boundary into the database.
       uint64_t pred_bytes = 0;
@@ -371,7 +382,11 @@ Result<db::Table> IndependentEngine::ExecuteCollaborative(const std::string& sql
 
   CostAccumulator acc3;
   db_.set_cost_accumulator(&acc3);
-  auto result = db_.ExecuteSelect(*phase3);
+  Result<db::Table> result = [&] {
+    // Q_db phase: the rewritten query over the enriched temp tables.
+    DL2SQL_TRACE_SPAN("engine", "independent.q_db");
+    return db_.ExecuteSelect(*phase3);
+  }();
   db_.set_cost_accumulator(nullptr);
   for (const auto& t : temp_tables) {
     (void)db_.catalog().DropTable(t, true);

@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "tensor/tensor_blob.h"
 
 namespace dl2sql::engines {
@@ -203,16 +204,23 @@ Status UdfEngine::DeployModelFamily(const ModelFamilyDeployment& family) {
 
 Result<db::Table> UdfEngine::ExecuteCollaborative(const std::string& sql,
                                                   QueryCost* cost) {
+  DL2SQL_TRACE_SPAN("engine", "udf.query");
   // Models are (re)integrated per query, per the paper's benchmark setup.
-  for (auto& [_, st] : states_) {
-    st->loaded = nullptr;
-    st->weights_on_device = false;
-    st->loading_seconds = 0;
-    st->transfer_seconds = 0;
+  {
+    DL2SQL_TRACE_SPAN("engine", "udf.integrate");
+    for (auto& [_, st] : states_) {
+      st->loaded = nullptr;
+      st->weights_on_device = false;
+      st->loading_seconds = 0;
+      st->transfer_seconds = 0;
+    }
   }
   CostAccumulator acc;
   db_.set_cost_accumulator(&acc);
-  auto result = db_.Execute(sql);
+  Result<db::Table> result = [&] {
+    DL2SQL_TRACE_SPAN("engine", "udf.exec");
+    return db_.Execute(sql);
+  }();
   db_.set_cost_accumulator(nullptr);
   DL2SQL_RETURN_NOT_OK(result.status());
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/trace.h"
+
 namespace dl2sql::nn {
 
 Result<Tensor> Model::Forward(const Tensor& input, Device* device) const {
@@ -12,6 +14,10 @@ Result<Tensor> Model::Forward(const Tensor& input, Device* device) const {
   }
   Tensor x = input;
   for (const auto& layer : layers_) {
+    // One span per layer forward; the kind is the span name so traces
+    // aggregate across models, the layer instance goes into args.
+    DL2SQL_TRACE_SPAN("nn", LayerKindToString(layer->kind()),
+                      "\"layer\":\"" + layer->name() + "\"");
     auto r = layer->Forward(x, device);
     if (!r.ok()) return r.status().WithContext("layer " + layer->name());
     x = std::move(r).ValueOrDie();

@@ -1,0 +1,131 @@
+/// \file ablation_caching.cc
+/// \brief Cross-query caching ablation on the fig8 mixed workload: per
+/// engine, wall-clock seconds with caches disabled, with empty caches
+/// (cold), and with warm caches, plus the warm speedups. Writes
+/// BENCH_caching.json (consumed by scripts/check_bench_regression.py).
+///
+/// The repeated-query shape is the cache's target scenario: a dashboard or
+/// monitoring loop re-issuing the same inference query. Warm runs answer
+/// every nUDF row from the memoized results and reuse the prepared plans, so
+/// the model never runs; the headline number is warm-vs-cold speedup.
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+
+using namespace dl2sql;            // NOLINT
+using namespace dl2sql::bench;     // NOLINT
+using namespace dl2sql::workload;  // NOLINT
+
+namespace {
+
+double RunOnce(Testbed* tb, engines::CollaborativeEngine* engine, int per_type,
+               double selectivity) {
+  Stopwatch watch;
+  auto cost = tb->RunMixedWorkload(engine, per_type, selectivity,
+                                   /*seed=*/2022);
+  BENCH_CHECK_OK(cost.status());
+  return watch.ElapsedSeconds();
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct EngineResult {
+  std::string name;
+  double disabled_seconds = 0;
+  double cold_seconds = 0;
+  double warm_seconds = 0;
+};
+
+}  // namespace
+
+int main() {
+  const int per_type = FullScale() ? 3 : 1;
+  const int kReps = 3;
+  TestbedOptions options = StandardOptions();
+  options.device = DeviceKind::kServerCpu;
+  auto tb = Testbed::Create(options);
+  BENCH_CHECK_OK(tb.status());
+
+  const workload::DatasetSizes sizes =
+      workload::ComputeSizes(options.dataset);
+  const double selectivity =
+      std::min(0.05, 8.0 / static_cast<double>(sizes.fabric));
+
+  db::CacheOptions off;
+  off.enable_nudf_cache = false;
+  off.enable_plan_cache = false;
+
+  PrintHeader("Caching ablation: repeated fig8 mixed workload (seconds)",
+              {"Approach", "Disabled", "Cold", "Warm", "Warm-vs-cold",
+               "Warm-vs-off"});
+
+  std::vector<engines::CollaborativeEngine*> engines_under_test = {
+      (*tb)->udf(), (*tb)->dl2sql(), (*tb)->dl2sql_op()};
+  std::vector<EngineResult> results;
+  for (engines::CollaborativeEngine* engine : engines_under_test) {
+    EngineResult r;
+    r.name = engine->name();
+
+    // Baseline: the exact pre-cache code paths (caches destroyed). First run
+    // discarded so one-time deployment/warmup does not pollute the medians.
+    engine->database().set_cache_options(off);
+    (void)RunOnce(tb->get(), engine, per_type, selectivity);
+    std::vector<double> disabled;
+    for (int i = 0; i < kReps; ++i) {
+      disabled.push_back(RunOnce(tb->get(), engine, per_type, selectivity));
+    }
+    r.disabled_seconds = Median(disabled);
+
+    // Fresh empty caches: the cold run pays the probe+insert overhead, the
+    // warm repeats answer inference from memoized results.
+    engine->database().set_cache_options(db::CacheOptions{});
+    r.cold_seconds = RunOnce(tb->get(), engine, per_type, selectivity);
+    std::vector<double> warm;
+    for (int i = 0; i < kReps; ++i) {
+      warm.push_back(RunOnce(tb->get(), engine, per_type, selectivity));
+    }
+    r.warm_seconds = Median(warm);
+
+    PrintCell(r.name);
+    PrintCell(r.disabled_seconds);
+    PrintCell(r.cold_seconds);
+    PrintCell(r.warm_seconds);
+    PrintCell(r.cold_seconds / r.warm_seconds);
+    PrintCell(r.disabled_seconds / r.warm_seconds);
+    EndRow();
+    results.push_back(r);
+  }
+
+  std::FILE* out = std::fopen("BENCH_caching.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open BENCH_caching.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"ablation_caching\",\n");
+  std::fprintf(out, "  \"per_type\": %d,\n  \"reps\": %d,\n", per_type, kReps);
+  std::fprintf(out, "  \"engines\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const EngineResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"disabled_seconds\": %.6f, "
+                 "\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+                 "\"speedup_warm_vs_cold\": %.3f, "
+                 "\"speedup_warm_vs_disabled\": %.3f}%s\n",
+                 r.name.c_str(), r.disabled_seconds, r.cold_seconds,
+                 r.warm_seconds, r.cold_seconds / r.warm_seconds,
+                 r.disabled_seconds / r.warm_seconds,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"metrics_snapshot\": %s\n",
+               MetricsSnapshotJson().c_str());
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_caching.json\n");
+  return 0;
+}

@@ -10,8 +10,14 @@
 ///
 /// Run with --enabled to instead sanity-check that enabled tracing records
 /// events (no timing guard; enabled tracing is allowed to cost more).
+///
+/// Anti-flake measures: the default 5% threshold is overridable through
+/// DL2SQL_TRACE_OVERHEAD_PCT (e.g. 10 on noisy shared CI runners), and the
+/// whole measurement is retried best-of-3 — one quiet attempt passes, so a
+/// single scheduler hiccup cannot fail the build.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -25,7 +31,18 @@ namespace {
 constexpr int kWorkloadElems = 4096;  // one morsel's worth of arithmetic
 constexpr int kCallsPerRep = 2000;
 constexpr int kReps = 9;
-constexpr double kMaxOverheadRatio = 1.05;  // < 5% slowdown
+constexpr int kAttempts = 3;  // best-of-3: any quiet attempt passes
+
+/// Overhead budget as a ratio (default 1.05 = 5%); DL2SQL_TRACE_OVERHEAD_PCT
+/// overrides the percentage for noisier environments.
+double MaxOverheadRatio() {
+  const char* env = std::getenv("DL2SQL_TRACE_OVERHEAD_PCT");
+  if (env != nullptr) {
+    const double pct = std::atof(env);
+    if (pct > 0) return 1.0 + pct / 100.0;
+  }
+  return 1.05;
+}
 
 // volatile sink defeats whole-loop elimination without perturbing the loop.
 volatile double g_sink = 0;
@@ -82,24 +99,32 @@ int main(int argc, char** argv) {
   // Warm-up evens out frequency scaling before the measured reps.
   for (int c = 0; c < kCallsPerRep; ++c) g_sink = WorkloadPlain(data);
 
-  // Interleave orderings so drift penalizes neither side.
-  const double plain_a = MedianRepSeconds(data, WorkloadPlain);
-  const double traced_a = MedianRepSeconds(data, WorkloadTraced);
-  const double traced_b = MedianRepSeconds(data, WorkloadTraced);
-  const double plain_b = MedianRepSeconds(data, WorkloadPlain);
-  const double plain = std::min(plain_a, plain_b);
-  const double traced = std::min(traced_a, traced_b);
-  const double ratio = traced / plain;
+  const double limit = MaxOverheadRatio();
+  double best_ratio = 0;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    // Interleave orderings so drift penalizes neither side.
+    const double plain_a = MedianRepSeconds(data, WorkloadPlain);
+    const double traced_a = MedianRepSeconds(data, WorkloadTraced);
+    const double traced_b = MedianRepSeconds(data, WorkloadTraced);
+    const double plain_b = MedianRepSeconds(data, WorkloadPlain);
+    const double plain = std::min(plain_a, plain_b);
+    const double traced = std::min(traced_a, traced_b);
+    const double ratio = traced / plain;
 
-  std::printf("plain   median: %.6fs\n", plain);
-  std::printf("traced  median: %.6fs (tracing disabled at runtime)\n", traced);
-  std::printf("ratio: %.4f (limit %.2f)\n", ratio, kMaxOverheadRatio);
-  if (ratio > kMaxOverheadRatio) {
-    std::fprintf(stderr,
-                 "FAIL: disabled tracing costs %.1f%% (> %.0f%% budget)\n",
-                 (ratio - 1.0) * 100, (kMaxOverheadRatio - 1.0) * 100);
-    return 1;
+    std::printf("attempt %d/%d:\n", attempt, kAttempts);
+    std::printf("  plain   median: %.6fs\n", plain);
+    std::printf("  traced  median: %.6fs (tracing disabled at runtime)\n",
+                traced);
+    std::printf("  ratio: %.4f (limit %.2f)\n", ratio, limit);
+    if (attempt == 1 || ratio < best_ratio) best_ratio = ratio;
+    if (ratio <= limit) {
+      std::printf("OK: disabled tracing overhead within budget\n");
+      return 0;
+    }
   }
-  std::printf("OK: disabled tracing overhead within budget\n");
-  return 0;
+  std::fprintf(stderr,
+               "FAIL: disabled tracing costs %.1f%% (> %.0f%% budget) in "
+               "every attempt\n",
+               (best_ratio - 1.0) * 100, (limit - 1.0) * 100);
+  return 1;
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare freshly produced BENCH_*.json files against committed snapshots.
+
+Usage:
+    scripts/check_bench_regression.py FRESH_DIR [BASELINE_DIR]
+
+FRESH_DIR holds the just-produced BENCH_*.json files (e.g. the build
+directory); BASELINE_DIR (default: repo root) holds the committed snapshots.
+For every benchmark file present in BOTH directories, every seconds-like
+numeric leaf (key ending in "seconds" or "_sec") is compared; the check
+fails when a fresh value is more than DL2SQL_BENCH_REGRESSION_PCT percent
+(default 25) slower than the committed baseline.
+
+Only wall-clock regressions fail the check. Speedups, counter drift and new
+or removed keys are reported informationally: committed snapshots come from
+a different machine than CI, so absolute-equality checks would be noise.
+Set DL2SQL_BENCH_REGRESSION_PCT=0 to disable the check (reports only).
+"""
+
+import json
+import os
+import sys
+
+
+def seconds_leaves(node, prefix=""):
+    """Yields (path, value) for every seconds-like numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (dict, list)):
+                yield from seconds_leaves(value, path)
+            elif isinstance(value, (int, float)) and (
+                key.endswith("seconds") or key.endswith("_sec")
+            ):
+                yield path, float(value)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            # Label list entries by their "name" field when present, else index.
+            label = value.get("name", str(i)) if isinstance(value, dict) else str(i)
+            yield from seconds_leaves(value, f"{prefix}[{label}]")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__)
+        return 2
+    fresh_dir = sys.argv[1]
+    baseline_dir = sys.argv[2] if len(sys.argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."
+    )
+    threshold_pct = float(os.environ.get("DL2SQL_BENCH_REGRESSION_PCT", "25"))
+
+    baselines = {
+        name
+        for name in os.listdir(baseline_dir)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    }
+    fresh_files = {
+        name
+        for name in os.listdir(fresh_dir)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    }
+    common = sorted(baselines & fresh_files)
+    if not common:
+        print(f"no BENCH_*.json present in both {fresh_dir} and {baseline_dir}")
+        return 2
+    for name in sorted(baselines - fresh_files):
+        print(f"note: committed {name} has no fresh counterpart (not run?)")
+
+    regressions = []
+    compared = 0
+    for name in common:
+        base = dict(seconds_leaves(load(os.path.join(baseline_dir, name))))
+        fresh = dict(seconds_leaves(load(os.path.join(fresh_dir, name))))
+        for path in sorted(base.keys() | fresh.keys()):
+            if path not in base or path not in fresh:
+                print(f"note: {name}:{path} only in "
+                      f"{'baseline' if path in base else 'fresh'}")
+                continue
+            compared += 1
+            b, f = base[path], fresh[path]
+            if b <= 0:
+                continue  # degenerate baseline; nothing to compare against
+            delta_pct = (f - b) / b * 100.0
+            marker = ""
+            if threshold_pct > 0 and delta_pct > threshold_pct:
+                marker = "  <-- REGRESSION"
+                regressions.append((name, path, b, f, delta_pct))
+            print(f"{name}:{path}: base={b:.6f}s fresh={f:.6f}s "
+                  f"({delta_pct:+.1f}%){marker}")
+
+    print(f"\ncompared {compared} seconds-like leaves across "
+          f"{len(common)} file(s), threshold {threshold_pct:.0f}%")
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s) beyond "
+              f"{threshold_pct:.0f}%:")
+        for name, path, b, f, delta in regressions:
+            print(f"  {name}:{path}: {b:.6f}s -> {f:.6f}s (+{delta:.1f}%)")
+        return 1
+    print("OK: no wall-clock regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,10 @@
 # CI entry point: build + test the default configuration, then rebuild under
 # ThreadSanitizer and rerun the suite. The TSAN pass is what shakes out data
 # races in the morsel-parallel relational paths (filters, join probe, hash
-# aggregation, batched nUDFs) — the parallel_exec and accel tests drive
-# multi-thread Devices explicitly, so races surface even on small hosts.
+# aggregation, batched nUDFs) and the sharded cross-query caches — the
+# parallel_exec, accel and cache tests drive multi-thread Devices explicitly,
+# so races surface even on small hosts. The ASan pass rebuilds under
+# AddressSanitizer+UBSan for memory-error and undefined-behaviour coverage.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -19,20 +21,24 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-echo "== CI pass 1/4: default build =="
+echo "== CI pass 1/5: default build =="
 run_suite build-ci
 
-echo "== CI pass 2/4: ThreadSanitizer build =="
+echo "== CI pass 2/5: ThreadSanitizer build =="
 run_suite build-ci-tsan -DDL2SQL_SANITIZE=thread
 
-echo "== CI pass 3/4: tracing tests under TSAN =="
+echo "== CI pass 3/5: tracing + cache tests under TSAN =="
 # Redundant with the full TSAN suite above, but pinned by name so the
-# concurrency-sensitive observability tests cannot silently drop out of
-# coverage if the suite layout changes.
-ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters"
+# concurrency-sensitive observability and caching tests cannot silently drop
+# out of coverage if the suite layout changes.
+ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters|cache"
 
-echo "== CI pass 4/4: tracing-overhead guard =="
-# Tracing compiled in but runtime-disabled must stay under a 5% slowdown,
+echo "== CI pass 4/5: AddressSanitizer+UBSan build =="
+run_suite build-ci-asan -DDL2SQL_SANITIZE=address
+
+echo "== CI pass 5/5: tracing-overhead guard =="
+# Tracing compiled in but runtime-disabled must stay under the overhead
+# budget (default 5%; DL2SQL_TRACE_OVERHEAD_PCT overrides on noisy hosts),
 # and enabled tracing must actually record spans. Uses the default
 # (unsanitized) build: TSAN timing is meaningless for an overhead guard.
 cmake --build build-ci -j "${JOBS}" --target bench_trace_overhead

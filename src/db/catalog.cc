@@ -17,6 +17,7 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table,
     return Status::AlreadyExists("table '", name, "' already exists");
   }
   tables_[key] = Entry{std::move(table), temporary, std::nullopt};
+  BumpVersion(key);
   return Status::OK();
 }
 
@@ -31,6 +32,7 @@ Status Catalog::CreateView(const std::string& name,
     return Status::AlreadyExists("view '", name, "' already exists");
   }
   views_[key] = std::move(definition);
+  BumpVersion(key);
   return Status::OK();
 }
 
@@ -60,22 +62,31 @@ bool Catalog::HasView(const std::string& name) const {
 }
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
-  if (tables_.erase(Key(name)) == 0 && !if_exists) {
-    return Status::NotFound("table '", name, "' does not exist");
+  if (tables_.erase(Key(name)) == 0) {
+    if (!if_exists) {
+      return Status::NotFound("table '", name, "' does not exist");
+    }
+    return Status::OK();
   }
+  BumpVersion(Key(name));
   return Status::OK();
 }
 
 Status Catalog::DropView(const std::string& name, bool if_exists) {
-  if (views_.erase(Key(name)) == 0 && !if_exists) {
-    return Status::NotFound("view '", name, "' does not exist");
+  if (views_.erase(Key(name)) == 0) {
+    if (!if_exists) {
+      return Status::NotFound("view '", name, "' does not exist");
+    }
+    return Status::OK();
   }
+  BumpVersion(Key(name));
   return Status::OK();
 }
 
 void Catalog::DropAllTemporary() {
   for (auto it = tables_.begin(); it != tables_.end();) {
     if (it->second.temporary) {
+      BumpVersion(it->first);
       it = tables_.erase(it);
     } else {
       ++it;
@@ -89,6 +100,8 @@ Status Catalog::Analyze(const std::string& name) {
     return Status::NotFound("table '", name, "' does not exist");
   }
   it->second.stats = AnalyzeTable(*it->second.table);
+  // Fresh stats steer the optimizer differently: cached plans must re-plan.
+  BumpVersion(it->first);
   return Status::OK();
 }
 
@@ -103,6 +116,8 @@ void Catalog::InvalidateStats(const std::string& name) {
   if (it != tables_.end()) {
     it->second.stats.reset();
     it->second.indexes.clear();
+    // DML invalidation: plans cached against this relation stop validating.
+    BumpVersion(it->first);
   }
 }
 
@@ -116,6 +131,7 @@ Status Catalog::CreateIndex(const std::string& table,
   DL2SQL_ASSIGN_OR_RETURN(std::shared_ptr<HashIndex> index,
                           HashIndex::Build(*it->second.table, col));
   it->second.indexes[ToLower(column)] = std::move(index);
+  BumpVersion(it->first);
   return Status::OK();
 }
 
@@ -144,6 +160,11 @@ std::vector<std::string> Catalog::ViewNames() const {
 bool Catalog::IsTemporary(const std::string& name) const {
   auto it = tables_.find(Key(name));
   return it != tables_.end() && it->second.temporary;
+}
+
+uint64_t Catalog::VersionOf(const std::string& name) const {
+  auto it = versions_.find(Key(name));
+  return it == versions_.end() ? 0 : it->second;
 }
 
 uint64_t Catalog::TotalBytes() const {

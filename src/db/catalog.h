@@ -66,7 +66,16 @@ class Catalog {
   /// Sum of payload bytes over all tables (storage-overhead benchmarks).
   uint64_t TotalBytes() const;
 
+  /// \brief Per-relation schema/content version, for plan-cache validation.
+  ///
+  /// Every mutation touching a name — create/drop (tables and views), DML
+  /// stats invalidation, ANALYZE, index (re)builds — bumps its version. The
+  /// counter outlives drop/recreate cycles, so a cached plan referencing a
+  /// dropped-then-recreated relation can never validate against the new one.
+  uint64_t VersionOf(const std::string& name) const;
+
  private:
+  void BumpVersion(const std::string& key) { ++versions_[key]; }
   struct Entry {
     TablePtr table;
     bool temporary = false;
@@ -78,6 +87,8 @@ class Catalog {
 
   std::map<std::string, Entry> tables_;
   std::map<std::string, std::shared_ptr<SelectStmt>> views_;
+  /// Persistent per-name mutation counters (never erased, even on drop).
+  std::map<std::string, uint64_t> versions_;
 };
 
 }  // namespace dl2sql::db

@@ -6,14 +6,41 @@
 #include <map>
 #include <unordered_map>
 
+#include <cstdlib>
+
 #include "accel/device.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "db/exec/row_key.h"
+#include "db/sql/printer.h"
 
 namespace dl2sql::db {
 
 namespace {
+
+/// A memoized optimized plan plus everything needed to prove it is still
+/// valid: the catalog version of every relation it resolved, and the cost
+/// model it was optimized under. Holding the cost model alive by shared_ptr
+/// makes the pointer-identity check at hit time immune to address reuse.
+struct CachedPlan {
+  PlanPtr plan;
+  std::shared_ptr<const CostModel> cost_model;
+  std::vector<std::pair<std::string, uint64_t>> deps;
+};
+
+/// DL2SQL_CACHE=OFF|off|0 disables both caches at construction.
+CacheOptions DefaultCacheOptions() {
+  CacheOptions opts;
+  const char* env = std::getenv("DL2SQL_CACHE");
+  if (env != nullptr) {
+    const std::string v = env;
+    if (v == "OFF" || v == "off" || v == "0") {
+      opts.enable_nudf_cache = false;
+      opts.enable_plan_cache = false;
+    }
+  }
+  return opts;
+}
 
 /// Hard guard against runaway cross products.
 constexpr int64_t kMaxJoinPairs = 100'000'000;
@@ -45,10 +72,59 @@ void ChargeOperator(CostAccumulator* costs, const std::string& bucket,
 
 }  // namespace
 
+Database::Database() : cache_options_(DefaultCacheOptions()) {
+  RebuildCaches();
+  // Model reload: replacing a neural UDF with a different fingerprint drops
+  // every memoized result. (Fingerprints already keep stale entries from
+  // being *served*; the hook reclaims their memory promptly.)
+  udfs_.set_neural_replaced_hook([this](const std::string& /*name*/) {
+    if (nudf_cache_ != nullptr) nudf_cache_->Clear();
+  });
+}
+
+void Database::set_cache_options(CacheOptions opts) {
+  cache_options_ = opts;
+  RebuildCaches();
+}
+
+void Database::RebuildCaches() {
+  nudf_cache_ =
+      cache_options_.enable_nudf_cache
+          ? std::make_unique<ShardedLruCache>("nudf",
+                                              cache_options_.nudf_cache_bytes)
+          : nullptr;
+  plan_cache_ =
+      cache_options_.enable_plan_cache
+          ? std::make_unique<ShardedLruCache>("plan",
+                                              cache_options_.plan_cache_bytes)
+          : nullptr;
+}
+
+uint64_t Database::PlanCacheKey(const SelectStmt& stmt) const {
+  uint64_t key = Hash64(sql::PrintSelect(stmt));
+  const uint64_t opt_bits =
+      (opt_options_.enable_pushdown ? 1u : 0u) |
+      (opt_options_.enable_join_reorder ? 2u : 0u) |
+      (opt_options_.enable_nudf_hints ? 4u : 0u);
+  key = HashCombine(key, opt_bits);
+  key = HashCombine(key, reinterpret_cast<uintptr_t>(
+                             opt_options_.cost_model.get()));
+  uint64_t parallelism = 1;
+  if (exec_options_.device != nullptr) {
+    parallelism =
+        static_cast<uint64_t>(exec_options_.device->pool()->num_threads());
+  }
+  key = HashCombine(key, parallelism);
+  // Registering any UDF bumps the registry version: plans embed resolved UDF
+  // metadata (selectivity, per-call cost), so a redeploy must miss.
+  return HashCombine(key, udfs_.version());
+}
+
 EvalContext Database::MakeEvalContext() {
   EvalContext ctx;
   ctx.udfs = &udfs_;
   ctx.costs = costs_;
+  ctx.nudf_cache = nudf_cache_.get();
   if (exec_options_.device != nullptr) {
     ctx.pool = exec_options_.device->pool();
     if (exec_options_.morsel_size > 0) {
@@ -108,8 +184,9 @@ Result<Table> Database::ExecuteStatement(const Statement& stmt) {
   return Status::InternalError("unknown statement variant");
 }
 
-Result<PlanPtr> Database::PlanQuery(const SelectStmt& stmt) {
-  Planner planner(&catalog_, &udfs_);
+Result<PlanPtr> Database::PlanQuery(const SelectStmt& stmt,
+                                    std::vector<std::string>* referenced) {
+  Planner planner(&catalog_, &udfs_, referenced);
   DL2SQL_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(stmt));
   CostContext cctx;
   cctx.catalog = &catalog_;
@@ -147,7 +224,46 @@ Result<std::string> Database::Explain(const std::string& sql) {
 }
 
 Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
-  DL2SQL_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
+  if (plan_cache_ == nullptr) {
+    DL2SQL_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
+    last_plan_ = plan;
+    return ExecNode(*plan);
+  }
+
+  const uint64_t key = PlanCacheKey(stmt);
+  {
+    DL2SQL_TRACE_SPAN("cache", "plan_probe");
+    if (auto hit = plan_cache_->LookupAs<CachedPlan>(key)) {
+      bool fresh = hit->cost_model == opt_options_.cost_model;
+      for (const auto& [name, version] : hit->deps) {
+        if (!fresh) break;
+        fresh = catalog_.VersionOf(name) == version;
+      }
+      if (fresh) {
+        last_plan_ = hit->plan;
+        return ExecNode(*hit->plan);
+      }
+      // Stale (DDL/DML bumped a referenced relation, or the cost model was
+      // swapped): drop the entry and fall through to a fresh plan.
+      plan_cache_->Erase(key);
+    }
+  }
+
+  std::vector<std::string> referenced;
+  DL2SQL_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt, &referenced));
+  auto entry = std::make_shared<CachedPlan>();
+  entry->plan = plan;
+  entry->cost_model = opt_options_.cost_model;
+  std::sort(referenced.begin(), referenced.end());
+  referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                   referenced.end());
+  entry->deps.reserve(referenced.size());
+  size_t charge = 4096;  // plan tree + entry bookkeeping, order of magnitude
+  for (const std::string& name : referenced) {
+    entry->deps.emplace_back(name, catalog_.VersionOf(name));
+    charge += name.size() + sizeof(uint64_t);
+  }
+  plan_cache_->Insert(key, std::move(entry), charge);
   last_plan_ = plan;
   return ExecNode(*plan);
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cache.h"
 #include "common/timer.h"
 #include "db/catalog.h"
 #include "db/eval.h"
@@ -38,6 +39,22 @@ struct ExecOptions {
   int64_t morsel_size = 4096;
 };
 
+/// \brief Cross-query caching knobs (see DESIGN.md, "Caching").
+///
+/// Two independent caches, both owned by the Database and both LRU with a
+/// byte budget: the nUDF result cache memoizes per-row model outputs keyed by
+/// (model fingerprint, serialized argument row); the plan cache memoizes
+/// optimized SELECT plans keyed by normalized SQL + optimizer configuration,
+/// validated against per-relation catalog versions on every hit. Defaults are
+/// ON; the environment variable DL2SQL_CACHE=OFF (or "off"/"0") disables both
+/// at Database construction.
+struct CacheOptions {
+  bool enable_nudf_cache = true;
+  bool enable_plan_cache = true;
+  size_t nudf_cache_bytes = 64ull << 20;
+  size_t plan_cache_bytes = 8ull << 20;
+};
+
 /// \brief An embedded, in-memory, columnar SQL engine.
 ///
 /// This plays the role of the paper's in-memory ClickHouse build: columnar
@@ -47,7 +64,7 @@ struct ExecOptions {
 /// DL2SQL pipelines.
 class Database {
  public:
-  Database() = default;
+  Database();
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -64,6 +81,18 @@ class Database {
   /// execution. Engines call this once at construction.
   void set_exec_options(ExecOptions opts) { exec_options_ = opts; }
   const ExecOptions& exec_options() const { return exec_options_; }
+
+  /// Reconfigures the cross-query caches. Rebuilds (and therefore clears)
+  /// both; disabled caches are destroyed so the engine runs the exact
+  /// pre-cache code paths, which is how the ablation bench and the
+  /// off-vs-on bit-identity tests get their baselines.
+  void set_cache_options(CacheOptions opts);
+  const CacheOptions& cache_options() const { return cache_options_; }
+
+  /// The nUDF result cache, or nullptr when disabled (test introspection).
+  ShardedLruCache* nudf_cache() { return nudf_cache_.get(); }
+  /// The prepared-plan cache, or nullptr when disabled.
+  ShardedLruCache* plan_cache() { return plan_cache_.get(); }
 
   /// When set, operator wall time is charged into this accumulator under
   /// buckets: "scan", "filter", "join", "groupby", "project", "sort",
@@ -90,8 +119,11 @@ class Database {
   Result<Table> ExecuteStatement(const Statement& stmt);
   Result<Table> ExecuteSelect(const SelectStmt& stmt);
 
-  /// Plans and optimizes without executing (EXPLAIN).
-  Result<PlanPtr> PlanQuery(const SelectStmt& stmt);
+  /// Plans and optimizes without executing (EXPLAIN). When `referenced` is
+  /// non-null it receives every catalog relation the planner resolved — the
+  /// dependency set the plan cache validates against catalog versions.
+  Result<PlanPtr> PlanQuery(const SelectStmt& stmt,
+                            std::vector<std::string>* referenced = nullptr);
   Result<std::string> Explain(const std::string& sql);
 
   /// Executes the SELECT and renders the plan annotated with actual row
@@ -148,6 +180,12 @@ class Database {
   Result<Table> ExecDelete(const DeleteStmt& stmt);
   Result<Table> ExecDrop(const DropStmt& stmt);
 
+  /// (Re)creates the caches from cache_options_; disabled ones become null.
+  void RebuildCaches();
+  /// Plan-cache key: normalized SQL x optimizer config x parallelism x UDF
+  /// registry version.
+  uint64_t PlanCacheKey(const SelectStmt& stmt) const;
+
   /// Builds an EvalContext wired to this database (UDFs, subqueries, costs).
   EvalContext MakeEvalContext();
   /// Folds a finished context's counters into the database totals and
@@ -159,6 +197,11 @@ class Database {
   OptimizerOptions opt_options_;
   SymmetricHashJoinOptions shj_options_;
   ExecOptions exec_options_;
+  CacheOptions cache_options_;
+  /// Cross-query nUDF result memoization; null when disabled.
+  std::unique_ptr<ShardedLruCache> nudf_cache_;
+  /// Prepared-plan cache; null when disabled.
+  std::unique_ptr<ShardedLruCache> plan_cache_;
   CostAccumulator* costs_ = nullptr;
   std::atomic<int64_t> neural_calls_{0};
   PlanPtr last_plan_;

@@ -1,9 +1,11 @@
 #include "db/eval.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "accel/thread_pool.h"
+#include "common/cache.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
@@ -11,6 +13,69 @@
 namespace dl2sql::db {
 
 namespace {
+
+// ------------------------------------------------------ nUDF result cache ----
+
+/// Appends a collision-free encoding of one nUDF argument to the key buffer
+/// (same layout idea as row_key.h, but over Values: 1 type byte + payload).
+void AppendValueKeyPart(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case DataType::kNull:
+      out->push_back('\x00');
+      return;
+    case DataType::kBool:
+      out->push_back('\x01');
+      out->push_back(v.bool_value() ? '\x01' : '\x00');
+      return;
+    case DataType::kInt64: {
+      out->push_back('\x02');
+      const int64_t i = v.int_value();
+      out->append(reinterpret_cast<const char*>(&i), sizeof(i));
+      return;
+    }
+    case DataType::kFloat64: {
+      out->push_back('\x03');
+      const double d = v.float_value();
+      out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+      return;
+    }
+    case DataType::kString:
+    case DataType::kBlob: {
+      out->push_back(v.type() == DataType::kString ? '\x04' : '\x05');
+      const std::string& s = v.string_value();
+      const uint32_t len = static_cast<uint32_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      return;
+    }
+  }
+}
+
+/// Cache key of one invocation: model fingerprint x serialized argument row.
+/// `buf` is reused across rows to avoid per-row allocations.
+uint64_t NudfRowKey(uint64_t fingerprint, const std::vector<Value>& row,
+                    std::string* buf) {
+  buf->clear();
+  for (const Value& v : row) AppendValueKeyPart(v, buf);
+  return HashCombine(fingerprint, Hash64(*buf));
+}
+
+/// Approximate heap footprint of a memoized result Value.
+size_t ValueCacheCharge(const Value& v) {
+  size_t charge = sizeof(Value) + 2 * sizeof(void*);  // entry bookkeeping
+  if (v.type() == DataType::kString || v.type() == DataType::kBlob) {
+    charge += v.string_value().size();
+  }
+  return charge;
+}
+
+/// Memoization applies only to neural bodies that declared a model
+/// fingerprint (pure functions of their arguments); fingerprint 0 keeps
+/// stateful or hand-registered bodies on the uncached path.
+bool NudfCacheActive(const ScalarUdf* udf, const EvalContext* ctx) {
+  return ctx != nullptr && ctx->nudf_cache != nullptr && udf->is_neural &&
+         udf->neural.fingerprint != 0;
+}
 
 int64_t MorselSizeOf(const EvalContext* ctx) {
   return ctx != nullptr && ctx->morsel_size > 0 ? ctx->morsel_size
@@ -396,12 +461,21 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
     std::vector<std::vector<Value>> parts(static_cast<size_t>(num_morsels));
     const bool parallel = udf->parallel_safe && ctx->pool != nullptr &&
                           ctx->pool->num_threads() > 1;
+    // Cross-query memoization: probe per row, forward only the misses to the
+    // model. The cache is sharded + thread-safe, so concurrent morsels may
+    // probe and insert freely.
+    ShardedLruCache* const cache =
+        NudfCacheActive(udf, ctx) ? ctx->nudf_cache : nullptr;
+    const uint64_t fingerprint = udf->neural.fingerprint;
     // Inference time is accumulated per worker and merged once: concurrent
     // `ctx->inference_seconds +=` from morsel bodies would race, and the sum
     // of per-worker compute seconds stays meaningful under parallelism where
     // a single wall-clock watch would under-count work done.
     std::vector<double> worker_seconds(
         static_cast<size_t>(parallel ? ctx->pool->num_threads() : 1), 0.0);
+    // Morsels whose miss set was non-empty, i.e. real batch_fn invocations;
+    // fully memoized morsels never reach the model.
+    std::atomic<int64_t> invoked_batches{0};
     auto body = [&](int64_t bgn, int64_t end, int worker) -> Status {
       std::vector<std::vector<Value>> rows(static_cast<size_t>(end - bgn));
       {
@@ -412,20 +486,59 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
           for (const auto& a : args) row.push_back(a->GetValue(i));
         }
       }
-      Stopwatch morsel_watch;
-      DL2SQL_TRACE_SPAN("nudf", "invoke_batch");
-      DL2SQL_ASSIGN_OR_RETURN(std::vector<Value> results, udf->batch_fn(rows));
-      const double batch_seconds = morsel_watch.ElapsedSeconds();
-      worker_seconds[static_cast<size_t>(worker)] += batch_seconds;
-      if (udf->is_neural) {
-        static Histogram* const batch_us =
-            MetricsRegistry::Global().histogram("nudf.batch_us");
-        batch_us->Record(static_cast<int64_t>(batch_seconds * 1e6));
+      std::vector<Value> results(rows.size());
+      std::vector<uint64_t> keys;
+      std::vector<size_t> miss;  // local indices still needing the model
+      if (cache != nullptr) {
+        DL2SQL_TRACE_SPAN("cache", "nudf_probe");
+        keys.resize(rows.size());
+        miss.reserve(rows.size());
+        std::string buf;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          keys[i] = NudfRowKey(fingerprint, rows[i], &buf);
+          auto hit = cache->LookupAs<Value>(keys[i]);
+          if (hit != nullptr) {
+            results[i] = *hit;
+          } else {
+            miss.push_back(i);
+          }
+        }
+      } else {
+        miss.resize(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) miss[i] = i;
       }
-      if (static_cast<int64_t>(results.size()) != end - bgn) {
-        return Status::InternalError(e.func_name, " batch body returned ",
-                                     results.size(), " values for ", end - bgn,
-                                     " rows");
+      if (!miss.empty()) {
+        const bool all_miss = miss.size() == rows.size();
+        std::vector<std::vector<Value>> miss_rows;
+        if (!all_miss) {
+          miss_rows.reserve(miss.size());
+          for (size_t i : miss) miss_rows.push_back(std::move(rows[i]));
+        }
+        Stopwatch morsel_watch;
+        DL2SQL_TRACE_SPAN("nudf", "invoke_batch");
+        DL2SQL_ASSIGN_OR_RETURN(std::vector<Value> fresh,
+                                udf->batch_fn(all_miss ? rows : miss_rows));
+        const double batch_seconds = morsel_watch.ElapsedSeconds();
+        worker_seconds[static_cast<size_t>(worker)] += batch_seconds;
+        invoked_batches.fetch_add(1, std::memory_order_relaxed);
+        if (udf->is_neural) {
+          static Histogram* const batch_us =
+              MetricsRegistry::Global().histogram("nudf.batch_us");
+          batch_us->Record(static_cast<int64_t>(batch_seconds * 1e6));
+        }
+        if (fresh.size() != miss.size()) {
+          return Status::InternalError(e.func_name, " batch body returned ",
+                                       fresh.size(), " values for ",
+                                       miss.size(), " rows");
+        }
+        for (size_t j = 0; j < miss.size(); ++j) {
+          if (cache != nullptr) {
+            cache->Insert(keys[miss[j]],
+                          std::make_shared<const Value>(fresh[j]),
+                          ValueCacheCharge(fresh[j]));
+          }
+          results[miss[j]] = std::move(fresh[j]);
+        }
       }
       parts[static_cast<size_t>(bgn / m)] = std::move(results);
       return Status::OK();
@@ -447,6 +560,8 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
       double secs = 0.0;
       for (double s : worker_seconds) secs += s;
       ctx->inference_seconds += secs;
+      // Rows answered by the model, memoized or fresh: cache hits must not
+      // perturb the per-row tallies the hint/pruning tests assert on.
       ctx->neural_calls += n;
       if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
       static Counter* const invocations =
@@ -454,17 +569,35 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
       static Counter* const batches =
           MetricsRegistry::Global().counter("nudf.batches");
       invocations->Increment(n);
-      batches->Increment(num_morsels);
+      batches->Increment(invoked_batches.load(std::memory_order_relaxed));
     }
     return Own(std::move(out));
   }
 
   std::vector<Value> row(args.size());
   bool typed = udf->return_type != DataType::kNull;
+  // Memoize per-row results only for declared-return-type neural UDFs (all
+  // model deployments are); the dynamic-type path below stays untouched.
+  ShardedLruCache* const row_cache =
+      typed && NudfCacheActive(udf, ctx) ? ctx->nudf_cache : nullptr;
+  std::string key_buf;
   std::vector<Value> untyped_buffer;
   for (int64_t i = 0; i < n; ++i) {
     for (size_t a = 0; a < args.size(); ++a) row[a] = args[a]->GetValue(i);
+    uint64_t key = 0;
+    if (row_cache != nullptr) {
+      key = NudfRowKey(udf->neural.fingerprint, row, &key_buf);
+      if (auto hit = row_cache->LookupAs<Value>(key)) {
+        DL2SQL_RETURN_NOT_OK(
+            out.Append(*hit).WithContext("result of " + e.func_name));
+        continue;
+      }
+    }
     DL2SQL_ASSIGN_OR_RETURN(Value v, udf->fn(row));
+    if (row_cache != nullptr) {
+      row_cache->Insert(key, std::make_shared<const Value>(v),
+                        ValueCacheCharge(v));
+    }
     if (!typed) {
       // Functions with dynamic return type (e.g. if()): type from first
       // non-null result.
@@ -647,6 +780,21 @@ Result<Value> EvalScalar(const Expr& e, EvalContext* ctx) {
         DL2SQL_ASSIGN_OR_RETURN(Value v, EvalScalar(*c, ctx));
         args.push_back(std::move(v));
       }
+      uint64_t key = 0;
+      ShardedLruCache* const cache =
+          NudfCacheActive(udf, ctx) ? ctx->nudf_cache : nullptr;
+      if (cache != nullptr) {
+        std::string buf;
+        key = NudfRowKey(udf->neural.fingerprint, args, &buf);
+        if (auto hit = cache->LookupAs<Value>(key)) {
+          // Memoized model answer: still a neural call for accounting.
+          ctx->neural_calls += 1;
+          static Counter* const invocations =
+              MetricsRegistry::Global().counter("nudf.invocations");
+          invocations->Increment();
+          return *hit;
+        }
+      }
       Stopwatch watch;
       DL2SQL_ASSIGN_OR_RETURN(Value out, udf->fn(args));
       if (udf->is_neural) {
@@ -657,6 +805,10 @@ Result<Value> EvalScalar(const Expr& e, EvalContext* ctx) {
         static Counter* const invocations =
             MetricsRegistry::Global().counter("nudf.invocations");
         invocations->Increment();
+      }
+      if (cache != nullptr) {
+        cache->Insert(key, std::make_shared<const Value>(out),
+                      ValueCacheCharge(out));
       }
       return out;
     }

@@ -11,6 +11,7 @@
 #include "db/udf.h"
 
 namespace dl2sql {
+class ShardedLruCache;
 class ThreadPool;
 }
 
@@ -35,6 +36,13 @@ struct EvalContext {
   ThreadPool* pool = nullptr;
   /// Rows per morsel for parallel loops (ThreadPool::kDefaultMorselSize).
   int64_t morsel_size = 4096;
+  /// Cross-query nUDF result cache (owned by the Database). Only consulted
+  /// for neural UDFs whose NUdfInfo carries a non-zero model fingerprint;
+  /// nullptr disables memoization entirely. Cache hits still count toward
+  /// neural_calls and nudf.invocations — those tally rows *answered* by a
+  /// model, whether freshly computed or memoized — so existing accounting is
+  /// unchanged; only compute time and nudf.batches shrink.
+  ShardedLruCache* nudf_cache = nullptr;
 };
 
 /// Shared, possibly non-owning column handle (column refs alias the input

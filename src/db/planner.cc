@@ -109,6 +109,7 @@ Result<PlanPtr> Planner::PlanTableRef(const TableRef& ref, int depth) {
     return sub;
   }
   // Base table or view.
+  if (referenced_ != nullptr) referenced_->push_back(ref.table_name);
   if (catalog_->HasView(ref.table_name)) {
     DL2SQL_ASSIGN_OR_RETURN(auto view_def, catalog_->GetView(ref.table_name));
     TableRef expanded;

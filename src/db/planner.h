@@ -18,8 +18,13 @@ namespace dl2sql::db {
 /// join strategy, nUDF placement) happens afterwards in Optimizer.
 class Planner {
  public:
-  Planner(const Catalog* catalog, const UdfRegistry* udfs)
-      : catalog_(catalog), udfs_(udfs) {}
+  /// When `referenced` is non-null, every catalog relation this plan resolves
+  /// (base tables AND views, including relations reached through nested view
+  /// expansion) is appended to it — the dependency set the plan cache
+  /// validates against catalog versions on each hit.
+  Planner(const Catalog* catalog, const UdfRegistry* udfs,
+          std::vector<std::string>* referenced = nullptr)
+      : catalog_(catalog), udfs_(udfs), referenced_(referenced) {}
 
   Result<PlanPtr> PlanSelect(const SelectStmt& stmt) {
     return PlanSelectImpl(stmt, /*depth=*/0);
@@ -31,6 +36,7 @@ class Planner {
 
   const Catalog* catalog_;
   const UdfRegistry* udfs_;
+  std::vector<std::string>* referenced_;
 };
 
 /// Binds every unbound column reference in `e` to an index in `schema`.

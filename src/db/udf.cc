@@ -26,7 +26,17 @@ int64_t NUdfSelectivity::TotalCount() const {
 UdfRegistry::UdfRegistry() { RegisterBuiltins(); }
 
 void UdfRegistry::Register(ScalarUdf udf) {
-  fns_[ToLower(udf.name)] = std::move(udf);
+  const std::string key = ToLower(udf.name);
+  // Model-reload invalidation: replacing a neural body whose fingerprint
+  // changed means previously memoized results describe a stale model.
+  auto it = fns_.find(key);
+  if (it != fns_.end() && it->second.is_neural && udf.is_neural &&
+      it->second.neural.fingerprint != udf.neural.fingerprint &&
+      neural_replaced_hook_) {
+    neural_replaced_hook_(key);
+  }
+  fns_[key] = std::move(udf);
+  ++version_;
 }
 
 void UdfRegistry::RegisterNeural(const std::string& name, DataType return_type,

@@ -57,6 +57,11 @@ struct NUdfInfo {
   /// weigh scan-time vs. delayed nUDF evaluation (hint rule 1).
   double per_call_cost_sec = 0.0;
   int64_t num_parameters = 0;
+  /// Content hash of the deployed model (nn::ModelFingerprint). Keys the
+  /// cross-query nUDF result cache together with the serialized argument row.
+  /// 0 (the default) marks the body as uncacheable — stateful bodies and
+  /// hand-registered test functions stay exactly as before.
+  uint64_t fingerprint = 0;
 };
 
 /// \brief A registered scalar function.
@@ -104,9 +109,24 @@ class UdfRegistry {
 
   std::vector<std::string> Names() const;
 
+  /// Monotonic counter bumped by every Register (including replacements).
+  /// Plan caches fold it into their keys so plans optimized against an older
+  /// registry state are never served.
+  uint64_t version() const { return version_; }
+
+  /// Invoked when RegisterNeural replaces an existing neural UDF whose model
+  /// fingerprint differs (model reload/retrain). The Database installs a hook
+  /// that drops memoized nUDF results.
+  using NeuralReplacedHook = std::function<void(const std::string& name)>;
+  void set_neural_replaced_hook(NeuralReplacedHook hook) {
+    neural_replaced_hook_ = std::move(hook);
+  }
+
  private:
   void RegisterBuiltins();
   std::map<std::string, ScalarUdf> fns_;  // keyed by lower-cased name
+  uint64_t version_ = 0;
+  NeuralReplacedHook neural_replaced_hook_;
 };
 
 }  // namespace dl2sql::db

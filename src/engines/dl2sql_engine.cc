@@ -4,6 +4,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "nn/serialize.h"
 #include "tensor/tensor_blob.h"
 
 namespace dl2sql::engines {
@@ -84,6 +85,8 @@ void Dl2SqlEngine::RegisterNUdf(const std::string& name) {
   info.selectivity = model_ref->deployment.selectivity;
   info.num_parameters = model_ref->model.NumParameters();
   info.per_call_cost_sec = model_ref->per_call_cost_sec;
+  // ValueOr(0): a model that fails to serialize simply stays uncacheable.
+  info.fingerprint = nn::ModelFingerprint(model_ref->model).ValueOr(0);
 
   db::DataType ret;
   switch (model_ref->deployment.output) {
@@ -247,6 +250,7 @@ Status Dl2SqlEngine::DeployModelFamily(const ModelFamilyDeployment& family) {
   info.selectivity = family.MergedSelectivity();
   info.num_parameters = family.variants[0].model.NumParameters();
   info.per_call_cost_sec = per_call;
+  DL2SQL_ASSIGN_OR_RETURN(info.fingerprint, FamilyFingerprint(family));
 
   db::DataType ret;
   switch (family.output) {

@@ -1,6 +1,24 @@
 #include "engines/engine.h"
 
+#include "common/cache.h"
+#include "nn/serialize.h"
+
 namespace dl2sql::engines {
+
+Result<uint64_t> FamilyFingerprint(const ModelFamilyDeployment& family) {
+  // Routing is part of the function: same args through a family whose
+  // thresholds moved may pick a different variant, so thresholds and output
+  // kind hash in alongside every variant's weights.
+  uint64_t h = Hash64(family.udf_name);
+  for (const auto& v : family.variants) {
+    DL2SQL_ASSIGN_OR_RETURN(uint64_t model_fp, nn::ModelFingerprint(v.model));
+    h = HashCombine(h, model_fp);
+    h = HashCombine(h, Hash64(&v.humidity_min, sizeof(v.humidity_min)));
+    h = HashCombine(h, Hash64(&v.temperature_min, sizeof(v.temperature_min)));
+  }
+  h = HashCombine(h, static_cast<uint64_t>(family.output));
+  return h == 0 ? 1 : h;
+}
 
 Status CollaborativeEngine::AttachTablesFrom(const db::Database& source) {
   for (const auto& name : source.catalog().TableNames()) {

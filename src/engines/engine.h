@@ -165,6 +165,11 @@ class CollaborativeEngine {
   std::map<std::string, ModelDeployment> deployments_;
 };
 
+/// Combined 64-bit fingerprint of a model family: every variant's model
+/// fingerprint plus its routing thresholds and the output kind. Keys the
+/// cross-query nUDF result cache for family UDFs; never returns 0.
+Result<uint64_t> FamilyFingerprint(const ModelFamilyDeployment& family);
+
 /// Builds the per-class selectivity histogram the paper learns during
 /// offline training (Eq. 10): runs the model over `samples` random inputs
 /// and counts predicted classes, formatting labels as the engine's nUDF

@@ -29,6 +29,7 @@ Status UdfEngine::DeployModel(const nn::Model& model,
   info.model_name = model.name();
   info.selectivity = deployment.selectivity;
   info.num_parameters = model.NumParameters();
+  DL2SQL_ASSIGN_OR_RETURN(info.fingerprint, nn::ModelFingerprint(model));
   {
     Rng rng(1);
     Tensor probe = Tensor::Random(model.input_shape(), &rng, 1.0f);
@@ -127,6 +128,7 @@ Status UdfEngine::DeployModelFamily(const ModelFamilyDeployment& family) {
   info.model_name = family.udf_name;
   info.selectivity = family.MergedSelectivity();
   info.num_parameters = family.variants[0].model.NumParameters();
+  DL2SQL_ASSIGN_OR_RETURN(info.fingerprint, FamilyFingerprint(family));
   {
     Rng rng(1);
     Tensor probe =

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/cache.h"
 #include "nn/blocks.h"
 #include "nn/layers.h"
 
@@ -307,6 +308,13 @@ Result<Model> DeserializeModel(const std::string& bytes) {
 Result<uint64_t> SerializedSize(const Model& model, ModelFormat format) {
   DL2SQL_ASSIGN_OR_RETURN(std::string bytes, SerializeModel(model, format));
   return static_cast<uint64_t>(bytes.size());
+}
+
+Result<uint64_t> ModelFingerprint(const Model& model) {
+  DL2SQL_ASSIGN_OR_RETURN(std::string bytes,
+                          SerializeModel(model, ModelFormat::kCompiledBlob));
+  const uint64_t h = Hash64(bytes);
+  return h == 0 ? 1 : h;
 }
 
 }  // namespace dl2sql::nn

@@ -35,4 +35,12 @@ Result<Model> DeserializeModel(const std::string& bytes);
 /// Byte size the format would occupy, without materializing the buffer twice.
 Result<uint64_t> SerializedSize(const Model& model, ModelFormat format);
 
+/// Content fingerprint of a model: a 64-bit hash over the compiled-blob
+/// serialization (architecture + exact weight bytes). Two models compute the
+/// same function iff their blobs match, so the fingerprint keys cross-query
+/// nUDF result caches; redeploying a retrained model changes it and thereby
+/// invalidates every memoized result. Never returns 0 (0 is the "uncacheable"
+/// sentinel in NUdfInfo).
+Result<uint64_t> ModelFingerprint(const Model& model);
+
 }  // namespace dl2sql::nn

@@ -1,0 +1,183 @@
+/// \file cache_test.cc
+/// \brief ShardedLruCache: LRU semantics, byte budget + eviction, metrics
+/// wiring, and concurrent hit/miss/evict safety (TSAN-exercised in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cache.h"
+#include "common/metrics.h"
+
+namespace dl2sql {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().ResetAll(); }
+  void TearDown() override { MetricsRegistry::Global().ResetAll(); }
+
+  static ShardedLruCache::ValuePtr IntValue(int64_t v) {
+    return std::make_shared<const int64_t>(v);
+  }
+};
+
+TEST_F(CacheTest, Hash64IsDeterministicAndSpreads) {
+  const std::string a = "hello";
+  EXPECT_EQ(Hash64(a), Hash64("hello"));
+  EXPECT_NE(Hash64("hello"), Hash64("hellp"));
+  EXPECT_NE(Hash64(""), 0u);  // FNV offset basis, not zero
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));  // order-dependent
+}
+
+TEST_F(CacheTest, LookupMissThenHit) {
+  ShardedLruCache cache("t", 1 << 20);
+  EXPECT_EQ(cache.Lookup(42), nullptr);
+  cache.Insert(42, IntValue(7), 64);
+  auto v = cache.LookupAs<int64_t>(42);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.insertions, 1);
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_EQ(s.bytes, 64);
+}
+
+TEST_F(CacheTest, InsertReplacesExistingKey) {
+  ShardedLruCache cache("t", 1 << 20);
+  cache.Insert(1, IntValue(10), 100);
+  cache.Insert(1, IntValue(20), 50);
+  auto v = cache.LookupAs<int64_t>(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 20);
+  EXPECT_EQ(cache.entries(), 1);
+  EXPECT_EQ(cache.bytes(), 50u);
+}
+
+TEST_F(CacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Single shard so the LRU order is global and deterministic.
+  ShardedLruCache cache("t", /*capacity_bytes=*/300, /*shard_bits=*/0);
+  cache.Insert(1, IntValue(1), 100);
+  cache.Insert(2, IntValue(2), 100);
+  cache.Insert(3, IntValue(3), 100);
+  // Touch key 1 so key 2 becomes the LRU victim.
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  cache.Insert(4, IntValue(4), 100);
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_NE(cache.Lookup(4), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_LE(cache.bytes(), 300u);
+}
+
+TEST_F(CacheTest, OversizedValueBecomesOnlyEntry) {
+  ShardedLruCache cache("t", 100, /*shard_bits=*/0);
+  cache.Insert(1, IntValue(1), 40);
+  cache.Insert(2, IntValue(2), 1000);  // larger than the whole budget
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(2), nullptr);
+  EXPECT_EQ(cache.entries(), 1);
+}
+
+TEST_F(CacheTest, EraseAndClearAreNotEvictions) {
+  ShardedLruCache cache("t", 1 << 20);
+  cache.Insert(1, IntValue(1), 10);
+  cache.Insert(2, IntValue(2), 10);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+}
+
+TEST_F(CacheTest, ValueSurvivesConcurrentEviction) {
+  ShardedLruCache cache("t", 100, /*shard_bits=*/0);
+  cache.Insert(1, IntValue(123), 80);
+  auto held = cache.LookupAs<int64_t>(1);
+  ASSERT_NE(held, nullptr);
+  cache.Insert(2, IntValue(456), 80);  // evicts key 1
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(*held, 123);  // shared_ptr keeps the payload alive
+}
+
+TEST_F(CacheTest, FeedsMetricsRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  ShardedLruCache cache("unit", 1 << 20);
+  cache.Insert(9, IntValue(9), 32);
+  (void)cache.Lookup(9);   // hit
+  (void)cache.Lookup(10);  // miss
+  EXPECT_EQ(reg.counter("cache.unit.hits")->value(), 1);
+  EXPECT_EQ(reg.counter("cache.unit.misses")->value(), 1);
+  EXPECT_EQ(reg.counter("cache.unit.insertions")->value(), 1);
+  EXPECT_EQ(reg.counter("cache.hits")->value(), 1);
+  EXPECT_EQ(reg.counter("cache.misses")->value(), 1);
+  EXPECT_EQ(reg.gauge("cache.unit.bytes")->value(), 32.0);
+}
+
+// Raw-thread hammer over a deliberately tiny cache: every operation class
+// (hit, miss, insert-replace, evict, erase, clear) races with every other.
+// Correctness here is "TSAN-clean + internal accounting stays consistent".
+TEST_F(CacheTest, ConcurrentMixedWorkloadIsSafe) {
+  ShardedLruCache cache("race", /*capacity_bytes=*/4096, /*shard_bits=*/2);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<int64_t> observed_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &observed_hits, t]() {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Key space of 64 spread over all shards via HashCombine.
+        const uint64_t key = HashCombine(0x5eedULL, (t * 31 + i) % 64);
+        switch (i % 5) {
+          case 0:
+          case 1: {
+            auto v = cache.LookupAs<int64_t>(key);
+            if (v != nullptr) {
+              // Payload must equal what some thread inserted for this key.
+              EXPECT_EQ(*v % 64, static_cast<int64_t>((t * 31 + i) % 64));
+              observed_hits.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case 2:
+            cache.Insert(key,
+                         std::make_shared<const int64_t>(
+                             static_cast<int64_t>((t * 31 + i) % 64 + 64 * i)),
+                         64);
+            break;
+          case 3:
+            cache.Erase(key);
+            break;
+          default:
+            if (i % 1000 == 4) {
+              cache.Clear();
+            } else {
+              (void)cache.Lookup(key);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            MetricsRegistry::Global().counter("cache.race.hits")->value() +
+                MetricsRegistry::Global().counter("cache.race.misses")->value());
+  EXPECT_GE(s.hits, observed_hits.load());
+  EXPECT_LE(cache.bytes(), 4096u);
+  EXPECT_GE(s.insertions, 1);
+}
+
+}  // namespace
+}  // namespace dl2sql

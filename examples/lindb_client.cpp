@@ -1,0 +1,174 @@
+/// \file lindb_client.cpp
+/// \brief Command-line client for lindb_server's line protocol.
+///
+/// Usage:
+///   ./build/examples/lindb_client [--host H] --port N [--file script.sql]
+///
+/// With --file, the script is split into statements (respecting quoted
+/// strings and -- comments), each sent as one line; otherwise statements are
+/// read from stdin, one per line. Responses are printed verbatim up to and
+/// including their END marker, so output diffs are stable.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "db/sql/parser.h"
+
+using namespace dl2sql;  // NOLINT
+
+namespace {
+
+/// Flattening a statement onto one protocol line would otherwise let a `--`
+/// comment swallow the rest of it, so comments are stripped first (quotes
+/// respected, '' escapes included).
+std::string StripLineComments(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_string = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (in_string) {
+      out += c;
+      if (c == '\'') {
+        if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+          out += sql[++i];
+        } else {
+          in_string = false;
+        }
+      }
+      continue;
+    }
+    if (c == '\'') {
+      in_string = true;
+      out += c;
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      if (i < sql.size()) out += '\n';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+bool SendLine(int fd, std::string line) {
+  // The protocol is one statement per line.
+  line = StripLineComments(line);
+  for (char& c : line) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  line += '\n';
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Prints one framed response (through its END line). Returns false on EOF.
+bool PumpResponse(int fd, std::string* buffer) {
+  while (true) {
+    size_t nl;
+    while ((nl = buffer->find('\n')) != std::string::npos) {
+      const std::string line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      std::printf("%s\n", line.c_str());
+      if (line == "END") return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--host" && v != nullptr) {
+      host = v;
+      ++i;
+    } else if (arg == "--port" && v != nullptr) {
+      port = std::atoi(v);
+      ++i;
+    } else if (arg == "--file" && v != nullptr) {
+      file = v;
+      ++i;
+    } else {
+      std::fprintf(stderr, "usage: lindb_client [--host H] --port N [--file script.sql]\n");
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "bad host %s\n", host.c_str());
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("connect");
+    return 1;
+  }
+
+  std::vector<std::string> statements;
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    statements = db::sql::SplitStatements(script.str());
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) statements.push_back(line);
+    }
+  }
+
+  std::string buffer;
+  for (const std::string& stmt : statements) {
+    if (!SendLine(fd, stmt)) {
+      std::fprintf(stderr, "connection lost while sending\n");
+      return 1;
+    }
+    if (!PumpResponse(fd, &buffer)) {
+      std::fprintf(stderr, "connection closed before response finished\n");
+      return 1;
+    }
+  }
+  ::close(fd);
+  return 0;
+}

@@ -1,0 +1,109 @@
+/// \file lindb_server.cpp
+/// \brief Standalone lindb TCP server: newline-delimited SQL in, framed
+/// TSV/JSON out (see src/server/wire.h for the protocol).
+///
+/// Usage:
+///   ./build/examples/lindb_server [--port N] [--init script.sql]
+///                                 [--coalesce on|off] [--max-concurrent N]
+///
+/// --port 0 (the default) picks a free port; the server prints
+/// "PORT <n>" on stdout once it is listening, so scripts can capture it.
+/// --init runs a SQL script before serving (schema + seed data).
+/// Shuts down cleanly on SIGINT/SIGTERM.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "server/session.h"
+#include "server/tcp_server.h"
+
+using namespace dl2sql;  // NOLINT
+
+int main(int argc, char** argv) {
+  server::TcpServerOptions tcp_opts;
+  server::ServiceOptions service_opts;
+  std::string init_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "--port needs a value\n");
+        return 2;
+      }
+      tcp_opts.port = std::atoi(v);
+    } else if (arg == "--init") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "--init needs a path\n");
+        return 2;
+      }
+      init_path = v;
+    } else if (arg == "--coalesce") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "--coalesce needs on|off\n");
+        return 2;
+      }
+      service_opts.coalescer.enabled = std::string(v) == "on";
+    } else if (arg == "--max-concurrent") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "--max-concurrent needs a value\n");
+        return 2;
+      }
+      service_opts.admission.max_concurrent = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  db::Database db;
+  if (!init_path.empty()) {
+    std::ifstream in(init_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read init script %s\n", init_path.c_str());
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    auto st = db.ExecuteScript(script.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "init script failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  server::QueryService service(&db, service_opts);
+  server::TcpServer tcp(&service, tcp_opts);
+
+  // Block the shutdown signals before serving threads spawn so they inherit
+  // the mask and sigwait below is the only consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  auto st = tcp.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("PORT %d\n", tcp.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&signals, &sig);
+  std::printf("signal %d: shutting down\n", sig);
+  tcp.Stop();
+  return 0;
+}

@@ -21,22 +21,22 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-echo "== CI pass 1/5: default build =="
+echo "== CI pass 1/6: default build =="
 run_suite build-ci
 
-echo "== CI pass 2/5: ThreadSanitizer build =="
+echo "== CI pass 2/6: ThreadSanitizer build =="
 run_suite build-ci-tsan -DDL2SQL_SANITIZE=thread
 
-echo "== CI pass 3/5: tracing + cache tests under TSAN =="
+echo "== CI pass 3/6: tracing + cache + server tests under TSAN =="
 # Redundant with the full TSAN suite above, but pinned by name so the
 # concurrency-sensitive observability and caching tests cannot silently drop
 # out of coverage if the suite layout changes.
-ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters|cache"
+ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters|cache|server"
 
-echo "== CI pass 4/5: AddressSanitizer+UBSan build =="
+echo "== CI pass 4/6: AddressSanitizer+UBSan build =="
 run_suite build-ci-asan -DDL2SQL_SANITIZE=address
 
-echo "== CI pass 5/5: tracing-overhead guard =="
+echo "== CI pass 5/6: tracing-overhead guard =="
 # Tracing compiled in but runtime-disabled must stay under the overhead
 # budget (default 5%; DL2SQL_TRACE_OVERHEAD_PCT overrides on noisy hosts),
 # and enabled tracing must actually record spans. Uses the default
@@ -44,5 +44,12 @@ echo "== CI pass 5/5: tracing-overhead guard =="
 cmake --build build-ci -j "${JOBS}" --target bench_trace_overhead
 ./build-ci/bench/bench_trace_overhead
 ./build-ci/bench/bench_trace_overhead --enabled
+
+echo "== CI pass 6/6: server smoke over TCP =="
+# Boots lindb_server, drives it with lindb_client through a query script,
+# diffs the output against the committed golden file, and checks SIGTERM
+# shutdown is clean.
+cmake --build build-ci -j "${JOBS}" --target lindb_server lindb_client
+scripts/server_smoke.sh build-ci
 
 echo "== CI: all passes green =="

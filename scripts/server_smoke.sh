@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Server smoke test: boot lindb_server, drive it with lindb_client over TCP,
+# diff the output against the committed golden file, and verify the server
+# shuts down cleanly on SIGTERM.
+#
+# Usage: scripts/server_smoke.sh [build_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/examples/lindb_server"
+CLIENT="$BUILD_DIR/examples/lindb_client"
+GOLDEN="scripts/server_smoke_expected.txt"
+
+[[ -x "$SERVER" && -x "$CLIENT" ]] || {
+  echo "build examples first: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+}
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$SERVER" --port 0 >"$WORK/server.out" 2>"$WORK/server.err" &
+SERVER_PID=$!
+
+# The server prints "PORT <n>" once it is listening.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(awk '/^PORT /{print $2; exit}' "$WORK/server.out" 2>/dev/null || true)"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/server.err" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "server never reported its port" >&2; exit 1; }
+
+"$CLIENT" --port "$PORT" --file scripts/server_smoke_queries.sql >"$WORK/client.out"
+
+if [[ "${UPDATE_GOLDEN:-0}" == "1" ]]; then
+  cp "$WORK/client.out" "$GOLDEN"
+  echo "updated $GOLDEN"
+fi
+diff -u "$GOLDEN" "$WORK/client.out" || {
+  echo "server smoke output diverged from $GOLDEN" >&2
+  exit 1
+}
+
+# Clean shutdown: SIGTERM must terminate the process promptly with status 0.
+kill -TERM "$SERVER_PID"
+STATUS=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    wait "$SERVER_PID" || STATUS=$?
+    SERVER_PID=""
+    break
+  fi
+  sleep 0.1
+done
+[[ -z "$SERVER_PID" ]] || { echo "server did not exit on SIGTERM" >&2; exit 1; }
+[[ "$STATUS" -eq 0 ]] || { echo "server exited with status $STATUS" >&2; exit 1; }
+
+echo "server smoke: OK"

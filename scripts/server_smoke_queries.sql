@@ -1,0 +1,11 @@
+-- Smoke-test script driven through lindb_client against a live lindb_server.
+-- Deterministic: fixed data, ordered results.
+CREATE TABLE readings (id INT64, sensor STRING, temp FLOAT64);
+INSERT INTO readings VALUES (1, 'a', 20.5), (2, 'b', 31.0), (3, 'a', 19.25), (4, 'c', 42.0);
+SELECT count(*) FROM readings;
+SELECT sensor, count(*) AS n FROM readings GROUP BY sensor ORDER BY sensor;
+SELECT id, temp FROM readings WHERE temp > 20.0 ORDER BY id;
+UPDATE readings SET temp = 0.0 WHERE sensor = 'c';
+SELECT id, temp FROM readings WHERE temp > 20.0 ORDER BY id;
+SELECT missing_column FROM readings;
+DROP TABLE readings;

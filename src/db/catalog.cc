@@ -1,5 +1,8 @@
 #include "db/catalog.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "common/string_util.h"
 
 namespace dl2sql::db {
@@ -8,6 +11,7 @@ std::string Catalog::Key(const std::string& name) { return ToLower(name); }
 
 Status Catalog::CreateTable(const std::string& name, TablePtr table,
                             bool temporary, bool if_not_exists) {
+  std::unique_lock lock(mu_);
   const std::string key = Key(name);
   if (views_.count(key) != 0) {
     return Status::AlreadyExists("a view named '", name, "' already exists");
@@ -24,6 +28,7 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table,
 Status Catalog::CreateView(const std::string& name,
                            std::shared_ptr<SelectStmt> definition,
                            bool or_replace) {
+  std::unique_lock lock(mu_);
   const std::string key = Key(name);
   if (tables_.count(key) != 0) {
     return Status::AlreadyExists("a table named '", name, "' already exists");
@@ -37,6 +42,7 @@ Status Catalog::CreateView(const std::string& name,
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '", name, "' does not exist");
@@ -46,6 +52,7 @@ Result<TablePtr> Catalog::GetTable(const std::string& name) const {
 
 Result<std::shared_ptr<SelectStmt>> Catalog::GetView(
     const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = views_.find(Key(name));
   if (it == views_.end()) {
     return Status::NotFound("view '", name, "' does not exist");
@@ -54,14 +61,17 @@ Result<std::shared_ptr<SelectStmt>> Catalog::GetView(
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return tables_.count(Key(name)) != 0;
 }
 
 bool Catalog::HasView(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return views_.count(Key(name)) != 0;
 }
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  std::unique_lock lock(mu_);
   if (tables_.erase(Key(name)) == 0) {
     if (!if_exists) {
       return Status::NotFound("table '", name, "' does not exist");
@@ -73,6 +83,7 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
 }
 
 Status Catalog::DropView(const std::string& name, bool if_exists) {
+  std::unique_lock lock(mu_);
   if (views_.erase(Key(name)) == 0) {
     if (!if_exists) {
       return Status::NotFound("view '", name, "' does not exist");
@@ -84,6 +95,7 @@ Status Catalog::DropView(const std::string& name, bool if_exists) {
 }
 
 void Catalog::DropAllTemporary() {
+  std::unique_lock lock(mu_);
   for (auto it = tables_.begin(); it != tables_.end();) {
     if (it->second.temporary) {
       BumpVersion(it->first);
@@ -95,6 +107,7 @@ void Catalog::DropAllTemporary() {
 }
 
 Status Catalog::Analyze(const std::string& name) {
+  std::unique_lock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '", name, "' does not exist");
@@ -106,12 +119,14 @@ Status Catalog::Analyze(const std::string& name) {
 }
 
 const TableStats* Catalog::GetStats(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end() || !it->second.stats) return nullptr;
   return &*it->second.stats;
 }
 
 void Catalog::InvalidateStats(const std::string& name) {
+  std::unique_lock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it != tables_.end()) {
     it->second.stats.reset();
@@ -123,6 +138,7 @@ void Catalog::InvalidateStats(const std::string& name) {
 
 Status Catalog::CreateIndex(const std::string& table,
                             const std::string& column) {
+  std::unique_lock lock(mu_);
   auto it = tables_.find(Key(table));
   if (it == tables_.end()) {
     return Status::NotFound("table '", table, "' does not exist");
@@ -137,6 +153,7 @@ Status Catalog::CreateIndex(const std::string& table,
 
 std::shared_ptr<HashIndex> Catalog::GetIndex(const std::string& table,
                                              const std::string& column) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(Key(table));
   if (it == tables_.end()) return nullptr;
   auto ix = it->second.indexes.find(ToLower(column));
@@ -144,6 +161,7 @@ std::shared_ptr<HashIndex> Catalog::GetIndex(const std::string& table,
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [k, _] : tables_) names.push_back(k);
@@ -151,6 +169,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 std::vector<std::string> Catalog::ViewNames() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(views_.size());
   for (const auto& [k, _] : views_) names.push_back(k);
@@ -158,16 +177,19 @@ std::vector<std::string> Catalog::ViewNames() const {
 }
 
 bool Catalog::IsTemporary(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(Key(name));
   return it != tables_.end() && it->second.temporary;
 }
 
 uint64_t Catalog::VersionOf(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = versions_.find(Key(name));
   return it == versions_.end() ? 0 : it->second;
 }
 
 uint64_t Catalog::TotalBytes() const {
+  std::shared_lock lock(mu_);
   uint64_t bytes = 0;
   for (const auto& [_, e] : tables_) bytes += e.table->ByteSize();
   return bytes;

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,15 @@ namespace dl2sql::db {
 /// fresh tables (notably DL2SQL's generated per-layer temp tables) have none,
 /// which is precisely the blind spot of the default cost model the paper
 /// exploits in Section IV.
+///
+/// Thread safety: every method takes an internal reader/writer lock (shared
+/// for const accessors, exclusive for mutators), so concurrent SELECTs may
+/// resolve relations while another session runs DDL/DML. Two returns escape
+/// the lock by design: GetTable's shared_ptr keeps a dropped table's data
+/// alive for the query that resolved it (snapshot semantics), and GetStats'
+/// raw pointer is only stable while no mutator runs — the serving layer's
+/// statement-level RW lock (QueryService) guarantees that; direct multi-
+/// threaded Database users must provide the same exclusion.
 class Catalog {
  public:
   Status CreateTable(const std::string& name, TablePtr table, bool temporary,
@@ -75,6 +85,7 @@ class Catalog {
   uint64_t VersionOf(const std::string& name) const;
 
  private:
+  /// Callers hold mu_ exclusively.
   void BumpVersion(const std::string& key) { ++versions_[key]; }
   struct Entry {
     TablePtr table;
@@ -85,6 +96,10 @@ class Catalog {
   };
   static std::string Key(const std::string& name);
 
+  /// Guards every container below; methods never call each other while
+  /// holding it (BumpVersion excepted, which asserts nothing and only runs
+  /// under the exclusive lock of its caller).
+  mutable std::shared_mutex mu_;
   std::map<std::string, Entry> tables_;
   std::map<std::string, std::shared_ptr<SelectStmt>> views_;
   /// Persistent per-name mutation counters (never erased, even on drop).

@@ -125,6 +125,7 @@ EvalContext Database::MakeEvalContext() {
   ctx.udfs = &udfs_;
   ctx.costs = costs_;
   ctx.nudf_cache = nudf_cache_.get();
+  ctx.batch_sink = nudf_batch_sink_;
   if (exec_options_.device != nullptr) {
     ctx.pool = exec_options_.device->pool();
     if (exec_options_.morsel_size > 0) {
@@ -153,11 +154,43 @@ Result<Table> Database::Execute(const std::string& sql) {
   return ExecuteStatement(stmt);
 }
 
+namespace {
+
+/// Error-context tag for one script statement: 1-based index plus its SQL
+/// text (middle-elided past ~120 chars so a giant INSERT stays readable).
+std::string StatementContext(size_t index, const std::string& sql) {
+  constexpr size_t kMaxSql = 120;
+  std::string text = sql;
+  for (char& c : text) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  if (text.size() > kMaxSql) {
+    text = text.substr(0, kMaxSql / 2) + " ... " +
+           text.substr(text.size() - kMaxSql / 2);
+  }
+  return "statement #" + std::to_string(index + 1) + ": " + text;
+}
+
+}  // namespace
+
 Status Database::ExecuteScript(const std::string& script) {
-  DL2SQL_ASSIGN_OR_RETURN(std::vector<Statement> stmts,
-                          sql::ParseScript(script));
-  for (const auto& s : stmts) {
-    DL2SQL_RETURN_NOT_OK(ExecuteStatement(s).status());
+  // Split first so every error — parse or execution — can name the failing
+  // statement's position and SQL text. Parse the whole script before running
+  // anything, preserving ParseScript's all-or-nothing semantics for syntax
+  // errors.
+  const std::vector<std::string> pieces = sql::SplitStatements(script);
+  std::vector<Statement> stmts;
+  stmts.reserve(pieces.size());
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    auto parsed = sql::ParseStatement(pieces[i]);
+    if (!parsed.ok()) {
+      return parsed.status().WithContext(StatementContext(i, pieces[i]));
+    }
+    stmts.push_back(std::move(parsed).ValueOrDie());
+  }
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    Status st = ExecuteStatement(stmts[i]).status();
+    if (!st.ok()) return st.WithContext(StatementContext(i, pieces[i]));
   }
   return Status::OK();
 }
@@ -226,7 +259,7 @@ Result<std::string> Database::Explain(const std::string& sql) {
 Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
   if (plan_cache_ == nullptr) {
     DL2SQL_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
-    last_plan_ = plan;
+    SetLastPlan(plan);
     return ExecNode(*plan);
   }
 
@@ -240,7 +273,7 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
         fresh = catalog_.VersionOf(name) == version;
       }
       if (fresh) {
-        last_plan_ = hit->plan;
+        SetLastPlan(hit->plan);
         return ExecNode(*hit->plan);
       }
       // Stale (DDL/DML bumped a referenced relation, or the cost model was
@@ -264,7 +297,7 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
     charge += name.size() + sizeof(uint64_t);
   }
   plan_cache_->Insert(key, std::move(entry), charge);
-  last_plan_ = plan;
+  SetLastPlan(plan);
   return ExecNode(*plan);
 }
 
@@ -325,7 +358,7 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   }
   DL2SQL_ASSIGN_OR_RETURN(
       PlanPtr plan, PlanQuery(*std::get<std::shared_ptr<SelectStmt>>(stmt)));
-  last_plan_ = plan;
+  SetLastPlan(plan);
   node_stats_.clear();
   collect_node_stats_ = true;
 
@@ -493,10 +526,15 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
   std::vector<std::pair<int64_t, int64_t>> pairs;
 
   if (node.use_symmetric_hash && node.equi_keys.size() == 1) {
+    SymmetricHashJoinStats shj_stats;
     DL2SQL_ASSIGN_OR_RETURN(
         pairs, SymmetricHashJoinPairs(left, right, *node.equi_keys[0].first,
                                       *node.equi_keys[0].second, &ctx,
-                                      shj_options_, &last_shj_stats_));
+                                      shj_options_, &shj_stats));
+    {
+      std::lock_guard<std::mutex> lock(last_run_mu_);
+      last_shj_stats_ = shj_stats;
+    }
     ++symmetric_joins_;
     static Counter* const symmetric_counter =
         MetricsRegistry::Global().counter("db.symmetric_joins");

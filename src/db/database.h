@@ -94,6 +94,14 @@ class Database {
   /// The prepared-plan cache, or nullptr when disabled.
   ShardedLruCache* plan_cache() { return plan_cache_.get(); }
 
+  /// Routes cache-miss batched-nUDF invocations through `sink` (the serving
+  /// layer's cross-query coalescer); nullptr restores direct invocation. Only
+  /// parallel-safe neural UDFs with a non-zero fingerprint are routed, so
+  /// results stay bit-identical either way. Not owned; callers must clear the
+  /// sink before destroying it, and must not swap it mid-query.
+  void set_nudf_batch_sink(NudfBatchSink* sink) { nudf_batch_sink_ = sink; }
+  NudfBatchSink* nudf_batch_sink() const { return nudf_batch_sink_; }
+
   /// When set, operator wall time is charged into this accumulator under
   /// buckets: "scan", "filter", "join", "groupby", "project", "sort",
   /// "limit", and nUDF time separately under "inference".
@@ -138,10 +146,16 @@ class Database {
                        bool temporary = false);
 
   /// The optimized plan of the most recent SELECT (test introspection).
-  const PlanPtr& last_plan() const { return last_plan_; }
+  /// Returned by value: concurrent sessions race on "most recent", so the
+  /// snapshot is taken under a lock.
+  PlanPtr last_plan() const {
+    std::lock_guard<std::mutex> lock(last_run_mu_);
+    return last_plan_;
+  }
 
   /// Stats of the most recent symmetric hash join, if any ran.
-  const SymmetricHashJoinStats& last_symmetric_stats() const {
+  SymmetricHashJoinStats last_symmetric_stats() const {
+    std::lock_guard<std::mutex> lock(last_run_mu_);
     return last_shj_stats_;
   }
 
@@ -186,6 +200,11 @@ class Database {
   /// registry version.
   uint64_t PlanCacheKey(const SelectStmt& stmt) const;
 
+  void SetLastPlan(PlanPtr plan) {
+    std::lock_guard<std::mutex> lock(last_run_mu_);
+    last_plan_ = std::move(plan);
+  }
+
   /// Builds an EvalContext wired to this database (UDFs, subqueries, costs).
   EvalContext MakeEvalContext();
   /// Folds a finished context's counters into the database totals and
@@ -203,7 +222,11 @@ class Database {
   /// Prepared-plan cache; null when disabled.
   std::unique_ptr<ShardedLruCache> plan_cache_;
   CostAccumulator* costs_ = nullptr;
+  NudfBatchSink* nudf_batch_sink_ = nullptr;
   std::atomic<int64_t> neural_calls_{0};
+  /// Guards the "most recent run" introspection snapshots below, which
+  /// concurrent sessions would otherwise race on.
+  mutable std::mutex last_run_mu_;
   PlanPtr last_plan_;
   SymmetricHashJoinStats last_shj_stats_;
   std::atomic<int64_t> symmetric_joins_{0};

@@ -467,6 +467,16 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
     ShardedLruCache* const cache =
         NudfCacheActive(udf, ctx) ? ctx->nudf_cache : nullptr;
     const uint64_t fingerprint = udf->neural.fingerprint;
+    // Cross-query batch coalescing (serving layer): miss batches of
+    // parallel-safe, fingerprinted neural bodies are handed to the sink,
+    // which may merge them with rows from concurrently running queries.
+    // Per-row purity (implied by parallel_safe + fingerprint) guarantees the
+    // regrouping cannot change any individual result.
+    NudfBatchSink* const sink =
+        (ctx->batch_sink != nullptr && udf->is_neural && udf->parallel_safe &&
+         fingerprint != 0)
+            ? ctx->batch_sink
+            : nullptr;
     // Inference time is accumulated per worker and merged once: concurrent
     // `ctx->inference_seconds +=` from morsel bodies would race, and the sum
     // of per-worker compute seconds stays meaningful under parallelism where
@@ -515,17 +525,30 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
           for (size_t i : miss) miss_rows.push_back(std::move(rows[i]));
         }
         Stopwatch morsel_watch;
-        DL2SQL_TRACE_SPAN("nudf", "invoke_batch");
-        DL2SQL_ASSIGN_OR_RETURN(std::vector<Value> fresh,
-                                udf->batch_fn(all_miss ? rows : miss_rows));
+        std::vector<Value> fresh;
+        if (sink != nullptr) {
+          // The sink performs (and accounts for) the real model invocations;
+          // the measured time includes any coalescing wait, which is genuine
+          // inference latency from this query's point of view.
+          DL2SQL_TRACE_SPAN("nudf", "coalesce_batch");
+          DL2SQL_ASSIGN_OR_RETURN(
+              fresh, sink->RunBatch(fingerprint, udf->batch_fn,
+                                    all_miss ? std::move(rows)
+                                             : std::move(miss_rows)));
+        } else {
+          DL2SQL_TRACE_SPAN("nudf", "invoke_batch");
+          DL2SQL_ASSIGN_OR_RETURN(fresh,
+                                  udf->batch_fn(all_miss ? rows : miss_rows));
+          invoked_batches.fetch_add(1, std::memory_order_relaxed);
+          if (udf->is_neural) {
+            static Histogram* const batch_us =
+                MetricsRegistry::Global().histogram("nudf.batch_us");
+            batch_us->Record(
+                static_cast<int64_t>(morsel_watch.ElapsedSeconds() * 1e6));
+          }
+        }
         const double batch_seconds = morsel_watch.ElapsedSeconds();
         worker_seconds[static_cast<size_t>(worker)] += batch_seconds;
-        invoked_batches.fetch_add(1, std::memory_order_relaxed);
-        if (udf->is_neural) {
-          static Histogram* const batch_us =
-              MetricsRegistry::Global().histogram("nudf.batch_us");
-          batch_us->Record(static_cast<int64_t>(batch_seconds * 1e6));
-        }
         if (fresh.size() != miss.size()) {
           return Status::InternalError(e.func_name, " batch body returned ",
                                        fresh.size(), " values for ",

@@ -17,6 +17,29 @@ class ThreadPool;
 
 namespace dl2sql::db {
 
+/// \brief Interception point for batched neural-UDF invocations.
+///
+/// When a sink is wired into the EvalContext, the batched-nUDF evaluator
+/// hands every cache-miss batch to the sink instead of calling the UDF body
+/// directly; the sink decides how to actually invoke `fn` (the serving
+/// layer's cross-query coalescer merges rows from concurrently running
+/// queries into shared batches). Only neural UDFs that are `parallel_safe`
+/// and carry a non-zero model fingerprint are routed — those are exactly the
+/// bodies that are pure per-row functions, so regrouping rows across queries
+/// cannot change any per-row result.
+///
+/// Contract: the sink returns exactly rows.size() values, in row order, each
+/// identical to what `fn` would have produced for that row. The sink owns the
+/// nudf.batches accounting for the invocations it performs (the evaluator
+/// counts batches only on the direct path).
+class NudfBatchSink {
+ public:
+  virtual ~NudfBatchSink() = default;
+  virtual Result<std::vector<Value>> RunBatch(
+      uint64_t fingerprint, const BatchFn& fn,
+      std::vector<std::vector<Value>>&& rows) = 0;
+};
+
 /// \brief Shared evaluation state threaded through expression evaluation.
 struct EvalContext {
   const UdfRegistry* udfs = nullptr;
@@ -43,6 +66,11 @@ struct EvalContext {
   /// model, whether freshly computed or memoized — so existing accounting is
   /// unchanged; only compute time and nudf.batches shrink.
   ShardedLruCache* nudf_cache = nullptr;
+  /// Cross-query batch coalescer (owned by the serving layer, wired through
+  /// Database::set_nudf_batch_sink). Only consulted for parallel-safe neural
+  /// UDFs with a non-zero fingerprint; nullptr keeps the direct invocation
+  /// path bit-for-bit unchanged.
+  NudfBatchSink* batch_sink = nullptr;
 };
 
 /// Shared, possibly non-owning column handle (column refs alias the input

@@ -590,6 +590,52 @@ Result<std::vector<Statement>> ParseScript(const std::string& input) {
   return p.ParseAll();
 }
 
+std::vector<std::string> SplitStatements(const std::string& input) {
+  std::vector<std::string> pieces;
+  std::string current;
+  auto emit = [&] {
+    // Drop pieces that hold no statement (whitespace/comment-only).
+    const size_t first = current.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos) {
+      const size_t last = current.find_last_not_of(" \t\r\n");
+      pieces.push_back(current.substr(first, last - first + 1));
+    }
+    current.clear();
+  };
+  for (size_t i = 0; i < input.size(); ++i) {
+    const char c = input[i];
+    if (c == '\'') {
+      // String literal; '' escapes a quote (mirrors the lexer).
+      current.push_back(c);
+      for (++i; i < input.size(); ++i) {
+        current.push_back(input[i]);
+        if (input[i] == '\'') {
+          if (i + 1 < input.size() && input[i + 1] == '\'') {
+            current.push_back(input[++i]);
+          } else {
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      // Line comment: keep it in the piece (the lexer skips it) but never
+      // split on a ';' inside it.
+      while (i < input.size() && input[i] != '\n') current.push_back(input[i++]);
+      if (i < input.size()) current.push_back('\n');
+      continue;
+    }
+    if (c == ';') {
+      emit();
+      continue;
+    }
+    current.push_back(c);
+  }
+  emit();
+  return pieces;
+}
+
 Result<ExprPtr> ParseExpression(const std::string& input) {
   DL2SQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   Parser p(std::move(tokens));

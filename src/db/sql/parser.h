@@ -14,6 +14,14 @@ Result<Statement> ParseStatement(const std::string& input);
 /// Parses a script of ';'-separated statements.
 Result<std::vector<Statement>> ParseScript(const std::string& input);
 
+/// Splits a script into the texts of its ';'-separated statements without
+/// parsing them, respecting single-quoted strings ('' escapes a quote) and
+/// `--` line comments exactly as the lexer does. Empty/whitespace-only pieces
+/// are dropped. Lets callers attach the failing statement's index and SQL
+/// text to errors (Database::ExecuteScript) and feed statements one at a time
+/// to a remote server (lindb_client).
+std::vector<std::string> SplitStatements(const std::string& input);
+
 /// Parses a standalone expression (used by tests and programmatic plans).
 Result<ExprPtr> ParseExpression(const std::string& input);
 

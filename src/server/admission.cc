@@ -1,0 +1,107 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/metrics.h"
+#include "common/timer.h"
+
+namespace dl2sql::server {
+
+namespace {
+
+struct AdmissionMetrics {
+  Counter* admitted;
+  Counter* rejected_queue_full;
+  Counter* rejected_timeout;
+  Gauge* queue_depth;
+  Gauge* running;
+  Histogram* queue_us;
+
+  static const AdmissionMetrics& Get() {
+    static const AdmissionMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      AdmissionMetrics out;
+      out.admitted = r.counter("server.admitted");
+      out.rejected_queue_full = r.counter("server.rejected_queue_full");
+      out.rejected_timeout = r.counter("server.rejected_timeout");
+      out.queue_depth = r.gauge("server.queue_depth");
+      out.running = r.gauge("server.running");
+      out.queue_us = r.histogram("server.queue_us");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+Status AdmissionController::Admit() {
+  const AdmissionMetrics& m = AdmissionMetrics::Get();
+  std::unique_lock<std::mutex> lock(mu_);
+  // The queue bound applies only to callers that would actually wait: with
+  // a free slot and nobody ahead, admission is immediate even at depth 0.
+  const bool must_wait =
+      !waiting_.empty() || running_ >= options_.max_concurrent;
+  if (must_wait &&
+      static_cast<int>(waiting_.size()) >= std::max(0, options_.max_queue_depth)) {
+    m.rejected_queue_full->Increment();
+    return Status::ResourceExhausted(
+        "admission queue full (", waiting_.size(), " waiting, cap ",
+        options_.max_queue_depth, "); retry later");
+  }
+  const uint64_t my = next_ticket_++;
+  waiting_.push_back(my);
+  m.queue_depth->Set(static_cast<double>(waiting_.size()));
+
+  Stopwatch watch;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              std::max(0.0, options_.queue_timeout_ms)));
+  const bool got = cv_.wait_until(lock, deadline, [&] {
+    return waiting_.front() == my && running_ < options_.max_concurrent;
+  });
+
+  waiting_.erase(std::find(waiting_.begin(), waiting_.end(), my));
+  m.queue_depth->Set(static_cast<double>(waiting_.size()));
+  m.queue_us->Record(watch.ElapsedMicros());
+  if (!got) {
+    // Leaving the queue may unblock the waiter behind us.
+    cv_.notify_all();
+    m.rejected_timeout->Increment();
+    return Status::ResourceExhausted("admission timed out after ",
+                                     options_.queue_timeout_ms,
+                                     " ms in queue; retry later");
+  }
+  ++running_;
+  m.running->Set(static_cast<double>(running_));
+  m.admitted->Increment();
+  // The next waiter may also fit under the concurrency cap.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  const AdmissionMetrics& m = AdmissionMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  --running_;
+  m.running->Set(static_cast<double>(running_));
+  cv_.notify_all();
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::AdmitTicket() {
+  DL2SQL_RETURN_NOT_OK(Admit());
+  return Ticket(this);
+}
+
+}  // namespace dl2sql::server

@@ -1,0 +1,193 @@
+#include "server/coalescer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
+
+namespace dl2sql::server {
+
+namespace {
+
+struct CoalescerMetrics {
+  Counter* submissions;
+  Counter* coalesced_rows;
+  Counter* flush_cap;
+  Counter* flush_window;
+  Counter* merged_batches;
+  Counter* bypass;
+  Counter* batches;
+  Histogram* batch_us;
+  Histogram* wait_us;
+
+  static const CoalescerMetrics& Get() {
+    static const CoalescerMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      CoalescerMetrics out;
+      out.submissions = r.counter("server.coalesce.submissions");
+      out.coalesced_rows = r.counter("server.coalesce.rows");
+      out.flush_cap = r.counter("server.coalesce.flush_cap");
+      out.flush_window = r.counter("server.coalesce.flush_window");
+      out.merged_batches = r.counter("server.coalesce.merged_batches");
+      out.bypass = r.counter("server.coalesce.bypass");
+      out.batches = r.counter("nudf.batches");
+      out.batch_us = r.histogram("nudf.batch_us");
+      out.wait_us = r.histogram("server.coalesce.wait_us");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+CoalescerOptions CoalescerOptionsFromEnv() {
+  CoalescerOptions opts;
+  const char* env = std::getenv("DL2SQL_SERVER_COALESCE");
+  if (env != nullptr &&
+      (std::strcmp(env, "OFF") == 0 || std::strcmp(env, "off") == 0 ||
+       std::strcmp(env, "0") == 0)) {
+    opts.enabled = false;
+  }
+  return opts;
+}
+
+BatchCoalescer::BatchCoalescer(CoalescerOptions options)
+    : options_(options) {}
+
+BatchCoalescer::~BatchCoalescer() = default;
+
+Result<std::vector<db::Value>> BatchCoalescer::InvokeChunked(
+    const db::BatchFn& fn, std::vector<std::vector<db::Value>>&& rows) {
+  const CoalescerMetrics& m = CoalescerMetrics::Get();
+  const size_t cap = options_.max_batch_rows > 0
+                         ? static_cast<size_t>(options_.max_batch_rows)
+                         : rows.size();
+  std::vector<db::Value> out;
+  out.reserve(rows.size());
+  for (size_t begin = 0; begin < rows.size(); begin += cap) {
+    const size_t end = std::min(rows.size(), begin + cap);
+    std::vector<std::vector<db::Value>> chunk;
+    chunk.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) chunk.push_back(std::move(rows[i]));
+    Stopwatch watch;
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<db::Value> vals, fn(chunk));
+    m.batches->Increment();
+    m.batch_us->Record(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+    if (vals.size() != chunk.size()) {
+      return Status::InternalError("coalesced batch body returned ",
+                                   vals.size(), " values for ", chunk.size(),
+                                   " rows");
+    }
+    for (auto& v : vals) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<std::vector<db::Value>> BatchCoalescer::RunBatch(
+    uint64_t fingerprint, const db::BatchFn& fn,
+    std::vector<std::vector<db::Value>>&& rows) {
+  if (rows.empty()) return std::vector<db::Value>{};
+  const CoalescerMetrics& m = CoalescerMetrics::Get();
+  m.submissions->Increment();
+
+  if (!options_.enabled) {
+    // Disabled mode matches the evaluator's direct path exactly: one body
+    // call for the whole submission, no chunking — the comparison baseline.
+    Stopwatch watch;
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<db::Value> vals, fn(rows));
+    m.batches->Increment();
+    m.batch_us->Record(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+    if (vals.size() != rows.size()) {
+      return Status::InternalError("batch body returned ", vals.size(),
+                                   " values for ", rows.size(), " rows");
+    }
+    return vals;
+  }
+  if (inflight_ && inflight_() <= 1) {
+    m.bypass->Increment();
+    return InvokeChunked(fn, std::move(rows));
+  }
+
+  DL2SQL_TRACE_SPAN("server", "coalesce");
+  Stopwatch wait_watch;
+  const size_t my_count = rows.size();
+  size_t my_offset = 0;
+  bool leader = false;
+  std::shared_ptr<Group> group;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = forming_.find(fingerprint);
+    if (it == forming_.end()) {
+      group = std::make_shared<Group>();
+      group->deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                options_.wait_window_ms));
+      forming_[fingerprint] = group;
+      leader = true;
+    } else {
+      group = it->second;
+    }
+    my_offset = group->rows.size();
+    for (auto& r : rows) group->rows.push_back(std::move(r));
+    m.coalesced_rows->Increment(static_cast<int64_t>(my_count));
+
+    const size_t cap = static_cast<size_t>(
+        std::max<int64_t>(1, options_.max_batch_rows));
+    if (!leader) {
+      if (group->rows.size() >= cap) group->cv.notify_all();
+      group->cv.wait(lock, [&] { return group->done; });
+    } else {
+      // Wait for company until the cap is reached or the window closes; the
+      // deadline guarantees this thread — and therefore every participant
+      // waiting on `done` — is never blocked indefinitely.
+      group->cv.wait_until(lock, group->deadline, [&] {
+        return group->rows.size() >= cap;
+      });
+      forming_.erase(fingerprint);
+      group->closed = true;
+      if (group->rows.size() >= cap) {
+        m.flush_cap->Increment();
+      } else {
+        m.flush_window->Increment();
+      }
+      if (group->rows.size() > my_count) m.merged_batches->Increment();
+
+      std::vector<std::vector<db::Value>> batch = std::move(group->rows);
+      group->rows.clear();
+      lock.unlock();
+      auto result = InvokeChunked(fn, std::move(batch));
+      lock.lock();
+      if (result.ok()) {
+        group->results = std::move(result).ValueOrDie();
+      } else {
+        group->status = result.status();
+      }
+      group->done = true;
+      group->cv.notify_all();
+    }
+  }
+
+  m.wait_us->Record(wait_watch.ElapsedMicros());
+  DL2SQL_RETURN_NOT_OK(group->status);
+  if (group->results.size() < my_offset + my_count) {
+    return Status::InternalError("coalesced batch produced ",
+                                 group->results.size(), " results, expected >= ",
+                                 my_offset + my_count);
+  }
+  // Copy (not move) the slice out: other participants share the vector.
+  std::vector<db::Value> out(group->results.begin() +
+                                 static_cast<int64_t>(my_offset),
+                             group->results.begin() +
+                                 static_cast<int64_t>(my_offset + my_count));
+  return out;
+}
+
+}  // namespace dl2sql::server

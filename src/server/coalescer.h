@@ -1,0 +1,104 @@
+/// \file coalescer.h
+/// \brief Cross-query nUDF batch coalescing (see DESIGN.md, "Serving").
+///
+/// N concurrent fig8-style queries each produce small cache-miss batches for
+/// the same deployed model. Invoked independently, those cost N model calls;
+/// coalesced, rows from different queries against the same model fingerprint
+/// share batches, so concurrency *reduces* per-query inference cost — the
+/// co-optimization across queries that arXiv:2310.04696 / CACTUSDB identify
+/// as the main lever for in-RDBMS serving under load.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "db/eval.h"
+
+namespace dl2sql::server {
+
+struct CoalescerOptions {
+  /// Master switch; the environment variable DL2SQL_SERVER_COALESCE=OFF (or
+  /// "off"/"0") forces false at construction. When off, RunBatch degenerates
+  /// to exactly one UDF-body call per submission — the evaluator's direct
+  /// path — which is what the bit-identity tests compare against.
+  bool enabled = true;
+  /// Hard cap on rows per model invocation. Oversized submissions (a morsel's
+  /// whole miss set) are chunked, so no call ever exceeds the cap.
+  int64_t max_batch_rows = 256;
+  /// How long the first submitter of a batch waits for other queries' rows
+  /// before flushing a partial batch. Bounded: a batch is always flushed by
+  /// its own leader at the deadline, so no submission can hang on a quiet
+  /// server.
+  double wait_window_ms = 2.0;
+};
+
+/// \brief Gathers cache-miss nUDF rows from concurrent queries into shared
+/// batches, keyed by model fingerprint.
+///
+/// Leader-flush protocol: the first thread to submit rows for a fingerprint
+/// opens a batch group and becomes its leader; later submitters append rows
+/// and wait. The leader flushes — in chunks of at most max_batch_rows — when
+/// the group reaches the cap or its wait window expires, then hands every
+/// participant its slice of the results. Because only parallel-safe neural
+/// UDFs with a model fingerprint are routed here (pure per-row functions),
+/// regrouping rows across queries cannot change any per-row result.
+///
+/// The wait window is skipped when the inflight provider reports at most one
+/// running query: with nobody to share with, waiting only adds latency.
+class BatchCoalescer : public db::NudfBatchSink {
+ public:
+  explicit BatchCoalescer(CoalescerOptions options);
+  ~BatchCoalescer() override;
+
+  bool enabled() const { return options_.enabled; }
+  const CoalescerOptions& options() const { return options_; }
+
+  /// Wires the admission controller's running-query count in as a hint; may
+  /// be null (always coalesce). Called once before serving starts.
+  void set_inflight_provider(std::function<int()> provider) {
+    inflight_ = std::move(provider);
+  }
+
+  /// db::NudfBatchSink: called from query threads (and pool workers running
+  /// nUDF morsels). Blocks at most the wait window plus the model call.
+  Result<std::vector<db::Value>> RunBatch(
+      uint64_t fingerprint, const db::BatchFn& fn,
+      std::vector<std::vector<db::Value>>&& rows) override;
+
+ private:
+  /// One forming batch: rows from >=1 submissions against one fingerprint.
+  struct Group {
+    std::vector<std::vector<db::Value>> rows;
+    std::chrono::steady_clock::time_point deadline;
+    /// Leader took the group out of forming_ and is invoking the model.
+    bool closed = false;
+    bool done = false;
+    Status status;
+    std::vector<db::Value> results;
+    std::condition_variable cv;
+  };
+
+  /// Invokes `fn` over `rows` in chunks of at most max_batch_rows, counting
+  /// one nudf.batches per call.
+  Result<std::vector<db::Value>> InvokeChunked(
+      const db::BatchFn& fn, std::vector<std::vector<db::Value>>&& rows);
+
+  const CoalescerOptions options_;
+  std::function<int()> inflight_;
+  std::mutex mu_;
+  /// Groups currently accepting rows, by fingerprint. A group being flushed
+  /// has already been removed, so late submitters open a fresh one.
+  std::unordered_map<uint64_t, std::shared_ptr<Group>> forming_;
+};
+
+/// Reads CoalescerOptions defaults with the DL2SQL_SERVER_COALESCE
+/// environment override applied.
+CoalescerOptions CoalescerOptionsFromEnv();
+
+}  // namespace dl2sql::server

@@ -1,0 +1,133 @@
+#include "server/session.h"
+
+#include <mutex>
+#include <utility>
+#include <variant>
+
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
+
+namespace dl2sql::server {
+
+namespace {
+
+struct ServiceMetrics {
+  Counter* requests;
+  Counter* errors;
+  Counter* budget_rows;
+  Counter* budget_deadline;
+  Counter* sessions;
+  Histogram* exec_us;
+  Histogram* total_us;
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      ServiceMetrics out;
+      out.requests = r.counter("server.requests");
+      out.errors = r.counter("server.errors");
+      out.budget_rows = r.counter("server.budget_rows_exceeded");
+      out.budget_deadline = r.counter("server.budget_deadline_exceeded");
+      out.sessions = r.counter("server.sessions");
+      out.exec_us = r.histogram("server.exec_us");
+      out.total_us = r.histogram("server.total_us");
+      return out;
+    }();
+    return m;
+  }
+};
+
+bool IsSelect(const db::Statement& stmt) {
+  return std::holds_alternative<std::shared_ptr<db::SelectStmt>>(stmt);
+}
+
+}  // namespace
+
+QueryService::QueryService(db::Database* db, ServiceOptions options)
+    : db_(db), options_(options), admission_(options.admission),
+      coalescer_(options.coalescer) {
+  coalescer_.set_inflight_provider([this] { return admission_.running(); });
+  db_->set_nudf_batch_sink(&coalescer_);
+}
+
+QueryService::~QueryService() { db_->set_nudf_batch_sink(nullptr); }
+
+std::shared_ptr<Session> QueryService::CreateSession() {
+  ServiceMetrics::Get().sessions->Increment();
+  return std::make_shared<Session>(
+      this, next_session_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Result<db::Table> QueryService::Execute(const std::string& sql) {
+  DL2SQL_TRACE_SPAN("server", "request");
+  const ServiceMetrics& m = ServiceMetrics::Get();
+  m.requests->Increment();
+  Stopwatch total_watch;
+
+  // Parse before admission: syntax errors should not consume a slot.
+  DL2SQL_ASSIGN_OR_RETURN(db::Statement stmt, db::sql::ParseStatement(sql));
+
+  DL2SQL_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_.AdmitTicket());
+
+  Stopwatch exec_watch;
+  Result<db::Table> result = [&]() -> Result<db::Table> {
+    if (IsSelect(stmt)) {
+      std::shared_lock<std::shared_mutex> lock(exec_mu_);
+      DL2SQL_TRACE_SPAN("server", "exec_select");
+      return db_->ExecuteStatement(stmt);
+    }
+    std::unique_lock<std::shared_mutex> lock(exec_mu_);
+    DL2SQL_TRACE_SPAN("server", "exec_write");
+    return db_->ExecuteStatement(stmt);
+  }();
+  const double exec_seconds = exec_watch.ElapsedSeconds();
+  ticket.reset();
+
+  m.exec_us->Record(static_cast<int64_t>(exec_seconds * 1e6));
+  m.total_us->Record(total_watch.ElapsedMicros());
+  if (!result.ok()) {
+    m.errors->Increment();
+    return result;
+  }
+  if (options_.max_result_rows > 0 &&
+      result->num_rows() > options_.max_result_rows) {
+    m.budget_rows->Increment();
+    m.errors->Increment();
+    return Status::ResourceExhausted(
+        "result has ", result->num_rows(), " rows, over the per-query cap of ",
+        options_.max_result_rows);
+  }
+  if (options_.statement_timeout_ms > 0 &&
+      exec_seconds * 1e3 > options_.statement_timeout_ms) {
+    m.budget_deadline->Increment();
+    m.errors->Increment();
+    return Status::ResourceExhausted(
+        "statement ran ", exec_seconds * 1e3, " ms, over the deadline of ",
+        options_.statement_timeout_ms, " ms");
+  }
+  return result;
+}
+
+Status QueryService::ExecuteScript(const std::string& script) {
+  DL2SQL_TRACE_SPAN("server", "script");
+  DL2SQL_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          admission_.AdmitTicket());
+  std::unique_lock<std::shared_mutex> lock(exec_mu_);
+  return db_->ExecuteScript(script);
+}
+
+Result<db::Table> Session::Execute(const std::string& sql) {
+  auto result = service_->Execute(sql);
+  (result.ok() ? ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Status Session::ExecuteScript(const std::string& script) {
+  Status st = service_->ExecuteScript(script);
+  (st.ok() ? ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace dl2sql::server

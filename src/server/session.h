@@ -1,0 +1,125 @@
+/// \file session.h
+/// \brief QueryService + Session: the thread-safe concurrent entry path into
+/// an embedded Database (see DESIGN.md, "Serving").
+///
+/// The Database itself stays an embedded engine; QueryService layers the
+/// serving concerns on top: admission control, a statement-level
+/// reader/writer lock (concurrent SELECTs, exclusive DML/DDL), per-query
+/// budgets, and the cross-query nUDF batch coalescer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "db/database.h"
+#include "server/admission.h"
+#include "server/coalescer.h"
+#include "server/wire.h"
+
+namespace dl2sql::server {
+
+/// Per-client knobs, adjustable per session (the wire protocol's
+/// .format/.maxrows commands).
+struct SessionSettings {
+  OutputFormat format = OutputFormat::kTsv;
+  /// Rows rendered per result; <0 = all (the result itself is never
+  /// truncated — this caps the rendering only).
+  int64_t render_max_rows = -1;
+};
+
+struct ServiceOptions {
+  AdmissionOptions admission;
+  CoalescerOptions coalescer = CoalescerOptionsFromEnv();
+  /// Reject (ResourceExhausted) any statement whose result exceeds this many
+  /// rows; 0 = unlimited. A safety valve against accidental cross joins
+  /// flooding client connections.
+  int64_t max_result_rows = 0;
+  /// Statement deadline, best effort: execution is not interrupted
+  /// mid-operator, but a statement that finishes past its deadline is
+  /// reported (and counted) as ResourceExhausted instead of returning rows.
+  /// 0 = no deadline. The hard never-hang guarantees live in admission
+  /// (bounded queue + queue timeout) and the coalescer (leader flush).
+  double statement_timeout_ms = 0.0;
+};
+
+class Session;
+
+/// \brief Owns the serving state for one Database. Create one QueryService,
+/// then one Session per client connection; Session::Execute is safe from any
+/// thread.
+class QueryService {
+ public:
+  /// Wires the coalescer into `db` (set_nudf_batch_sink). `db` must outlive
+  /// the service; no other caller may mutate the database while serving.
+  QueryService(db::Database* db, ServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  std::shared_ptr<Session> CreateSession();
+
+  db::Database* database() { return db_; }
+  const ServiceOptions& options() const { return options_; }
+  AdmissionController& admission() { return admission_; }
+  BatchCoalescer& coalescer() { return coalescer_; }
+
+ private:
+  friend class Session;
+
+  /// The concurrent entry path: admission -> parse -> classify -> RW lock ->
+  /// execute -> budget checks. Every failure is a status, never a hang.
+  Result<db::Table> Execute(const std::string& sql);
+
+  /// Whole scripts take the exclusive lock once (DDL/DML heavy by nature).
+  Status ExecuteScript(const std::string& script);
+
+  db::Database* const db_;
+  const ServiceOptions options_;
+  AdmissionController admission_;
+  BatchCoalescer coalescer_;
+  /// Statement-level RW lock: SELECTs share, everything else is exclusive.
+  /// Held once per top-level statement — scalar subqueries re-enter
+  /// Database::ExecuteSelect below this layer, so the lock must not be
+  /// re-acquired recursively.
+  std::shared_mutex exec_mu_;
+  std::atomic<uint64_t> next_session_id_{1};
+};
+
+/// \brief One client's handle onto the service: settings + statistics.
+/// A session itself is used by a single connection thread; different
+/// sessions execute concurrently.
+class Session {
+ public:
+  Session(QueryService* service, uint64_t id) : service_(service), id_(id) {}
+
+  uint64_t id() const { return id_; }
+  SessionSettings& settings() { return settings_; }
+  const SessionSettings& settings() const { return settings_; }
+
+  /// Executes one SQL statement through the service.
+  Result<db::Table> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script under one exclusive lock.
+  Status ExecuteScript(const std::string& script);
+
+  /// Statements successfully executed / failed on this session.
+  int64_t statements_ok() const {
+    return ok_.load(std::memory_order_relaxed);
+  }
+  int64_t statements_failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  QueryService* const service_;
+  const uint64_t id_;
+  SessionSettings settings_;
+  std::atomic<int64_t> ok_{0};
+  std::atomic<int64_t> failed_{0};
+};
+
+}  // namespace dl2sql::server

@@ -1,0 +1,173 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace dl2sql::server {
+
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(QueryService* service, TcpServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket(): ", std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '", options_.host, "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError("bind(", options_.host, ":", options_.port,
+                           "): ", std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IoError("listen(): ", std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
+  DL2SQL_LOG(Info) << "lindb server listening on " << options_.host << ":"
+                   << port_;
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (listen_fd_ >= 0) {
+      // shutdown() wakes the blocked accept(); close() alone does not on all
+      // platforms.
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::AcceptLoop(int listen_fd) {
+  static Counter* const connections =
+      MetricsRegistry::Global().counter("server.connections");
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listen socket closed by Stop()
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      conn_fds_.insert(fd);
+      conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    }
+    connections->Increment();
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::shared_ptr<Session> session = service_->CreateSession();
+
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while (open && (nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = Trim(buffer.substr(0, nl));
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      if (line[0] == '.') {
+        if (line == ".quit") {
+          SendAll(fd, "OK 0 0\nEND\n");
+          open = false;
+          break;
+        }
+        if (line == ".ping") {
+          open = SendAll(fd, "OK 0 0\nEND\n");
+          continue;
+        }
+        if (StartsWith(line, ".format ")) {
+          auto format = ParseOutputFormat(Trim(line.substr(8)));
+          if (format.ok()) {
+            session->settings().format = *format;
+            open = SendAll(fd, "OK 0 0\nEND\n");
+          } else {
+            open = SendAll(fd, FormatErrorResponse(format.status()));
+          }
+          continue;
+        }
+        open = SendAll(fd, FormatErrorResponse(Status::InvalidArgument(
+                               "unknown command '", line, "'")));
+        continue;
+      }
+      auto result = session->Execute(line);
+      std::string response =
+          result.ok()
+              ? FormatOkResponse(*result, session->settings().format,
+                                 session->settings().render_max_rows)
+              : FormatErrorResponse(result.status());
+      open = SendAll(fd, response);
+    }
+  }
+
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(fd);
+}
+
+}  // namespace dl2sql::server

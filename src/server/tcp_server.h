@@ -1,0 +1,67 @@
+/// \file tcp_server.h
+/// \brief Minimal TCP line-protocol front end for a QueryService.
+///
+/// One accept thread plus one thread per connection; each connection gets its
+/// own Session. Requests are newline-delimited SQL statements (or meta
+/// commands starting with '.'); responses use the framing in wire.h. Stop()
+/// shuts every socket down and joins all threads, so SIGTERM handling in
+/// lindb_server is just "call Stop and return".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/session.h"
+
+namespace dl2sql::server {
+
+struct TcpServerOptions {
+  /// Loopback by default: this is a benchmark/example server, not a hardened
+  /// network daemon.
+  std::string host = "127.0.0.1";
+  /// 0 = pick a free port (read it back with port()).
+  int port = 0;
+};
+
+class TcpServer {
+ public:
+  TcpServer(QueryService* service, TcpServerOptions options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// Idempotent: closes the listen socket, shuts down live connections, and
+  /// joins every thread.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  int port() const { return port_; }
+
+ private:
+  /// Runs on accept_thread_; takes the fd by value so Stop() can close and
+  /// null the member without racing this thread's reads.
+  void AcceptLoop(int listen_fd);
+  void ServeConnection(int fd);
+
+  QueryService* const service_;
+  const TcpServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace dl2sql::server

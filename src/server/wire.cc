@@ -1,0 +1,182 @@
+#include "server/wire.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "db/value.h"
+
+namespace dl2sql::server {
+
+namespace {
+
+/// TSV cells share lines with the framing, so the three separators are
+/// backslash-escaped. Everything else passes through verbatim (blob bytes
+/// included; the protocol is not binary-clean but the workload's blobs are).
+std::string EscapeTsv(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// %.17g round-trips doubles exactly, so TSV/JSON output is as bit-faithful
+/// as Value::ToString-based comparisons need.
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string CellTsv(const db::Value& v) {
+  switch (v.type()) {
+    case db::DataType::kNull:
+      return "NULL";
+    case db::DataType::kBool:
+      return v.bool_value() ? "true" : "false";
+    case db::DataType::kInt64:
+      return std::to_string(v.int_value());
+    case db::DataType::kFloat64:
+      return FormatDouble(v.float_value());
+    default:
+      return EscapeTsv(v.string_value());
+  }
+}
+
+std::string CellJson(const db::Value& v) {
+  switch (v.type()) {
+    case db::DataType::kNull:
+      return "null";
+    case db::DataType::kBool:
+      return v.bool_value() ? "true" : "false";
+    case db::DataType::kInt64:
+      return std::to_string(v.int_value());
+    case db::DataType::kFloat64:
+      return FormatDouble(v.float_value());
+    default:
+      return "\"" + EscapeJson(v.string_value()) + "\"";
+  }
+}
+
+}  // namespace
+
+Result<OutputFormat> ParseOutputFormat(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "tsv") return OutputFormat::kTsv;
+  if (lower == "json") return OutputFormat::kJson;
+  return Status::InvalidArgument("unknown output format '", name,
+                                 "' (expected tsv or json)");
+}
+
+std::string RenderTable(const db::Table& table, OutputFormat format,
+                        int64_t max_rows) {
+  const int64_t rows = max_rows >= 0
+                           ? std::min<int64_t>(max_rows, table.num_rows())
+                           : table.num_rows();
+  const int cols = table.num_columns();
+  std::string out;
+  if (format == OutputFormat::kTsv) {
+    // DDL/DML results are zero-column row counts; the count lives in the OK
+    // frame line, so the body is empty rather than a stack of blank lines.
+    if (cols == 0) return out;
+    for (int c = 0; c < cols; ++c) {
+      if (c > 0) out += '\t';
+      out += EscapeTsv(table.schema().field(c).name);
+    }
+    out += '\n';
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        if (c > 0) out += '\t';
+        out += CellTsv(table.column(c).GetValue(r));
+      }
+      out += '\n';
+    }
+    return out;
+  }
+  out += "{\"columns\":[";
+  for (int c = 0; c < cols; ++c) {
+    if (c > 0) out += ',';
+    out += "\"" + EscapeJson(table.schema().field(c).name) + "\"";
+  }
+  out += "],\"rows\":[";
+  for (int64_t r = 0; r < rows; ++r) {
+    if (r > 0) out += ',';
+    out += '[';
+    for (int c = 0; c < cols; ++c) {
+      if (c > 0) out += ',';
+      out += CellJson(table.column(c).GetValue(r));
+    }
+    out += ']';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string FormatOkResponse(const db::Table& table, OutputFormat format,
+                             int64_t max_rows) {
+  std::string out = "OK " + std::to_string(table.num_rows()) + " " +
+                    std::to_string(table.num_columns()) + "\n";
+  out += RenderTable(table, format, max_rows);
+  out += "END\n";
+  return out;
+}
+
+std::string FormatErrorResponse(const Status& status) {
+  std::string msg = status.ToString();
+  for (char& c : msg) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERR " + msg + "\nEND\n";
+}
+
+}  // namespace dl2sql::server

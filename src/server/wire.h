@@ -1,0 +1,40 @@
+/// \file wire.h
+/// \brief The lindb line protocol: newline-delimited SQL in, framed TSV/JSON
+/// rows or an error status out. Shared by lindb_server and lindb_client.
+///
+/// Response framing (one response per statement):
+///   OK <nrows> <ncols>\n
+///   <body: header + rows (tsv) or one JSON object line (json)>
+///   END\n
+/// or
+///   ERR <code-name>: <message, newlines collapsed>\n
+///   END\n
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace dl2sql::server {
+
+enum class OutputFormat { kTsv, kJson };
+
+/// "tsv"/"json" (case-insensitive) -> format; anything else fails.
+Result<OutputFormat> ParseOutputFormat(const std::string& name);
+
+/// Renders the result body (no framing). TSV: a header line of column names
+/// then one line per row, cells escaped (\t, \n, \\). JSON: a single line
+/// {"columns":[...],"rows":[[...],...]}. `max_rows` < 0 means all rows.
+std::string RenderTable(const db::Table& table, OutputFormat format,
+                        int64_t max_rows = -1);
+
+/// Full framed success response for a result table.
+std::string FormatOkResponse(const db::Table& table, OutputFormat format,
+                             int64_t max_rows = -1);
+
+/// Full framed error response. Must be called with a non-OK status.
+std::string FormatErrorResponse(const Status& status);
+
+}  // namespace dl2sql::server

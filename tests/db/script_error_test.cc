@@ -1,0 +1,95 @@
+/// \file script_error_test.cc
+/// \brief Database::ExecuteScript must report the failing statement's index
+/// and SQL text, for both parse and execution failures.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "db/database.h"
+#include "db/sql/parser.h"
+
+namespace dl2sql::db {
+namespace {
+
+TEST(SplitStatements, RespectsStringsAndComments) {
+  const auto pieces = sql::SplitStatements(
+      "SELECT 'a;b' AS s;\n"
+      "-- a comment; with a semicolon\n"
+      "SELECT 2;\n"
+      " ;; \n"
+      "SELECT 3");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "SELECT 'a;b' AS s");
+  // The comment belongs to the following statement's text.
+  EXPECT_EQ(pieces[1],
+            "-- a comment; with a semicolon\nSELECT 2");
+  EXPECT_EQ(pieces[2], "SELECT 3");
+}
+
+TEST(SplitStatements, QuoteEscapes) {
+  const auto pieces = sql::SplitStatements("SELECT 'it''s; fine'; SELECT 1");
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "SELECT 'it''s; fine'");
+}
+
+TEST(ExecuteScript, SuccessRunsAllStatements) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (x INT64);"
+                               "INSERT INTO t VALUES (1), (2);"
+                               "INSERT INTO t VALUES (3)")
+                  .ok());
+  auto r = db.Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0).GetValue(0).int_value(), 3);
+}
+
+TEST(ExecuteScript, ExecutionErrorNamesStatementAndSql) {
+  Database db;
+  const Status st = db.ExecuteScript(
+      "CREATE TABLE t (x INT64);\n"
+      "INSERT INTO t VALUES (1);\n"
+      "SELECT nope FROM missing_table;\n"
+      "INSERT INTO t VALUES (2)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("statement #3"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("SELECT nope FROM missing_table"),
+            std::string::npos)
+      << st.ToString();
+  // Statement #4 never ran: the script stops at the first failure.
+  auto r = db.Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0).GetValue(0).int_value(), 1);
+}
+
+TEST(ExecuteScript, ParseErrorNamesStatementAndRunsNothing) {
+  Database db;
+  const Status st = db.ExecuteScript(
+      "CREATE TABLE t (x INT64);\n"
+      "FLARB GLARB;\n"
+      "INSERT INTO t VALUES (1)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("statement #2"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("FLARB GLARB"), std::string::npos)
+      << st.ToString();
+  // Whole-script parse validation happens before execution: even the valid
+  // leading CREATE must not have run.
+  EXPECT_FALSE(db.catalog().HasTable("t"));
+}
+
+TEST(ExecuteScript, LongStatementTextIsElided) {
+  Database db;
+  std::string sql = "SELECT nope FROM missing_table WHERE x = '";
+  sql += std::string(300, 'y');
+  sql += "'";
+  const Status st = db.ExecuteScript(sql);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("statement #1"), std::string::npos);
+  EXPECT_NE(st.ToString().find(" ... "), std::string::npos) << st.ToString();
+  // The elided context stays bounded even for giant statements.
+  EXPECT_LT(st.ToString().size(), sql.size());
+}
+
+}  // namespace
+}  // namespace dl2sql::db

@@ -1,0 +1,269 @@
+/// \file server_coalescer_test.cc
+/// \brief BatchCoalescer: results bit-identical with coalescing on vs off,
+/// batches never exceed the cap, and the wait window flushes partial batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/device.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "server/session.h"
+
+namespace dl2sql::server {
+namespace {
+
+using db::BatchFn;
+using db::DataType;
+using db::Database;
+using db::NUdfInfo;
+using db::Table;
+using db::TableSchema;
+using db::Value;
+
+std::shared_ptr<Device> MakeCpuDevice(int threads) {
+  DeviceProfile profile = Device::ServerCpuProfile();
+  profile.name = "coalescer-test-cpu-" + std::to_string(threads);
+  profile.num_threads = threads;
+  return std::make_shared<Device>(profile);
+}
+
+/// Batched body instrumented with invocation count and max batch size.
+struct InstrumentedBody {
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> max_batch{0};
+
+  BatchFn MakeFn() {
+    return [this](const std::vector<std::vector<Value>>& rows)
+               -> Result<std::vector<Value>> {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      int64_t prev = max_batch.load(std::memory_order_relaxed);
+      while (prev < static_cast<int64_t>(rows.size()) &&
+             !max_batch.compare_exchange_weak(prev,
+                                              static_cast<int64_t>(rows.size()),
+                                              std::memory_order_relaxed)) {
+      }
+      std::vector<Value> out;
+      out.reserve(rows.size());
+      for (const auto& row : rows) {
+        DL2SQL_ASSIGN_OR_RETURN(double x, row[0].AsDouble());
+        out.push_back(Value::Float(x * 3.0 - 1.0));
+      }
+      return out;
+    };
+  }
+};
+
+void RegisterInstrumentedNudf(Database* db, InstrumentedBody* body) {
+  NUdfInfo info;
+  info.model_name = "instrumented";
+  info.fingerprint = 0xabc123ULL;
+  db->udfs().RegisterNeural(
+      "nudf_probe", DataType::kFloat64,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        DL2SQL_ASSIGN_OR_RETURN(double x, args[0].AsDouble());
+        return Value::Float(x * 3.0 - 1.0);
+      },
+      info, body->MakeFn(), /*arity=*/1, /*parallel_safe=*/true);
+}
+
+void MakeTable(Database* db, int64_t rows) {
+  TableSchema schema({{"id", DataType::kInt64}, {"val", DataType::kInt64}});
+  Table t{schema};
+  for (int64_t i = 0; i < rows; ++i) {
+    DL2SQL_CHECK(t.AppendRow({Value::Int(i), Value::Int((i * 31 + 7) % 513)})
+                     .ok());
+  }
+  DL2SQL_CHECK(db->RegisterTable("t", std::move(t)).ok());
+}
+
+std::vector<std::vector<Value>> MakeRows(int64_t n, int64_t seed) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int(seed * 1000 + i)});
+  }
+  return rows;
+}
+
+/// Runs the same 4-query workload through a QueryService on `threads`
+/// concurrent sessions and returns rendered results, in query order.
+std::vector<std::string> RunWorkload(bool coalesce, InstrumentedBody* body) {
+  auto device = MakeCpuDevice(4);
+  Database db;
+  db.set_exec_options({device.get(), /*morsel_size=*/256});
+  // The result cache would swallow repeat rows; disable it so every query
+  // sends all its rows through the coalescer.
+  db::CacheOptions cache;
+  cache.enable_nudf_cache = false;
+  db.set_cache_options(cache);
+  MakeTable(&db, 3000);
+  RegisterInstrumentedNudf(&db, body);
+
+  ServiceOptions opts;
+  opts.admission.max_concurrent = 4;
+  opts.coalescer.enabled = coalesce;
+  opts.coalescer.max_batch_rows = 64;
+  opts.coalescer.wait_window_ms = 20.0;
+  QueryService service(&db, opts);
+
+  const std::vector<std::string> queries = {
+      "SELECT id, nudf_probe(val) AS p FROM t WHERE id % 4 = 0",
+      "SELECT id, nudf_probe(val) AS p FROM t WHERE id % 4 = 1",
+      "SELECT id, nudf_probe(val) AS p FROM t WHERE id % 4 = 2",
+      "SELECT sum(nudf_probe(val)) AS s FROM t WHERE id % 4 = 3",
+  };
+  std::vector<std::string> rendered(queries.size());
+  std::vector<std::thread> threads;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    threads.emplace_back([&service, &queries, &rendered, q] {
+      auto session = service.CreateSession();
+      auto r = session->Execute(queries[q]);
+      EXPECT_TRUE(r.ok()) << queries[q] << ": " << r.status().ToString();
+      if (r.ok()) rendered[q] = RenderTable(*r, OutputFormat::kTsv);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return rendered;
+}
+
+TEST(Coalescer, BitIdenticalOnVsOff) {
+  InstrumentedBody body_on, body_off;
+  const auto on = RunWorkload(/*coalesce=*/true, &body_on);
+  const auto off = RunWorkload(/*coalesce=*/false, &body_off);
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t q = 0; q < on.size(); ++q) {
+    EXPECT_EQ(on[q], off[q]) << "query " << q;
+    EXPECT_FALSE(on[q].empty());
+  }
+}
+
+TEST(Coalescer, BatchesNeverExceedCap) {
+  InstrumentedBody body;
+  RunWorkload(/*coalesce=*/true, &body);
+  EXPECT_GT(body.calls.load(), 0);
+  EXPECT_LE(body.max_batch.load(), 64);
+}
+
+TEST(Coalescer, OversizedSubmissionIsChunked) {
+  CoalescerOptions opts;
+  opts.enabled = true;
+  opts.max_batch_rows = 32;
+  opts.wait_window_ms = 1.0;
+  BatchCoalescer coalescer(opts);
+  // Two inflight queries: the group path (not the bypass) is exercised.
+  coalescer.set_inflight_provider([] { return 2; });
+
+  InstrumentedBody body;
+  auto fn = body.MakeFn();
+  auto result = coalescer.RunBatch(0x1ULL, fn, MakeRows(100, /*seed=*/1));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ((*result)[static_cast<size_t>(i)].float_value(),
+              (1000.0 + i) * 3.0 - 1.0);
+  }
+  EXPECT_LE(body.max_batch.load(), 32);
+  EXPECT_GE(body.calls.load(), 4);  // 100 rows / cap 32
+}
+
+TEST(Coalescer, WindowTimeoutFlushesPartialBatch) {
+  CoalescerOptions opts;
+  opts.enabled = true;
+  opts.max_batch_rows = 256;
+  opts.wait_window_ms = 30.0;
+  BatchCoalescer coalescer(opts);
+  coalescer.set_inflight_provider([] { return 2; });
+
+  Counter* flush_window =
+      MetricsRegistry::Global().counter("server.coalesce.flush_window");
+  const int64_t window_flushes_before = flush_window->value();
+
+  InstrumentedBody body;
+  auto fn = body.MakeFn();
+  Stopwatch watch;
+  // 8 rows, cap 256, nobody else arrives: the leader must flush the partial
+  // batch at the window deadline rather than waiting for a full batch.
+  auto result = coalescer.RunBatch(0x2ULL, fn, MakeRows(8, /*seed=*/2));
+  const double elapsed = watch.ElapsedSeconds();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 8u);
+  EXPECT_EQ(body.calls.load(), 1);
+  EXPECT_GE(elapsed, 0.025);  // waited (most of) the window
+  EXPECT_EQ(flush_window->value(), window_flushes_before + 1);
+}
+
+TEST(Coalescer, MergesConcurrentSubmissionsIntoOneBatch) {
+  CoalescerOptions opts;
+  opts.enabled = true;
+  opts.max_batch_rows = 256;
+  opts.wait_window_ms = 250.0;  // generous: both submitters land in-window
+  BatchCoalescer coalescer(opts);
+  coalescer.set_inflight_provider([] { return 2; });
+
+  InstrumentedBody body;
+  auto fn = body.MakeFn();
+  std::vector<std::vector<Value>> results(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&coalescer, &fn, &results, t] {
+      auto r = coalescer.RunBatch(0x3ULL, fn, MakeRows(5, /*seed=*/t));
+      EXPECT_TRUE(r.ok());
+      if (r.ok()) results[static_cast<size_t>(t)] = *r;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // One merged model call served both submissions, each getting its own
+  // slice back in order.
+  EXPECT_EQ(body.calls.load(), 1);
+  EXPECT_EQ(body.max_batch.load(), 10);
+  for (int t = 0; t < 2; ++t) {
+    ASSERT_EQ(results[static_cast<size_t>(t)].size(), 5u);
+    for (int64_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(results[static_cast<size_t>(t)][static_cast<size_t>(i)]
+                    .float_value(),
+                (t * 1000.0 + i) * 3.0 - 1.0);
+    }
+  }
+}
+
+TEST(Coalescer, DisabledMatchesDirectPath) {
+  CoalescerOptions opts;
+  opts.enabled = false;
+  BatchCoalescer coalescer(opts);
+  InstrumentedBody body;
+  auto fn = body.MakeFn();
+  auto result = coalescer.RunBatch(0x4ULL, fn, MakeRows(10, /*seed=*/4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 10u);
+  // One body call for the whole submission, exactly like the evaluator's
+  // direct invocation.
+  EXPECT_EQ(body.calls.load(), 1);
+  EXPECT_EQ(body.max_batch.load(), 10);
+}
+
+TEST(Coalescer, PropagatesBodyErrors) {
+  CoalescerOptions opts;
+  opts.enabled = true;
+  opts.wait_window_ms = 1.0;
+  BatchCoalescer coalescer(opts);
+  coalescer.set_inflight_provider([] { return 2; });
+  BatchFn failing = [](const std::vector<std::vector<Value>>&)
+      -> Result<std::vector<Value>> {
+    return Status::InternalError("model exploded");
+  };
+  auto result = coalescer.RunBatch(0x5ULL, failing, MakeRows(3, /*seed=*/5));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("model exploded"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dl2sql::server

@@ -3,6 +3,7 @@
 
 Usage:
     scripts/check_bench_regression.py FRESH_DIR [BASELINE_DIR]
+    scripts/check_bench_regression.py --list [BASELINE_DIR]
 
 FRESH_DIR holds the just-produced BENCH_*.json files (e.g. the build
 directory); BASELINE_DIR (default: repo root) holds the committed snapshots.
@@ -11,10 +12,17 @@ numeric leaf (key ending in "seconds" or "_sec") is compared; the check
 fails when a fresh value is more than DL2SQL_BENCH_REGRESSION_PCT percent
 (default 25) slower than the committed baseline.
 
-Only wall-clock regressions fail the check. Speedups, counter drift and new
-or removed keys are reported informationally: committed snapshots come from
-a different machine than CI, so absolute-equality checks would be noise.
-Set DL2SQL_BENCH_REGRESSION_PCT=0 to disable the check (reports only).
+A fresh key with no baseline counterpart fails the check with a message
+naming the file and key (the committed snapshot is stale — re-run the bench
+on a reference machine and commit the refreshed JSON). Keys present only in
+the baseline are reported informationally (that bench may simply not have
+run). Speedups and counter drift are informational too: committed snapshots
+come from a different machine than CI, so absolute-equality checks would be
+noise. Set DL2SQL_BENCH_REGRESSION_PCT=0 to disable the regression check
+(reports only; missing baseline keys still fail).
+
+`--list` prints every tracked key per baseline file and exits; use it to see
+what the check would compare before touching a snapshot.
 """
 
 import json
@@ -45,26 +53,55 @@ def load(path):
         return json.load(f)
 
 
+def default_baseline_dir():
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+
+
+def bench_files(directory):
+    try:
+        names = os.listdir(directory)
+    except OSError as err:
+        print(f"cannot list {directory}: {err}")
+        sys.exit(2)
+    return {
+        name
+        for name in names
+        if name.startswith("BENCH_") and name.endswith(".json")
+    }
+
+
+def list_tracked_keys(baseline_dir):
+    """Prints every seconds-like key the check tracks, per baseline file."""
+    names = sorted(bench_files(baseline_dir))
+    if not names:
+        print(f"no BENCH_*.json in {baseline_dir}")
+        return 2
+    for name in names:
+        print(name)
+        keys = sorted(dict(seconds_leaves(load(os.path.join(baseline_dir, name)))))
+        if not keys:
+            print("  (no seconds-like keys)")
+        for key in keys:
+            print(f"  {key}")
+    return 0
+
+
 def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
+    args = sys.argv[1:]
+    if args and args[0] == "--list":
+        if len(args) > 2:
+            print(__doc__)
+            return 2
+        return list_tracked_keys(args[1] if len(args) == 2 else default_baseline_dir())
+    if len(args) < 1 or len(args) > 2:
         print(__doc__)
         return 2
-    fresh_dir = sys.argv[1]
-    baseline_dir = sys.argv[2] if len(sys.argv) == 3 else os.path.join(
-        os.path.dirname(os.path.abspath(__file__)), ".."
-    )
+    fresh_dir = args[0]
+    baseline_dir = args[1] if len(args) == 2 else default_baseline_dir()
     threshold_pct = float(os.environ.get("DL2SQL_BENCH_REGRESSION_PCT", "25"))
 
-    baselines = {
-        name
-        for name in os.listdir(baseline_dir)
-        if name.startswith("BENCH_") and name.endswith(".json")
-    }
-    fresh_files = {
-        name
-        for name in os.listdir(fresh_dir)
-        if name.startswith("BENCH_") and name.endswith(".json")
-    }
+    baselines = bench_files(baseline_dir)
+    fresh_files = bench_files(fresh_dir)
     common = sorted(baselines & fresh_files)
     if not common:
         print(f"no BENCH_*.json present in both {fresh_dir} and {baseline_dir}")
@@ -73,14 +110,23 @@ def main():
         print(f"note: committed {name} has no fresh counterpart (not run?)")
 
     regressions = []
+    missing_baseline_keys = []
     compared = 0
     for name in common:
         base = dict(seconds_leaves(load(os.path.join(baseline_dir, name))))
         fresh = dict(seconds_leaves(load(os.path.join(fresh_dir, name))))
         for path in sorted(base.keys() | fresh.keys()):
-            if path not in base or path not in fresh:
-                print(f"note: {name}:{path} only in "
-                      f"{'baseline' if path in base else 'fresh'}")
+            if path not in base:
+                # A bench now reports a timing the committed snapshot has
+                # never seen: without a baseline the regression check is
+                # silently blind to it, so fail loudly instead of crashing
+                # with a KeyError (or skipping it with a shrug).
+                print(f"ERROR: {name}:{path} has no baseline key in "
+                      f"{baseline_dir}/{name}")
+                missing_baseline_keys.append((name, path))
+                continue
+            if path not in fresh:
+                print(f"note: {name}:{path} only in baseline (bench not run?)")
                 continue
             compared += 1
             b, f = base[path], fresh[path]
@@ -96,6 +142,12 @@ def main():
 
     print(f"\ncompared {compared} seconds-like leaves across "
           f"{len(common)} file(s), threshold {threshold_pct:.0f}%")
+    if missing_baseline_keys:
+        print(f"FAIL: {len(missing_baseline_keys)} fresh key(s) without a "
+              "committed baseline; refresh the BENCH_*.json snapshot(s):")
+        for name, path in missing_baseline_keys:
+            print(f"  {name}:{path}")
+        return 1
     if regressions:
         print(f"FAIL: {len(regressions)} regression(s) beyond "
               f"{threshold_pct:.0f}%:")

@@ -47,8 +47,9 @@ cmake --build build-ci -j "${JOBS}" --target bench_trace_overhead
 
 echo "== CI pass 6/6: server smoke over TCP =="
 # Boots lindb_server, drives it with lindb_client through a query script,
-# diffs the output against the committed golden file, and checks SIGTERM
-# shutdown is clean.
+# diffs the output against the committed golden file, scrapes /metrics over
+# HTTP (Prometheus text exposition) and scans system.queries (both must be
+# non-empty), and checks SIGTERM shutdown is clean.
 cmake --build build-ci -j "${JOBS}" --target lindb_server lindb_client
 scripts/server_smoke.sh build-ci
 

@@ -49,6 +49,33 @@ diff -u "$GOLDEN" "$WORK/client.out" || {
   exit 1
 }
 
+# Introspection: the same port must answer a Prometheus scrape over HTTP...
+curl -sS --max-time 10 "http://127.0.0.1:$PORT/metrics" >"$WORK/metrics.out"
+[[ -s "$WORK/metrics.out" ]] || { echo "/metrics scrape returned nothing" >&2; exit 1; }
+grep -q '^# TYPE ' "$WORK/metrics.out" || {
+  echo "/metrics is not Prometheus text exposition:" >&2
+  head -5 "$WORK/metrics.out" >&2
+  exit 1
+}
+grep -q '^server_requests ' "$WORK/metrics.out" || {
+  echo "/metrics is missing the server_requests counter" >&2
+  exit 1
+}
+
+# ...and system.queries must already hold the statements the golden run sent.
+echo "SELECT count(*) FROM system.queries;" | "$CLIENT" --port "$PORT" >"$WORK/sysq.out"
+grep -q '^OK 1 1$' "$WORK/sysq.out" || {
+  echo "system.queries scan failed:" >&2
+  cat "$WORK/sysq.out" >&2
+  exit 1
+}
+SYSQ_COUNT="$(sed -n '3p' "$WORK/sysq.out")"
+[[ "$SYSQ_COUNT" =~ ^[0-9]+$ && "$SYSQ_COUNT" -gt 0 ]] || {
+  echo "system.queries is empty after the golden run (count='$SYSQ_COUNT')" >&2
+  exit 1
+}
+echo "introspection smoke: /metrics OK, system.queries has $SYSQ_COUNT rows"
+
 # Clean shutdown: SIGTERM must terminate the process promptly with status 0.
 kill -TERM "$SERVER_PID"
 STATUS=0

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,12 +28,20 @@ int64_t Histogram::BucketBoundMicros(int i) {
 }
 
 int64_t Histogram::ApproxQuantileMicros(double q) const {
-  const int64_t total = count();
+  int64_t snapshot[kNumBuckets];
+  for (int i = 0; i < kNumBuckets; ++i) snapshot[i] = bucket_count(i);
+  return QuantileFromBuckets(snapshot, q);
+}
+
+int64_t Histogram::QuantileFromBuckets(const int64_t (&buckets)[kNumBuckets],
+                                       double q) {
+  int64_t total = 0;
+  for (int64_t b : buckets) total += b;
   if (total == 0) return 0;
   const int64_t target = static_cast<int64_t>(q * static_cast<double>(total));
   int64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    seen += bucket_count(i);
+    seen += buckets[i];
     if (seen > target) return BucketBoundMicros(i);
   }
   return BucketBoundMicros(kNumBuckets - 1);
@@ -78,6 +87,101 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
   auto& slot = impl_->histograms[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : impl_->counters) snap.counters[name] = c->value();
+  for (const auto& [name, g] : impl_->gauges) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : impl_->histograms) {
+    auto& data = snap.histograms[name];
+    data.count = h->count();
+    data.sum_micros = h->sum_micros();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      data.buckets[i] = h->bucket_count(i);
+    }
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotDelta(const MetricsSnapshot& before,
+                                               const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, v] : after.counters) {
+    auto it = before.counters.find(name);
+    delta.counters[name] = v - (it == before.counters.end() ? 0 : it->second);
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    auto& d = delta.histograms[name];
+    auto it = before.histograms.find(name);
+    if (it == before.histograms.end()) {
+      d = h;
+      continue;
+    }
+    d.count = h.count - it->second.count;
+    d.sum_micros = h.sum_micros - it->second.sum_micros;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      d.buckets[i] = h.buckets[i] - it->second.buckets[i];
+    }
+  }
+  return delta;
+}
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted names
+// ("nudf.cache.hits") map onto underscores.
+std::string SanitizePrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = (c >= '0' && c <= '9');
+    if (alpha || c == '_' || (digit && i > 0)) {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, v] : snap.counters) {
+    const std::string pname = SanitizePrometheusName(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string pname = SanitizePrometheusName(name);
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + buf + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string pname = SanitizePrometheusName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += h.buckets[i];
+      const int64_t bound = Histogram::BucketBoundMicros(i);
+      if (bound < 0) break;  // +inf bucket rendered below from the count
+      out += pname + "_bucket{le=\"" + std::to_string(bound) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += pname + "_sum " + std::to_string(h.sum_micros) + "\n";
+    out += pname + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
 }
 
 std::string MetricsRegistry::ToJson() const {

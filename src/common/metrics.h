@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,12 +59,35 @@ class Histogram {
   static int64_t BucketBoundMicros(int i);
   /// Approximate quantile (upper bucket bound of the q-th sample), q in [0,1].
   int64_t ApproxQuantileMicros(double q) const;
+  /// Same estimate over a detached bucket array (a snapshot). Shared by the
+  /// in-process histograms, system.metrics rows, and the Prometheus renderer
+  /// so all three report identical quantiles.
+  static int64_t QuantileFromBuckets(const int64_t (&buckets)[kNumBuckets],
+                                     double q);
   void Reset();
 
  private:
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+/// \brief Point-in-time copy of every registered metric, taken under one
+/// registry lock so the name sets are mutually consistent. Used for
+/// per-query counter deltas (ExplainAnalyze), system.metrics scans, and the
+/// Prometheus renderer.
+struct MetricsSnapshot {
+  struct HistogramData {
+    int64_t count = 0;
+    int64_t sum_micros = 0;
+    int64_t buckets[Histogram::kNumBuckets] = {};
+    int64_t Quantile(double q) const {
+      return Histogram::QuantileFromBuckets(buckets, q);
+    }
+  };
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
 };
 
 /// \brief Named registry of metrics. Lookup takes a lock; returned handles
@@ -76,10 +100,26 @@ class MetricsRegistry {
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
 
+  /// Copies every registered metric under a single lock acquisition.
+  MetricsSnapshot Snapshot() const;
+
+  /// Per-metric difference `after - before`. Counters and histogram
+  /// counts/sums/buckets subtract (names only in `before` are dropped, names
+  /// only in `after` delta against zero); gauges are last-written values, so
+  /// the delta keeps `after`'s reading as-is.
+  static MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after);
+
   /// Structured snapshot of every registered metric:
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   ///   {"count":..,"sum_us":..,"p50_us":..,"p99_us":..}}}
   std::string ToJson() const;
+
+  /// Renders a snapshot in Prometheus text exposition format (version 0.0.4):
+  /// counters as `counter`, gauges as `gauge`, histograms as cumulative
+  /// `_bucket{le="..."}` series plus `_sum`/`_count`. Metric names are
+  /// sanitized (dots and other invalid characters become underscores).
+  static std::string ToPrometheusText(const MetricsSnapshot& snap);
 
   /// Zeroes every registered metric (handles stay valid). Test/bench hook.
   void ResetAll();

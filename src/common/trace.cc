@@ -200,6 +200,21 @@ std::string TraceCollector::SummaryJson() const {
   return out;
 }
 
+std::vector<TraceCollector::SpanSummary> TraceCollector::Summary() const {
+  std::map<std::string, SpanSummary> by_name;
+  for (const TraceEvent& e : Snapshot()) {
+    SpanSummary& s = by_name[e.name];
+    s.name = e.name;
+    ++s.count;
+    s.total_us += e.duration_us;
+    s.max_us = std::max(s.max_us, e.duration_us);
+  }
+  std::vector<SpanSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [_, s] : by_name) out.push_back(std::move(s));
+  return out;
+}
+
 int64_t TraceCollector::NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              SteadyClock::now() - TraceEpoch())

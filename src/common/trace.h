@@ -75,6 +75,16 @@ class TraceCollector {
   /// embedding a compact trace summary into bench result files.
   std::string SummaryJson() const;
 
+  /// Per-name aggregate over all recorded spans, sorted by name. Structured
+  /// counterpart of SummaryJson(), used by the system.spans virtual table.
+  struct SpanSummary {
+    std::string name;
+    int64_t count = 0;
+    int64_t total_us = 0;
+    int64_t max_us = 0;
+  };
+  std::vector<SpanSummary> Summary() const;
+
   /// Microseconds since the process trace epoch (steady clock).
   static int64_t NowMicros();
 

@@ -9,10 +9,21 @@ namespace dl2sql::db {
 
 std::string Catalog::Key(const std::string& name) { return ToLower(name); }
 
+bool Catalog::IsSystemName(const std::string& name) {
+  const std::string key = Key(name);
+  return key.rfind("system.", 0) == 0 || key == "system";
+}
+
 Status Catalog::CreateTable(const std::string& name, TablePtr table,
                             bool temporary, bool if_not_exists) {
   std::unique_lock lock(mu_);
   const std::string key = Key(name);
+  if (IsSystemName(key)) {
+    return Status::InvalidArgument(
+        "the 'system' schema is reserved for introspection tables; cannot "
+        "create table '",
+        name, "'");
+  }
   if (views_.count(key) != 0) {
     return Status::AlreadyExists("a view named '", name, "' already exists");
   }
@@ -30,6 +41,12 @@ Status Catalog::CreateView(const std::string& name,
                            bool or_replace) {
   std::unique_lock lock(mu_);
   const std::string key = Key(name);
+  if (IsSystemName(key)) {
+    return Status::InvalidArgument(
+        "the 'system' schema is reserved for introspection tables; cannot "
+        "create view '",
+        name, "'");
+  }
   if (tables_.count(key) != 0) {
     return Status::AlreadyExists("a table named '", name, "' already exists");
   }
@@ -184,8 +201,57 @@ bool Catalog::IsTemporary(const std::string& name) const {
 
 uint64_t Catalog::VersionOf(const std::string& name) const {
   std::shared_lock lock(mu_);
-  auto it = versions_.find(Key(name));
-  return it == versions_.end() ? 0 : it->second;
+  const std::string key = Key(name);
+  uint64_t version = 0;
+  auto it = versions_.find(key);
+  if (it != versions_.end()) version = it->second;
+  // Virtual tables fold in the provider's own version so swapping a provider
+  // (new schema, same name) invalidates plans compiled against the old one.
+  auto vt = virtual_tables_.find(key);
+  if (vt != virtual_tables_.end()) version += vt->second->version();
+  return version;
+}
+
+Status Catalog::RegisterVirtualTable(
+    std::shared_ptr<VirtualTableProvider> provider) {
+  if (provider == nullptr) {
+    return Status::InvalidArgument("null virtual-table provider");
+  }
+  const std::string key = Key(provider->name());
+  if (!IsSystemName(key) || key == "system") {
+    return Status::InvalidArgument("virtual table '", provider->name(),
+                                   "' must live in the 'system' schema");
+  }
+  std::unique_lock lock(mu_);
+  virtual_tables_[key] = std::move(provider);
+  BumpVersion(key);
+  return Status::OK();
+}
+
+void Catalog::UnregisterVirtualTable(const std::string& name) {
+  std::unique_lock lock(mu_);
+  const std::string key = Key(name);
+  if (virtual_tables_.erase(key) != 0) BumpVersion(key);
+}
+
+std::shared_ptr<VirtualTableProvider> Catalog::GetVirtualTable(
+    const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = virtual_tables_.find(Key(name));
+  return it == virtual_tables_.end() ? nullptr : it->second;
+}
+
+bool Catalog::HasVirtualTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return virtual_tables_.count(Key(name)) != 0;
+}
+
+std::vector<std::string> Catalog::VirtualTableNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(virtual_tables_.size());
+  for (const auto& [k, _] : virtual_tables_) names.push_back(k);
+  return names;
 }
 
 uint64_t Catalog::TotalBytes() const {

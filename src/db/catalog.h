@@ -13,6 +13,7 @@
 #include "db/sql/ast.h"
 #include "db/stats.h"
 #include "db/table.h"
+#include "db/virtual_table.h"
 
 namespace dl2sql::db {
 
@@ -82,7 +83,37 @@ class Catalog {
   /// stats invalidation, ANALYZE, index (re)builds — bumps its version. The
   /// counter outlives drop/recreate cycles, so a cached plan referencing a
   /// dropped-then-recreated relation can never validate against the new one.
+  /// Virtual-table versions fold in the provider's own version, so replacing
+  /// a provider also invalidates plans compiled against the old schema.
   uint64_t VersionOf(const std::string& name) const;
+
+  // --- Virtual tables (reserved `system.` schema) -------------------------
+  //
+  // Providers materialize rows at scan time; the catalog stores only the
+  // provider handle and its fixed schema. Names under `system.` are reserved:
+  // CreateTable/CreateView reject them so user DDL can never shadow (or be
+  // shadowed by) an introspection table.
+
+  /// Registers (or replaces) a provider under its own name(). The name must
+  /// start with "system.".
+  Status RegisterVirtualTable(std::shared_ptr<VirtualTableProvider> provider);
+
+  /// Removes a provider; missing names are a no-op (Database and
+  /// QueryService both unregister defensively in their destructors).
+  void UnregisterVirtualTable(const std::string& name);
+
+  /// Provider lookup; nullptr when `name` is not a registered virtual table.
+  std::shared_ptr<VirtualTableProvider> GetVirtualTable(
+      const std::string& name) const;
+
+  bool HasVirtualTable(const std::string& name) const;
+
+  /// Sorted names of registered virtual tables.
+  std::vector<std::string> VirtualTableNames() const;
+
+  /// True for any name in the reserved introspection schema ("system.x",
+  /// case-insensitive), registered or not.
+  static bool IsSystemName(const std::string& name);
 
  private:
   /// Callers hold mu_ exclusively.
@@ -102,6 +133,7 @@ class Catalog {
   mutable std::shared_mutex mu_;
   std::map<std::string, Entry> tables_;
   std::map<std::string, std::shared_ptr<SelectStmt>> views_;
+  std::map<std::string, std::shared_ptr<VirtualTableProvider>> virtual_tables_;
   /// Persistent per-name mutation counters (never erased, even on drop).
   std::map<std::string, uint64_t> versions_;
 };

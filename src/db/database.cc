@@ -9,12 +9,16 @@
 #include <cstdlib>
 
 #include "accel/device.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "db/exec/row_key.h"
 #include "db/sql/printer.h"
+#include "db/system_tables.h"
 
 namespace dl2sql::db {
+
+thread_local Database::QueryTally* Database::tls_tally_ = nullptr;
 
 namespace {
 
@@ -38,6 +42,26 @@ CacheOptions DefaultCacheOptions() {
       opts.enable_nudf_cache = false;
       opts.enable_plan_cache = false;
     }
+  }
+  return opts;
+}
+
+/// DL2SQL_INTROSPECTION=OFF|off|0 disables the system.* tables and query
+/// recording; DL2SQL_QUERY_LOG_CAPACITY / DL2SQL_SLOW_QUERY_MS tune them.
+IntrospectionOptions DefaultIntrospectionOptions() {
+  IntrospectionOptions opts;
+  if (const char* env = std::getenv("DL2SQL_INTROSPECTION")) {
+    const std::string v = env;
+    if (v == "OFF" || v == "off" || v == "0") opts.enabled = false;
+  }
+  if (const char* env = std::getenv("DL2SQL_QUERY_LOG_CAPACITY")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) opts.query_log_capacity = static_cast<size_t>(parsed);
+  }
+  if (const char* env = std::getenv("DL2SQL_SLOW_QUERY_MS")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env) opts.slow_query_ms = parsed;
   }
   return opts;
 }
@@ -72,7 +96,9 @@ void ChargeOperator(CostAccumulator* costs, const std::string& bucket,
 
 }  // namespace
 
-Database::Database() : cache_options_(DefaultCacheOptions()) {
+Database::Database()
+    : cache_options_(DefaultCacheOptions()),
+      introspection_options_(DefaultIntrospectionOptions()) {
   RebuildCaches();
   // Model reload: replacing a neural UDF with a different fingerprint drops
   // every memoized result. (Fingerprints already keep stale entries from
@@ -80,6 +106,13 @@ Database::Database() : cache_options_(DefaultCacheOptions()) {
   udfs_.set_neural_replaced_hook([this](const std::string& /*name*/) {
     if (nudf_cache_ != nullptr) nudf_cache_->Clear();
   });
+  slow_query_ms_.store(introspection_options_.slow_query_ms,
+                       std::memory_order_relaxed);
+  if (introspection_options_.enabled) {
+    query_log_ =
+        std::make_unique<QueryLog>(introspection_options_.query_log_capacity);
+    RegisterDatabaseSystemTables(this);
+  }
 }
 
 void Database::set_cache_options(CacheOptions opts) {
@@ -146,12 +179,89 @@ EvalContext Database::MakeEvalContext() {
 
 double Database::DrainEvalContext(const EvalContext& ctx) {
   neural_calls_.fetch_add(ctx.neural_calls, std::memory_order_relaxed);
+  // Contexts are drained on the query's calling thread, so the per-query
+  // tally (when a recorded statement is running) needs no synchronization.
+  if (QueryTally* tally = tls_tally_) {
+    tally->neural_calls += ctx.neural_calls;
+    tally->nudf_cache_hits += ctx.nudf_cache_hits;
+  }
   return ctx.inference_seconds;
 }
 
 Result<Table> Database::Execute(const std::string& sql) {
   DL2SQL_ASSIGN_OR_RETURN(Statement stmt, sql::ParseStatement(sql));
-  return ExecuteStatement(stmt);
+  return ExecuteStatementRecorded(stmt, sql, QueryRecordHints{});
+}
+
+namespace {
+
+QueryKind KindOfStatement(const Statement& stmt) {
+  if (std::holds_alternative<std::shared_ptr<SelectStmt>>(stmt)) {
+    return QueryKind::kSelect;
+  }
+  if (std::holds_alternative<InsertStmt>(stmt)) return QueryKind::kInsert;
+  if (std::holds_alternative<UpdateStmt>(stmt)) return QueryKind::kUpdate;
+  if (std::holds_alternative<DeleteStmt>(stmt)) return QueryKind::kDelete;
+  if (std::holds_alternative<CreateTableStmt>(stmt) ||
+      std::holds_alternative<DropStmt>(stmt)) {
+    return QueryKind::kDdl;
+  }
+  return QueryKind::kOther;
+}
+
+}  // namespace
+
+Result<Table> Database::ExecuteStatementRecorded(const Statement& stmt,
+                                                 const std::string& sql,
+                                                 const QueryRecordHints& hints) {
+  if (query_log_ == nullptr) return ExecuteStatement(stmt);
+
+  QueryTally tally;
+  // Save/restore: a recorded statement can reach another recorded execution
+  // on the same thread (scripted pipelines); inner statements keep their own
+  // tallies and the outer record stays scoped to its own work.
+  QueryTally* const prev = tls_tally_;
+  tls_tally_ = &tally;
+  Stopwatch watch;
+  auto result = ExecuteStatement(stmt);
+  const int64_t duration_us = static_cast<int64_t>(watch.ElapsedMicros());
+  tls_tally_ = prev;
+
+  QueryLogRecord rec;
+  rec.sql = sql;
+  rec.kind = KindOfStatement(stmt);
+  if (!result.ok()) rec.error = result.status().ToString();
+  rec.duration_us = duration_us;
+  rec.rows = result.ok() ? result->num_rows() : 0;
+  rec.neural_calls = tally.neural_calls;
+  rec.nudf_cache_hits = tally.nudf_cache_hits;
+  rec.plan_cache_hit = tally.plan_cache_hit;
+  rec.admission_wait_us = hints.admission_wait_us;
+  rec.session_id = hints.session_id;
+  rec.peak_operator_bytes = tally.peak_operator_bytes;
+  rec.operator_rows = tally.operator_rows;
+  rec.end_micros = TraceCollector::NowMicros();
+  query_log_->Record(rec);
+
+  const double threshold_ms = slow_query_ms_.load(std::memory_order_relaxed);
+  const double duration_ms = static_cast<double>(duration_us) / 1000.0;
+  if (threshold_ms > 0 && duration_ms >= threshold_ms) {
+    std::string plan_text;
+    if (rec.kind == QueryKind::kSelect) {
+      if (PlanPtr plan = last_plan()) {
+        plan_text = plan->ToString();
+        if (!plan_text.empty() && plan_text.back() == '\n') {
+          plan_text.pop_back();
+        }
+      }
+    }
+    DL2SQL_LOG(Warning) << "slow query (" << duration_ms << " ms >= "
+                        << threshold_ms << " ms threshold): " << rec.sql
+                        << (rec.error.empty() ? "" : " [error: " + rec.error + "]")
+                        << (plan_text.empty() ? ""
+                                              : "\nplan:\n" + plan_text);
+  }
+  return result;
 }
 
 namespace {
@@ -189,7 +299,9 @@ Status Database::ExecuteScript(const std::string& script) {
     stmts.push_back(std::move(parsed).ValueOrDie());
   }
   for (size_t i = 0; i < stmts.size(); ++i) {
-    Status st = ExecuteStatement(stmts[i]).status();
+    Status st =
+        ExecuteStatementRecorded(stmts[i], pieces[i], QueryRecordHints{})
+            .status();
     if (!st.ok()) return st.WithContext(StatementContext(i, pieces[i]));
   }
   return Status::OK();
@@ -273,6 +385,7 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
         fresh = catalog_.VersionOf(name) == version;
       }
       if (fresh) {
+        if (QueryTally* tally = tls_tally_) tally->plan_cache_hit = true;
         SetLastPlan(hit->plan);
         return ExecNode(*hit->plan);
       }
@@ -318,7 +431,22 @@ Status Database::RegisterTable(const std::string& name, Table table,
 
 Result<Table> Database::ExecNode(const PlanNode& node) {
   DL2SQL_TRACE_SPAN("db", PlanKindToString(node.kind));
-  if (!collect_node_stats_) return ExecNodeImpl(node);
+  if (!collect_node_stats_) {
+    // Per-operator accounting for the recorded statement running on this
+    // thread (system.queries): output rows across all plan nodes plus the
+    // peak single-operator materialized footprint. One TLS load when no
+    // recorded statement is active.
+    QueryTally* const tally = tls_tally_;
+    if (tally == nullptr) return ExecNodeImpl(node);
+    auto result = ExecNodeImpl(node);
+    if (result.ok()) {
+      tally->operator_rows += result->num_rows();
+      tally->peak_operator_bytes =
+          std::max(tally->peak_operator_bytes,
+                   static_cast<int64_t>(result->ByteSize()));
+    }
+    return result;
+  }
 
   ThreadPool* pool =
       exec_options_.device != nullptr ? exec_options_.device->pool() : nullptr;
@@ -335,7 +463,11 @@ Result<Table> Database::ExecNode(const PlanNode& node) {
   std::lock_guard<std::mutex> lock(node_stats_mu_);
   NodeRunStats& stats = node_stats_[&node];
   stats.cumulative_seconds += elapsed;
-  if (result.ok()) stats.rows += result->num_rows();
+  if (result.ok()) {
+    stats.rows += result->num_rows();
+    stats.output_bytes =
+        std::max(stats.output_bytes, static_cast<int64_t>(result->ByteSize()));
+  }
   if (workers > 0) {
     if (static_cast<int>(stats.worker_busy_seconds.size()) < workers) {
       stats.worker_busy_seconds.resize(static_cast<size_t>(workers), 0.0);
@@ -362,13 +494,14 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   node_stats_.clear();
   collect_node_stats_ = true;
 
-  // Registry counter values before execution: the footer reports the deltas
+  // Registry state before execution, captured as one consistent session-
+  // local snapshot (single lock acquisition): the footer reports the deltas
   // this query produced (nUDF invocations, cache hits, pool morsels, ...).
+  // The previous per-counter enumeration locked the registry once per name,
+  // twice, so counters registered mid-query or bumped between the two passes
+  // made footers interleave non-deterministically under concurrent sessions.
   MetricsRegistry& registry = MetricsRegistry::Global();
-  std::map<std::string, int64_t> counters_before;
-  for (const auto& name : registry.CounterNames()) {
-    counters_before[name] = registry.counter(name)->value();
-  }
+  const MetricsSnapshot counters_before = registry.Snapshot();
 
   auto result = ExecNode(*plan);
   collect_node_stats_ = false;
@@ -388,12 +521,14 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
         auto ci = node_stats_.find(c.get());
         if (ci != node_stats_.end()) children += ci->second.cumulative_seconds;
       }
-      char buf[96];
+      char buf[128];
       std::snprintf(buf, sizeof(buf),
-                    " [actual rows=%lld, total=%.4fs, self=%.4fs]",
+                    " [actual rows=%lld, total=%.4fs, self=%.4fs, "
+                    "bytes=%lld]",
                     static_cast<long long>(it->second.rows),
                     it->second.cumulative_seconds,
-                    std::max(0.0, it->second.cumulative_seconds - children));
+                    std::max(0.0, it->second.cumulative_seconds - children),
+                    static_cast<long long>(it->second.output_bytes));
       out += buf;
       // Per-worker parallelism breakdown: seconds each pool worker spent
       // inside morsel bodies while this subtree ran. Omitted for nodes whose
@@ -416,14 +551,25 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   };
   render(*plan, 0);
 
-  // Footer: registry counters incremented by this query.
+  // Per-query operator accounting: total rows produced across all plan
+  // nodes and the largest single materialized operator output.
+  int64_t total_rows = 0;
+  int64_t peak_bytes = 0;
+  for (const auto& [_, stats] : node_stats_) {
+    total_rows += stats.rows;
+    peak_bytes = std::max(peak_bytes, stats.output_bytes);
+  }
+  out += "Operators: rows=" + std::to_string(total_rows) +
+         ", peak_bytes=" + std::to_string(peak_bytes) + "\n";
+
+  // Footer: registry counters incremented by this query, computed as the
+  // delta of two session-local snapshots.
+  const MetricsSnapshot delta =
+      MetricsRegistry::SnapshotDelta(counters_before, registry.Snapshot());
   std::string footer;
-  for (const auto& name : registry.CounterNames()) {
-    const int64_t before =
-        counters_before.count(name) ? counters_before.at(name) : 0;
-    const int64_t delta = registry.counter(name)->value() - before;
-    if (delta == 0) continue;
-    footer += "  " + name + "=" + std::to_string(delta) + "\n";
+  for (const auto& [name, value] : delta.counters) {
+    if (value == 0) continue;
+    footer += "  " + name + "=" + std::to_string(value) + "\n";
   }
   if (!footer.empty()) out += "Counters:\n" + footer;
   return out;
@@ -478,7 +624,21 @@ Result<Table> Database::ExecScan(const PlanNode& node) {
     t.SetZeroColumnRows(1);
     return t;
   }
-  DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(node.table_name));
+  TablePtr table;
+  if (auto provider = catalog_.GetVirtualTable(node.table_name)) {
+    // Virtual tables have no stored columns: every scan materializes fresh
+    // rows from live engine state, so even a plan-cache hit sees current
+    // data.
+    DL2SQL_ASSIGN_OR_RETURN(table, provider->Materialize());
+    if (table->num_columns() != node.output_schema.num_fields()) {
+      return Status::InternalError(
+          "virtual table '", node.table_name, "' materialized ",
+          table->num_columns(), " columns, plan expected ",
+          node.output_schema.num_fields());
+    }
+  } else {
+    DL2SQL_ASSIGN_OR_RETURN(table, catalog_.GetTable(node.table_name));
+  }
   // Columns are shared copy-on-write; only the schema is rewritten with the
   // qualified names assigned at planning time.
   std::vector<Column> cols;
@@ -1091,7 +1251,22 @@ Result<Table> Database::ExecCreateTable(const CreateTableStmt& stmt) {
   return Table{};
 }
 
+namespace {
+
+/// System tables are scan-only; DML/DDL against them gets a specific error
+/// instead of GetTable's misleading NotFound.
+Status CheckNotSystemTable(const Catalog& catalog, const std::string& name) {
+  if (catalog.HasVirtualTable(name) || Catalog::IsSystemName(name)) {
+    return Status::InvalidArgument("system tables are read-only: '", name,
+                                   "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<Table> Database::ExecInsert(const InsertStmt& stmt) {
+  DL2SQL_RETURN_NOT_OK(CheckNotSystemTable(catalog_, stmt.table));
   DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(stmt.table));
   // Column mapping: explicit list or positional.
   std::vector<int> targets;
@@ -1145,6 +1320,7 @@ Result<Table> Database::ExecInsert(const InsertStmt& stmt) {
 }
 
 Result<Table> Database::ExecUpdate(const UpdateStmt& stmt) {
+  DL2SQL_RETURN_NOT_OK(CheckNotSystemTable(catalog_, stmt.table));
   DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(stmt.table));
   EvalContext ctx = MakeEvalContext();
 
@@ -1204,6 +1380,7 @@ Result<Table> Database::ExecUpdate(const UpdateStmt& stmt) {
 }
 
 Result<Table> Database::ExecDelete(const DeleteStmt& stmt) {
+  DL2SQL_RETURN_NOT_OK(CheckNotSystemTable(catalog_, stmt.table));
   DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(stmt.table));
   EvalContext ctx = MakeEvalContext();
   std::vector<int64_t> keep;
@@ -1231,6 +1408,7 @@ Result<Table> Database::ExecDelete(const DeleteStmt& stmt) {
 }
 
 Result<Table> Database::ExecDrop(const DropStmt& stmt) {
+  DL2SQL_RETURN_NOT_OK(CheckNotSystemTable(catalog_, stmt.name));
   if (stmt.is_view) {
     DL2SQL_RETURN_NOT_OK(catalog_.DropView(stmt.name, stmt.if_exists));
   } else if (catalog_.HasView(stmt.name)) {

@@ -17,6 +17,7 @@
 #include "db/exec/symmetric_hash_join.h"
 #include "db/optimizer.h"
 #include "db/planner.h"
+#include "db/query_log.h"
 #include "db/sql/parser.h"
 
 namespace dl2sql {
@@ -53,6 +54,31 @@ struct CacheOptions {
   bool enable_plan_cache = true;
   size_t nudf_cache_bytes = 64ull << 20;
   size_t plan_cache_bytes = 8ull << 20;
+};
+
+/// \brief Introspection knobs: the system.* virtual tables, the query-log
+/// ring behind system.queries, and the slow-query log.
+///
+/// Defaults are ON; DL2SQL_INTROSPECTION=OFF (or "off"/"0") disables the
+/// whole layer at Database construction — no providers are registered and
+/// query recording short-circuits to a null check, so the serving hot path
+/// pays nothing. DL2SQL_QUERY_LOG_CAPACITY and DL2SQL_SLOW_QUERY_MS override
+/// the other two knobs.
+struct IntrospectionOptions {
+  bool enabled = true;
+  /// Ring slots behind system.queries; oldest records are overwritten.
+  size_t query_log_capacity = 512;
+  /// Statements at least this slow also emit a WARN line with the plan
+  /// snapshot. <= 0 disables the slow-query log (recording continues).
+  double slow_query_ms = 250.0;
+};
+
+/// \brief Serving-layer context attached to a recorded query (admission wait
+/// measured by QueryService, the session the statement ran on). Zeros for
+/// direct embedded use.
+struct QueryRecordHints {
+  int64_t session_id = 0;
+  int64_t admission_wait_us = 0;
 };
 
 /// \brief An embedded, in-memory, columnar SQL engine.
@@ -127,6 +153,31 @@ class Database {
   Result<Table> ExecuteStatement(const Statement& stmt);
   Result<Table> ExecuteSelect(const SelectStmt& stmt);
 
+  /// ExecuteStatement plus query-log recording: duration, result rows,
+  /// per-query neural/cache tallies, error status, and the serving-layer
+  /// hints. Execute()/ExecuteScript() route through this; the serving layer
+  /// calls it directly (it parses before admission, so it holds the
+  /// Statement and the raw SQL separately). With introspection disabled this
+  /// is exactly ExecuteStatement.
+  Result<Table> ExecuteStatementRecorded(const Statement& stmt,
+                                         const std::string& sql,
+                                         const QueryRecordHints& hints);
+
+  /// The query-log ring, or nullptr when introspection is disabled.
+  QueryLog* query_log() { return query_log_.get(); }
+
+  const IntrospectionOptions& introspection_options() const {
+    return introspection_options_;
+  }
+  /// Runtime-adjustable slow-query threshold. Atomic: tests and tooling may
+  /// lower it while serving threads are recording.
+  void set_slow_query_ms(double ms) {
+    slow_query_ms_.store(ms, std::memory_order_relaxed);
+  }
+  double slow_query_ms() const {
+    return slow_query_ms_.load(std::memory_order_relaxed);
+  }
+
   /// Plans and optimizes without executing (EXPLAIN). When `referenced` is
   /// non-null it receives every catalog relation the planner resolved — the
   /// dependency set the plan cache validates against catalog versions.
@@ -174,9 +225,24 @@ class Database {
   struct NodeRunStats {
     int64_t rows = 0;
     double cumulative_seconds = 0;
+    /// Bytes of this node's output table (peak materialized footprint of the
+    /// operator; columnar payload, not allocator overhead).
+    int64_t output_bytes = 0;
     /// Seconds each pool worker spent inside morsel bodies while this node
     /// (or its subtree) executed; empty when no pool is wired.
     std::vector<double> worker_busy_seconds;
+  };
+
+  /// Per-query tallies accumulated while a recorded statement executes,
+  /// reached through a thread_local pointer (set/cleared by
+  /// ExecuteStatementRecorded on the query's calling thread; operators and
+  /// DrainEvalContext fold into it from that same thread).
+  struct QueryTally {
+    int64_t neural_calls = 0;
+    int64_t nudf_cache_hits = 0;
+    bool plan_cache_hit = false;
+    int64_t operator_rows = 0;
+    int64_t peak_operator_bytes = 0;
   };
 
   Result<Table> ExecNode(const PlanNode& node);
@@ -223,6 +289,10 @@ class Database {
   std::unique_ptr<ShardedLruCache> plan_cache_;
   CostAccumulator* costs_ = nullptr;
   NudfBatchSink* nudf_batch_sink_ = nullptr;
+  IntrospectionOptions introspection_options_;
+  std::atomic<double> slow_query_ms_{250.0};
+  /// Ring behind system.queries; null when introspection is disabled.
+  std::unique_ptr<QueryLog> query_log_;
   std::atomic<int64_t> neural_calls_{0};
   /// Guards the "most recent run" introspection snapshots below, which
   /// concurrent sessions would otherwise race on.
@@ -231,6 +301,10 @@ class Database {
   SymmetricHashJoinStats last_shj_stats_;
   std::atomic<int64_t> symmetric_joins_{0};
   std::atomic<int64_t> index_joins_{0};
+  /// Tally of the recorded statement currently executing on this thread;
+  /// null outside ExecuteStatementRecorded (and always null with
+  /// introspection disabled, keeping the hot path a single TLS load).
+  static thread_local QueryTally* tls_tally_;
   bool collect_node_stats_ = false;
   /// Guards node_stats_: nUDF bodies can re-enter the executor while an
   /// ExplainAnalyze run is collecting (generated DL2SQL pipelines).

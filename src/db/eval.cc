@@ -486,6 +486,8 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
     // Morsels whose miss set was non-empty, i.e. real batch_fn invocations;
     // fully memoized morsels never reach the model.
     std::atomic<int64_t> invoked_batches{0};
+    // Rows answered from the result cache (atomic: probed on pool workers).
+    std::atomic<int64_t> cache_hit_rows{0};
     auto body = [&](int64_t bgn, int64_t end, int worker) -> Status {
       std::vector<std::vector<Value>> rows(static_cast<size_t>(end - bgn));
       {
@@ -513,6 +515,9 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
             miss.push_back(i);
           }
         }
+        cache_hit_rows.fetch_add(
+            static_cast<int64_t>(rows.size() - miss.size()),
+            std::memory_order_relaxed);
       } else {
         miss.resize(rows.size());
         for (size_t i = 0; i < rows.size(); ++i) miss[i] = i;
@@ -586,6 +591,8 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
       // Rows answered by the model, memoized or fresh: cache hits must not
       // perturb the per-row tallies the hint/pruning tests assert on.
       ctx->neural_calls += n;
+      ctx->nudf_cache_hits +=
+          cache_hit_rows.load(std::memory_order_relaxed);
       if (ctx->costs != nullptr) ctx->costs->Add("inference", secs);
       static Counter* const invocations =
           MetricsRegistry::Global().counter("nudf.invocations");
@@ -611,6 +618,7 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
     if (row_cache != nullptr) {
       key = NudfRowKey(udf->neural.fingerprint, row, &key_buf);
       if (auto hit = row_cache->LookupAs<Value>(key)) {
+        ctx->nudf_cache_hits += 1;
         DL2SQL_RETURN_NOT_OK(
             out.Append(*hit).WithContext("result of " + e.func_name));
         continue;
@@ -812,6 +820,7 @@ Result<Value> EvalScalar(const Expr& e, EvalContext* ctx) {
         if (auto hit = cache->LookupAs<Value>(key)) {
           // Memoized model answer: still a neural call for accounting.
           ctx->neural_calls += 1;
+          ctx->nudf_cache_hits += 1;
           static Counter* const invocations =
               MetricsRegistry::Global().counter("nudf.invocations");
           invocations->Increment();

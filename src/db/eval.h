@@ -54,6 +54,9 @@ struct EvalContext {
   /// Number of nUDF invocations (rows actually sent to a model); the hint
   /// benchmarks assert pruning through this counter.
   int64_t neural_calls = 0;
+  /// Of those, rows answered from the cross-query nUDF result cache (a
+  /// subset of neural_calls; per-query introspection, system.queries).
+  int64_t nudf_cache_hits = 0;
   /// Worker pool for morsel-parallel kernels; nullptr (or a 1-thread pool)
   /// degenerates every loop to the serial path. Not owned.
   ThreadPool* pool = nullptr;

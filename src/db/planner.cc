@@ -117,6 +117,15 @@ Result<PlanPtr> Planner::PlanTableRef(const TableRef& ref, int depth) {
     expanded.alias = qualifier;
     return PlanTableRef(expanded, depth + 1);
   }
+  // Virtual tables plan as ordinary scans against the provider's fixed
+  // schema; rows are materialized from live engine state at execution time.
+  if (auto provider = catalog_->GetVirtualTable(ref.table_name)) {
+    TableSchema schema;
+    for (const auto& f : provider->schema().fields()) {
+      schema.AddField({qualifier + "." + f.name, f.type});
+    }
+    return MakeScan(ref.table_name, qualifier, std::move(schema));
+  }
   DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(ref.table_name));
   TableSchema schema;
   for (const auto& f : table->schema().fields()) {

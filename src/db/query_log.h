@@ -1,0 +1,90 @@
+/// \file query_log.h
+/// \brief Lock-free fixed-capacity ring buffer of finished queries.
+///
+/// Backs system.queries and the slow-query log. Writers (query threads
+/// finishing a statement) claim a slot with one fetch_add and publish via a
+/// per-slot seqlock version, so recording never blocks — not on readers, not
+/// on other writers. Readers (system.queries scans) copy slots out and use
+/// the version protocol to detect and skip records that were mid-write,
+/// giving torn-free snapshots without ever stalling the write path.
+///
+/// Every slot field is an atomic (including the SQL/error text, stored as
+/// fixed-size atomic<char> arrays), so concurrent read/write is defined
+/// behavior and TSAN-clean by construction; the seqlock only ensures the
+/// *combination* of fields a reader returns belongs to one record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dl2sql::db {
+
+/// Statement class recorded with each query-log entry.
+enum class QueryKind : uint8_t {
+  kSelect = 0,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kDdl,
+  kOther,
+};
+
+const char* QueryKindName(QueryKind kind);
+
+/// One finished query, copied out of the ring.
+struct QueryLogRecord {
+  int64_t id = 0;           ///< monotonically increasing finish sequence
+  std::string sql;          ///< statement text (truncated to slot capacity)
+  QueryKind kind = QueryKind::kOther;
+  std::string error;        ///< empty on success
+  int64_t duration_us = 0;
+  int64_t rows = 0;         ///< result rows (SELECT) or affected rows (DML)
+  int64_t neural_calls = 0;
+  int64_t nudf_cache_hits = 0;
+  bool plan_cache_hit = false;
+  int64_t admission_wait_us = 0;  ///< server-side queueing delay; 0 if direct
+  int64_t session_id = 0;         ///< serving-layer session; 0 if direct
+  int64_t peak_operator_bytes = 0;  ///< largest single operator output
+  int64_t operator_rows = 0;        ///< rows produced across all plan nodes
+  int64_t end_micros = 0;  ///< finish time, microseconds since trace epoch
+};
+
+/// \brief The ring. Capacity is fixed at construction; records overwrite the
+/// oldest once full.
+class QueryLog {
+ public:
+  /// Longest SQL/error text preserved per record; longer text is truncated
+  /// with a trailing "..." so slots stay fixed-size (lock-freedom needs
+  /// atomically typed storage, which rules out std::string in slots).
+  static constexpr size_t kMaxSqlBytes = 512;
+  static constexpr size_t kMaxErrorBytes = 256;
+
+  explicit QueryLog(size_t capacity);
+  ~QueryLog();
+
+  /// Publishes one finished query. Wait-free apart from the slot fetch_add.
+  void Record(const QueryLogRecord& record);
+
+  /// Copies out every published record, oldest first. Records being written
+  /// during the scan are skipped (they reappear complete on the next scan).
+  std::vector<QueryLogRecord> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Total records ever published (>= capacity once the ring has wrapped).
+  int64_t total_recorded() const {
+    return static_cast<int64_t>(next_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct Slot;
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+};
+
+}  // namespace dl2sql::db

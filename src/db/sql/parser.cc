@@ -139,6 +139,19 @@ class Parser {
     return Advance().text;
   }
 
+  /// Relation name with optional schema qualifier: `ident` or `ident.ident`
+  /// (e.g. "system.metrics"). The qualified pair is a single relation name
+  /// everywhere downstream (catalog keys, planner, plan cache).
+  Result<std::string> ExpectRelationName(const char* what) {
+    DL2SQL_ASSIGN_OR_RETURN(std::string name, ExpectIdent(what));
+    if (Accept(".")) {
+      DL2SQL_ASSIGN_OR_RETURN(std::string rel,
+                              ExpectIdent("relation name after '.'"));
+      name += "." + rel;
+    }
+    return name;
+  }
+
   // --------------------------------------------------------- statements ----
   Result<Statement> ParseStatementInner() {
     if (PeekIs("select") || PeekIs("(")) {
@@ -253,7 +266,8 @@ class Parser {
       DL2SQL_ASSIGN_OR_RETURN(ref.subquery, ParseSelectMaybeParen());
       DL2SQL_RETURN_NOT_OK(Expect(")"));
     } else {
-      DL2SQL_ASSIGN_OR_RETURN(ref.table_name, ExpectIdent("table name"));
+      DL2SQL_ASSIGN_OR_RETURN(ref.table_name,
+                              ExpectRelationName("table name"));
     }
     if (Accept("as")) {
       DL2SQL_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("table alias"));
@@ -282,7 +296,7 @@ class Parser {
       DL2SQL_RETURN_NOT_OK(Expect("exists"));
       stmt.if_not_exists = true;
     }
-    DL2SQL_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("table name"));
+    DL2SQL_ASSIGN_OR_RETURN(stmt.name, ExpectRelationName("table name"));
 
     if (Accept("as")) {
       DL2SQL_ASSIGN_OR_RETURN(stmt.as_select, ParseSelectMaybeParen());
@@ -313,7 +327,7 @@ class Parser {
     DL2SQL_RETURN_NOT_OK(Expect("insert"));
     DL2SQL_RETURN_NOT_OK(Expect("into"));
     InsertStmt stmt;
-    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectRelationName("table name"));
     if (Accept("(")) {
       do {
         DL2SQL_ASSIGN_OR_RETURN(std::string c, ExpectIdent("column name"));
@@ -344,7 +358,7 @@ class Parser {
   Result<Statement> ParseUpdate() {
     DL2SQL_RETURN_NOT_OK(Expect("update"));
     UpdateStmt stmt;
-    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectRelationName("table name"));
     DL2SQL_RETURN_NOT_OK(Expect("set"));
     do {
       DL2SQL_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
@@ -362,7 +376,7 @@ class Parser {
     DL2SQL_RETURN_NOT_OK(Expect("delete"));
     DL2SQL_RETURN_NOT_OK(Expect("from"));
     DeleteStmt stmt;
-    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    DL2SQL_ASSIGN_OR_RETURN(stmt.table, ExpectRelationName("table name"));
     if (Accept("where")) {
       DL2SQL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
     }
@@ -381,7 +395,7 @@ class Parser {
       DL2SQL_RETURN_NOT_OK(Expect("exists"));
       stmt.if_exists = true;
     }
-    DL2SQL_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("table name"));
+    DL2SQL_ASSIGN_OR_RETURN(stmt.name, ExpectRelationName("table name"));
     return Statement(std::move(stmt));
   }
 

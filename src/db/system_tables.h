@@ -1,0 +1,26 @@
+/// \file system_tables.h
+/// \brief The built-in system.* virtual tables.
+///
+/// Each provider materializes live engine state on scan (see
+/// virtual_table.h). Database-scoped providers (registered by the Database
+/// constructor when introspection is enabled):
+///   system.metrics — every MetricsRegistry counter/gauge/histogram, with
+///     histograms expanded into .count/.sum_us/.p50_us/.p95_us/.p99_us rows
+///   system.queries — the query-log ring: last N finished statements
+///   system.spans   — per-name span summaries from the trace subsystem
+///   system.caches  — nUDF result cache + prepared-plan cache stats
+///   system.tables  — catalog contents (tables, views, virtual tables)
+/// The serving layer adds system.sessions (see server/session.h), which
+/// needs the session registry only QueryService has.
+#pragma once
+
+namespace dl2sql::db {
+
+class Database;
+
+/// Registers the five Database-scoped providers above into db->catalog().
+/// Called from the Database constructor; safe to call again after an
+/// unregister (providers capture `db` and read its state at scan time).
+void RegisterDatabaseSystemTables(Database* db);
+
+}  // namespace dl2sql::db

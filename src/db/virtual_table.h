@@ -1,0 +1,65 @@
+/// \file virtual_table.h
+/// \brief Read-only virtual tables materialized at scan time.
+///
+/// Providers back the reserved `system` schema (system.metrics,
+/// system.queries, ...): they expose a fixed schema at registration time but
+/// no stored columns — every scan calls Materialize(), which builds a fresh
+/// Table from live engine state. Freshness therefore never depends on cache
+/// invalidation: a prepared plan may be reused indefinitely because the plan
+/// only names the virtual table; its rows are produced when the scan runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace dl2sql::db {
+
+/// \brief One virtual table. Implementations must be safe to call from any
+/// query thread concurrently (they read engine state that is itself
+/// synchronized — metric atomics, catalog locks, the query-log ring).
+class VirtualTableProvider {
+ public:
+  virtual ~VirtualTableProvider() = default;
+
+  /// Fully qualified lower-case name, e.g. "system.metrics".
+  virtual const std::string& name() const = 0;
+
+  /// Column layout; fixed for the provider's lifetime so cached plans keyed
+  /// on it stay valid.
+  virtual const TableSchema& schema() const = 0;
+
+  /// Builds the rows from live engine state. Called once per scan.
+  virtual Result<TablePtr> Materialize() const = 0;
+
+  /// Schema version for plan-cache validation. Constant for the provider's
+  /// lifetime (data freshness comes from scan-time materialization, not from
+  /// version churn, so cached plans over system tables stay hot).
+  virtual uint64_t version() const { return 1; }
+};
+
+/// \brief Provider from a schema plus a row-materializing callback; covers
+/// every system table that doesn't need its own class.
+class CallbackVirtualTable : public VirtualTableProvider {
+ public:
+  using Materializer = std::function<Result<TablePtr>(const TableSchema&)>;
+
+  CallbackVirtualTable(std::string name, TableSchema schema, Materializer fn)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        fn_(std::move(fn)) {}
+
+  const std::string& name() const override { return name_; }
+  const TableSchema& schema() const override { return schema_; }
+  Result<TablePtr> Materialize() const override { return fn_(schema_); }
+
+ private:
+  std::string name_;
+  TableSchema schema_;
+  Materializer fn_;
+};
+
+}  // namespace dl2sql::db

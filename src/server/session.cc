@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 #include <variant>
@@ -7,6 +8,7 @@
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "db/virtual_table.h"
 
 namespace dl2sql::server {
 
@@ -49,17 +51,56 @@ QueryService::QueryService(db::Database* db, ServiceOptions options)
       coalescer_(options.coalescer) {
   coalescer_.set_inflight_provider([this] { return admission_.running(); });
   db_->set_nudf_batch_sink(&coalescer_);
+  if (db_->introspection_options().enabled) {
+    db::TableSchema schema({{"id", db::DataType::kInt64},
+                            {"statements_ok", db::DataType::kInt64},
+                            {"statements_failed", db::DataType::kInt64}});
+    sessions_table_registered_ =
+        db_->catalog()
+            .RegisterVirtualTable(std::make_shared<db::CallbackVirtualTable>(
+                "system.sessions", std::move(schema),
+                [this](const db::TableSchema& s) -> Result<db::TablePtr> {
+                  auto t = std::make_shared<db::Table>(db::Table{s});
+                  std::lock_guard<std::mutex> lock(sessions_mu_);
+                  for (const auto& weak : sessions_) {
+                    auto session = weak.lock();
+                    if (session == nullptr) continue;
+                    DL2SQL_RETURN_NOT_OK(t->AppendRow(
+                        {db::Value::Int(static_cast<int64_t>(session->id())),
+                         db::Value::Int(session->statements_ok()),
+                         db::Value::Int(session->statements_failed())}));
+                  }
+                  return t;
+                }))
+            .ok();
+  }
 }
 
-QueryService::~QueryService() { db_->set_nudf_batch_sink(nullptr); }
+QueryService::~QueryService() {
+  if (sessions_table_registered_) {
+    db_->catalog().UnregisterVirtualTable("system.sessions");
+  }
+  db_->set_nudf_batch_sink(nullptr);
+}
 
 std::shared_ptr<Session> QueryService::CreateSession() {
   ServiceMetrics::Get().sessions->Increment();
-  return std::make_shared<Session>(
+  auto session = std::make_shared<Session>(
       this, next_session_id_.fetch_add(1, std::memory_order_relaxed));
+  if (sessions_table_registered_) {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                   [](const std::weak_ptr<Session>& w) {
+                                     return w.expired();
+                                   }),
+                    sessions_.end());
+    sessions_.push_back(session);
+  }
+  return session;
 }
 
-Result<db::Table> QueryService::Execute(const std::string& sql) {
+Result<db::Table> QueryService::Execute(const std::string& sql,
+                                        uint64_t session_id) {
   DL2SQL_TRACE_SPAN("server", "request");
   const ServiceMetrics& m = ServiceMetrics::Get();
   m.requests->Increment();
@@ -68,19 +109,23 @@ Result<db::Table> QueryService::Execute(const std::string& sql) {
   // Parse before admission: syntax errors should not consume a slot.
   DL2SQL_ASSIGN_OR_RETURN(db::Statement stmt, db::sql::ParseStatement(sql));
 
+  Stopwatch wait_watch;
   DL2SQL_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
                           admission_.AdmitTicket());
+  db::QueryRecordHints hints;
+  hints.session_id = static_cast<int64_t>(session_id);
+  hints.admission_wait_us = wait_watch.ElapsedMicros();
 
   Stopwatch exec_watch;
   Result<db::Table> result = [&]() -> Result<db::Table> {
     if (IsSelect(stmt)) {
       std::shared_lock<std::shared_mutex> lock(exec_mu_);
       DL2SQL_TRACE_SPAN("server", "exec_select");
-      return db_->ExecuteStatement(stmt);
+      return db_->ExecuteStatementRecorded(stmt, sql, hints);
     }
     std::unique_lock<std::shared_mutex> lock(exec_mu_);
     DL2SQL_TRACE_SPAN("server", "exec_write");
-    return db_->ExecuteStatement(stmt);
+    return db_->ExecuteStatementRecorded(stmt, sql, hints);
   }();
   const double exec_seconds = exec_watch.ElapsedSeconds();
   ticket.reset();
@@ -119,7 +164,7 @@ Status QueryService::ExecuteScript(const std::string& script) {
 }
 
 Result<db::Table> Session::Execute(const std::string& sql) {
-  auto result = service_->Execute(sql);
+  auto result = service_->Execute(sql, id_);
   (result.ok() ? ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
   return result;
 }

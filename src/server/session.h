@@ -11,8 +11,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "db/database.h"
 #include "server/admission.h"
@@ -52,7 +54,9 @@ class Session;
 /// thread.
 class QueryService {
  public:
-  /// Wires the coalescer into `db` (set_nudf_batch_sink). `db` must outlive
+  /// Wires the coalescer into `db` (set_nudf_batch_sink) and, when the
+  /// database has introspection enabled, registers the system.sessions
+  /// virtual table (live per-session statement counters). `db` must outlive
   /// the service; no other caller may mutate the database while serving.
   QueryService(db::Database* db, ServiceOptions options);
   ~QueryService();
@@ -72,7 +76,9 @@ class QueryService {
 
   /// The concurrent entry path: admission -> parse -> classify -> RW lock ->
   /// execute -> budget checks. Every failure is a status, never a hang.
-  Result<db::Table> Execute(const std::string& sql);
+  /// `session_id` and the measured admission wait flow into the query log
+  /// (system.queries) as QueryRecordHints.
+  Result<db::Table> Execute(const std::string& sql, uint64_t session_id);
 
   /// Whole scripts take the exclusive lock once (DDL/DML heavy by nature).
   Status ExecuteScript(const std::string& script);
@@ -87,6 +93,12 @@ class QueryService {
   /// re-acquired recursively.
   std::shared_mutex exec_mu_;
   std::atomic<uint64_t> next_session_id_{1};
+  /// Live sessions behind system.sessions. Weak: a session's lifetime stays
+  /// owned by its connection; dead entries are pruned on CreateSession and
+  /// at scan time. Only populated when the provider is registered.
+  std::mutex sessions_mu_;
+  std::vector<std::weak_ptr<Session>> sessions_;
+  bool sessions_table_registered_ = false;
 };
 
 /// \brief One client's handle onto the service: settings + statistics.

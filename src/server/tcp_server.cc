@@ -29,6 +29,37 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+/// One-shot HTTP for plain "GET <path> HTTP/1.x" request lines on the SQL
+/// port. /metrics answers with the Prometheus text exposition of the global
+/// registry; everything else is a 404. The response always closes the
+/// connection, so trailing request headers can be ignored.
+std::string HttpResponseFor(const std::string& request_line) {
+  std::string path = Trim(request_line.substr(4));
+  const size_t space = path.find(' ');
+  if (space != std::string::npos) path = path.substr(0, space);
+
+  std::string status;
+  std::string content_type;
+  std::string body;
+  if (path == "/metrics") {
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = MetricsRegistry::ToPrometheusText(MetricsRegistry::Global().Snapshot());
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found (try /metrics)\n";
+  }
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 " + status + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
 }  // namespace
 
 TcpServer::TcpServer(QueryService* service, TcpServerOptions options)
@@ -131,6 +162,13 @@ void TcpServer::ServeConnection(int fd) {
       std::string line = Trim(buffer.substr(0, nl));
       buffer.erase(0, nl + 1);
       if (line.empty()) continue;
+      if (StartsWith(line, "GET ")) {
+        // A curl/Prometheus scrape landed on the SQL port: answer the one
+        // request over HTTP and close, ignoring the remaining headers.
+        SendAll(fd, HttpResponseFor(line));
+        open = false;
+        break;
+      }
       if (line[0] == '.') {
         if (line == ".quit") {
           SendAll(fd, "OK 0 0\nEND\n");
@@ -139,6 +177,36 @@ void TcpServer::ServeConnection(int fd) {
         }
         if (line == ".ping") {
           open = SendAll(fd, "OK 0 0\nEND\n");
+          continue;
+        }
+        if (line == ".sys" || StartsWith(line, ".sys ")) {
+          const std::string arg =
+              line.size() > 4 ? Trim(line.substr(5)) : std::string();
+          if (arg.empty()) {
+            // List the registered system tables without going through SQL.
+            db::TableSchema schema({{"name", db::DataType::kString}});
+            db::Table listing{schema};
+            Status st = Status::OK();
+            for (const std::string& name :
+                 service_->database()->catalog().VirtualTableNames()) {
+              st = listing.AppendRow({db::Value::String(name)});
+              if (!st.ok()) break;
+            }
+            open = SendAll(
+                fd, st.ok() ? FormatOkResponse(listing,
+                                               session->settings().format,
+                                               session->settings().render_max_rows)
+                            : FormatErrorResponse(st));
+            continue;
+          }
+          const std::string table =
+              StartsWith(arg, "system.") ? arg : "system." + arg;
+          auto result = session->Execute("SELECT * FROM " + table);
+          open = SendAll(
+              fd, result.ok()
+                      ? FormatOkResponse(*result, session->settings().format,
+                                         session->settings().render_max_rows)
+                      : FormatErrorResponse(result.status()));
           continue;
         }
         if (StartsWith(line, ".format ")) {

@@ -3,8 +3,12 @@
 ///
 /// One accept thread plus one thread per connection; each connection gets its
 /// own Session. Requests are newline-delimited SQL statements (or meta
-/// commands starting with '.'); responses use the framing in wire.h. Stop()
-/// shuts every socket down and joins all threads, so SIGTERM handling in
+/// commands starting with '.'); responses use the framing in wire.h. A line
+/// starting with "GET " instead gets a one-shot HTTP response — "GET
+/// /metrics" serves the Prometheus text exposition of the global metrics
+/// registry, so `curl http://host:port/metrics` works against the SQL port.
+/// ".sys" lists the system.* tables; ".sys <name>" scans one. Stop() shuts
+/// every socket down and joins all threads, so SIGTERM handling in
 /// lindb_server is just "call Stop and return".
 #pragma once
 

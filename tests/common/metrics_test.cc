@@ -127,6 +127,91 @@ TEST_F(MetricsTest, ResetAllZeroesButKeepsHandlesValid) {
   EXPECT_EQ(c->value(), 1);
 }
 
+TEST_F(MetricsTest, SnapshotCopiesEveryKindUnderOneLock) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.counter("test.snap.c")->Increment(3);
+  r.gauge("test.snap.g")->Set(1.5);
+  r.histogram("test.snap.h")->Record(100);
+  const MetricsSnapshot snap = r.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.snap.c"), 3);
+  EXPECT_EQ(snap.gauges.at("test.snap.g"), 1.5);
+  EXPECT_EQ(snap.histograms.at("test.snap.h").count, 1);
+  EXPECT_EQ(snap.histograms.at("test.snap.h").sum_micros, 100);
+}
+
+TEST_F(MetricsTest, SnapshotDeltaSubtractsCountersAndHistograms) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter* c = r.counter("test.delta.c");
+  Gauge* g = r.gauge("test.delta.g");
+  Histogram* h = r.histogram("test.delta.h");
+  c->Increment(10);
+  g->Set(2.0);
+  h->Record(10);
+  const MetricsSnapshot before = r.Snapshot();
+  c->Increment(32);
+  g->Set(7.5);
+  h->Record(10);
+  h->Record(5000);
+  Counter* fresh = r.counter("test.delta.new");
+  fresh->Increment(4);
+  const MetricsSnapshot after = r.Snapshot();
+
+  const MetricsSnapshot delta = MetricsRegistry::SnapshotDelta(before, after);
+  EXPECT_EQ(delta.counters.at("test.delta.c"), 32);
+  // A counter born between the snapshots deltas against zero.
+  EXPECT_EQ(delta.counters.at("test.delta.new"), 4);
+  // Gauges are last-written values: the delta keeps `after`'s reading.
+  EXPECT_EQ(delta.gauges.at("test.delta.g"), 7.5);
+  const MetricsSnapshot::HistogramData& hd = delta.histograms.at("test.delta.h");
+  EXPECT_EQ(hd.count, 2);
+  EXPECT_EQ(hd.sum_micros, 10 + 5000);
+  int64_t bucket_total = 0;
+  for (int64_t b : hd.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 2);
+}
+
+TEST_F(MetricsTest, QuantileFromBucketsMatchesLiveHistogram) {
+  Histogram* h = MetricsRegistry::Global().histogram("test.qfb");
+  for (int i = 0; i < 90; ++i) h->Record(10);    // bucket bound 16us
+  for (int i = 0; i < 10; ++i) h->Record(5000);  // bucket bound 8192us
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const MetricsSnapshot::HistogramData& hd = snap.histograms.at("test.qfb");
+  EXPECT_EQ(hd.Quantile(0.5), h->ApproxQuantileMicros(0.5));
+  EXPECT_EQ(hd.Quantile(0.5), 16);
+  // The 95th sample of a 90/10 split already sits in the slow bucket.
+  EXPECT_EQ(hd.Quantile(0.95), 8192);
+  EXPECT_EQ(hd.Quantile(0.99), 8192);
+  // Degenerate inputs stay in range: q=0 is the first populated bucket,
+  // q=1 walks past every sample and reports the +inf sentinel.
+  EXPECT_EQ(hd.Quantile(0.0), 16);
+  EXPECT_EQ(hd.Quantile(1.0), -1);
+  const MetricsSnapshot::HistogramData empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0);
+}
+
+TEST_F(MetricsTest, PrometheusTextRendersEveryKind) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.counter("test.prom.requests")->Increment(7);
+  r.gauge("test.prom.pool-size")->Set(4.0);
+  Histogram* h = r.histogram("test.prom.lat");
+  h->Record(1);    // bucket le="1"
+  h->Record(3);    // bucket le="4"
+  const std::string text = MetricsRegistry::ToPrometheusText(r.Snapshot());
+
+  // Names are sanitized: dots and dashes become underscores.
+  EXPECT_NE(text.find("# TYPE test_prom_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_requests 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_pool_size gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_lat histogram"), std::string::npos);
+  // Buckets are cumulative and end at +Inf == _count.
+  EXPECT_NE(text.find("test_prom_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_lat_bucket{le=\"4\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_lat_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_lat_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_lat_count 2"), std::string::npos);
+}
+
 TEST_F(MetricsTest, ConcurrentUpdatesAreExact) {
   // TSAN coverage: registry lookups and metric updates from many threads.
   constexpr int kThreads = 8;

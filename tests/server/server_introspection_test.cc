@@ -1,0 +1,281 @@
+/// \file server_introspection_test.cc
+/// \brief Introspection under serving load, TSAN-pinned in CI (ctest -R
+/// server): 8 client threads run the fig8-style query mix while observers
+/// scrape /metrics over real HTTP and scan system.queries / system.sessions
+/// through SQL. The query-log ring must never block writers and readers must
+/// never observe torn records.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/device.h"
+#include "common/logging.h"
+#include "db/database.h"
+#include "db/query_log.h"
+#include "server/session.h"
+#include "server/tcp_server.h"
+
+namespace dl2sql::server {
+namespace {
+
+using db::DataType;
+using db::Database;
+using db::NUdfInfo;
+using db::QueryLog;
+using db::QueryLogRecord;
+using db::Table;
+using db::TableSchema;
+using db::Value;
+
+std::shared_ptr<Device> MakeCpuDevice(int threads) {
+  DeviceProfile profile = Device::ServerCpuProfile();
+  profile.name = "introspection-cpu-" + std::to_string(threads);
+  profile.num_threads = threads;
+  return std::make_shared<Device>(profile);
+}
+
+void RegisterAffineNudf(Database* db) {
+  NUdfInfo info;
+  info.model_name = "affine";
+  info.fingerprint = 0xabcdULL;
+  db->udfs().RegisterNeural(
+      "nudf_affine", DataType::kFloat64,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        DL2SQL_ASSIGN_OR_RETURN(double x, args[0].AsDouble());
+        return Value::Float(x * 2.0 + 1.0);
+      },
+      info,
+      [](const std::vector<std::vector<Value>>& rows)
+          -> Result<std::vector<Value>> {
+        std::vector<Value> out;
+        out.reserve(rows.size());
+        for (const auto& row : rows) {
+          DL2SQL_ASSIGN_OR_RETURN(double x, row[0].AsDouble());
+          out.push_back(Value::Float(x * 2.0 + 1.0));
+        }
+        return out;
+      },
+      /*arity=*/1, /*parallel_safe=*/true);
+}
+
+void MakeTable(Database* db, const std::string& name, int64_t rows) {
+  TableSchema schema({{"id", DataType::kInt64}, {"val", DataType::kInt64}});
+  Table t{schema};
+  for (int64_t i = 0; i < rows; ++i) {
+    DL2SQL_CHECK(t.AppendRow({Value::Int(i), Value::Int(i % 97)}).ok());
+  }
+  DL2SQL_CHECK(db->RegisterTable(name, std::move(t)).ok());
+}
+
+/// The fig8 query-type mix phrased over the test table (see
+/// bench/serving_load.cc): filter-by-nUDF, project-nUDF, aggregate-over-nUDF,
+/// and a relational-only control.
+const std::vector<std::string>& Fig8Mix() {
+  static const std::vector<std::string> kQueries = {
+      "SELECT count(*) AS hits FROM frames WHERE nudf_affine(val) > 50.0",
+      "SELECT id, nudf_affine(val) AS cls FROM frames WHERE id % 5 = 2",
+      "SELECT sum(nudf_affine(val)) AS s, count(*) AS n FROM frames "
+      "WHERE id % 2 = 0",
+      "SELECT count(*) AS n FROM frames WHERE id % 3 = 0",
+  };
+  return kQueries;
+}
+
+/// One-shot HTTP GET against the server's SQL port; returns the whole
+/// response (headers + body) read to EOF.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::string();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::string();
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return std::string();
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ServerIntrospection, ScrapeAndScanWhileEightClientsRunTheFig8Mix) {
+  // Keep the ring small so the writers wrap it many times mid-scan.
+  ::setenv("DL2SQL_QUERY_LOG_CAPACITY", "32", 1);
+  auto device = MakeCpuDevice(4);
+  Database db;
+  ::unsetenv("DL2SQL_QUERY_LOG_CAPACITY");
+  db.set_exec_options({device.get(), /*morsel_size=*/512});
+  MakeTable(&db, "frames", 2000);
+  RegisterAffineNudf(&db);
+  ASSERT_NE(db.query_log(), nullptr);
+  ASSERT_EQ(db.query_log()->capacity(), 32u);
+
+  ServiceOptions opts;
+  opts.admission.max_concurrent = 8;
+  QueryService service(&db, opts);
+  TcpServer server(&service, TcpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kOpsPerClient = 25;
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients + 2);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&service, &failures, c] {
+      auto session = service.CreateSession();
+      const auto& mix = Fig8Mix();
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const auto& sql = mix[(c + i) % mix.size()];
+        auto r = session->Execute(sql);
+        // Admission backpressure is a legal serving answer; anything else is
+        // a failure.
+        if (!r.ok() && r.status().code() != StatusCode::kResourceExhausted) {
+          ++failures;
+        }
+      }
+    });
+  }
+
+  // Observer 1: Prometheus scrapes over real HTTP against the loaded port.
+  threads.emplace_back([&server, &failures, &done] {
+    int scrapes = 0;
+    while (!done.load(std::memory_order_relaxed) || scrapes == 0) {
+      const std::string response = HttpGet(server.port(), "/metrics");
+      ++scrapes;
+      if (response.find("HTTP/1.1 200 OK") == std::string::npos ||
+          response.find("# TYPE ") == std::string::npos ||
+          response.find("server_requests") == std::string::npos) {
+        ++failures;
+        return;
+      }
+    }
+  });
+
+  // Observer 2: concurrent system.queries + system.sessions scans through
+  // the normal SQL path; the seqlock ring must yield only whole records.
+  threads.emplace_back([&service, &db, &failures, &done] {
+    auto session = service.CreateSession();
+    int scans = 0;
+    while (!done.load(std::memory_order_relaxed) || scans == 0) {
+      auto r = session->Execute(
+          "SELECT sql, duration_ms, neural_calls FROM system.queries "
+          "ORDER BY duration_ms DESC LIMIT 5");
+      ++scans;
+      if (!r.ok()) {
+        if (r.status().code() != StatusCode::kResourceExhausted) ++failures;
+        continue;
+      }
+      if (r->num_rows() > 5) ++failures;
+      auto sessions = session->Execute(
+          "SELECT id, statements_ok FROM system.sessions");
+      if (!sessions.ok() &&
+          sessions.status().code() != StatusCode::kResourceExhausted) {
+        ++failures;
+      }
+      // Direct ring reads race the writers harder than the SQL path (no
+      // admission serialization): every record must be internally whole.
+      for (const QueryLogRecord& rec : db.query_log()->Snapshot()) {
+        const bool known =
+            rec.sql.rfind("SELECT", 0) == 0 || rec.sql.empty();
+        if (!known || rec.duration_us < 0 || rec.rows < 0 ||
+            rec.neural_calls < 0) {
+          ++failures;
+        }
+      }
+    }
+  });
+
+  for (int c = 0; c < kClients; ++c) threads[static_cast<size_t>(c)].join();
+  done.store(true, std::memory_order_relaxed);
+  for (size_t t = kClients; t < threads.size(); ++t) threads[t].join();
+  server.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The ring saw every finished statement the clients pushed through.
+  EXPECT_GE(db.query_log()->total_recorded(),
+            static_cast<uint64_t>(kClients));
+}
+
+TEST(ServerIntrospection, SessionsTableTracksLiveSessions) {
+  Database db;
+  MakeTable(&db, "frames", 16);
+  QueryService service(&db, ServiceOptions{});
+  auto a = service.CreateSession();
+  auto b = service.CreateSession();
+  ASSERT_TRUE(a->Execute("SELECT count(*) FROM frames").ok());
+  ASSERT_FALSE(a->Execute("SELECT nope FROM frames").ok());
+
+  auto rows = b->Execute(
+      "SELECT id, statements_ok, statements_failed FROM system.sessions");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_GE(rows->num_rows(), 2);
+  bool found_a = false;
+  for (int64_t i = 0; i < rows->num_rows(); ++i) {
+    if (rows->column(0).GetValue(i).int_value() ==
+        static_cast<int64_t>(a->id())) {
+      found_a = true;
+      EXPECT_EQ(rows->column(1).GetValue(i).int_value(), 1);
+      EXPECT_EQ(rows->column(2).GetValue(i).int_value(), 1);
+    }
+  }
+  EXPECT_TRUE(found_a);
+
+  // A dropped session disappears from the scan.
+  const int64_t a_id = static_cast<int64_t>(a->id());
+  a.reset();
+  rows = b->Execute("SELECT id FROM system.sessions");
+  ASSERT_TRUE(rows.ok());
+  for (int64_t i = 0; i < rows->num_rows(); ++i) {
+    EXPECT_NE(rows->column(0).GetValue(i).int_value(), a_id);
+  }
+}
+
+TEST(ServerIntrospection, QueriesRowsCarryServingHints) {
+  Database db;
+  MakeTable(&db, "frames", 64);
+  QueryService service(&db, ServiceOptions{});
+  auto session = service.CreateSession();
+  ASSERT_TRUE(session->Execute("SELECT count(*) FROM frames").ok());
+
+  ASSERT_NE(db.query_log(), nullptr);
+  const std::vector<QueryLogRecord> snap = db.query_log()->Snapshot();
+  ASSERT_FALSE(snap.empty());
+  const QueryLogRecord& rec = snap.back();
+  EXPECT_EQ(rec.sql, "SELECT count(*) FROM frames");
+  EXPECT_EQ(rec.session_id, static_cast<int64_t>(session->id()));
+  EXPECT_GE(rec.admission_wait_us, 0);
+  EXPECT_EQ(rec.rows, 1);
+}
+
+}  // namespace
+}  // namespace dl2sql::server

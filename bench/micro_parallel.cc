@@ -131,6 +131,20 @@ int main() {
     }
   }
 
+  // Row-path (DL2SQL_VECTOR=OFF equivalent) single-thread baseline for the
+  // relational workloads: the vectorized-vs-row speedup is what re-derives
+  // the cost model's SQL calibration factor. The nUDF workload is excluded —
+  // inference dominates it and both modes share the batching path.
+  std::map<std::string, double> row_seconds;
+  database.set_vectorized(false);
+  database.set_exec_options(
+      {devices.front().get(), ThreadPool::kDefaultMorselSize});
+  for (const auto& w : workloads) {
+    if (w.name == "nudf_batch") continue;
+    row_seconds[w.name] = MedianSeconds(&database, w.sql);
+  }
+  database.set_vectorized(true);
+
   PrintHeader("Morsel-parallel speedup (rows=" + std::to_string(rows) + ")",
               {"Workload", "Threads", "Median(s)", "Speedup"});
   for (const auto& w : workloads) {
@@ -143,6 +157,17 @@ int main() {
       PrintCell(base / s);
       EndRow();
     }
+  }
+
+  PrintHeader("Vectorized vs row path (1 thread)",
+              {"Workload", "Row(s)", "Vector(s)", "Speedup"});
+  for (const auto& w : workloads) {
+    if (row_seconds.count(w.name) == 0) continue;
+    PrintCell(w.name);
+    PrintCell(row_seconds[w.name]);
+    PrintCell(seconds[w.name][1]);
+    PrintCell(row_seconds[w.name] / seconds[w.name][1]);
+    EndRow();
   }
 
   std::FILE* out = std::fopen("BENCH_parallel.json", "w");
@@ -167,7 +192,17 @@ int main() {
       std::fprintf(out, "%s\"%d\": %.3f", t == 0 ? "" : ", ", kThreadCounts[t],
                    base / seconds[w.name][kThreadCounts[t]]);
     }
-    std::fprintf(out, "}}%s\n", i + 1 < workloads.size() ? "," : "");
+    std::fprintf(out, "}");
+    // Flat *_sec leaves: these are the keys the regression guard tracks
+    // (scripts/check_bench_regression.py matches "seconds"/"_sec" suffixes
+    // and additionally requires the registered BENCH_parallel.json keys).
+    std::fprintf(out, ", \"vec_1t_sec\": %.6f, \"vec_8t_sec\": %.6f", base,
+                 seconds[w.name][8]);
+    if (row_seconds.count(w.name) != 0) {
+      std::fprintf(out, ", \"row_1t_sec\": %.6f, \"vector_speedup_1t\": %.3f",
+                   row_seconds[w.name], row_seconds[w.name] / base);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < workloads.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"metrics_snapshot\": %s\n",

@@ -29,6 +29,28 @@ import json
 import os
 import sys
 
+# Key metrics that must be present in BOTH the fresh output and the committed
+# snapshot whenever the named file is compared. Auto-discovery above catches
+# any seconds-like leaf, but these registered keys guard the metrics the
+# repo's conclusions rest on (the vectorized-vs-row timings re-derive the
+# cost model's SQL calibration factor): if a bench silently stops emitting
+# one, the check fails instead of comparing a shrunken key set.
+REQUIRED_KEYS = {
+    "BENCH_parallel.json": [
+        "workloads[filter].row_1t_sec",
+        "workloads[filter].vec_1t_sec",
+        "workloads[filter].vec_8t_sec",
+        "workloads[join].row_1t_sec",
+        "workloads[join].vec_1t_sec",
+        "workloads[join].vec_8t_sec",
+        "workloads[aggregate].row_1t_sec",
+        "workloads[aggregate].vec_1t_sec",
+        "workloads[aggregate].vec_8t_sec",
+        "workloads[nudf_batch].vec_1t_sec",
+        "workloads[nudf_batch].vec_8t_sec",
+    ],
+}
+
 
 def seconds_leaves(node, prefix=""):
     """Yields (path, value) for every seconds-like numeric leaf."""
@@ -112,9 +134,16 @@ def main():
     regressions = []
     missing_baseline_keys = []
     compared = 0
+    missing_required = []
     for name in common:
         base = dict(seconds_leaves(load(os.path.join(baseline_dir, name))))
         fresh = dict(seconds_leaves(load(os.path.join(fresh_dir, name))))
+        for key in REQUIRED_KEYS.get(name, []):
+            for side, leaves in (("fresh", fresh), ("baseline", base)):
+                if key not in leaves:
+                    print(f"ERROR: {name}:{key} (registered key metric) "
+                          f"missing from {side} output")
+                    missing_required.append((name, key, side))
         for path in sorted(base.keys() | fresh.keys()):
             if path not in base:
                 # A bench now reports a timing the committed snapshot has
@@ -142,6 +171,12 @@ def main():
 
     print(f"\ncompared {compared} seconds-like leaves across "
           f"{len(common)} file(s), threshold {threshold_pct:.0f}%")
+    if missing_required:
+        print(f"FAIL: {len(missing_required)} registered key metric(s) "
+              "missing:")
+        for name, key, side in missing_required:
+            print(f"  {name}:{key} ({side})")
+        return 1
     if missing_baseline_keys:
         print(f"FAIL: {len(missing_baseline_keys)} fresh key(s) without a "
               "committed baseline; refresh the BENCH_*.json snapshot(s):")

@@ -21,22 +21,31 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-echo "== CI pass 1/6: default build =="
+echo "== CI pass 1/7: default build =="
 run_suite build-ci
 
-echo "== CI pass 2/6: ThreadSanitizer build =="
+echo "== CI pass 2/7: vectorized execution off (results must stay identical) =="
+# The batch-at-a-time engine must be a pure performance change: rerunning the
+# whole suite with DL2SQL_VECTOR=OFF pins the row-path fallback and proves
+# nothing observable depends on which execution mode ran.
+DL2SQL_VECTOR=OFF ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
+
+echo "== CI pass 3/7: ThreadSanitizer build =="
 run_suite build-ci-tsan -DDL2SQL_SANITIZE=thread
 
-echo "== CI pass 3/6: tracing + cache + server tests under TSAN =="
+echo "== CI pass 4/7: tracing + cache + server + vector tests under TSAN =="
 # Redundant with the full TSAN suite above, but pinned by name so the
-# concurrency-sensitive observability and caching tests cannot silently drop
-# out of coverage if the suite layout changes.
-ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters|cache|server"
+# concurrency-sensitive observability, caching, and vectorized-kernel tests
+# (string-comparison and hash kernels run from pool workers) cannot silently
+# drop out of coverage if the suite layout changes.
+ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters|cache|server|vector"
 
-echo "== CI pass 4/6: AddressSanitizer+UBSan build =="
+echo "== CI pass 5/7: AddressSanitizer+UBSan build =="
+# UBSan also proves the SIMD-friendly batch kernels clean: the float->int64
+# canonicalization in the hash/compare kernels guards its casts explicitly.
 run_suite build-ci-asan -DDL2SQL_SANITIZE=address
 
-echo "== CI pass 5/6: tracing-overhead guard =="
+echo "== CI pass 6/7: tracing-overhead guard =="
 # Tracing compiled in but runtime-disabled must stay under the overhead
 # budget (default 5%; DL2SQL_TRACE_OVERHEAD_PCT overrides on noisy hosts),
 # and enabled tracing must actually record spans. Uses the default
@@ -45,7 +54,7 @@ cmake --build build-ci -j "${JOBS}" --target bench_trace_overhead
 ./build-ci/bench/bench_trace_overhead
 ./build-ci/bench/bench_trace_overhead --enabled
 
-echo "== CI pass 6/6: server smoke over TCP =="
+echo "== CI pass 7/7: server smoke over TCP =="
 # Boots lindb_server, drives it with lindb_client through a query script,
 # diffs the output against the committed golden file, scrapes /metrics over
 # HTTP (Prometheus text exposition) and scans system.queries (both must be

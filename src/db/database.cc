@@ -13,6 +13,9 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "db/exec/row_key.h"
+#include "db/exec/vector_aggregate.h"
+#include "db/exec/vector_batch.h"
+#include "db/exec/vector_kernels.h"
 #include "db/sql/printer.h"
 #include "db/system_tables.h"
 
@@ -21,6 +24,13 @@ namespace dl2sql::db {
 thread_local Database::QueryTally* Database::tls_tally_ = nullptr;
 
 namespace {
+
+/// Vectorized-kernel stats drained since the innermost ExecNode wrapper
+/// last claimed them (ExplainAnalyze node-stats collection only). Operators
+/// drain their contexts on the query's calling thread, and each wrapper
+/// takes the pending stats right after its operator finishes, so the stats a
+/// wrapper claims belong to exactly its own operator.
+thread_local vec::VectorOpStats tls_pending_vec_stats;
 
 /// A memoized optimized plan plus everything needed to prove it is still
 /// valid: the catalog version of every relation it resolved, and the cost
@@ -44,6 +54,17 @@ CacheOptions DefaultCacheOptions() {
     }
   }
   return opts;
+}
+
+/// DL2SQL_VECTOR=OFF|off|0 disables batch-at-a-time vectorized execution at
+/// construction, forcing the original row paths everywhere (the off-vs-on
+/// bit-identity baseline and the CI rerun leg).
+bool DefaultVectorEnabled() {
+  if (const char* env = std::getenv("DL2SQL_VECTOR")) {
+    const std::string v = env;
+    if (v == "OFF" || v == "off" || v == "0") return false;
+  }
+  return true;
 }
 
 /// DL2SQL_INTROSPECTION=OFF|off|0 disables the system.* tables and query
@@ -98,6 +119,7 @@ void ChargeOperator(CostAccumulator* costs, const std::string& bucket,
 
 Database::Database()
     : cache_options_(DefaultCacheOptions()),
+      vectorized_(DefaultVectorEnabled()),
       introspection_options_(DefaultIntrospectionOptions()) {
   RebuildCaches();
   // Model reload: replacing a neural UDF with a different fingerprint drops
@@ -157,6 +179,7 @@ EvalContext Database::MakeEvalContext() {
   EvalContext ctx;
   ctx.udfs = &udfs_;
   ctx.costs = costs_;
+  ctx.vectorized = vectorized_;
   ctx.nudf_cache = nudf_cache_.get();
   ctx.batch_sink = nudf_batch_sink_;
   if (exec_options_.device != nullptr) {
@@ -184,6 +207,26 @@ double Database::DrainEvalContext(const EvalContext& ctx) {
   if (QueryTally* tally = tls_tally_) {
     tally->neural_calls += ctx.neural_calls;
     tally->nudf_cache_hits += ctx.nudf_cache_hits;
+    tally->vector_batches += ctx.vec_batches;
+  }
+  if (ctx.vec_batches > 0) {
+    static Counter* const batches_counter =
+        MetricsRegistry::Global().counter("db.vector.batches");
+    static Counter* const rows_counter =
+        MetricsRegistry::Global().counter("db.vector.rows");
+    static Counter* const selected_counter =
+        MetricsRegistry::Global().counter("db.vector.selected");
+    batches_counter->Increment(ctx.vec_batches);
+    rows_counter->Increment(ctx.vec_rows_in);
+    selected_counter->Increment(ctx.vec_rows_selected);
+    if (collect_node_stats_) {
+      // Parked per-thread until the enclosing ExecNode wrapper claims it for
+      // its NodeRunStats; children consume their own drains first, so a
+      // parent wrapper only ever sees its own operators' kernels.
+      tls_pending_vec_stats.batches += ctx.vec_batches;
+      tls_pending_vec_stats.rows_in += ctx.vec_rows_in;
+      tls_pending_vec_stats.rows_selected += ctx.vec_rows_selected;
+    }
   }
   return ctx.inference_seconds;
 }
@@ -240,6 +283,7 @@ Result<Table> Database::ExecuteStatementRecorded(const Statement& stmt,
   rec.session_id = hints.session_id;
   rec.peak_operator_bytes = tally.peak_operator_bytes;
   rec.operator_rows = tally.operator_rows;
+  rec.vector_batches = tally.vector_batches;
   rec.end_micros = TraceCollector::NowMicros();
   query_log_->Record(rec);
 
@@ -460,9 +504,18 @@ Result<Table> Database::ExecNode(const PlanNode& node) {
   auto result = ExecNodeImpl(node);
   const double elapsed = watch.ElapsedSeconds();
 
+  // Claim the vectorized-kernel stats this operator's context drains parked
+  // on this thread. Child operators ran inside ExecNodeImpl through their
+  // own ExecNode wrappers, which already claimed theirs.
+  const vec::VectorOpStats vstats = tls_pending_vec_stats;
+  tls_pending_vec_stats = vec::VectorOpStats{};
+
   std::lock_guard<std::mutex> lock(node_stats_mu_);
   NodeRunStats& stats = node_stats_[&node];
   stats.cumulative_seconds += elapsed;
+  stats.vec_batches += vstats.batches;
+  stats.vec_rows_in += vstats.rows_in;
+  stats.vec_rows_selected += vstats.rows_selected;
   if (result.ok()) {
     stats.rows += result->num_rows();
     stats.output_bytes =
@@ -530,6 +583,20 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
                     std::max(0.0, it->second.cumulative_seconds - children),
                     static_cast<long long>(it->second.output_bytes));
       out += buf;
+      // Vectorized-kernel profile: batches processed and average
+      // selection-vector density (rows surviving selection / rows entering
+      // the kernels). Omitted for nodes that ran the row path.
+      if (it->second.vec_batches > 0) {
+        const double density =
+            it->second.vec_rows_in > 0
+                ? static_cast<double>(it->second.vec_rows_selected) /
+                      static_cast<double>(it->second.vec_rows_in)
+                : 0.0;
+        char vbuf[64];
+        std::snprintf(vbuf, sizeof(vbuf), " [batches=%lld, sel_density=%.2f]",
+                      static_cast<long long>(it->second.vec_batches), density);
+        out += vbuf;
+      }
       // Per-worker parallelism breakdown: seconds each pool worker spent
       // inside morsel bodies while this subtree ran. Omitted for nodes whose
       // subtree never touched the pool.
@@ -863,6 +930,68 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
             for (int64_t b : it->second) emit_into(out, b, p);
             return Status::OK();
           }));
+    } else if (ctx.vectorized) {
+      // Vectorized generic path: null flags and canonical key hashes are
+      // computed a batch at a time into preallocated arrays (disjoint morsel
+      // writes, so the loop parallelizes without synchronization), replacing
+      // the per-row EncodeRowKey string allocations. Buckets hold build rows
+      // in row order and probes verify candidates with exact canonical-key
+      // equality, so the emitted pair order is identical to the string-keyed
+      // row path for every thread count.
+      const int64_t bn = build_table.num_rows();
+      const int64_t pn = probe_table.num_rows();
+      std::vector<uint64_t> bhash(static_cast<size_t>(bn));
+      std::vector<uint64_t> phash(static_cast<size_t>(pn));
+      std::vector<uint8_t> bnull(static_cast<size_t>(bn));
+      std::vector<uint8_t> pnull(static_cast<size_t>(pn));
+      auto batch_keys = [&](const std::vector<const Column*>& keys, int64_t kn,
+                            uint64_t* hash, uint8_t* null_flags) -> Status {
+        const int64_t m = ctx.morsel_size;
+        auto body = [&](int64_t bgn, int64_t end, int) -> Status {
+          vec::KeyNullRange(keys, bgn, end, null_flags + bgn);
+          vec::HashKeyRange(keys, bgn, end, hash + bgn);
+          return Status::OK();
+        };
+        // Per-row output slots are disjoint, so any wired pool can run the
+        // loop (it degrades to inline execution for single-threaded pools
+        // and single-morsel inputs); this keeps pool accounting and trace
+        // spans identical to the row path.
+        if (ctx.pool != nullptr) {
+          DL2SQL_RETURN_NOT_OK(ctx.pool->ParallelForMorsel(kn, m, body));
+        } else {
+          for (int64_t b = 0; b < kn; b += m) {
+            DL2SQL_RETURN_NOT_OK(body(b, std::min(kn, b + m), 0));
+          }
+        }
+        ctx.vec_batches += kn == 0 ? 0 : (kn + m - 1) / m;
+        ctx.vec_rows_in += kn;
+        ctx.vec_rows_selected += kn;
+        return Status::OK();
+      };
+      DL2SQL_RETURN_NOT_OK(
+          batch_keys(build_keys, bn, bhash.data(), bnull.data()));
+      DL2SQL_RETURN_NOT_OK(
+          batch_keys(probe_keys, pn, phash.data(), pnull.data()));
+      std::unordered_map<uint64_t, std::vector<int64_t>> build;
+      build.reserve(static_cast<size_t>(bn));
+      for (int64_t r = 0; r < bn; ++r) {
+        if (bnull[static_cast<size_t>(r)] != 0) continue;
+        build[bhash[static_cast<size_t>(r)]].push_back(r);
+      }
+      DL2SQL_RETURN_NOT_OK(run_probe(
+          pn,
+          [&](int64_t p,
+              std::vector<std::pair<int64_t, int64_t>>* out) -> Status {
+            if (pnull[static_cast<size_t>(p)] != 0) return Status::OK();
+            auto it = build.find(phash[static_cast<size_t>(p)]);
+            if (it == build.end()) return Status::OK();
+            for (int64_t b : it->second) {
+              if (vec::CanonicalKeyRowsEqual(probe_keys, p, build_keys, b)) {
+                emit_into(out, b, p);
+              }
+            }
+            return Status::OK();
+          }));
     } else {
       std::unordered_map<std::string, std::vector<int64_t>> build;
       build.reserve(static_cast<size_t>(build_table.num_rows()));
@@ -970,6 +1099,21 @@ Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
 
   std::vector<const Column*> kptrs;
   for (const auto& c : key_cols) kptrs.push_back(c.get());
+
+  if (ctx.vectorized) {
+    // Batch-at-a-time path: typed per-group accumulators updated by tight
+    // kernels (db/exec/vector_aggregate.h). Falls through to the row path
+    // when any aggregate or argument shape is outside the kernel inventory.
+    Table vout;
+    DL2SQL_ASSIGN_OR_RETURN(
+        bool done, vec::TryVectorAggregate(node, key_cols, arg_cols,
+                                           input.num_rows(), &ctx, &vout));
+    if (done) {
+      const double inf = DrainEvalContext(ctx);
+      ChargeOperator(costs_, "groupby", watch.ElapsedSeconds(), inf);
+      return vout;
+    }
+  }
 
   struct Group {
     int64_t first_row;

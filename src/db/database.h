@@ -108,6 +108,14 @@ class Database {
   void set_exec_options(ExecOptions opts) { exec_options_ = opts; }
   const ExecOptions& exec_options() const { return exec_options_; }
 
+  /// Batch-at-a-time vectorized execution (see DESIGN.md, "Vectorized
+  /// execution"). Default ON; the environment variable DL2SQL_VECTOR=OFF
+  /// (or "off"/"0") disables it at Database construction, and tests flip it
+  /// per-instance for the off-vs-on bit-identity suite. Off runs the exact
+  /// pre-vectorization row paths.
+  void set_vectorized(bool on) { vectorized_ = on; }
+  bool vectorized() const { return vectorized_; }
+
   /// Reconfigures the cross-query caches. Rebuilds (and therefore clears)
   /// both; disabled caches are destroyed so the engine runs the exact
   /// pre-cache code paths, which is how the ablation bench and the
@@ -231,6 +239,12 @@ class Database {
     /// Seconds each pool worker spent inside morsel bodies while this node
     /// (or its subtree) executed; empty when no pool is wired.
     std::vector<double> worker_busy_seconds;
+    /// \name Vectorized-kernel profile (zero when the node ran the row path)
+    /// @{
+    int64_t vec_batches = 0;
+    int64_t vec_rows_in = 0;
+    int64_t vec_rows_selected = 0;
+    /// @}
   };
 
   /// Per-query tallies accumulated while a recorded statement executes,
@@ -243,6 +257,8 @@ class Database {
     bool plan_cache_hit = false;
     int64_t operator_rows = 0;
     int64_t peak_operator_bytes = 0;
+    /// Vectorized batches processed across all operators of the statement.
+    int64_t vector_batches = 0;
   };
 
   Result<Table> ExecNode(const PlanNode& node);
@@ -289,6 +305,8 @@ class Database {
   std::unique_ptr<ShardedLruCache> plan_cache_;
   CostAccumulator* costs_ = nullptr;
   NudfBatchSink* nudf_batch_sink_ = nullptr;
+  /// Batch-at-a-time vectorized execution toggle (DL2SQL_VECTOR).
+  bool vectorized_ = true;
   IntrospectionOptions introspection_options_;
   std::atomic<double> slow_query_ms_{250.0};
   /// Ring behind system.queries; null when introspection is disabled.

@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "db/exec/vector_filter.h"
 
 namespace dl2sql::db {
 
@@ -914,6 +915,15 @@ Result<DataType> InferExprType(const Expr& e, const TableSchema& schema,
 
 Result<std::vector<int64_t>> FilterRows(const Expr& predicate,
                                         const Table& input, EvalContext* ctx) {
+  if (ctx != nullptr && ctx->vectorized) {
+    // Batch-at-a-time path: compile the predicate to selection-vector
+    // kernels and skip boolean-mask materialization entirely. Falls through
+    // to the row path when the predicate doesn't compile.
+    std::vector<int64_t> vrows;
+    DL2SQL_ASSIGN_OR_RETURN(bool done,
+                            vec::TryVectorFilter(predicate, input, ctx, &vrows));
+    if (done) return vrows;
+  }
   DL2SQL_ASSIGN_OR_RETURN(ColumnHandle mask, EvalExpr(predicate, input, ctx));
   if (mask->type() != DataType::kBool) {
     return Status::TypeError("filter predicate must be BOOL, got ",

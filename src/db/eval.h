@@ -74,6 +74,20 @@ struct EvalContext {
   /// UDFs with a non-zero fingerprint; nullptr keeps the direct invocation
   /// path bit-for-bit unchanged.
   NudfBatchSink* batch_sink = nullptr;
+  /// When true, operators attempt the batch-at-a-time vectorized kernels
+  /// (db/exec/vector_*.h) before the row path; kernels that cannot compile
+  /// the expression/key shape fall back silently with identical results.
+  /// Off (DL2SQL_VECTOR=OFF) forces the row path everywhere.
+  bool vectorized = false;
+  /// \name Vectorized-kernel accounting (folded by DrainEvalContext)
+  /// Batches processed, rows entering kernels, and rows surviving selection;
+  /// `vec_rows_selected / vec_rows_in` is the average selection-vector
+  /// density ExplainAnalyze reports per operator.
+  /// @{
+  int64_t vec_batches = 0;
+  int64_t vec_rows_in = 0;
+  int64_t vec_rows_selected = 0;
+  /// @}
 };
 
 /// Shared, possibly non-owning column handle (column refs alias the input

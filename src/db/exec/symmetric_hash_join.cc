@@ -6,6 +6,7 @@
 
 #include "common/trace.h"
 #include "db/exec/row_key.h"
+#include "db/exec/vector_kernels.h"
 
 namespace dl2sql::db {
 
@@ -77,6 +78,26 @@ struct SideState {
 Result<std::vector<std::string>> BatchKeys(const Table& table, const Expr& key,
                                            int64_t begin, int64_t end,
                                            EvalContext* ctx) {
+  // Vectorized fast path for plain column keys (the common shape of the
+  // generated equi joins): encode straight off the source column with the
+  // batched kernel — no table slice, no expression evaluation, byte-identical
+  // key strings either way.
+  if (ctx != nullptr && ctx->vectorized && key.kind == ExprKind::kColumnRef) {
+    int idx = key.bound_index;
+    if (idx < 0) {
+      auto found = table.schema().Find(key.column_name);
+      if (found.ok()) idx = *found;
+    }
+    if (idx >= 0 && idx < table.num_columns()) {
+      std::vector<std::string> keys;
+      keys.reserve(static_cast<size_t>(end - begin));
+      vec::EncodeColumnKeysRange(table.column(idx), begin, end, &keys);
+      ++ctx->vec_batches;
+      ctx->vec_rows_in += end - begin;
+      ctx->vec_rows_selected += end - begin;
+      return keys;
+    }
+  }
   std::vector<int64_t> rows;
   rows.reserve(static_cast<size_t>(end - begin));
   for (int64_t r = begin; r < end; ++r) rows.push_back(r);

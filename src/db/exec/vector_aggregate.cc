@@ -1,0 +1,492 @@
+#include "db/exec/vector_aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "accel/thread_pool.h"
+#include "common/trace.h"
+#include "db/exec/vector_batch.h"
+#include "db/exec/vector_kernels.h"
+
+namespace dl2sql::db::vec {
+
+namespace {
+
+/// Composite key for the two-int64 fast path (batched pipelines group on
+/// (BatchID, TupleID)-style pairs); same shape as the row path's.
+struct Int2Key {
+  int64_t a;
+  int64_t b;
+  bool operator==(const Int2Key& o) const { return a == o.a && b == o.b; }
+};
+
+struct Int2KeyHash {
+  size_t operator()(const Int2Key& k) const {
+    uint64_t x = static_cast<uint64_t>(k.a) * 0x9e3779b97f4a7c15ull;
+    x ^= static_cast<uint64_t>(k.b) + 0x9e3779b97f4a7c15ull + (x << 6) +
+         (x >> 2);
+    return static_cast<size_t>(x);
+  }
+};
+
+/// One aggregate compiled to a typed accumulation kernel.
+struct VAggSpec {
+  enum class Kind : uint8_t {
+    kCountStar,
+    kCountAll,   ///< COUNT over a no-null non-bool column: every row counts
+    kCountBool,  ///< COUNT over a no-null bool column: TRUE rows count
+    kSumInt,     ///< SUM/AVG/STDDEV int64 source
+    kSumFloat,
+    kMinMaxInt,
+    kMinMaxFloat,
+  };
+  Kind kind = Kind::kCountStar;
+  const Column* arg = nullptr;
+  bool want_min = false;
+};
+
+/// Groups in first-seen order with per-aggregate contiguous state arrays
+/// (states[a][gid]), the layout the accumulation kernels stream over.
+struct GroupSet {
+  std::vector<int64_t> first_row;
+  std::vector<std::vector<VAggState>> per_agg;
+
+  explicit GroupSet(size_t num_aggs) : per_agg(num_aggs) {}
+
+  size_t size() const { return first_row.size(); }
+
+  void SyncStates() {
+    for (auto& states : per_agg) states.resize(first_row.size());
+  }
+};
+
+/// Runs the compiled kernels for one morsel: `gids[i]` is the group of row
+/// `bgn + i`. States must already be sized (SyncStates).
+void AccumulateMorsel(const std::vector<VAggSpec>& specs, int64_t bgn,
+                      SelIndex rows, const SelIndex* gids, GroupSet* gs) {
+  for (size_t a = 0; a < specs.size(); ++a) {
+    const VAggSpec& s = specs[a];
+    VAggState* states = gs->per_agg[a].data();
+    switch (s.kind) {
+      case VAggSpec::Kind::kCountStar:
+      case VAggSpec::Kind::kCountAll:
+        AccumulateCount(gids, rows, states);
+        break;
+      case VAggSpec::Kind::kCountBool:
+        AccumulateCountBool(s.arg->bools().data() + bgn, gids, rows, states);
+        break;
+      case VAggSpec::Kind::kSumInt:
+        AccumulateSumInt(s.arg->ints().data() + bgn, gids, rows, states);
+        break;
+      case VAggSpec::Kind::kSumFloat:
+        AccumulateSumFloat(s.arg->floats().data() + bgn, gids, rows, states);
+        break;
+      case VAggSpec::Kind::kMinMaxInt:
+        AccumulateMinMaxInt(s.arg->ints().data() + bgn, gids, rows,
+                            s.want_min, states);
+        break;
+      case VAggSpec::Kind::kMinMaxFloat:
+        AccumulateMinMaxFloat(s.arg->floats().data() + bgn, gids, rows,
+                              s.want_min, states);
+        break;
+    }
+  }
+}
+
+/// Per-worker (or serial) grouping state for the generic key shape: morsel
+/// keys are hashed in one batch, then candidates are resolved through a
+/// hash -> gid-list map with exact canonical-key verification.
+struct HashedIndex {
+  std::unordered_map<uint64_t, std::vector<SelIndex>> map;
+  std::vector<uint64_t> hash_buf;
+
+  SelIndex FindOrInsert(const std::vector<const Column*>& kptrs, int64_t row,
+                        uint64_t hash, GroupSet* gs) {
+    std::vector<SelIndex>& bucket = map[hash];
+    for (SelIndex gid : bucket) {
+      if (CanonicalKeyRowsEqual(kptrs, row, kptrs,
+                                gs->first_row[static_cast<size_t>(gid)])) {
+        return gid;
+      }
+    }
+    const SelIndex gid = static_cast<SelIndex>(gs->size());
+    bucket.push_back(gid);
+    gs->first_row.push_back(row);
+    return gid;
+  }
+};
+
+/// Assigns a gid to every row of [bgn, end) for one key shape, growing `gs`.
+/// The three strategies mirror the row path's index selection exactly.
+class Grouper {
+ public:
+  enum class Kind : uint8_t { kGlobal, kInt1, kInt2, kHashed };
+
+  static Grouper Make(const std::vector<const Column*>& kptrs) {
+    Grouper g;
+    g.kptrs_ = kptrs;
+    auto int_keys = [&](size_t count) {
+      if (kptrs.size() != count) return false;
+      for (const Column* k : kptrs) {
+        if (k->type() != DataType::kInt64 || k->HasNulls()) return false;
+      }
+      return true;
+    };
+    if (kptrs.empty()) {
+      g.kind_ = Kind::kGlobal;
+    } else if (int_keys(1)) {
+      g.kind_ = Kind::kInt1;
+    } else if (int_keys(2)) {
+      g.kind_ = Kind::kInt2;
+    } else {
+      g.kind_ = Kind::kHashed;
+    }
+    return g;
+  }
+
+  void AssignGids(int64_t bgn, int64_t end, SelIndex* gids, GroupSet* gs) {
+    const SelIndex rows = static_cast<SelIndex>(end - bgn);
+    switch (kind_) {
+      case Kind::kGlobal: {
+        if (gs->first_row.empty() && rows > 0) gs->first_row.push_back(bgn);
+        for (SelIndex i = 0; i < rows; ++i) gids[i] = 0;
+        return;
+      }
+      case Kind::kInt1: {
+        const int64_t* keys = kptrs_[0]->ints().data();
+        for (SelIndex i = 0; i < rows; ++i) {
+          const int64_t row = bgn + i;
+          auto [it, inserted] =
+              int1_.try_emplace(keys[row], static_cast<SelIndex>(gs->size()));
+          if (inserted) gs->first_row.push_back(row);
+          gids[i] = it->second;
+        }
+        return;
+      }
+      case Kind::kInt2: {
+        const int64_t* k0 = kptrs_[0]->ints().data();
+        const int64_t* k1 = kptrs_[1]->ints().data();
+        for (SelIndex i = 0; i < rows; ++i) {
+          const int64_t row = bgn + i;
+          auto [it, inserted] = int2_.try_emplace(
+              Int2Key{k0[row], k1[row]}, static_cast<SelIndex>(gs->size()));
+          if (inserted) gs->first_row.push_back(row);
+          gids[i] = it->second;
+        }
+        return;
+      }
+      case Kind::kHashed: {
+        hashed_.hash_buf.resize(static_cast<size_t>(rows));
+        HashKeyRange(kptrs_, bgn, end, hashed_.hash_buf.data());
+        for (SelIndex i = 0; i < rows; ++i) {
+          gids[i] = hashed_.FindOrInsert(kptrs_, bgn + i,
+                                         hashed_.hash_buf[static_cast<size_t>(i)],
+                                         gs);
+        }
+        return;
+      }
+    }
+  }
+
+  /// Merge-time lookup: the gid of `row`'s key in `gs`, or inserts it.
+  SelIndex MergeFindOrInsert(int64_t row, GroupSet* gs) {
+    switch (kind_) {
+      case Kind::kGlobal: {
+        if (gs->first_row.empty()) {
+          gs->first_row.push_back(row);
+        }
+        return 0;
+      }
+      case Kind::kInt1: {
+        const int64_t* keys = kptrs_[0]->ints().data();
+        auto [it, inserted] =
+            int1_.try_emplace(keys[row], static_cast<SelIndex>(gs->size()));
+        if (inserted) gs->first_row.push_back(row);
+        return it->second;
+      }
+      case Kind::kInt2: {
+        const int64_t* k0 = kptrs_[0]->ints().data();
+        const int64_t* k1 = kptrs_[1]->ints().data();
+        auto [it, inserted] = int2_.try_emplace(
+            Int2Key{k0[row], k1[row]}, static_cast<SelIndex>(gs->size()));
+        if (inserted) gs->first_row.push_back(row);
+        return it->second;
+      }
+      case Kind::kHashed:
+        return hashed_.FindOrInsert(kptrs_, row, HashKeyRow(kptrs_, row), gs);
+    }
+    return 0;
+  }
+
+ private:
+  Kind kind_ = Kind::kGlobal;
+  std::vector<const Column*> kptrs_;
+  std::unordered_map<int64_t, SelIndex> int1_;
+  std::unordered_map<Int2Key, SelIndex, Int2KeyHash> int2_;
+  HashedIndex hashed_;
+};
+
+bool CompileAggs(const PlanNode& node,
+                 const std::vector<ColumnHandle>& arg_cols,
+                 std::vector<VAggSpec>* specs) {
+  for (size_t a = 0; a < node.agg_calls.size(); ++a) {
+    const AggFunc f = node.agg_calls[a]->agg_func;
+    VAggSpec s;
+    if (f == AggFunc::kCountStar) {
+      s.kind = VAggSpec::Kind::kCountStar;
+      specs->push_back(s);
+      continue;
+    }
+    const Column* arg = arg_cols[a].get();
+    // NULL-bearing arguments keep the row path's skip-NULL semantics; the
+    // whole operator falls back rather than special-casing validity here.
+    if (arg == nullptr || arg->HasNulls() || arg->type() == DataType::kNull) {
+      return false;
+    }
+    s.arg = arg;
+    switch (f) {
+      case AggFunc::kCount:
+        s.kind = arg->type() == DataType::kBool ? VAggSpec::Kind::kCountBool
+                                                : VAggSpec::Kind::kCountAll;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+      case AggFunc::kStddevSamp:
+        if (arg->type() == DataType::kInt64) {
+          s.kind = VAggSpec::Kind::kSumInt;
+        } else if (arg->type() == DataType::kFloat64) {
+          s.kind = VAggSpec::Kind::kSumFloat;
+        } else {
+          return false;
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        // String MIN/MAX stays on the row path (Value comparison).
+        if (arg->type() == DataType::kInt64) {
+          s.kind = VAggSpec::Kind::kMinMaxInt;
+        } else if (arg->type() == DataType::kFloat64) {
+          s.kind = VAggSpec::Kind::kMinMaxFloat;
+        } else {
+          return false;
+        }
+        s.want_min = f == AggFunc::kMin;
+        break;
+      case AggFunc::kCountStar:
+        break;
+    }
+    specs->push_back(s);
+  }
+  return true;
+}
+
+/// Converts the typed states back into exactly the Values the row path
+/// emits (same formulas, same NULL rules, same column types).
+Result<Table> EmitGroups(const PlanNode& node,
+                         const std::vector<ColumnHandle>& key_cols,
+                         const std::vector<ColumnHandle>& arg_cols,
+                         const std::vector<VAggSpec>& specs,
+                         const GroupSet& gs) {
+  const size_t num_groups = gs.size();
+  std::vector<Column> out_cols;
+  TableSchema out_schema;
+  for (size_t k = 0; k < key_cols.size(); ++k) {
+    Column c(key_cols[k]->type());
+    c.Reserve(static_cast<int64_t>(num_groups));
+    for (int64_t row : gs.first_row) {
+      DL2SQL_RETURN_NOT_OK(c.Append(key_cols[k]->GetValue(row)));
+    }
+    out_schema.AddField({node.group_names[k], c.type()});
+    out_cols.push_back(std::move(c));
+  }
+  for (size_t a = 0; a < specs.size(); ++a) {
+    const AggFunc f = node.agg_calls[a]->agg_func;
+    DataType t;
+    switch (f) {
+      case AggFunc::kCount:
+      case AggFunc::kCountStar:
+        t = DataType::kInt64;
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        t = arg_cols[a] != nullptr ? arg_cols[a]->type() : DataType::kFloat64;
+        break;
+      default:
+        t = DataType::kFloat64;
+        break;
+    }
+    Column c(t);
+    c.Reserve(static_cast<int64_t>(num_groups));
+    const bool int_minmax = specs[a].kind == VAggSpec::Kind::kMinMaxInt;
+    for (size_t g = 0; g < num_groups; ++g) {
+      const VAggState& st = gs.per_agg[a][g];
+      Value v;
+      switch (f) {
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          v = Value::Int(st.count);
+          break;
+        case AggFunc::kSum:
+          v = st.count == 0 ? Value::Null() : Value::Float(st.sum);
+          break;
+        case AggFunc::kAvg:
+          v = st.count == 0
+                  ? Value::Null()
+                  : Value::Float(st.sum / static_cast<double>(st.count));
+          break;
+        case AggFunc::kStddevSamp: {
+          if (st.count < 2) {
+            v = Value::Null();
+            break;
+          }
+          const double mean = st.sum / static_cast<double>(st.count);
+          const double var =
+              (st.sumsq - static_cast<double>(st.count) * mean * mean) /
+              static_cast<double>(st.count - 1);
+          v = Value::Float(std::sqrt(std::max(0.0, var)));
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          if (!st.has_minmax) {
+            v = Value::Null();
+          } else if (int_minmax) {
+            v = Value::Int(st.imin_max);
+          } else {
+            v = Value::Float(st.fmin_max);
+          }
+          break;
+      }
+      DL2SQL_RETURN_NOT_OK(c.Append(v));
+    }
+    out_schema.AddField({node.agg_names[a], c.type()});
+    out_cols.push_back(std::move(c));
+  }
+  return Table::FromColumns(std::move(out_schema), std::move(out_cols));
+}
+
+}  // namespace
+
+Result<bool> TryVectorAggregate(const PlanNode& node,
+                                const std::vector<ColumnHandle>& key_cols,
+                                const std::vector<ColumnHandle>& arg_cols,
+                                int64_t n, EvalContext* ctx, Table* out) {
+  std::vector<VAggSpec> specs;
+  if (!CompileAggs(node, arg_cols, &specs)) return false;
+
+  DL2SQL_TRACE_SPAN("vector", "aggregate");
+  std::vector<const Column*> kptrs;
+  for (const auto& c : key_cols) kptrs.push_back(c.get());
+
+  const size_t num_aggs = specs.size();
+  const int64_t m = ctx != nullptr && ctx->morsel_size > 0
+                        ? ctx->morsel_size
+                        : ThreadPool::kDefaultMorselSize;
+  const int64_t num_morsels = n == 0 ? 0 : (n + m - 1) / m;
+  const bool parallel = ctx != nullptr && ctx->pool != nullptr &&
+                        ctx->pool->num_threads() > 1 && n > m;
+
+  GroupSet merged(num_aggs);
+  if (!parallel) {
+    Grouper grouper = Grouper::Make(kptrs);
+    std::vector<SelIndex> gids;
+    auto body = [&](int64_t bgn, int64_t end, int) -> Status {
+      gids.resize(static_cast<size_t>(end - bgn));
+      grouper.AssignGids(bgn, end, gids.data(), &merged);
+      merged.SyncStates();
+      AccumulateMorsel(specs, bgn, static_cast<SelIndex>(end - bgn),
+                       gids.data(), &merged);
+      return Status::OK();
+    };
+    if (ctx != nullptr && ctx->pool != nullptr) {
+      // With a pool wired, drive the loop through ParallelForMorsel for pool
+      // accounting and trace parity with the row path. The !parallel branch
+      // conditions (single-threaded pool or n <= m) guarantee it executes
+      // inline, morsel-at-a-time, so the shared grouper state stays serial.
+      DL2SQL_RETURN_NOT_OK(ctx->pool->ParallelForMorsel(n, m, body));
+    } else {
+      for (int64_t bgn = 0; bgn < n; bgn += m) {
+        DL2SQL_RETURN_NOT_OK(body(bgn, std::min(n, bgn + m), 0));
+      }
+    }
+  } else {
+    const int workers = ctx->pool->num_threads();
+    std::vector<GroupSet> wsets(static_cast<size_t>(workers),
+                                GroupSet(num_aggs));
+    std::vector<Grouper> wgroupers(static_cast<size_t>(workers));
+    for (auto& g : wgroupers) g = Grouper::Make(kptrs);
+    std::vector<std::vector<SelIndex>> wgids(static_cast<size_t>(workers));
+    DL2SQL_RETURN_NOT_OK(ctx->pool->ParallelForMorsel(
+        n, m, [&](int64_t bgn, int64_t end, int w) -> Status {
+          GroupSet& gs = wsets[static_cast<size_t>(w)];
+          std::vector<SelIndex>& gids = wgids[static_cast<size_t>(w)];
+          gids.resize(static_cast<size_t>(end - bgn));
+          wgroupers[static_cast<size_t>(w)].AssignGids(bgn, end, gids.data(),
+                                                       &gs);
+          gs.SyncStates();
+          AccumulateMorsel(specs, bgn, static_cast<SelIndex>(end - bgn),
+                           gids.data(), &gs);
+          return Status::OK();
+        }));
+    // Worker-order merge with min-first_row + additive fold, then a sort by
+    // first_row — the exact structure of the row path's parallel merge, so
+    // group order is identical for any thread count.
+    Grouper merger = Grouper::Make(kptrs);
+    for (GroupSet& gs : wsets) {
+      for (size_t g = 0; g < gs.size(); ++g) {
+        const int64_t fr = gs.first_row[g];
+        const size_t before = merged.size();
+        const SelIndex gid = merger.MergeFindOrInsert(fr, &merged);
+        const size_t dst = static_cast<size_t>(gid);
+        const bool inserted = merged.size() > before;
+        merged.SyncStates();
+        if (merged.first_row[dst] > fr) merged.first_row[dst] = fr;
+        for (size_t a = 0; a < num_aggs; ++a) {
+          if (inserted) {
+            merged.per_agg[a][dst] = gs.per_agg[a][g];
+          } else {
+            MergeVAggState(&merged.per_agg[a][dst], gs.per_agg[a][g],
+                           specs[a].want_min);
+          }
+        }
+      }
+    }
+    // Restore first-seen order (sort by first_row, permuting states along).
+    std::vector<size_t> order(merged.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return merged.first_row[a] < merged.first_row[b];
+    });
+    GroupSet sorted(num_aggs);
+    sorted.first_row.reserve(merged.size());
+    for (size_t i : order) sorted.first_row.push_back(merged.first_row[i]);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      sorted.per_agg[a].reserve(merged.size());
+      for (size_t i : order) sorted.per_agg[a].push_back(merged.per_agg[a][i]);
+    }
+    merged = std::move(sorted);
+  }
+
+  // Global aggregate over empty input still yields one row.
+  if (kptrs.empty() && merged.size() == 0) {
+    merged.first_row.push_back(-1);
+    merged.SyncStates();
+  }
+
+  DL2SQL_ASSIGN_OR_RETURN(
+      Table result, EmitGroups(node, key_cols, arg_cols, specs, merged));
+  if (ctx != nullptr) {
+    ctx->vec_batches += num_morsels;
+    ctx->vec_rows_in += n;
+    ctx->vec_rows_selected += n;
+  }
+  *out = std::move(result);
+  return true;
+}
+
+}  // namespace dl2sql::db::vec

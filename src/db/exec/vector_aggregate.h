@@ -1,0 +1,33 @@
+/// \file vector_aggregate.h
+/// \brief Batch-at-a-time hash aggregation over typed accumulator arrays.
+///
+/// Group assignment happens morsel-at-a-time (batched canonical key hashing
+/// for the generic key shape, direct typed maps for the hot 1/2-int-key
+/// shapes) producing a gid-per-row buffer; each aggregate then updates its
+/// contiguous per-group state array with one tight typed loop per batch.
+/// Accumulation order within a group is row order — serially the float sums
+/// are bit-identical to the row path, and the parallel worker-order merge
+/// mirrors the row path's MergeAggState fold exactly.
+#pragma once
+
+#include <vector>
+
+#include "db/eval.h"
+#include "db/plan.h"
+#include "db/table.h"
+
+namespace dl2sql::db::vec {
+
+/// Attempts the vectorized aggregation for `node` over pre-evaluated group
+/// keys and aggregate arguments (`n` input rows). Returns true and fills
+/// `out` with the complete result table — identical to the row path's
+/// emission — when every aggregate compiled to a typed kernel; returns false
+/// (out untouched) when any aggregate or key shape is unsupported
+/// (NULL-bearing argument columns, string MIN/MAX, kNull-typed arguments),
+/// in which case the caller must run the row path.
+Result<bool> TryVectorAggregate(const PlanNode& node,
+                                const std::vector<ColumnHandle>& key_cols,
+                                const std::vector<ColumnHandle>& arg_cols,
+                                int64_t n, EvalContext* ctx, Table* out);
+
+}  // namespace dl2sql::db::vec

@@ -1,0 +1,183 @@
+/// \file vector_batch.h
+/// \brief Batch-at-a-time execution primitives: the batch window, selection
+/// vectors, typed operand views and the per-batch scratch arena.
+///
+/// A VectorBatch is a [begin, begin+rows) window over a table's columns —
+/// one morsel of the morsel-parallel driver. Kernels never materialize
+/// per-row Values inside a batch; they read typed column slices directly and
+/// communicate which rows are still live through a selection vector of
+/// in-window indices. Selection vectors are always ascending, so
+/// concatenating per-batch survivor lists in morsel order reproduces the
+/// row-at-a-time result order exactly (see DESIGN.md, "Vectorized
+/// execution").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/column.h"
+
+namespace dl2sql::db::vec {
+
+/// In-window row index. Batches are morsel-sized (<< 2^31 rows), so 32 bits
+/// keep selection vectors cache-resident.
+using SelIndex = int32_t;
+
+/// Per-operator kernel accounting, folded into the EvalContext after the
+/// morsel loop completes (no atomics on the hot path): number of batches
+/// processed, rows entering the operator's kernels, and rows surviving
+/// selection. `rows_selected / rows_in` is the average selection-vector
+/// density ExplainAnalyze reports; kernels without a selection phase (hash,
+/// accumulate) count every input row as selected.
+struct VectorOpStats {
+  int64_t batches = 0;
+  int64_t rows_in = 0;
+  int64_t rows_selected = 0;
+};
+
+/// \brief One batch window over the input plus its live selection vector.
+struct VectorBatch {
+  int64_t begin = 0;   ///< first table row of the window
+  SelIndex rows = 0;   ///< window height (<= morsel size)
+  const SelIndex* sel = nullptr;  ///< ascending in-window survivors
+  SelIndex count = 0;             ///< live entries in `sel`
+};
+
+/// \brief A typed numeric operand inside one batch: a dense column slice
+/// (indexed by in-window row), a sel-compressed scratch buffer (indexed by
+/// selection slot), or an immediate. Kernels receive (slot, row) pairs and
+/// pick the right index per kind, so column data is never gathered just to
+/// line it up with a selection vector.
+struct NumOperand {
+  enum class Kind : uint8_t {
+    kDenseInt,    ///< i64[row]
+    kDenseFloat,  ///< f64[row]
+    kCompInt,     ///< i64[slot] (computed, sel-compressed)
+    kCompFloat,   ///< f64[slot]
+    kImmInt,      ///< imm_i
+    kImmFloat,    ///< imm_f
+  };
+  Kind kind = Kind::kImmFloat;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  int64_t imm_i = 0;
+  double imm_f = 0;
+
+  bool IsInt() const {
+    return kind == Kind::kDenseInt || kind == Kind::kCompInt ||
+           kind == Kind::kImmInt;
+  }
+
+  /// Value as double at selection slot `k` referencing in-window row `r`.
+  double At(SelIndex k, SelIndex r) const {
+    switch (kind) {
+      case Kind::kDenseInt:
+        return static_cast<double>(i64[r]);
+      case Kind::kDenseFloat:
+        return f64[r];
+      case Kind::kCompInt:
+        return static_cast<double>(i64[k]);
+      case Kind::kCompFloat:
+        return f64[k];
+      case Kind::kImmInt:
+        return static_cast<double>(imm_i);
+      case Kind::kImmFloat:
+        return imm_f;
+    }
+    return 0;
+  }
+
+  /// Integer value at (slot, row); only meaningful when IsInt().
+  int64_t AtInt(SelIndex k, SelIndex r) const {
+    switch (kind) {
+      case Kind::kDenseInt:
+        return i64[r];
+      case Kind::kCompInt:
+        return i64[k];
+      case Kind::kImmInt:
+        return imm_i;
+      default:
+        return static_cast<int64_t>(At(k, r));
+    }
+  }
+
+  static NumOperand DenseInt(const int64_t* p) {
+    NumOperand o;
+    o.kind = Kind::kDenseInt;
+    o.i64 = p;
+    return o;
+  }
+  static NumOperand DenseFloat(const double* p) {
+    NumOperand o;
+    o.kind = Kind::kDenseFloat;
+    o.f64 = p;
+    return o;
+  }
+  static NumOperand CompInt(const int64_t* p) {
+    NumOperand o;
+    o.kind = Kind::kCompInt;
+    o.i64 = p;
+    return o;
+  }
+  static NumOperand CompFloat(const double* p) {
+    NumOperand o;
+    o.kind = Kind::kCompFloat;
+    o.f64 = p;
+    return o;
+  }
+  static NumOperand ImmInt(int64_t v) {
+    NumOperand o;
+    o.kind = Kind::kImmInt;
+    o.imm_i = v;
+    return o;
+  }
+  static NumOperand ImmFloat(double v) {
+    NumOperand o;
+    o.kind = Kind::kImmFloat;
+    o.imm_f = v;
+    return o;
+  }
+};
+
+/// \brief Scratch allocator for one batch's intermediates (compressed
+/// expression results, selection-vector ping-pong buffers). Buffers are
+/// recycled across batches of the same morsel-loop body: Reset() rewinds the
+/// cursors without freeing, so steady state performs no allocation.
+class BatchArena {
+ public:
+  int64_t* AcquireI64(int64_t n) { return Acquire(&i64_, &i64_used_, n); }
+  double* AcquireF64(int64_t n) { return Acquire(&f64_, &f64_used_, n); }
+  SelIndex* AcquireSel(int64_t n) { return Acquire(&sel_, &sel_used_, n); }
+
+  /// Rewinds the arena for the next batch; capacity is retained.
+  void Reset() {
+    i64_used_ = 0;
+    f64_used_ = 0;
+    sel_used_ = 0;
+  }
+
+ private:
+  template <typename T>
+  T* Acquire(std::vector<std::unique_ptr<std::vector<T>>>* pool, size_t* used,
+             int64_t n) {
+    if (*used == pool->size()) {
+      pool->push_back(std::make_unique<std::vector<T>>());
+    }
+    std::vector<T>& buf = *(*pool)[*used];
+    if (static_cast<int64_t>(buf.size()) < n) {
+      buf.resize(static_cast<size_t>(n));
+    }
+    ++*used;
+    return buf.data();
+  }
+
+  std::vector<std::unique_ptr<std::vector<int64_t>>> i64_;
+  std::vector<std::unique_ptr<std::vector<double>>> f64_;
+  std::vector<std::unique_ptr<std::vector<SelIndex>>> sel_;
+  size_t i64_used_ = 0;
+  size_t f64_used_ = 0;
+  size_t sel_used_ = 0;
+};
+
+}  // namespace dl2sql::db::vec

@@ -1,0 +1,35 @@
+/// \file vector_filter.h
+/// \brief Batch-at-a-time predicate evaluation producing selection vectors.
+///
+/// The predicate is compiled once into a small tree of typed kernel calls
+/// (column pointers resolved, literals unboxed), then each morsel is
+/// processed as one VectorBatch: comparisons refine the selection vector in
+/// place of materializing full boolean columns, AND refines sequentially,
+/// OR unions two refinements, NOT takes the set difference. Falls back
+/// (returns `false`) whenever the predicate touches anything outside the
+/// kernel inventory — NULL-bearing columns, UDF calls, subqueries, IN
+/// lists, type mixes the row path would route through Value — so the row
+/// evaluator remains the single source of truth for those.
+#pragma once
+
+#include <vector>
+
+#include "db/eval.h"
+#include "db/expr.h"
+#include "db/table.h"
+
+namespace dl2sql::db::vec {
+
+/// Attempts the vectorized filter. Returns true and fills `out_rows` with
+/// the passing row indices (ascending, identical to the row path's
+/// FilterRows order) when the whole predicate compiled to kernels; returns
+/// false — with `out_rows` untouched — when the caller must fall back.
+/// Kernel stats are folded into `ctx` (batches, rows in, rows selected).
+Result<bool> TryVectorFilter(const Expr& predicate, const Table& input,
+                             EvalContext* ctx, std::vector<int64_t>* out_rows);
+
+/// True if `predicate` would take the vectorized path over `input`
+/// (compile-only probe; test and planner introspection).
+bool IsVectorizablePredicate(const Expr& predicate, const Table& input);
+
+}  // namespace dl2sql::db::vec

@@ -76,6 +76,7 @@ struct QueryLog::Slot {
   std::atomic<int64_t> session_id{0};
   std::atomic<int64_t> peak_operator_bytes{0};
   std::atomic<int64_t> operator_rows{0};
+  std::atomic<int64_t> vector_batches{0};
   std::atomic<int64_t> end_micros{0};
   std::atomic<uint16_t> sql_len{0};
   std::atomic<uint16_t> error_len{0};
@@ -112,6 +113,7 @@ void QueryLog::Record(const QueryLogRecord& record) {
   slot.peak_operator_bytes.store(record.peak_operator_bytes,
                                  std::memory_order_relaxed);
   slot.operator_rows.store(record.operator_rows, std::memory_order_relaxed);
+  slot.vector_batches.store(record.vector_batches, std::memory_order_relaxed);
   slot.end_micros.store(record.end_micros, std::memory_order_relaxed);
   slot.sql_len.store(StoreText(slot.sql, record.sql),
                      std::memory_order_relaxed);
@@ -143,6 +145,7 @@ std::vector<QueryLogRecord> QueryLog::Snapshot() const {
     r.peak_operator_bytes =
         slot.peak_operator_bytes.load(std::memory_order_relaxed);
     r.operator_rows = slot.operator_rows.load(std::memory_order_relaxed);
+    r.vector_batches = slot.vector_batches.load(std::memory_order_relaxed);
     r.end_micros = slot.end_micros.load(std::memory_order_relaxed);
     r.sql = LoadText(slot.sql, slot.sql_len.load(std::memory_order_relaxed));
     r.error =

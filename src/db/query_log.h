@@ -49,6 +49,7 @@ struct QueryLogRecord {
   int64_t session_id = 0;         ///< serving-layer session; 0 if direct
   int64_t peak_operator_bytes = 0;  ///< largest single operator output
   int64_t operator_rows = 0;        ///< rows produced across all plan nodes
+  int64_t vector_batches = 0;  ///< vectorized batches across all operators
   int64_t end_micros = 0;  ///< finish time, microseconds since trace epoch
 };
 

@@ -67,6 +67,7 @@ Result<TablePtr> MaterializeQueries(Database* db, const TableSchema& schema) {
         Value::Int(r.session_id),
         Value::Int(r.peak_operator_bytes),
         Value::Int(r.operator_rows),
+        Value::Int(r.vector_batches),
         Value::Int(r.end_micros),
     }));
   }
@@ -165,6 +166,7 @@ void RegisterDatabaseSystemTables(Database* db) {
                               {"session_id", DataType::kInt64},
                               {"peak_operator_bytes", DataType::kInt64},
                               {"operator_rows", DataType::kInt64},
+                              {"vector_batches", DataType::kInt64},
                               {"end_micros", DataType::kInt64}});
   DL2SQL_CHECK(catalog
                    .RegisterVirtualTable(std::make_shared<CallbackVirtualTable>(

@@ -135,17 +135,21 @@ class CollaborativeEngine {
   /// reference (zero copy) — every engine queries the same IoT dataset.
   Status AttachTablesFrom(const db::Database& source);
 
+  /// Calibration from this engine to the ClickHouse-class vectorized engine
+  /// the paper deploys on. With the batch-at-a-time vectorized execution
+  /// path (src/db/exec/vector_*), the measured basis is micro_db's
+  /// scan-filter and group-by throughput: ~120-150M rows/s single-threaded
+  /// (up from ~10-20M rows/s for the interpreted row-at-a-time path that
+  /// originally set this constant to 0.05) vs ClickHouse's published
+  /// ~200-500M rows/s on comparable cores — a ratio band of 0.24-0.75 whose
+  /// geometric mean rounds to 0.4. Applied to every database-executed bucket
+  /// so the native-tensor vs in-database cost *ratio* matches the paper's
+  /// testbed. Public so tests can pin the re-derived value.
+  static constexpr double kSqlEngineCalibration = 0.4;
+
  protected:
   /// Splits an operator-bucket accumulator into the paper's three-way cost.
   static QueryCost SplitBuckets(const CostAccumulator& acc);
-
-  /// Calibration from this repo's interpreted, operator-at-a-time engine to
-  /// the ClickHouse-class vectorized engine the paper deploys on. Measured
-  /// basis: our hash-join/group-by throughput (micro_db bench, ~10-20M
-  /// rows/s single-threaded) vs ClickHouse's published ~200-500M rows/s on
-  /// comparable cores. Applied to every database-executed bucket so the
-  /// native-tensor vs in-database cost *ratio* matches the paper's testbed.
-  static constexpr double kSqlEngineCalibration = 0.05;
 
   /// Modeled cost of integrating a new compiled-UDF model into the database
   /// kernel (recompile + relink + reload; Section III-B notes the kernel

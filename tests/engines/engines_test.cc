@@ -161,6 +161,19 @@ TEST_F(EnginesTest, SymmetricHashJoinKicksIn) {
   EXPECT_GT(after, before) << "hint rule 3 should pick the symmetric join";
 }
 
+TEST(EngineCalibrationTest, SqlCalibrationReDerivedFromVectorizedThroughput) {
+  // The vectorized batch-at-a-time engine closed most of the gap to the
+  // ClickHouse-class engine the paper deploys on: the calibration factor was
+  // re-derived from micro_db's measured scan-filter/group-by throughput
+  // (~120-150M rows/s vs ClickHouse's published 200-500M rows/s) and must
+  // stay at that measured value, strictly above the interpreted row path's
+  // 0.05 and at most 1 (a factor above 1 would claim we outrun the engine
+  // we calibrate against).
+  EXPECT_DOUBLE_EQ(CollaborativeEngine::kSqlEngineCalibration, 0.4);
+  EXPECT_GT(CollaborativeEngine::kSqlEngineCalibration, 0.05);
+  EXPECT_LE(CollaborativeEngine::kSqlEngineCalibration, 1.0);
+}
+
 TEST_F(EnginesTest, StorageAccounting) {
   auto script = testbed_->independent()->ScriptBytes("nUDF_detect");
   auto blob = testbed_->udf()->CompiledBlobBytes("nUDF_detect");

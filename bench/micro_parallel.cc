@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/device.h"
@@ -176,6 +177,12 @@ int main() {
     return 1;
   }
   std::fprintf(out, "{\n  \"bench\": \"micro_parallel\",\n");
+  // Core count of the producing machine: check_bench_regression.py skips
+  // multi-thread scaling keys when baseline and fresh counts differ (or
+  // either box has < 4 cores), so 8-thread timings from a 1-core container
+  // never gate a multi-core run (or vice versa).
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(out, "  \"rows\": %lld,\n  \"reps\": %d,\n",
                static_cast<long long>(rows), kReps);
   std::fprintf(out, "  \"workloads\": [\n");

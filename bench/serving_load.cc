@@ -366,6 +366,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"bench\": \"serving_load\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(out, "  \"quick\": %s,\n  \"rows\": %lld,\n"
                     "  \"iters_per_client\": %d,\n",
                quick ? "true" : "false", (long long)rows, iters_per_client);

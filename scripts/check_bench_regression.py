@@ -21,12 +21,20 @@ come from a different machine than CI, so absolute-equality checks would be
 noise. Set DL2SQL_BENCH_REGRESSION_PCT=0 to disable the regression check
 (reports only; missing baseline keys still fail).
 
+Thread-scaling keys (matching "_<N>t_sec" with N > 1) are only compared
+when both the baseline and the fresh JSON carry a top-level
+"hardware_concurrency" field, the two values agree, and both are >= 4:
+an 8-thread timing from a 1-core container says nothing about an 8-core
+box (and vice versa), so those comparisons are skipped with a note instead
+of silently lying. Presence is still enforced for registered keys.
+
 `--list` prints every tracked key per baseline file and exits; use it to see
 what the check would compare before touching a snapshot.
 """
 
 import json
 import os
+import re
 import sys
 
 # Key metrics that must be present in BOTH the fresh output and the committed
@@ -49,7 +57,22 @@ REQUIRED_KEYS = {
         "workloads[nudf_batch].vec_1t_sec",
         "workloads[nudf_batch].vec_8t_sec",
     ],
+    "BENCH_profile.json": [
+        "mix_on_sec",
+        "mix_off_sec",
+    ],
 }
+
+# Thread-scaling leaves: "<workload>_<N>t_sec". N == 1 is a plain
+# single-thread timing and always comparable; N > 1 depends on the core
+# count of the producing machine.
+THREAD_KEY_RE = re.compile(r"_(\d+)t_sec$")
+
+
+def thread_count(path):
+    """Returns N for a "_<N>t_sec" leaf path, else None."""
+    match = THREAD_KEY_RE.search(path)
+    return int(match.group(1)) if match else None
 
 
 def seconds_leaves(node, prefix=""):
@@ -135,9 +158,22 @@ def main():
     missing_baseline_keys = []
     compared = 0
     missing_required = []
+    skipped_scaling = 0
     for name in common:
-        base = dict(seconds_leaves(load(os.path.join(baseline_dir, name))))
-        fresh = dict(seconds_leaves(load(os.path.join(fresh_dir, name))))
+        base_doc = load(os.path.join(baseline_dir, name))
+        fresh_doc = load(os.path.join(fresh_dir, name))
+        base = dict(seconds_leaves(base_doc))
+        fresh = dict(seconds_leaves(fresh_doc))
+        base_hw = base_doc.get("hardware_concurrency") if isinstance(
+            base_doc, dict) else None
+        fresh_hw = fresh_doc.get("hardware_concurrency") if isinstance(
+            fresh_doc, dict) else None
+        skip_scaling = (
+            base_hw is None
+            or fresh_hw is None
+            or base_hw != fresh_hw
+            or min(base_hw, fresh_hw) < 4
+        )
         for key in REQUIRED_KEYS.get(name, []):
             for side, leaves in (("fresh", fresh), ("baseline", base)):
                 if key not in leaves:
@@ -157,6 +193,12 @@ def main():
             if path not in fresh:
                 print(f"note: {name}:{path} only in baseline (bench not run?)")
                 continue
+            n_threads = thread_count(path)
+            if n_threads is not None and n_threads > 1 and skip_scaling:
+                print(f"note: {name}:{path} skipped (thread-scaling key; "
+                      f"cores base={base_hw} fresh={fresh_hw})")
+                skipped_scaling += 1
+                continue
             compared += 1
             b, f = base[path], fresh[path]
             if b <= 0:
@@ -170,7 +212,9 @@ def main():
                   f"({delta_pct:+.1f}%){marker}")
 
     print(f"\ncompared {compared} seconds-like leaves across "
-          f"{len(common)} file(s), threshold {threshold_pct:.0f}%")
+          f"{len(common)} file(s), threshold {threshold_pct:.0f}%"
+          + (f", skipped {skipped_scaling} thread-scaling leaves"
+             if skipped_scaling else ""))
     if missing_required:
         print(f"FAIL: {len(missing_required)} registered key metric(s) "
               "missing:")

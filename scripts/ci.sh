@@ -21,31 +21,38 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-echo "== CI pass 1/7: default build =="
+echo "== CI pass 1/9: default build =="
 run_suite build-ci
 
-echo "== CI pass 2/7: vectorized execution off (results must stay identical) =="
+echo "== CI pass 2/9: vectorized execution off (results must stay identical) =="
 # The batch-at-a-time engine must be a pure performance change: rerunning the
 # whole suite with DL2SQL_VECTOR=OFF pins the row-path fallback and proves
 # nothing observable depends on which execution mode ran.
 DL2SQL_VECTOR=OFF ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 
-echo "== CI pass 3/7: ThreadSanitizer build =="
+echo "== CI pass 3/9: resource accounting off (results must stay identical) =="
+# Per-query accounting must be a pure observability change: rerunning the
+# suite with DL2SQL_MEM_TRACKER=OFF pins the untracked path and proves no
+# result depends on whether charges/limits/profiles were live.
+DL2SQL_MEM_TRACKER=OFF ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
+
+echo "== CI pass 4/9: ThreadSanitizer build =="
 run_suite build-ci-tsan -DDL2SQL_SANITIZE=thread
 
-echo "== CI pass 4/7: tracing + cache + server + vector tests under TSAN =="
+echo "== CI pass 5/9: tracing + cache + server + vector + profile tests under TSAN =="
 # Redundant with the full TSAN suite above, but pinned by name so the
-# concurrency-sensitive observability, caching, and vectorized-kernel tests
-# (string-comparison and hash kernels run from pool workers) cannot silently
-# drop out of coverage if the suite layout changes.
-ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters|cache|server|vector"
+# concurrency-sensitive observability, caching, vectorized-kernel, and
+# resource-accounting tests (trackers and the query-profile ring are written
+# from pool workers and concurrent sessions) cannot silently drop out of
+# coverage if the suite layout changes.
+ctest --test-dir build-ci-tsan --output-on-failure -R "trace|metrics|counters|cache|server|vector|profile|mem_tracker"
 
-echo "== CI pass 5/7: AddressSanitizer+UBSan build =="
+echo "== CI pass 6/9: AddressSanitizer+UBSan build =="
 # UBSan also proves the SIMD-friendly batch kernels clean: the float->int64
 # canonicalization in the hash/compare kernels guards its casts explicitly.
 run_suite build-ci-asan -DDL2SQL_SANITIZE=address
 
-echo "== CI pass 6/7: tracing-overhead guard =="
+echo "== CI pass 7/9: tracing-overhead guard =="
 # Tracing compiled in but runtime-disabled must stay under the overhead
 # budget (default 5%; DL2SQL_TRACE_OVERHEAD_PCT overrides on noisy hosts),
 # and enabled tracing must actually record spans. Uses the default
@@ -54,7 +61,16 @@ cmake --build build-ci -j "${JOBS}" --target bench_trace_overhead
 ./build-ci/bench/bench_trace_overhead
 ./build-ci/bench/bench_trace_overhead --enabled
 
-echo "== CI pass 7/7: server smoke over TCP =="
+echo "== CI pass 8/9: resource-accounting overhead guard =="
+# Fully-enabled per-query accounting must stay within budget of the
+# DL2SQL_MEM_TRACKER=OFF path on the fig8-style mix (default 5%;
+# DL2SQL_PROFILE_OVERHEAD_PCT overrides on noisy hosts). Runs from the
+# build dir so the emitted BENCH_profile.json never clobbers the committed
+# snapshot at the repo root.
+cmake --build build-ci -j "${JOBS}" --target bench_profile_overhead
+(cd build-ci && ./bench/bench_profile_overhead)
+
+echo "== CI pass 9/9: server smoke over TCP =="
 # Boots lindb_server, drives it with lindb_client through a query script,
 # diffs the output against the committed golden file, scrapes /metrics over
 # HTTP (Prometheus text exposition) and scans system.queries (both must be

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/mem_tracker.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -15,7 +16,18 @@ namespace {
 /// needs workers can starve the pool into deadlock once every worker waits.
 thread_local bool tls_in_pool_worker = false;
 
+/// Monotone per-thread totals of pool work done on this thread's behalf
+/// (resource accounting; see credited_cpu_ns() in the header).
+thread_local int64_t tls_credited_cpu_ns = 0;
+thread_local int64_t tls_credited_queue_wait_us = 0;
+
 }  // namespace
+
+int64_t ThreadPool::credited_cpu_ns() { return tls_credited_cpu_ns; }
+
+int64_t ThreadPool::credited_queue_wait_us() {
+  return tls_credited_queue_wait_us;
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -61,8 +73,9 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 Status ThreadPool::RunMorsel(const MorselFn& fn, int64_t begin, int64_t end,
-                             int worker) {
+                             int worker, std::atomic<int64_t>* cpu_ns_out) {
   const int64_t t0 = TraceCollector::NowMicros();
+  const int64_t cpu0 = cpu_ns_out != nullptr ? ThreadCpuNanos() : 0;
   Status s;
 #if !defined(DL2SQL_TRACING_DISABLED)
   if (TraceCollector::Global().enabled()) {
@@ -78,6 +91,9 @@ Status ThreadPool::RunMorsel(const MorselFn& fn, int64_t begin, int64_t end,
   s = fn(begin, end, worker);
 #endif
   const int64_t us = TraceCollector::NowMicros() - t0;
+  if (cpu_ns_out != nullptr) {
+    cpu_ns_out->fetch_add(ThreadCpuNanos() - cpu0, std::memory_order_relaxed);
+  }
   worker_busy_us_[static_cast<size_t>(worker)].fetch_add(
       us, std::memory_order_relaxed);
   // Static handles: one registry lookup for the process lifetime.
@@ -100,7 +116,8 @@ Status ThreadPool::ParallelForMorsel(int64_t n, int64_t morsel_size,
   // per-morsel output buffers see identical boundaries in every mode.
   if (num_threads() == 1 || n <= morsel_size || tls_in_pool_worker) {
     for (int64_t b = 0; b < n; b += morsel_size) {
-      DL2SQL_RETURN_NOT_OK(RunMorsel(fn, b, std::min(n, b + morsel_size), 0));
+      DL2SQL_RETURN_NOT_OK(
+          RunMorsel(fn, b, std::min(n, b + morsel_size), 0, nullptr));
     }
     return Status::OK();
   }
@@ -108,6 +125,13 @@ Status ThreadPool::ParallelForMorsel(int64_t n, int64_t morsel_size,
   const int64_t num_morsels = (n + morsel_size - 1) / morsel_size;
   const int workers =
       static_cast<int>(std::min<int64_t>(num_threads(), num_morsels));
+
+  // Attribution accumulators for this call; credited to the calling thread's
+  // monotone counters after the barrier so a query thread can diff them.
+  const bool attribute = MemTracker::Enabled();
+  std::atomic<int64_t> call_cpu_ns{0};
+  std::atomic<int64_t> call_queue_wait_us{0};
+  std::atomic<int64_t>* cpu_out = attribute ? &call_cpu_ns : nullptr;
 
   std::atomic<int64_t> cursor{0};
   std::atomic<bool> failed{false};
@@ -117,11 +141,18 @@ Status ThreadPool::ParallelForMorsel(int64_t n, int64_t morsel_size,
   std::condition_variable done_cv;
 
   for (int w = 0; w < workers; ++w) {
-    Submit([&, w] {
+    const int64_t submitted_us = attribute ? TraceCollector::NowMicros() : 0;
+    Submit([&, w, submitted_us] {
+      if (attribute) {
+        call_queue_wait_us.fetch_add(
+            TraceCollector::NowMicros() - submitted_us,
+            std::memory_order_relaxed);
+      }
       while (!failed.load(std::memory_order_relaxed)) {
         const int64_t begin = cursor.fetch_add(morsel_size);
         if (begin >= n) break;
-        Status s = RunMorsel(fn, begin, std::min(n, begin + morsel_size), w);
+        Status s =
+            RunMorsel(fn, begin, std::min(n, begin + morsel_size), w, cpu_out);
         if (!s.ok()) {
           std::lock_guard<std::mutex> lock(done_mu);
           if (first_error.ok()) first_error = std::move(s);
@@ -136,6 +167,11 @@ Status ThreadPool::ParallelForMorsel(int64_t n, int64_t morsel_size,
   }
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (attribute) {
+    tls_credited_cpu_ns += call_cpu_ns.load(std::memory_order_relaxed);
+    tls_credited_queue_wait_us +=
+        call_queue_wait_us.load(std::memory_order_relaxed);
+  }
   return first_error;
 }
 

@@ -77,13 +77,30 @@ class ThreadPool {
            1e6;
   }
 
+  /// \name Per-query attribution of pool work (resource accounting)
+  ///
+  /// When MemTracker::Enabled(), every ParallelForMorsel call that actually
+  /// dispatched to workers samples, per morsel, the worker's thread CPU
+  /// (CLOCK_THREAD_CPUTIME_ID) and, per worker task, the submit-to-start
+  /// queue delay; after the call returns, both are credited to monotone
+  /// thread-local counters of the *calling* thread. A query thread diffs
+  /// these around statement execution to attribute pool CPU and queue wait
+  /// to itself. The inline fallback credits nothing: the caller's own thread
+  /// CPU delta already covers inline morsels, and there is no queue.
+  /// @{
+  static int64_t credited_cpu_ns();
+  static int64_t credited_queue_wait_us();
+  /// @}
+
  private:
   void WorkerLoop();
   void Submit(std::function<void()> task);
 
-  /// Runs one morsel: traces it (when tracing is enabled) and charges its
-  /// wall time to the worker's busy tally and the pool metrics.
-  Status RunMorsel(const MorselFn& fn, int64_t begin, int64_t end, int worker);
+  /// Runs one morsel: traces it (when tracing is enabled), charges its wall
+  /// time to the worker's busy tally and the pool metrics, and adds its
+  /// thread-CPU delta to `cpu_ns_out` when non-null.
+  Status RunMorsel(const MorselFn& fn, int64_t begin, int64_t end, int worker,
+                   std::atomic<int64_t>* cpu_ns_out);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -8,7 +8,9 @@ namespace dl2sql {
 
 ShardedLruCache::ShardedLruCache(std::string name, size_t capacity_bytes,
                                  int shard_bits)
-    : name_(std::move(name)), capacity_bytes_(capacity_bytes) {
+    : name_(std::move(name)),
+      capacity_bytes_(capacity_bytes),
+      mem_("cache." + name_, MemTracker::Process()) {
   shard_bits = std::clamp(shard_bits, 0, 8);
   const size_t num_shards = size_t{1} << shard_bits;
   shard_mask_ = num_shards - 1;
@@ -47,30 +49,36 @@ ShardedLruCache::ValuePtr ShardedLruCache::Lookup(uint64_t key) {
 void ShardedLruCache::Insert(uint64_t key, ValuePtr value, size_t charge) {
   Shard& shard = ShardFor(key);
   int64_t evicted = 0;
+  int64_t bytes_delta = 0;  // net change to charge/release from the tracker
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.bytes -= it->second->charge;
+      bytes_delta -= static_cast<int64_t>(it->second->charge);
       it->second->value = std::move(value);
       it->second->charge = charge;
       shard.bytes += charge;
+      bytes_delta += static_cast<int64_t>(charge);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else {
       shard.lru.push_front(Entry{key, std::move(value), charge});
       shard.index[key] = shard.lru.begin();
       shard.bytes += charge;
+      bytes_delta += static_cast<int64_t>(charge);
     }
     // Evict from the cold end until within budget, but never the entry just
     // touched (an oversized value may exceed the budget on its own).
     while (shard.bytes > per_shard_capacity_ && shard.lru.size() > 1) {
       Entry& victim = shard.lru.back();
       shard.bytes -= victim.charge;
+      bytes_delta -= static_cast<int64_t>(victim.charge);
       shard.index.erase(victim.key);
       shard.lru.pop_back();
       ++evicted;
     }
   }
+  mem_.Consume(bytes_delta);
   insertions_->Increment();
   if (evicted > 0) {
     evictions_->Increment(evicted);
@@ -82,27 +90,35 @@ void ShardedLruCache::Insert(uint64_t key, ValuePtr value, size_t charge) {
 bool ShardedLruCache::Erase(uint64_t key) {
   Shard& shard = ShardFor(key);
   bool erased = false;
+  int64_t released = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
+      released = static_cast<int64_t>(it->second->charge);
       shard.bytes -= it->second->charge;
       shard.lru.erase(it->second);
       shard.index.erase(it);
       erased = true;
     }
   }
-  if (erased) UpdateBytesGauge();
+  if (erased) {
+    mem_.Release(released);
+    UpdateBytesGauge();
+  }
   return erased;
 }
 
 void ShardedLruCache::Clear() {
+  int64_t released = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    released += static_cast<int64_t>(shard->bytes);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
   }
+  mem_.Release(released);
   UpdateBytesGauge();
 }
 

@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mem_tracker.h"
+
 namespace dl2sql {
 
 class Counter;
@@ -99,6 +101,11 @@ class ShardedLruCache {
   const std::string& name() const { return name_; }
   size_t capacity_bytes() const { return capacity_bytes_; }
 
+  /// This cache's memory tracker ("cache.<name>", child of the process
+  /// tracker): entry charges are consumed on insert and released on
+  /// evict/erase/clear, so system-wide accounting sees cache residency.
+  const MemTracker& mem_tracker() const { return mem_; }
+
   /// Convenience: lookup already cast to the payload type.
   template <typename T>
   std::shared_ptr<const T> LookupAs(uint64_t key) {
@@ -126,6 +133,7 @@ class ShardedLruCache {
 
   const std::string name_;
   const size_t capacity_bytes_;
+  MemTracker mem_;
   size_t shard_mask_;
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;

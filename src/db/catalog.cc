@@ -9,6 +9,23 @@ namespace dl2sql::db {
 
 std::string Catalog::Key(const std::string& name) { return ToLower(name); }
 
+void Catalog::SyncTrackedLocked(Entry& entry) {
+  const int64_t now = MemTracker::Enabled() && entry.table != nullptr
+                          ? static_cast<int64_t>(entry.table->ByteSize())
+                          : 0;
+  if (now != entry.tracked_bytes) {
+    mem_.Consume(now - entry.tracked_bytes);
+    entry.tracked_bytes = now;
+  }
+}
+
+void Catalog::ReleaseTrackedLocked(Entry& entry) {
+  if (entry.tracked_bytes != 0) {
+    mem_.Release(entry.tracked_bytes);
+    entry.tracked_bytes = 0;
+  }
+}
+
 bool Catalog::IsSystemName(const std::string& name) {
   const std::string key = Key(name);
   return key.rfind("system.", 0) == 0 || key == "system";
@@ -31,7 +48,9 @@ Status Catalog::CreateTable(const std::string& name, TablePtr table,
     if (if_not_exists) return Status::OK();
     return Status::AlreadyExists("table '", name, "' already exists");
   }
-  tables_[key] = Entry{std::move(table), temporary, std::nullopt};
+  Entry& entry =
+      (tables_[key] = Entry{std::move(table), temporary, std::nullopt});
+  SyncTrackedLocked(entry);
   BumpVersion(key);
   return Status::OK();
 }
@@ -89,12 +108,15 @@ bool Catalog::HasView(const std::string& name) const {
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
   std::unique_lock lock(mu_);
-  if (tables_.erase(Key(name)) == 0) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
     if (!if_exists) {
       return Status::NotFound("table '", name, "' does not exist");
     }
     return Status::OK();
   }
+  ReleaseTrackedLocked(it->second);
+  tables_.erase(it);
   BumpVersion(Key(name));
   return Status::OK();
 }
@@ -115,6 +137,7 @@ void Catalog::DropAllTemporary() {
   std::unique_lock lock(mu_);
   for (auto it = tables_.begin(); it != tables_.end();) {
     if (it->second.temporary) {
+      ReleaseTrackedLocked(it->second);
       BumpVersion(it->first);
       it = tables_.erase(it);
     } else {
@@ -130,6 +153,7 @@ Status Catalog::Analyze(const std::string& name) {
     return Status::NotFound("table '", name, "' does not exist");
   }
   it->second.stats = AnalyzeTable(*it->second.table);
+  SyncTrackedLocked(it->second);
   // Fresh stats steer the optimizer differently: cached plans must re-plan.
   BumpVersion(it->first);
   return Status::OK();
@@ -148,6 +172,8 @@ void Catalog::InvalidateStats(const std::string& name) {
   if (it != tables_.end()) {
     it->second.stats.reset();
     it->second.indexes.clear();
+    // Every DML path ends here, so tracked storage bytes re-sync here too.
+    SyncTrackedLocked(it->second);
     // DML invalidation: plans cached against this relation stop validating.
     BumpVersion(it->first);
   }
@@ -252,6 +278,12 @@ std::vector<std::string> Catalog::VirtualTableNames() const {
   names.reserve(virtual_tables_.size());
   for (const auto& [k, _] : virtual_tables_) names.push_back(k);
   return names;
+}
+
+int64_t Catalog::TrackedBytes(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? 0 : it->second.tracked_bytes;
 }
 
 uint64_t Catalog::TotalBytes() const {

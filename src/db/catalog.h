@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mem_tracker.h"
 #include "db/index.h"
 #include "db/sql/ast.h"
 #include "db/stats.h"
@@ -77,6 +78,15 @@ class Catalog {
   /// Sum of payload bytes over all tables (storage-overhead benchmarks).
   uint64_t TotalBytes() const;
 
+  /// Bytes this table last charged against the catalog memory tracker (0 for
+  /// unknown names, views, virtual tables, or with accounting disabled).
+  /// Re-synced on create/ANALYZE and after DML via InvalidateStats, so it can
+  /// lag the live ByteSize between mutation and invalidation.
+  int64_t TrackedBytes(const std::string& name) const;
+
+  /// The catalog's storage tracker, a child of MemTracker::Process().
+  const MemTracker& mem_tracker() const { return mem_; }
+
   /// \brief Per-relation schema/content version, for plan-cache validation.
   ///
   /// Every mutation touching a name — create/drop (tables and views), DML
@@ -124,8 +134,16 @@ class Catalog {
     std::optional<TableStats> stats;
     /// Hash indexes keyed by lower-cased column name.
     std::map<std::string, std::shared_ptr<HashIndex>> indexes;
+    /// Bytes currently charged against mem_ for this table.
+    int64_t tracked_bytes = 0;
   };
   static std::string Key(const std::string& name);
+
+  /// Re-charges `entry` against mem_ from its table's current ByteSize.
+  /// Callers hold mu_ exclusively.
+  void SyncTrackedLocked(Entry& entry);
+  /// Releases `entry`'s outstanding charge. Callers hold mu_ exclusively.
+  void ReleaseTrackedLocked(Entry& entry);
 
   /// Guards every container below; methods never call each other while
   /// holding it (BumpVersion excepted, which asserts nothing and only runs
@@ -136,6 +154,8 @@ class Catalog {
   std::map<std::string, std::shared_ptr<VirtualTableProvider>> virtual_tables_;
   /// Persistent per-name mutation counters (never erased, even on drop).
   std::map<std::string, uint64_t> versions_;
+  /// Storage accounting for every table this catalog owns.
+  MemTracker mem_{"catalog", MemTracker::Process()};
 };
 
 }  // namespace dl2sql::db

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <map>
 #include <unordered_map>
@@ -31,6 +32,17 @@ namespace {
 /// takes the pending stats right after its operator finishes, so the stats a
 /// wrapper claims belong to exactly its own operator.
 thread_local vec::VectorOpStats tls_pending_vec_stats;
+
+/// Tracker label for an operator kind: "op.join", "op.aggregate", ... —
+/// lower-cased so labels match the documented hierarchy (mem_tracker.h) and
+/// stay stable even if plan rendering changes capitalization.
+std::string OpTrackerLabel(PlanKind kind) {
+  std::string label = PlanKindToString(kind);
+  for (char& c : label) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return "op." + label;
+}
 
 /// A memoized optimized plan plus everything needed to prove it is still
 /// valid: the catalog version of every relation it resolved, and the cost
@@ -130,6 +142,13 @@ Database::Database()
   });
   slow_query_ms_.store(introspection_options_.slow_query_ms,
                        std::memory_order_relaxed);
+  // DL2SQL_QUERY_MEM_LIMIT=<bytes> seeds the per-query hard memory budget
+  // (soft check: overrunning queries fail with ResourceExhausted, nothing
+  // aborts). Zero/absent = unlimited.
+  if (const char* env = std::getenv("DL2SQL_QUERY_MEM_LIMIT")) {
+    const long long parsed = std::strtoll(env, nullptr, 10);
+    if (parsed > 0) query_mem_limit_.store(parsed, std::memory_order_relaxed);
+  }
   if (introspection_options_.enabled) {
     query_log_ =
         std::make_unique<QueryLog>(introspection_options_.query_log_capacity);
@@ -208,6 +227,8 @@ double Database::DrainEvalContext(const EvalContext& ctx) {
     tally->neural_calls += ctx.neural_calls;
     tally->nudf_cache_hits += ctx.nudf_cache_hits;
     tally->vector_batches += ctx.vec_batches;
+    tally->nudf_wait_seconds += ctx.nudf_wait_seconds;
+    tally->nudf_billed_seconds += ctx.nudf_billed_seconds;
   }
   if (ctx.vec_batches > 0) {
     static Counter* const batches_counter =
@@ -259,7 +280,28 @@ Result<Table> Database::ExecuteStatementRecorded(const Statement& stmt,
                                                  const QueryRecordHints& hints) {
   if (query_log_ == nullptr) return ExecuteStatement(stmt);
 
+  // Resource accounting: a per-query tracker parented under the session's
+  // (serving) or the process root (embedded), carrying the optional hard
+  // budget. Declared before the tally so the tally's operator trackers —
+  // its children — are destroyed first, releasing their outstanding charges
+  // up the chain in order.
+  const bool profile = MemTracker::Enabled();
+  std::unique_ptr<MemTracker> query_mem;
   QueryTally tally;
+  int64_t cpu0_ns = 0;
+  int64_t pool_cpu0_ns = 0;
+  int64_t pool_wait0_us = 0;
+  if (profile) {
+    query_mem = std::make_unique<MemTracker>(
+        "query-" + std::to_string(query_log_->total_recorded()),
+        hints.session_mem != nullptr ? hints.session_mem
+                                     : MemTracker::Process(),
+        query_mem_limit_.load(std::memory_order_relaxed));
+    tally.mem = query_mem.get();
+    cpu0_ns = ThreadCpuNanos();
+    pool_cpu0_ns = ThreadPool::credited_cpu_ns();
+    pool_wait0_us = ThreadPool::credited_queue_wait_us();
+  }
   // Save/restore: a recorded statement can reach another recorded execution
   // on the same thread (scripted pipelines); inner statements keep their own
   // tallies and the outer record stays scoped to its own work.
@@ -285,6 +327,42 @@ Result<Table> Database::ExecuteStatementRecorded(const Statement& stmt,
   rec.operator_rows = tally.operator_rows;
   rec.vector_batches = tally.vector_batches;
   rec.end_micros = TraceCollector::NowMicros();
+  rec.lock_wait_us = hints.lock_wait_us;
+  if (profile) {
+    // CPU = this thread's execution time plus pool-morsel time the pool
+    // credited back to this thread; with parallel morsels the sum can
+    // legitimately exceed wall time (work done concurrently).
+    rec.cpu_us = (ThreadCpuNanos() - cpu0_ns +
+                  ThreadPool::credited_cpu_ns() - pool_cpu0_ns) /
+                 1000;
+    rec.pool_queue_wait_us =
+        ThreadPool::credited_queue_wait_us() - pool_wait0_us;
+    rec.coalesce_wait_us =
+        static_cast<int64_t>(tally.nudf_wait_seconds * 1e6);
+    rec.billed_batch_us =
+        static_cast<int64_t>(tally.nudf_billed_seconds * 1e6);
+    rec.mem_peak_bytes = query_mem->peak();
+    rec.mem_cumulative_bytes = query_mem->cumulative();
+    // Static handles: one registry lookup for the process lifetime.
+    static Histogram* const h_mem_peak =
+        MetricsRegistry::Global().histogram("dl2sql.query.mem_peak_bytes");
+    static Histogram* const h_cpu =
+        MetricsRegistry::Global().histogram("dl2sql.query.cpu_us");
+    static Histogram* const h_lock_wait =
+        MetricsRegistry::Global().histogram("dl2sql.query.lock_wait_us");
+    static Histogram* const h_pool_wait =
+        MetricsRegistry::Global().histogram("dl2sql.query.pool_queue_wait_us");
+    static Histogram* const h_coalesce_wait =
+        MetricsRegistry::Global().histogram("dl2sql.query.coalesce_wait_us");
+    static Histogram* const h_billed =
+        MetricsRegistry::Global().histogram("dl2sql.query.billed_batch_us");
+    h_mem_peak->Record(rec.mem_peak_bytes);
+    h_cpu->Record(rec.cpu_us);
+    h_lock_wait->Record(rec.lock_wait_us);
+    h_pool_wait->Record(rec.pool_queue_wait_us);
+    h_coalesce_wait->Record(rec.coalesce_wait_us);
+    h_billed->Record(rec.billed_batch_us);
+  }
   query_log_->Record(rec);
 
   const double threshold_ms = slow_query_ms_.load(std::memory_order_relaxed);
@@ -299,9 +377,22 @@ Result<Table> Database::ExecuteStatementRecorded(const Statement& stmt,
         }
       }
     }
+    std::string breakdown;
+    if (profile) {
+      breakdown = " [cpu=" + std::to_string(rec.cpu_us) +
+                  "us, mem_peak=" + std::to_string(rec.mem_peak_bytes) +
+                  "B, waits(us): admission=" +
+                  std::to_string(rec.admission_wait_us) +
+                  " lock=" + std::to_string(rec.lock_wait_us) +
+                  " pool_queue=" + std::to_string(rec.pool_queue_wait_us) +
+                  " coalesce=" + std::to_string(rec.coalesce_wait_us) +
+                  ", billed_batch=" + std::to_string(rec.billed_batch_us) +
+                  "us]";
+    }
     DL2SQL_LOG(Warning) << "slow query (" << duration_ms << " ms >= "
                         << threshold_ms << " ms threshold): " << rec.sql
                         << (rec.error.empty() ? "" : " [error: " + rec.error + "]")
+                        << breakdown
                         << (plan_text.empty() ? ""
                                               : "\nplan:\n" + plan_text);
   }
@@ -473,25 +564,65 @@ Status Database::RegisterTable(const std::string& name, Table table,
 
 // ------------------------------------------------------------- operators ----
 
+MemTracker* Database::OpScratchTracker(PlanKind kind) {
+  QueryTally* const tally = tls_tally_;
+  if (tally == nullptr || tally->mem == nullptr) return nullptr;
+  auto& slot = tally->op_trackers[static_cast<int>(kind)];
+  if (slot == nullptr) {
+    slot = std::make_unique<MemTracker>(OpTrackerLabel(kind), tally->mem);
+  }
+  return slot.get();
+}
+
+Status Database::ChargeOperatorOutput(QueryTally* tally, const PlanNode& node,
+                                      int64_t out_bytes) {
+  if (out_bytes <= 0) return Status::OK();
+  auto& slot = tally->op_trackers[static_cast<int>(node.kind)];
+  if (slot == nullptr) {
+    slot = std::make_unique<MemTracker>(OpTrackerLabel(node.kind), tally->mem);
+  }
+  DL2SQL_RETURN_NOT_OK(slot->TryConsume(out_bytes));
+  if (!tally->mem_frames.empty()) {
+    // Parent operator holds this output as an input; released when it pops
+    // its frame. The root output has no parent frame and stays charged until
+    // the statement's trackers are destroyed.
+    tally->mem_frames.back().emplace_back(slot.get(), out_bytes);
+  }
+  return Status::OK();
+}
+
 Result<Table> Database::ExecNode(const PlanNode& node) {
   DL2SQL_TRACE_SPAN("db", PlanKindToString(node.kind));
-  if (!collect_node_stats_) {
-    // Per-operator accounting for the recorded statement running on this
-    // thread (system.queries): output rows across all plan nodes plus the
-    // peak single-operator materialized footprint. One TLS load when no
-    // recorded statement is active.
-    QueryTally* const tally = tls_tally_;
-    if (tally == nullptr) return ExecNodeImpl(node);
-    auto result = ExecNodeImpl(node);
-    if (result.ok()) {
-      tally->operator_rows += result->num_rows();
-      tally->peak_operator_bytes =
-          std::max(tally->peak_operator_bytes,
-                   static_cast<int64_t>(result->ByteSize()));
-    }
-    return result;
-  }
+  // Per-operator accounting for the recorded statement running on this
+  // thread (system.queries / system.query_profiles): output rows across all
+  // plan nodes, the peak single-operator materialized footprint, and —
+  // with resource accounting enabled — charge-frame memory attribution.
+  // One TLS load when no recorded statement is active.
+  QueryTally* const tally = tls_tally_;
+  if (tally == nullptr && !collect_node_stats_) return ExecNodeImpl(node);
 
+  const bool track = tally != nullptr && tally->mem != nullptr;
+  if (track) tally->mem_frames.emplace_back();
+  auto result = collect_node_stats_ ? ExecNodeCollect(node) : ExecNodeImpl(node);
+  if (track) {
+    // Children's outputs — charged into this operator's frame when their own
+    // wrappers finished — die with this operator, like their Tables do.
+    for (const auto& [t, bytes] : tally->mem_frames.back()) t->Release(bytes);
+    tally->mem_frames.pop_back();
+  }
+  if (tally != nullptr && result.ok()) {
+    const int64_t out_bytes = static_cast<int64_t>(result->ByteSize());
+    tally->operator_rows += result->num_rows();
+    tally->peak_operator_bytes =
+        std::max(tally->peak_operator_bytes, out_bytes);
+    if (track) {
+      DL2SQL_RETURN_NOT_OK(ChargeOperatorOutput(tally, node, out_bytes));
+    }
+  }
+  return result;
+}
+
+Result<Table> Database::ExecNodeCollect(const PlanNode& node) {
   ThreadPool* pool =
       exec_options_.device != nullptr ? exec_options_.device->pool() : nullptr;
   const int workers = pool != nullptr ? pool->num_threads() : 0;
@@ -556,7 +687,26 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   const MetricsSnapshot counters_before = registry.Snapshot();
 
+  // Resource-accounting profile for the analyzed query: a scratch tracker
+  // (declared before the tally so the tally's operator trackers destroy
+  // first) plus a scoped tally so the charge frames run exactly as they do
+  // for recorded statements.
+  const bool profile = MemTracker::Enabled();
+  std::unique_ptr<MemTracker> query_mem;
+  QueryTally tally;
+  int64_t cpu0_ns = 0;
+  if (profile) {
+    query_mem = std::make_unique<MemTracker>(
+        "query-explain", MemTracker::Process(),
+        query_mem_limit_.load(std::memory_order_relaxed));
+    tally.mem = query_mem.get();
+    cpu0_ns = ThreadCpuNanos();
+  }
+  QueryTally* const prev_tally = tls_tally_;
+  tls_tally_ = &tally;
   auto result = ExecNode(*plan);
+  tls_tally_ = prev_tally;
+  const int64_t cpu_us = profile ? (ThreadCpuNanos() - cpu0_ns) / 1000 : 0;
   collect_node_stats_ = false;
   DL2SQL_RETURN_NOT_OK(result.status());
 
@@ -628,6 +778,23 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   }
   out += "Operators: rows=" + std::to_string(total_rows) +
          ", peak_bytes=" + std::to_string(peak_bytes) + "\n";
+
+  // Resource-accounting footer: tracked memory per operator kind (peak bytes
+  // charged to each "op.<kind>" tracker) and query-level totals. Omitted
+  // with DL2SQL_MEM_TRACKER=OFF.
+  if (profile) {
+    out += "Profile: cpu_us=" + std::to_string(cpu_us) +
+           ", mem_peak_bytes=" + std::to_string(query_mem->peak()) +
+           ", mem_cumulative_bytes=" +
+           std::to_string(query_mem->cumulative()) + "\n";
+    for (const auto& [kind, tracker] : tally.op_trackers) {
+      (void)kind;
+      out += "  " + tracker->label() +
+             ": peak_bytes=" + std::to_string(tracker->peak()) +
+             ", cumulative_bytes=" + std::to_string(tracker->cumulative()) +
+             "\n";
+    }
+  }
 
   // Footer: registry counters incremented by this query, computed as the
   // delta of two session-local snapshots.
@@ -750,6 +917,11 @@ Result<Table> Database::ExecProject(const PlanNode& node, Table input) {
 Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) {
   Stopwatch watch;
   EvalContext ctx = MakeEvalContext();
+  // Transient join state — build-side hash table and the pair buffer — is
+  // charged against op.join while live and released on return. Estimates
+  // (bucket node + row-id vector entries), not malloc-exact: the accounting
+  // answers "which operator holds the memory", not "what does malloc say".
+  ScopedMemCharge scratch_mem(OpScratchTracker(PlanKind::kJoin));
   std::vector<std::pair<int64_t, int64_t>> pairs;
 
   if (node.use_symmetric_hash && node.equi_keys.size() == 1) {
@@ -899,6 +1071,10 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
         for (size_t r = 0; r < bvals.size(); ++r) {
           build[bvals[r]].push_back(static_cast<int64_t>(r));
         }
+        DL2SQL_RETURN_NOT_OK(scratch_mem.Charge(static_cast<int64_t>(
+            build.size() * (sizeof(int64_t) + sizeof(std::vector<int64_t>) +
+                            16) +
+            bvals.size() * sizeof(int64_t))));
         DL2SQL_RETURN_NOT_OK(run_probe(
             static_cast<int64_t>(pvals.size()),
             [&](int64_t p,
@@ -920,6 +1096,10 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
       for (size_t r = 0; r < b0.size(); ++r) {
         build[{b0[r], b1[r]}].push_back(static_cast<int64_t>(r));
       }
+      DL2SQL_RETURN_NOT_OK(scratch_mem.Charge(static_cast<int64_t>(
+          build.size() *
+              (sizeof(Int2Key) + sizeof(std::vector<int64_t>) + 16) +
+          b0.size() * sizeof(int64_t))));
       DL2SQL_RETURN_NOT_OK(run_probe(
           static_cast<int64_t>(p0.size()),
           [&](int64_t p,
@@ -978,6 +1158,12 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
         if (bnull[static_cast<size_t>(r)] != 0) continue;
         build[bhash[static_cast<size_t>(r)]].push_back(r);
       }
+      DL2SQL_RETURN_NOT_OK(scratch_mem.Charge(
+          (bn + pn) * static_cast<int64_t>(sizeof(uint64_t) + 1) +
+          static_cast<int64_t>(
+              build.size() *
+                  (sizeof(uint64_t) + sizeof(std::vector<int64_t>) + 16) +
+              static_cast<size_t>(bn) * sizeof(int64_t))));
       DL2SQL_RETURN_NOT_OK(run_probe(
           pn,
           [&](int64_t p,
@@ -999,6 +1185,15 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
         if (RowKeyHasNull(build_keys, r)) continue;
         build[EncodeRowKey(build_keys, r)].push_back(r);
       }
+      int64_t key_bytes = 0;
+      for (const auto& [key, rows] : build) {
+        key_bytes += static_cast<int64_t>(key.size() + rows.size() * 8);
+      }
+      DL2SQL_RETURN_NOT_OK(scratch_mem.Charge(
+          key_bytes +
+          static_cast<int64_t>(
+              build.size() *
+              (sizeof(std::string) + sizeof(std::vector<int64_t>) + 16))));
       DL2SQL_RETURN_NOT_OK(run_probe(
           probe_table.num_rows(),
           [&](int64_t p,
@@ -1024,6 +1219,8 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
   }
 
   // Materialize the joined table.
+  DL2SQL_RETURN_NOT_OK(scratch_mem.Charge(
+      static_cast<int64_t>(pairs.size() * sizeof(pairs[0]) * 2)));
   std::vector<int64_t> lrows, rrows;
   lrows.reserve(pairs.size());
   rrows.reserve(pairs.size());
@@ -1167,6 +1364,9 @@ Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
   };
 
   // Groups in first-seen order, referenced by index from either key map.
+  // Grouping state is charged against op.aggregate once the group count is
+  // known (post-merge for the parallel mode) and released on return.
+  ScopedMemCharge scratch_mem(OpScratchTracker(PlanKind::kAggregate));
   std::vector<Group> groups;
 
   // Generic grouping driver over one key representation. Serial mode fills
@@ -1267,6 +1467,10 @@ Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
   if (kptrs.empty() && groups.empty()) {
     groups.push_back(Group{-1, std::vector<AggState>(node.agg_calls.size())});
   }
+  DL2SQL_RETURN_NOT_OK(scratch_mem.Charge(static_cast<int64_t>(
+      groups.size() *
+      (sizeof(Group) + 16 +
+       node.agg_calls.size() * sizeof(AggState)))));
 
   // Emit: key columns then aggregate columns.
   std::vector<Column> out_cols;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/cache.h"
+#include "common/mem_tracker.h"
 #include "common/timer.h"
 #include "db/catalog.h"
 #include "db/eval.h"
@@ -79,6 +80,12 @@ struct IntrospectionOptions {
 struct QueryRecordHints {
   int64_t session_id = 0;
   int64_t admission_wait_us = 0;
+  /// Statement RW-lock acquisition delay measured by QueryService.
+  int64_t lock_wait_us = 0;
+  /// The session's memory tracker; the per-query tracker parents under it
+  /// (falls back to MemTracker::Process() when null). Not owned; must stay
+  /// alive for the duration of the call.
+  MemTracker* session_mem = nullptr;
 };
 
 /// \brief An embedded, in-memory, columnar SQL engine.
@@ -186,6 +193,18 @@ class Database {
     return slow_query_ms_.load(std::memory_order_relaxed);
   }
 
+  /// Per-query hard memory budget in bytes (0 = unlimited, the default; the
+  /// environment variable DL2SQL_QUERY_MEM_LIMIT seeds it at construction).
+  /// A recorded statement whose operator charges would exceed the budget
+  /// fails with ResourceExhausted naming the offending operator — it never
+  /// aborts. Takes effect for statements starting after the call.
+  void set_query_mem_limit(int64_t bytes) {
+    query_mem_limit_.store(bytes, std::memory_order_relaxed);
+  }
+  int64_t query_mem_limit() const {
+    return query_mem_limit_.load(std::memory_order_relaxed);
+  }
+
   /// Plans and optimizes without executing (EXPLAIN). When `referenced` is
   /// non-null it receives every catalog relation the planner resolved — the
   /// dependency set the plan cache validates against catalog versions.
@@ -259,10 +278,41 @@ class Database {
     int64_t peak_operator_bytes = 0;
     /// Vectorized batches processed across all operators of the statement.
     int64_t vector_batches = 0;
+    /// \name Resource accounting (null/zero when MemTracker is disabled)
+    /// @{
+    /// The per-query tracker (owned by ExecuteStatementRecorded's stack
+    /// frame); operator charges and limit checks go through it.
+    MemTracker* mem = nullptr;
+    /// Lazily created per-PlanKind operator trackers, children of `mem`
+    /// (labels "op.<kind>"; the map key is the PlanKind value).
+    std::map<int, std::unique_ptr<MemTracker>> op_trackers;
+    /// Operator output-charge frames: each ExecNode wrapper pushes a frame,
+    /// children's output charges land in their parent's (then-innermost)
+    /// frame, and popping the frame releases them — so the tracker holds a
+    /// node's inputs and output simultaneously, like execution does. Charges
+    /// left at depth 0 (the root output) are released at end of statement.
+    std::vector<std::vector<std::pair<MemTracker*, int64_t>>> mem_frames;
+    /// Coalesced-batch attribution folded from EvalContexts.
+    double nudf_wait_seconds = 0.0;
+    double nudf_billed_seconds = 0.0;
+    /// @}
   };
 
   Result<Table> ExecNode(const PlanNode& node);
+  /// ExecNodeImpl plus NodeRunStats collection (ExplainAnalyze runs).
+  Result<Table> ExecNodeCollect(const PlanNode& node);
   Result<Table> ExecNodeImpl(const PlanNode& node);
+  /// Lazily created "op.<kind>" child of the running recorded statement's
+  /// query tracker; null when no tracked statement is active on this thread.
+  /// Operators charge transient state (join build sides, aggregation groups)
+  /// against it via ScopedMemCharge.
+  MemTracker* OpScratchTracker(PlanKind kind);
+  /// Charges `out_bytes` of operator output against the per-PlanKind tracker
+  /// of the running recorded statement; parks the charge in the parent's
+  /// frame (released when the parent operator finishes). ResourceExhausted
+  /// when the charge would exceed a tracker limit up the chain.
+  Status ChargeOperatorOutput(QueryTally* tally, const PlanNode& node,
+                              int64_t out_bytes);
   Result<Table> ExecScan(const PlanNode& node);
   Result<Table> ExecFilter(const PlanNode& node, Table input);
   Result<Table> ExecProject(const PlanNode& node, Table input);
@@ -309,6 +359,8 @@ class Database {
   bool vectorized_ = true;
   IntrospectionOptions introspection_options_;
   std::atomic<double> slow_query_ms_{250.0};
+  /// Per-query memory budget (0 = unlimited; DL2SQL_QUERY_MEM_LIMIT).
+  std::atomic<int64_t> query_mem_limit_{0};
   /// Ring behind system.queries; null when introspection is disabled.
   std::unique_ptr<QueryLog> query_log_;
   std::atomic<int64_t> neural_calls_{0};

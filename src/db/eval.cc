@@ -484,6 +484,10 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
     // a single wall-clock watch would under-count work done.
     std::vector<double> worker_seconds(
         static_cast<size_t>(parallel ? ctx->pool->num_threads() : 1), 0.0);
+    // Sink attribution (wait vs. billed batch share), accumulated per worker
+    // for the same race-freedom reason, folded into ctx after the loop.
+    std::vector<NudfBatchSink::NudfBatchStats> worker_sink_stats(
+        worker_seconds.size());
     // Morsels whose miss set was non-empty, i.e. real batch_fn invocations;
     // fully memoized morsels never reach the model.
     std::atomic<int64_t> invoked_batches{0};
@@ -538,9 +542,11 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
           // inference latency from this query's point of view.
           DL2SQL_TRACE_SPAN("nudf", "coalesce_batch");
           DL2SQL_ASSIGN_OR_RETURN(
-              fresh, sink->RunBatch(fingerprint, udf->batch_fn,
-                                    all_miss ? std::move(rows)
-                                             : std::move(miss_rows)));
+              fresh,
+              sink->RunBatch(fingerprint, udf->batch_fn,
+                             all_miss ? std::move(rows)
+                                      : std::move(miss_rows),
+                             &worker_sink_stats[static_cast<size_t>(worker)]));
         } else {
           DL2SQL_TRACE_SPAN("nudf", "invoke_batch");
           DL2SQL_ASSIGN_OR_RETURN(fresh,
@@ -589,6 +595,10 @@ Result<ColumnHandle> EvalFuncCall(const Expr& e, const Table& input,
       double secs = 0.0;
       for (double s : worker_seconds) secs += s;
       ctx->inference_seconds += secs;
+      for (const auto& ss : worker_sink_stats) {
+        ctx->nudf_wait_seconds += ss.wait_seconds;
+        ctx->nudf_billed_seconds += ss.billed_seconds;
+      }
       // Rows answered by the model, memoized or fresh: cache hits must not
       // perturb the per-row tallies the hint/pruning tests assert on.
       ctx->neural_calls += n;

@@ -35,9 +35,24 @@ namespace dl2sql::db {
 class NudfBatchSink {
  public:
   virtual ~NudfBatchSink() = default;
+
+  /// Per-call attribution a sink reports back to the submitting query
+  /// (resource accounting; zeros when the sink does not track them).
+  /// `billed_seconds` is this query's proportional share — by contributed row
+  /// count — of the `fn` invocations its rows rode in; summed over every
+  /// participant of a coalesced batch it equals the batch's total fn time.
+  /// `wait_seconds` is time spent blocked in the sink beyond the billed
+  /// share (waiting for the batch window to close or for another query's
+  /// leader to flush).
+  struct NudfBatchStats {
+    double wait_seconds = 0.0;
+    double billed_seconds = 0.0;
+  };
+
   virtual Result<std::vector<Value>> RunBatch(
       uint64_t fingerprint, const BatchFn& fn,
-      std::vector<std::vector<Value>>&& rows) = 0;
+      std::vector<std::vector<Value>>&& rows,
+      NudfBatchStats* stats = nullptr) = 0;
 };
 
 /// \brief Shared evaluation state threaded through expression evaluation.
@@ -87,6 +102,13 @@ struct EvalContext {
   int64_t vec_batches = 0;
   int64_t vec_rows_in = 0;
   int64_t vec_rows_selected = 0;
+  /// @}
+  /// \name Coalesced-batch attribution (folded by DrainEvalContext)
+  /// Seconds this query's rows waited in the batch sink, and the share of
+  /// shared batch_fn time billed back to this query (NudfBatchStats).
+  /// @{
+  double nudf_wait_seconds = 0.0;
+  double nudf_billed_seconds = 0.0;
   /// @}
 };
 

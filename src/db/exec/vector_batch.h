@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/mem_tracker.h"
 #include "db/column.h"
 
 namespace dl2sql::db::vec {
@@ -157,6 +158,17 @@ class BatchArena {
     sel_used_ = 0;
   }
 
+  /// Process-level tracker for pooled batch buffers. Arenas are per
+  /// morsel-loop body and their buffers are recycled across batches, so the
+  /// footprint belongs to the executor, not any single query; charges batch
+  /// through a BatchedMemCharge so steady state (no growth) never touches
+  /// the tracker.
+  static MemTracker* Tracker() {
+    static MemTracker* const tracker =
+        new MemTracker("exec.arena", MemTracker::Process());
+    return tracker;
+  }
+
  private:
   template <typename T>
   T* Acquire(std::vector<std::unique_ptr<std::vector<T>>>* pool, size_t* used,
@@ -166,6 +178,8 @@ class BatchArena {
     }
     std::vector<T>& buf = *(*pool)[*used];
     if (static_cast<int64_t>(buf.size()) < n) {
+      mem_.Add(static_cast<int64_t>(
+          (static_cast<size_t>(n) - buf.size()) * sizeof(T)));
       buf.resize(static_cast<size_t>(n));
     }
     ++*used;
@@ -178,6 +192,8 @@ class BatchArena {
   size_t i64_used_ = 0;
   size_t f64_used_ = 0;
   size_t sel_used_ = 0;
+  /// Releases everything this arena grew on destruction.
+  BatchedMemCharge mem_{Tracker()};
 };
 
 }  // namespace dl2sql::db::vec

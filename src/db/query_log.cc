@@ -78,6 +78,13 @@ struct QueryLog::Slot {
   std::atomic<int64_t> operator_rows{0};
   std::atomic<int64_t> vector_batches{0};
   std::atomic<int64_t> end_micros{0};
+  std::atomic<int64_t> cpu_us{0};
+  std::atomic<int64_t> lock_wait_us{0};
+  std::atomic<int64_t> pool_queue_wait_us{0};
+  std::atomic<int64_t> coalesce_wait_us{0};
+  std::atomic<int64_t> billed_batch_us{0};
+  std::atomic<int64_t> mem_peak_bytes{0};
+  std::atomic<int64_t> mem_cumulative_bytes{0};
   std::atomic<uint16_t> sql_len{0};
   std::atomic<uint16_t> error_len{0};
   std::atomic<uint8_t> kind{0};
@@ -115,6 +122,17 @@ void QueryLog::Record(const QueryLogRecord& record) {
   slot.operator_rows.store(record.operator_rows, std::memory_order_relaxed);
   slot.vector_batches.store(record.vector_batches, std::memory_order_relaxed);
   slot.end_micros.store(record.end_micros, std::memory_order_relaxed);
+  slot.cpu_us.store(record.cpu_us, std::memory_order_relaxed);
+  slot.lock_wait_us.store(record.lock_wait_us, std::memory_order_relaxed);
+  slot.pool_queue_wait_us.store(record.pool_queue_wait_us,
+                                std::memory_order_relaxed);
+  slot.coalesce_wait_us.store(record.coalesce_wait_us,
+                              std::memory_order_relaxed);
+  slot.billed_batch_us.store(record.billed_batch_us,
+                             std::memory_order_relaxed);
+  slot.mem_peak_bytes.store(record.mem_peak_bytes, std::memory_order_relaxed);
+  slot.mem_cumulative_bytes.store(record.mem_cumulative_bytes,
+                                  std::memory_order_relaxed);
   slot.sql_len.store(StoreText(slot.sql, record.sql),
                      std::memory_order_relaxed);
   slot.error_len.store(StoreText(slot.error, record.error),
@@ -147,6 +165,15 @@ std::vector<QueryLogRecord> QueryLog::Snapshot() const {
     r.operator_rows = slot.operator_rows.load(std::memory_order_relaxed);
     r.vector_batches = slot.vector_batches.load(std::memory_order_relaxed);
     r.end_micros = slot.end_micros.load(std::memory_order_relaxed);
+    r.cpu_us = slot.cpu_us.load(std::memory_order_relaxed);
+    r.lock_wait_us = slot.lock_wait_us.load(std::memory_order_relaxed);
+    r.pool_queue_wait_us =
+        slot.pool_queue_wait_us.load(std::memory_order_relaxed);
+    r.coalesce_wait_us = slot.coalesce_wait_us.load(std::memory_order_relaxed);
+    r.billed_batch_us = slot.billed_batch_us.load(std::memory_order_relaxed);
+    r.mem_peak_bytes = slot.mem_peak_bytes.load(std::memory_order_relaxed);
+    r.mem_cumulative_bytes =
+        slot.mem_cumulative_bytes.load(std::memory_order_relaxed);
     r.sql = LoadText(slot.sql, slot.sql_len.load(std::memory_order_relaxed));
     r.error =
         LoadText(slot.error, slot.error_len.load(std::memory_order_relaxed));

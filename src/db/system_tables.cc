@@ -74,6 +74,38 @@ Result<TablePtr> MaterializeQueries(Database* db, const TableSchema& schema) {
   return t;
 }
 
+// --------------------------------------------------- system.query_profiles
+
+/// The resource-accounting view over the same seqlock ring as
+/// system.queries: one row per finished query with its CPU / wait-state /
+/// tracked-memory breakdown. Columns are all zeros when the query ran with
+/// DL2SQL_MEM_TRACKER=OFF.
+Result<TablePtr> MaterializeQueryProfiles(Database* db,
+                                          const TableSchema& schema) {
+  auto t = std::make_shared<Table>(Table{schema});
+  QueryLog* log = db->query_log();
+  if (log == nullptr) return t;
+  for (const QueryLogRecord& r : log->Snapshot()) {
+    DL2SQL_RETURN_NOT_OK(t->AppendRow({
+        Value::Int(r.id),
+        Value::String(r.sql),
+        Value::String(QueryKindName(r.kind)),
+        Value::Int(r.session_id),
+        Value::Float(static_cast<double>(r.duration_us) / 1000.0),
+        Value::Float(static_cast<double>(r.cpu_us) / 1000.0),
+        Value::Float(static_cast<double>(r.admission_wait_us) / 1000.0),
+        Value::Float(static_cast<double>(r.lock_wait_us) / 1000.0),
+        Value::Float(static_cast<double>(r.pool_queue_wait_us) / 1000.0),
+        Value::Float(static_cast<double>(r.coalesce_wait_us) / 1000.0),
+        Value::Float(static_cast<double>(r.billed_batch_us) / 1000.0),
+        Value::Int(r.mem_peak_bytes),
+        Value::Int(r.mem_cumulative_bytes),
+        Value::Int(r.end_micros),
+    }));
+  }
+  return t;
+}
+
 // ------------------------------------------------------------ system.spans
 
 Result<TablePtr> MaterializeSpans(const TableSchema& schema) {
@@ -124,17 +156,18 @@ Result<TablePtr> MaterializeTables(Database* db, const TableSchema& schema) {
         {Value::String(name), Value::String("table"),
          Value::Int((*table)->num_rows()),
          Value::Int(static_cast<int64_t>((*table)->ByteSize())),
+         Value::Int(catalog.TrackedBytes(name)),
          Value::Bool(catalog.IsTemporary(name))}));
   }
   for (const std::string& name : catalog.ViewNames()) {
-    DL2SQL_RETURN_NOT_OK(
-        t->AppendRow({Value::String(name), Value::String("view"),
-                      Value::Int(0), Value::Int(0), Value::Bool(false)}));
+    DL2SQL_RETURN_NOT_OK(t->AppendRow(
+        {Value::String(name), Value::String("view"), Value::Int(0),
+         Value::Int(0), Value::Int(0), Value::Bool(false)}));
   }
   for (const std::string& name : catalog.VirtualTableNames()) {
-    DL2SQL_RETURN_NOT_OK(
-        t->AppendRow({Value::String(name), Value::String("virtual"),
-                      Value::Int(0), Value::Int(0), Value::Bool(false)}));
+    DL2SQL_RETURN_NOT_OK(t->AppendRow(
+        {Value::String(name), Value::String("virtual"), Value::Int(0),
+         Value::Int(0), Value::Int(0), Value::Bool(false)}));
   }
   return t;
 }
@@ -176,6 +209,28 @@ void RegisterDatabaseSystemTables(Database* db) {
                        }))
                    .ok());
 
+  TableSchema profiles_schema({{"id", DataType::kInt64},
+                               {"sql", DataType::kString},
+                               {"kind", DataType::kString},
+                               {"session_id", DataType::kInt64},
+                               {"duration_ms", DataType::kFloat64},
+                               {"cpu_ms", DataType::kFloat64},
+                               {"admission_wait_ms", DataType::kFloat64},
+                               {"lock_wait_ms", DataType::kFloat64},
+                               {"pool_queue_wait_ms", DataType::kFloat64},
+                               {"coalesce_wait_ms", DataType::kFloat64},
+                               {"billed_batch_ms", DataType::kFloat64},
+                               {"mem_peak_bytes", DataType::kInt64},
+                               {"mem_cumulative_bytes", DataType::kInt64},
+                               {"end_micros", DataType::kInt64}});
+  DL2SQL_CHECK(catalog
+                   .RegisterVirtualTable(std::make_shared<CallbackVirtualTable>(
+                       "system.query_profiles", std::move(profiles_schema),
+                       [db](const TableSchema& s) {
+                         return MaterializeQueryProfiles(db, s);
+                       }))
+                   .ok());
+
   TableSchema spans_schema({{"name", DataType::kString},
                             {"count", DataType::kInt64},
                             {"total_us", DataType::kInt64},
@@ -207,6 +262,7 @@ void RegisterDatabaseSystemTables(Database* db) {
                              {"kind", DataType::kString},
                              {"rows", DataType::kInt64},
                              {"bytes", DataType::kInt64},
+                             {"tracked_bytes", DataType::kInt64},
                              {"temporary", DataType::kBool}});
   DL2SQL_CHECK(catalog
                    .RegisterVirtualTable(std::make_shared<CallbackVirtualTable>(

@@ -63,7 +63,8 @@ BatchCoalescer::BatchCoalescer(CoalescerOptions options)
 BatchCoalescer::~BatchCoalescer() = default;
 
 Result<std::vector<db::Value>> BatchCoalescer::InvokeChunked(
-    const db::BatchFn& fn, std::vector<std::vector<db::Value>>&& rows) {
+    const db::BatchFn& fn, std::vector<std::vector<db::Value>>&& rows,
+    double* fn_seconds_out) {
   const CoalescerMetrics& m = CoalescerMetrics::Get();
   const size_t cap = options_.max_batch_rows > 0
                          ? static_cast<size_t>(options_.max_batch_rows)
@@ -76,9 +77,12 @@ Result<std::vector<db::Value>> BatchCoalescer::InvokeChunked(
     chunk.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) chunk.push_back(std::move(rows[i]));
     Stopwatch watch;
-    DL2SQL_ASSIGN_OR_RETURN(std::vector<db::Value> vals, fn(chunk));
+    Result<std::vector<db::Value>> call = fn(chunk);
+    const double secs = watch.ElapsedSeconds();
+    if (fn_seconds_out != nullptr) *fn_seconds_out += secs;
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<db::Value> vals, std::move(call));
     m.batches->Increment();
-    m.batch_us->Record(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+    m.batch_us->Record(static_cast<int64_t>(secs * 1e6));
     if (vals.size() != chunk.size()) {
       return Status::InternalError("coalesced batch body returned ",
                                    vals.size(), " values for ", chunk.size(),
@@ -91,7 +95,7 @@ Result<std::vector<db::Value>> BatchCoalescer::InvokeChunked(
 
 Result<std::vector<db::Value>> BatchCoalescer::RunBatch(
     uint64_t fingerprint, const db::BatchFn& fn,
-    std::vector<std::vector<db::Value>>&& rows) {
+    std::vector<std::vector<db::Value>>&& rows, NudfBatchStats* stats) {
   if (rows.empty()) return std::vector<db::Value>{};
   const CoalescerMetrics& m = CoalescerMetrics::Get();
   m.submissions->Increment();
@@ -101,8 +105,10 @@ Result<std::vector<db::Value>> BatchCoalescer::RunBatch(
     // call for the whole submission, no chunking — the comparison baseline.
     Stopwatch watch;
     DL2SQL_ASSIGN_OR_RETURN(std::vector<db::Value> vals, fn(rows));
+    const double secs = watch.ElapsedSeconds();
+    if (stats != nullptr) stats->billed_seconds += secs;
     m.batches->Increment();
-    m.batch_us->Record(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+    m.batch_us->Record(static_cast<int64_t>(secs * 1e6));
     if (vals.size() != rows.size()) {
       return Status::InternalError("batch body returned ", vals.size(),
                                    " values for ", rows.size(), " rows");
@@ -111,7 +117,11 @@ Result<std::vector<db::Value>> BatchCoalescer::RunBatch(
   }
   if (inflight_ && inflight_() <= 1) {
     m.bypass->Increment();
-    return InvokeChunked(fn, std::move(rows));
+    // Unshared batch: the submitter is billed for all of its fn time.
+    double fn_seconds = 0.0;
+    auto result = InvokeChunked(fn, std::move(rows), &fn_seconds);
+    if (stats != nullptr) stats->billed_seconds += fn_seconds;
+    return result;
   }
 
   DL2SQL_TRACE_SPAN("server", "coalesce");
@@ -163,8 +173,10 @@ Result<std::vector<db::Value>> BatchCoalescer::RunBatch(
       std::vector<std::vector<db::Value>> batch = std::move(group->rows);
       group->rows.clear();
       lock.unlock();
-      auto result = InvokeChunked(fn, std::move(batch));
+      double fn_seconds = 0.0;
+      auto result = InvokeChunked(fn, std::move(batch), &fn_seconds);
       lock.lock();
+      group->fn_seconds = fn_seconds;
       if (result.ok()) {
         group->results = std::move(result).ValueOrDie();
       } else {
@@ -175,7 +187,20 @@ Result<std::vector<db::Value>> BatchCoalescer::RunBatch(
     }
   }
 
-  m.wait_us->Record(wait_watch.ElapsedMicros());
+  const double elapsed_seconds = wait_watch.ElapsedSeconds();
+  m.wait_us->Record(static_cast<int64_t>(elapsed_seconds * 1e6));
+  if (stats != nullptr) {
+    // Proportional billing: this submission pays for its row share of the
+    // group's total fn time; the remainder of its blocked time was waiting
+    // (for the window to close, or for other queries' rows to be computed).
+    double billed = 0.0;
+    if (group->status.ok() && !group->results.empty()) {
+      billed = group->fn_seconds * static_cast<double>(my_count) /
+               static_cast<double>(group->results.size());
+    }
+    stats->billed_seconds += billed;
+    stats->wait_seconds += std::max(0.0, elapsed_seconds - billed);
+  }
   DL2SQL_RETURN_NOT_OK(group->status);
   if (group->results.size() < my_offset + my_count) {
     return Status::InternalError("coalesced batch produced ",

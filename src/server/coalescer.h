@@ -67,9 +67,16 @@ class BatchCoalescer : public db::NudfBatchSink {
 
   /// db::NudfBatchSink: called from query threads (and pool workers running
   /// nUDF morsels). Blocks at most the wait window plus the model call.
+  ///
+  /// When `stats` is non-null it receives this submission's attribution:
+  /// billed_seconds = the group's total batch_fn time × (this submission's
+  /// rows / the group's rows) — proportional billing, so summing over every
+  /// participant recovers 100% of the fn time — and wait_seconds = time
+  /// blocked here beyond that share.
   Result<std::vector<db::Value>> RunBatch(
       uint64_t fingerprint, const db::BatchFn& fn,
-      std::vector<std::vector<db::Value>>&& rows) override;
+      std::vector<std::vector<db::Value>>&& rows,
+      NudfBatchStats* stats = nullptr) override;
 
  private:
   /// One forming batch: rows from >=1 submissions against one fingerprint.
@@ -81,13 +88,18 @@ class BatchCoalescer : public db::NudfBatchSink {
     bool done = false;
     Status status;
     std::vector<db::Value> results;
+    /// Total batch_fn seconds the leader spent flushing this group; billed
+    /// back to participants proportional to their contributed row counts.
+    double fn_seconds = 0.0;
     std::condition_variable cv;
   };
 
   /// Invokes `fn` over `rows` in chunks of at most max_batch_rows, counting
-  /// one nudf.batches per call.
+  /// one nudf.batches per call. Adds the summed fn wall time to
+  /// `fn_seconds_out` when non-null (also on error, for partial chunks).
   Result<std::vector<db::Value>> InvokeChunked(
-      const db::BatchFn& fn, std::vector<std::vector<db::Value>>&& rows);
+      const db::BatchFn& fn, std::vector<std::vector<db::Value>>&& rows,
+      double* fn_seconds_out);
 
   const CoalescerOptions options_;
   std::function<int()> inflight_;

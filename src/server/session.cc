@@ -54,7 +54,9 @@ QueryService::QueryService(db::Database* db, ServiceOptions options)
   if (db_->introspection_options().enabled) {
     db::TableSchema schema({{"id", db::DataType::kInt64},
                             {"statements_ok", db::DataType::kInt64},
-                            {"statements_failed", db::DataType::kInt64}});
+                            {"statements_failed", db::DataType::kInt64},
+                            {"tracked_bytes", db::DataType::kInt64},
+                            {"tracked_peak_bytes", db::DataType::kInt64}});
     sessions_table_registered_ =
         db_->catalog()
             .RegisterVirtualTable(std::make_shared<db::CallbackVirtualTable>(
@@ -65,10 +67,13 @@ QueryService::QueryService(db::Database* db, ServiceOptions options)
                   for (const auto& weak : sessions_) {
                     auto session = weak.lock();
                     if (session == nullptr) continue;
+                    const MemTracker& mem = *session->mem_tracker();
                     DL2SQL_RETURN_NOT_OK(t->AppendRow(
                         {db::Value::Int(static_cast<int64_t>(session->id())),
                          db::Value::Int(session->statements_ok()),
-                         db::Value::Int(session->statements_failed())}));
+                         db::Value::Int(session->statements_failed()),
+                         db::Value::Int(mem.consumption()),
+                         db::Value::Int(mem.peak())}));
                   }
                   return t;
                 }))
@@ -100,7 +105,7 @@ std::shared_ptr<Session> QueryService::CreateSession() {
 }
 
 Result<db::Table> QueryService::Execute(const std::string& sql,
-                                        uint64_t session_id) {
+                                        Session* session) {
   DL2SQL_TRACE_SPAN("server", "request");
   const ServiceMetrics& m = ServiceMetrics::Get();
   m.requests->Increment();
@@ -113,17 +118,22 @@ Result<db::Table> QueryService::Execute(const std::string& sql,
   DL2SQL_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
                           admission_.AdmitTicket());
   db::QueryRecordHints hints;
-  hints.session_id = static_cast<int64_t>(session_id);
+  hints.session_id = static_cast<int64_t>(session->id());
+  hints.session_mem = session->mem_tracker();
   hints.admission_wait_us = wait_watch.ElapsedMicros();
 
   Stopwatch exec_watch;
   Result<db::Table> result = [&]() -> Result<db::Table> {
     if (IsSelect(stmt)) {
+      Stopwatch lock_watch;
       std::shared_lock<std::shared_mutex> lock(exec_mu_);
+      hints.lock_wait_us = lock_watch.ElapsedMicros();
       DL2SQL_TRACE_SPAN("server", "exec_select");
       return db_->ExecuteStatementRecorded(stmt, sql, hints);
     }
+    Stopwatch lock_watch;
     std::unique_lock<std::shared_mutex> lock(exec_mu_);
+    hints.lock_wait_us = lock_watch.ElapsedMicros();
     DL2SQL_TRACE_SPAN("server", "exec_write");
     return db_->ExecuteStatementRecorded(stmt, sql, hints);
   }();
@@ -164,7 +174,7 @@ Status QueryService::ExecuteScript(const std::string& script) {
 }
 
 Result<db::Table> Session::Execute(const std::string& sql) {
-  auto result = service_->Execute(sql, id_);
+  auto result = service_->Execute(sql, this);
   (result.ok() ? ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
   return result;
 }

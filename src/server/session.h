@@ -76,9 +76,10 @@ class QueryService {
 
   /// The concurrent entry path: admission -> parse -> classify -> RW lock ->
   /// execute -> budget checks. Every failure is a status, never a hang.
-  /// `session_id` and the measured admission wait flow into the query log
-  /// (system.queries) as QueryRecordHints.
-  Result<db::Table> Execute(const std::string& sql, uint64_t session_id);
+  /// The session's id, memory tracker, and the measured admission / RW-lock
+  /// waits flow into the query log (system.queries, system.query_profiles)
+  /// as QueryRecordHints.
+  Result<db::Table> Execute(const std::string& sql, Session* session);
 
   /// Whole scripts take the exclusive lock once (DDL/DML heavy by nature).
   Status ExecuteScript(const std::string& script);
@@ -106,7 +107,9 @@ class QueryService {
 /// sessions execute concurrently.
 class Session {
  public:
-  Session(QueryService* service, uint64_t id) : service_(service), id_(id) {}
+  Session(QueryService* service, uint64_t id)
+      : service_(service), id_(id),
+        mem_("session-" + std::to_string(id), MemTracker::Process()) {}
 
   uint64_t id() const { return id_; }
   SessionSettings& settings() { return settings_; }
@@ -126,9 +129,18 @@ class Session {
     return failed_.load(std::memory_order_relaxed);
   }
 
+  /// Per-session memory tracker ("session-<id>" under the process root);
+  /// each statement's query tracker is parented here, so consumption() is
+  /// the session's live tracked bytes and peak() its high-water mark.
+  /// Surfaced as the tracked_bytes / tracked_peak_bytes columns of
+  /// system.sessions (zeros with DL2SQL_MEM_TRACKER=OFF).
+  MemTracker* mem_tracker() { return &mem_; }
+  const MemTracker& mem_tracker() const { return mem_; }
+
  private:
   QueryService* const service_;
   const uint64_t id_;
+  MemTracker mem_;
   SessionSettings settings_;
   std::atomic<int64_t> ok_{0};
   std::atomic<int64_t> failed_{0};

@@ -152,7 +152,14 @@ Status Catalog::Analyze(const std::string& name) {
   if (it == tables_.end()) {
     return Status::NotFound("table '", name, "' does not exist");
   }
-  it->second.stats = AnalyzeTable(*it->second.table);
+  if (it->second.table->is_paged()) {
+    // AnalyzeTable reads columns directly; stats collection is a one-shot
+    // full pass, so materializing a copy is the honest cost either way.
+    DL2SQL_ASSIGN_OR_RETURN(Table resident, it->second.table->Materialize());
+    it->second.stats = AnalyzeTable(resident);
+  } else {
+    it->second.stats = AnalyzeTable(*it->second.table);
+  }
   SyncTrackedLocked(it->second);
   // Fresh stats steer the optimizer differently: cached plans must re-plan.
   BumpVersion(it->first);
@@ -187,8 +194,13 @@ Status Catalog::CreateIndex(const std::string& table,
     return Status::NotFound("table '", table, "' does not exist");
   }
   DL2SQL_ASSIGN_OR_RETURN(int col, it->second.table->schema().Find(column));
-  DL2SQL_ASSIGN_OR_RETURN(std::shared_ptr<HashIndex> index,
-                          HashIndex::Build(*it->second.table, col));
+  std::shared_ptr<HashIndex> index;
+  if (it->second.table->is_paged()) {
+    DL2SQL_ASSIGN_OR_RETURN(Table resident, it->second.table->Materialize());
+    DL2SQL_ASSIGN_OR_RETURN(index, HashIndex::Build(resident, col));
+  } else {
+    DL2SQL_ASSIGN_OR_RETURN(index, HashIndex::Build(*it->second.table, col));
+  }
   it->second.indexes[ToLower(column)] = std::move(index);
   BumpVersion(it->first);
   return Status::OK();

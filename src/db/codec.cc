@@ -43,6 +43,12 @@ int64_t UnZigZag(uint64_t v) {
 }  // namespace
 
 Result<std::string> CompressTable(const Table& table) {
+  if (table.is_paged()) {
+    // Snapshots and storage accounting always see the resident form; the
+    // paged backing is an execution-time representation only.
+    DL2SQL_ASSIGN_OR_RETURN(Table resident, table.Materialize());
+    return CompressTable(resident);
+  }
   std::string out(kMagic, 8);
   WriteVarint(static_cast<uint64_t>(table.num_columns()), &out);
   WriteVarint(static_cast<uint64_t>(table.num_rows()), &out);
@@ -184,6 +190,164 @@ Result<Table> DecompressTable(const std::string& bytes) {
 Result<uint64_t> CompressedTableBytes(const Table& table) {
   DL2SQL_ASSIGN_OR_RETURN(std::string bytes, CompressTable(table));
   return static_cast<uint64_t>(bytes.size());
+}
+
+Status EncodeColumnSlice(const Column& col, int64_t begin, int64_t end,
+                         std::string* out) {
+  if (begin < 0 || end < begin || end > col.size()) {
+    return Status::InvalidArgument("bad column slice [", begin, ", ", end,
+                                   ") of ", col.size(), " rows");
+  }
+  const auto& validity = col.validity();
+  bool has_nulls = false;
+  if (!validity.empty()) {
+    for (int64_t i = begin; i < end; ++i) {
+      if (validity[static_cast<size_t>(i)] == 0) {
+        has_nulls = true;
+        break;
+      }
+    }
+  }
+  out->push_back(has_nulls ? '\x01' : '\x00');
+  if (has_nulls) {
+    uint8_t acc = 0;
+    int bits = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      const uint8_t valid = validity[static_cast<size_t>(i)] != 0 ? 1 : 0;
+      acc = static_cast<uint8_t>(acc | (valid << bits));
+      if (++bits == 8) {
+        out->push_back(static_cast<char>(acc));
+        acc = 0;
+        bits = 0;
+      }
+    }
+    if (bits > 0) out->push_back(static_cast<char>(acc));
+  }
+  switch (col.type()) {
+    case DataType::kInt64: {
+      // Delta base resets per slice so any chunk decodes independently.
+      // NULL rows encode their default slot value; the bitmap restores them.
+      int64_t prev = 0;
+      const auto& v = col.ints();
+      for (int64_t i = begin; i < end; ++i) {
+        WriteVarint(ZigZag(v[static_cast<size_t>(i)] - prev), out);
+        prev = v[static_cast<size_t>(i)];
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      // Raw 8 bytes — paged tables must round-trip bit-identically, so the
+      // float32 narrowing of CompressTable is not acceptable here.
+      const auto& v = col.floats();
+      out->append(reinterpret_cast<const char*>(v.data() + begin),
+                  static_cast<size_t>(end - begin) * sizeof(double));
+      break;
+    }
+    case DataType::kBool: {
+      uint8_t acc = 0;
+      int bits = 0;
+      const auto& v = col.bools();
+      for (int64_t i = begin; i < end; ++i) {
+        acc = static_cast<uint8_t>(acc | ((v[static_cast<size_t>(i)] & 1)
+                                          << bits));
+        if (++bits == 8) {
+          out->push_back(static_cast<char>(acc));
+          acc = 0;
+          bits = 0;
+        }
+      }
+      if (bits > 0) out->push_back(static_cast<char>(acc));
+      break;
+    }
+    case DataType::kString:
+    case DataType::kBlob: {
+      const auto& v = col.strings();
+      for (int64_t i = begin; i < end; ++i) {
+        const auto& s = v[static_cast<size_t>(i)];
+        WriteVarint(s.size(), out);
+        out->append(s);
+      }
+      break;
+    }
+    case DataType::kNull:
+      break;
+  }
+  return Status::OK();
+}
+
+Result<Column> DecodeColumnSlice(DataType type, int64_t n_rows,
+                                 const std::string& in, size_t* pos) {
+  if (*pos >= in.size()) {
+    return Status::ParseError("truncated column slice header");
+  }
+  const uint64_t n = static_cast<uint64_t>(n_rows);
+  const bool has_nulls = in[*pos] != '\x00';
+  ++*pos;
+  std::vector<uint8_t> validity;
+  if (has_nulls) {
+    validity.resize(n);
+    for (uint64_t r = 0; r < n; ++r) {
+      const size_t byte_idx = *pos + r / 8;
+      if (byte_idx >= in.size()) {
+        return Status::ParseError("truncated validity bitmap");
+      }
+      validity[r] = (static_cast<uint8_t>(in[byte_idx]) >> (r % 8)) & 1;
+    }
+    *pos += (n + 7) / 8;
+  }
+  Column col(type);
+  col.Reserve(n_rows);
+  switch (type) {
+    case DataType::kInt64: {
+      int64_t prev = 0;
+      auto& v = col.mutable_ints();
+      for (uint64_t r = 0; r < n; ++r) {
+        DL2SQL_ASSIGN_OR_RETURN(uint64_t d, ReadVarint(in, pos));
+        prev += UnZigZag(d);
+        v.push_back(prev);
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      auto& v = col.mutable_floats();
+      if (*pos + n * sizeof(double) > in.size()) {
+        return Status::ParseError("truncated float slice");
+      }
+      v.resize(n);
+      std::memcpy(v.data(), in.data() + *pos, n * sizeof(double));
+      *pos += n * sizeof(double);
+      break;
+    }
+    case DataType::kBool: {
+      auto& v = col.mutable_bools();
+      for (uint64_t r = 0; r < n; ++r) {
+        const size_t byte_idx = *pos + r / 8;
+        if (byte_idx >= in.size()) {
+          return Status::ParseError("truncated bool slice");
+        }
+        v.push_back((static_cast<uint8_t>(in[byte_idx]) >> (r % 8)) & 1);
+      }
+      *pos += (n + 7) / 8;
+      break;
+    }
+    case DataType::kString:
+    case DataType::kBlob: {
+      auto& v = col.mutable_strings();
+      for (uint64_t r = 0; r < n; ++r) {
+        DL2SQL_ASSIGN_OR_RETURN(uint64_t len, ReadVarint(in, pos));
+        if (*pos + len > in.size()) {
+          return Status::ParseError("truncated string slice");
+        }
+        v.push_back(in.substr(*pos, len));
+        *pos += len;
+      }
+      break;
+    }
+    case DataType::kNull:
+      return Status::ParseError("cannot decode null-typed slice");
+  }
+  if (has_nulls) col.SetValidity(std::move(validity));
+  return col;
 }
 
 }  // namespace dl2sql::db

@@ -30,4 +30,25 @@ Result<Table> DecompressTable(const std::string& bytes);
 /// Convenience: compressed byte size of a table.
 Result<uint64_t> CompressedTableBytes(const Table& table);
 
+/// \name Column-slice codec (paged storage)
+///
+/// Serializes rows [begin, end) of one column for the block-file chunks of
+/// paged tables (db/storage/paged_table.h). Unlike CompressTable this format
+/// is fully lossless — floats are stored as raw 8 bytes and NULLs are carried
+/// in a bit-packed validity bitmap — because paged tables must be
+/// bit-identical to their resident form. Ints are zigzag-varint
+/// delta-encoded with the delta base reset per slice, bools bit-packed,
+/// strings/blobs varint-length-prefixed.
+/// @{
+
+/// Appends the encoded slice to `*out`.
+Status EncodeColumnSlice(const Column& col, int64_t begin, int64_t end,
+                         std::string* out);
+
+/// Decodes `n_rows` rows of a `type` column from `in` starting at `*pos`,
+/// advancing `*pos` past the slice.
+Result<Column> DecodeColumnSlice(DataType type, int64_t n_rows,
+                                 const std::string& in, size_t* pos);
+/// @}
+
 }  // namespace dl2sql::db

@@ -101,6 +101,16 @@ class Column {
   }
   /// @}
 
+  /// Raw validity flags (empty = all rows valid). For codecs and paging.
+  const std::vector<uint8_t>& validity() const { return data_->validity; }
+
+  /// Replaces the validity vector wholesale (empty = all valid). `v` must be
+  /// empty or size()-long; used when reconstituting columns from storage.
+  void SetValidity(std::vector<uint8_t> v) {
+    Detach();
+    data_->validity = std::move(v);
+  }
+
   /// Gathers rows by index into a new column (indices must be in range).
   Column Take(const std::vector<int64_t>& indices) const;
 

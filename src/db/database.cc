@@ -18,6 +18,9 @@
 #include "db/exec/vector_batch.h"
 #include "db/exec/vector_kernels.h"
 #include "db/sql/printer.h"
+#include "db/storage/column_source.h"
+#include "db/storage/paged_table.h"
+#include "db/storage/storage_engine.h"
 #include "db/system_tables.h"
 
 namespace dl2sql::db {
@@ -149,6 +152,27 @@ Database::Database()
     const long long parsed = std::strtoll(env, nullptr, 10);
     if (parsed > 0) query_mem_limit_.store(parsed, std::memory_order_relaxed);
   }
+  // DL2SQL_STORAGE=paged selects the out-of-core paged storage mode at
+  // construction (pool budget and the other knobs come from their own env
+  // variables via StorageOptions::FromEnv). An engine that fails to open —
+  // no writable temp directory — degrades to in-memory with a warning
+  // instead of failing construction.
+  if (const char* env = std::getenv("DL2SQL_STORAGE")) {
+    const std::string v = env;
+    if (v == "paged" || v == "PAGED") {
+      const Status st = set_storage_mode(StorageMode::kPaged);
+      if (!st.ok()) {
+        DL2SQL_LOG(Warning)
+            << "DL2SQL_STORAGE=paged: storage engine unavailable, staying "
+               "in-memory: "
+            << st.ToString();
+      }
+    } else if (v != "memory" && v != "MEMORY" && !v.empty()) {
+      DL2SQL_LOG(Warning) << "DL2SQL_STORAGE='" << v
+                          << "' not recognized (want 'paged' or 'memory'); "
+                             "staying in-memory";
+    }
+  }
   if (introspection_options_.enabled) {
     query_log_ =
         std::make_unique<QueryLog>(introspection_options_.query_log_capacity);
@@ -159,6 +183,43 @@ Database::Database()
 void Database::set_cache_options(CacheOptions opts) {
   cache_options_ = opts;
   RebuildCaches();
+}
+
+Status Database::set_storage_mode(StorageMode mode) {
+  return set_storage_mode(mode, storage::StorageOptions::FromEnv());
+}
+
+Status Database::set_storage_mode(StorageMode mode,
+                                  const storage::StorageOptions& options) {
+  if (mode == StorageMode::kPaged && storage_ == nullptr) {
+    DL2SQL_ASSIGN_OR_RETURN(storage_, storage::StorageEngine::Create(options));
+  }
+  storage_mode_ = mode;
+  return Status::OK();
+}
+
+Status Database::MaybePageOut(Table* table) {
+  if (storage_mode_ != StorageMode::kPaged || storage_ == nullptr ||
+      table == nullptr || table->is_paged() || table->num_columns() == 0) {
+    return Status::OK();
+  }
+  if (table->ByteSize() < storage_->options().page_min_bytes) {
+    return Status::OK();
+  }
+  return table->PageOut(storage_);
+}
+
+void Database::TallySpill(int64_t bytes, int64_t partitions) {
+  if (QueryTally* tally = tls_tally_) {
+    tally->spill_bytes += bytes;
+    tally->spill_partitions += partitions;
+  }
+  static Counter* const spill_bytes_counter =
+      MetricsRegistry::Global().counter("db.spill.bytes");
+  static Counter* const spill_partitions_counter =
+      MetricsRegistry::Global().counter("db.spill.partitions");
+  if (bytes > 0) spill_bytes_counter->Increment(bytes);
+  if (partitions > 0) spill_partitions_counter->Increment(partitions);
 }
 
 void Database::RebuildCaches() {
@@ -326,6 +387,8 @@ Result<Table> Database::ExecuteStatementRecorded(const Statement& stmt,
   rec.peak_operator_bytes = tally.peak_operator_bytes;
   rec.operator_rows = tally.operator_rows;
   rec.vector_batches = tally.vector_batches;
+  rec.spill_bytes = tally.spill_bytes;
+  rec.spill_partitions = tally.spill_partitions;
   rec.end_micros = TraceCollector::NowMicros();
   rec.lock_wait_us = hints.lock_wait_us;
   if (profile) {
@@ -507,7 +570,7 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
   if (plan_cache_ == nullptr) {
     DL2SQL_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt));
     SetLastPlan(plan);
-    return ExecNode(*plan);
+    return ExecRoot(*plan);
   }
 
   const uint64_t key = PlanCacheKey(stmt);
@@ -522,7 +585,7 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
       if (fresh) {
         if (QueryTally* tally = tls_tally_) tally->plan_cache_hit = true;
         SetLastPlan(hit->plan);
-        return ExecNode(*hit->plan);
+        return ExecRoot(*hit->plan);
       }
       // Stale (DDL/DML bumped a referenced relation, or the cost model was
       // swapped): drop the entry and fall through to a fresh plan.
@@ -546,11 +609,20 @@ Result<Table> Database::ExecuteSelect(const SelectStmt& stmt) {
   }
   plan_cache_->Insert(key, std::move(entry), charge);
   SetLastPlan(plan);
-  return ExecNode(*plan);
+  return ExecRoot(*plan);
 }
 
 Result<Table> Database::ExecutePlan(const PlanNode& plan) {
-  return ExecNode(plan);
+  return ExecRoot(plan);
+}
+
+Result<Table> Database::ExecRoot(const PlanNode& plan) {
+  DL2SQL_ASSIGN_OR_RETURN(Table out, ExecNode(plan));
+  // Callers of a SELECT — result consumers, CTAS, subqueries — expect
+  // resident columns; a paged root output (e.g. a bare scan of a paged base
+  // table) decodes here.
+  DL2SQL_RETURN_NOT_OK(out.EnsureResident());
+  return out;
 }
 
 Status Database::RegisterTable(const std::string& name, Table table,
@@ -558,6 +630,7 @@ Status Database::RegisterTable(const std::string& name, Table table,
   if (catalog_.HasTable(name)) {
     DL2SQL_RETURN_NOT_OK(catalog_.DropTable(name, false));
   }
+  DL2SQL_RETURN_NOT_OK(MaybePageOut(&table));
   return catalog_.CreateTable(name, std::make_shared<Table>(std::move(table)),
                               temporary);
 }
@@ -591,6 +664,27 @@ Status Database::ChargeOperatorOutput(QueryTally* tally, const PlanNode& node,
   return Status::OK();
 }
 
+Result<bool> Database::TryEnsureResident(PlanKind kind, Table* t) {
+  if (!t->is_paged()) return true;
+  const int64_t bytes = static_cast<int64_t>(t->ByteSize());
+  QueryTally* const tally = tls_tally_;
+  if (tally != nullptr && tally->mem != nullptr) {
+    MemTracker* const tracker = OpScratchTracker(kind);
+    // Admission check: does the resident form fit under the query budget?
+    // On admission the charge is parked in the operator's own frame (popped
+    // when it finishes), billing the materialized input for exactly as long
+    // as the operator holds it.
+    if (!tracker->TryConsume(bytes).ok()) return false;
+    if (!tally->mem_frames.empty()) {
+      tally->mem_frames.back().emplace_back(tracker, bytes);
+    } else {
+      tracker->Release(bytes);
+    }
+  }
+  DL2SQL_RETURN_NOT_OK(t->EnsureResident());
+  return true;
+}
+
 Result<Table> Database::ExecNode(const PlanNode& node) {
   DL2SQL_TRACE_SPAN("db", PlanKindToString(node.kind));
   // Per-operator accounting for the recorded statement running on this
@@ -611,7 +705,9 @@ Result<Table> Database::ExecNode(const PlanNode& node) {
     tally->mem_frames.pop_back();
   }
   if (tally != nullptr && result.ok()) {
-    const int64_t out_bytes = static_cast<int64_t>(result->ByteSize());
+    // Resident bytes, not logical: a paged output's payload lives in the
+    // buffer pool (billed to storage.buffer_pool), not in this query.
+    const int64_t out_bytes = static_cast<int64_t>(result->ResidentBytes());
     tally->operator_rows += result->num_rows();
     tally->peak_operator_bytes =
         std::max(tally->peak_operator_bytes, out_bytes);
@@ -649,8 +745,8 @@ Result<Table> Database::ExecNodeCollect(const PlanNode& node) {
   stats.vec_rows_selected += vstats.rows_selected;
   if (result.ok()) {
     stats.rows += result->num_rows();
-    stats.output_bytes =
-        std::max(stats.output_bytes, static_cast<int64_t>(result->ByteSize()));
+    stats.output_bytes = std::max(
+        stats.output_bytes, static_cast<int64_t>(result->ResidentBytes()));
   }
   if (workers > 0) {
     if (static_cast<int>(stats.worker_busy_seconds.size()) < workers) {
@@ -786,7 +882,10 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
     out += "Profile: cpu_us=" + std::to_string(cpu_us) +
            ", mem_peak_bytes=" + std::to_string(query_mem->peak()) +
            ", mem_cumulative_bytes=" +
-           std::to_string(query_mem->cumulative()) + "\n";
+           std::to_string(query_mem->cumulative()) +
+           ", spill_bytes=" + std::to_string(tally.spill_bytes) +
+           ", spill_partitions=" + std::to_string(tally.spill_partitions) +
+           "\n";
     for (const auto& [kind, tracker] : tally.op_trackers) {
       (void)kind;
       out += "  " + tracker->label() +
@@ -873,6 +972,14 @@ Result<Table> Database::ExecScan(const PlanNode& node) {
   } else {
     DL2SQL_ASSIGN_OR_RETURN(table, catalog_.GetTable(node.table_name));
   }
+  if (table->is_paged()) {
+    // Zero-copy paged view: the scan output shares the table's backing under
+    // the plan's qualified schema. Consumers either window over it, spill,
+    // or materialize it after an admission check (TryEnsureResident).
+    Table out = Table::FromPaged(node.output_schema, table->paged());
+    ChargeOperator(costs_, "scan", watch.ElapsedSeconds(), 0);
+    return out;
+  }
   // Columns are shared copy-on-write; only the schema is rewritten with the
   // qualified names assigned at planning time.
   std::vector<Column> cols;
@@ -884,7 +991,43 @@ Result<Table> Database::ExecScan(const PlanNode& node) {
   return out;
 }
 
+namespace {
+
+/// Accumulates windowed operator output back into paged storage, so the
+/// streaming operators (filter/project, spill merges) never hold more than
+/// one window of output resident. Finish() materializes small results
+/// (< page_min_bytes) so trivially-sized paged tables don't escape into the
+/// plan and force every consumer through the windowed machinery.
+class PagedResultWriter {
+ public:
+  PagedResultWriter(std::shared_ptr<storage::StorageEngine> engine,
+                    TableSchema schema)
+      : engine_(std::move(engine)),
+        schema_(schema),
+        builder_(engine_, std::move(schema)) {}
+
+  Status Append(const Table& t) { return builder_.Append(t); }
+
+  Result<Table> Finish() {
+    DL2SQL_ASSIGN_OR_RETURN(std::shared_ptr<storage::PagedTableData> data,
+                            builder_.Finish());
+    Table out = Table::FromPaged(schema_, std::move(data));
+    if (out.ByteSize() < engine_->options().page_min_bytes) {
+      DL2SQL_RETURN_NOT_OK(out.EnsureResident());
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<storage::StorageEngine> engine_;
+  TableSchema schema_;
+  storage::PagedTableBuilder builder_;
+};
+
+}  // namespace
+
 Result<Table> Database::ExecFilter(const PlanNode& node, Table input) {
+  if (input.is_paged()) return ExecFilterPaged(node, input);
   Stopwatch watch;
   EvalContext ctx = MakeEvalContext();
   DL2SQL_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
@@ -895,7 +1038,32 @@ Result<Table> Database::ExecFilter(const PlanNode& node, Table input) {
   return out;
 }
 
+Result<Table> Database::ExecFilterPaged(const PlanNode& node,
+                                        const Table& input) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+  // One window per storage chunk: the predicate is row-local, so evaluating
+  // it window-by-window and re-paging the survivors is exactly the resident
+  // semantics with bounded residency.
+  const std::unique_ptr<storage::ColumnSource> source =
+      storage::MakeColumnSource(std::make_shared<Table>(input), 0);
+  PagedResultWriter writer(input.paged()->shared_engine(), input.schema());
+  for (int64_t w = 0; w < source->num_windows(); ++w) {
+    DL2SQL_ASSIGN_OR_RETURN(Table window, source->ReadWindow(w));
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
+                            FilterRows(*node.predicate, window, &ctx));
+    if (!rows.empty()) {
+      DL2SQL_RETURN_NOT_OK(writer.Append(window.TakeRows(rows)));
+    }
+  }
+  DL2SQL_ASSIGN_OR_RETURN(Table out, writer.Finish());
+  const double inf = DrainEvalContext(ctx);
+  ChargeOperator(costs_, "filter", watch.ElapsedSeconds(), inf);
+  return out;
+}
+
 Result<Table> Database::ExecProject(const PlanNode& node, Table input) {
+  if (input.is_paged()) return ExecProjectPaged(node, input);
   Stopwatch watch;
   EvalContext ctx = MakeEvalContext();
   std::vector<Column> cols;
@@ -914,7 +1082,68 @@ Result<Table> Database::ExecProject(const PlanNode& node, Table input) {
   return out;
 }
 
+Result<Table> Database::ExecProjectPaged(const PlanNode& node,
+                                         const Table& input) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+  if (node.exprs.empty()) {
+    Table out;
+    out.SetZeroColumnRows(input.num_rows());
+    ChargeOperator(costs_, "project", watch.ElapsedSeconds(),
+                   DrainEvalContext(ctx));
+    return out;
+  }
+  const std::unique_ptr<storage::ColumnSource> source =
+      storage::MakeColumnSource(std::make_shared<Table>(input), 0);
+  // All expressions are row-local, so projecting each window independently
+  // and concatenating reproduces the resident output exactly. The output
+  // schema is discovered from the first window's expression types.
+  std::unique_ptr<PagedResultWriter> writer;
+  for (int64_t w = 0; w < source->num_windows(); ++w) {
+    DL2SQL_ASSIGN_OR_RETURN(Table window, source->ReadWindow(w));
+    std::vector<Column> cols;
+    TableSchema schema;
+    for (size_t i = 0; i < node.exprs.size(); ++i) {
+      DL2SQL_ASSIGN_OR_RETURN(ColumnHandle col,
+                              EvalExpr(*node.exprs[i], window, &ctx));
+      cols.push_back(*col);
+      schema.AddField({node.names[i], col->type()});
+    }
+    DL2SQL_ASSIGN_OR_RETURN(
+        Table piece, Table::FromColumns(std::move(schema), std::move(cols)));
+    if (writer == nullptr) {
+      writer = std::make_unique<PagedResultWriter>(
+          input.paged()->shared_engine(), piece.schema());
+    }
+    DL2SQL_RETURN_NOT_OK(writer->Append(piece));
+  }
+  DL2SQL_CHECK(writer != nullptr) << "paged table with zero chunks";
+  DL2SQL_ASSIGN_OR_RETURN(Table out, writer->Finish());
+  const double inf = DrainEvalContext(ctx);
+  ChargeOperator(costs_, "project", watch.ElapsedSeconds(), inf);
+  return out;
+}
+
 Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) {
+  if (left.is_paged() || right.is_paged()) {
+    // Try to admit each paged side into the query's memory budget; whatever
+    // doesn't fit forces the grace (partitioned, spilling) join, which only
+    // exists for equi joins. Cross and symmetric-hash joins have no spill
+    // path — surface the budget refusal instead of silently thrashing.
+    DL2SQL_ASSIGN_OR_RETURN(bool left_fits,
+                            TryEnsureResident(PlanKind::kJoin, &left));
+    DL2SQL_ASSIGN_OR_RETURN(bool right_fits,
+                            TryEnsureResident(PlanKind::kJoin, &right));
+    if (!left_fits || !right_fits) {
+      if (!node.equi_keys.empty() && !node.use_symmetric_hash) {
+        return ExecJoinGrace(node, std::move(left), std::move(right));
+      }
+      return Status::ResourceExhausted(
+          "join input (", left.ByteSize() + right.ByteSize(),
+          " bytes) exceeds the query memory budget and this join shape "
+          "(cross or symmetric-hash) has no spill path");
+    }
+  }
   Stopwatch watch;
   EvalContext ctx = MakeEvalContext();
   // Transient join state — build-side hash table and the pair buffer — is
@@ -1246,6 +1475,182 @@ Result<Table> Database::ExecJoin(const PlanNode& node, Table left, Table right) 
   return joined;
 }
 
+Result<Table> Database::ExecJoinGrace(const PlanNode& node, Table left,
+                                      Table right) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+  // Long-lived grace state (the global pair buffer) bills against op.join;
+  // the per-partition build tables are charged on their own scopes below.
+  ScopedMemCharge scratch_mem(OpScratchTracker(PlanKind::kJoin));
+
+  std::shared_ptr<storage::StorageEngine> engine =
+      left.is_paged() ? left.paged()->shared_engine()
+      : right.is_paged() ? right.paged()->shared_engine()
+                         : storage_;
+  if (engine == nullptr) {
+    return Status::InternalError("grace join requires a storage engine");
+  }
+  const int64_t num_parts =
+      std::max<int64_t>(1, engine->options().spill_partitions);
+
+  // Phase 1: partition. Each side spills (global row id, canonical key
+  // bytes) pairs into per-partition paged files keyed by hash(key) — the
+  // canonical encoding is EncodeRowKey's, so cross-type matches (int vs
+  // integral float) behave exactly like the in-memory join. NULL keys never
+  // match and are dropped here.
+  TableSchema spill_schema;
+  spill_schema.AddField({"__row", DataType::kInt64});
+  spill_schema.AddField({"__key", DataType::kBlob});
+
+  int64_t spilled_bytes = 0;
+  int64_t spilled_parts = 0;
+
+  auto partition_side =
+      [&](const Table& side, bool left_side)
+      -> Result<std::vector<std::shared_ptr<storage::PagedTableData>>> {
+    std::vector<std::unique_ptr<storage::PagedTableBuilder>> builders;
+    builders.reserve(static_cast<size_t>(num_parts));
+    for (int64_t p = 0; p < num_parts; ++p) {
+      builders.push_back(
+          std::make_unique<storage::PagedTableBuilder>(engine, spill_schema));
+    }
+    const std::unique_ptr<storage::ColumnSource> source =
+        storage::MakeColumnSource(std::make_shared<Table>(side), 0);
+    for (int64_t w = 0; w < source->num_windows(); ++w) {
+      DL2SQL_ASSIGN_OR_RETURN(Table window, source->ReadWindow(w));
+      const int64_t base = source->window_start(w);
+      std::vector<ColumnHandle> keys;
+      for (const auto& [lk, rk] : node.equi_keys) {
+        DL2SQL_ASSIGN_OR_RETURN(
+            ColumnHandle c, EvalExpr(left_side ? *lk : *rk, window, &ctx));
+        keys.push_back(std::move(c));
+      }
+      std::vector<const Column*> kptrs;
+      for (const auto& c : keys) kptrs.push_back(c.get());
+      for (int64_t r = 0; r < window.num_rows(); ++r) {
+        if (RowKeyHasNull(kptrs, r)) continue;
+        std::string key;
+        for (const Column* c : kptrs) AppendKeyPart(*c, r, &key);
+        const int64_t p = static_cast<int64_t>(
+            Hash64(key.data(), key.size()) % static_cast<uint64_t>(num_parts));
+        DL2SQL_RETURN_NOT_OK(builders[static_cast<size_t>(p)]->AppendRow(
+            {Value::Int(base + r), Value::Blob(key)}));
+      }
+    }
+    std::vector<std::shared_ptr<storage::PagedTableData>> parts;
+    parts.reserve(builders.size());
+    for (auto& b : builders) {
+      DL2SQL_ASSIGN_OR_RETURN(std::shared_ptr<storage::PagedTableData> d,
+                              b->Finish());
+      spilled_bytes += d->logical_bytes();
+      if (d->num_rows() > 0) ++spilled_parts;
+      parts.push_back(std::move(d));
+    }
+    return parts;
+  };
+
+  DL2SQL_ASSIGN_OR_RETURN(auto lparts, partition_side(left, true));
+  DL2SQL_ASSIGN_OR_RETURN(auto rparts, partition_side(right, false));
+  TallySpill(spilled_bytes, spilled_parts);
+  static Counter* const grace_counter =
+      MetricsRegistry::Global().counter("db.grace_joins");
+  grace_counter->Increment();
+
+  // Phase 2: per partition, build a hash table on the optimizer's build side
+  // and probe with the other. Only one partition's build map is resident at
+  // a time; its bytes are charged on a per-iteration scope.
+  const bool build_left = node.join_build_left;
+  const auto& bparts = build_left ? lparts : rparts;
+  const auto& pparts = build_left ? rparts : lparts;
+
+  std::vector<std::pair<int64_t, int64_t>> pb_pairs;  // (probe row, build row)
+  for (int64_t part = 0; part < num_parts; ++part) {
+    const auto& bp = bparts[static_cast<size_t>(part)];
+    const auto& pp = pparts[static_cast<size_t>(part)];
+    if (bp->num_rows() == 0 || pp->num_rows() == 0) continue;
+    ScopedMemCharge part_mem(OpScratchTracker(PlanKind::kJoin));
+    DL2SQL_ASSIGN_OR_RETURN(std::vector<Column> bcols, bp->Materialize());
+    const auto& brows = bcols[0].ints();
+    const auto& bkeys = bcols[1].strings();
+    std::unordered_map<std::string, std::vector<int64_t>> build;
+    build.reserve(brows.size());
+    int64_t key_bytes = 0;
+    for (size_t i = 0; i < brows.size(); ++i) {
+      build[bkeys[i]].push_back(brows[i]);
+      key_bytes += static_cast<int64_t>(bkeys[i].size() + 8);
+    }
+    DL2SQL_RETURN_NOT_OK(part_mem.Charge(
+        key_bytes +
+        static_cast<int64_t>(build.size() * (sizeof(std::string) +
+                                             sizeof(std::vector<int64_t>) +
+                                             16))));
+    for (int64_t c = 0; c < pp->num_chunks(); ++c) {
+      DL2SQL_ASSIGN_OR_RETURN(std::vector<Column> pcols, pp->ReadChunk(c));
+      const auto& prow_ids = pcols[0].ints();
+      const auto& pkeys = pcols[1].strings();
+      for (size_t i = 0; i < prow_ids.size(); ++i) {
+        auto it = build.find(pkeys[i]);
+        if (it == build.end()) continue;
+        for (int64_t b : it->second) pb_pairs.emplace_back(prow_ids[i], b);
+        if (static_cast<int64_t>(pb_pairs.size()) > kMaxJoinPairs) {
+          return Status::ResourceExhausted("join produced more than ",
+                                           kMaxJoinPairs, " pairs");
+        }
+      }
+    }
+  }
+  DL2SQL_RETURN_NOT_OK(scratch_mem.Charge(static_cast<int64_t>(
+      pb_pairs.size() * sizeof(std::pair<int64_t, int64_t>))));
+  // Hash partitioning scattered the pairs; the in-memory join emits them
+  // probe-ascending, then build-ascending within a probe row (insertion
+  // order of the build map's row lists). Both spill files were written in
+  // row order, so a global sort on (probe, build) restores exactly that
+  // order — the bit-identity contract for join output.
+  std::sort(pb_pairs.begin(), pb_pairs.end());
+
+  // Phase 3: emit in bounded slices through paged output, applying the
+  // residual condition per slice (it is row-local, so slice-local filtering
+  // equals whole-table filtering).
+  PagedResultWriter writer(engine, node.output_schema);
+  constexpr int64_t kEmitRows = 16384;
+  for (size_t start = 0; start < pb_pairs.size();
+       start += static_cast<size_t>(kEmitRows)) {
+    const size_t end =
+        std::min(pb_pairs.size(), start + static_cast<size_t>(kEmitRows));
+    std::vector<int64_t> lrows, rrows;
+    lrows.reserve(end - start);
+    rrows.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      const auto& [p, b] = pb_pairs[i];
+      lrows.push_back(build_left ? b : p);
+      rrows.push_back(build_left ? p : b);
+    }
+    Table ltaken = left.TakeRows(lrows);
+    Table rtaken = right.TakeRows(rrows);
+    std::vector<Column> cols;
+    for (int i = 0; i < ltaken.num_columns(); ++i) {
+      cols.push_back(ltaken.column(i));
+    }
+    for (int i = 0; i < rtaken.num_columns(); ++i) {
+      cols.push_back(rtaken.column(i));
+    }
+    DL2SQL_ASSIGN_OR_RETURN(
+        Table joined, Table::FromColumns(node.output_schema, std::move(cols)));
+    if (node.join_condition != nullptr) {
+      DL2SQL_ASSIGN_OR_RETURN(std::vector<int64_t> keep,
+                              FilterRows(*node.join_condition, joined, &ctx));
+      joined = joined.TakeRows(keep);
+    }
+    if (joined.num_rows() > 0) {
+      DL2SQL_RETURN_NOT_OK(writer.Append(joined));
+    }
+  }
+  DL2SQL_ASSIGN_OR_RETURN(Table out, writer.Finish());
+  const double inf = DrainEvalContext(ctx);
+  ChargeOperator(costs_, "join", watch.ElapsedSeconds(), inf);
+  return out;
+}
+
 namespace {
 
 /// Running state for one aggregate over one group.
@@ -1273,9 +1678,99 @@ void MergeAggState(AggState* dst, const AggState& src) {
   }
 }
 
+/// Folds one argument value into an aggregate state. Shared by the in-memory
+/// row path and the external (spilling) aggregation so both accumulate in
+/// exactly the same order with exactly the same float operations — the
+/// bit-identity contract between the two paths rests on this.
+Status AccumulateAggValue(AggFunc f, const Value& v, AggState* st) {
+  if (f == AggFunc::kCountStar) {
+    ++st->count;
+    return Status::OK();
+  }
+  if (v.is_null()) return Status::OK();
+  switch (f) {
+    case AggFunc::kCount:
+      // COUNT over a boolean expression counts TRUE rows (the intent of
+      // the paper's count(nUDF(...) = TRUE); ClickHouse would use
+      // countIf). COUNT over other types counts non-NULL rows.
+      if (v.type() == DataType::kBool) {
+        if (v.bool_value()) ++st->count;
+      } else {
+        ++st->count;
+      }
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+    case AggFunc::kStddevSamp: {
+      DL2SQL_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      ++st->count;
+      st->sum += d;
+      st->sumsq += d * d;
+      break;
+    }
+    case AggFunc::kMin:
+      if (st->min.is_null() || v.Compare(st->min) < 0) st->min = v;
+      break;
+    case AggFunc::kMax:
+      if (st->max.is_null() || v.Compare(st->max) > 0) st->max = v;
+      break;
+    case AggFunc::kCountStar:
+      break;
+  }
+  return Status::OK();
+}
+
+/// Output column type of aggregate `f` over an argument of `arg_type`
+/// (kNull when the aggregate takes no argument).
+DataType AggOutputType(AggFunc f, DataType arg_type) {
+  switch (f) {
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return DataType::kInt64;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg_type != DataType::kNull ? arg_type : DataType::kFloat64;
+    default:
+      return DataType::kFloat64;
+  }
+}
+
+/// Final value of aggregate `f` from an accumulated state.
+Value AggOutputValue(AggFunc f, const AggState& st) {
+  switch (f) {
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return Value::Int(st.count);
+    case AggFunc::kSum:
+      return st.count == 0 ? Value::Null() : Value::Float(st.sum);
+    case AggFunc::kAvg:
+      return st.count == 0
+                 ? Value::Null()
+                 : Value::Float(st.sum / static_cast<double>(st.count));
+    case AggFunc::kStddevSamp: {
+      if (st.count < 2) return Value::Null();
+      const double mean = st.sum / static_cast<double>(st.count);
+      const double var =
+          (st.sumsq - static_cast<double>(st.count) * mean * mean) /
+          static_cast<double>(st.count - 1);
+      return Value::Float(std::sqrt(std::max(0.0, var)));
+    }
+    case AggFunc::kMin:
+      return st.min;
+    case AggFunc::kMax:
+      return st.max;
+  }
+  return Value::Null();
+}
+
 }  // namespace
 
 Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
+  if (input.is_paged()) {
+    DL2SQL_ASSIGN_OR_RETURN(bool fits,
+                            TryEnsureResident(PlanKind::kAggregate, &input));
+    if (!fits) return ExecAggregateExternal(node, input);
+  }
   Stopwatch watch;
   EvalContext ctx = MakeEvalContext();
 
@@ -1322,43 +1817,11 @@ Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
   // Per-row accumulation shared by both key representations.
   auto accumulate_row = [&](Group* g, int64_t row) -> Status {
     for (size_t a = 0; a < node.agg_calls.size(); ++a) {
-      AggState& st = g->aggs[a];
       const AggFunc f = node.agg_calls[a]->agg_func;
-      if (f == AggFunc::kCountStar) {
-        ++st.count;
-        continue;
-      }
-      const Value v = arg_cols[a]->GetValue(row);
-      if (v.is_null()) continue;
-      switch (f) {
-        case AggFunc::kCount:
-          // COUNT over a boolean expression counts TRUE rows (the intent of
-          // the paper's count(nUDF(...) = TRUE); ClickHouse would use
-          // countIf). COUNT over other types counts non-NULL rows.
-          if (v.type() == DataType::kBool) {
-            if (v.bool_value()) ++st.count;
-          } else {
-            ++st.count;
-          }
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kAvg:
-        case AggFunc::kStddevSamp: {
-          DL2SQL_ASSIGN_OR_RETURN(double d, v.AsDouble());
-          ++st.count;
-          st.sum += d;
-          st.sumsq += d * d;
-          break;
-        }
-        case AggFunc::kMin:
-          if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
-          break;
-        case AggFunc::kMax:
-          if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
-          break;
-        case AggFunc::kCountStar:
-          break;
-      }
+      DL2SQL_RETURN_NOT_OK(AccumulateAggValue(
+          f,
+          f == AggFunc::kCountStar ? Value::Null() : arg_cols[a]->GetValue(row),
+          &g->aggs[a]));
     }
     return Status::OK();
   };
@@ -1486,58 +1949,208 @@ Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
   }
   for (size_t a = 0; a < node.agg_calls.size(); ++a) {
     const AggFunc f = node.agg_calls[a]->agg_func;
-    DataType t;
-    switch (f) {
-      case AggFunc::kCount:
-      case AggFunc::kCountStar:
-        t = DataType::kInt64;
-        break;
-      case AggFunc::kMin:
-      case AggFunc::kMax:
-        t = arg_cols[a] != nullptr ? arg_cols[a]->type() : DataType::kFloat64;
-        break;
-      default:
-        t = DataType::kFloat64;
-        break;
-    }
-    Column c(t);
+    Column c(AggOutputType(
+        f, arg_cols[a] != nullptr ? arg_cols[a]->type() : DataType::kNull));
     c.Reserve(static_cast<int64_t>(groups.size()));
     for (const Group& g : groups) {
-      const AggState& st = g.aggs[a];
-      Value v;
-      switch (f) {
-        case AggFunc::kCount:
-        case AggFunc::kCountStar:
-          v = Value::Int(st.count);
-          break;
-        case AggFunc::kSum:
-          v = st.count == 0 ? Value::Null() : Value::Float(st.sum);
-          break;
-        case AggFunc::kAvg:
-          v = st.count == 0
-                  ? Value::Null()
-                  : Value::Float(st.sum / static_cast<double>(st.count));
-          break;
-        case AggFunc::kStddevSamp: {
-          if (st.count < 2) {
-            v = Value::Null();
-            break;
-          }
-          const double mean = st.sum / static_cast<double>(st.count);
-          const double var =
-              (st.sumsq - static_cast<double>(st.count) * mean * mean) /
-              static_cast<double>(st.count - 1);
-          v = Value::Float(std::sqrt(std::max(0.0, var)));
-          break;
-        }
-        case AggFunc::kMin:
-          v = st.min;
-          break;
-        case AggFunc::kMax:
-          v = st.max;
-          break;
+      DL2SQL_RETURN_NOT_OK(c.Append(AggOutputValue(f, g.aggs[a])));
+    }
+    out_schema.AddField({node.agg_names[a], c.type()});
+    out_cols.push_back(std::move(c));
+  }
+
+  const double inf = DrainEvalContext(ctx);
+  DL2SQL_ASSIGN_OR_RETURN(
+      Table out, Table::FromColumns(std::move(out_schema), std::move(out_cols)));
+  ChargeOperator(costs_, "groupby", watch.ElapsedSeconds(), inf);
+  return out;
+}
+
+Result<Table> Database::ExecAggregateExternal(const PlanNode& node,
+                                              const Table& input) {
+  Stopwatch watch;
+  EvalContext ctx = MakeEvalContext();
+  // Final group states live until emit and bill against op.aggregate; each
+  // partition's hash index is charged on its own per-iteration scope.
+  ScopedMemCharge scratch_mem(OpScratchTracker(PlanKind::kAggregate));
+  const std::shared_ptr<storage::StorageEngine>& engine =
+      input.paged()->shared_engine();
+
+  const size_t num_keys = node.group_keys.size();
+  const size_t num_aggs = node.agg_calls.size();
+  // Aggregate arguments pack densely into the spill rows; COUNT(*) has none.
+  std::vector<int> arg_slot(num_aggs, -1);
+  int num_args = 0;
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (node.agg_calls[a]->agg_func != AggFunc::kCountStar) {
+      arg_slot[a] = num_args++;
+    }
+  }
+  const int64_t num_parts =
+      num_keys == 0
+          ? 1
+          : std::max<int64_t>(1, engine->options().spill_partitions);
+
+  // Phase 1: partition by key hash. Each spill row is
+  // (global row id, key values..., argument values...); same-key rows land
+  // in one partition in global row order, so per-group accumulation in
+  // phase 2 replays exactly the serial order — float-identical results.
+  std::vector<std::unique_ptr<storage::PagedTableBuilder>> builders;
+  std::vector<DataType> key_types, arg_types;
+  const std::unique_ptr<storage::ColumnSource> source =
+      storage::MakeColumnSource(std::make_shared<Table>(input), 0);
+  for (int64_t w = 0; w < source->num_windows(); ++w) {
+    DL2SQL_ASSIGN_OR_RETURN(Table window, source->ReadWindow(w));
+    const int64_t base = source->window_start(w);
+    std::vector<ColumnHandle> key_cols;
+    for (const auto& k : node.group_keys) {
+      DL2SQL_ASSIGN_OR_RETURN(ColumnHandle c, EvalExpr(*k, window, &ctx));
+      key_cols.push_back(std::move(c));
+    }
+    std::vector<ColumnHandle> arg_cols(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      if (arg_slot[a] < 0) continue;
+      DL2SQL_ASSIGN_OR_RETURN(
+          arg_cols[a], EvalExpr(*node.agg_calls[a]->children[0], window, &ctx));
+    }
+    if (builders.empty()) {
+      // Spill layout discovered from the first window's expression types.
+      TableSchema spill_schema;
+      spill_schema.AddField({"__row", DataType::kInt64});
+      for (size_t k = 0; k < num_keys; ++k) {
+        key_types.push_back(key_cols[k]->type());
+        spill_schema.AddField(
+            {"__key" + std::to_string(k), key_cols[k]->type()});
       }
-      DL2SQL_RETURN_NOT_OK(c.Append(v));
+      for (size_t a = 0; a < num_aggs; ++a) {
+        if (arg_slot[a] < 0) continue;
+        arg_types.push_back(arg_cols[a]->type());
+        spill_schema.AddField(
+            {"__arg" + std::to_string(arg_slot[a]), arg_cols[a]->type()});
+      }
+      builders.reserve(static_cast<size_t>(num_parts));
+      for (int64_t p = 0; p < num_parts; ++p) {
+        builders.push_back(std::make_unique<storage::PagedTableBuilder>(
+            engine, spill_schema));
+      }
+    }
+    std::vector<const Column*> kptrs;
+    for (const auto& c : key_cols) kptrs.push_back(c.get());
+    for (int64_t r = 0; r < window.num_rows(); ++r) {
+      int64_t p = 0;
+      if (num_keys > 0) {
+        const std::string key = EncodeRowKey(kptrs, r);
+        p = static_cast<int64_t>(Hash64(key.data(), key.size()) %
+                                 static_cast<uint64_t>(num_parts));
+      }
+      std::vector<Value> row;
+      row.reserve(1 + num_keys + static_cast<size_t>(num_args));
+      row.push_back(Value::Int(base + r));
+      for (const Column* c : kptrs) row.push_back(c->GetValue(r));
+      for (size_t a = 0; a < num_aggs; ++a) {
+        if (arg_slot[a] >= 0) row.push_back(arg_cols[a]->GetValue(r));
+      }
+      DL2SQL_RETURN_NOT_OK(builders[static_cast<size_t>(p)]->AppendRow(row));
+    }
+  }
+  if (builders.empty()) {
+    return Status::InternalError("external aggregation over empty paged input");
+  }
+
+  // Phase 2: per partition, group and accumulate in spill order. Group keys
+  // are re-encoded from the stored values — AppendKeyPart's canonical form
+  // is stable across the round trip, so grouping matches the in-memory path.
+  struct SpillGroup {
+    int64_t first_row;
+    std::vector<Value> keys;
+    std::vector<AggState> aggs;
+  };
+  std::vector<SpillGroup> groups;
+  int64_t spilled_bytes = 0;
+  int64_t spilled_parts = 0;
+  for (auto& b : builders) {
+    DL2SQL_ASSIGN_OR_RETURN(std::shared_ptr<storage::PagedTableData> part,
+                            b->Finish());
+    if (part->num_rows() == 0) continue;
+    spilled_bytes += part->logical_bytes();
+    ++spilled_parts;
+    ScopedMemCharge part_mem(OpScratchTracker(PlanKind::kAggregate));
+    std::unordered_map<std::string, size_t> index;
+    const size_t part_first_group = groups.size();
+    int64_t part_key_bytes = 0;
+    for (int64_t c = 0; c < part->num_chunks(); ++c) {
+      DL2SQL_ASSIGN_OR_RETURN(std::vector<Column> cols, part->ReadChunk(c));
+      std::vector<const Column*> kptrs;
+      for (size_t k = 0; k < num_keys; ++k) kptrs.push_back(&cols[1 + k]);
+      for (int64_t r = 0; r < static_cast<int64_t>(cols[0].size()); ++r) {
+        const std::string key =
+            num_keys == 0 ? std::string() : EncodeRowKey(kptrs, r);
+        auto [it, inserted] = index.try_emplace(key, groups.size());
+        if (inserted) {
+          SpillGroup g;
+          g.first_row = cols[0].ints()[static_cast<size_t>(r)];
+          for (size_t k = 0; k < num_keys; ++k) {
+            g.keys.push_back(cols[1 + k].GetValue(r));
+          }
+          g.aggs.resize(num_aggs);
+          groups.push_back(std::move(g));
+          part_key_bytes += static_cast<int64_t>(key.size());
+        }
+        SpillGroup& g = groups[it->second];
+        for (size_t a = 0; a < num_aggs; ++a) {
+          DL2SQL_RETURN_NOT_OK(AccumulateAggValue(
+              node.agg_calls[a]->agg_func,
+              arg_slot[a] < 0
+                  ? Value::Null()
+                  : cols[1 + num_keys + static_cast<size_t>(arg_slot[a])]
+                        .GetValue(r),
+              &g.aggs[a]));
+        }
+      }
+      DL2SQL_RETURN_NOT_OK(part_mem.Charge(
+          part_key_bytes +
+          static_cast<int64_t>((groups.size() - part_first_group) *
+                               (sizeof(size_t) + 48))));
+      part_key_bytes = 0;
+    }
+  }
+  TallySpill(spilled_bytes, spilled_parts);
+  static Counter* const external_agg_counter =
+      MetricsRegistry::Global().counter("db.external_aggs");
+  external_agg_counter->Increment();
+
+  // Partition order scattered the groups; serial emit order is first-seen,
+  // i.e. ascending first_row.
+  std::sort(groups.begin(), groups.end(),
+            [](const SpillGroup& a, const SpillGroup& b) {
+              return a.first_row < b.first_row;
+            });
+  // Global aggregate over empty input still yields one row.
+  if (num_keys == 0 && groups.empty()) {
+    groups.push_back(SpillGroup{-1, {}, std::vector<AggState>(num_aggs)});
+  }
+  DL2SQL_RETURN_NOT_OK(scratch_mem.Charge(static_cast<int64_t>(
+      groups.size() * (sizeof(SpillGroup) + num_aggs * sizeof(AggState)))));
+
+  std::vector<Column> out_cols;
+  TableSchema out_schema;
+  for (size_t k = 0; k < num_keys; ++k) {
+    Column c(key_types[k]);
+    c.Reserve(static_cast<int64_t>(groups.size()));
+    for (const SpillGroup& g : groups) {
+      DL2SQL_RETURN_NOT_OK(c.Append(g.keys[k]));
+    }
+    out_schema.AddField({node.group_names[k], c.type()});
+    out_cols.push_back(std::move(c));
+  }
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const AggFunc f = node.agg_calls[a]->agg_func;
+    Column c(AggOutputType(
+        f, arg_slot[a] >= 0 ? arg_types[static_cast<size_t>(arg_slot[a])]
+                            : DataType::kNull));
+    c.Reserve(static_cast<int64_t>(groups.size()));
+    for (const SpillGroup& g : groups) {
+      DL2SQL_RETURN_NOT_OK(c.Append(AggOutputValue(f, g.aggs[a])));
     }
     out_schema.AddField({node.agg_names[a], c.type()});
     out_cols.push_back(std::move(c));
@@ -1551,6 +2164,16 @@ Result<Table> Database::ExecAggregate(const PlanNode& node, Table input) {
 }
 
 Result<Table> Database::ExecSort(const PlanNode& node, Table input) {
+  if (input.is_paged()) {
+    DL2SQL_ASSIGN_OR_RETURN(bool fits,
+                            TryEnsureResident(PlanKind::kSort, &input));
+    if (!fits) {
+      return Status::ResourceExhausted(
+          "ORDER BY input (", input.ByteSize(),
+          " bytes) exceeds the query memory budget; spillable sort is not "
+          "implemented yet (see ROADMAP)");
+    }
+  }
   Stopwatch watch;
   EvalContext ctx = MakeEvalContext();
   std::vector<ColumnHandle> keys;
@@ -1587,6 +2210,7 @@ Result<Table> Database::ExecCreateTable(const CreateTableStmt& stmt) {
   if (stmt.as_select != nullptr) {
     if (stmt.if_not_exists && catalog_.HasTable(stmt.name)) return Table{};
     DL2SQL_ASSIGN_OR_RETURN(Table result, ExecuteSelect(*stmt.as_select));
+    DL2SQL_RETURN_NOT_OK(MaybePageOut(&result));
     DL2SQL_RETURN_NOT_OK(catalog_.CreateTable(
         stmt.name, std::make_shared<Table>(std::move(result)), stmt.temporary,
         stmt.if_not_exists));
@@ -1661,6 +2285,7 @@ Result<Table> Database::ExecInsert(const InsertStmt& stmt) {
     }
     DrainEvalContext(ctx);
   }
+  DL2SQL_RETURN_NOT_OK(MaybePageOut(table.get()));
   catalog_.InvalidateStats(stmt.table);
   Table out;
   out.SetZeroColumnRows(inserted);
@@ -1670,6 +2295,9 @@ Result<Table> Database::ExecInsert(const InsertStmt& stmt) {
 Result<Table> Database::ExecUpdate(const UpdateStmt& stmt) {
   DL2SQL_RETURN_NOT_OK(CheckNotSystemTable(catalog_, stmt.table));
   DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(stmt.table));
+  // In-place column writes need resident storage; big tables page back out
+  // below once the mutation is done.
+  DL2SQL_RETURN_NOT_OK(table->EnsureResident());
   EvalContext ctx = MakeEvalContext();
 
   std::vector<int64_t> rows;
@@ -1721,6 +2349,7 @@ Result<Table> Database::ExecUpdate(const UpdateStmt& stmt) {
     }
   }
   DrainEvalContext(ctx);
+  DL2SQL_RETURN_NOT_OK(MaybePageOut(table.get()));
   catalog_.InvalidateStats(stmt.table);
   Table out;
   out.SetZeroColumnRows(static_cast<int64_t>(rows.size()));
@@ -1730,6 +2359,7 @@ Result<Table> Database::ExecUpdate(const UpdateStmt& stmt) {
 Result<Table> Database::ExecDelete(const DeleteStmt& stmt) {
   DL2SQL_RETURN_NOT_OK(CheckNotSystemTable(catalog_, stmt.table));
   DL2SQL_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(stmt.table));
+  DL2SQL_RETURN_NOT_OK(table->EnsureResident());
   EvalContext ctx = MakeEvalContext();
   std::vector<int64_t> keep;
   int64_t deleted = 0;
@@ -1749,6 +2379,7 @@ Result<Table> Database::ExecDelete(const DeleteStmt& stmt) {
   }
   *table = table->TakeRows(keep);
   DrainEvalContext(ctx);
+  DL2SQL_RETURN_NOT_OK(MaybePageOut(table.get()));
   catalog_.InvalidateStats(stmt.table);
   Table out;
   out.SetZeroColumnRows(deleted);

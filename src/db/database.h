@@ -27,6 +27,25 @@ class Device;
 
 namespace dl2sql::db {
 
+namespace storage {
+class StorageEngine;
+struct StorageOptions;
+}  // namespace storage
+
+/// \brief Table residency policy (see DESIGN.md, "Out-of-core storage").
+///
+/// kInMemory (the default) keeps every table fully resident — the exact
+/// pre-storage-engine behavior. kPaged pages base tables at least
+/// page_min_bytes large out to the engine's block file behind the pinning
+/// buffer pool, and arms the executor's spill paths (grace hash join,
+/// external aggregation) for inputs that exceed the query memory budget.
+/// Results are bit-identical in both modes; the environment variable
+/// DL2SQL_STORAGE=paged selects kPaged at Database construction.
+enum class StorageMode {
+  kInMemory = 0,
+  kPaged,
+};
+
 /// \brief Intra-query parallelism knobs threaded through plan execution.
 ///
 /// When `device` is set, relational hot loops (predicate evaluation,
@@ -114,6 +133,21 @@ class Database {
   /// execution. Engines call this once at construction.
   void set_exec_options(ExecOptions opts) { exec_options_ = opts; }
   const ExecOptions& exec_options() const { return exec_options_; }
+
+  /// Switches the table-residency policy (DL2SQL_STORAGE=paged selects
+  /// kPaged at construction). Entering kPaged creates the storage engine —
+  /// StorageOptions::FromEnv() for the one-argument form — if none exists
+  /// yet; returning to kInMemory keeps the engine alive so already-paged
+  /// tables stay readable (they heal to resident on next mutation). Takes
+  /// effect for tables registered/mutated after the call.
+  Status set_storage_mode(StorageMode mode);
+  Status set_storage_mode(StorageMode mode,
+                          const storage::StorageOptions& options);
+  StorageMode storage_mode() const { return storage_mode_; }
+  /// The out-of-core engine, or nullptr before the first kPaged switch.
+  const std::shared_ptr<storage::StorageEngine>& storage_engine() const {
+    return storage_;
+  }
 
   /// Batch-at-a-time vectorized execution (see DESIGN.md, "Vectorized
   /// execution"). Default ON; the environment variable DL2SQL_VECTOR=OFF
@@ -296,6 +330,13 @@ class Database {
     double nudf_wait_seconds = 0.0;
     double nudf_billed_seconds = 0.0;
     /// @}
+    /// \name Out-of-core spill accounting (grace join / external aggregation)
+    /// @{
+    /// Logical bytes written to spill partitions in the block file.
+    int64_t spill_bytes = 0;
+    /// Spill partitions produced (non-empty partition runs).
+    int64_t spill_partitions = 0;
+    /// @}
   };
 
   Result<Table> ExecNode(const PlanNode& node);
@@ -319,6 +360,36 @@ class Database {
   Result<Table> ExecJoin(const PlanNode& node, Table left, Table right);
   Result<Table> ExecAggregate(const PlanNode& node, Table input);
   Result<Table> ExecSort(const PlanNode& node, Table input);
+
+  /// \name Out-of-core execution (paged storage mode)
+  /// @{
+  /// ExecNode plus root materialization: SELECT results hand resident
+  /// columns to callers, so a paged root output is decoded here.
+  Result<Table> ExecRoot(const PlanNode& plan);
+  /// Pages `table` out through the storage engine when paged mode is on and
+  /// the table's logical size reaches page_min_bytes; no-op otherwise.
+  Status MaybePageOut(Table* table);
+  /// Admission probe + materialization for a paged operator input: true if
+  /// `t` is (now) resident, false if its resident form would not fit under
+  /// the query memory budget (the caller must take a spill path or fail).
+  Result<bool> TryEnsureResident(PlanKind kind, Table* t);
+  /// Windowed filter/project over a paged input: evaluates row-local
+  /// expressions one storage chunk at a time and streams the output back out
+  /// through the engine, bounding residency to one window.
+  Result<Table> ExecFilterPaged(const PlanNode& node, const Table& input);
+  Result<Table> ExecProjectPaged(const PlanNode& node, const Table& input);
+  /// Grace hash join: partitions both sides by key hash into block-file
+  /// spill runs, joins partition pairs, restores the classic pair order.
+  Result<Table> ExecJoinGrace(const PlanNode& node, Table left, Table right);
+  /// External aggregation: partitions rows (key + argument values) into
+  /// block-file spill runs, aggregates each partition in-core, and merges
+  /// groups back into first-seen order.
+  Result<Table> ExecAggregateExternal(const PlanNode& node,
+                                      const Table& input);
+  /// Folds spilled bytes/partitions into the running query tally and the
+  /// db.spill.* metrics counters.
+  void TallySpill(int64_t bytes, int64_t partitions);
+  /// @}
 
   Result<Table> ExecCreateTable(const CreateTableStmt& stmt);
   Result<Table> ExecInsert(const InsertStmt& stmt);
@@ -358,6 +429,10 @@ class Database {
   /// Batch-at-a-time vectorized execution toggle (DL2SQL_VECTOR).
   bool vectorized_ = true;
   IntrospectionOptions introspection_options_;
+  /// Table residency policy (DL2SQL_STORAGE). The engine outlives a switch
+  /// back to kInMemory: paged tables hold shared_ptrs into it.
+  StorageMode storage_mode_ = StorageMode::kInMemory;
+  std::shared_ptr<storage::StorageEngine> storage_;
   std::atomic<double> slow_query_ms_{250.0};
   /// Per-query memory budget (0 = unlimited; DL2SQL_QUERY_MEM_LIMIT).
   std::atomic<int64_t> query_mem_limit_{0};

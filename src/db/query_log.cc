@@ -85,6 +85,8 @@ struct QueryLog::Slot {
   std::atomic<int64_t> billed_batch_us{0};
   std::atomic<int64_t> mem_peak_bytes{0};
   std::atomic<int64_t> mem_cumulative_bytes{0};
+  std::atomic<int64_t> spill_bytes{0};
+  std::atomic<int64_t> spill_partitions{0};
   std::atomic<uint16_t> sql_len{0};
   std::atomic<uint16_t> error_len{0};
   std::atomic<uint8_t> kind{0};
@@ -133,6 +135,9 @@ void QueryLog::Record(const QueryLogRecord& record) {
   slot.mem_peak_bytes.store(record.mem_peak_bytes, std::memory_order_relaxed);
   slot.mem_cumulative_bytes.store(record.mem_cumulative_bytes,
                                   std::memory_order_relaxed);
+  slot.spill_bytes.store(record.spill_bytes, std::memory_order_relaxed);
+  slot.spill_partitions.store(record.spill_partitions,
+                              std::memory_order_relaxed);
   slot.sql_len.store(StoreText(slot.sql, record.sql),
                      std::memory_order_relaxed);
   slot.error_len.store(StoreText(slot.error, record.error),
@@ -174,6 +179,9 @@ std::vector<QueryLogRecord> QueryLog::Snapshot() const {
     r.mem_peak_bytes = slot.mem_peak_bytes.load(std::memory_order_relaxed);
     r.mem_cumulative_bytes =
         slot.mem_cumulative_bytes.load(std::memory_order_relaxed);
+    r.spill_bytes = slot.spill_bytes.load(std::memory_order_relaxed);
+    r.spill_partitions =
+        slot.spill_partitions.load(std::memory_order_relaxed);
     r.sql = LoadText(slot.sql, slot.sql_len.load(std::memory_order_relaxed));
     r.error =
         LoadText(slot.error, slot.error_len.load(std::memory_order_relaxed));

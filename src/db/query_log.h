@@ -60,6 +60,8 @@ struct QueryLogRecord {
   int64_t billed_batch_us = 0;  ///< share of coalesced batch_fn time billed
   int64_t mem_peak_bytes = 0;      ///< query tracker high-water mark
   int64_t mem_cumulative_bytes = 0;  ///< total bytes ever charged to it
+  int64_t spill_bytes = 0;  ///< logical bytes written to spill partitions
+  int64_t spill_partitions = 0;  ///< non-empty spill partition runs
   /// @}
 };
 

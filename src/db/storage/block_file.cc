@@ -1,0 +1,97 @@
+#include "db/storage/block_file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+namespace dl2sql::db::storage {
+
+Result<std::unique_ptr<BlockFile>> BlockFile::Open(const std::string& dir,
+                                                   size_t block_bytes) {
+  if (block_bytes == 0) {
+    return Status::InvalidArgument("block_bytes must be positive");
+  }
+  std::string base = dir;
+  if (base.empty()) {
+    const char* tmp = ::getenv("TMPDIR");
+    base = tmp != nullptr && *tmp != '\0' ? tmp : "/tmp";
+  }
+  std::string path = base + "/dl2sql-blocks-XXXXXX";
+  std::vector<char> tmpl(path.begin(), path.end());
+  tmpl.push_back('\0');
+  const int fd = ::mkstemp(tmpl.data());
+  if (fd < 0) {
+    return Status::IoError("mkstemp(", path, "): ", ::strerror(errno));
+  }
+  // Unlink immediately: the tablespace lives only as long as the descriptor,
+  // so no cleanup pass is ever needed, even after a crash.
+  ::unlink(tmpl.data());
+  return std::unique_ptr<BlockFile>(new BlockFile(fd, block_bytes));
+}
+
+BlockFile::~BlockFile() { ::close(fd_); }
+
+int64_t BlockFile::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_list_.empty()) {
+    const int64_t b = free_list_.back();
+    free_list_.pop_back();
+    return b;
+  }
+  return next_block_++;
+}
+
+void BlockFile::Free(int64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_list_.push_back(block);
+}
+
+Status BlockFile::Read(int64_t block, char* dst) const {
+  size_t done = 0;
+  const off_t base = static_cast<off_t>(block) * static_cast<off_t>(block_bytes_);
+  while (done < block_bytes_) {
+    const ssize_t n = ::pread(fd_, dst + done, block_bytes_ - done,
+                              base + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pread(block ", block, "): ", ::strerror(errno));
+    }
+    if (n == 0) {
+      // Reading past EOF: the block was allocated but never written
+      // (all-null column slices encode to zero payload bytes). Zero-fill.
+      ::memset(dst + done, 0, block_bytes_ - done);
+      return Status::OK();
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status BlockFile::Write(int64_t block, const char* src) {
+  size_t done = 0;
+  const off_t base = static_cast<off_t>(block) * static_cast<off_t>(block_bytes_);
+  while (done < block_bytes_) {
+    const ssize_t n = ::pwrite(fd_, src + done, block_bytes_ - done,
+                               base + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pwrite(block ", block, "): ", ::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+int64_t BlockFile::allocated_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_block_ - static_cast<int64_t>(free_list_.size());
+}
+
+int64_t BlockFile::file_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_block_;
+}
+
+}  // namespace dl2sql::db::storage

@@ -1,0 +1,64 @@
+/// \file block_file.h
+/// \brief BlockFile: a single temp-backed tablespace of fixed-size blocks.
+///
+/// All paged tables and executor spill partitions of one StorageEngine share
+/// one file, addressed by block id (offset = id * block_bytes). Blocks are
+/// allocated from a bump pointer with a free list, so dropping a paged table
+/// returns its blocks for reuse instead of growing the file. The file is
+/// created with mkstemp and unlinked immediately: the kernel reclaims it when
+/// the last descriptor closes, so crashed processes leave nothing behind.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dl2sql::db::storage {
+
+class BlockFile {
+ public:
+  /// Creates an anonymous block file inside `dir` (empty = TMPDIR or /tmp).
+  static Result<std::unique_ptr<BlockFile>> Open(const std::string& dir,
+                                                 size_t block_bytes);
+  ~BlockFile();
+
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  size_t block_bytes() const { return block_bytes_; }
+
+  /// Reserves one block id (free-listed ids are reused first).
+  int64_t Allocate();
+
+  /// Returns a block to the free list. The caller must ensure no frame in
+  /// any buffer pool still maps it (BufferPool::Discard first).
+  void Free(int64_t block);
+
+  /// Reads one full block into `dst` (block_bytes() bytes). Blocks that were
+  /// allocated but never written read back as zeros (the file is sparse).
+  Status Read(int64_t block, char* dst) const;
+
+  /// Writes one full block from `src` (block_bytes() bytes).
+  Status Write(int64_t block, const char* src);
+
+  /// Blocks currently allocated (high-water minus free list).
+  int64_t allocated_blocks() const;
+  /// High-water block count — on-disk footprint upper bound.
+  int64_t file_blocks() const;
+
+ private:
+  BlockFile(int fd, size_t block_bytes)
+      : fd_(fd), block_bytes_(block_bytes) {}
+
+  const int fd_;
+  const size_t block_bytes_;
+  mutable std::mutex mu_;  ///< guards the allocator state only; I/O is pread/pwrite
+  int64_t next_block_ = 0;
+  std::vector<int64_t> free_list_;
+};
+
+}  // namespace dl2sql::db::storage

@@ -1,0 +1,278 @@
+#include "db/storage/buffer_pool.h"
+
+#include <string.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "common/cache.h"
+#include "common/logging.h"
+
+namespace dl2sql::db::storage {
+
+struct BufferPool::Frame {
+  int64_t block = -1;       ///< block id cached here, -1 = free slot
+  int pins = 0;
+  bool dirty = false;
+  bool referenced = false;  ///< clock second-chance bit
+  std::vector<char> data;
+};
+
+struct BufferPool::Shard {
+  mutable std::mutex mu;
+  std::vector<Frame> frames;
+  std::unordered_map<int64_t, int> block_to_frame;
+  std::vector<int> free_frames;  ///< slots whose block == -1 (data released)
+  size_t clock_hand = 0;
+  // The budget is enforced with this plain counter, NOT with
+  // MemTracker::TryConsume: the tracker gate (DL2SQL_MEM_TRACKER=OFF) must
+  // not turn off the frame cap — bounded residency is a functional property.
+  // The tracker mirrors the counter for system.metrics / profiles only.
+  int64_t charged_bytes = 0;
+  int64_t limit_bytes = 0;
+  std::unique_ptr<MemTracker> tracker;
+  // stats
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t writebacks = 0;
+};
+
+BufferPool::BufferPool(BlockFile* file, size_t budget_bytes, int shards)
+    : file_(file),
+      budget_(std::max(budget_bytes, file->block_bytes() *
+                                         static_cast<size_t>(std::max(shards, 1)))) {
+  const int n = std::max(shards, 1);
+  tracker_ = std::make_unique<MemTracker>("storage.buffer_pool",
+                                          MemTracker::Process(),
+                                          static_cast<int64_t>(budget_));
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->limit_bytes = static_cast<int64_t>(budget_ / n);
+    s->tracker = std::make_unique<MemTracker>(
+        "storage.buffer_pool.shard" + std::to_string(i), tracker_.get());
+    shards_.push_back(std::move(s));
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush so a durability-minded caller who forgot FlushAll
+  // still gets its dirty spill data on disk; errors are unreportable here.
+  (void)FlushAll();
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (Frame& f : s->frames) {
+      DL2SQL_CHECK(f.pins == 0) << "BufferPool destroyed with pinned frames";
+    }
+    s->frames.clear();
+    s->tracker->Release(s->charged_bytes);
+    s->charged_bytes = 0;
+  }
+}
+
+int BufferPool::ShardOf(int64_t block) const {
+  return static_cast<int>(Hash64(&block, sizeof(block)) % shards_.size());
+}
+
+Result<int> BufferPool::AcquireFrameLocked(Shard& s) {
+  const int64_t bytes = static_cast<int64_t>(file_->block_bytes());
+  // Admit a new frame under budget; the first frame of a shard is admitted
+  // unconditionally so a sub-block budget still makes progress.
+  if (s.charged_bytes + bytes <= s.limit_bytes || s.charged_bytes == 0) {
+    s.charged_bytes += bytes;
+    s.tracker->Consume(bytes);
+    int idx;
+    if (!s.free_frames.empty()) {
+      idx = s.free_frames.back();
+      s.free_frames.pop_back();
+    } else {
+      s.frames.emplace_back();
+      idx = static_cast<int>(s.frames.size()) - 1;
+    }
+    s.frames[idx].data.resize(file_->block_bytes());
+    return idx;
+  }
+  // Budget exhausted: evict an unpinned frame, clock second-chance. The
+  // victim's charge transfers with the frame. Two full sweeps — the first
+  // may only clear reference bits.
+  for (size_t step = 0; step < 2 * s.frames.size(); ++step) {
+    Frame& f = s.frames[s.clock_hand];
+    const size_t here = s.clock_hand;
+    s.clock_hand = (s.clock_hand + 1) % s.frames.size();
+    if (f.block < 0 || f.pins > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.dirty) {
+      DL2SQL_RETURN_NOT_OK(file_->Write(f.block, f.data.data()));
+      f.dirty = false;
+      ++s.writebacks;
+    }
+    s.block_to_frame.erase(f.block);
+    f.block = -1;
+    ++s.evictions;
+    return static_cast<int>(here);
+  }
+  return Status::ResourceExhausted(
+      "buffer pool shard has all ", s.frames.size(),
+      " frames pinned and no budget for more (pool budget ", budget_,
+      " bytes)");
+}
+
+Result<int> BufferPool::PinLocked(Shard& s, int64_t block) {
+  auto it = s.block_to_frame.find(block);
+  if (it != s.block_to_frame.end()) {
+    Frame& f = s.frames[it->second];
+    ++f.pins;
+    f.referenced = true;
+    ++s.hits;
+    return it->second;
+  }
+  ++s.misses;
+  DL2SQL_ASSIGN_OR_RETURN(const int idx, AcquireFrameLocked(s));
+  Frame& f = s.frames[idx];
+  DL2SQL_RETURN_NOT_OK(file_->Read(block, f.data.data()));
+  f.block = block;
+  f.pins = 1;
+  f.dirty = false;
+  f.referenced = true;
+  s.block_to_frame.emplace(block, idx);
+  return idx;
+}
+
+Result<PinnedBlock> BufferPool::Pin(int64_t block) {
+  const int si = ShardOf(block);
+  Shard& s = *shards_[si];
+  std::lock_guard<std::mutex> lock(s.mu);
+  DL2SQL_ASSIGN_OR_RETURN(const int idx, PinLocked(s, block));
+  Frame& f = s.frames[idx];
+  return PinnedBlock(this, si, idx, f.data.data(), f.data.size());
+}
+
+Status BufferPool::Put(int64_t block, const char* data, size_t len) {
+  if (len > file_->block_bytes()) {
+    return Status::InvalidArgument("Put of ", len, " bytes exceeds block size ",
+                                   file_->block_bytes());
+  }
+  const int si = ShardOf(block);
+  Shard& s = *shards_[si];
+  std::lock_guard<std::mutex> lock(s.mu);
+  int idx;
+  auto it = s.block_to_frame.find(block);
+  if (it != s.block_to_frame.end()) {
+    idx = it->second;
+  } else {
+    ++s.misses;
+    auto acquired = AcquireFrameLocked(s);
+    if (!acquired.ok()) {
+      // No frame available: write through to the file directly. The caller's
+      // data is complete, so the cache is an optimization here, not a need.
+      std::vector<char> padded(file_->block_bytes(), 0);
+      ::memcpy(padded.data(), data, len);
+      return file_->Write(block, padded.data());
+    }
+    idx = *acquired;
+    Frame& f = s.frames[idx];
+    f.block = block;
+    f.pins = 0;
+    s.block_to_frame.emplace(block, idx);
+  }
+  Frame& f = s.frames[idx];
+  ::memcpy(f.data.data(), data, len);
+  if (len < f.data.size()) {
+    ::memset(f.data.data() + len, 0, f.data.size() - len);
+  }
+  f.dirty = true;
+  f.referenced = true;
+  return Status::OK();
+}
+
+void BufferPool::Discard(const std::vector<int64_t>& blocks) {
+  for (const int64_t block : blocks) {
+    Shard& s = *shards_[ShardOf(block)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.block_to_frame.find(block);
+    if (it == s.block_to_frame.end()) continue;
+    Frame& f = s.frames[it->second];
+    DL2SQL_CHECK(f.pins == 0) << "Discard of a pinned block";
+    f.block = -1;
+    f.dirty = false;
+    f.referenced = false;
+    // Release the buffer itself, not just the charge — freed slots must not
+    // hold memory the counter no longer accounts for.
+    f.data.clear();
+    f.data.shrink_to_fit();
+    s.free_frames.push_back(it->second);
+    s.block_to_frame.erase(it);
+    const int64_t bytes = static_cast<int64_t>(file_->block_bytes());
+    s.charged_bytes -= bytes;
+    s.tracker->Release(bytes);
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (Frame& f : s.frames) {
+      if (f.block < 0 || !f.dirty) continue;
+      DL2SQL_RETURN_NOT_OK(file_->Write(f.block, f.data.data()));
+      f.dirty = false;
+      ++s.writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats out;
+  out.budget_bytes = static_cast<int64_t>(budget_);
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Frame& f : s.frames) {
+      if (f.block < 0) continue;
+      ++out.frames;
+      if (f.pins > 0) ++out.pinned;
+      if (f.dirty) ++out.dirty;
+    }
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.writebacks += s.writebacks;
+  }
+  out.frame_bytes = out.frames * static_cast<int64_t>(file_->block_bytes());
+  return out;
+}
+
+void BufferPool::Unpin(int shard, int frame) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  Frame& f = s.frames[frame];
+  DL2SQL_CHECK(f.pins > 0) << "Unpin underflow";
+  --f.pins;
+}
+
+PinnedBlock& PinnedBlock::operator=(PinnedBlock&& o) noexcept {
+  if (this != &o) {
+    if (pool_ != nullptr) pool_->Unpin(shard_, frame_);
+    pool_ = o.pool_;
+    shard_ = o.shard_;
+    frame_ = o.frame_;
+    data_ = o.data_;
+    size_ = o.size_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+PinnedBlock::~PinnedBlock() {
+  if (pool_ != nullptr) pool_->Unpin(shard_, frame_);
+}
+
+}  // namespace dl2sql::db::storage

@@ -1,0 +1,132 @@
+/// \file buffer_pool.h
+/// \brief Sharded pinning buffer pool over a BlockFile (see DESIGN.md,
+/// "Out-of-core storage").
+///
+/// The pool caches fixed-size blocks in frames. Readers Pin() a block — a
+/// cache hit bumps the pin count, a miss allocates or evicts a frame and
+/// reads the block from disk — and hold the returned PinnedBlock RAII handle
+/// for as long as they need the bytes stable; unpinned frames become eviction
+/// candidates for a per-shard clock (second-chance) sweep. Writers Put() a
+/// freshly allocated block: the frame is marked dirty and written back to the
+/// BlockFile only when evicted (or at FlushAll), so spill partitions that fit
+/// in the pool never touch disk at all.
+///
+/// Memory accounting: the budget is enforced with a plain per-shard byte
+/// counter (it is a functional cap, so it holds even under
+/// DL2SQL_MEM_TRACKER=OFF); every frame's bytes are additionally mirrored
+/// into a per-shard MemTracker child of "storage.buffer_pool" (parented
+/// under the process tracker) for system.metrics / profile visibility.
+/// Budget exhaustion triggers eviction; each shard admits at least one frame
+/// unconditionally, so progress is guaranteed even under budgets smaller
+/// than one block per shard (effective floor: shards * block_bytes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/mem_tracker.h"
+#include "common/result.h"
+#include "db/storage/block_file.h"
+
+namespace dl2sql::db::storage {
+
+class BufferPool;
+
+/// RAII pin on one cached block. The referenced bytes stay valid and
+/// unevictable until destruction. Movable, not copyable.
+class PinnedBlock {
+ public:
+  PinnedBlock() = default;
+  PinnedBlock(PinnedBlock&& o) noexcept { *this = std::move(o); }
+  PinnedBlock& operator=(PinnedBlock&& o) noexcept;
+  ~PinnedBlock();
+
+  PinnedBlock(const PinnedBlock&) = delete;
+  PinnedBlock& operator=(const PinnedBlock&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  explicit operator bool() const { return data_ != nullptr; }
+
+ private:
+  friend class BufferPool;
+  PinnedBlock(BufferPool* pool, int shard, int frame, const char* data,
+              size_t size)
+      : pool_(pool), shard_(shard), frame_(frame), data_(data), size_(size) {}
+
+  BufferPool* pool_ = nullptr;
+  int shard_ = 0;
+  int frame_ = -1;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+class BufferPool {
+ public:
+  /// `budget_bytes` caps cached frame memory across all shards (floor: one
+  /// frame per shard). `file` is not owned and must outlive the pool.
+  BufferPool(BlockFile* file, size_t budget_bytes, int shards);
+  ~BufferPool();
+
+  /// Pins `block`, reading it from the file on a miss. Fails with
+  /// ResourceExhausted only when every frame of the block's shard is pinned
+  /// and the budget admits no new frame.
+  Result<PinnedBlock> Pin(int64_t block);
+
+  /// Caches `len` bytes (<= block_bytes, zero-padded) as the content of
+  /// `block` and marks the frame dirty; write-back happens at eviction or
+  /// FlushAll. The caller must be the only writer of `block` (fresh ids from
+  /// BlockFile::Allocate are).
+  Status Put(int64_t block, const char* data, size_t len);
+
+  /// Drops any frames caching these blocks without write-back (the blocks
+  /// are being freed; their content is dead).
+  void Discard(const std::vector<int64_t>& blocks);
+
+  /// Writes every dirty frame back to the file (tests and durability hooks).
+  Status FlushAll();
+
+  struct Stats {
+    int64_t frames = 0;         ///< resident frames across all shards
+    int64_t frame_bytes = 0;    ///< frames * block_bytes
+    int64_t pinned = 0;         ///< frames with a live pin
+    int64_t dirty = 0;          ///< frames awaiting write-back
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t writebacks = 0;
+    int64_t budget_bytes = 0;   ///< configured budget
+  };
+  Stats stats() const;
+
+  size_t block_bytes() const { return file_->block_bytes(); }
+  size_t budget_bytes() const { return budget_; }
+
+  /// The pool-level tracker ("storage.buffer_pool"); shard charges are its
+  /// children. Test introspection.
+  const MemTracker& mem_tracker() const { return *tracker_; }
+
+ private:
+  friend class PinnedBlock;
+  struct Frame;
+  struct Shard;
+
+  int ShardOf(int64_t block) const;
+  void Unpin(int shard, int frame);
+  /// Finds or loads `block` in its shard; returns the frame index with the
+  /// pin count already bumped. Called with the shard lock held.
+  Result<int> PinLocked(Shard& s, int64_t block);
+  /// Makes a frame available in shard `s`: reuse a free slot under budget or
+  /// evict the clock's next unpinned victim (writing back if dirty). Returns
+  /// the frame index, or ResourceExhausted when everything is pinned.
+  Result<int> AcquireFrameLocked(Shard& s);
+
+  BlockFile* const file_;
+  const size_t budget_;
+  std::unique_ptr<MemTracker> tracker_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dl2sql::db::storage

@@ -1,0 +1,124 @@
+#include "db/storage/storage_engine.h"
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace dl2sql::db::storage {
+
+namespace {
+
+// Parses a positive integer env var; returns `fallback` (warning logged) on
+// absent or unparseable values, mirroring the DL2SQL_VECTOR-style gates.
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* v = ::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = ::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || parsed <= 0) {
+    DL2SQL_LOG(Warning) << name << "='" << v
+                        << "' is not a positive integer; using " << fallback;
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+StorageOptions StorageOptions::FromEnv() {
+  StorageOptions o;
+  o.pool_bytes = static_cast<size_t>(
+      EnvInt64("DL2SQL_BUFFER_POOL_BYTES", static_cast<int64_t>(o.pool_bytes)));
+  o.page_min_bytes = static_cast<size_t>(EnvInt64(
+      "DL2SQL_PAGE_MIN_BYTES", static_cast<int64_t>(o.page_min_bytes)));
+  o.spill_partitions = static_cast<int>(
+      EnvInt64("DL2SQL_SPILL_PARTITIONS", o.spill_partitions));
+  const char* dir = ::getenv("DL2SQL_STORAGE_DIR");
+  if (dir != nullptr && *dir != '\0') o.dir = dir;
+  return o;
+}
+
+Result<std::shared_ptr<StorageEngine>> StorageEngine::Create(
+    const StorageOptions& options) {
+  if (options.block_bytes == 0 || options.chunk_rows <= 0 ||
+      options.shards <= 0 || options.spill_partitions <= 0) {
+    return Status::InvalidArgument(
+        "StorageOptions: block_bytes, chunk_rows, shards, and "
+        "spill_partitions must all be positive");
+  }
+  DL2SQL_ASSIGN_OR_RETURN(auto file,
+                          BlockFile::Open(options.dir, options.block_bytes));
+  return std::shared_ptr<StorageEngine>(
+      new StorageEngine(options, std::move(file)));
+}
+
+StorageEngine::StorageEngine(StorageOptions options,
+                             std::unique_ptr<BlockFile> file)
+    : options_(std::move(options)), file_(std::move(file)) {
+  pool_ = std::make_unique<BufferPool>(file_.get(), options_.pool_bytes,
+                                       options_.shards);
+}
+
+std::vector<int64_t> StorageEngine::AllocateBlocks(int64_t n) {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(file_->Allocate());
+  return out;
+}
+
+void StorageEngine::FreeBlocks(const std::vector<int64_t>& blocks) {
+  pool_->Discard(blocks);
+  for (const int64_t b : blocks) file_->Free(b);
+}
+
+void StorageEngine::UpdateMetrics() {
+  auto& reg = MetricsRegistry::Global();
+  const BufferPool::Stats s = pool_->stats();
+  reg.gauge("storage.pool.frames")->Set(static_cast<double>(s.frames));
+  reg.gauge("storage.pool.frame_bytes")
+      ->Set(static_cast<double>(s.frame_bytes));
+  reg.gauge("storage.pool.pinned")->Set(static_cast<double>(s.pinned));
+  reg.gauge("storage.pool.dirty")->Set(static_cast<double>(s.dirty));
+  reg.gauge("storage.pool.budget_bytes")
+      ->Set(static_cast<double>(s.budget_bytes));
+  reg.gauge("storage.pool.hits")->Set(static_cast<double>(s.hits));
+  reg.gauge("storage.pool.misses")->Set(static_cast<double>(s.misses));
+  reg.gauge("storage.pool.evictions")->Set(static_cast<double>(s.evictions));
+  reg.gauge("storage.pool.writebacks")->Set(static_cast<double>(s.writebacks));
+  reg.gauge("storage.file.allocated_blocks")
+      ->Set(static_cast<double>(file_->allocated_blocks()));
+  reg.gauge("storage.file.bytes")
+      ->Set(static_cast<double>(file_->file_blocks()) *
+            static_cast<double>(file_->block_bytes()));
+  UpdateProcessRssMetrics();
+}
+
+int64_t StorageEngine::UpdateProcessRssMetrics() {
+  int64_t rss_bytes = 0;
+  if (FILE* f = ::fopen("/proc/self/statm", "r")) {
+    long long size_pages = 0, rss_pages = 0;
+    if (::fscanf(f, "%lld %lld", &size_pages, &rss_pages) == 2) {
+      rss_bytes = static_cast<int64_t>(rss_pages) * ::sysconf(_SC_PAGESIZE);
+    }
+    ::fclose(f);
+  }
+  int64_t peak_bytes = 0;
+  struct rusage ru;
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+    peak_bytes = static_cast<int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+  }
+  auto& reg = MetricsRegistry::Global();
+  if (rss_bytes > 0) {
+    reg.gauge("process.rss_bytes")->Set(static_cast<double>(rss_bytes));
+  }
+  if (peak_bytes > 0) {
+    reg.gauge("process.peak_rss_bytes")->Set(static_cast<double>(peak_bytes));
+  }
+  return rss_bytes;
+}
+
+}  // namespace dl2sql::db::storage

@@ -101,6 +101,8 @@ Result<TablePtr> MaterializeQueryProfiles(Database* db,
         Value::Int(r.mem_peak_bytes),
         Value::Int(r.mem_cumulative_bytes),
         Value::Int(r.end_micros),
+        Value::Int(r.spill_bytes),
+        Value::Int(r.spill_partitions),
     }));
   }
   return t;
@@ -222,7 +224,9 @@ void RegisterDatabaseSystemTables(Database* db) {
                                {"billed_batch_ms", DataType::kFloat64},
                                {"mem_peak_bytes", DataType::kInt64},
                                {"mem_cumulative_bytes", DataType::kInt64},
-                               {"end_micros", DataType::kInt64}});
+                               {"end_micros", DataType::kInt64},
+                               {"spill_bytes", DataType::kInt64},
+                               {"spill_partitions", DataType::kInt64}});
   DL2SQL_CHECK(catalog
                    .RegisterVirtualTable(std::make_shared<CallbackVirtualTable>(
                        "system.query_profiles", std::move(profiles_schema),

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "db/storage/paged_table.h"
+
 namespace dl2sql::db {
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
@@ -35,12 +37,48 @@ Result<Table> Table::FromColumns(TableSchema schema,
   return t;
 }
 
+Table Table::FromPaged(TableSchema schema,
+                       std::shared_ptr<storage::PagedTableData> paged) {
+  Table t;
+  t.schema_ = std::move(schema);
+  t.paged_ = std::move(paged);
+  return t;
+}
+
+int64_t Table::PagedRows() const { return paged_->num_rows(); }
+
+Status Table::EnsureResident() {
+  if (paged_ == nullptr) return Status::OK();
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<Column> cols, paged_->Materialize());
+  columns_ = std::move(cols);
+  paged_.reset();
+  return Status::OK();
+}
+
+Result<Table> Table::Materialize() const {
+  if (paged_ == nullptr) return *this;
+  DL2SQL_ASSIGN_OR_RETURN(std::vector<Column> cols, paged_->Materialize());
+  return FromColumns(schema_, std::move(cols));
+}
+
+Status Table::PageOut(
+    const std::shared_ptr<storage::StorageEngine>& engine) {
+  if (paged_ != nullptr) return Status::OK();
+  storage::PagedTableBuilder builder(engine, schema_);
+  DL2SQL_RETURN_NOT_OK(builder.Append(*this));
+  DL2SQL_ASSIGN_OR_RETURN(paged_, builder.Finish());
+  columns_.clear();
+  return Status::OK();
+}
+
 Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  DL2SQL_CHECK(paged_ == nullptr) << "ColumnByName on a paged table";
   DL2SQL_ASSIGN_OR_RETURN(int idx, schema_.Find(name));
   return &columns_[static_cast<size_t>(idx)];
 }
 
 Status Table::AppendRow(const std::vector<Value>& row) {
+  DL2SQL_RETURN_NOT_OK(EnsureResident());
   if (static_cast<int>(row.size()) != num_columns()) {
     return Status::InvalidArgument("AppendRow: ", row.size(), " values vs ",
                                    num_columns(), " columns");
@@ -53,6 +91,15 @@ Status Table::AppendRow(const std::vector<Value>& row) {
 }
 
 std::vector<Value> Table::GetRow(int64_t i) const {
+  if (paged_ != nullptr) {
+    auto cols = paged_->Gather({i});
+    DL2SQL_CHECK(cols.ok()) << "paged row read failed: "
+                            << cols.status().ToString();
+    std::vector<Value> row;
+    row.reserve(cols->size());
+    for (const auto& c : *cols) row.push_back(c.GetValue(0));
+    return row;
+  }
   std::vector<Value> row;
   row.reserve(columns_.size());
   for (const auto& c : columns_) row.push_back(c.GetValue(i));
@@ -60,8 +107,13 @@ std::vector<Value> Table::GetRow(int64_t i) const {
 }
 
 Status Table::AppendTable(const Table& other) {
+  DL2SQL_RETURN_NOT_OK(EnsureResident());
   if (other.num_columns() != num_columns()) {
     return Status::InvalidArgument("AppendTable: column count mismatch");
+  }
+  if (other.is_paged()) {
+    DL2SQL_ASSIGN_OR_RETURN(Table resident, other.Materialize());
+    return AppendTable(resident);
   }
   for (int i = 0; i < num_columns(); ++i) {
     if (other.column(i).type() != column(i).type()) {
@@ -77,6 +129,14 @@ Status Table::AppendTable(const Table& other) {
 }
 
 Table Table::TakeRows(const std::vector<int64_t>& indices) const {
+  if (paged_ != nullptr) {
+    auto cols = paged_->Gather(indices);
+    DL2SQL_CHECK(cols.ok()) << "paged gather failed: "
+                            << cols.status().ToString();
+    auto t = FromColumns(schema_, std::move(*cols));
+    DL2SQL_CHECK(t.ok()) << t.status().ToString();
+    return std::move(*t);
+  }
   Table out;
   out.schema_ = schema_;
   out.columns_.reserve(columns_.size());
@@ -100,6 +160,9 @@ Status Table::RenameFields(const std::vector<std::string>& names) {
 }
 
 uint64_t Table::ByteSize() const {
+  if (paged_ != nullptr) {
+    return static_cast<uint64_t>(paged_->logical_bytes());
+  }
   uint64_t bytes = 0;
   for (const auto& c : columns_) bytes += c.ByteSize();
   return bytes;
@@ -113,12 +176,23 @@ std::string Table::ToString(int64_t max_rows) const {
   }
   oss << "\n";
   const int64_t n = std::min<int64_t>(num_rows(), max_rows);
-  for (int64_t r = 0; r < n; ++r) {
-    for (int c = 0; c < num_columns(); ++c) {
-      if (c > 0) oss << " | ";
-      oss << columns_[static_cast<size_t>(c)].GetValue(r).ToString();
+  if (paged_ != nullptr) {
+    for (int64_t r = 0; r < n; ++r) {
+      const std::vector<Value> row = GetRow(r);
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) oss << " | ";
+        oss << row[c].ToString();
+      }
+      oss << "\n";
     }
-    oss << "\n";
+  } else {
+    for (int64_t r = 0; r < n; ++r) {
+      for (int c = 0; c < num_columns(); ++c) {
+        if (c > 0) oss << " | ";
+        oss << columns_[static_cast<size_t>(c)].GetValue(r).ToString();
+      }
+      oss << "\n";
+    }
   }
   if (num_rows() > n) {
     oss << "... (" << num_rows() << " rows total)\n";

@@ -521,6 +521,9 @@ class Converter {
       return Status::InternalError("BN folding requires a pre-joined conv");
     }
     DL2SQL_ASSIGN_OR_RETURN(db::TablePtr pjk, db_->catalog().GetTable(pjk_name));
+    // Folding rewrites columns in place, so a paged parameter table must be
+    // resident first (it re-pages on the next DML sync if still large).
+    DL2SQL_RETURN_NOT_OK(pjk->EnsureResident());
     // Scale weights per output channel.
     std::vector<double> scale(static_cast<size_t>(g.out_c));
     std::vector<double> shift(static_cast<size_t>(g.out_c));
@@ -543,6 +546,7 @@ class Converter {
     if (!bias_name.empty()) {
       DL2SQL_ASSIGN_OR_RETURN(db::TablePtr bias_t,
                               db_->catalog().GetTable(bias_name));
+      DL2SQL_RETURN_NOT_OK(bias_t->EnsureResident());
       const auto& ids = bias_t->column(0).ints();
       auto& biases = bias_t->mutable_column(1).mutable_floats();
       for (size_t r = 0; r < biases.size(); ++r) {

@@ -102,6 +102,9 @@ TEST(QueryProfilesTest, ProfilesCarryMemoryPeaksAndSaneTimeBreakdown) {
   ScopedTrackingEnabled guard;
   REQUIRE_TRACKING(guard);
   Database db;
+  // This test asserts in-memory tracker behavior; paged mode (spilling,
+  // resident-bytes billing) legitimately reports different peaks.
+  ASSERT_TRUE(db.set_storage_mode(StorageMode::kInMemory).ok());
   FillTables(&db);
   ASSERT_TRUE(db.Execute(kJoinSql).ok());
   ASSERT_TRUE(db.Execute(kAggSql).ok());
@@ -173,6 +176,8 @@ TEST(QueryProfilesTest, QueryMemLimitFailsNamingTheOffendingOperator) {
   ScopedTrackingEnabled guard;
   REQUIRE_TRACKING(guard);
   Database db;
+  // Paged mode spills instead of failing on the limit — pin in-memory.
+  ASSERT_TRUE(db.set_storage_mode(StorageMode::kInMemory).ok());
   FillTables(&db);
   db.set_query_mem_limit(1 << 20);  // 1 MB
 
@@ -201,6 +206,8 @@ TEST(QueryProfilesTest, EnvSeedsQueryMemLimitAtConstruction) {
   Database db;
   ::unsetenv("DL2SQL_QUERY_MEM_LIMIT");
   EXPECT_EQ(db.query_mem_limit(), 1048576);
+  // Paged mode spills instead of failing on the limit — pin in-memory.
+  ASSERT_TRUE(db.set_storage_mode(StorageMode::kInMemory).ok());
   FillTables(&db);
   auto r = db.Execute("SELECT id, payload FROM fact WHERE val >= 0");
   ASSERT_FALSE(r.ok());

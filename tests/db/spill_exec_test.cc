@@ -1,0 +1,259 @@
+/// \file spill_exec_test.cc
+/// \brief Bit-identity of the spilling executor paths (grace hash join,
+/// external aggregation, windowed filter/project) against the in-memory
+/// executor, across several pool/query-memory budgets.
+///
+/// All databases here run serially (no device pool), because the parallel
+/// in-memory aggregation merges float state in worker order; the spill
+/// contract is bit-identity with the SERIAL in-memory execution.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/mem_tracker.h"
+#include "db/database.h"
+#include "db/storage/storage_engine.h"
+
+namespace dl2sql::db {
+namespace {
+
+constexpr int64_t kRows = 30000;
+constexpr int64_t kDimRows = 96;
+
+class ScopedTrackingEnabled {
+ public:
+  ScopedTrackingEnabled() : prior_(MemTracker::Enabled()) {
+    MemTracker::SetEnabled(true);
+  }
+  ~ScopedTrackingEnabled() { MemTracker::SetEnabled(prior_); }
+  bool active() const { return MemTracker::Enabled(); }
+
+ private:
+  const bool prior_;
+};
+
+#define REQUIRE_TRACKING(guard)                         \
+  if (!(guard).active()) {                              \
+    GTEST_SKIP() << "resource accounting compiled out"; \
+  }
+
+void FillTables(Database* db) {
+  // ~2.8 MB fact table: big enough that a ~1 MB query budget refuses to
+  // materialize it, small enough that the test stays fast.
+  TableSchema fact_schema({{"id", DataType::kInt64},
+                           {"grp", DataType::kInt64},
+                           {"val", DataType::kFloat64},
+                           {"payload", DataType::kString}});
+  Table fact{fact_schema};
+  const std::string payload(48, 'p');
+  for (int64_t i = 0; i < kRows; ++i) {
+    DL2SQL_CHECK(
+        fact.AppendRow({Value::Int(i), Value::Int((i * 7919) % kDimRows),
+                        Value::Float(static_cast<double>((i * 104729 + 13) %
+                                                         100000) /
+                                     7.0),
+                        Value::String(payload)})
+            .ok());
+  }
+  DL2SQL_CHECK(db->RegisterTable("fact", std::move(fact)).ok());
+
+  TableSchema dim_schema({{"id", DataType::kInt64}, {"w", DataType::kInt64}});
+  Table dim{dim_schema};
+  for (int64_t i = 0; i < kDimRows; ++i) {
+    DL2SQL_CHECK(dim.AppendRow({Value::Int(i), Value::Int(i * i)}).ok());
+  }
+  DL2SQL_CHECK(db->RegisterTable("dim", std::move(dim)).ok());
+}
+
+// The join probe side must be the whole fact table (nothing pushable below
+// the join), or the planner's pushed-down filter shrinks the input under the
+// query budget and the in-memory join runs instead of the grace join.
+const char* const kJoinSql =
+    "SELECT F.id, F.grp, D.w FROM fact F INNER JOIN dim D ON F.grp = D.id";
+// The residual references both sides, so it must survive as a join_condition
+// applied after pair emission (slice-local in the grace path).
+const char* const kJoinResidualSql =
+    "SELECT F.id, D.w FROM fact F INNER JOIN dim D "
+    "ON F.grp = D.id AND F.id % 7 < D.id";
+const char* const kAggSql =
+    "SELECT grp, count(*) AS c, sum(val) AS s, avg(val) AS a, "
+    "min(val) AS lo, max(val) AS hi, stddev_samp(val) AS sd "
+    "FROM fact GROUP BY grp";
+const char* const kGlobalAggSql =
+    "SELECT count(*) AS c, sum(val) AS s, avg(val) AS a FROM fact";
+const char* const kFilterProjectSql =
+    "SELECT id * 2 AS d, val + 1.0 AS v FROM fact WHERE grp < 7";
+
+std::vector<std::string> RunAll(Database* db,
+                                const std::vector<const char*>& queries) {
+  std::vector<std::string> renders;
+  for (const char* sql : queries) {
+    auto r = db->Execute(sql);
+    DL2SQL_CHECK(r.ok()) << sql << ": " << r.status().ToString();
+    renders.push_back(r->ToString(r->num_rows()));
+  }
+  return renders;
+}
+
+/// Reference renders from a serial in-memory database.
+std::vector<std::string> ReferenceRenders(
+    const std::vector<const char*>& queries) {
+  Database ref;
+  DL2SQL_CHECK(ref.set_storage_mode(StorageMode::kInMemory).ok());
+  FillTables(&ref);
+  return RunAll(&ref, queries);
+}
+
+/// Largest spill_bytes recorded for `sql` in system.query_profiles.
+int64_t SpillBytesFor(Database* db, const std::string& sql) {
+  auto profiles = db->Execute(
+      "SELECT sql, spill_bytes FROM system.query_profiles");
+  DL2SQL_CHECK(profiles.ok()) << profiles.status().ToString();
+  int64_t spill = -1;
+  for (int64_t i = 0; i < profiles->num_rows(); ++i) {
+    if (profiles->column(0).GetValue(i).string_value() != sql) continue;
+    spill = std::max(spill, profiles->column(1).GetValue(i).int_value());
+  }
+  return spill;
+}
+
+struct PagedConfig {
+  size_t pool_bytes;
+  size_t block_bytes;
+  int shards;
+  int spill_partitions;
+  int64_t query_mem_limit;
+};
+
+void ExpectBitIdentical(const PagedConfig& cfg) {
+  const std::vector<const char*> queries = {kJoinSql, kJoinResidualSql,
+                                            kAggSql, kGlobalAggSql,
+                                            kFilterProjectSql};
+  const std::vector<std::string> expected = ReferenceRenders(queries);
+
+  Database db;
+  storage::StorageOptions opts;
+  opts.pool_bytes = cfg.pool_bytes;
+  opts.block_bytes = cfg.block_bytes;
+  opts.shards = cfg.shards;
+  opts.spill_partitions = cfg.spill_partitions;
+  opts.page_min_bytes = 4096;  // page everything non-trivial
+  ASSERT_TRUE(db.set_storage_mode(StorageMode::kPaged, opts).ok());
+  FillTables(&db);
+  db.set_query_mem_limit(cfg.query_mem_limit);
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto r = db.Execute(queries[q]);
+    ASSERT_TRUE(r.ok()) << queries[q] << ": " << r.status().ToString();
+    EXPECT_EQ(r->ToString(r->num_rows()), expected[q]) << queries[q];
+  }
+
+  // The fact table (~2.8 MB) cannot be admitted under the query budget, so
+  // the join and aggregation must have taken the spill paths.
+  EXPECT_GT(SpillBytesFor(&db, kJoinSql), 0);
+  EXPECT_GT(SpillBytesFor(&db, kAggSql), 0);
+}
+
+TEST(SpillExecTest, GraceJoinAndExternalAggMatchInMemory) {
+  ScopedTrackingEnabled guard;
+  REQUIRE_TRACKING(guard);
+  // Comfortable pool, a query budget below the fact table's footprint.
+  ExpectBitIdentical({/*pool_bytes=*/4u << 20, /*block_bytes=*/64 * 1024,
+                      /*shards=*/4, /*spill_partitions=*/4,
+                      /*query_mem_limit=*/1 << 20});
+}
+
+TEST(SpillExecTest, TinyPoolForcesAllPartitionsThroughDisk) {
+  ScopedTrackingEnabled guard;
+  REQUIRE_TRACKING(guard);
+  // Pool far below the data size (floor: shards * block_bytes = 32 KB), so
+  // every spill partition round-trips through the block file; more
+  // partitions than the pool can hold frames for.
+  ExpectBitIdentical({/*pool_bytes=*/64 * 1024, /*block_bytes=*/16 * 1024,
+                      /*shards=*/2, /*spill_partitions=*/8,
+                      /*query_mem_limit=*/1 << 20});
+}
+
+TEST(SpillExecTest, LargerBudgetStillSpillsIdentically) {
+  ScopedTrackingEnabled guard;
+  REQUIRE_TRACKING(guard);
+  ExpectBitIdentical({/*pool_bytes=*/1u << 20, /*block_bytes=*/32 * 1024,
+                      /*shards=*/4, /*spill_partitions=*/16,
+                      /*query_mem_limit=*/2 << 20});
+}
+
+TEST(SpillExecTest, PagedModeWithoutPressureIsStillBitIdentical) {
+  // No query memory limit: paged inputs are admitted (materialized) rather
+  // than spilled, which must also reproduce the in-memory results exactly.
+  const std::vector<const char*> queries = {kJoinSql, kAggSql,
+                                            kFilterProjectSql};
+  const std::vector<std::string> expected = ReferenceRenders(queries);
+  Database db;
+  storage::StorageOptions opts;
+  opts.pool_bytes = 2u << 20;
+  opts.page_min_bytes = 4096;
+  ASSERT_TRUE(db.set_storage_mode(StorageMode::kPaged, opts).ok());
+  FillTables(&db);
+  const std::vector<std::string> got = RunAll(&db, queries);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(got[q], expected[q]) << queries[q];
+  }
+}
+
+TEST(SpillExecTest, OrderByOverBudgetReportsMissingSpillSort) {
+  ScopedTrackingEnabled guard;
+  REQUIRE_TRACKING(guard);
+  Database db;
+  storage::StorageOptions opts;
+  opts.pool_bytes = 2u << 20;
+  opts.page_min_bytes = 4096;
+  ASSERT_TRUE(db.set_storage_mode(StorageMode::kPaged, opts).ok());
+  FillTables(&db);
+  db.set_query_mem_limit(1 << 20);
+  auto r = db.Execute("SELECT id, payload FROM fact ORDER BY id DESC");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_NE(r.status().ToString().find("spillable sort"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SpillExecTest, DmlHealsAndRepagesTables) {
+  Database db;
+  storage::StorageOptions opts;
+  opts.pool_bytes = 2u << 20;
+  opts.page_min_bytes = 4096;
+  ASSERT_TRUE(db.set_storage_mode(StorageMode::kPaged, opts).ok());
+  FillTables(&db);
+  ASSERT_TRUE(
+      db.Execute("UPDATE fact SET val = val + 1.0 WHERE id % 2 = 0").ok());
+  ASSERT_TRUE(db.Execute("DELETE FROM fact WHERE id % 3 = 0").ok());
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO fact VALUES (1000000, 5, 2.5, 'x')").ok());
+  auto count = db.Execute("SELECT count(*) AS c FROM fact");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  // 30000 rows minus the 10000 multiples of 3, plus the inserted row.
+  EXPECT_EQ(count->column(0).GetValue(0).int_value(), kRows - kRows / 3 + 1);
+
+  // The same DML against an in-memory database yields the same table.
+  Database ref;
+  DL2SQL_CHECK(ref.set_storage_mode(StorageMode::kInMemory).ok());
+  FillTables(&ref);
+  ASSERT_TRUE(
+      ref.Execute("UPDATE fact SET val = val + 1.0 WHERE id % 2 = 0").ok());
+  ASSERT_TRUE(ref.Execute("DELETE FROM fact WHERE id % 3 = 0").ok());
+  ASSERT_TRUE(
+      ref.Execute("INSERT INTO fact VALUES (1000000, 5, 2.5, 'x')").ok());
+  const char* const all = "SELECT * FROM fact WHERE id % 11 = 0";
+  auto got = db.Execute(all);
+  auto want = ref.Execute(all);
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_EQ(got->ToString(got->num_rows()), want->ToString(want->num_rows()));
+}
+
+}  // namespace
+}  // namespace dl2sql::db

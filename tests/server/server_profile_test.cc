@@ -163,6 +163,9 @@ TEST(ServerProfileTest, SessionsSurfaceTrackedMemory) {
   ScopedTrackingEnabled guard;
   REQUIRE_TRACKING(guard);
   Database db;
+  // This test asserts in-memory tracker peaks; paged mode bills resident
+  // bytes (possibly zero for streamed intermediates) — pin in-memory.
+  ASSERT_TRUE(db.set_storage_mode(db::StorageMode::kInMemory).ok());
   TimedBody body;
   SetUpDatabase(&db, &body);
   ServiceOptions opts;

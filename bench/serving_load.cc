@@ -11,10 +11,19 @@
 /// bit-identical to the single-threaded reference, and at 16 clients
 /// coalescing must issue fewer model batches than running with it off.
 ///
+/// A second sweep drives the same fig8 mix through a cluster coordinator
+/// over 1/2/4 in-process shards (real TcpServer instances speaking the wire
+/// protocol, each with its own database and model replica) and writes
+/// BENCH_shard.json. Every scatter-gather render must be byte-identical to
+/// the single-node reference; the mix_<N>shard_sec keys are gated on core
+/// count by check_bench_regression.py, since shard scaling on a 1-core box
+/// measures nothing.
+///
 /// --quick shrinks the table and iteration counts for CI smoke use; the
-/// committed BENCH_serving.json snapshot is generated with --quick so the
-/// regression guard compares like against like.
+/// committed BENCH_serving.json / BENCH_shard.json snapshots are generated
+/// with --quick so the regression guard compares like against like.
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -23,10 +32,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cluster/coordinator.h"
 #include "common/timer.h"
 #include "nn/builders.h"
 #include "nn/serialize.h"
 #include "server/session.h"
+#include "server/tcp_server.h"
 
 using namespace dl2sql;         // NOLINT
 using namespace dl2sql::bench;  // NOLINT
@@ -162,7 +173,9 @@ Env BuildEnv(const std::string& tag, int64_t rows) {
   db::CacheOptions cache;
   cache.enable_nudf_cache = false;
   env.db->set_cache_options(cache);
-  MakeFramesTable(env.db.get(), rows);
+  // rows == 0: cluster node — the frames table arrives via coordinator DDL
+  // and routed INSERTs instead of being pre-registered.
+  if (rows > 0) MakeFramesTable(env.db.get(), rows);
   RegisterServedNudf(env.db.get(), env.served.get());
   return env;
 }
@@ -276,6 +289,105 @@ ConfigResult RunConfig(int clients, bool coalesce, int64_t rows,
   result.p99_us = Percentile(all, 99);
   result.nudf_batches = batches->value() - batches_before;
   result.merged_batches = merged->value() - merged_before;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-shard scatter-gather sweep (BENCH_shard.json).
+// ---------------------------------------------------------------------------
+
+/// One in-process shard: its own database, model replica, service, and TCP
+/// listener — a faithful stand-in for a `lindb_server` shard process, wire
+/// protocol included (the coordinator talks to it over a real socket).
+struct ShardNode {
+  Env env;
+  std::unique_ptr<server::QueryService> service;
+  std::unique_ptr<server::TcpServer> tcp;
+};
+
+struct ShardConfigResult {
+  int shards = 0;
+  double mix_seconds = 0;  // best-of-reps wall time for the whole fig8 mix
+  double qps = 0;
+  int64_t statements = 0;
+};
+
+/// Boots `num_shards` shards + a coordinator, loads `rows` frames through
+/// coordinator DDL/routed INSERTs, gates every mix render byte-identical
+/// against the single-node `reference`, then times the mix best-of-`reps`.
+ShardConfigResult RunShardConfig(int num_shards, int64_t rows, int reps,
+                                 const std::vector<std::string>& reference) {
+  std::vector<std::unique_ptr<ShardNode>> nodes;
+  std::vector<cluster::ShardEndpoint> endpoints;
+  for (int s = 0; s < num_shards; ++s) {
+    auto node = std::make_unique<ShardNode>();
+    // Every shard builds the model from the same fixed seed, so all replicas
+    // agree with the coordinator and the single-node reference.
+    node->env = BuildEnv("shard" + std::to_string(num_shards) + "_" +
+                             std::to_string(s),
+                         /*rows=*/0);
+    node->service = std::make_unique<server::QueryService>(
+        node->env.db.get(), server::ServiceOptions{});
+    node->tcp = std::make_unique<server::TcpServer>(
+        node->service.get(), server::TcpServerOptions{});
+    BENCH_CHECK_OK(node->tcp->Start());
+    endpoints.push_back({"127.0.0.1", node->tcp->port()});
+    nodes.push_back(std::move(node));
+  }
+
+  Env co_env = BuildEnv("coord" + std::to_string(num_shards), /*rows=*/0);
+  server::QueryService service(co_env.db.get(), server::ServiceOptions{});
+  auto coordinator = std::make_unique<cluster::Coordinator>(
+      co_env.db.get(), std::move(endpoints), cluster::ShardClientOptions{});
+  service.set_distributed_executor(coordinator.get());
+
+  auto session = service.CreateSession();
+  BENCH_CHECK_OK(session
+                     ->Execute("CREATE TABLE frames (id int64, seed int64) "
+                               "PARTITION BY HASH (id)")
+                     .status());
+  for (int64_t lo = 0; lo < rows; lo += 64) {
+    std::string insert = "INSERT INTO frames VALUES ";
+    const int64_t hi = std::min(rows, lo + 64);
+    for (int64_t i = lo; i < hi; ++i) {
+      if (i != lo) insert += ", ";
+      insert += "(" + std::to_string(i) + ", " + std::to_string(i) + ")";
+    }
+    BENCH_CHECK_OK(session->Execute(insert).status());
+  }
+
+  // Byte-identity gate: scatter-gather must render exactly like one node.
+  const auto& queries = Queries();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto r = session->Execute(queries[qi]);
+    BENCH_CHECK_OK(r.status());
+    if (server::RenderTable(*r, server::OutputFormat::kTsv) !=
+        reference[qi]) {
+      std::fprintf(stderr,
+                   "FATAL: %d-shard result differs from single node for: %s\n",
+                   num_shards, queries[qi].c_str());
+      std::exit(1);
+    }
+  }
+
+  ShardConfigResult result;
+  result.shards = num_shards;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    for (const std::string& q : queries) {
+      BENCH_CHECK_OK(session->Execute(q).status());
+    }
+    const double s = watch.ElapsedSeconds();
+    if (rep == 0 || s < result.mix_seconds) result.mix_seconds = s;
+  }
+  result.statements = static_cast<int64_t>(queries.size());
+  result.qps = static_cast<double>(queries.size()) / result.mix_seconds;
+
+  // Detach before teardown: the coordinator's destructor restores the
+  // system-table providers it decorated on the coordinator database.
+  service.set_distributed_executor(nullptr);
+  coordinator.reset();
+  for (auto& node : nodes) node->tcp->Stop();
   return result;
 }
 
@@ -408,5 +520,74 @@ int main(int argc, char** argv) {
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote BENCH_serving.json\n");
+
+  // ----- multi-shard scatter-gather sweep -----
+  // Single-node reference renders: the correctness baseline every shard
+  // count must match byte for byte.
+  std::vector<std::string> shard_reference;
+  {
+    Env env = BuildEnv("shardref", rows);
+    for (const std::string& q : Queries()) {
+      auto r = env.db->Execute(q);
+      BENCH_CHECK_OK(r.status());
+      shard_reference.push_back(
+          server::RenderTable(*r, server::OutputFormat::kTsv));
+    }
+  }
+
+  const int shard_reps = quick ? 3 : 7;
+  PrintHeader("Scatter-gather: fig8 mix through a coordinator over N shards",
+              {"Shards", "mix_ms", "QPS"});
+  std::vector<ShardConfigResult> shard_results;
+  for (int shards : {1, 2, 4}) {
+    ShardConfigResult r =
+        RunShardConfig(shards, rows, shard_reps, shard_reference);
+    PrintCell(static_cast<int64_t>(r.shards));
+    PrintCell(r.mix_seconds * 1e3);
+    PrintCell(r.qps);
+    EndRow();
+    shard_results.push_back(r);
+  }
+  const double scaling_1_to_4 =
+      shard_results.front().mix_seconds / shard_results.back().mix_seconds;
+  std::printf("\n1 -> 4 shard mix speedup: %.2fx (hardware_concurrency=%u; "
+              "meaningful only with >= 4 cores)\n",
+              scaling_1_to_4, std::thread::hardware_concurrency());
+
+  out = std::fopen("BENCH_shard.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"shard_scatter\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"quick\": %s,\n  \"rows\": %lld,\n  \"reps\": %d,\n",
+               quick ? "true" : "false", (long long)rows, shard_reps);
+  // The gated keys: mix_1shard_sec is always comparable (no fan-out
+  // parallelism to speak of); the N>1 keys are shard-scaling keys that
+  // check_bench_regression.py only compares across machines with matching
+  // hardware_concurrency >= 4.
+  for (const ShardConfigResult& r : shard_results) {
+    std::fprintf(out, "  \"mix_%dshard_sec\": %.6f,\n", r.shards,
+                 r.mix_seconds);
+  }
+  std::fprintf(out, "  \"scaling_1_to_4\": %.3f,\n", scaling_1_to_4);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t i = 0; i < shard_results.size(); ++i) {
+    const ShardConfigResult& r = shard_results[i];
+    // Per-config keys use _s / qps names on purpose: reported by the
+    // regression script but not compared (the gated top-level keys above are
+    // the contract).
+    std::fprintf(out,
+                 "    {\"name\": \"s%d\", \"shards\": %d, \"mix_s\": %.6f, "
+                 "\"qps\": %.2f, \"statements\": %lld}%s\n",
+                 r.shards, r.shards, r.mix_seconds, r.qps,
+                 (long long)r.statements,
+                 i + 1 < shard_results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_shard.json\n");
   return 0;
 }

@@ -1,0 +1,101 @@
+/// \file demo_model.h
+/// \brief The deterministic demo student CNN served as `nudf_student`.
+///
+/// Shared by lindb_server's --demo-model flag and the cluster smoke/serving
+/// tooling: every process that registers this model builds it from the same
+/// fixed seed, so a coordinator and its shards (or a single node and a
+/// cluster) agree on every prediction — the in-database analog of replicating
+/// one deployed model to every serving replica.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "accel/device.h"
+#include "db/database.h"
+#include "nn/builders.h"
+#include "nn/serialize.h"
+
+namespace dl2sql::demo {
+
+/// One student CNN behind a mutex, like a single exclusive accelerator.
+struct ServedModel {
+  nn::Model model;
+  std::shared_ptr<Device> device;
+  std::mutex mu;
+
+  ServedModel() {
+    nn::BuilderOptions opts;
+    opts.input_channels = 1;
+    opts.input_size = 8;
+    opts.num_classes = 4;
+    opts.base_channels = 2;
+    opts.seed = 7;
+    model = nn::BuildStudentCnn(opts);
+    DeviceProfile profile = Device::ServerCpuProfile();
+    profile.name = "demo-model-cpu";
+    profile.num_threads = 1;
+    device = std::make_shared<Device>(profile);
+  }
+
+  /// Deterministic keyframe analog for a row seed.
+  Tensor MakeInput(int64_t seed) const {
+    Tensor t{Shape({1, 8, 8})};
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+      t.at(i) = static_cast<float>((seed * 131 + i * 29) % 211) / 105.0f - 1.0f;
+    }
+    return t;
+  }
+
+  Result<int64_t> PredictSeed(int64_t seed) {
+    const Tensor input = MakeInput(seed);
+    std::lock_guard<std::mutex> lock(mu);
+    return model.Predict(input, device.get());
+  }
+
+  Result<std::vector<db::Value>> PredictBatch(
+      const std::vector<std::vector<db::Value>>& rows) {
+    std::vector<Tensor> inputs;
+    inputs.reserve(rows.size());
+    for (const auto& row : rows) {
+      DL2SQL_ASSIGN_OR_RETURN(int64_t seed, row[0].AsInt());
+      inputs.push_back(MakeInput(seed));
+    }
+    std::vector<db::Value> out;
+    out.reserve(rows.size());
+    std::lock_guard<std::mutex> lock(mu);
+    for (const Tensor& input : inputs) {
+      DL2SQL_ASSIGN_OR_RETURN(int64_t cls, model.Predict(input, device.get()));
+      out.push_back(db::Value::Int(cls));
+    }
+    return out;
+  }
+};
+
+/// Registers `nudf_student(seed) -> int64` backed by a fresh ServedModel;
+/// the returned handle owns the model and must outlive the database.
+inline std::shared_ptr<ServedModel> RegisterDemoModel(db::Database* db) {
+  auto served = std::make_shared<ServedModel>();
+  db::NUdfInfo info;
+  info.model_name = served->model.name();
+  info.num_parameters = served->model.NumParameters();
+  info.fingerprint = nn::ModelFingerprint(served->model).ValueOr(0x5eed);
+  db->udfs().RegisterNeural(
+      "nudf_student", db::DataType::kInt64,
+      [served](const std::vector<db::Value>& args) -> Result<db::Value> {
+        DL2SQL_ASSIGN_OR_RETURN(int64_t seed, args[0].AsInt());
+        DL2SQL_ASSIGN_OR_RETURN(int64_t cls, served->PredictSeed(seed));
+        return db::Value::Int(cls);
+      },
+      info,
+      [served](const std::vector<std::vector<db::Value>>& rows)
+          -> Result<std::vector<db::Value>> {
+        return served->PredictBatch(rows);
+      },
+      /*arity=*/1, /*parallel_safe=*/true);
+  return served;
+}
+
+}  // namespace dl2sql::demo

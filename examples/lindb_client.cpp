@@ -8,11 +8,17 @@
 /// strings and -- comments), each sent as one line; otherwise statements are
 /// read from stdin, one per line. Responses are printed verbatim up to and
 /// including their END marker, so output diffs are stable.
+///
+/// Connects with a bounded retry (exponential backoff inside a total budget,
+/// default 3000 ms, DL2SQL_CLUSTER_CONNECT_RETRY_MS overrides) so scripts
+/// that launch a server and immediately drive it don't flake on the startup
+/// race with ECONNREFUSED.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +26,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "db/sql/parser.h"
@@ -96,6 +103,34 @@ bool PumpResponse(int fd, std::string* buffer) {
   }
 }
 
+/// Dials host:port, retrying refused/failed connects with exponential
+/// backoff (20 ms doubling to 200 ms) until `budget_ms` is spent. Returns
+/// the connected fd, or -1 with errno describing the last failure.
+int ConnectWithRetry(const sockaddr_in& addr, double budget_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(budget_ms);
+  double backoff_ms = 20.0;
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int saved = errno;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() +
+            std::chrono::duration<double, std::milli>(backoff_ms) >=
+        deadline) {
+      errno = saved;
+      return -1;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms = backoff_ms * 2 < 200.0 ? backoff_ms * 2 : 200.0;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,11 +159,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
@@ -136,7 +166,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad host %s\n", host.c_str());
     return 1;
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  double budget_ms = 3000.0;
+  if (const char* env = std::getenv("DL2SQL_CLUSTER_CONNECT_RETRY_MS")) {
+    const double v = std::atof(env);
+    if (v > 0) budget_ms = v;
+  }
+  const int fd = ConnectWithRetry(addr, budget_ms);
+  if (fd < 0) {
     std::perror("connect");
     return 1;
   }

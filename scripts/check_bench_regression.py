@@ -21,12 +21,13 @@ come from a different machine than CI, so absolute-equality checks would be
 noise. Set DL2SQL_BENCH_REGRESSION_PCT=0 to disable the regression check
 (reports only; missing baseline keys still fail).
 
-Thread-scaling keys (matching "_<N>t_sec" with N > 1) are only compared
-when both the baseline and the fresh JSON carry a top-level
-"hardware_concurrency" field, the two values agree, and both are >= 4:
-an 8-thread timing from a 1-core container says nothing about an 8-core
-box (and vice versa), so those comparisons are skipped with a note instead
-of silently lying. Presence is still enforced for registered keys.
+Scaling keys (thread keys matching "_<N>t_sec" and shard keys matching
+"_<N>shard_sec", with N > 1) are only compared when both the baseline and
+the fresh JSON carry a top-level "hardware_concurrency" field, the two
+values agree, and both are >= 4: an 8-thread (or 4-shard scatter-gather)
+timing from a 1-core container says nothing about an 8-core box (and vice
+versa), so those comparisons are skipped with a note instead of silently
+lying. Presence is still enforced for registered keys.
 
 `--list` prints every tracked key per baseline file and exits; use it to see
 what the check would compare before touching a snapshot.
@@ -65,6 +66,10 @@ REQUIRED_KEYS = {
         "mix_paged_sec",
         "mix_inmem_sec",
     ],
+    "BENCH_shard.json": [
+        "mix_1shard_sec",
+        "mix_4shard_sec",
+    ],
 }
 
 # Memory-footprint keys compared like seconds keys (fresh must not exceed
@@ -80,16 +85,22 @@ GATED_MEM_KEYS = {
     ],
 }
 
-# Thread-scaling leaves: "<workload>_<N>t_sec". N == 1 is a plain
-# single-thread timing and always comparable; N > 1 depends on the core
-# count of the producing machine.
+# Scaling leaves: thread keys "<workload>_<N>t_sec" and shard keys
+# "<mix>_<N>shard_sec". N == 1 is a plain single-thread (or single-shard)
+# timing and always comparable; N > 1 depends on the core count of the
+# producing machine — a 4-shard scatter-gather on 1 core is pure overhead,
+# not scaling.
 THREAD_KEY_RE = re.compile(r"_(\d+)t_sec$")
+SHARD_KEY_RE = re.compile(r"_(\d+)shard_sec$")
 
 
-def thread_count(path):
-    """Returns N for a "_<N>t_sec" leaf path, else None."""
-    match = THREAD_KEY_RE.search(path)
-    return int(match.group(1)) if match else None
+def scaling_count(path):
+    """Returns N for a "_<N>t_sec" or "_<N>shard_sec" leaf path, else None."""
+    for regex in (THREAD_KEY_RE, SHARD_KEY_RE):
+        match = regex.search(path)
+        if match:
+            return int(match.group(1))
+    return None
 
 
 def seconds_leaves(node, prefix=""):
@@ -238,9 +249,9 @@ def main():
             if path not in fresh:
                 print(f"note: {name}:{path} only in baseline (bench not run?)")
                 continue
-            n_threads = thread_count(path)
-            if n_threads is not None and n_threads > 1 and skip_scaling:
-                print(f"note: {name}:{path} skipped (thread-scaling key; "
+            n_scale = scaling_count(path)
+            if n_scale is not None and n_scale > 1 and skip_scaling:
+                print(f"note: {name}:{path} skipped (scaling key; "
                       f"cores base={base_hw} fresh={fresh_hw})")
                 skipped_scaling += 1
                 continue

@@ -73,7 +73,7 @@ pass_tsan_pinned() {
   # pinned and evicted from concurrent query threads) cannot silently drop
   # out of coverage if the suite layout changes.
   ctest --test-dir build-ci-tsan --output-on-failure \
-    -R "trace|metrics|counters|cache|server|vector|profile|mem_tracker|storage|spill|buffer_pool"
+    -R "trace|metrics|counters|cache|server|vector|profile|mem_tracker|storage|spill|buffer_pool|cluster"
 }
 
 pass_asan_build() {
@@ -119,6 +119,16 @@ pass_server_smoke() {
   scripts/server_smoke.sh build-ci
 }
 
+pass_cluster_smoke() {
+  # Boots a coordinator + 2 shard lindb_servers on loopback, loads a
+  # hash-partitioned table through the coordinator, and requires the fig8
+  # mix to render byte-identical to a single-node server over the same data.
+  # Also checks system.shards health, federated system.queries, and clean
+  # SIGTERM shutdown of all processes.
+  cmake --build build-ci -j "${JOBS}" --target lindb_server lindb_client
+  scripts/cluster_smoke.sh build-ci
+}
+
 # --- registered pass list: banner numbers derive from position here. ---
 PASS_NAMES=()
 PASS_FUNCS=()
@@ -141,6 +151,8 @@ register_pass "tracing-overhead guard" pass_trace_overhead
 register_pass "resource-accounting overhead guard" pass_profile_overhead
 register_pass "out-of-core scale guard" pass_oocore_scale
 register_pass "server smoke over TCP" pass_server_smoke
+register_pass "cluster smoke: scatter-gather vs single node" \
+  pass_cluster_smoke
 
 TOTAL="${#PASS_NAMES[@]}"
 SKIPPED=()

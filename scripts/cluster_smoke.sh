@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boot two lindb_server shards plus a coordinator on
+# loopback ports, load a hash-partitioned frames table through the
+# coordinator, run the fig8 query mix with lindb_client, and diff the
+# rendered output byte-for-byte against a single-node server running the
+# same mix over the same data. Also checks the federated introspection
+# surface (system.shards health, shard-tagged system.queries rows) and that
+# all three processes shut down cleanly on SIGTERM.
+#
+# Usage: scripts/cluster_smoke.sh [build_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/examples/lindb_server"
+CLIENT="$BUILD_DIR/examples/lindb_client"
+QUERIES="scripts/cluster_smoke_queries.sql"
+
+[[ -x "$SERVER" && -x "$CLIENT" ]] || {
+  echo "build examples first: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+}
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# The server prints "PORT <n>" once it is listening.
+wait_port() {
+  local out="$1" pid="$2" port=""
+  for _ in $(seq 1 100); do
+    port="$(awk '/^PORT /{print $2; exit}' "$out" 2>/dev/null || true)"
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    kill -0 "$pid" 2>/dev/null || { cat "${out%.out}.err" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "server never reported its port ($out)" >&2
+  return 1
+}
+
+# Shared rows: 40 frames, ids 0..39, seed == id. The coordinator routes them
+# by hash(id); the single-node server just takes them all.
+{
+  echo -n "INSERT INTO frames VALUES "
+  for i in $(seq 0 39); do
+    [[ "$i" -gt 0 ]] && echo -n ", "
+    echo -n "($i, $i)"
+  done
+  echo ";"
+} >"$WORK/rows.sql"
+
+{
+  echo "CREATE TABLE frames (id int64, seed int64) PARTITION BY HASH (id);"
+  cat "$WORK/rows.sql"
+} >"$WORK/cluster_init.sql"
+{
+  echo "CREATE TABLE frames (id int64, seed int64);"
+  cat "$WORK/rows.sql"
+} >"$WORK/single_init.sql"
+
+# --- shards, then the coordinator pointed at them ---
+"$SERVER" --port 0 --demo-model >"$WORK/shard0.out" 2>"$WORK/shard0.err" &
+PIDS+=($!)
+SHARD0_PID=$!
+"$SERVER" --port 0 --demo-model >"$WORK/shard1.out" 2>"$WORK/shard1.err" &
+PIDS+=($!)
+SHARD1_PID=$!
+SHARD0_PORT="$(wait_port "$WORK/shard0.out" "$SHARD0_PID")"
+SHARD1_PORT="$(wait_port "$WORK/shard1.out" "$SHARD1_PID")"
+
+"$SERVER" --port 0 --demo-model \
+  --shard "127.0.0.1:$SHARD0_PORT" --shard "127.0.0.1:$SHARD1_PORT" \
+  --init "$WORK/cluster_init.sql" \
+  >"$WORK/coord.out" 2>"$WORK/coord.err" &
+PIDS+=($!)
+COORD_PID=$!
+COORD_PORT="$(wait_port "$WORK/coord.out" "$COORD_PID")"
+
+# --- single-node reference over identical data ---
+"$SERVER" --port 0 --demo-model --init "$WORK/single_init.sql" \
+  >"$WORK/single.out" 2>"$WORK/single.err" &
+PIDS+=($!)
+SINGLE_PID=$!
+SINGLE_PORT="$(wait_port "$WORK/single.out" "$SINGLE_PID")"
+
+# --- the byte-identity gate ---
+"$CLIENT" --port "$COORD_PORT" --file "$QUERIES" >"$WORK/cluster_mix.out"
+"$CLIENT" --port "$SINGLE_PORT" --file "$QUERIES" >"$WORK/single_mix.out"
+diff -u "$WORK/single_mix.out" "$WORK/cluster_mix.out" || {
+  echo "cluster results diverged from single-node run" >&2
+  exit 1
+}
+echo "cluster smoke: fig8 mix byte-identical across 2 shards vs single node"
+
+# --- data actually landed on both shards (hash partitioning is real) ---
+for shard_port in "$SHARD0_PORT" "$SHARD1_PORT"; do
+  echo "SELECT count(*) FROM frames;" | "$CLIENT" --port "$shard_port" \
+    >"$WORK/shardcount.out"
+  COUNT="$(sed -n '3p' "$WORK/shardcount.out")"
+  [[ "$COUNT" =~ ^[0-9]+$ && "$COUNT" -gt 0 && "$COUNT" -lt 40 ]] || {
+    echo "shard on port $shard_port holds $COUNT of 40 rows (want a proper" \
+         "slice)" >&2
+    exit 1
+  }
+done
+
+# --- federated introspection ---
+echo "SELECT count(*) FROM system.shards WHERE healthy;" \
+  | "$CLIENT" --port "$COORD_PORT" >"$WORK/shards.out"
+HEALTHY="$(sed -n '3p' "$WORK/shards.out")"
+[[ "$HEALTHY" == "2" ]] || {
+  echo "system.shards reports $HEALTHY healthy shards (want 2):" >&2
+  cat "$WORK/shards.out" >&2
+  exit 1
+}
+# system.queries must federate: rows from the coordinator (shard = -1) AND
+# from both shards' own query logs, tagged with their shard index.
+echo "SELECT count(*) FROM system.queries WHERE shard = -1;" \
+  | "$CLIENT" --port "$COORD_PORT" >"$WORK/sysq_local.out"
+LOCAL_ROWS="$(sed -n '3p' "$WORK/sysq_local.out")"
+[[ "$LOCAL_ROWS" =~ ^[0-9]+$ && "$LOCAL_ROWS" -gt 0 ]] || {
+  echo "federated system.queries has no coordinator rows" >&2
+  exit 1
+}
+for shard_idx in 0 1; do
+  echo "SELECT count(*) FROM system.queries WHERE shard = $shard_idx;" \
+    | "$CLIENT" --port "$COORD_PORT" >"$WORK/sysq_shard.out"
+  SHARD_ROWS="$(sed -n '3p' "$WORK/sysq_shard.out")"
+  [[ "$SHARD_ROWS" =~ ^[0-9]+$ && "$SHARD_ROWS" -gt 0 ]] || {
+    echo "federated system.queries has no rows from shard $shard_idx" >&2
+    exit 1
+  }
+done
+echo "cluster smoke: system.shards healthy=2, system.queries federated" \
+     "(coordinator=$LOCAL_ROWS rows, shards tagged)"
+
+# --- clean shutdown: coordinator first, then shards ---
+for pid in "$COORD_PID" "$SINGLE_PID" "$SHARD0_PID" "$SHARD1_PID"; do
+  kill -TERM "$pid"
+  STATUS=0
+  for _ in $(seq 1 100); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      wait "$pid" || STATUS=$?
+      pid=""
+      break
+    fi
+    sleep 0.1
+  done
+  [[ -z "$pid" ]] || { echo "process $pid did not exit on SIGTERM" >&2; exit 1; }
+  [[ "$STATUS" -eq 0 ]] || { echo "process exited with status $STATUS" >&2; exit 1; }
+done
+PIDS=()
+
+echo "cluster smoke: OK"

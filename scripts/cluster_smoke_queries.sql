@@ -1,0 +1,27 @@
+-- The fig8 query-type mix phrased over the sharded frames table, plus the
+-- merge shapes the coordinator must get byte-identical: GROUP BY keys split
+-- across shards, the AVG -> SUM+COUNT rewrite, and ORDER BY/LIMIT k-way
+-- merge. Every query is deterministic (ordered or aggregated) so a cluster
+-- run diffs clean against a single-node run.
+
+-- Type 2 analog: inference predicate.
+SELECT count(*) AS hits FROM frames WHERE nudf_student(seed) = 1;
+
+-- Type 1 analog: retrieval + inference projection, k-way merged.
+SELECT id, nudf_student(seed) AS cls FROM frames WHERE id % 5 = 2 ORDER BY id;
+
+-- Type 3 analog: inference aggregation (SUM/COUNT partials re-aggregated).
+SELECT sum(nudf_student(seed)) AS s, count(*) AS n FROM frames WHERE id >= 24;
+
+-- Type 4 analog: pure relational.
+SELECT count(*) AS n FROM frames WHERE id % 3 = 0;
+
+-- GROUP BY keys split across shards + the AVG rewrite.
+SELECT seed % 4 AS g, count(*) AS n, sum(id) AS s, avg(seed) AS a
+  FROM frames GROUP BY seed % 4 ORDER BY g;
+
+-- Top-k: ORDER BY DESC with LIMIT, merged at the coordinator.
+SELECT id, seed FROM frames ORDER BY id DESC LIMIT 7;
+
+-- MIN/MAX partials.
+SELECT min(id) AS lo, max(id) AS hi, count(*) AS n FROM frames;

@@ -1,0 +1,154 @@
+/// \file coordinator.h
+/// \brief The cluster coordinator: scatter-gather execution of statements
+/// over hash-partitioned tables living on N lindb_server shard processes
+/// (see DESIGN.md, "Distributed serving").
+///
+/// A coordinator-mode lindb_server owns a local Database exactly like a
+/// single-node one — same catalog, same UDFs, same system tables — plus this
+/// object, installed as the QueryService's DistributedExecutor. Tables
+/// created with `PARTITION BY HASH (col)` become *sharded*: the coordinator
+/// keeps an empty local stub (so planning, schema resolution and error
+/// messages are byte-identical to single-node), broadcasts the DDL to every
+/// shard, and from then on routes statements that touch the table:
+///
+///   SELECT  — classified by DistributedPlanner. Pushdown-complete queries
+///             ship verbatim to every shard (filters and nUDFs run
+///             data-local; the model was replicated at deploy) and results
+///             concatenate or k-way merge; aggregations ship as partial
+///             aggregates and re-merge; everything else gathers the shard
+///             tables whole and runs locally (always correct, never fast).
+///   INSERT  — VALUES rows route per-row by the partition key's hash;
+///             INSERT..SELECT materializes the select, then routes.
+///   UPDATE/DELETE — broadcast to every shard; all must acknowledge.
+///   CREATE/DROP   — broadcast DDL plus the local stub.
+///
+/// Failure semantics: every shard failure is a returned Status naming the
+/// shard (ShardClient's deadline discipline), never a hang. A write that
+/// fails after some shards acknowledged leaves the cluster divergent on that
+/// table; the error says which shard failed so the operator can retry — the
+/// two-phase story stops at acks, there is no distributed rollback (see the
+/// failure matrix in DESIGN.md).
+///
+/// Thread safety: Handles/IsReadOnly/Execute run on arbitrary serving
+/// threads. The shard registry is mutex-guarded, ShardClients are internally
+/// synchronized, and Execute relies on the QueryService statement RW lock —
+/// shared for scatter-gather reads, exclusive for writes and for fallback
+/// gathers (which temporarily materialize shard tables into the local
+/// catalog). Statement classification happens before the lock, so a DDL
+/// racing between classification and lock acquisition can demote a pushdown
+/// plan to a fallback executed under the shared lock; the catalog itself is
+/// internally locked, so the race costs staleness, never soundness.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/distributed_planner.h"
+#include "cluster/shard_client.h"
+#include "db/database.h"
+#include "server/session.h"
+
+namespace dl2sql::cluster {
+
+/// One sharded table's coordinator-side metadata.
+struct ShardedTableInfo {
+  std::string display_name;      ///< name as written in the CREATE
+  db::TableSchema schema;
+  std::string partition_column;  ///< as written
+  int partition_index = 0;       ///< column position in `schema`
+};
+
+class Coordinator : public server::DistributedExecutor {
+ public:
+  /// `db` is the coordinator's local database (not owned; must outlive this
+  /// object). Connections are dialed lazily, so construction succeeds even
+  /// while shards are still starting; the connect retry budget absorbs the
+  /// race. Registers system.shards and re-registers system.queries /
+  /// system.sessions as federated views (restored by the destructor, which
+  /// must run before the QueryService/Database it decorates is destroyed —
+  /// and after the service's distributed_executor pointer is cleared).
+  Coordinator(db::Database* db, std::vector<ShardEndpoint> endpoints,
+              ShardClientOptions options);
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// \name server::DistributedExecutor
+  /// @{
+  bool Handles(const db::Statement& stmt) override;
+  bool IsReadOnly(const db::Statement& stmt) override;
+  Result<db::Table> Execute(const db::Statement& stmt, const std::string& sql,
+                            const db::QueryRecordHints& hints) override;
+  /// @}
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  ShardClient* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+
+  /// Lower-cased names of every sharded table.
+  std::set<std::string> ShardedTables() const;
+  bool IsSharded(const std::string& name) const;
+
+  /// Strategy of the last SELECT this coordinator executed (test
+  /// introspection; guarded by the same mutex as the registry).
+  DistStrategy last_strategy() const;
+  std::string last_fallback_reason() const;
+
+ private:
+  Result<db::Table> Dispatch(const db::Statement& stmt,
+                             const std::string& sql);
+  Result<db::Table> ExecSelect(const db::SelectStmt& stmt);
+  Result<db::Table> ExecCreate(const db::CreateTableStmt& stmt);
+  Result<db::Table> ExecInsert(const db::InsertStmt& stmt);
+  /// UPDATE/DELETE: broadcasts the original statement text to every shard.
+  Result<db::Table> ExecBroadcastWrite(const std::string& sql,
+                                       const db::Statement& stmt);
+  Result<db::Table> ExecDrop(const db::DropStmt& stmt);
+
+  /// The always-correct escape hatch: pulls every referenced sharded table
+  /// whole into the local catalog, runs the statement locally (UDFs and all),
+  /// and restores the empty stubs. Requires the exclusive statement lock.
+  Result<db::Table> GatherFallback(const db::SelectStmt& stmt,
+                                   const std::string& reason);
+
+  /// Runs `sql` on every shard concurrently (shard 0 on the calling thread).
+  std::vector<Result<server::WireResponse>> Scatter(const std::string& sql);
+  /// Same, over an explicit per-shard statement list ("" = skip that shard).
+  std::vector<Result<server::WireResponse>> ScatterEach(
+      const std::vector<std::string>& sqls);
+
+  /// Typed TSV decode of one shard frame against `schema`. The cell "NULL"
+  /// decodes as SQL NULL for every column type — indistinguishable from a
+  /// literal string "NULL" by design of the text protocol.
+  Result<db::Table> ResponseToTable(const server::WireResponse& response,
+                                    const db::TableSchema& schema,
+                                    const std::string& shard_label) const;
+
+  /// All-must-ack broadcast for write statements; returns total affected
+  /// rows. The first failing shard's status is returned, named.
+  Result<int64_t> BroadcastWrite(const std::string& sql);
+
+  void RegisterClusterSystemTables();
+  /// Looks up sharded-table info; error names the table when absent.
+  Result<ShardedTableInfo> GetShardedTable(const std::string& name) const;
+
+  db::Database* const db_;
+  std::vector<std::unique_ptr<ShardClient>> shards_;
+
+  mutable std::mutex mu_;
+  /// Sharded tables keyed by lower-cased name.
+  std::map<std::string, ShardedTableInfo> tables_;
+  DistStrategy last_strategy_ = DistStrategy::kFallback;
+  std::string last_fallback_reason_;
+
+  /// Originals swapped out for the federated system.queries/system.sessions
+  /// providers; restored on destruction.
+  std::shared_ptr<db::VirtualTableProvider> saved_queries_;
+  std::shared_ptr<db::VirtualTableProvider> saved_sessions_;
+  bool shards_table_registered_ = false;
+};
+
+}  // namespace dl2sql::cluster

@@ -1,0 +1,263 @@
+#include "cluster/distributed_planner.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/string_util.h"
+#include "db/sql/printer.h"
+
+namespace dl2sql::cluster {
+
+namespace {
+
+bool ContainsSubquery(const db::Expr& e) {
+  if (e.kind == db::ExprKind::kScalarSubquery) return true;
+  for (const auto& child : e.children) {
+    if (child != nullptr && ContainsSubquery(*child)) return true;
+  }
+  return false;
+}
+
+bool AnyExprContainsSubquery(const db::SelectStmt& stmt) {
+  for (const auto& item : stmt.items) {
+    if (item.expr != nullptr && ContainsSubquery(*item.expr)) return true;
+  }
+  if (stmt.where != nullptr && ContainsSubquery(*stmt.where)) return true;
+  for (const auto& g : stmt.group_by) {
+    if (g != nullptr && ContainsSubquery(*g)) return true;
+  }
+  if (stmt.having != nullptr && ContainsSubquery(*stmt.having)) return true;
+  for (const auto& o : stmt.order_by) {
+    if (o.expr != nullptr && ContainsSubquery(*o.expr)) return true;
+  }
+  return false;
+}
+
+bool HasStarItem(const db::SelectStmt& stmt) {
+  for (const auto& item : stmt.items) {
+    if (item.expr != nullptr && item.expr->kind == db::ExprKind::kStar) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasAggregation(const db::SelectStmt& stmt) {
+  if (!stmt.group_by.empty() || stmt.having != nullptr) return true;
+  for (const auto& item : stmt.items) {
+    if (item.expr != nullptr && item.expr->HasAggregate()) return true;
+  }
+  return false;
+}
+
+/// Maps one ORDER BY expression onto an output column index: by select-item
+/// alias, by printed-expression equality with a select item, or (covering
+/// SELECT *) by column name in the planned output schema. -1 = unmappable.
+int ResolveOrderKey(const db::Expr& order_expr, const db::SelectStmt& stmt,
+                    const db::TableSchema& output_schema) {
+  const std::string printed = db::sql::PrintExpr(order_expr);
+  const bool star = HasStarItem(stmt);
+  if (!star) {
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const auto& item = stmt.items[i];
+      if (!item.alias.empty() &&
+          order_expr.kind == db::ExprKind::kColumnRef &&
+          EqualsIgnoreCase(item.alias, order_expr.column_name)) {
+        return static_cast<int>(i);
+      }
+      if (item.expr != nullptr &&
+          db::sql::PrintExpr(*item.expr) == printed) {
+        return static_cast<int>(i);
+      }
+    }
+  }
+  if (order_expr.kind == db::ExprKind::kColumnRef) {
+    auto idx = output_schema.Find(order_expr.column_name);
+    if (idx.ok()) return *idx;
+  }
+  return -1;
+}
+
+}  // namespace
+
+const char* DistStrategyName(DistStrategy s) {
+  switch (s) {
+    case DistStrategy::kPushdown:
+      return "pushdown";
+    case DistStrategy::kMergeAggregate:
+      return "merge-aggregate";
+    case DistStrategy::kFallback:
+      return "fallback";
+  }
+  return "unknown";
+}
+
+Result<DistributedQueryPlan> DistributedPlanner::Plan(
+    const db::SelectStmt& stmt, const std::set<std::string>& sharded_tables) {
+  DistributedQueryPlan plan;
+
+  // Planning the original statement locally (against the empty stubs) gives
+  // the byte-exact single-node output schema and the referenced relations.
+  // Statement errors surface here, identical to what one node would say.
+  std::vector<std::string> referenced;
+  DL2SQL_ASSIGN_OR_RETURN(db::PlanPtr local_plan,
+                          db_->PlanQuery(stmt, &referenced));
+  plan.output_schema = local_plan->output_schema;
+  plan.limit = stmt.limit;
+
+  auto fallback = [&](std::string reason) {
+    plan.strategy = DistStrategy::kFallback;
+    plan.fallback_reason = std::move(reason);
+    return plan;
+  };
+
+  if (!stmt.from || stmt.from->IsDerived() || !stmt.joins.empty()) {
+    return fallback("FROM is not a single base table");
+  }
+  const std::string from_table = ToLower(stmt.from->table_name);
+  if (sharded_tables.count(from_table) == 0) {
+    return fallback("a non-FROM relation is sharded");
+  }
+  for (const std::string& name : referenced) {
+    if (ToLower(name) != from_table) {
+      return fallback("references a second relation (" + name + ")");
+    }
+  }
+  if (AnyExprContainsSubquery(stmt)) {
+    return fallback("contains a scalar subquery");
+  }
+
+  if (!HasAggregation(stmt)) {
+    // ---- kPushdown: ship the statement verbatim; merge or concatenate.
+    for (const auto& o : stmt.order_by) {
+      const int idx = ResolveOrderKey(*o.expr, stmt, plan.output_schema);
+      if (idx < 0) {
+        return fallback("ORDER BY key " + db::sql::PrintExpr(*o.expr) +
+                        " is not an output column");
+      }
+      plan.merge_keys.push_back({idx, o.ascending});
+    }
+    plan.strategy = DistStrategy::kPushdown;
+    plan.shard_sql = db::sql::PrintSelect(stmt);
+    plan.shard_schema = plan.output_schema;
+    return plan;
+  }
+
+  // ---- kMergeAggregate eligibility.
+  if (stmt.having != nullptr) return fallback("HAVING");
+
+  // Shard partial statement: all group keys first (projected or not — the
+  // merge groups on the full GROUP BY tuple), then deduplicated partials.
+  db::SelectStmt shard;
+  shard.from = stmt.from;
+  if (stmt.where != nullptr) shard.where = stmt.where->Clone();
+  for (size_t k = 0; k < stmt.group_by.size(); ++k) {
+    shard.group_by.push_back(stmt.group_by[k]->Clone());
+    shard.items.push_back(
+        {stmt.group_by[k]->Clone(), "g" + std::to_string(k)});
+  }
+  plan.num_group_keys = static_cast<int>(stmt.group_by.size());
+
+  std::map<std::string, int> partial_index;  // printed partial -> column
+  std::vector<db::ExprPtr> avg_args;         // probed for boolean arguments
+  auto add_partial = [&](db::ExprPtr partial) {
+    const std::string printed = db::sql::PrintExpr(*partial);
+    auto [it, fresh] = partial_index.try_emplace(
+        printed,
+        plan.num_group_keys + static_cast<int>(partial_index.size()));
+    if (fresh) {
+      shard.items.push_back(
+          {std::move(partial),
+           "p" + std::to_string(it->second - plan.num_group_keys)});
+    }
+    return it->second;
+  };
+
+  for (const auto& item : stmt.items) {
+    const db::Expr& e = *item.expr;
+    if (e.kind == db::ExprKind::kAggCall) {
+      MergeOutputSpec spec;
+      switch (e.agg_func) {
+        case db::AggFunc::kCount:
+        case db::AggFunc::kCountStar:
+          spec.kind = MergeOutputSpec::Kind::kCount;
+          spec.partial_index = add_partial(e.Clone());
+          break;
+        case db::AggFunc::kSum:
+          spec.kind = MergeOutputSpec::Kind::kSum;
+          spec.partial_index = add_partial(e.Clone());
+          break;
+        case db::AggFunc::kAvg:
+          // AVG = SUM + COUNT rewrite. COUNT(arg) counts TRUE rows for
+          // boolean arguments (the engine's countIf shorthand), which is
+          // not AVG's non-NULL denominator — those fall back below.
+          spec.kind = MergeOutputSpec::Kind::kAvg;
+          spec.partial_index = add_partial(
+              db::Expr::Agg(db::AggFunc::kSum, e.children[0]->Clone()));
+          spec.count_index = add_partial(
+              db::Expr::Agg(db::AggFunc::kCount, e.children[0]->Clone()));
+          avg_args.push_back(e.children[0]->Clone());
+          break;
+        case db::AggFunc::kMin:
+          spec.kind = MergeOutputSpec::Kind::kMin;
+          spec.partial_index = add_partial(e.Clone());
+          break;
+        case db::AggFunc::kMax:
+          spec.kind = MergeOutputSpec::Kind::kMax;
+          spec.partial_index = add_partial(e.Clone());
+          break;
+        default:
+          return fallback(std::string(db::AggFuncToString(e.agg_func)) +
+                          " has no partial-merge rewrite");
+      }
+      plan.outputs.push_back(spec);
+      continue;
+    }
+    // Non-aggregate item: must be one of the group keys.
+    const std::string printed = db::sql::PrintExpr(e);
+    int key_index = -1;
+    for (size_t k = 0; k < stmt.group_by.size(); ++k) {
+      if (db::sql::PrintExpr(*stmt.group_by[k]) == printed) {
+        key_index = static_cast<int>(k);
+        break;
+      }
+    }
+    if (key_index < 0) {
+      return fallback("select item " + printed +
+                      " is neither a bare aggregate nor a group key");
+    }
+    plan.outputs.push_back(
+        {MergeOutputSpec::Kind::kGroupKey, key_index, -1});
+  }
+
+  for (const auto& o : stmt.order_by) {
+    const int idx = ResolveOrderKey(*o.expr, stmt, plan.output_schema);
+    if (idx < 0) {
+      return fallback("ORDER BY key " + db::sql::PrintExpr(*o.expr) +
+                      " is not an output column");
+    }
+    plan.final_order.push_back({idx, o.ascending});
+  }
+
+  if (!avg_args.empty()) {
+    // Probe the argument types: plan SELECT <args> FROM <table>.
+    db::SelectStmt probe;
+    probe.from = stmt.from;
+    for (auto& arg : avg_args) probe.items.push_back({std::move(arg), ""});
+    DL2SQL_ASSIGN_OR_RETURN(db::PlanPtr probe_plan, db_->PlanQuery(probe));
+    for (int i = 0; i < probe_plan->output_schema.num_fields(); ++i) {
+      if (probe_plan->output_schema.field(i).type == db::DataType::kBool) {
+        return fallback("AVG over a boolean argument");
+      }
+    }
+  }
+
+  plan.strategy = DistStrategy::kMergeAggregate;
+  plan.shard_sql = db::sql::PrintSelect(shard);
+  DL2SQL_ASSIGN_OR_RETURN(db::PlanPtr shard_plan, db_->PlanQuery(shard));
+  plan.shard_schema = shard_plan->output_schema;
+  return plan;
+}
+
+}  // namespace dl2sql::cluster

@@ -1,0 +1,79 @@
+/// \file distributed_planner.h
+/// \brief Classifies a SELECT over a sharded table and rewrites it for
+/// scatter-gather execution (see DESIGN.md, "Distributed serving").
+///
+/// Three strategies, tried in order of decreasing pushdown:
+///
+///  - kPushdown: no aggregation. The original statement ships to every shard
+///    verbatim (filters and nUDF calls run data-local); the coordinator
+///    concatenates in shard order, or k-way merges when every ORDER BY key
+///    maps to an output column (top-k: LIMIT ships too and is re-applied
+///    after the merge).
+///  - kMergeAggregate: single-table aggregation whose select items are bare
+///    group keys or bare COUNT/SUM/AVG/MIN/MAX calls. Shards compute partial
+///    aggregates (AVG as its SUM+COUNT rewrite) grouped by the full GROUP BY
+///    tuple; the coordinator re-aggregates partials, orders groups
+///    deterministically, and applies the final ORDER BY/LIMIT.
+///  - kFallback: everything else (joins, subqueries, HAVING, stddevSamp,
+///    ORDER BY on non-output expressions, AVG over booleans). The
+///    coordinator gathers the referenced shard tables whole and executes the
+///    original statement locally — always correct, never fast.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/merge.h"
+#include "common/result.h"
+#include "db/database.h"
+#include "db/sql/ast.h"
+
+namespace dl2sql::cluster {
+
+enum class DistStrategy { kPushdown, kMergeAggregate, kFallback };
+
+const char* DistStrategyName(DistStrategy s);
+
+struct DistributedQueryPlan {
+  DistStrategy strategy = DistStrategy::kFallback;
+  /// Statement sent to every shard (kPushdown / kMergeAggregate).
+  std::string shard_sql;
+  /// Typed layout of shard responses (parses their TSV cells).
+  db::TableSchema shard_schema;
+  /// Final output layout; identical names/types to single-node execution.
+  db::TableSchema output_schema;
+  /// kPushdown: ORDER BY keys as output columns for the k-way merge; empty
+  /// means concatenate in shard order.
+  std::vector<SortKeySpec> merge_keys;
+  /// kMergeAggregate: leading group-key columns of the shard partials.
+  int num_group_keys = 0;
+  /// kMergeAggregate: how each output column rebuilds from partials.
+  std::vector<MergeOutputSpec> outputs;
+  /// kMergeAggregate: final ORDER BY over output columns.
+  std::vector<SortKeySpec> final_order;
+  /// LIMIT re-applied after the merge (-1 = none).
+  int64_t limit = -1;
+  /// Why the planner fell back (empty otherwise) — surfaced in logs.
+  std::string fallback_reason;
+};
+
+class DistributedPlanner {
+ public:
+  /// `local` is the coordinator's database: it holds empty stub tables with
+  /// the sharded schemas (plus the replicated model UDFs), so planning the
+  /// original statement locally yields the exact single-node output schema.
+  explicit DistributedPlanner(db::Database* local) : db_(local) {}
+
+  /// Plans `stmt`, which must reference at least one name in
+  /// `sharded_tables` (lower-cased). Statement-level errors (unknown
+  /// columns, bad types) surface here exactly as single-node planning would
+  /// report them.
+  Result<DistributedQueryPlan> Plan(const db::SelectStmt& stmt,
+                                    const std::set<std::string>& sharded_tables);
+
+ private:
+  db::Database* const db_;
+};
+
+}  // namespace dl2sql::cluster

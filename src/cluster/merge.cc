@@ -1,0 +1,236 @@
+#include "cluster/merge.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "cluster/hash_partitioner.h"
+#include "db/value.h"
+
+namespace dl2sql::cluster {
+
+namespace {
+
+/// Lexicographic Value::Compare over two key tuples with per-key direction.
+/// Returns <0, 0, >0.
+int CompareKeyTuples(const std::vector<db::Value>& a,
+                     const std::vector<db::Value>& b,
+                     const std::vector<SortKeySpec>* specs) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (specs != nullptr && !(*specs)[i].ascending) c = -c;
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+std::vector<db::Value> ExtractKeys(const db::Table& t, int64_t row,
+                                   const std::vector<SortKeySpec>& keys) {
+  std::vector<db::Value> out;
+  out.reserve(keys.size());
+  for (const SortKeySpec& k : keys) out.push_back(t.column(k.column).GetValue(row));
+  return out;
+}
+
+}  // namespace
+
+Result<db::Table> ConcatTables(const db::TableSchema& schema,
+                               const std::vector<db::Table>& parts,
+                               int64_t limit) {
+  db::Table out(schema);
+  for (const db::Table& part : parts) {
+    if (limit >= 0 && out.num_rows() >= limit) break;
+    DL2SQL_RETURN_NOT_OK(out.AppendTable(part));
+  }
+  if (limit >= 0 && out.num_rows() > limit) {
+    std::vector<int64_t> keep(static_cast<size_t>(limit));
+    std::iota(keep.begin(), keep.end(), 0);
+    out = out.TakeRows(keep);
+  }
+  return out;
+}
+
+Result<db::Table> MergeSortedTables(const db::TableSchema& schema,
+                                    const std::vector<db::Table>& parts,
+                                    const std::vector<SortKeySpec>& keys,
+                                    int64_t limit) {
+  db::Table out(schema);
+  std::vector<int64_t> cursor(parts.size(), 0);
+  while (limit < 0 || out.num_rows() < limit) {
+    // Linear scan beats a heap at cluster-sized fan-ins, and the tie rule —
+    // strictly-smaller wins, so equal keys keep the lowest shard index —
+    // is what makes the merge stable across shards.
+    int best = -1;
+    std::vector<db::Value> best_keys;
+    for (size_t s = 0; s < parts.size(); ++s) {
+      if (cursor[s] >= parts[s].num_rows()) continue;
+      std::vector<db::Value> k = ExtractKeys(parts[s], cursor[s], keys);
+      if (best < 0 || CompareKeyTuples(k, best_keys, &keys) < 0) {
+        best = static_cast<int>(s);
+        best_keys = std::move(k);
+      }
+    }
+    if (best < 0) break;
+    DL2SQL_RETURN_NOT_OK(
+        out.AppendRow(parts[static_cast<size_t>(best)].GetRow(cursor[best])));
+    ++cursor[best];
+  }
+  return out;
+}
+
+Result<db::Table> MergeAggregatePartials(
+    const db::TableSchema& out_schema, const std::vector<db::Table>& parts,
+    int num_keys, const std::vector<MergeOutputSpec>& outputs) {
+  /// Running state of one output column within one merged group.
+  struct Acc {
+    int64_t count = 0;     // kCount
+    double sum = 0;        // kSum / kAvg numerator
+    int64_t sum_count = 0; // kAvg denominator
+    bool seen = false;     // any non-NULL partial folded in
+    db::Value minmax;      // kMin / kMax (NULL = none yet)
+  };
+  struct Group {
+    std::vector<db::Value> keys;
+    std::vector<Acc> accs;
+  };
+
+  std::vector<Group> groups;
+  std::map<std::string, size_t> index;
+  for (const db::Table& part : parts) {
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      std::string key;
+      for (int k = 0; k < num_keys; ++k) {
+        AppendCanonicalKey(part.column(k).GetValue(r), &key);
+      }
+      auto [it, fresh] = index.try_emplace(key, groups.size());
+      if (fresh) {
+        Group g;
+        for (int k = 0; k < num_keys; ++k) {
+          g.keys.push_back(part.column(k).GetValue(r));
+        }
+        g.accs.resize(outputs.size());
+        groups.push_back(std::move(g));
+      }
+      Group& g = groups[it->second];
+      for (size_t o = 0; o < outputs.size(); ++o) {
+        const MergeOutputSpec& spec = outputs[o];
+        if (spec.kind == MergeOutputSpec::Kind::kGroupKey) continue;
+        Acc& acc = g.accs[o];
+        const db::Value v = part.column(spec.partial_index).GetValue(r);
+        switch (spec.kind) {
+          case MergeOutputSpec::Kind::kCount: {
+            DL2SQL_ASSIGN_OR_RETURN(int64_t n, v.AsInt());
+            acc.count += n;
+            break;
+          }
+          case MergeOutputSpec::Kind::kSum:
+            // A NULL partial sum means that shard saw no non-NULL rows for
+            // this group; it must not pull the merged SUM to 0.
+            if (!v.is_null()) {
+              DL2SQL_ASSIGN_OR_RETURN(double d, v.AsDouble());
+              acc.sum += d;
+              acc.seen = true;
+            }
+            break;
+          case MergeOutputSpec::Kind::kAvg: {
+            if (!v.is_null()) {
+              DL2SQL_ASSIGN_OR_RETURN(double d, v.AsDouble());
+              acc.sum += d;
+            }
+            const db::Value c = part.column(spec.count_index).GetValue(r);
+            DL2SQL_ASSIGN_OR_RETURN(int64_t n, c.AsInt());
+            acc.sum_count += n;
+            break;
+          }
+          case MergeOutputSpec::Kind::kMin:
+            if (!v.is_null() &&
+                (acc.minmax.is_null() || v.Compare(acc.minmax) < 0)) {
+              acc.minmax = v;
+            }
+            break;
+          case MergeOutputSpec::Kind::kMax:
+            if (!v.is_null() &&
+                (acc.minmax.is_null() || v.Compare(acc.minmax) > 0)) {
+              acc.minmax = v;
+            }
+            break;
+          case MergeOutputSpec::Kind::kGroupKey:
+            break;
+        }
+      }
+    }
+  }
+
+  // A global aggregate (no GROUP BY) yields a row even over empty input;
+  // if every shard's partial went missing we still owe the caller one row
+  // of empty accumulators (COUNT 0, SUM/AVG/MIN/MAX NULL).
+  if (num_keys == 0 && groups.empty()) {
+    Group g;
+    g.accs.resize(outputs.size());
+    groups.push_back(std::move(g));
+  }
+
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const Group& a, const Group& b) {
+                     return CompareKeyTuples(a.keys, b.keys, nullptr) < 0;
+                   });
+
+  db::Table out(out_schema);
+  for (const Group& g : groups) {
+    std::vector<db::Value> row;
+    row.reserve(outputs.size());
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      const MergeOutputSpec& spec = outputs[o];
+      const Acc& acc = g.accs[o];
+      switch (spec.kind) {
+        case MergeOutputSpec::Kind::kGroupKey:
+          row.push_back(g.keys[static_cast<size_t>(spec.partial_index)]);
+          break;
+        case MergeOutputSpec::Kind::kCount:
+          row.push_back(db::Value::Int(acc.count));
+          break;
+        case MergeOutputSpec::Kind::kSum:
+          row.push_back(acc.seen ? db::Value::Float(acc.sum)
+                                 : db::Value::Null());
+          break;
+        case MergeOutputSpec::Kind::kAvg:
+          row.push_back(acc.sum_count == 0
+                            ? db::Value::Null()
+                            : db::Value::Float(
+                                  acc.sum /
+                                  static_cast<double>(acc.sum_count)));
+          break;
+        case MergeOutputSpec::Kind::kMin:
+        case MergeOutputSpec::Kind::kMax:
+          row.push_back(acc.minmax);
+          break;
+      }
+    }
+    DL2SQL_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<db::Table> SortAndLimit(db::Table table,
+                               const std::vector<SortKeySpec>& keys,
+                               int64_t limit) {
+  if (!keys.empty()) {
+    std::vector<int64_t> order(static_cast<size_t>(table.num_rows()));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return CompareKeyTuples(ExtractKeys(table, a, keys),
+                              ExtractKeys(table, b, keys), &keys) < 0;
+    });
+    table = table.TakeRows(order);
+  }
+  if (limit >= 0 && table.num_rows() > limit) {
+    std::vector<int64_t> keep(static_cast<size_t>(limit));
+    std::iota(keep.begin(), keep.end(), 0);
+    table = table.TakeRows(keep);
+  }
+  return table;
+}
+
+}  // namespace dl2sql::cluster

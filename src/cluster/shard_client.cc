@@ -1,0 +1,286 @@
+#include "cluster/shard_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace dl2sql::cluster {
+
+namespace {
+
+double EnvMs(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Waits until `fd` is ready for `events` or `deadline_ms` passes.
+Status AwaitReady(int fd, short events, double deadline_ms,
+                  const char* what) {
+  while (true) {
+    const double remain = deadline_ms - NowMs();
+    if (remain <= 0) return Status::Unavailable("timed out ", what);
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(std::min(remain, 100.0)) + 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("poll failed ", what, ": ",
+                                 std::strerror(errno));
+    }
+    if (n > 0) return Status::OK();
+  }
+}
+
+struct ShardMetrics {
+  Counter* requests;
+  Counter* failures;
+
+  static const ShardMetrics& Get() {
+    static const ShardMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return ShardMetrics{r.counter("cluster.shard.requests"),
+                          r.counter("cluster.shard.failures")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec) {
+  ShardEndpoint out;
+  const size_t colon = spec.rfind(':');
+  std::string port_str = spec;
+  if (colon != std::string::npos) {
+    out.host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  const int port = std::atoi(port_str.c_str());
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad shard endpoint '", spec,
+                                   "' (expected host:port)");
+  }
+  out.port = port;
+  return out;
+}
+
+ShardClientOptions ShardClientOptions::FromEnv() {
+  ShardClientOptions o;
+  o.connect_retry_ms = EnvMs("DL2SQL_CLUSTER_CONNECT_RETRY_MS",
+                             o.connect_retry_ms);
+  o.statement_timeout_ms = EnvMs("DL2SQL_CLUSTER_SHARD_TIMEOUT_MS",
+                                 o.statement_timeout_ms);
+  o.ping_timeout_ms = EnvMs("DL2SQL_CLUSTER_PING_TIMEOUT_MS",
+                            o.ping_timeout_ms);
+  return o;
+}
+
+ShardClient::ShardClient(int shard_index, ShardEndpoint endpoint,
+                         ShardClientOptions options)
+    : shard_index_(shard_index), endpoint_(std::move(endpoint)),
+      options_(options),
+      label_("shard " + std::to_string(shard_index) + " (" + endpoint_.host +
+             ":" + std::to_string(endpoint_.port) + ")") {}
+
+ShardClient::~ShardClient() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : idle_) ::close(fd);
+  idle_.clear();
+}
+
+std::string ShardClient::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return last_error_;
+}
+
+Status ShardClient::Fail(Status status) {
+  ShardMetrics::Get().failures->Increment();
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    last_error_ = status.message();
+  }
+  return status;
+}
+
+Result<int> ShardClient::Connect() {
+  const double deadline = NowMs() + options_.connect_retry_ms;
+  double backoff_ms = 10.0;
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unavailable(label_, ": socket: ", std::strerror(errno));
+    }
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(endpoint_.port));
+    if (::inet_pton(AF_INET, endpoint_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument(label_, ": bad host");
+    }
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      Status st = AwaitReady(fd, POLLOUT, deadline, "connecting");
+      if (st.ok()) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err == 0) return fd;
+        errno = err;
+        rc = -1;
+      } else {
+        ::close(fd);
+        return Status::Unavailable(label_, ": connect timed out after ",
+                                   options_.connect_retry_ms, " ms");
+      }
+    }
+    if (rc == 0) return fd;
+    const int saved = errno;
+    ::close(fd);
+    if (NowMs() + backoff_ms >= deadline) {
+      return Status::Unavailable(label_, ": connect: ", std::strerror(saved),
+                                 " (retried for ", options_.connect_retry_ms,
+                                 " ms)");
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 200.0);
+  }
+}
+
+Result<int> ShardClient::AcquireConn() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      const int fd = idle_.back();
+      idle_.pop_back();
+      return fd;
+    }
+  }
+  return Connect();
+}
+
+void ShardClient::ReleaseConn(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(fd);
+}
+
+Result<server::WireResponse> ShardClient::Execute(const std::string& sql,
+                                                  double timeout_ms) {
+  ShardMetrics::Get().requests->Increment();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (timeout_ms <= 0) timeout_ms = options_.statement_timeout_ms;
+  const double deadline = NowMs() + timeout_ms;
+
+  auto fd_result = AcquireConn();
+  if (!fd_result.ok()) return Fail(fd_result.status());
+  const int fd = *fd_result;
+
+  // One statement per line: flatten any embedded newlines.
+  std::string line = sql;
+  for (char& c : line) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  line += '\n';
+
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status st = AwaitReady(fd, POLLOUT, deadline, "sending to shard");
+      if (st.ok()) continue;
+      ::close(fd);
+      return Fail(Status::Unavailable(label_, ": statement timed out after ",
+                                      timeout_ms, " ms (send)"));
+    }
+    ::close(fd);
+    return Fail(Status::Unavailable(label_, ": send: ",
+                                    std::strerror(errno)));
+  }
+
+  std::string buffer;
+  size_t frame_len = 0;
+  while ((frame_len = server::CompleteFrameLength(buffer)) == 0) {
+    Status st = AwaitReady(fd, POLLIN, deadline, "awaiting shard response");
+    if (!st.ok()) {
+      ::close(fd);
+      return Fail(Status::Unavailable(label_, ": statement timed out after ",
+                                      timeout_ms, " ms (awaiting response)"));
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    ::close(fd);
+    if (n == 0) {
+      return Fail(Status::Unavailable(
+          label_, ": connection closed mid-response"));
+    }
+    return Fail(Status::Unavailable(label_, ": recv: ",
+                                    std::strerror(errno)));
+  }
+  if (frame_len != buffer.size()) {
+    // Bytes past the frame mean the stream is desynchronized; drop it.
+    ::close(fd);
+    return Fail(Status::Unavailable(label_, ": protocol desync (",
+                                    buffer.size() - frame_len,
+                                    " bytes past frame end)"));
+  }
+
+  auto parsed = server::ParseWireResponse(buffer);
+  if (!parsed.ok()) {
+    // Garbled frame: a transport problem, not a server-reported error.
+    ::close(fd);
+    return Fail(Status::Unavailable(label_, ": ", parsed.status().message()));
+  }
+  // The connection stays healthy either way — a clean "ERR ..." frame means
+  // the shard executed and reported; its typed status passes through in
+  // WireResponse::error for the caller to surface.
+  ReleaseConn(fd);
+  if (!parsed->error.ok()) {
+    return parsed->error.WithContext(label_);
+  }
+  return parsed;
+}
+
+Status ShardClient::Ping() {
+  auto response = Execute(".ping", options_.ping_timeout_ms);
+  if (!response.ok()) return response.status();
+  if (response->rows != 0 || !response->columns.empty()) {
+    return Fail(Status::Unavailable(label_, ": unexpected .ping response"));
+  }
+  return Status::OK();
+}
+
+}  // namespace dl2sql::cluster

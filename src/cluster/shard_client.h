@@ -1,0 +1,96 @@
+/// \file shard_client.h
+/// \brief One coordinator's TCP client for one lindb_server shard: a small
+/// connection pool speaking the wire.h line protocol with hard per-request
+/// deadlines.
+///
+/// House style from the serving tier applies on the network path too: every
+/// shard failure — connect refused past the retry budget, send/recv timeout,
+/// dropped connection, malformed frame — is a returned Status::Unavailable
+/// naming the shard, never a hang. Server-reported errors ("ERR ..." frames)
+/// pass through with their original code; the connection stays healthy and
+/// returns to the pool. Transport failures close the connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace dl2sql::cluster {
+
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// "host:port" or bare "port" (loopback).
+Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec);
+
+struct ShardClientOptions {
+  /// Total budget for establishing one connection, retried with exponential
+  /// backoff (10 ms doubling to 200 ms) — absorbs shard startup races.
+  double connect_retry_ms = 3000.0;
+  /// Per-statement deadline covering send + execute + full response.
+  double statement_timeout_ms = 30000.0;
+  /// Deadline for the .ping health probe (system.shards).
+  double ping_timeout_ms = 1000.0;
+
+  /// DL2SQL_CLUSTER_CONNECT_RETRY_MS / DL2SQL_CLUSTER_SHARD_TIMEOUT_MS /
+  /// DL2SQL_CLUSTER_PING_TIMEOUT_MS override the defaults.
+  static ShardClientOptions FromEnv();
+};
+
+class ShardClient {
+ public:
+  ShardClient(int shard_index, ShardEndpoint endpoint,
+              ShardClientOptions options);
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  /// Sends one single-line statement (embedded newlines are flattened) and
+  /// parses its framed response. `timeout_ms` <= 0 uses the options default.
+  /// Safe from any thread; each call uses its own pooled connection.
+  Result<server::WireResponse> Execute(const std::string& sql,
+                                       double timeout_ms = 0.0);
+
+  /// Round-trips the .ping meta command within ping_timeout_ms.
+  Status Ping();
+
+  int shard_index() const { return shard_index_; }
+  const ShardEndpoint& endpoint() const { return endpoint_; }
+  const ShardClientOptions& options() const { return options_; }
+  /// "shard <i> (<host>:<port>)" — the name every failure status carries.
+  const std::string& label() const { return label_; }
+
+  int64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  int64_t failures() const { return failures_.load(std::memory_order_relaxed); }
+  std::string last_error() const;
+
+ private:
+  /// Pops an idle pooled connection or dials a new one (bounded retry).
+  Result<int> AcquireConn();
+  void ReleaseConn(int fd);
+  Result<int> Connect();
+  /// Counts the failure, stashes it for system.shards, and returns it.
+  Status Fail(Status status);
+
+  const int shard_index_;
+  const ShardEndpoint endpoint_;
+  const ShardClientOptions options_;
+  const std::string label_;
+  std::mutex mu_;
+  std::vector<int> idle_;
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> failures_{0};
+  mutable std::mutex error_mu_;
+  std::string last_error_;
+};
+
+}  // namespace dl2sql::cluster

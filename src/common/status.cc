@@ -26,8 +26,25 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromString(const std::string& name) {
+  static const StatusCode kCodes[] = {
+      StatusCode::kInvalidArgument, StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,   StatusCode::kOutOfRange,
+      StatusCode::kNotImplemented,  StatusCode::kIoError,
+      StatusCode::kParseError,      StatusCode::kTypeError,
+      StatusCode::kInternalError,   StatusCode::kResourceExhausted,
+      StatusCode::kUnavailable,
+  };
+  for (StatusCode code : kCodes) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return StatusCode::kInternalError;
 }
 
 std::string Status::ToString() const {

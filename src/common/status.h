@@ -27,10 +27,19 @@ enum class StatusCode : int {
   kTypeError = 8,
   kInternalError = 9,
   kResourceExhausted = 10,
+  /// A required remote peer (e.g. a cluster shard) is unreachable, timed out,
+  /// or dropped the connection. Retryable by the caller; the message names
+  /// the peer.
+  kUnavailable = 11,
 };
 
 /// \brief Human-readable name for a StatusCode (e.g. "Invalid argument").
 const char* StatusCodeToString(StatusCode code);
+
+/// \brief Inverse of StatusCodeToString, for reconstructing a typed Status
+/// from a wire-format "ERR <code-name>: <message>" line. Unknown names map to
+/// kInternalError (the frame is still an error either way).
+StatusCode StatusCodeFromString(const std::string& name);
 
 /// \brief Result of an operation that can fail.
 ///
@@ -97,6 +106,10 @@ class Status {
   static Status ResourceExhausted(Args&&... args) {
     return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
   }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
   /// @}
 
   bool ok() const { return state_ == nullptr; }
@@ -115,6 +128,10 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsInternalError() const { return code() == StatusCode::kInternalError; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

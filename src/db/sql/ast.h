@@ -78,6 +78,11 @@ struct CreateTableStmt {
   bool if_not_exists = false;
   std::vector<Field> columns;               ///< for explicit column DDL
   std::shared_ptr<SelectStmt> as_select;    ///< for CTAS / views
+  /// Column named by a trailing `PARTITION BY HASH (col)` clause (explicit
+  /// column DDL only). A plain embedded Database ignores it — partitioning is
+  /// advisory metadata consumed by the cluster coordinator, which routes
+  /// rows by the column's hash.
+  std::string partition_by;
 };
 
 struct InsertStmt {

@@ -317,6 +317,22 @@ class Parser {
         stmt.columns.push_back(std::move(f));
       } while (Accept(","));
       DL2SQL_RETURN_NOT_OK(Expect(")"));
+      if (Accept("partition")) {
+        DL2SQL_RETURN_NOT_OK(Expect("by"));
+        DL2SQL_RETURN_NOT_OK(Expect("hash"));
+        DL2SQL_RETURN_NOT_OK(Expect("("));
+        DL2SQL_ASSIGN_OR_RETURN(stmt.partition_by,
+                                ExpectIdent("partition column"));
+        DL2SQL_RETURN_NOT_OK(Expect(")"));
+        bool found = false;
+        for (const Field& f : stmt.columns) {
+          if (ToLower(f.name) == ToLower(stmt.partition_by)) found = true;
+        }
+        if (!found) {
+          return Status::ParseError("PARTITION BY HASH names unknown column ",
+                                    stmt.partition_by);
+        }
+      }
       return Statement(std::move(stmt));
     }
     return Status::ParseError("CREATE ", stmt.is_view ? "VIEW" : "TABLE",

@@ -1,5 +1,6 @@
 #include "db/sql/printer.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace dl2sql::db::sql {
@@ -36,6 +37,19 @@ std::string PrintExpr(const Expr& e) {
         case DataType::kBlob:
           oss << QuoteString(e.literal.string_value());
           break;
+        case DataType::kFloat64: {
+          // %.17g round-trips doubles exactly: printed statements shipped to
+          // cluster shards (and persisted view definitions) must reparse to
+          // the same value, not a 6-significant-digit approximation.
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.17g", e.literal.float_value());
+          std::string text(buf);
+          // Integral doubles print bare ("2"), which would reparse as an
+          // integer literal; keep the float type explicit.
+          if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+          oss << text;
+          break;
+        }
         default:
           oss << e.literal.ToString();
           break;

@@ -123,18 +123,25 @@ Result<db::Table> QueryService::Execute(const std::string& sql,
   hints.admission_wait_us = wait_watch.ElapsedMicros();
 
   Stopwatch exec_watch;
+  DistributedExecutor* const dist =
+      distributed_ != nullptr && distributed_->Handles(stmt) ? distributed_
+                                                             : nullptr;
   Result<db::Table> result = [&]() -> Result<db::Table> {
-    if (IsSelect(stmt)) {
+    const bool shared = dist != nullptr ? dist->IsReadOnly(stmt)
+                                        : IsSelect(stmt);
+    if (shared) {
       Stopwatch lock_watch;
       std::shared_lock<std::shared_mutex> lock(exec_mu_);
       hints.lock_wait_us = lock_watch.ElapsedMicros();
       DL2SQL_TRACE_SPAN("server", "exec_select");
+      if (dist != nullptr) return dist->Execute(stmt, sql, hints);
       return db_->ExecuteStatementRecorded(stmt, sql, hints);
     }
     Stopwatch lock_watch;
     std::unique_lock<std::shared_mutex> lock(exec_mu_);
     hints.lock_wait_us = lock_watch.ElapsedMicros();
     DL2SQL_TRACE_SPAN("server", "exec_write");
+    if (dist != nullptr) return dist->Execute(stmt, sql, hints);
     return db_->ExecuteStatementRecorded(stmt, sql, hints);
   }();
   const double exec_seconds = exec_watch.ElapsedSeconds();

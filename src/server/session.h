@@ -49,6 +49,31 @@ struct ServiceOptions {
 
 class Session;
 
+/// \brief Hook the cluster coordinator implements to intercept statements
+/// that touch sharded tables (src/cluster/coordinator.h). The service asks
+/// Handles() after parsing; handled statements run through Execute() under
+/// the same statement-level RW lock as local ones (shared when IsReadOnly),
+/// so local and distributed execution still serialize correctly against each
+/// other. Implementations must never hang: every shard failure or timeout is
+/// a returned status.
+class DistributedExecutor {
+ public:
+  virtual ~DistributedExecutor() = default;
+
+  /// True if `stmt` references distributed state and must be routed.
+  virtual bool Handles(const db::Statement& stmt) = 0;
+
+  /// True when the distributed execution of `stmt` only reads (SELECT
+  /// scatter-gather); false forces the exclusive lock (DDL/DML fan-out, and
+  /// fallback gathers that materialize shard tables locally).
+  virtual bool IsReadOnly(const db::Statement& stmt) = 0;
+
+  /// Executes one handled statement end to end (scatter, gather, merge).
+  virtual Result<db::Table> Execute(const db::Statement& stmt,
+                                    const std::string& sql,
+                                    const db::QueryRecordHints& hints) = 0;
+};
+
 /// \brief Owns the serving state for one Database. Create one QueryService,
 /// then one Session per client connection; Session::Execute is safe from any
 /// thread.
@@ -71,6 +96,15 @@ class QueryService {
   AdmissionController& admission() { return admission_; }
   BatchCoalescer& coalescer() { return coalescer_; }
 
+  /// Routes statements the executor claims through it instead of the local
+  /// database. Set once after construction, before serving begins (the
+  /// pointer is read unsynchronized on the statement path); nullptr restores
+  /// local-only execution. Not owned; must be cleared before destruction.
+  void set_distributed_executor(DistributedExecutor* executor) {
+    distributed_ = executor;
+  }
+  DistributedExecutor* distributed_executor() const { return distributed_; }
+
  private:
   friend class Session;
 
@@ -88,6 +122,7 @@ class QueryService {
   const ServiceOptions options_;
   AdmissionController admission_;
   BatchCoalescer coalescer_;
+  DistributedExecutor* distributed_ = nullptr;
   /// Statement-level RW lock: SELECTs share, everything else is exclusive.
   /// Held once per top-level statement — scalar subqueries re-enter
   /// Database::ExecuteSelect below this layer, so the lock must not be

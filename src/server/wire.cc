@@ -179,4 +179,132 @@ std::string FormatErrorResponse(const Status& status) {
   return "ERR " + msg + "\nEND\n";
 }
 
+std::string UnescapeTsv(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      default:
+        out += '\\';
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+size_t CompleteFrameLength(const std::string& buffer) {
+  // The first line is OK/ERR, never END, so the terminator always follows a
+  // newline.
+  const size_t pos = buffer.find("\nEND\n");
+  if (pos == std::string::npos) return 0;
+  return pos + 5;
+}
+
+namespace {
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(UnescapeTsv(line.substr(start)));
+      return out;
+    }
+    out.push_back(UnescapeTsv(line.substr(start, tab - start)));
+    start = tab + 1;
+  }
+}
+
+}  // namespace
+
+Result<WireResponse> ParseWireResponse(const std::string& framed) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < framed.size()) {
+    size_t nl = framed.find('\n', start);
+    if (nl == std::string::npos) nl = framed.size();
+    lines.push_back(framed.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.empty() || lines.back() != "END") {
+    return Status::ParseError("wire frame is not END-terminated");
+  }
+  lines.pop_back();
+  if (lines.empty()) return Status::ParseError("wire frame has no status line");
+
+  const std::string& head = lines.front();
+  if (head.rfind("ERR ", 0) == 0) {
+    const std::string payload = head.substr(4);
+    const size_t colon = payload.find(": ");
+    WireResponse out;
+    if (colon == std::string::npos) {
+      out.error = Status(StatusCode::kInternalError, payload);
+    } else {
+      out.error = Status(StatusCodeFromString(payload.substr(0, colon)),
+                         payload.substr(colon + 2));
+    }
+    return out;
+  }
+  if (head.rfind("OK ", 0) != 0) {
+    return Status::ParseError("wire frame starts with '", head,
+                              "', expected OK or ERR");
+  }
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (std::sscanf(head.c_str(), "OK %lld %lld", (long long*)&rows,
+                  (long long*)&cols) != 2 ||
+      rows < 0 || cols < 0) {
+    return Status::ParseError("malformed OK line '", head, "'");
+  }
+  WireResponse out;
+  out.rows = rows;
+  if (cols == 0) {
+    if (lines.size() != 1) {
+      return Status::ParseError("zero-column frame has a body");
+    }
+    return out;
+  }
+  if (lines.size() < 2) {
+    return Status::ParseError("frame is missing its header line");
+  }
+  out.columns = SplitTabs(lines[1]);
+  if (static_cast<int64_t>(out.columns.size()) != cols) {
+    return Status::ParseError("frame header has ", out.columns.size(),
+                              " columns, OK line says ", cols);
+  }
+  out.cells.reserve(lines.size() - 2);
+  for (size_t i = 2; i < lines.size(); ++i) {
+    std::vector<std::string> row = SplitTabs(lines[i]);
+    if (static_cast<int64_t>(row.size()) != cols) {
+      return Status::ParseError("frame row ", i - 2, " has ", row.size(),
+                                " cells, expected ", cols);
+    }
+    out.cells.push_back(std::move(row));
+  }
+  // Row counts can disagree only when the sender truncated rendering
+  // (.maxrows); shard traffic never does, so treat it as malformed.
+  if (static_cast<int64_t>(out.cells.size()) != rows) {
+    return Status::ParseError("frame body has ", out.cells.size(),
+                              " rows, OK line says ", rows);
+  }
+  return out;
+}
+
 }  // namespace dl2sql::server

@@ -11,9 +11,12 @@
 ///   END\n
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "db/table.h"
 
@@ -36,5 +39,34 @@ std::string FormatOkResponse(const db::Table& table, OutputFormat format,
 
 /// Full framed error response. Must be called with a non-OK status.
 std::string FormatErrorResponse(const Status& status);
+
+/// \name Client-side frame parsing (ShardClient, tooling)
+/// @{
+
+/// Inverse of the TSV cell escaping applied by RenderTable (\t, \n, \r, \\).
+std::string UnescapeTsv(const std::string& s);
+
+/// One parsed frame. For "ERR" frames `error` carries the typed Status the
+/// peer reported (so a shard's "Parse error" stays a parse error, distinct
+/// from this side failing to parse the frame itself); for "OK" frames it is
+/// OK and `rows` holds the OK line's row count (the affected-row count for
+/// zero-column DML results) with the unescaped TSV body below.
+struct WireResponse {
+  Status error;
+  int64_t rows = 0;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> cells;
+};
+
+/// Bytes of the complete framed response at the start of `buffer` (through
+/// its "END\n" line), or 0 while the frame is still partial. Escaped cells
+/// never contain a literal newline, so the END terminator is unambiguous.
+size_t CompleteFrameLength(const std::string& buffer);
+
+/// Parses one complete TSV-format frame. "ERR <code-name>: <message>" frames
+/// reconstruct the typed Status the peer reported (StatusCodeFromString).
+Result<WireResponse> ParseWireResponse(const std::string& framed);
+
+/// @}
 
 }  // namespace dl2sql::server

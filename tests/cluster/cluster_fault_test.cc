@@ -1,0 +1,207 @@
+/// \file cluster_fault_test.cc
+/// \brief Failure-path coverage for the cluster tier: a killed shard, a
+/// shard that accepts connections but never answers, and the health surface
+/// in system.shards. The contract under test is the house style promise —
+/// every shard failure is a returned Status naming the shard, within the
+/// deadline, never a hang and never partial rows. (The "cluster" name keeps
+/// this binary in the TSAN-pinned CI pass.)
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "common/timer.h"
+#include "db/database.h"
+#include "server/session.h"
+#include "server/tcp_server.h"
+
+namespace dl2sql::cluster {
+namespace {
+
+struct ShardProc {
+  std::unique_ptr<db::Database> db = std::make_unique<db::Database>();
+  std::unique_ptr<server::QueryService> service;
+  std::unique_ptr<server::TcpServer> tcp;
+};
+
+class ClusterFaultTest : public ::testing::Test {
+ protected:
+  void StartCluster(int num_shards) {
+    std::vector<ShardEndpoint> endpoints;
+    for (int s = 0; s < num_shards; ++s) {
+      auto shard = std::make_unique<ShardProc>();
+      shard->service = std::make_unique<server::QueryService>(
+          shard->db.get(), server::ServiceOptions{});
+      shard->tcp = std::make_unique<server::TcpServer>(
+          shard->service.get(), server::TcpServerOptions{});
+      ASSERT_TRUE(shard->tcp->Start().ok());
+      endpoints.push_back({"127.0.0.1", shard->tcp->port()});
+      shards_.push_back(std::move(shard));
+    }
+    service_ = std::make_unique<server::QueryService>(&co_db_,
+                                                      server::ServiceOptions{});
+    // Tight budgets so every fault path resolves quickly: a dead shard must
+    // surface within ~connect_retry_ms, a mute one within statement_timeout.
+    ShardClientOptions opts;
+    opts.connect_retry_ms = 200;
+    opts.statement_timeout_ms = 1500;
+    opts.ping_timeout_ms = 300;
+    coordinator_ = std::make_unique<Coordinator>(&co_db_, std::move(endpoints),
+                                                 opts);
+    service_->set_distributed_executor(coordinator_.get());
+    session_ = service_->CreateSession();
+  }
+
+  void TearDown() override {
+    session_.reset();
+    if (service_ != nullptr) service_->set_distributed_executor(nullptr);
+    coordinator_.reset();
+    for (auto& shard : shards_) {
+      if (shard->tcp != nullptr) shard->tcp->Stop();
+    }
+  }
+
+  Result<db::Table> Exec(const std::string& sql) {
+    return session_->Execute(sql);
+  }
+
+  void LoadFrames(int64_t rows) {
+    ASSERT_TRUE(Exec("CREATE TABLE frames (id int64, seed int64) "
+                     "PARTITION BY HASH (id)")
+                    .ok());
+    std::string insert = "INSERT INTO frames VALUES ";
+    for (int64_t i = 0; i < rows; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(i) + ", " + std::to_string(i) + ")";
+    }
+    ASSERT_TRUE(Exec(insert).ok());
+  }
+
+  std::vector<std::unique_ptr<ShardProc>> shards_;
+  db::Database co_db_;
+  std::unique_ptr<server::QueryService> service_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::shared_ptr<server::Session> session_;
+};
+
+TEST_F(ClusterFaultTest, KilledShardTurnsSelectIntoUnavailableNamingIt) {
+  StartCluster(2);
+  LoadFrames(32);
+  ASSERT_TRUE(Exec("SELECT count(*) FROM frames").ok());
+
+  // Kill shard 1 (listener and live connections die; the pooled connections
+  // the coordinator holds are now broken too).
+  shards_[1]->tcp->Stop();
+
+  Stopwatch watch;
+  auto result = Exec("SELECT count(*) AS n FROM frames");
+  const double elapsed = watch.ElapsedSeconds();
+  ASSERT_FALSE(result.ok()) << "scatter over a dead shard must fail";
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find("shard 1"), std::string::npos)
+      << "error must name the failed shard: " << result.status().ToString();
+  // Deadline discipline: connect retry (200 ms) + slack, not a hang.
+  EXPECT_LT(elapsed, 5.0);
+
+  // Ordered pushdown must also fail outright — no partial rows from the
+  // surviving shard masquerading as a complete result.
+  auto ordered = Exec("SELECT id FROM frames ORDER BY id");
+  ASSERT_FALSE(ordered.ok());
+  EXPECT_EQ(ordered.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ClusterFaultTest, WritesToDeadShardFailWithStatus) {
+  StartCluster(2);
+  LoadFrames(16);
+  shards_[0]->tcp->Stop();
+
+  // Broadcast write: all-must-ack, so a dead shard fails the statement.
+  auto update = Exec("UPDATE frames SET seed = 0 WHERE id < 4");
+  ASSERT_FALSE(update.ok());
+  EXPECT_EQ(update.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(update.status().ToString().find("shard 0"), std::string::npos);
+
+  // Routed INSERT: at least one of these keys lands on the dead shard.
+  bool any_insert_failed = false;
+  for (int64_t k = 100; k < 108; ++k) {
+    auto insert = Exec("INSERT INTO frames VALUES (" + std::to_string(k) +
+                       ", 0)");
+    if (!insert.ok()) {
+      any_insert_failed = true;
+      EXPECT_EQ(insert.status().code(), StatusCode::kUnavailable);
+      break;
+    }
+  }
+  EXPECT_TRUE(any_insert_failed);
+}
+
+TEST_F(ClusterFaultTest, SystemShardsSurfacesHealthFlip) {
+  StartCluster(2);
+  LoadFrames(8);
+  auto healthy = Exec("SELECT count(*) FROM system.shards WHERE healthy");
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy->GetRow(0)[0].AsInt().ValueOr(-1), 2);
+
+  shards_[1]->tcp->Stop();
+  auto after = Exec(
+      "SELECT shard FROM system.shards WHERE healthy ORDER BY shard");
+  ASSERT_TRUE(after.ok()) << "system.shards must survive a dead shard";
+  ASSERT_EQ(after->num_rows(), 1);
+  EXPECT_EQ(after->GetRow(0)[0].AsInt().ValueOr(-1), 0);
+
+  // The federated query log degrades gracefully: shard 0's rows still
+  // arrive, the dead shard's are skipped, the query itself succeeds.
+  auto fed = Exec("SELECT count(*) FROM system.queries WHERE shard = 0");
+  ASSERT_TRUE(fed.ok());
+  EXPECT_GT(fed->GetRow(0)[0].AsInt().ValueOr(-1), 0);
+}
+
+TEST(ClusterShardClientTest, MuteShardTimesOutWithinDeadline) {
+  // A listener that accepts nothing: connections sit in the backlog forever,
+  // so send/recv never completes. The client must give up at its deadline.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  ShardClientOptions opts;
+  opts.connect_retry_ms = 200;
+  opts.statement_timeout_ms = 400;
+  opts.ping_timeout_ms = 200;
+  ShardClient client(/*shard_index=*/3, {"127.0.0.1", port}, opts);
+
+  Stopwatch watch;
+  auto response = client.Execute("SELECT 1");
+  const double elapsed = watch.ElapsedSeconds();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(response.status().ToString().find("shard 3"), std::string::npos);
+  // 400 ms statement deadline; generous slack for loaded CI hosts, but far
+  // from a hang.
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_FALSE(client.Ping().ok());
+  EXPECT_EQ(client.failures(), 2);
+  EXPECT_FALSE(client.last_error().empty());
+
+  ::close(listen_fd);
+}
+
+}  // namespace
+}  // namespace dl2sql::cluster

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cluster/coordinator.h"
+#include "common/trace.h"
 #include "demo_model.h"
 #include "server/session.h"
 #include "server/tcp_server.h"
@@ -94,6 +95,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
+    }
+  }
+
+  // DL2SQL_TRACE=on|1|true enables runtime span collection (the compile-time
+  // DL2SQL_TRACING gate must also be on, which is the default build). Traced
+  // spans feed system.spans, the .ctrace export, and — in coordinator mode —
+  // the cross-node trailer shipping.
+  if (const char* env = std::getenv("DL2SQL_TRACE")) {
+    const std::string v = env;
+    if (v == "on" || v == "1" || v == "true") {
+      TraceCollector::Global().SetEnabled(true);
     }
   }
 

@@ -61,6 +61,8 @@ REQUIRED_KEYS = {
     "BENCH_profile.json": [
         "mix_on_sec",
         "mix_off_sec",
+        "dist_mix_on_sec",
+        "dist_mix_off_sec",
     ],
     "BENCH_oocore.json": [
         "mix_paged_sec",

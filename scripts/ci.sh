@@ -97,9 +97,13 @@ pass_profile_overhead() {
   # DL2SQL_MEM_TRACKER=OFF path on the fig8-style mix (default 5%;
   # DL2SQL_PROFILE_OVERHEAD_PCT overrides on noisy hosts). Runs from the
   # build dir so the emitted BENCH_profile.json never clobbers the committed
-  # snapshot at the repo root.
-  cmake --build build-ci -j "${JOBS}" --target bench_profile_overhead
+  # snapshot at the repo root. The distributed tracing leg runs AFTER the
+  # profile bench (which rewrites BENCH_profile.json) and merges its
+  # dist_mix_on_sec/dist_mix_off_sec keys into the same file.
+  cmake --build build-ci -j "${JOBS}" --target bench_profile_overhead \
+    bench_trace_overhead
   (cd build-ci && ./bench/bench_profile_overhead)
+  (cd build-ci && ./bench/bench_trace_overhead --distributed)
 }
 
 pass_oocore_scale() {

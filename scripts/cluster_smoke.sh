@@ -64,6 +64,12 @@ wait_port() {
   cat "$WORK/rows.sql"
 } >"$WORK/single_init.sql"
 
+# Runtime tracing on for every process: the coordinator stamps distributed
+# queries with trace ids and ships them to the shards, which is what the
+# propagation checks below observe. Tracing never changes rendered results,
+# so the byte-identity gate is also exercised with the pipeline live.
+export DL2SQL_TRACE=on
+
 # --- shards, then the coordinator pointed at them ---
 "$SERVER" --port 0 --demo-model >"$WORK/shard0.out" 2>"$WORK/shard0.err" &
 PIDS+=($!)
@@ -139,6 +145,41 @@ for shard_idx in 0 1; do
 done
 echo "cluster smoke: system.shards healthy=2, system.queries federated" \
      "(coordinator=$LOCAL_ROWS rows, shards tagged)"
+
+# --- federated /metrics: one coordinator scrape, every shard labeled ---
+curl -sS --max-time 10 "http://127.0.0.1:$COORD_PORT/metrics" \
+  >"$WORK/fed_metrics.out"
+for shard_idx in 0 1; do
+  grep -q "^cluster_shard_client_statements{shard=\"$shard_idx\"} " \
+    "$WORK/fed_metrics.out" || {
+    echo "coordinator /metrics is missing shard $shard_idx client series" >&2
+    exit 1
+  }
+  grep -q "^server_requests{shard=\"$shard_idx\"} " "$WORK/fed_metrics.out" || {
+    echo "coordinator /metrics is missing shard $shard_idx scraped series" >&2
+    exit 1
+  }
+done
+echo "cluster smoke: /metrics federates shard-labeled series from both shards"
+
+# --- trace propagation: one distributed statement, one cluster-wide id ---
+# Shard-side query-log records only carry a trace id when the coordinator
+# shipped one in the wire header, so any hex id found on a shard must also
+# name a coordinator (shard = -1) record: the same trace spans both nodes.
+TRACE_ID="$(echo "SELECT trace_id FROM system.queries WHERE shard = 0;" \
+  | "$CLIENT" --port "$COORD_PORT" | grep -E '^[0-9a-f]{16}$' | tail -1)"
+[[ -n "$TRACE_ID" ]] || {
+  echo "no shard 0 query-log record carries a trace id" >&2
+  exit 1
+}
+COORD_MATCH="$(echo "SELECT count(*) FROM system.queries \
+WHERE shard = -1 AND trace_id = '$TRACE_ID';" \
+  | "$CLIENT" --port "$COORD_PORT" | sed -n '3p')"
+[[ "$COORD_MATCH" =~ ^[0-9]+$ && "$COORD_MATCH" -gt 0 ]] || {
+  echo "shard trace id $TRACE_ID has no matching coordinator record" >&2
+  exit 1
+}
+echo "cluster smoke: trace id $TRACE_ID shared across coordinator and shard"
 
 # --- clean shutdown: coordinator first, then shards ---
 for pid in "$COORD_PID" "$SINGLE_PID" "$SHARD0_PID" "$SHARD1_PID"; do

@@ -1,17 +1,23 @@
 #include "cluster/coordinator.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "cluster/hash_partitioner.h"
 #include "cluster/merge.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "db/query_log.h"
 #include "db/sql/printer.h"
 
 namespace dl2sql::cluster {
@@ -229,11 +235,42 @@ db::Table RowCountResult(int64_t rows) {
   return out;
 }
 
+/// db::DistStrategyLabel code for a planner strategy (query log, EXPLAIN
+/// ANALYZE header).
+uint8_t StrategyCode(DistStrategy strategy) {
+  switch (strategy) {
+    case DistStrategy::kPushdown:
+      return 1;
+    case DistStrategy::kMergeAggregate:
+      return 2;
+    case DistStrategy::kFallback:
+      return 3;
+  }
+  return 0;
+}
+
+std::string FormatMs(int64_t micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(micros) / 1000.0);
+  return buf;
+}
+
 }  // namespace
+
+thread_local Coordinator::DistQueryStats* Coordinator::tls_stats_ = nullptr;
 
 Coordinator::Coordinator(db::Database* db, std::vector<ShardEndpoint> endpoints,
                          ShardClientOptions options)
     : db_(db) {
+  // Trace ids only need to be unique per coordinator plus unlikely to collide
+  // across restarts; wall-clock micros at construction mixed with the object
+  // address is plenty without dragging in a PRNG.
+  id_base_ = static_cast<uint64_t>(
+                 std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count())
+             << 16;
+  id_base_ ^= reinterpret_cast<uintptr_t>(this);
   shards_.reserve(endpoints.size());
   for (size_t i = 0; i < endpoints.size(); ++i) {
     shards_.push_back(std::make_unique<ShardClient>(
@@ -253,6 +290,18 @@ Coordinator::~Coordinator() {
   if (saved_sessions_ != nullptr) {
     (void)catalog.RegisterVirtualTable(saved_sessions_);
   }
+  if (saved_spans_ != nullptr) {
+    (void)catalog.RegisterVirtualTable(saved_spans_);
+  }
+  if (saved_profiles_ != nullptr) {
+    (void)catalog.RegisterVirtualTable(saved_profiles_);
+  }
+}
+
+uint64_t Coordinator::NextId() {
+  const uint64_t id =
+      id_base_ + id_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id == 0 ? 1 : id;
 }
 
 std::set<std::string> Coordinator::ShardedTables() const {
@@ -359,7 +408,22 @@ Result<db::Table> Coordinator::Execute(const db::Statement& stmt,
                                        const std::string& sql,
                                        const db::QueryRecordHints& hints) {
   Stopwatch watch;
-  Result<db::Table> result = Dispatch(stmt, sql);
+  DistQueryStats stats;
+  Result<db::Table> result = ExecuteTraced(stmt, sql, &stats);
+  const int64_t duration_us = watch.ElapsedMicros();
+
+  int64_t shards_used = 0;
+  int64_t slowest_shard = -1;
+  int64_t slowest_us = 0;
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    if (!stats.shards[i].used) continue;
+    ++shards_used;
+    if (stats.shards[i].latency_us > slowest_us) {
+      slowest_us = stats.shards[i].latency_us;
+      slowest_shard = static_cast<int64_t>(i);
+    }
+  }
+
   db::QueryLog* log = db_->query_log();
   if (log != nullptr) {
     db::QueryLogRecord rec;
@@ -370,12 +434,79 @@ Result<db::Table> Coordinator::Execute(const db::Statement& stmt,
     } else {
       rec.error = result.status().ToString();
     }
-    rec.duration_us = watch.ElapsedMicros();
+    rec.duration_us = duration_us;
     rec.session_id = hints.session_id;
     rec.admission_wait_us = hints.admission_wait_us;
     rec.lock_wait_us = hints.lock_wait_us;
     rec.end_micros = TraceCollector::NowMicros();
+    rec.trace_id = stats.trace_id;
+    rec.parent_span_id = hints.parent_span_id;
+    rec.dist_strategy = stats.strategy;
+    rec.dist_shards = shards_used;
+    rec.dist_slowest_shard = slowest_shard;
+    rec.dist_slowest_us = slowest_us;
+    rec.dist_merge_us = stats.merge_us;
     log->Record(rec);
+    if (hints.record_out != nullptr) *hints.record_out = rec;
+  }
+
+  // The single-node slow-query WARN lives in ExecuteStatementRecorded, which
+  // distributed statements bypass — so the coordinator emits its own, naming
+  // the straggler and its share of wall time.
+  const double threshold_ms = db_->slow_query_ms();
+  const double duration_ms = static_cast<double>(duration_us) / 1000.0;
+  if (threshold_ms > 0 && duration_ms >= threshold_ms) {
+    std::string straggler;
+    if (slowest_shard >= 0 && duration_us > 0) {
+      const int share = static_cast<int>(
+          100.0 * static_cast<double>(slowest_us) /
+          static_cast<double>(duration_us));
+      straggler = " [slowest: " +
+                  shards_[static_cast<size_t>(slowest_shard)]->label() + " " +
+                  FormatMs(slowest_us) + " ms = " + std::to_string(share) +
+                  "% of wall time, merge " + FormatMs(stats.merge_us) + " ms]";
+    }
+    const char* strategy = db::DistStrategyLabel(stats.strategy);
+    DL2SQL_LOG(Warning) << "slow distributed query (" << duration_ms
+                        << " ms >= " << threshold_ms << " ms threshold, "
+                        << (*strategy != '\0' ? strategy : "no scatter") << ", "
+                        << shards_used << " shards): " << sql << straggler;
+  }
+  return result;
+}
+
+Result<db::Table> Coordinator::ExecuteTraced(const db::Statement& stmt,
+                                             const std::string& sql,
+                                             DistQueryStats* stats) {
+  stats->shards.resize(shards_.size());
+  // Adopt an inbound trace context (a client/upstream coordinator sent a
+  // ".trace"-headed statement) or mint a fresh trace id when tracing is on.
+  // When tracing is off and nothing arrived, trace_id stays 0 and no shard
+  // statement carries a header — the wire bytes are identical to pre-tracing.
+  const TraceContext inbound = CurrentTraceContext();
+  if (inbound.active() || TraceCollector::Global().enabled()) {
+    stats->trace_id = inbound.active() ? inbound.trace_id : NextId();
+    stats->root_span_id = NextId();
+  }
+  stats->start_us = TraceCollector::NowMicros();
+
+  DistQueryStats* const prev = tls_stats_;
+  tls_stats_ = stats;
+  Result<db::Table> result = Status::InternalError("not dispatched");
+  {
+    std::optional<ScopedTraceContext> scoped;
+    if (stats->trace_id != 0 && !inbound.active()) {
+      scoped.emplace(TraceContext{stats->trace_id, stats->root_span_id});
+    }
+    DL2SQL_TRACE_SPAN("cluster", "distributed_query");
+    result = Dispatch(stmt, sql);
+  }
+  tls_stats_ = prev;
+
+  if (stats->trace_id != 0) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    last_trace_id_ = stats->trace_id;
+    last_shard_events_ = stats->shard_events;
   }
   return result;
 }
@@ -412,6 +543,29 @@ std::vector<Result<server::WireResponse>> Coordinator::ScatterEach(
   std::vector<Result<server::WireResponse>> out(
       shards_.size(),
       Result<server::WireResponse>(Status::InternalError("not dispatched")));
+  DistQueryStats* const stats = tls_stats_;
+  TraceContext trace;
+  if (stats != nullptr && stats->trace_id != 0) {
+    trace = TraceContext{stats->trace_id, stats->root_span_id};
+  }
+  const TraceContext* const trace_ptr = trace.active() ? &trace : nullptr;
+
+  struct Call {
+    bool ran = false;
+    int64_t start_us = 0;
+    int64_t latency_us = 0;
+  };
+  std::vector<Call> calls(shards_.size());
+  // Each invocation writes only its own out/calls slots, so the spawned
+  // threads never touch shared state; everything folds into `stats` after
+  // the join, on the calling thread.
+  auto run_one = [&](size_t i) {
+    calls[i].ran = true;
+    calls[i].start_us = TraceCollector::NowMicros();
+    out[i] = shards_[i]->Execute(sqls[i], 0.0, trace_ptr);
+    calls[i].latency_us = TraceCollector::NowMicros() - calls[i].start_us;
+  };
+
   // One thread per remote shard, shard 0 on the calling thread. Statement
   // counts here are serving-request rate, not row rate, so the per-statement
   // thread spawn is noise next to the network round-trip.
@@ -419,13 +573,65 @@ std::vector<Result<server::WireResponse>> Coordinator::ScatterEach(
   threads.reserve(shards_.size());
   for (size_t i = 1; i < shards_.size(); ++i) {
     if (sqls[i].empty()) continue;
-    threads.emplace_back(
-        [this, &out, &sqls, i] { out[i] = shards_[i]->Execute(sqls[i]); });
+    threads.emplace_back([&run_one, i] { run_one(i); });
   }
-  if (!shards_.empty() && !sqls[0].empty()) {
-    out[0] = shards_[0]->Execute(sqls[0]);
-  }
+  if (!shards_.empty() && !sqls[0].empty()) run_one(0);
   for (auto& t : threads) t.join();
+
+  if (stats == nullptr) return out;
+  const bool tracing = TraceCollector::Global().enabled();
+  // Shipped-span cap per query: a pathological shard can't balloon the
+  // coordinator's trace buffer.
+  constexpr size_t kMaxShardEvents = 4096;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!calls[i].ran) continue;
+    ShardCallStats& s = stats->shards[i];
+    s.used = true;
+    ++s.statements;
+    s.latency_us += calls[i].latency_us;
+    if (tracing) {
+      // Coordinator-side view of the round trip; the shard's own spans (from
+      // the trailer) nest under it on their per-shard lane.
+      TraceEvent rpc;
+      rpc.name = "shard " + std::to_string(i) + " rpc";
+      rpc.category = "cluster";
+      rpc.start_us = calls[i].start_us;
+      rpc.duration_us = calls[i].latency_us;
+      rpc.tid = TraceCollector::CurrentThreadId();
+      rpc.trace_id = stats->trace_id;
+      TraceCollector::Global().Record(std::move(rpc));
+    }
+    if (!out[i].ok()) continue;
+    s.rows += static_cast<int64_t>(out[i]->cells.size());
+    s.bytes += out[i]->wire_bytes;
+    for (const auto& fields : out[i]->meta) {
+      TraceEvent ev;
+      server::WireProfile profile;
+      if (server::ParseSpanMeta(fields, &ev)) {
+        if (stats->shard_events.size() >= kMaxShardEvents) continue;
+        ev.pid = 2 + static_cast<int32_t>(i);
+        ev.trace_id = stats->trace_id;
+        // Shard clocks ship relative to their statement start; rebase onto
+        // this coordinator's clock at the moment the rpc went out.
+        ev.start_us += calls[i].start_us;
+        stats->shard_events.push_back(std::move(ev));
+      } else if (server::ParseProfileMeta(fields, &profile)) {
+        s.has_profile = true;
+        s.profile.rows += profile.rows;
+        s.profile.bytes += profile.bytes;
+        s.profile.duration_us += profile.duration_us;
+        s.profile.cpu_us += profile.cpu_us;
+        s.profile.admission_wait_us += profile.admission_wait_us;
+        s.profile.lock_wait_us += profile.lock_wait_us;
+        s.profile.pool_queue_wait_us += profile.pool_queue_wait_us;
+        s.profile.mem_peak_bytes =
+            std::max(s.profile.mem_peak_bytes, profile.mem_peak_bytes);
+        s.profile.spill_bytes += profile.spill_bytes;
+        s.profile.spill_partitions += profile.spill_partitions;
+        s.profile.neural_calls += profile.neural_calls;
+      }
+    }
+  }
   return out;
 }
 
@@ -463,6 +669,11 @@ Result<db::Table> Coordinator::ExecSelect(const db::SelectStmt& stmt) {
     last_strategy_ = plan.strategy;
     last_fallback_reason_ = plan.fallback_reason;
   }
+  if (tls_stats_ != nullptr && tls_stats_->strategy == 0) {
+    // Outermost SELECT wins; a nested fallback gather's inner scatters keep
+    // the outer statement's classification.
+    tls_stats_->strategy = StrategyCode(plan.strategy);
+  }
   if (plan.strategy == DistStrategy::kFallback) {
     ClusterMetrics::Get().fallback->Increment();
     return GatherFallback(stmt, plan.fallback_reason);
@@ -470,6 +681,16 @@ Result<db::Table> Coordinator::ExecSelect(const db::SelectStmt& stmt) {
 
   std::vector<Result<server::WireResponse>> responses =
       Scatter(plan.shard_sql);
+  // Everything after the scatter — typed decode plus concat/k-way
+  // merge/partial-aggregate re-merge — is coordinator merge cost.
+  struct MergeTimer {
+    explicit MergeTimer(int64_t* out) : out_(out) {}
+    ~MergeTimer() {
+      if (out_ != nullptr) *out_ += watch_.ElapsedMicros();
+    }
+    Stopwatch watch_;
+    int64_t* out_;
+  } merge_timer(tls_stats_ != nullptr ? &tls_stats_->merge_us : nullptr);
   std::vector<db::Table> parts;
   parts.reserve(responses.size());
   for (size_t i = 0; i < responses.size(); ++i) {
@@ -768,6 +989,131 @@ Result<db::Table> Coordinator::ExecDrop(const db::DropStmt& stmt) {
   return result;
 }
 
+std::string Coordinator::FederatedMetricsText() {
+  std::string out;
+  for (const auto& shard : shards_) {
+    const std::string label =
+        "{shard=\"" + std::to_string(shard->shard_index()) + "\"} ";
+    const struct {
+      const char* name;
+      int64_t value;
+    } client_series[] = {
+        {"cluster_shard_client_statements", shard->requests()},
+        {"cluster_shard_client_failures", shard->failures()},
+        {"cluster_shard_client_bytes_sent", shard->bytes_sent()},
+        {"cluster_shard_client_bytes_received", shard->bytes_received()},
+        {"cluster_shard_client_rows_shipped", shard->rows_shipped()},
+        {"cluster_shard_client_p95_latency_us", shard->p95_latency_us()},
+    };
+    for (const auto& series : client_series) {
+      out += series.name + label + std::to_string(series.value) + "\n";
+    }
+    // The shard's own registry, scraped over the existing statement protocol
+    // (system.metrics flattens histograms into .count/.sum_us/.pXX_us rows).
+    // Untyped exposition lines are valid Prometheus; TYPE comments can't be
+    // emitted per-label-set anyway.
+    auto response =
+        shard->Execute("SELECT name, kind, value FROM system.metrics");
+    if (!response.ok()) continue;
+    for (const auto& cells : response->cells) {
+      if (cells.size() != 3) continue;
+      out += MetricsRegistry::SanitizeName(cells[0]) + label + cells[2] + "\n";
+    }
+  }
+  return out;
+}
+
+Status Coordinator::WriteClusterTrace(const std::string& path) {
+  uint64_t trace_id = 0;
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_id = last_trace_id_;
+    events = last_shard_events_;
+  }
+  if (trace_id == 0) {
+    // Nothing distributed was traced yet; the local trace is still useful.
+    return TraceCollector::Global().WriteChromeTrace(path);
+  }
+  std::vector<TraceEvent> local =
+      TraceCollector::Global().SnapshotTrace(trace_id);
+  events.insert(events.end(), std::make_move_iterator(local.begin()),
+                std::make_move_iterator(local.end()));
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  const std::string json = TraceCollector::ChromeTraceJson(events);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file ", path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace output file ", path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Coordinator::ExplainAnalyze(const db::Statement& stmt,
+                                                const std::string& sql) {
+  if (!std::holds_alternative<std::shared_ptr<db::SelectStmt>>(stmt)) {
+    return Status::InvalidArgument(
+        "distributed EXPLAIN ANALYZE supports only SELECT statements");
+  }
+  DistQueryStats stats;
+  Stopwatch watch;
+  DL2SQL_ASSIGN_OR_RETURN(db::Table result, ExecuteTraced(stmt, sql, &stats));
+  const int64_t total_us = watch.ElapsedMicros();
+
+  int64_t shards_used = 0;
+  int64_t slowest_shard = -1;
+  int64_t slowest_us = 0;
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    if (!stats.shards[i].used) continue;
+    ++shards_used;
+    if (stats.shards[i].latency_us > slowest_us) {
+      slowest_us = stats.shards[i].latency_us;
+      slowest_shard = static_cast<int64_t>(i);
+    }
+  }
+
+  const char* strategy = db::DistStrategyLabel(stats.strategy);
+  std::string out = "Distributed SELECT  strategy=";
+  out += *strategy != '\0' ? strategy : "none";
+  out += "  shards=" + std::to_string(shards_used) + "/" +
+         std::to_string(shards_.size()) + "\n";
+  if (stats.strategy == 3) {
+    const std::string reason = last_fallback_reason();
+    if (!reason.empty()) out += "fallback reason: " + reason + "\n";
+  }
+  out += "rows=" + std::to_string(result.num_rows()) + "  total=" +
+         FormatMs(total_us) + " ms  merge=" + FormatMs(stats.merge_us) +
+         " ms\n";
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    const ShardCallStats& s = stats.shards[i];
+    if (!s.used) continue;
+    out += "  " + shards_[i]->label() + ": " + std::to_string(s.statements) +
+           " stmt, " + FormatMs(s.latency_us) + " ms, " +
+           std::to_string(s.rows) + " rows, " + std::to_string(s.bytes) +
+           " bytes";
+    if (s.has_profile) {
+      out += " (shard-side: " + FormatMs(s.profile.duration_us) + " ms, cpu " +
+             FormatMs(s.profile.cpu_us) + " ms, " +
+             std::to_string(s.profile.neural_calls) + " neural calls)";
+    }
+    out += "\n";
+  }
+  if (slowest_shard >= 0 && total_us > 0) {
+    const int share = static_cast<int>(100.0 * static_cast<double>(slowest_us) /
+                                       static_cast<double>(total_us));
+    out += "slowest: " + shards_[static_cast<size_t>(slowest_shard)]->label() +
+           " - " + std::to_string(share) + "% of wall time\n";
+  }
+  return out;
+}
+
 void Coordinator::RegisterClusterSystemTables() {
   db::Catalog& catalog = db_->catalog();
 
@@ -778,7 +1124,11 @@ void Coordinator::RegisterClusterSystemTables() {
                                  {"ping_ms", db::DataType::kFloat64},
                                  {"requests", db::DataType::kInt64},
                                  {"failures", db::DataType::kInt64},
-                                 {"last_error", db::DataType::kString}});
+                                 {"last_error", db::DataType::kString},
+                                 {"bytes_sent", db::DataType::kInt64},
+                                 {"bytes_received", db::DataType::kInt64},
+                                 {"rows_shipped", db::DataType::kInt64},
+                                 {"p95_latency_ms", db::DataType::kFloat64}});
   shards_table_registered_ =
       catalog
           .RegisterVirtualTable(std::make_shared<db::CallbackVirtualTable>(
@@ -798,13 +1148,20 @@ void Coordinator::RegisterClusterSystemTables() {
                        db::Value::Float(ping_ms),
                        db::Value::Int(shard->requests()),
                        db::Value::Int(shard->failures()),
-                       db::Value::String(shard->last_error())}));
+                       db::Value::String(shard->last_error()),
+                       db::Value::Int(shard->bytes_sent()),
+                       db::Value::Int(shard->bytes_received()),
+                       db::Value::Int(shard->rows_shipped()),
+                       db::Value::Float(
+                           static_cast<double>(shard->p95_latency_us()) /
+                           1000.0)}));
                 }
                 return t;
               }))
           .ok();
 
-  // Federate system.queries and system.sessions: the local provider's rows
+  // Federate system.queries, system.sessions, system.spans, and
+  // system.query_profiles: the local provider's rows
   // tagged shard = -1, then each shard's rows tagged with its index. Shard
   // fetch failures skip that shard (federation is best-effort observability;
   // system.shards reports the health).
@@ -850,6 +1207,8 @@ void Coordinator::RegisterClusterSystemTables() {
   };
   saved_queries_ = federate("system.queries");
   saved_sessions_ = federate("system.sessions");
+  saved_spans_ = federate("system.spans");
+  saved_profiles_ = federate("system.query_profiles");
 }
 
 }  // namespace dl2sql::cluster

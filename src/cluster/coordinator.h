@@ -40,6 +40,8 @@
 /// internally locked, so the race costs staleness, never soundness.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
@@ -48,6 +50,7 @@
 
 #include "cluster/distributed_planner.h"
 #include "cluster/shard_client.h"
+#include "common/trace.h"
 #include "db/database.h"
 #include "server/session.h"
 
@@ -83,6 +86,20 @@ class Coordinator : public server::DistributedExecutor {
   bool IsReadOnly(const db::Statement& stmt) override;
   Result<db::Table> Execute(const db::Statement& stmt, const std::string& sql,
                             const db::QueryRecordHints& hints) override;
+  /// Shard-labeled series for the coordinator's /metrics: each shard's
+  /// MetricsRegistry scraped over system.metrics plus the per-shard client
+  /// counters, rendered as `<name>{shard="N"} <value>`. Unreachable shards
+  /// are skipped (system.shards reports the health).
+  std::string FederatedMetricsText() override;
+  /// Chrome-trace file of the last traced distributed query: coordinator
+  /// spans on pid 1, shard-shipped spans on pid 2+shard, one shared trace id.
+  /// Falls back to the whole local trace when nothing distributed was traced.
+  Status WriteClusterTrace(const std::string& path) override;
+  /// Runs the SELECT distributed and renders the plan with a per-shard
+  /// footer: strategy, per-shard latency/rows/bytes, merge cost, and the
+  /// slowest shard's share of wall time.
+  Result<std::string> ExplainAnalyze(const db::Statement& stmt,
+                                     const std::string& sql) override;
   /// @}
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -98,6 +115,43 @@ class Coordinator : public server::DistributedExecutor {
   std::string last_fallback_reason() const;
 
  private:
+  /// One shard's share of the current distributed statement, accumulated by
+  /// ScatterEach into the thread-local DistQueryStats (straggler diagnosis,
+  /// EXPLAIN ANALYZE footer, query-log distributed fields).
+  struct ShardCallStats {
+    bool used = false;         ///< at least one statement went to this shard
+    int64_t statements = 0;
+    int64_t latency_us = 0;    ///< summed round-trip time
+    int64_t rows = 0;          ///< body rows shipped back
+    int64_t bytes = 0;         ///< response frame bytes shipped back
+    bool has_profile = false;  ///< trailer profile arrived (traced statements)
+    server::WireProfile profile;
+  };
+
+  /// Per-query scratch installed thread-locally for the duration of one
+  /// distributed statement so ScatterEach (same thread) can attribute work.
+  struct DistQueryStats {
+    uint64_t trace_id = 0;
+    uint64_t root_span_id = 0;
+    int64_t start_us = 0;       ///< coordinator clock at statement start
+    uint8_t strategy = 0;       ///< db::DistStrategyLabel code; 0 = none
+    int64_t merge_us = 0;       ///< decode + merge time after the scatter
+    std::vector<ShardCallStats> shards;
+    std::vector<TraceEvent> shard_events;  ///< shipped spans, rebased, pid set
+  };
+
+  /// Dispatch wrapped with trace-context installation and stats collection;
+  /// shared by Execute (which also writes the query log and the straggler
+  /// WARN) and ExplainAnalyze (which renders the stats instead).
+  Result<db::Table> ExecuteTraced(const db::Statement& stmt,
+                                  const std::string& sql,
+                                  DistQueryStats* stats);
+
+  /// The statement currently executing on this serving thread (ScatterEach
+  /// attributes per-shard work to it). Nested scatters — fallback gathers,
+  /// INSERT..SELECT — accumulate into the same outer stats.
+  static thread_local DistQueryStats* tls_stats_;
+
   Result<db::Table> Dispatch(const db::Statement& stmt,
                              const std::string& sql);
   Result<db::Table> ExecSelect(const db::SelectStmt& stmt);
@@ -144,11 +198,26 @@ class Coordinator : public server::DistributedExecutor {
   DistStrategy last_strategy_ = DistStrategy::kFallback;
   std::string last_fallback_reason_;
 
-  /// Originals swapped out for the federated system.queries/system.sessions
-  /// providers; restored on destruction.
+  /// Originals swapped out for the federated system.queries/system.sessions/
+  /// system.spans/system.query_profiles providers; restored on destruction.
   std::shared_ptr<db::VirtualTableProvider> saved_queries_;
   std::shared_ptr<db::VirtualTableProvider> saved_sessions_;
+  std::shared_ptr<db::VirtualTableProvider> saved_spans_;
+  std::shared_ptr<db::VirtualTableProvider> saved_profiles_;
   bool shards_table_registered_ = false;
+
+  /// Trace/span id allocator: a per-process base (construction time) plus a
+  /// counter, so ids are unique within the coordinator and effectively unique
+  /// across restarts. Never hands out 0.
+  uint64_t NextId();
+  std::atomic<uint64_t> id_seq_{0};
+  uint64_t id_base_ = 0;
+
+  /// The last traced distributed query, kept for WriteClusterTrace. Guarded
+  /// by trace_mu_ (Execute runs on arbitrary serving threads).
+  mutable std::mutex trace_mu_;
+  uint64_t last_trace_id_ = 0;
+  std::vector<TraceEvent> last_shard_events_;
 };
 
 }  // namespace dl2sql::cluster

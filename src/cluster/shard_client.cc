@@ -189,11 +189,13 @@ void ShardClient::ReleaseConn(int fd) {
 }
 
 Result<server::WireResponse> ShardClient::Execute(const std::string& sql,
-                                                  double timeout_ms) {
+                                                  double timeout_ms,
+                                                  const TraceContext* trace) {
   ShardMetrics::Get().requests->Increment();
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (timeout_ms <= 0) timeout_ms = options_.statement_timeout_ms;
-  const double deadline = NowMs() + timeout_ms;
+  const double start_ms = NowMs();
+  const double deadline = start_ms + timeout_ms;
 
   auto fd_result = AcquireConn();
   if (!fd_result.ok()) return Fail(fd_result.status());
@@ -203,6 +205,10 @@ Result<server::WireResponse> ShardClient::Execute(const std::string& sql,
   std::string line = sql;
   for (char& c : line) {
     if (c == '\n' || c == '\r') c = ' ';
+  }
+  if (trace != nullptr && trace->active()) {
+    line = server::FormatTraceStatement(trace->trace_id,
+                                        trace->parent_span_id, line);
   }
   line += '\n';
 
@@ -225,6 +231,8 @@ Result<server::WireResponse> ShardClient::Execute(const std::string& sql,
     return Fail(Status::Unavailable(label_, ": send: ",
                                     std::strerror(errno)));
   }
+  bytes_sent_.fetch_add(static_cast<int64_t>(line.size()),
+                        std::memory_order_relaxed);
 
   std::string buffer;
   size_t frame_len = 0;
@@ -268,9 +276,14 @@ Result<server::WireResponse> ShardClient::Execute(const std::string& sql,
   // the shard executed and reported; its typed status passes through in
   // WireResponse::error for the caller to surface.
   ReleaseConn(fd);
+  bytes_received_.fetch_add(static_cast<int64_t>(buffer.size()),
+                            std::memory_order_relaxed);
+  latency_.Record(static_cast<int64_t>((NowMs() - start_ms) * 1000.0));
   if (!parsed->error.ok()) {
     return parsed->error.WithContext(label_);
   }
+  rows_shipped_.fetch_add(static_cast<int64_t>(parsed->cells.size()),
+                          std::memory_order_relaxed);
   return parsed;
 }
 

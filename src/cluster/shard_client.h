@@ -17,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "server/wire.h"
 
 namespace dl2sql::cluster {
@@ -56,9 +58,13 @@ class ShardClient {
 
   /// Sends one single-line statement (embedded newlines are flattened) and
   /// parses its framed response. `timeout_ms` <= 0 uses the options default.
+  /// With an active `trace`, the statement ships under a ".trace" header so
+  /// the shard stamps its spans/query-log with the coordinator's ids and
+  /// returns its span/profile trailer in WireResponse::meta.
   /// Safe from any thread; each call uses its own pooled connection.
   Result<server::WireResponse> Execute(const std::string& sql,
-                                       double timeout_ms = 0.0);
+                                       double timeout_ms = 0.0,
+                                       const TraceContext* trace = nullptr);
 
   /// Round-trips the .ping meta command within ping_timeout_ms.
   Status Ping();
@@ -72,6 +78,24 @@ class ShardClient {
   int64_t requests() const { return requests_.load(std::memory_order_relaxed); }
   int64_t failures() const { return failures_.load(std::memory_order_relaxed); }
   std::string last_error() const;
+
+  /// \name Per-shard transfer/latency accounting (system.shards, federated
+  /// /metrics). Counted on every statement, traced or not.
+  /// @{
+  int64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  /// Result rows shipped back by the shard (body rows of OK frames).
+  int64_t rows_shipped() const {
+    return rows_shipped_.load(std::memory_order_relaxed);
+  }
+  /// Statement round-trip latency distribution (send to parsed response).
+  const Histogram& latency() const { return latency_; }
+  int64_t p95_latency_us() const { return latency_.ApproxQuantileMicros(0.95); }
+  /// @}
 
  private:
   /// Pops an idle pooled connection or dials a new one (bounded retry).
@@ -89,6 +113,10 @@ class ShardClient {
   std::vector<int> idle_;
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> failures_{0};
+  std::atomic<int64_t> bytes_sent_{0};
+  std::atomic<int64_t> bytes_received_{0};
+  std::atomic<int64_t> rows_shipped_{0};
+  Histogram latency_;
   mutable std::mutex error_mu_;
   std::string last_error_;
 };

@@ -152,6 +152,10 @@ std::string SanitizePrometheusName(const std::string& name) {
 
 }  // namespace
 
+std::string MetricsRegistry::SanitizeName(const std::string& name) {
+  return SanitizePrometheusName(name);
+}
+
 std::string MetricsRegistry::ToPrometheusText(const MetricsSnapshot& snap) {
   std::string out;
   char buf[64];

@@ -121,6 +121,11 @@ class MetricsRegistry {
   /// sanitized (dots and other invalid characters become underscores).
   static std::string ToPrometheusText(const MetricsSnapshot& snap);
 
+  /// The name sanitizer ToPrometheusText applies (dots and other invalid
+  /// characters become underscores). Exposed so the cluster coordinator can
+  /// render shard-federated series under the same names, labeled by shard.
+  static std::string SanitizeName(const std::string& name);
+
   /// Zeroes every registered metric (handles stay valid). Test/bench hook.
   void ResetAll();
 

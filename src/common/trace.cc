@@ -106,6 +106,27 @@ void TraceCollector::Record(TraceEvent event) {
   b->events.push_back(std::move(event));
 }
 
+std::vector<TraceEvent> TraceCollector::SnapshotTrace(
+    uint64_t trace_id, int64_t min_start_us) const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    for (ThreadTraceBuffer* b : impl_->buffers) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      for (const TraceEvent& e : b->events) {
+        if (e.trace_id == trace_id && e.start_us >= min_start_us) {
+          out.push_back(e);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
 std::vector<TraceEvent> TraceCollector::Snapshot() const {
   std::vector<TraceEvent> out;
   {
@@ -132,11 +153,11 @@ int64_t TraceCollector::EventCount() const {
   return n;
 }
 
-std::string TraceCollector::ToChromeTraceJson() const {
-  const std::vector<TraceEvent> events = Snapshot();
+std::string TraceCollector::ChromeTraceJson(
+    const std::vector<TraceEvent>& events) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
-  char buf[160];
+  char buf[192];
   for (const TraceEvent& e : events) {
     if (!first) out += ",";
     first = false;
@@ -145,12 +166,17 @@ std::string TraceCollector::ToChromeTraceJson() const {
     out += "\",\"cat\":\"";
     AppendJsonEscaped(e.category, &out);
     std::snprintf(buf, sizeof(buf),
-                  "\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,\"pid\":1,"
+                  "\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,\"pid\":%d,"
                   "\"tid\":%d",
                   static_cast<long long>(e.start_us),
-                  static_cast<long long>(e.duration_us), e.tid);
+                  static_cast<long long>(e.duration_us), e.pid, e.tid);
     out += buf;
     out += ",\"args\":{\"depth\":" + std::to_string(e.depth);
+    if (e.trace_id != 0) {
+      std::snprintf(buf, sizeof(buf), ",\"trace_id\":\"%016llx\"",
+                    static_cast<unsigned long long>(e.trace_id));
+      out += buf;
+    }
     if (!e.args.empty()) {
       out += ",";
       out += e.args;
@@ -159,6 +185,10 @@ std::string TraceCollector::ToChromeTraceJson() const {
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
+}
+
+std::string TraceCollector::ToChromeTraceJson() const {
+  return ChromeTraceJson(Snapshot());
 }
 
 Status TraceCollector::WriteChromeTrace(const std::string& path) const {
@@ -236,6 +266,19 @@ int32_t TraceDepth() { return tls_trace_depth; }
 
 }  // namespace internal
 
+namespace {
+thread_local TraceContext tls_trace_context;
+}  // namespace
+
+TraceContext CurrentTraceContext() { return tls_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : prev_(tls_trace_context) {
+  tls_trace_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_trace_context = prev_; }
+
 TraceSpan::TraceSpan(const char* category, std::string name, std::string args)
     : active_(TraceCollector::Global().enabled()) {
   if (!active_) return;
@@ -257,6 +300,7 @@ TraceSpan::~TraceSpan() {
   e.duration_us = TraceCollector::NowMicros() - start_us_;
   e.tid = TraceCollector::CurrentThreadId();
   e.depth = depth_;
+  e.trace_id = tls_trace_context.trace_id;
   TraceCollector::Global().Record(e);
 }
 

@@ -39,6 +39,39 @@ struct TraceEvent {
   int64_t duration_us = 0;
   int32_t tid = 0;        ///< compact per-process thread id
   int32_t depth = 0;      ///< nesting depth on its thread at start
+  int32_t pid = 1;        ///< Chrome-trace lane; coordinator maps shards here
+  uint64_t trace_id = 0;  ///< distributed trace id; 0 = untraced local span
+};
+
+/// \brief Distributed trace context: the coordinator-assigned 64-bit trace id
+/// plus the parent span id, propagated to shards via the wire protocol.
+///
+/// A thread-local "current" context is installed with ScopedTraceContext;
+/// TraceSpan stamps it onto every event it records, so shard-side spans (and
+/// query-log records) carry the coordinator's ids without any per-span plumbing.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// The calling thread's current trace context ({0,0} when none installed).
+TraceContext CurrentTraceContext();
+
+/// RAII installer for the thread-local trace context; restores the previous
+/// context on destruction so contexts nest (coordinator inside a traced
+/// client statement keeps the outermost ids).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
 };
 
 /// \brief Process-wide trace sink.
@@ -61,6 +94,12 @@ class TraceCollector {
   /// Copies out every recorded event, ordered by start time.
   std::vector<TraceEvent> Snapshot() const;
 
+  /// Events stamped with `trace_id` that started at or after `min_start_us`,
+  /// ordered by start time. Shard servers use this to extract exactly the
+  /// spans of one traced statement for the wire trailer.
+  std::vector<TraceEvent> SnapshotTrace(uint64_t trace_id,
+                                        int64_t min_start_us = 0) const;
+
   /// Total recorded events across all thread buffers.
   int64_t EventCount() const;
 
@@ -70,6 +109,11 @@ class TraceCollector {
 
   /// Chrome trace-event JSON as a string (testing / embedding).
   std::string ToChromeTraceJson() const;
+
+  /// Chrome trace-event JSON for an explicit event list. Honors each event's
+  /// `pid`, so a coordinator can merge shard-shipped spans into one file with
+  /// one lane per shard (see Coordinator::WriteClusterTrace).
+  static std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
 
   /// Aggregated per-span-name {"count", "total_us"} JSON object, for
   /// embedding a compact trace summary into bench result files.

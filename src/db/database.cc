@@ -391,6 +391,16 @@ Result<Table> Database::ExecuteStatementRecorded(const Statement& stmt,
   rec.spill_partitions = tally.spill_partitions;
   rec.end_micros = TraceCollector::NowMicros();
   rec.lock_wait_us = hints.lock_wait_us;
+  // Distributed trace stamp: the wire header wins; otherwise inherit the
+  // thread's scoped context so embedded use under ScopedTraceContext tags too.
+  if (hints.trace_id != 0) {
+    rec.trace_id = hints.trace_id;
+    rec.parent_span_id = hints.parent_span_id;
+  } else {
+    const TraceContext ctx = CurrentTraceContext();
+    rec.trace_id = ctx.trace_id;
+    rec.parent_span_id = ctx.parent_span_id;
+  }
   if (profile) {
     // CPU = this thread's execution time plus pool-morsel time the pool
     // credited back to this thread; with parallel morsels the sum can
@@ -427,6 +437,7 @@ Result<Table> Database::ExecuteStatementRecorded(const Statement& stmt,
     h_billed->Record(rec.billed_batch_us);
   }
   query_log_->Record(rec);
+  if (hints.record_out != nullptr) *hints.record_out = rec;
 
   const double threshold_ms = slow_query_ms_.load(std::memory_order_relaxed);
   const double duration_ms = static_cast<double>(duration_us) / 1000.0;

@@ -105,6 +105,15 @@ struct QueryRecordHints {
   /// (falls back to MemTracker::Process() when null). Not owned; must stay
   /// alive for the duration of the call.
   MemTracker* session_mem = nullptr;
+  /// Distributed trace context propagated from the coordinator (".trace"
+  /// wire header); zeros for untraced statements.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  /// When non-null, receives a copy of the query-log record for this
+  /// statement (so a shard server can ship the profile back in the wire
+  /// trailer without re-scanning the ring). Untouched when introspection is
+  /// off or the statement fails before recording.
+  QueryLogRecord* record_out = nullptr;
 };
 
 /// \brief An embedded, in-memory, columnar SQL engine.

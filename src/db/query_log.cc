@@ -23,6 +23,19 @@ const char* QueryKindName(QueryKind kind) {
   return "other";
 }
 
+const char* DistStrategyLabel(uint8_t code) {
+  switch (code) {
+    case 1:
+      return "pushdown";
+    case 2:
+      return "merge_aggregate";
+    case 3:
+      return "fallback";
+    default:
+      return "";
+  }
+}
+
 namespace {
 
 /// Stores `text` (truncated with "..." past `cap`) into an atomic<char>
@@ -87,6 +100,13 @@ struct QueryLog::Slot {
   std::atomic<int64_t> mem_cumulative_bytes{0};
   std::atomic<int64_t> spill_bytes{0};
   std::atomic<int64_t> spill_partitions{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint64_t> parent_span_id{0};
+  std::atomic<int64_t> dist_shards{0};
+  std::atomic<int64_t> dist_slowest_shard{-1};
+  std::atomic<int64_t> dist_slowest_us{0};
+  std::atomic<int64_t> dist_merge_us{0};
+  std::atomic<uint8_t> dist_strategy{0};
   std::atomic<uint16_t> sql_len{0};
   std::atomic<uint16_t> error_len{0};
   std::atomic<uint8_t> kind{0};
@@ -138,6 +158,15 @@ void QueryLog::Record(const QueryLogRecord& record) {
   slot.spill_bytes.store(record.spill_bytes, std::memory_order_relaxed);
   slot.spill_partitions.store(record.spill_partitions,
                               std::memory_order_relaxed);
+  slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
+  slot.parent_span_id.store(record.parent_span_id, std::memory_order_relaxed);
+  slot.dist_shards.store(record.dist_shards, std::memory_order_relaxed);
+  slot.dist_slowest_shard.store(record.dist_slowest_shard,
+                                std::memory_order_relaxed);
+  slot.dist_slowest_us.store(record.dist_slowest_us,
+                             std::memory_order_relaxed);
+  slot.dist_merge_us.store(record.dist_merge_us, std::memory_order_relaxed);
+  slot.dist_strategy.store(record.dist_strategy, std::memory_order_relaxed);
   slot.sql_len.store(StoreText(slot.sql, record.sql),
                      std::memory_order_relaxed);
   slot.error_len.store(StoreText(slot.error, record.error),
@@ -182,6 +211,14 @@ std::vector<QueryLogRecord> QueryLog::Snapshot() const {
     r.spill_bytes = slot.spill_bytes.load(std::memory_order_relaxed);
     r.spill_partitions =
         slot.spill_partitions.load(std::memory_order_relaxed);
+    r.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    r.parent_span_id = slot.parent_span_id.load(std::memory_order_relaxed);
+    r.dist_shards = slot.dist_shards.load(std::memory_order_relaxed);
+    r.dist_slowest_shard =
+        slot.dist_slowest_shard.load(std::memory_order_relaxed);
+    r.dist_slowest_us = slot.dist_slowest_us.load(std::memory_order_relaxed);
+    r.dist_merge_us = slot.dist_merge_us.load(std::memory_order_relaxed);
+    r.dist_strategy = slot.dist_strategy.load(std::memory_order_relaxed);
     r.sql = LoadText(slot.sql, slot.sql_len.load(std::memory_order_relaxed));
     r.error =
         LoadText(slot.error, slot.error_len.load(std::memory_order_relaxed));

@@ -34,6 +34,12 @@ enum class QueryKind : uint8_t {
 
 const char* QueryKindName(QueryKind kind);
 
+/// Distributed-strategy code recorded by a coordinator (0 on plain shards
+/// and embedded use). Codes mirror cluster::DistStrategy; the label mapping
+/// lives here so system.queries can render it without a cluster dependency.
+/// 0 = "" (not distributed), 1 = pushdown, 2 = merge_aggregate, 3 = fallback.
+const char* DistStrategyLabel(uint8_t code);
+
 /// One finished query, copied out of the ring.
 struct QueryLogRecord {
   int64_t id = 0;           ///< monotonically increasing finish sequence
@@ -62,6 +68,16 @@ struct QueryLogRecord {
   int64_t mem_cumulative_bytes = 0;  ///< total bytes ever charged to it
   int64_t spill_bytes = 0;  ///< logical bytes written to spill partitions
   int64_t spill_partitions = 0;  ///< non-empty spill partition runs
+  /// @}
+  /// \name Distributed tracing / scatter-gather attribution
+  /// @{
+  uint64_t trace_id = 0;       ///< coordinator-assigned id; 0 = untraced
+  uint64_t parent_span_id = 0;  ///< parent span on the coordinator; 0 = root
+  uint8_t dist_strategy = 0;   ///< see DistStrategyLabel(); 0 on shards
+  int64_t dist_shards = 0;      ///< shards the statement touched
+  int64_t dist_slowest_shard = -1;  ///< index of the straggler; -1 = n/a
+  int64_t dist_slowest_us = 0;  ///< straggler's shard-side wall time
+  int64_t dist_merge_us = 0;    ///< coordinator-side merge/concat time
   /// @}
 };
 

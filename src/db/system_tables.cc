@@ -1,5 +1,6 @@
 #include "db/system_tables.h"
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +49,16 @@ Result<TablePtr> MaterializeMetrics(const TableSchema& schema) {
 
 // ---------------------------------------------------------- system.queries
 
+/// 16-digit lower-case hex of a distributed trace/span id; "" for 0 so
+/// untraced rows stay visibly blank.
+std::string TraceIdHex(uint64_t id) {
+  if (id == 0) return std::string();
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
 Result<TablePtr> MaterializeQueries(Database* db, const TableSchema& schema) {
   auto t = std::make_shared<Table>(Table{schema});
   QueryLog* log = db->query_log();
@@ -69,6 +80,12 @@ Result<TablePtr> MaterializeQueries(Database* db, const TableSchema& schema) {
         Value::Int(r.operator_rows),
         Value::Int(r.vector_batches),
         Value::Int(r.end_micros),
+        Value::String(TraceIdHex(r.trace_id)),
+        Value::String(DistStrategyLabel(r.dist_strategy)),
+        Value::Int(r.dist_shards),
+        Value::Int(r.dist_slowest_shard),
+        Value::Float(static_cast<double>(r.dist_slowest_us) / 1000.0),
+        Value::Float(static_cast<double>(r.dist_merge_us) / 1000.0),
     }));
   }
   return t;
@@ -202,7 +219,13 @@ void RegisterDatabaseSystemTables(Database* db) {
                               {"peak_operator_bytes", DataType::kInt64},
                               {"operator_rows", DataType::kInt64},
                               {"vector_batches", DataType::kInt64},
-                              {"end_micros", DataType::kInt64}});
+                              {"end_micros", DataType::kInt64},
+                              {"trace_id", DataType::kString},
+                              {"dist_strategy", DataType::kString},
+                              {"dist_shards", DataType::kInt64},
+                              {"dist_slowest_shard", DataType::kInt64},
+                              {"dist_slowest_ms", DataType::kFloat64},
+                              {"dist_merge_ms", DataType::kFloat64}});
   DL2SQL_CHECK(catalog
                    .RegisterVirtualTable(std::make_shared<CallbackVirtualTable>(
                        "system.queries", std::move(queries_schema),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <variant>
 
@@ -106,6 +107,17 @@ std::shared_ptr<Session> QueryService::CreateSession() {
 
 Result<db::Table> QueryService::Execute(const std::string& sql,
                                         Session* session) {
+  return Execute(sql, session, TraceContext{}, nullptr);
+}
+
+Result<db::Table> QueryService::Execute(const std::string& sql,
+                                        Session* session,
+                                        const TraceContext& trace,
+                                        db::QueryLogRecord* record_out) {
+  // Installed before the first span so every span this statement records
+  // (server + engine) is stamped with the propagated trace id.
+  std::optional<ScopedTraceContext> scoped;
+  if (trace.active()) scoped.emplace(trace);
   DL2SQL_TRACE_SPAN("server", "request");
   const ServiceMetrics& m = ServiceMetrics::Get();
   m.requests->Increment();
@@ -121,6 +133,9 @@ Result<db::Table> QueryService::Execute(const std::string& sql,
   hints.session_id = static_cast<int64_t>(session->id());
   hints.session_mem = session->mem_tracker();
   hints.admission_wait_us = wait_watch.ElapsedMicros();
+  hints.trace_id = trace.trace_id;
+  hints.parent_span_id = trace.parent_span_id;
+  hints.record_out = record_out;
 
   Stopwatch exec_watch;
   DistributedExecutor* const dist =
@@ -182,6 +197,14 @@ Status QueryService::ExecuteScript(const std::string& script) {
 
 Result<db::Table> Session::Execute(const std::string& sql) {
   auto result = service_->Execute(sql, this);
+  (result.ok() ? ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<db::Table> Session::ExecuteTraced(const std::string& sql,
+                                         const TraceContext& trace,
+                                         db::QueryLogRecord* record_out) {
+  auto result = service_->Execute(sql, this, trace, record_out);
   (result.ok() ? ok_ : failed_).fetch_add(1, std::memory_order_relaxed);
   return result;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "db/database.h"
 #include "server/admission.h"
 #include "server/coalescer.h"
@@ -72,6 +73,35 @@ class DistributedExecutor {
   virtual Result<db::Table> Execute(const db::Statement& stmt,
                                     const std::string& sql,
                                     const db::QueryRecordHints& hints) = 0;
+
+  /// \name Distributed observability hooks (defaults keep single-node
+  /// servers working unchanged).
+  /// @{
+
+  /// Extra Prometheus exposition lines appended to the local /metrics body:
+  /// shard-labeled series scraped from each shard's MetricsRegistry plus the
+  /// coordinator's per-shard client counters. Best effort — unreachable
+  /// shards are skipped. Empty for non-cluster executors.
+  virtual std::string FederatedMetricsText() { return std::string(); }
+
+  /// Writes one Chrome-trace file for the last traced distributed query,
+  /// one lane (pid) per shard. Default: the local collector's trace.
+  virtual Status WriteClusterTrace(const std::string& path) {
+    return TraceCollector::Global().WriteChromeTrace(path);
+  }
+
+  /// EXPLAIN ANALYZE for a handled statement: runs it and renders the
+  /// distributed plan with a per-shard footer (strategy, per-shard
+  /// latency/rows/bytes, merge cost, slowest shard).
+  virtual Result<std::string> ExplainAnalyze(const db::Statement& stmt,
+                                             const std::string& sql) {
+    (void)stmt;
+    (void)sql;
+    return Status::InvalidArgument(
+        "distributed EXPLAIN ANALYZE is not supported by this executor");
+  }
+
+  /// @}
 };
 
 /// \brief Owns the serving state for one Database. Create one QueryService,
@@ -115,6 +145,14 @@ class QueryService {
   /// as QueryRecordHints.
   Result<db::Table> Execute(const std::string& sql, Session* session);
 
+  /// Same path with a propagated distributed trace context (installed as the
+  /// thread's scoped context so spans and the query-log record carry the
+  /// coordinator's ids) and an optional query-log record copy-out for the
+  /// wire trailer.
+  Result<db::Table> Execute(const std::string& sql, Session* session,
+                            const TraceContext& trace,
+                            db::QueryLogRecord* record_out);
+
   /// Whole scripts take the exclusive lock once (DDL/DML heavy by nature).
   Status ExecuteScript(const std::string& script);
 
@@ -152,6 +190,13 @@ class Session {
 
   /// Executes one SQL statement through the service.
   Result<db::Table> Execute(const std::string& sql);
+
+  /// Executes one statement under a propagated trace context (".trace" wire
+  /// header); `record_out` (optional) receives the statement's query-log
+  /// record for the response trailer.
+  Result<db::Table> ExecuteTraced(const std::string& sql,
+                                  const TraceContext& trace,
+                                  db::QueryLogRecord* record_out);
 
   /// Executes a ';'-separated script under one exclusive lock.
   Status ExecuteScript(const std::string& script);

@@ -8,11 +8,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace dl2sql::server {
 
@@ -31,9 +33,12 @@ bool SendAll(int fd, const std::string& data) {
 
 /// One-shot HTTP for plain "GET <path> HTTP/1.x" request lines on the SQL
 /// port. /metrics answers with the Prometheus text exposition of the global
-/// registry; everything else is a 404. The response always closes the
-/// connection, so trailing request headers can be ignored.
-std::string HttpResponseFor(const std::string& request_line) {
+/// registry — on a coordinator the distributed executor appends shard-labeled
+/// series federated from each shard (best effort). Everything else is a 404.
+/// The response always closes the connection, so trailing request headers can
+/// be ignored.
+std::string HttpResponseFor(const std::string& request_line,
+                            QueryService* service) {
   std::string path = Trim(request_line.substr(4));
   const size_t space = path.find(' ');
   if (space != std::string::npos) path = path.substr(0, space);
@@ -45,6 +50,9 @@ std::string HttpResponseFor(const std::string& request_line) {
     status = "200 OK";
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = MetricsRegistry::ToPrometheusText(MetricsRegistry::Global().Snapshot());
+    if (DistributedExecutor* dist = service->distributed_executor()) {
+      body += dist->FederatedMetricsText();
+    }
   } else {
     status = "404 Not Found";
     content_type = "text/plain; charset=utf-8";
@@ -58,6 +66,56 @@ std::string HttpResponseFor(const std::string& request_line) {
   out += "Connection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+/// Executes a ".trace"-headed statement (coordinator traffic) and frames the
+/// response with the profile/span trailer the coordinator folds into its
+/// cross-node timeline. Span shipping needs the local collector enabled
+/// (DL2SQL_TRACE=on); the profile line ships whenever introspection is on.
+std::string ServeTracedStatement(Session* session, uint64_t trace_id,
+                                 uint64_t parent_span_id,
+                                 const std::string& sql) {
+  const int64_t stmt_start_us = TraceCollector::NowMicros();
+  db::QueryLogRecord rec;
+  auto result = session->ExecuteTraced(
+      sql, TraceContext{trace_id, parent_span_id}, &rec);
+  if (!result.ok()) return FormatErrorResponse(result.status());
+
+  const std::string body =
+      RenderTable(*result, session->settings().format,
+                  session->settings().render_max_rows);
+  std::vector<std::vector<std::string>> meta;
+  WireProfile prof;
+  prof.rows = result->num_rows();
+  prof.bytes = static_cast<int64_t>(body.size());
+  prof.duration_us = rec.duration_us;
+  prof.cpu_us = rec.cpu_us;
+  prof.admission_wait_us = rec.admission_wait_us;
+  prof.lock_wait_us = rec.lock_wait_us;
+  prof.pool_queue_wait_us = rec.pool_queue_wait_us;
+  prof.mem_peak_bytes = rec.mem_peak_bytes;
+  prof.spill_bytes = rec.spill_bytes;
+  prof.spill_partitions = rec.spill_partitions;
+  prof.neural_calls = rec.neural_calls;
+  meta.push_back(ProfileMetaFields(prof));
+
+  TraceCollector& collector = TraceCollector::Global();
+  if (collector.enabled()) {
+    // Spans ship with start times relative to the statement start; the
+    // coordinator rebases them onto its own clock (trace epochs are
+    // per-process). Cap the trailer so a pathological span storm cannot
+    // balloon the frame.
+    constexpr size_t kMaxShippedSpans = 1024;
+    std::vector<TraceEvent> spans =
+        collector.SnapshotTrace(trace_id, stmt_start_us);
+    if (spans.size() > kMaxShippedSpans) spans.resize(kMaxShippedSpans);
+    for (TraceEvent& e : spans) {
+      e.start_us -= stmt_start_us;
+      meta.push_back(SpanMetaFields(e));
+    }
+  }
+  return FrameOkBodyWithTrailer(result->num_rows(), result->num_columns(),
+                                body, meta);
 }
 
 }  // namespace
@@ -165,7 +223,7 @@ void TcpServer::ServeConnection(int fd) {
       if (StartsWith(line, "GET ")) {
         // A curl/Prometheus scrape landed on the SQL port: answer the one
         // request over HTTP and close, ignoring the remaining headers.
-        SendAll(fd, HttpResponseFor(line));
+        SendAll(fd, HttpResponseFor(line, service_));
         open = false;
         break;
       }
@@ -207,6 +265,62 @@ void TcpServer::ServeConnection(int fd) {
                       ? FormatOkResponse(*result, session->settings().format,
                                          session->settings().render_max_rows)
                       : FormatErrorResponse(result.status()));
+          continue;
+        }
+        {
+          // ".trace <id> <parent> <sql>": a coordinator-propagated statement.
+          uint64_t trace_id = 0;
+          uint64_t parent_span_id = 0;
+          std::string traced_sql;
+          if (ParseTraceStatement(line, &trace_id, &parent_span_id,
+                                  &traced_sql)) {
+            open = SendAll(fd, ServeTracedStatement(session.get(), trace_id,
+                                                    parent_span_id,
+                                                    traced_sql));
+            continue;
+          }
+        }
+        if (StartsWith(line, ".analyze ")) {
+          // EXPLAIN ANALYZE; statements on sharded tables route through the
+          // distributed executor, which appends the per-shard footer.
+          const std::string sql = Trim(line.substr(9));
+          auto text = [&]() -> Result<std::string> {
+            DL2SQL_ASSIGN_OR_RETURN(db::Statement stmt,
+                                    db::sql::ParseStatement(sql));
+            DistributedExecutor* const dist = service_->distributed_executor();
+            if (dist != nullptr && dist->Handles(stmt)) {
+              return dist->ExplainAnalyze(stmt, sql);
+            }
+            return service_->database()->ExplainAnalyze(sql);
+          }();
+          if (!text.ok()) {
+            open = SendAll(fd, FormatErrorResponse(text.status()));
+            continue;
+          }
+          db::TableSchema schema({{"plan", db::DataType::kString}});
+          db::Table plan_table{schema};
+          Status st = Status::OK();
+          std::istringstream lines_in(*text);
+          for (std::string plan_line; std::getline(lines_in, plan_line);) {
+            st = plan_table.AppendRow({db::Value::String(plan_line)});
+            if (!st.ok()) break;
+          }
+          open = SendAll(
+              fd, st.ok() ? FormatOkResponse(plan_table,
+                                             session->settings().format, -1)
+                          : FormatErrorResponse(st));
+          continue;
+        }
+        if (StartsWith(line, ".ctrace ")) {
+          // Writes the (cluster-merged, on a coordinator) Chrome trace file.
+          const std::string path = Trim(line.substr(8));
+          DistributedExecutor* const dist = service_->distributed_executor();
+          const Status st =
+              dist != nullptr
+                  ? dist->WriteClusterTrace(path)
+                  : TraceCollector::Global().WriteChromeTrace(path);
+          open = SendAll(fd, st.ok() ? "OK 0 0\nEND\n"
+                                     : FormatErrorResponse(st));
           continue;
         }
         if (StartsWith(line, ".format ")) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/string_util.h"
 #include "db/value.h"
@@ -164,9 +165,30 @@ std::string RenderTable(const db::Table& table, OutputFormat format,
 
 std::string FormatOkResponse(const db::Table& table, OutputFormat format,
                              int64_t max_rows) {
-  std::string out = "OK " + std::to_string(table.num_rows()) + " " +
-                    std::to_string(table.num_columns()) + "\n";
-  out += RenderTable(table, format, max_rows);
+  return FormatOkResponseWithTrailer(table, format, max_rows, {});
+}
+
+std::string FormatOkResponseWithTrailer(
+    const db::Table& table, OutputFormat format, int64_t max_rows,
+    const std::vector<std::vector<std::string>>& meta) {
+  return FrameOkBodyWithTrailer(table.num_rows(), table.num_columns(),
+                                RenderTable(table, format, max_rows), meta);
+}
+
+std::string FrameOkBodyWithTrailer(
+    int64_t rows, int64_t cols, const std::string& body,
+    const std::vector<std::vector<std::string>>& meta) {
+  std::string out =
+      "OK " + std::to_string(rows) + " " + std::to_string(cols) + "\n";
+  out += body;
+  for (const std::vector<std::string>& fields : meta) {
+    out += "META";
+    for (const std::string& f : fields) {
+      out += '\t';
+      out += EscapeTsv(f);
+    }
+    out += '\n';
+  }
   out += "END\n";
   return out;
 }
@@ -177,6 +199,99 @@ std::string FormatErrorResponse(const Status& status) {
     if (c == '\n' || c == '\r') c = ' ';
   }
   return "ERR " + msg + "\nEND\n";
+}
+
+std::string FormatTraceStatement(uint64_t trace_id, uint64_t parent_span_id,
+                                 const std::string& sql) {
+  char head[48];
+  std::snprintf(head, sizeof(head), ".trace %016llx %016llx ",
+                static_cast<unsigned long long>(trace_id),
+                static_cast<unsigned long long>(parent_span_id));
+  return head + sql;
+}
+
+bool ParseTraceStatement(const std::string& line, uint64_t* trace_id,
+                         uint64_t* parent_span_id, std::string* sql) {
+  constexpr const char kPrefix[] = ".trace ";
+  if (line.rfind(kPrefix, 0) != 0) return false;
+  const char* p = line.c_str() + sizeof(kPrefix) - 1;
+  char* end = nullptr;
+  const unsigned long long tid = std::strtoull(p, &end, 16);
+  if (end == p || *end != ' ') return false;
+  p = end + 1;
+  const unsigned long long span = std::strtoull(p, &end, 16);
+  if (end == p || *end != ' ') return false;
+  *trace_id = tid;
+  *parent_span_id = span;
+  *sql = std::string(end + 1);
+  return !sql->empty() && tid != 0;
+}
+
+std::vector<std::string> SpanMetaFields(const TraceEvent& event) {
+  return {"span",
+          event.name,
+          event.category,
+          std::to_string(event.start_us),
+          std::to_string(event.duration_us),
+          std::to_string(event.tid),
+          std::to_string(event.depth),
+          event.args};
+}
+
+bool ParseSpanMeta(const std::vector<std::string>& fields, TraceEvent* out) {
+  if (fields.size() != 8 || fields[0] != "span") return false;
+  out->name = fields[1];
+  // `category` is a stable C string in local spans; shipped spans always
+  // render as remote work on the coordinator's timeline.
+  out->category = "shard";
+  if (!fields[2].empty()) {
+    out->args = "\"shard_cat\":\"" + fields[2] + "\"";
+  }
+  char* end = nullptr;
+  out->start_us = std::strtoll(fields[3].c_str(), &end, 10);
+  out->duration_us = std::strtoll(fields[4].c_str(), &end, 10);
+  out->tid = static_cast<int32_t>(std::strtol(fields[5].c_str(), &end, 10));
+  out->depth = static_cast<int32_t>(std::strtol(fields[6].c_str(), &end, 10));
+  if (!fields[7].empty()) {
+    if (!out->args.empty()) out->args += ",";
+    out->args += fields[7];
+  }
+  return true;
+}
+
+std::vector<std::string> ProfileMetaFields(const WireProfile& profile) {
+  return {"profile",
+          std::to_string(profile.rows),
+          std::to_string(profile.bytes),
+          std::to_string(profile.duration_us),
+          std::to_string(profile.cpu_us),
+          std::to_string(profile.admission_wait_us),
+          std::to_string(profile.lock_wait_us),
+          std::to_string(profile.pool_queue_wait_us),
+          std::to_string(profile.mem_peak_bytes),
+          std::to_string(profile.spill_bytes),
+          std::to_string(profile.spill_partitions),
+          std::to_string(profile.neural_calls)};
+}
+
+bool ParseProfileMeta(const std::vector<std::string>& fields,
+                      WireProfile* out) {
+  if (fields.size() != 12 || fields[0] != "profile") return false;
+  int64_t* slots[] = {&out->rows,
+                      &out->bytes,
+                      &out->duration_us,
+                      &out->cpu_us,
+                      &out->admission_wait_us,
+                      &out->lock_wait_us,
+                      &out->pool_queue_wait_us,
+                      &out->mem_peak_bytes,
+                      &out->spill_bytes,
+                      &out->spill_partitions,
+                      &out->neural_calls};
+  for (size_t i = 0; i < 11; ++i) {
+    *slots[i] = std::strtoll(fields[i + 1].c_str(), nullptr, 10);
+  }
+  return true;
 }
 
 std::string UnescapeTsv(const std::string& s) {
@@ -254,6 +369,7 @@ Result<WireResponse> ParseWireResponse(const std::string& framed) {
     const std::string payload = head.substr(4);
     const size_t colon = payload.find(": ");
     WireResponse out;
+    out.wire_bytes = static_cast<int64_t>(framed.size());
     if (colon == std::string::npos) {
       out.error = Status(StatusCode::kInternalError, payload);
     } else {
@@ -275,10 +391,23 @@ Result<WireResponse> ParseWireResponse(const std::string& framed) {
   }
   WireResponse out;
   out.rows = rows;
-  if (cols == 0) {
-    if (lines.size() != 1) {
-      return Status::ParseError("zero-column frame has a body");
+  out.wire_bytes = static_cast<int64_t>(framed.size());
+  // Trailer lines follow the body and are recognized positionally (only
+  // after the OK line's `rows` body rows), so a data row whose first cell
+  // happens to be "META" still parses as a row.
+  const auto parse_meta_tail = [&](size_t first) -> Status {
+    for (size_t i = first; i < lines.size(); ++i) {
+      if (lines[i].rfind("META\t", 0) != 0) {
+        return Status::ParseError("unexpected frame line after body: '",
+                                  lines[i], "'");
+      }
+      out.meta.push_back(SplitTabs(lines[i].substr(5)));
     }
+    return Status::OK();
+  };
+  if (cols == 0) {
+    const Status meta_status = parse_meta_tail(1);
+    if (!meta_status.ok()) return meta_status;
     return out;
   }
   if (lines.size() < 2) {
@@ -289,8 +418,10 @@ Result<WireResponse> ParseWireResponse(const std::string& framed) {
     return Status::ParseError("frame header has ", out.columns.size(),
                               " columns, OK line says ", cols);
   }
-  out.cells.reserve(lines.size() - 2);
-  for (size_t i = 2; i < lines.size(); ++i) {
+  const size_t body_end =
+      std::min(lines.size(), 2 + static_cast<size_t>(rows));
+  out.cells.reserve(body_end - 2);
+  for (size_t i = 2; i < body_end; ++i) {
     std::vector<std::string> row = SplitTabs(lines[i]);
     if (static_cast<int64_t>(row.size()) != cols) {
       return Status::ParseError("frame row ", i - 2, " has ", row.size(),
@@ -298,6 +429,8 @@ Result<WireResponse> ParseWireResponse(const std::string& framed) {
     }
     out.cells.push_back(std::move(row));
   }
+  const Status meta_status = parse_meta_tail(body_end);
+  if (!meta_status.ok()) return meta_status;
   // Row counts can disagree only when the sender truncated rendering
   // (.maxrows); shard traffic never does, so treat it as malformed.
   if (static_cast<int64_t>(out.cells.size()) != rows) {

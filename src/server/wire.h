@@ -18,6 +18,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "db/table.h"
 
 namespace dl2sql::server {
@@ -37,8 +38,64 @@ std::string RenderTable(const db::Table& table, OutputFormat format,
 std::string FormatOkResponse(const db::Table& table, OutputFormat format,
                              int64_t max_rows = -1);
 
+/// Like FormatOkResponse, with trailer lines ("META\t<field>...") between the
+/// body and END. Emitted only for trace-headed statements, so plain clients
+/// never see trailers; field values are TSV-escaped, so a trailer line can
+/// never contain the "\nEND\n" terminator.
+std::string FormatOkResponseWithTrailer(
+    const db::Table& table, OutputFormat format, int64_t max_rows,
+    const std::vector<std::vector<std::string>>& meta);
+
+/// Frames an already-rendered body (RenderTable output) with trailer lines —
+/// lets the server measure the shipped body bytes without rendering twice.
+std::string FrameOkBodyWithTrailer(
+    int64_t rows, int64_t cols, const std::string& body,
+    const std::vector<std::vector<std::string>>& meta);
+
 /// Full framed error response. Must be called with a non-OK status.
 std::string FormatErrorResponse(const Status& status);
+
+/// \name Distributed trace propagation (coordinator -> shard)
+/// @{
+
+/// A shard statement line carrying the coordinator's trace context:
+/// ".trace <trace_id hex> <parent_span_id hex> <sql>". One line, one round
+/// trip; shards without the extension reject it as an unknown dot-command.
+std::string FormatTraceStatement(uint64_t trace_id, uint64_t parent_span_id,
+                                 const std::string& sql);
+
+/// Parses a ".trace"-headed statement line. Returns false when `line` does
+/// not start with ".trace " or the header is malformed.
+bool ParseTraceStatement(const std::string& line, uint64_t* trace_id,
+                         uint64_t* parent_span_id, std::string* sql);
+
+/// Trailer line kinds shipped by a traced shard statement. A span meta line
+/// carries one TraceEvent with `start_us` rebased to the statement start (the
+/// coordinator re-rebases onto its own clock); a profile meta line carries
+/// the statement's query-profile slot.
+std::vector<std::string> SpanMetaFields(const TraceEvent& event);
+bool ParseSpanMeta(const std::vector<std::string>& fields, TraceEvent* out);
+
+/// Shard-side per-statement profile (the query-log record counters that
+/// matter for cross-node cost attribution), shipped in the trailer.
+struct WireProfile {
+  int64_t rows = 0;            ///< result rows produced by the shard
+  int64_t bytes = 0;           ///< response body bytes shipped back
+  int64_t duration_us = 0;
+  int64_t cpu_us = 0;
+  int64_t admission_wait_us = 0;
+  int64_t lock_wait_us = 0;
+  int64_t pool_queue_wait_us = 0;
+  int64_t mem_peak_bytes = 0;
+  int64_t spill_bytes = 0;
+  int64_t spill_partitions = 0;
+  int64_t neural_calls = 0;
+};
+std::vector<std::string> ProfileMetaFields(const WireProfile& profile);
+bool ParseProfileMeta(const std::vector<std::string>& fields,
+                      WireProfile* out);
+
+/// @}
 
 /// \name Client-side frame parsing (ShardClient, tooling)
 /// @{
@@ -56,6 +113,11 @@ struct WireResponse {
   int64_t rows = 0;
   std::vector<std::string> columns;
   std::vector<std::vector<std::string>> cells;
+  /// Trailer lines (unescaped fields), present only on traced statements.
+  std::vector<std::vector<std::string>> meta;
+  /// Raw size of the parsed frame — the exact bytes this response cost on
+  /// the wire (per-shard transfer accounting).
+  int64_t wire_bytes = 0;
 };
 
 /// Bytes of the complete framed response at the start of `buffer` (through

@@ -1,0 +1,312 @@
+/// \file cluster_trace_test.cc
+/// \brief Distributed observability end-to-end: trace-context propagation
+/// over the live wire (one trace id across coordinator and shard query
+/// logs), span/profile trailer shipping into one cluster Chrome trace with a
+/// lane per shard, federated /metrics text, the distributed EXPLAIN ANALYZE
+/// footer, and dead-shard degradation to a partial (never failing) trace.
+/// The "cluster"/"trace" name keeps this binary in the TSAN-pinned CI pass.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "common/trace.h"
+#include "db/database.h"
+#include "db/query_log.h"
+#include "db/sql/parser.h"
+#include "server/session.h"
+#include "server/tcp_server.h"
+
+namespace dl2sql::cluster {
+namespace {
+
+/// Enables runtime tracing for one test and restores the disabled default
+/// (the collector is process-global; leaking "enabled" would couple tests).
+struct ScopedTracing {
+  ScopedTracing() {
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().SetEnabled(true);
+  }
+  ~ScopedTracing() {
+    TraceCollector::Global().SetEnabled(false);
+    TraceCollector::Global().Clear();
+  }
+};
+
+struct ShardProc {
+  std::unique_ptr<db::Database> db = std::make_unique<db::Database>();
+  std::unique_ptr<server::QueryService> service;
+  std::unique_ptr<server::TcpServer> tcp;
+};
+
+class ClusterTraceTest : public ::testing::Test {
+ protected:
+  void StartCluster(int num_shards) {
+    std::vector<ShardEndpoint> endpoints;
+    for (int s = 0; s < num_shards; ++s) {
+      auto shard = std::make_unique<ShardProc>();
+      shard->service = std::make_unique<server::QueryService>(
+          shard->db.get(), server::ServiceOptions{});
+      shard->tcp = std::make_unique<server::TcpServer>(
+          shard->service.get(), server::TcpServerOptions{});
+      ASSERT_TRUE(shard->tcp->Start().ok());
+      endpoints.push_back({"127.0.0.1", shard->tcp->port()});
+      shards_.push_back(std::move(shard));
+    }
+    service_ = std::make_unique<server::QueryService>(&co_db_,
+                                                      server::ServiceOptions{});
+    ShardClientOptions opts;
+    opts.connect_retry_ms = 500;
+    opts.statement_timeout_ms = 10000;
+    coordinator_ = std::make_unique<Coordinator>(&co_db_, std::move(endpoints),
+                                                 opts);
+    service_->set_distributed_executor(coordinator_.get());
+    session_ = service_->CreateSession();
+  }
+
+  void TearDown() override {
+    session_.reset();
+    if (service_ != nullptr) service_->set_distributed_executor(nullptr);
+    coordinator_.reset();
+    for (auto& shard : shards_) {
+      if (shard->tcp != nullptr) shard->tcp->Stop();
+    }
+  }
+
+  void LoadFrames(int64_t rows) {
+    ASSERT_TRUE(session_
+                    ->Execute("CREATE TABLE frames (id int64, seed int64) "
+                              "PARTITION BY HASH (id)")
+                    .ok());
+    std::string values;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (i > 0) values += ", ";
+      values += "(" + std::to_string(i) + ", " + std::to_string(i) + ")";
+    }
+    ASSERT_TRUE(session_->Execute("INSERT INTO frames VALUES " + values).ok());
+  }
+
+  /// Newest query-log record whose sql contains `needle`.
+  static bool FindRecord(db::Database* db, const std::string& needle,
+                         db::QueryLogRecord* out) {
+    db::QueryLog* log = db->query_log();
+    if (log == nullptr) return false;
+    bool found = false;
+    for (const db::QueryLogRecord& r : log->Snapshot()) {
+      if (r.sql.find(needle) != std::string::npos) {
+        *out = r;
+        found = true;
+      }
+    }
+    return found;
+  }
+
+  /// Any record stamped with `trace_id` (shard statements are planner
+  /// rewrites, so their sql text is not stable to match on).
+  static bool HasTraceId(db::Database* db, uint64_t trace_id) {
+    db::QueryLog* log = db->query_log();
+    if (log == nullptr) return false;
+    for (const db::QueryLogRecord& r : log->Snapshot()) {
+      if (r.trace_id == trace_id) return true;
+    }
+    return false;
+  }
+
+  std::vector<std::unique_ptr<ShardProc>> shards_;
+  db::Database co_db_;
+  std::unique_ptr<server::QueryService> service_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::shared_ptr<server::Session> session_;
+};
+
+TEST_F(ClusterTraceTest, DistributedQuerySharesOneTraceIdAcrossNodes) {
+  ScopedTracing tracing;
+  StartCluster(2);
+  LoadFrames(16);
+
+  auto result = session_->Execute("SELECT sum(seed) FROM frames");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  db::QueryLogRecord coord_rec;
+  ASSERT_TRUE(FindRecord(&co_db_, "sum(seed)", &coord_rec));
+  EXPECT_NE(coord_rec.trace_id, 0u);
+  EXPECT_EQ(coord_rec.dist_shards, 2);
+  EXPECT_GE(coord_rec.dist_slowest_shard, 0);
+  EXPECT_LE(coord_rec.dist_slowest_shard, 1);
+  EXPECT_GT(coord_rec.dist_slowest_us, 0);
+  // sum() over both shards re-merges partial aggregates.
+  EXPECT_STREQ(db::DistStrategyLabel(coord_rec.dist_strategy),
+               "merge_aggregate");
+
+  // Both shards executed the scattered statement under the coordinator's id.
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_TRUE(HasTraceId(shards_[s]->db.get(), coord_rec.trace_id))
+        << "shard " << s << " has no record with the coordinator's trace id";
+  }
+}
+
+TEST_F(ClusterTraceTest, ClusterTraceExportHasOneLanePerShard) {
+  ScopedTracing tracing;
+  StartCluster(2);
+  LoadFrames(16);
+  ASSERT_TRUE(session_->Execute("SELECT sum(seed) FROM frames").ok());
+
+  const std::string path =
+      ::testing::TempDir() + "/cluster_trace_test_export.json";
+  ASSERT_TRUE(coordinator_->WriteClusterTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::remove(path.c_str());
+
+  // Structural sanity: a traceEvents array, coordinator lane plus one lane
+  // per shard, and the distributed root span.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 64);
+  EXPECT_NE(json.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("distributed_query"), std::string::npos);
+  EXPECT_NE(json.find("shard 0 rpc"), std::string::npos);
+  EXPECT_NE(json.find("shard 1 rpc"), std::string::npos);
+
+  db::QueryLogRecord coord_rec;
+  ASSERT_TRUE(FindRecord(&co_db_, "sum(seed)", &coord_rec));
+  char trace_hex[24];
+  std::snprintf(trace_hex, sizeof(trace_hex), "%016llx",
+                static_cast<unsigned long long>(coord_rec.trace_id));
+  EXPECT_NE(json.find(trace_hex), std::string::npos)
+      << "export is missing the query's trace id";
+}
+
+TEST_F(ClusterTraceTest, FederatedMetricsLabelEachShard) {
+  StartCluster(2);
+  LoadFrames(8);
+  ASSERT_TRUE(session_->Execute("SELECT count(*) FROM frames").ok());
+
+  const std::string text = coordinator_->FederatedMetricsText();
+  EXPECT_NE(text.find("cluster_shard_client_statements{shard=\"0\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("cluster_shard_client_statements{shard=\"1\"} "),
+            std::string::npos);
+  // Shard-side registry series come through under sanitized names.
+  EXPECT_NE(text.find("{shard=\"0\"} "), std::string::npos);
+  EXPECT_NE(text.find("server_requests{shard=\"0\"} "), std::string::npos);
+
+  // The client-side counters also surface through system.shards.
+  auto shards_table = session_->Execute(
+      "SELECT shard, requests, bytes_sent, bytes_received, rows_shipped, "
+      "p95_latency_ms FROM system.shards ORDER BY shard");
+  ASSERT_TRUE(shards_table.ok()) << shards_table.status().ToString();
+  ASSERT_EQ(shards_table->num_rows(), 2);
+  for (int64_t r = 0; r < 2; ++r) {
+    const std::vector<db::Value> row = shards_table->GetRow(r);
+    EXPECT_GT(row[1].AsInt().ValueOr(0), 0) << "requests, shard " << r;
+    EXPECT_GT(row[2].AsInt().ValueOr(0), 0) << "bytes_sent, shard " << r;
+    EXPECT_GT(row[3].AsInt().ValueOr(0), 0) << "bytes_received, shard " << r;
+  }
+}
+
+TEST_F(ClusterTraceTest, ExplainAnalyzePrintsPerShardFooter) {
+  StartCluster(2);
+  LoadFrames(16);
+
+  auto stmt = db::sql::ParseStatement("SELECT id FROM frames ORDER BY id");
+  ASSERT_TRUE(stmt.ok());
+  auto text = coordinator_->ExplainAnalyze(
+      *stmt, "SELECT id FROM frames ORDER BY id");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("strategy=pushdown"), std::string::npos) << *text;
+  EXPECT_NE(text->find("shards=2/2"), std::string::npos) << *text;
+  EXPECT_NE(text->find("shard 0 (127.0.0.1:"), std::string::npos) << *text;
+  EXPECT_NE(text->find("shard 1 (127.0.0.1:"), std::string::npos) << *text;
+  EXPECT_NE(text->find("slowest: shard "), std::string::npos) << *text;
+  EXPECT_NE(text->find("merge="), std::string::npos) << *text;
+
+  // Non-SELECT statements are refused, not silently run.
+  auto ddl = db::sql::ParseStatement("DROP TABLE frames");
+  ASSERT_TRUE(ddl.ok());
+  EXPECT_FALSE(coordinator_->ExplainAnalyze(*ddl, "DROP TABLE frames").ok());
+}
+
+TEST_F(ClusterTraceTest, DeadShardDegradesToPartialObservability) {
+  ScopedTracing tracing;
+  StartCluster(2);
+  LoadFrames(16);
+  ASSERT_TRUE(session_->Execute("SELECT sum(seed) FROM frames").ok());
+
+  // Kill shard 1; observability must degrade to partial data, not errors.
+  shards_[1]->tcp->Stop();
+
+  const std::string metrics = coordinator_->FederatedMetricsText();
+  EXPECT_NE(metrics.find("cluster_shard_client_statements{shard=\"0\"} "),
+            std::string::npos);
+  EXPECT_NE(metrics.find("server_requests{shard=\"0\"} "), std::string::npos);
+  EXPECT_EQ(metrics.find("server_requests{shard=\"1\"} "), std::string::npos)
+      << "dead shard should be skipped, not scraped";
+
+  // Federated system tables skip the dead shard.
+  auto spans = session_->Execute(
+      "SELECT count(*) FROM system.spans WHERE shard = -1");
+  ASSERT_TRUE(spans.ok()) << spans.status().ToString();
+  EXPECT_GT(spans->GetRow(0)[0].AsInt().ValueOr(0), 0);
+
+  // The last trace still exports (it was shipped before the shard died).
+  const std::string path =
+      ::testing::TempDir() + "/cluster_trace_test_partial.json";
+  ASSERT_TRUE(coordinator_->WriteClusterTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+  EXPECT_NE(buf.str().find("\"pid\":3"), std::string::npos);
+}
+
+TEST_F(ClusterTraceTest, TracingOffShipsNoTrailerAndRecordsNoTraceId) {
+  // Collector stays at its disabled default: statements must cross the wire
+  // without a ".trace" header and without META trailer lines.
+  StartCluster(2);
+  LoadFrames(8);
+
+  auto result = session_->Execute("SELECT count(*) FROM frames");
+  ASSERT_TRUE(result.ok());
+
+  db::QueryLogRecord coord_rec;
+  ASSERT_TRUE(FindRecord(&co_db_, "count(*)", &coord_rec));
+  EXPECT_EQ(coord_rec.trace_id, 0u);
+  // Distributed bookkeeping still works untraced.
+  EXPECT_EQ(coord_rec.dist_shards, 2);
+  EXPECT_GE(coord_rec.dist_slowest_shard, 0);
+
+  for (int s = 0; s < 2; ++s) {
+    db::QueryLog* log = shards_[s]->db->query_log();
+    ASSERT_NE(log, nullptr);
+    for (const db::QueryLogRecord& r : log->Snapshot()) {
+      EXPECT_EQ(r.trace_id, 0u) << "shard " << s << " recorded a trace id "
+                                << "for untraced statement: " << r.sql;
+    }
+  }
+
+  // A raw untraced statement gets no trailer.
+  auto response = coordinator_->shard(0)->Execute("SELECT 1");
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->meta.empty());
+  EXPECT_GT(response->wire_bytes, 0);
+
+  // And a traced one does (profile line at minimum; spans need the collector).
+  TraceContext ctx{0x1234abcd, 0x1};
+  auto traced = coordinator_->shard(0)->Execute("SELECT 1", 0.0, &ctx);
+  ASSERT_TRUE(traced.ok());
+  EXPECT_FALSE(traced->meta.empty());
+}
+
+}  // namespace
+}  // namespace dl2sql::cluster
